@@ -1,0 +1,174 @@
+(* The benchmark harness.
+
+   Running this executable regenerates every table and figure of the
+   paper's evaluation (Tables I-VII plus the Figure 1/2 dispatch-model
+   comparison and the section-5.3 baseline comparison), then runs a
+   Bechamel microbenchmark suite over the mechanisms whose cost the paper
+   argues about (the per-dispatch profiler hook, BCG maintenance, trace
+   cache lookup, and the interpreter dispatch models).
+
+   BENCH_SCALE scales the workload sizes (default 1.0 = paper-scale runs,
+   a few minutes; 0.1 gives a quick smoke run).  BENCH_SKIP_MICRO=1 skips
+   the Bechamel section. *)
+
+module Stats = Tracegen.Stats
+
+let scale =
+  match Sys.getenv_opt "BENCH_SCALE" with
+  | Some s -> (try float_of_string s with Failure _ -> 1.0)
+  | None -> 1.0
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let tables () =
+  section "Paper tables";
+  Printf.printf "(workload scale %.2f; see EXPERIMENTS.md for analysis)\n\n"
+    scale;
+  print_string (Harness.Tables.figure_dispatch ~scale ());
+  print_newline ();
+  print_string (Harness.Tables.table1 ~scale ());
+  print_newline ();
+  print_string (Harness.Tables.table2 ~scale ());
+  print_newline ();
+  print_string (Harness.Tables.coverage_totals ~scale ());
+  print_newline ();
+  print_string (Harness.Tables.table3 ~scale ());
+  print_newline ();
+  print_string (Harness.Tables.table4 ~scale ());
+  print_newline ();
+  print_string (Harness.Tables.table5 ~scale ());
+  print_newline ();
+  let t6, rows6 = Harness.Overhead.table6 ~scale () in
+  print_string t6;
+  print_newline ();
+  print_string (Harness.Overhead.table7 ~scale ~rows:rows6 ());
+  print_newline ();
+  print_string (Harness.Tables.baselines ~scale ());
+  print_newline ();
+  print_string (Harness.Ablation.decay_ablation ());
+  print_newline ();
+  print_string (Harness.Ablation.optimizer_report ~scale:(min scale 0.3) ());
+  print_newline ();
+  print_string (Harness.Footprint.report ~scale:(min scale 0.3) ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                             *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+(* a small real layout for mechanism benches *)
+let bench_layout =
+  lazy
+    (let w = Workloads.Compress.workload in
+     Cfg.Layout.build (w.Workloads.Workload.build ~size:500))
+
+(* Table VI's subject: the profiler hook, one dispatch *)
+let bench_profiler_hook () =
+  let layout = Lazy.force bench_layout in
+  let profiler =
+    Tracegen.Profiler.create Tracegen.Config.default
+      ~n_blocks:layout.Cfg.Layout.n_blocks ~on_signal:(fun _ -> ())
+  in
+  (* warm the graph with a short cyclic stream *)
+  let stream = [| 0; 1; 2; 3; 1; 2; 4 |] in
+  Array.iter (Tracegen.Profiler.dispatch profiler) stream;
+  let k = ref 0 in
+  Staged.stage (fun () ->
+      Tracegen.Profiler.dispatch profiler stream.(!k);
+      k := (!k + 1) mod Array.length stream)
+
+(* BCG node visit + successor recording, the inner work of the hook *)
+let bench_bcg_touch () =
+  let bcg =
+    Tracegen.Bcg.create Tracegen.Config.default ~n_blocks:1024
+      ~on_signal:(fun _ -> ())
+  in
+  let k = ref 0 in
+  Staged.stage (fun () ->
+      let x = !k land 7 and y = (!k + 1) land 7 and z = (!k + 2) land 7 in
+      let ctx = Tracegen.Bcg.visit_node bcg ~x ~y in
+      let target = Tracegen.Bcg.visit_node bcg ~x:y ~y:z in
+      Tracegen.Bcg.record_successor bcg ~ctx ~target;
+      incr k)
+
+(* trace-cache dispatch lookup *)
+let bench_cache_lookup () =
+  let layout = Lazy.force bench_layout in
+  let cache = Tracegen.Trace_cache.create layout in
+  for g = 0 to 30 do
+    ignore
+      (Tracegen.Trace_cache.install cache ~first:g
+         ~blocks:[| g + 1; g + 2 |] ~prob:1.0)
+  done;
+  let k = ref 0 in
+  Staged.stage (fun () ->
+      ignore
+        (Tracegen.Trace_cache.lookup cache ~prev:(!k land 31)
+           ~cur:((!k land 31) + 1));
+      incr k)
+
+(* the interpreter itself, per dispatch model (Figures 1 and 2) *)
+let interp_bench ~with_profiler () =
+  let layout = Lazy.force bench_layout in
+  Staged.stage (fun () ->
+      if with_profiler then begin
+        let config =
+          { Tracegen.Config.default with Tracegen.Config.build_traces = false }
+        in
+        ignore (Tracegen.Engine.run ~config layout)
+      end
+      else ignore (Vm.Interp.run_plain layout))
+
+let bench_full_engine () =
+  let layout = Lazy.force bench_layout in
+  Staged.stage (fun () -> ignore (Tracegen.Engine.run layout))
+
+let micro () =
+  section "Bechamel microbenchmarks";
+  let test =
+    Test.make_grouped ~name:"tracevm"
+      [
+        Test.make ~name:"profiler_hook_per_dispatch" (bench_profiler_hook ());
+        Test.make ~name:"bcg_touch" (bench_bcg_touch ());
+        Test.make ~name:"trace_cache_lookup" (bench_cache_lookup ());
+        Test.make ~name:"interp_plain_small_compress"
+          (interp_bench ~with_profiler:false ());
+        Test.make ~name:"interp_profiled_small_compress"
+          (interp_bench ~with_profiler:true ());
+        Test.make ~name:"engine_traced_small_compress" (bench_full_engine ());
+      ]
+  in
+  let benchmark () =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 1.0) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols Instance.monotonic_clock results in
+    Analyze.merge ols Instance.[ monotonic_clock ] [ results ]
+  in
+  let results = analyze (benchmark ()) in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-42s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-42s (no estimate)\n" name)
+        tbl)
+    results
+
+let () =
+  tables ();
+  (match Sys.getenv_opt "BENCH_SKIP_MICRO" with
+  | Some "1" -> ()
+  | Some _ | None -> micro ());
+  print_newline ();
+  print_endline "done."

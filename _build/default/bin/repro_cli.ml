@@ -1,0 +1,254 @@
+(* Command-line interface to the reproduction: run workloads under any
+   configuration, regenerate the paper's tables, and inspect the BCG and
+   the trace cache. *)
+
+open Cmdliner
+
+let find_workload name =
+  match Workloads.Registry.find name with
+  | Some w -> w
+  | None ->
+      Printf.eprintf "unknown workload %s (try: %s)\n" name
+        (String.concat ", " (Workloads.Registry.names ()));
+      exit 2
+
+let layout_of w ~size =
+  let program =
+    match size with
+    | Some s -> w.Workloads.Workload.build ~size:s
+    | None -> Workloads.Workload.build_default w
+  in
+  Bytecode.Verify.verify_program program;
+  Cfg.Layout.build program
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd workload size threshold delay dump_traces dump_bcg top =
+  let w = find_workload workload in
+  let layout = layout_of w ~size in
+  let config =
+    {
+      Tracegen.Config.default with
+      Tracegen.Config.threshold;
+      start_state_delay = delay;
+    }
+  in
+  let result = Tracegen.Engine.run ~config layout in
+  let s = result.Tracegen.Engine.run_stats in
+  (match result.Tracegen.Engine.vm_result.Vm.Interp.outcome with
+  | Vm.Interp.Finished (Some value) ->
+      Printf.printf "result: %s\n" (Vm.Value.to_string value)
+  | Vm.Interp.Finished None -> Printf.printf "result: void\n"
+  | Vm.Interp.Trapped (kind, msg) ->
+      Printf.printf "trapped: %s (%s)\n"
+        (Vm.Interp.error_kind_to_string kind)
+        msg);
+  Format.printf "%a@." Tracegen.Stats.pp s;
+  if dump_traces then begin
+    let engine = result.Tracegen.Engine.engine in
+    let traces = ref [] in
+    Tracegen.Trace_cache.iter_all engine.Tracegen.Engine.cache (fun tr ->
+        traces := tr :: !traces);
+    let sorted =
+      List.sort
+        (fun a b -> compare b.Tracegen.Trace.completed a.Tracegen.Trace.completed)
+        !traces
+    in
+    Printf.printf "\ntraces (%d total, showing up to %d by completions):\n"
+      (List.length sorted) top;
+    List.iteri
+      (fun k tr ->
+        if k < top then
+          print_endline (Tracegen.Trace.describe layout tr))
+      sorted
+  end;
+  if dump_bcg then begin
+    let bcg = Tracegen.Profiler.bcg result.Tracegen.Engine.engine.Tracegen.Engine.profiler in
+    let nodes = ref [] in
+    Tracegen.Bcg.iter_nodes bcg (fun n -> nodes := n :: !nodes);
+    let sorted =
+      List.sort
+        (fun a b -> compare b.Tracegen.Bcg.exec_total a.Tracegen.Bcg.exec_total)
+        !nodes
+    in
+    Printf.printf "\nbcg nodes (%d total, showing up to %d by executions):\n"
+      (List.length sorted) top;
+    List.iteri
+      (fun k n ->
+        if k < top then
+          Format.printf "%a@." (Tracegen.Bcg.pp_node layout) n)
+      sorted
+  end
+
+(* ------------------------------------------------------------------ *)
+(* table                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let table_cmd which scale =
+  let s =
+    match which with
+    | "1" -> Harness.Tables.table1 ~scale ()
+    | "2" -> Harness.Tables.table2 ~scale ()
+    | "3" -> Harness.Tables.table3 ~scale ()
+    | "4" -> Harness.Tables.table4 ~scale ()
+    | "5" -> Harness.Tables.table5 ~scale ()
+    | "6" -> fst (Harness.Overhead.table6 ~scale ())
+    | "7" -> Harness.Overhead.table7 ~scale ()
+    | "coverage-total" -> Harness.Tables.coverage_totals ~scale ()
+    | "figure" -> Harness.Tables.figure_dispatch ~scale ()
+    | "baselines" -> Harness.Tables.baselines ~scale ()
+    | "ablation-decay" -> Harness.Ablation.decay_ablation ()
+    | "optimizer" -> Harness.Ablation.optimizer_report ~scale ()
+    | "footprint" -> Harness.Footprint.report ~scale ()
+    | other ->
+        Printf.eprintf
+          "unknown table %s (1-7, coverage-total, figure, baselines, \
+           ablation-decay, optimizer, footprint)\n" other;
+        exit 2
+  in
+  print_string s
+
+(* ------------------------------------------------------------------ *)
+(* disasm / list                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let disasm_cmd workload size meth =
+  let w = find_workload workload in
+  let program =
+    match size with
+    | Some s -> w.Workloads.Workload.build ~size:s
+    | None -> Workloads.Workload.build_default w
+  in
+  match meth with
+  | None -> print_string (Bytecode.Disasm.program_to_string program)
+  | Some name -> (
+      match Bytecode.Program.find_method program name with
+      | Some m -> print_string (Bytecode.Disasm.method_to_string program m)
+      | None ->
+          Printf.eprintf "no method %s\n" name;
+          exit 2)
+
+let export_cmd format workload scale =
+  match format with
+  | "csv" -> print_string (Harness.Export.sweep_csv ~scale ())
+  | "jsonl" -> print_string (Harness.Export.sweep_jsonl ~scale ())
+  | "json" -> (
+      match workload with
+      | None ->
+          Printf.eprintf "json format needs --workload\n";
+          exit 2
+      | Some name ->
+          let w = find_workload name in
+          let run =
+            Harness.Experiment.execute
+              (Harness.Experiment.default_key ~workload:name
+                 ~size:(Harness.Experiment.size_for ~scale w))
+          in
+          print_endline (Harness.Export.to_string (Harness.Export.run_json run)))
+  | other ->
+      Printf.eprintf "unknown format %s (csv, jsonl, json)\n" other;
+      exit 2
+
+let list_cmd () =
+  List.iter
+    (fun w -> Format.printf "%a@." Workloads.Workload.pp w)
+    Workloads.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let workload_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let size_arg =
+  Arg.(value & opt (some int) None & info [ "size" ] ~docv:"N"
+         ~doc:"Workload size (default: the workload's test size).")
+
+let threshold_arg =
+  Arg.(value & opt float 0.97 & info [ "threshold" ] ~docv:"P"
+         ~doc:"Trace completion threshold in (0,1].")
+
+let delay_arg =
+  Arg.(value & opt int 64 & info [ "delay" ] ~docv:"D"
+         ~doc:"Start state delay (paper: 1, 64 or 4096).")
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S"
+         ~doc:"Scale factor on workload bench sizes (1.0 = paper-scale runs).")
+
+let run_term =
+  let dump_traces =
+    Arg.(value & flag & info [ "traces" ] ~doc:"Dump the trace cache.")
+  in
+  let dump_bcg =
+    Arg.(value & flag & info [ "bcg" ] ~doc:"Dump the hottest BCG nodes.")
+  in
+  let top =
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"K"
+           ~doc:"How many traces/nodes to dump.")
+  in
+  Term.(
+    const run_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
+    $ dump_traces $ dump_bcg $ top)
+
+let run_info =
+  Cmd.info "run" ~doc:"Run one workload under the trace-cache engine."
+
+let table_term =
+  let which =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TABLE")
+  in
+  Term.(const table_cmd $ which $ scale_arg)
+
+let table_info =
+  Cmd.info "table"
+    ~doc:"Regenerate one of the paper's tables (1-7, coverage-total, figure, baselines, ablation-decay, optimizer)."
+
+let disasm_term =
+  let meth =
+    Arg.(value & opt (some string) None & info [ "method" ] ~docv:"NAME"
+           ~doc:"Only this method.")
+  in
+  Term.(const disasm_cmd $ workload_arg $ size_arg $ meth)
+
+let disasm_info = Cmd.info "disasm" ~doc:"Disassemble a workload program."
+
+let export_term =
+  let format =
+    Arg.(value & opt string "csv" & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: csv, jsonl or json (one workload).")
+  in
+  let workload =
+    Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"W"
+           ~doc:"Workload for --format json.")
+  in
+  Term.(const export_cmd $ format $ workload $ scale_arg)
+
+let export_info =
+  Cmd.info "export" ~doc:"Emit sweep results as CSV / JSON for external tools."
+
+let list_term = Term.(const list_cmd $ const ())
+
+let list_info = Cmd.info "list" ~doc:"List the available workloads."
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "tracevm" ~version:"1.0.0"
+      ~doc:
+        "Dynamic profiling and trace cache generation for a bytecode VM \
+         (CGO 2003 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            Cmd.v run_info run_term;
+            Cmd.v table_info table_term;
+            Cmd.v disasm_info disasm_term;
+            Cmd.v export_info export_term;
+            Cmd.v list_info list_term;
+          ]))

@@ -1,0 +1,1 @@
+examples/baseline_comparison.ml: Array Baselines Cfg Printf Sys Tracegen Workloads

@@ -1,0 +1,1 @@
+examples/baseline_comparison.mli:

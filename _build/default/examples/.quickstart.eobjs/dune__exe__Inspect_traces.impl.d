@@ -1,0 +1,1 @@
+examples/inspect_traces.ml: Array Bytecode Cfg Format List Printf Sys Tracegen Workloads

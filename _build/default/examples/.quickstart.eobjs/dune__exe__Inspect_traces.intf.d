@@ -1,0 +1,1 @@
+examples/inspect_traces.mli:

@@ -1,0 +1,1 @@
+examples/optimize_trace.ml: Array Bytecode Cfg List Printf Sys Tracegen Workloads

@@ -1,0 +1,1 @@
+examples/optimize_trace.mli:

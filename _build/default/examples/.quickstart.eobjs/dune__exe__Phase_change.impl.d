@@ -1,0 +1,1 @@
+examples/phase_change.ml: Bytecode Cfg List Printf Tracegen Workloads

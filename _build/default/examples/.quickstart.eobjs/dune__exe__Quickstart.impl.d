@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytecode Cfg List Printf Tracegen Vm Workloads

@@ -1,0 +1,1 @@
+examples/threshold_sweep.ml: Array Cfg List Printf Sys Tracegen Workloads

@@ -1,0 +1,1 @@
+examples/threshold_sweep.mli:

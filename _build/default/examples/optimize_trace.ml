@@ -1,0 +1,52 @@
+(* Trace optimization (the paper's §6 next step): pick the hottest traces
+   of a workload, run the straight-line optimizer over them, and show the
+   before/after code.
+
+     dune exec examples/optimize_trace.exe -- [workload] *)
+
+module Opt = Tracegen.Trace_optimizer
+module Instr = Bytecode.Instr
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "compress" in
+  let w =
+    match Workloads.Registry.find name with
+    | Some w -> w
+    | None ->
+        Printf.eprintf "unknown workload %s\n" name;
+        exit 2
+  in
+  let layout = Cfg.Layout.build (Workloads.Workload.build_default w) in
+  let r = Tracegen.Engine.run layout in
+  let traces = ref [] in
+  Tracegen.Trace_cache.iter_all r.Tracegen.Engine.engine.Tracegen.Engine.cache
+    (fun tr -> traces := tr :: !traces);
+  let hottest =
+    !traces
+    |> List.filter (fun tr -> tr.Tracegen.Trace.completed > 0)
+    |> List.sort (fun a b ->
+           compare
+             (b.Tracegen.Trace.completed * b.Tracegen.Trace.total_instrs)
+             (a.Tracegen.Trace.completed * a.Tracegen.Trace.total_instrs))
+  in
+  List.iteri
+    (fun k tr ->
+      if k < 3 then begin
+        let res = Opt.optimize layout tr in
+        Printf.printf "=== %s ===\n" (Tracegen.Trace.describe layout tr);
+        Printf.printf "original (%d instructions):\n"
+          (Array.length res.Opt.original);
+        Array.iter
+          (fun ins -> Printf.printf "    %s\n" (Instr.to_string ins))
+          res.Opt.original;
+        Printf.printf "optimized (%d instructions; %d folded, %d forwarded, \
+                       %d dead stores):\n"
+          (Array.length res.Opt.optimized)
+          res.Opt.folded res.Opt.forwarded res.Opt.dead_stores;
+        Array.iter
+          (fun ins -> Printf.printf "    %s\n" (Instr.to_string ins))
+          res.Opt.optimized;
+        Printf.printf "savings: %.1f%% of the trace's instructions\n\n"
+          (100.0 *. Opt.savings_ratio res)
+      end)
+    hottest

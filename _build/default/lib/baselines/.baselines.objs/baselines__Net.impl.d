@@ -1,0 +1,1 @@
+lib/baselines/net.ml: Array Cfg Hashtbl List Summary Vm

@@ -1,0 +1,1 @@
+lib/baselines/net.mli: Cfg Summary

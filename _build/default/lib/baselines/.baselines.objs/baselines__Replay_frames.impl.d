@@ -1,0 +1,1 @@
+lib/baselines/replay_frames.ml: Array Bool Cfg Hashtbl List Summary Vm

@@ -1,0 +1,1 @@
+lib/baselines/replay_frames.mli: Cfg Hashtbl Summary

@@ -1,0 +1,1 @@
+lib/baselines/summary.ml: Format

@@ -1,0 +1,179 @@
+module Layout = Cfg.Layout
+module Block = Cfg.Block
+
+(* Next-Executing-Tail trace selection, after Dynamo (Bala et al., PLDI
+   2000).  Counters sit on potential trace heads — targets of backward
+   taken branches.  When a counter crosses the hot threshold, the
+   instructions executed *next* are recorded as a trace until a backward
+   taken branch (the next loop iteration), the head of an existing trace,
+   or the length cap.  Traces are keyed by their head block alone (Dynamo
+   dispatches fragments by address).
+
+   This is the "assume what follows a hot point will recur" strategy the
+   paper contrasts with branch-correlation profiling. *)
+
+type config = {
+  hot_threshold : int; (* Dynamo uses ~50 *)
+  max_blocks : int;
+}
+
+let default_config = { hot_threshold = 50; max_blocks = 64 }
+
+type trace = {
+  head : Layout.gid;
+  blocks : Layout.gid array;
+  total_instrs : int;
+  instr_len : int array;
+}
+
+type mode =
+  | Profiling
+  | Recording of Layout.gid list (* reversed blocks recorded so far *)
+  | Executing of trace * int * int * int
+    (* trace, next position, matched blocks, matched instrs *)
+
+type t = {
+  layout : Layout.t;
+  config : config;
+  counters : (Layout.gid, int ref) Hashtbl.t;
+  traces : (Layout.gid, trace) Hashtbl.t;
+  mutable mode : mode;
+  mutable prev : Layout.gid;
+  mutable dispatches : int;
+  mutable traces_entered : int;
+  mutable traces_completed : int;
+  mutable completed_blocks : int;
+  mutable completed_instrs : int;
+  mutable partial_instrs : int;
+  mutable traces_built : int;
+}
+
+let create ?(config = default_config) (layout : Layout.t) : t =
+  {
+    layout;
+    config;
+    counters = Hashtbl.create 256;
+    traces = Hashtbl.create 64;
+    mode = Profiling;
+    prev = -1;
+    dispatches = 0;
+    traces_entered = 0;
+    traces_completed = 0;
+    completed_blocks = 0;
+    completed_instrs = 0;
+    partial_instrs = 0;
+    traces_built = 0;
+  }
+
+(* A transition is a backward taken branch when it stays in one method and
+   moves to an earlier bytecode address. *)
+let is_backward (t : t) ~prev ~cur =
+  prev >= 0
+  &&
+  let pb = Layout.block t.layout prev in
+  let cb = Layout.block t.layout cur in
+  pb.Block.method_id = cb.Block.method_id
+  && cb.Block.start_pc <= pb.Block.start_pc
+
+let mk_trace (t : t) (rev_blocks : Layout.gid list) : trace =
+  let blocks = Array.of_list (List.rev rev_blocks) in
+  let instr_len = Array.map (fun g -> Layout.block_len t.layout g) blocks in
+  {
+    head = blocks.(0);
+    blocks;
+    total_instrs = Array.fold_left ( + ) 0 instr_len;
+    instr_len;
+  }
+
+let finish_recording (t : t) (rev_blocks : Layout.gid list) =
+  (match rev_blocks with
+  | [] | [ _ ] -> () (* too short to be worth caching *)
+  | _ ->
+      let tr = mk_trace t rev_blocks in
+      if not (Hashtbl.mem t.traces tr.head) then begin
+        Hashtbl.replace t.traces tr.head tr;
+        t.traces_built <- t.traces_built + 1
+      end);
+  t.mode <- Profiling
+
+let enter_or_profile (t : t) g =
+  match Hashtbl.find_opt t.traces g with
+  | Some tr ->
+      t.dispatches <- t.dispatches + 1;
+      t.traces_entered <- t.traces_entered + 1;
+      if Array.length tr.blocks = 1 then begin
+        t.traces_completed <- t.traces_completed + 1;
+        t.completed_blocks <- t.completed_blocks + 1;
+        t.completed_instrs <- t.completed_instrs + tr.total_instrs
+      end
+      else t.mode <- Executing (tr, 1, 1, tr.instr_len.(0))
+  | None -> (
+      t.dispatches <- t.dispatches + 1;
+      (* hot-head counting on backward taken branches *)
+      if is_backward t ~prev:t.prev ~cur:g then begin
+        let c =
+          match Hashtbl.find_opt t.counters g with
+          | Some c -> c
+          | None ->
+              let c = ref 0 in
+              Hashtbl.replace t.counters g c;
+              c
+        in
+        incr c;
+        if !c = t.config.hot_threshold then t.mode <- Recording [ g ]
+      end)
+
+let rec on_block (t : t) (g : Layout.gid) =
+  match t.mode with
+  | Profiling ->
+      enter_or_profile t g;
+      t.prev <- g
+  | Recording acc ->
+      t.dispatches <- t.dispatches + 1;
+      let stop_backward = is_backward t ~prev:t.prev ~cur:g in
+      let hits_existing = Hashtbl.mem t.traces g in
+      if
+        stop_backward || hits_existing
+        || List.length acc >= t.config.max_blocks
+      then finish_recording t acc
+      else t.mode <- Recording (g :: acc);
+      t.prev <- g
+  | Executing (tr, pos, mblocks, minstrs) ->
+      if g = tr.blocks.(pos) then begin
+        let mblocks = mblocks + 1 in
+        let minstrs = minstrs + tr.instr_len.(pos) in
+        if pos = Array.length tr.blocks - 1 then begin
+          t.traces_completed <- t.traces_completed + 1;
+          t.completed_blocks <- t.completed_blocks + mblocks;
+          t.completed_instrs <- t.completed_instrs + minstrs;
+          t.mode <- Profiling
+        end
+        else t.mode <- Executing (tr, pos + 1, mblocks, minstrs);
+        t.prev <- g
+      end
+      else begin
+        (* side exit *)
+        t.partial_instrs <- t.partial_instrs + minstrs;
+        t.mode <- Profiling;
+        on_block t g
+      end
+
+let summary (t : t) ~instructions : Summary.t =
+  {
+    Summary.name = "net";
+    instructions;
+    dispatches = t.dispatches;
+    traces_entered = t.traces_entered;
+    traces_completed = t.traces_completed;
+    completed_blocks = t.completed_blocks;
+    completed_instrs = t.completed_instrs;
+    partial_instrs = t.partial_instrs;
+    traces_built = t.traces_built;
+  }
+
+let run ?config ?max_instructions (layout : Layout.t) : Summary.t =
+  let t = create ?config layout in
+  let result =
+    Vm.Interp.run ?max_instructions layout ~on_block:(fun g -> on_block t g)
+  in
+  summary t ~instructions:result.Vm.Interp.instructions

@@ -1,0 +1,42 @@
+(* Trace-quality summary shared by the baseline selectors, reporting the
+   same dependent values as the paper's system so the three approaches can
+   sit in one table. *)
+
+type t = {
+  name : string;
+  instructions : int;
+  dispatches : int; (* block dispatches outside traces + trace entries *)
+  traces_entered : int;
+  traces_completed : int;
+  completed_blocks : int;
+  completed_instrs : int;
+  partial_instrs : int;
+  traces_built : int;
+}
+
+let avg_trace_length t =
+  if t.traces_completed = 0 then 0.0
+  else float_of_int t.completed_blocks /. float_of_int t.traces_completed
+
+let coverage_completed t =
+  if t.instructions = 0 then 0.0
+  else float_of_int t.completed_instrs /. float_of_int t.instructions
+
+let coverage_total t =
+  if t.instructions = 0 then 0.0
+  else
+    float_of_int (t.completed_instrs + t.partial_instrs)
+    /. float_of_int t.instructions
+
+let completion_rate t =
+  if t.traces_entered = 0 then 0.0
+  else float_of_int t.traces_completed /. float_of_int t.traces_entered
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%-8s len=%5.1f cov=%5.1f%% (total %5.1f%%) compl=%6.2f%% built=%d" t.name
+    (avg_trace_length t)
+    (100.0 *. coverage_completed t)
+    (100.0 *. coverage_total t)
+    (100.0 *. completion_rate t)
+    t.traces_built

@@ -1,0 +1,26 @@
+(** Trace-quality summary shared by the baseline selectors, reporting the
+    same dependent values as the paper's system so the three approaches
+    can sit in one table. *)
+
+type t = {
+  name : string;
+  instructions : int;
+  dispatches : int;
+      (** block dispatches outside traces + trace entries *)
+  traces_entered : int;
+  traces_completed : int;
+  completed_blocks : int;
+  completed_instrs : int;
+  partial_instrs : int;
+  traces_built : int;
+}
+
+val avg_trace_length : t -> float
+
+val coverage_completed : t -> float
+
+val coverage_total : t -> float
+
+val completion_rate : t -> float
+
+val pp : Format.formatter -> t -> unit

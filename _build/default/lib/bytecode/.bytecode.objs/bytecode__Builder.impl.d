@@ -1,0 +1,1 @@
+lib/bytecode/builder.ml: Array Hashtbl Instr Klass List Mthd Option Printf Program String

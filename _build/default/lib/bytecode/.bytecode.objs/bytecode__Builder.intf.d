@@ -1,0 +1,1 @@
+lib/bytecode/builder.mli: Instr Klass Mthd Program

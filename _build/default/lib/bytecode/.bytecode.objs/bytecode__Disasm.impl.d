@@ -1,0 +1,1 @@
+lib/bytecode/disasm.ml: Array Format Hashtbl Instr Klass List Mthd Program

@@ -1,0 +1,1 @@
+lib/bytecode/disasm.mli: Format Instr Mthd Program

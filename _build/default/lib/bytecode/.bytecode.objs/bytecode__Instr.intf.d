@@ -1,0 +1,1 @@
+lib/bytecode/instr.mli: Format

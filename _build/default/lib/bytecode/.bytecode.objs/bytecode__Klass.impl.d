@@ -1,0 +1,1 @@
+lib/bytecode/klass.ml: Array Format Printf String

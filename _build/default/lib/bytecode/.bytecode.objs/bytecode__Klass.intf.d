@@ -1,0 +1,1 @@
+lib/bytecode/klass.mli: Format

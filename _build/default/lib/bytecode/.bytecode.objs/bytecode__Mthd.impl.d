@@ -1,0 +1,1 @@
+lib/bytecode/mthd.ml: Array Format Instr

@@ -1,0 +1,1 @@
+lib/bytecode/mthd.mli: Format Instr

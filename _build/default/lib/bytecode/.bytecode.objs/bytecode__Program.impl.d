@@ -1,0 +1,1 @@
+lib/bytecode/program.ml: Array Format Klass Mthd Printf String

@@ -1,0 +1,1 @@
+lib/bytecode/program.mli: Format Klass Mthd

@@ -1,0 +1,1 @@
+lib/bytecode/structured.ml: Array Builder Format Hashtbl Instr Klass List Mthd Program String

@@ -1,0 +1,1 @@
+lib/bytecode/structured.mli: Mthd Program

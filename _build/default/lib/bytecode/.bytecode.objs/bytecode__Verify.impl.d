@@ -1,0 +1,1 @@
+lib/bytecode/verify.ml: Array Format Instr Klass List Mthd Printf Program Queue String

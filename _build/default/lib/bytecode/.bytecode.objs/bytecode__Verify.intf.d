@@ -1,0 +1,1 @@
+lib/bytecode/verify.mli: Mthd Program

@@ -1,0 +1,59 @@
+(* Human-readable listings of methods and programs, with symbolic names for
+   method/class/selector/field operands. *)
+
+let pp_instr_resolved (program : Program.t) ppf (ins : Instr.t) =
+  match ins with
+  | Instr.Invokestatic mid ->
+      Format.fprintf ppf "invokestatic %s"
+        (Program.method_by_id program mid).Mthd.name
+  | Instr.Invokevirtual slot ->
+      Format.fprintf ppf "invokevirtual %s" (Program.selector_name program slot)
+  | Instr.New cid ->
+      Format.fprintf ppf "new %s" (Program.class_by_id program cid).Klass.name
+  | Instr.Getfield (cid, slot) ->
+      let k = Program.class_by_id program cid in
+      Format.fprintf ppf "getfield %s.%s" k.Klass.name
+        k.Klass.field_names.(slot)
+  | Instr.Putfield (cid, slot) ->
+      let k = Program.class_by_id program cid in
+      Format.fprintf ppf "putfield %s.%s" k.Klass.name
+        k.Klass.field_names.(slot)
+  | Instr.Instanceof cid ->
+      Format.fprintf ppf "instanceof %s"
+        (Program.class_by_id program cid).Klass.name
+  | _ -> Instr.pp ppf ins
+
+let pp_method (program : Program.t) ppf (m : Mthd.t) =
+  Format.fprintf ppf "%a@\n" Mthd.pp m;
+  (* mark branch targets so listings read like javap output *)
+  let targets = Hashtbl.create 8 in
+  Array.iter
+    (fun ins ->
+      List.iter (fun t -> Hashtbl.replace targets t ()) (Instr.branch_targets ins))
+    m.Mthd.code;
+  Array.iteri
+    (fun pc ins ->
+      let mark = if Hashtbl.mem targets pc then ">" else " " in
+      Format.fprintf ppf "  %s%4d: %a@\n" mark pc
+        (pp_instr_resolved program) ins)
+    m.Mthd.code;
+  Array.iter
+    (fun h ->
+      Format.fprintf ppf "  handler [%d,%d) -> %d catches %s@\n"
+        h.Mthd.h_from h.Mthd.h_to h.Mthd.h_target
+        (Program.class_by_id program h.Mthd.h_class).Klass.name)
+    m.Mthd.handlers
+
+let pp_program ppf (program : Program.t) =
+  Format.fprintf ppf "%a@\n@\n" Program.pp program;
+  Array.iter
+    (fun k -> Format.fprintf ppf "%a@\n" Klass.pp k)
+    program.Program.classes;
+  Format.fprintf ppf "@\n";
+  Array.iter
+    (fun m -> Format.fprintf ppf "%a@\n" (pp_method program) m)
+    program.Program.methods
+
+let method_to_string program m = Format.asprintf "%a" (pp_method program) m
+
+let program_to_string program = Format.asprintf "%a" pp_program program

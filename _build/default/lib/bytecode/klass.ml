@@ -1,0 +1,60 @@
+(* Class representation.  Field layout places inherited fields first, so a
+   field slot valid for a class is valid for all its subclasses.  Each slot
+   carries a kind so the VM can initialize fields and the verifier can type
+   field loads.  Virtual dispatch goes through a selector-indexed vtable:
+   the program assigns every distinct selector name a global slot, and each
+   class's [vtable] maps the slot to a method id, or to -1 when the class
+   does not understand the selector. *)
+
+type field_kind =
+  | Kint
+  | Kfloat
+  | Kref
+
+type t = {
+  id : int;
+  name : string;
+  super : int option;
+  field_names : string array; (* full layout, inherited fields first *)
+  field_kinds : field_kind array; (* same indexing as field_names *)
+  vtable : int array; (* selector slot -> method id, -1 if absent *)
+}
+
+let field_kind_to_string = function
+  | Kint -> "int"
+  | Kfloat -> "float"
+  | Kref -> "ref"
+
+let n_fields t = Array.length t.field_names
+
+let field_slot t name =
+  let rec find i =
+    if i >= Array.length t.field_names then None
+    else if String.equal t.field_names.(i) name then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let method_for_selector t ~slot =
+  if slot < 0 || slot >= Array.length t.vtable then None
+  else
+    let m = t.vtable.(slot) in
+    if m < 0 then None else Some m
+
+(* [is_subclass_of classes ~sub ~super] follows the superclass chain. *)
+let is_subclass_of (classes : t array) ~sub ~super =
+  let rec walk id =
+    if id = super then true
+    else
+      match classes.(id).super with None -> false | Some s -> walk s
+  in
+  walk sub
+
+let pp ppf t =
+  Format.fprintf ppf "class %s (#%d)%s fields=[%s]" t.name t.id
+    (match t.super with None -> "" | Some s -> Printf.sprintf " extends #%d" s)
+    (String.concat "; "
+       (Array.to_list
+          (Array.mapi
+             (fun i f -> field_kind_to_string t.field_kinds.(i) ^ " " ^ f)
+             t.field_names)))

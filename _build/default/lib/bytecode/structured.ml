@@ -1,0 +1,772 @@
+(* A small structured language compiled to the stack bytecode.  Workload
+   programs are written against this AST; the compiler performs local type
+   checking (needed to select between the int/float/ref instruction
+   variants), lowers conditions to branches without materializing booleans,
+   lowers loops bottom-tested (so the back edge is the taken branch, as a
+   Java compiler would), and resolves named locals to slots.
+
+   The language is deliberately Java-shaped: typed locals, virtual calls
+   through selectors, fields resolved through a class's declared layout. *)
+
+type ty =
+  | I
+  | F
+  | R (* object reference *)
+  | Arr of ty
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Ushr
+
+type cmp =
+  | Ceq
+  | Cne
+  | Clt
+  | Cle
+  | Cgt
+  | Cge
+
+type expr =
+  | Cint of int
+  | Cflt of float
+  | Cnull
+  | Var of string
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | I2f_ of expr
+  | F2i_ of expr
+  | Cmp of cmp * expr * expr (* int-valued 0/1 when materialized *)
+  | Not of expr
+  | And_also of expr * expr
+  | Or_else of expr * expr
+  | Call of string * expr list
+  | Vcall of string * expr * expr list (* selector, receiver, args *)
+  | New_obj of string
+  | Getf of string * string * expr (* class, field, receiver *)
+  | New_arr of ty * expr (* element type, length *)
+  | Idx of expr * expr (* array, index *)
+  | Len of expr
+  | Is_instance of string * expr
+
+type stmt =
+  | Decl of string * ty * expr
+  | Set of string * expr
+  | Set_idx of expr * expr * expr (* array, index, value *)
+  | Setf of string * string * expr * expr (* class, field, receiver, value *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of string * expr * expr * stmt list
+    (* for v = lo; v < hi; v++ — v is implicitly declared as an int *)
+  | Switch of expr * (int * stmt list) list * stmt list
+  | Ret of expr option
+  | Ignore of expr (* evaluate for effect, discard any result *)
+  | Break
+  | Continue
+  | Throw of expr (* must be an object reference *)
+  | Try of stmt list * string * string * stmt list
+    (* protected body, exception class name, binder for the caught
+       exception, handler body *)
+
+type method_sig = {
+  sig_args : ty list; (* receiver excluded for virtual methods *)
+  sig_ret : ty option;
+}
+
+type method_def = {
+  d_name : string;
+  d_kind : Mthd.kind;
+  d_args : (string * ty) list;
+  d_ret : ty option;
+  d_body : stmt list;
+}
+
+type class_def = {
+  k_name : string;
+  k_super : string option;
+  k_fields : (string * ty) list;
+  k_methods : (string * string) list;
+}
+
+type t = {
+  mutable defs : method_def list; (* reverse order *)
+  mutable cdefs : class_def list; (* reverse order *)
+}
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let rec ty_to_string = function
+  | I -> "int"
+  | F -> "float"
+  | R -> "ref"
+  | Arr t -> ty_to_string t ^ "[]"
+
+let ty_equal a b =
+  let rec eq a b =
+    match (a, b) with
+    | I, I | F, F | R, R -> true
+    | Arr x, Arr y -> eq x y
+    (* any array is also a reference for assignment purposes *)
+    | Arr _, R | R, Arr _ -> true
+    | (I | F | R | Arr _), _ -> false
+  in
+  eq a b
+
+let create () = { defs = []; cdefs = [] }
+
+let def_class t ~name ?super ~fields ~methods () =
+  t.cdefs <-
+    { k_name = name; k_super = super; k_fields = fields; k_methods = methods }
+    :: t.cdefs
+
+let def_method t ~name ?(kind = Mthd.Static) ~args ?ret ~body () =
+  t.defs <- { d_name = name; d_kind = kind; d_args = args; d_ret = ret; d_body = body } :: t.defs
+
+(* ------------------------------------------------------------------ *)
+(* Compilation environment built at link time                          *)
+(* ------------------------------------------------------------------ *)
+
+type link_env = {
+  sigs : (string, method_sig * Mthd.kind) Hashtbl.t; (* method name -> sig *)
+  sel_sigs : (string, method_sig) Hashtbl.t; (* selector -> sig *)
+  field_tys : (string, ty) Hashtbl.t; (* "class.field" -> ty *)
+  class_fields : (string, (string * ty) list) Hashtbl.t; (* full layout *)
+  class_super : (string, string option) Hashtbl.t;
+}
+
+let field_type env cname fname =
+  (* Walk up the superclass chain: a field slot named in a class may be
+     declared by an ancestor. *)
+  let rec walk c =
+    match Hashtbl.find_opt env.field_tys (c ^ "." ^ fname) with
+    | Some ty -> Some ty
+    | None -> (
+        match Hashtbl.find_opt env.class_super c with
+        | Some (Some s) -> walk s
+        | Some None | None -> None)
+  in
+  walk cname
+
+let build_link_env (t : t) : link_env =
+  let env =
+    {
+      sigs = Hashtbl.create 64;
+      sel_sigs = Hashtbl.create 16;
+      field_tys = Hashtbl.create 64;
+      class_fields = Hashtbl.create 16;
+      class_super = Hashtbl.create 16;
+    }
+  in
+  List.iter
+    (fun d ->
+      let args = List.map snd d.d_args in
+      Hashtbl.replace env.sigs d.d_name
+        ({ sig_args = args; sig_ret = d.d_ret }, d.d_kind))
+    t.defs;
+  List.iter
+    (fun c ->
+      Hashtbl.replace env.class_super c.k_name c.k_super;
+      List.iter
+        (fun (f, ty) ->
+          Hashtbl.replace env.field_tys (c.k_name ^ "." ^ f) ty)
+        c.k_fields;
+      List.iter
+        (fun (sel, mname) ->
+          match Hashtbl.find_opt env.sigs mname with
+          | None -> type_error "class %s: selector %s bound to unknown method %s" c.k_name sel mname
+          | Some (s, kind) ->
+              if kind <> Mthd.Virtual then
+                type_error "class %s: selector %s bound to static method %s" c.k_name sel mname;
+              (match Hashtbl.find_opt env.sel_sigs sel with
+              | None -> Hashtbl.replace env.sel_sigs sel s
+              | Some prev ->
+                  if
+                    prev.sig_ret <> s.sig_ret
+                    || List.length prev.sig_args <> List.length s.sig_args
+                  then
+                    type_error
+                      "selector %s bound with inconsistent signatures" sel))
+        c.k_methods)
+    t.cdefs;
+  env
+
+(* ------------------------------------------------------------------ *)
+(* Method body compilation                                             *)
+(* ------------------------------------------------------------------ *)
+
+type scope = {
+  env : link_env;
+  meth : Builder.meth;
+  locals : (string, int * ty) Hashtbl.t;
+  mutable next_slot : int;
+  ret : ty option;
+  mname : string;
+  (* enclosing loop labels for break/continue *)
+  mutable loop_stack : (Builder.label * Builder.label) list; (* break, continue *)
+}
+
+(* Locals share one flat function scope.  Redeclaring a name with the same
+   type reuses its slot (re-initialization, convenient for loop counters);
+   redeclaring at a different type is an error. *)
+let declare_local sc name ty =
+  match Hashtbl.find_opt sc.locals name with
+  | Some (slot, ty') ->
+      if ty' <> ty then
+        type_error "%s: local %s redeclared at a different type" sc.mname name;
+      slot
+  | None ->
+      let slot = sc.next_slot in
+      sc.next_slot <- slot + 1;
+      Hashtbl.replace sc.locals name (slot, ty);
+      slot
+
+let lookup_local sc name =
+  match Hashtbl.find_opt sc.locals name with
+  | Some x -> x
+  | None -> type_error "%s: unbound local %s" sc.mname name
+
+let ty_is_boolish = function I -> true | F | R | Arr _ -> false
+
+let load_instr ty slot =
+  match ty with
+  | I -> Instr.Iload slot
+  | F -> Instr.Fload slot
+  | R | Arr _ -> Instr.Aload slot
+
+let store_instr ty slot =
+  match ty with
+  | I -> Instr.Istore slot
+  | F -> Instr.Fstore slot
+  | R | Arr _ -> Instr.Astore slot
+
+let arr_load_instr = function
+  | I -> Instr.Iaload
+  | F -> Instr.Faload
+  | R | Arr _ -> Instr.Aaload
+
+let arr_store_instr = function
+  | I -> Instr.Iastore
+  | F -> Instr.Fastore
+  | R | Arr _ -> Instr.Aastore
+
+let int_binop_instr = function
+  | Add -> Instr.Iadd
+  | Sub -> Instr.Isub
+  | Mul -> Instr.Imul
+  | Div -> Instr.Idiv
+  | Rem -> Instr.Irem
+  | And -> Instr.Iand
+  | Or -> Instr.Ior
+  | Xor -> Instr.Ixor
+  | Shl -> Instr.Ishl
+  | Shr -> Instr.Ishr
+  | Ushr -> Instr.Iushr
+
+let float_binop_instr op =
+  match op with
+  | Add -> Instr.Fadd
+  | Sub -> Instr.Fsub
+  | Mul -> Instr.Fmul
+  | Div -> Instr.Fdiv
+  | Rem | And | Or | Xor | Shl | Shr | Ushr ->
+      type_error "operator not defined on floats"
+
+let instr_cond = function
+  | Ceq -> Instr.Eq
+  | Cne -> Instr.Ne
+  | Clt -> Instr.Lt
+  | Cle -> Instr.Le
+  | Cgt -> Instr.Gt
+  | Cge -> Instr.Ge
+
+let rec compile_expr sc (e : expr) : ty =
+  let m = sc.meth in
+  match e with
+  | Cint n ->
+      Builder.iconst m n;
+      I
+  | Cflt f ->
+      Builder.fconst m f;
+      F
+  | Cnull ->
+      Builder.i m Instr.Aconst_null;
+      R
+  | Var name ->
+      let slot, ty = lookup_local sc name in
+      Builder.i m (load_instr ty slot);
+      ty
+  | Bin (op, a, b) -> (
+      let ta = compile_expr sc a in
+      let tb = compile_expr sc b in
+      match (ta, tb) with
+      | I, I ->
+          Builder.i m (int_binop_instr op);
+          I
+      | F, F ->
+          Builder.i m (float_binop_instr op);
+          F
+      | _ ->
+          type_error "%s: binop on mismatched types %s / %s" sc.mname
+            (ty_to_string ta) (ty_to_string tb))
+  | Neg a -> (
+      match compile_expr sc a with
+      | I ->
+          Builder.i m Instr.Ineg;
+          I
+      | F ->
+          Builder.i m Instr.Fneg;
+          F
+      | (R | Arr _) as ty ->
+          type_error "%s: negation of %s" sc.mname (ty_to_string ty))
+  | I2f_ a ->
+      let ty = compile_expr sc a in
+      if ty <> I then type_error "%s: i2f on %s" sc.mname (ty_to_string ty);
+      Builder.i m Instr.I2f;
+      F
+  | F2i_ a ->
+      let ty = compile_expr sc a in
+      if ty <> F then type_error "%s: f2i on %s" sc.mname (ty_to_string ty);
+      Builder.i m Instr.F2i;
+      I
+  | Cmp _ | Not _ | And_also _ | Or_else _ ->
+      (* materialize a 0/1 int through the branching translation *)
+      let l_true = Builder.new_label m in
+      let l_end = Builder.new_label m in
+      compile_cond sc e ~jump_if_true:l_true;
+      Builder.iconst m 0;
+      Builder.goto m l_end;
+      Builder.place m l_true;
+      Builder.iconst m 1;
+      Builder.place m l_end;
+      I
+  | Call (name, args) -> (
+      match Hashtbl.find_opt sc.env.sigs name with
+      | None -> type_error "%s: call to unknown method %s" sc.mname name
+      | Some (s, kind) ->
+          if kind <> Mthd.Static then
+            type_error "%s: static call to virtual method %s" sc.mname name;
+          compile_args sc name s.sig_args args;
+          Builder.invokestatic m name;
+          ret_ty_or_void sc name s.sig_ret)
+  | Vcall (sel, recv, args) -> (
+      match Hashtbl.find_opt sc.env.sel_sigs sel with
+      | None -> type_error "%s: unknown selector %s" sc.mname sel
+      | Some s ->
+          let tr = compile_expr sc recv in
+          (match tr with
+          | R | Arr _ -> ()
+          | I | F ->
+              type_error "%s: virtual call on non-reference receiver" sc.mname);
+          compile_args sc sel s.sig_args args;
+          Builder.invokevirtual m sel;
+          ret_ty_or_void sc sel s.sig_ret)
+  | New_obj cname ->
+      Builder.new_object m cname;
+      R
+  | Getf (cname, fname, recv) -> (
+      let tr = compile_expr sc recv in
+      (match tr with
+      | R | Arr _ -> ()
+      | I | F -> type_error "%s: getfield on non-reference" sc.mname);
+      Builder.getfield m cname fname;
+      match field_type sc.env cname fname with
+      | Some ty -> ty
+      | None -> type_error "%s: class %s has no field %s" sc.mname cname fname)
+  | New_arr (elem, len) ->
+      let tl = compile_expr sc len in
+      if tl <> I then type_error "%s: array length must be int" sc.mname;
+      let kind =
+        match elem with
+        | I -> Instr.Int_array
+        | F -> Instr.Float_array
+        | R | Arr _ -> Instr.Ref_array
+      in
+      Builder.i m (Instr.Newarray kind);
+      Arr elem
+  | Idx (arr, idx) -> (
+      let ta = compile_expr sc arr in
+      let ti = compile_expr sc idx in
+      if ti <> I then type_error "%s: array index must be int" sc.mname;
+      match ta with
+      | Arr elem ->
+          Builder.i m (arr_load_instr elem);
+          elem
+      | I | F | R ->
+          type_error "%s: indexing a non-array (%s)" sc.mname (ty_to_string ta))
+  | Len arr -> (
+      match compile_expr sc arr with
+      | Arr _ | R ->
+          Builder.i m Instr.Arraylength;
+          I
+      | I | F -> type_error "%s: arraylength of non-array" sc.mname)
+  | Is_instance (cname, recv) -> (
+      match compile_expr sc recv with
+      | R | Arr _ ->
+          Builder.instanceof m cname;
+          I
+      | I | F -> type_error "%s: instanceof on non-reference" sc.mname)
+
+and ret_ty_or_void sc name = function
+  | Some ty -> ty
+  | None ->
+      type_error
+        "%s: void call %s used as an expression (use Ignore for effects)"
+        sc.mname name
+
+and compile_args sc what formal_tys actuals =
+  if List.length formal_tys <> List.length actuals then
+    type_error "%s: wrong arity calling %s" sc.mname what;
+  List.iter2
+    (fun formal actual ->
+      let got = compile_expr sc actual in
+      if not (ty_equal formal got) then
+        type_error "%s: argument of %s has type %s, expected %s" sc.mname
+          what (ty_to_string got) (ty_to_string formal))
+    formal_tys actuals
+
+(* Compile [e] as a condition: fall through when false, jump to
+   [jump_if_true] when true.  Comparisons compile to a single conditional
+   branch; short-circuit operators compile structurally. *)
+and compile_cond sc (e : expr) ~jump_if_true =
+  let m = sc.meth in
+  match e with
+  | Cmp (c, a, b) -> (
+      let ta = compile_expr sc a in
+      let tb = compile_expr sc b in
+      match (ta, tb) with
+      | I, I -> Builder.if_icmp m (instr_cond c) jump_if_true
+      | F, F ->
+          Builder.i m Instr.Fcmp;
+          Builder.ifz m (instr_cond c) jump_if_true
+      | _ ->
+          type_error "%s: comparison of %s and %s" sc.mname (ty_to_string ta)
+            (ty_to_string tb))
+  | Not a ->
+      let l_false = Builder.new_label m in
+      compile_cond sc a ~jump_if_true:l_false;
+      Builder.goto m jump_if_true;
+      Builder.place m l_false
+  | And_also (a, b) ->
+      let l_false = Builder.new_label m in
+      (* a false -> skip b *)
+      compile_cond sc (Not a) ~jump_if_true:l_false;
+      compile_cond sc b ~jump_if_true;
+      Builder.place m l_false
+  | Or_else (a, b) ->
+      compile_cond sc a ~jump_if_true;
+      compile_cond sc b ~jump_if_true
+  | Cint _ | Cflt _ | Cnull | Var _ | Bin _ | Neg _ | I2f_ _ | F2i_ _
+  | Call _ | Vcall _ | New_obj _ | Getf _ | New_arr _ | Idx _ | Len _
+  | Is_instance _ ->
+      let ty = compile_expr sc e in
+      if not (ty_is_boolish ty) then
+        type_error "%s: condition must be int-valued" sc.mname;
+      Builder.ifz m Instr.Ne jump_if_true
+
+let rec compile_stmt sc (s : stmt) =
+  let m = sc.meth in
+  match s with
+  | Decl (name, ty, init) ->
+      let got = compile_expr sc init in
+      if not (ty_equal ty got) then
+        type_error "%s: local %s declared %s, initialized with %s" sc.mname
+          name (ty_to_string ty) (ty_to_string got);
+      let slot = declare_local sc name ty in
+      Builder.i m (store_instr ty slot)
+  | Set (name, e) ->
+      let slot, ty = lookup_local sc name in
+      (* iinc peephole: v = v + k compiles to a single instruction, like
+         javac does; keeps hot loop blocks realistic. *)
+      (match (ty, e) with
+      | I, Bin (Add, Var v, Cint k) when String.equal v name ->
+          Builder.iinc m slot k
+      | I, Bin (Sub, Var v, Cint k) when String.equal v name ->
+          Builder.iinc m slot (-k)
+      | _ ->
+          let got = compile_expr sc e in
+          if not (ty_equal ty got) then
+            type_error "%s: assigning %s to local %s of type %s" sc.mname
+              (ty_to_string got) name (ty_to_string ty);
+          Builder.i m (store_instr ty slot))
+  | Set_idx (arr, idx, v) -> (
+      let ta = compile_expr sc arr in
+      let ti = compile_expr sc idx in
+      if ti <> I then type_error "%s: array index must be int" sc.mname;
+      match ta with
+      | Arr elem ->
+          let tv = compile_expr sc v in
+          if not (ty_equal elem tv) then
+            type_error "%s: storing %s into %s array" sc.mname
+              (ty_to_string tv) (ty_to_string elem);
+          Builder.i m (arr_store_instr elem)
+      | I | F | R -> type_error "%s: indexed store to non-array" sc.mname)
+  | Setf (cname, fname, recv, v) -> (
+      (match compile_expr sc recv with
+      | R | Arr _ -> ()
+      | I | F -> type_error "%s: putfield on non-reference" sc.mname);
+      let tv = compile_expr sc v in
+      match field_type sc.env cname fname with
+      | None -> type_error "%s: class %s has no field %s" sc.mname cname fname
+      | Some fty ->
+          if not (ty_equal fty tv) then
+            type_error "%s: storing %s into field %s.%s of type %s" sc.mname
+              (ty_to_string tv) cname fname (ty_to_string fty);
+          Builder.putfield m cname fname)
+  | If (cond, then_, else_) ->
+      let l_then = Builder.new_label m in
+      let l_end = Builder.new_label m in
+      compile_cond sc cond ~jump_if_true:l_then;
+      List.iter (compile_stmt sc) else_;
+      Builder.goto m l_end;
+      Builder.place m l_then;
+      List.iter (compile_stmt sc) then_;
+      Builder.place m l_end
+  | While (cond, body) ->
+      (* bottom-tested: goto test; body: ...; test: cond -> body *)
+      let l_body = Builder.new_label m in
+      let l_test = Builder.new_label m in
+      let l_break = Builder.new_label m in
+      Builder.goto m l_test;
+      Builder.place m l_body;
+      sc.loop_stack <- (l_break, l_test) :: sc.loop_stack;
+      List.iter (compile_stmt sc) body;
+      sc.loop_stack <- List.tl sc.loop_stack;
+      Builder.place m l_test;
+      compile_cond sc cond ~jump_if_true:l_body;
+      Builder.place m l_break
+  | Do_while (body, cond) ->
+      let l_body = Builder.new_label m in
+      let l_test = Builder.new_label m in
+      let l_break = Builder.new_label m in
+      Builder.place m l_body;
+      sc.loop_stack <- (l_break, l_test) :: sc.loop_stack;
+      List.iter (compile_stmt sc) body;
+      sc.loop_stack <- List.tl sc.loop_stack;
+      Builder.place m l_test;
+      compile_cond sc cond ~jump_if_true:l_body;
+      Builder.place m l_break
+  | For (var, lo, hi, body) ->
+      (* continue must reach the increment, so the loop gets its own
+         continue label rather than reusing While's test label *)
+      let got = compile_expr sc lo in
+      if got <> I then type_error "%s: for-loop bound must be int" sc.mname;
+      let slot = declare_local sc var I in
+      Builder.i m (Instr.Istore slot);
+      let l_body = Builder.new_label m in
+      let l_cont = Builder.new_label m in
+      let l_test = Builder.new_label m in
+      let l_break = Builder.new_label m in
+      Builder.goto m l_test;
+      Builder.place m l_body;
+      sc.loop_stack <- (l_break, l_cont) :: sc.loop_stack;
+      List.iter (compile_stmt sc) body;
+      sc.loop_stack <- List.tl sc.loop_stack;
+      Builder.place m l_cont;
+      Builder.i m (Instr.Iinc (slot, 1));
+      Builder.place m l_test;
+      compile_cond sc (Cmp (Clt, Var var, hi)) ~jump_if_true:l_body;
+      Builder.place m l_break
+  | Switch (scrutinee, cases, default) ->
+      let ts = compile_expr sc scrutinee in
+      if ts <> I then type_error "%s: switch on non-int" sc.mname;
+      let keys = List.map fst cases in
+      (match keys with
+      | [] -> type_error "%s: switch with no cases" sc.mname
+      | k0 :: rest ->
+          let low = List.fold_left min k0 rest in
+          let high = List.fold_left max k0 rest in
+          if high - low > 4096 then
+            type_error "%s: switch range too sparse" sc.mname;
+          let l_default = Builder.new_label m in
+          let l_end = Builder.new_label m in
+          let targets =
+            Array.init (high - low + 1) (fun i ->
+                match List.assoc_opt (low + i) cases with
+                | Some _ -> Builder.new_label m
+                | None -> l_default)
+          in
+          Builder.tableswitch m ~low ~targets ~default:l_default;
+          List.iter
+            (fun (k, body) ->
+              Builder.place m targets.(k - low);
+              List.iter (compile_stmt sc) body;
+              Builder.goto m l_end)
+            cases;
+          Builder.place m l_default;
+          List.iter (compile_stmt sc) default;
+          Builder.place m l_end)
+  | Ret None ->
+      if sc.ret <> None then
+        type_error "%s: missing return value" sc.mname;
+      Builder.i m Instr.Return
+  | Ret (Some e) -> (
+      let got = compile_expr sc e in
+      match sc.ret with
+      | None -> type_error "%s: returning a value from a void method" sc.mname
+      | Some want ->
+          if not (ty_equal want got) then
+            type_error "%s: returning %s, expected %s" sc.mname
+              (ty_to_string got) (ty_to_string want);
+          let ins =
+            match want with
+            | I -> Instr.Ireturn
+            | F -> Instr.Freturn
+            | R | Arr _ -> Instr.Areturn
+          in
+          Builder.i m ins)
+  | Ignore e -> (
+      (* void calls are allowed here; anything else is popped *)
+      match e with
+      | Call (name, args) when call_is_void sc name ->
+          let s, _ = Hashtbl.find sc.env.sigs name in
+          compile_args sc name s.sig_args args;
+          Builder.invokestatic m name
+      | Vcall (sel, recv, args) when selector_is_void sc sel ->
+          let s = Hashtbl.find sc.env.sel_sigs sel in
+          ignore (compile_expr sc recv);
+          compile_args sc sel s.sig_args args;
+          Builder.invokevirtual m sel
+      | _ ->
+          ignore (compile_expr sc e);
+          Builder.i m Instr.Pop)
+  | Break -> (
+      match sc.loop_stack with
+      | (l_break, _) :: _ -> Builder.goto m l_break
+      | [] -> type_error "%s: break outside a loop" sc.mname)
+  | Continue -> (
+      match sc.loop_stack with
+      | (_, l_cont) :: _ -> Builder.goto m l_cont
+      | [] -> type_error "%s: continue outside a loop" sc.mname)
+  | Throw e -> (
+      match compile_expr sc e with
+      | R | Arr _ -> Builder.athrow m
+      | I | F -> type_error "%s: throwing a non-reference" sc.mname)
+  | Try (body, cls, var, catch) ->
+      (* protect [body]; on an exception of class [cls] (or subclass),
+         bind it to [var] and run [catch].  Inner regions register their
+         handlers first, giving innermost-first search order. *)
+      let l_start = Builder.new_label m in
+      let l_end = Builder.new_label m in
+      let l_handler = Builder.new_label m in
+      let l_done = Builder.new_label m in
+      Builder.place m l_start;
+      (* a region must be non-empty for the handler range to be valid *)
+      Builder.i m Instr.Nop;
+      List.iter (compile_stmt sc) body;
+      Builder.place m l_end;
+      Builder.goto m l_done;
+      Builder.place m l_handler;
+      let slot = declare_local sc var R in
+      Builder.i m (Instr.Astore slot);
+      List.iter (compile_stmt sc) catch;
+      Builder.place m l_done;
+      Builder.add_handler m ~from_:l_start ~to_:l_end ~target:l_handler ~cls
+
+and call_is_void sc name =
+  match Hashtbl.find_opt sc.env.sigs name with
+  | Some (s, _) -> s.sig_ret = None
+  | None -> false
+
+and selector_is_void sc sel =
+  match Hashtbl.find_opt sc.env.sel_sigs sel with
+  | Some s -> s.sig_ret = None
+  | None -> false
+
+(* Count the local slots a body will need: arguments plus every Decl/For. *)
+let rec count_decls stmts =
+  List.fold_left
+    (fun acc s ->
+      acc
+      +
+      match s with
+      | Decl _ -> 1
+      | For (_, _, _, body) -> 1 + count_decls body
+      | If (_, a, b) -> count_decls a + count_decls b
+      | While (_, b) | Do_while (b, _) -> count_decls b
+      | Switch (_, cases, d) ->
+          List.fold_left (fun a (_, b) -> a + count_decls b) (count_decls d)
+            cases
+      | Try (body, _, _, catch) -> count_decls body + 1 + count_decls catch
+      | Set _ | Set_idx _ | Setf _ | Ret _ | Ignore _ | Break | Continue
+      | Throw _ ->
+          0)
+    0 stmts
+
+let compile_method env (b : Builder.t) (d : method_def) =
+  let args =
+    match d.d_kind with
+    | Mthd.Static -> d.d_args
+    | Mthd.Virtual -> ("this", R) :: d.d_args
+  in
+  let n_args = List.length args in
+  let n_locals = n_args + count_decls d.d_body in
+  let returns =
+    match d.d_ret with
+    | None -> Mthd.Rvoid
+    | Some I -> Mthd.Rint
+    | Some F -> Mthd.Rfloat
+    | Some (R | Arr _) -> Mthd.Rref
+  in
+  let meth =
+    Builder.begin_method b ~name:d.d_name ~kind:d.d_kind ~returns ~n_args
+      ~n_locals ()
+  in
+  let sc =
+    {
+      env;
+      meth;
+      locals = Hashtbl.create 16;
+      next_slot = 0;
+      ret = d.d_ret;
+      mname = d.d_name;
+      loop_stack = [];
+    }
+  in
+  List.iter (fun (name, ty) -> ignore (declare_local sc name ty)) args;
+  List.iter (compile_stmt sc) d.d_body;
+  (* implicit return for void methods falling off the end *)
+  (match d.d_ret with
+  | None -> Builder.i meth Instr.Return
+  | Some _ ->
+      (* a value-returning method must return on every path; emit a
+         defensive zero return so the verifier sees a terminator. *)
+      (match d.d_ret with
+      | Some I ->
+          Builder.iconst meth 0;
+          Builder.i meth Instr.Ireturn
+      | Some F ->
+          Builder.fconst meth 0.0;
+          Builder.i meth Instr.Freturn
+      | Some (R | Arr _) ->
+          Builder.i meth Instr.Aconst_null;
+          Builder.i meth Instr.Areturn
+      | None -> ()));
+  Builder.finish_method meth
+
+let kind_of_ty = function
+  | I -> Klass.Kint
+  | F -> Klass.Kfloat
+  | R | Arr _ -> Klass.Kref
+
+let link (t : t) ~entry : Program.t =
+  let env = build_link_env t in
+  let b = Builder.create () in
+  List.iter
+    (fun c ->
+      Builder.declare_class b ~name:c.k_name ?super:c.k_super
+        ~fields:(List.map (fun (f, ty) -> (f, kind_of_ty ty)) c.k_fields)
+        ~methods:c.k_methods ())
+    (List.rev t.cdefs);
+  List.iter (fun d -> compile_method env b d) (List.rev t.defs);
+  Builder.link b ~entry

@@ -1,0 +1,1 @@
+lib/cfg/block.ml: Array Bytecode Format Printf

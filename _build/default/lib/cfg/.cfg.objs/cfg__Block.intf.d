@@ -1,0 +1,1 @@
+lib/cfg/block.mli: Bytecode Format

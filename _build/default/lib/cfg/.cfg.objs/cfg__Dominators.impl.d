@@ -1,0 +1,1 @@
+lib/cfg/dominators.ml: Array Bytecode Hashtbl List Method_cfg

@@ -1,0 +1,1 @@
+lib/cfg/dot.ml: Array Block Buffer Bytecode List Method_cfg Printf String

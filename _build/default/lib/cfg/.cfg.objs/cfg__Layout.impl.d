@@ -1,0 +1,1 @@
+lib/cfg/layout.ml: Array Block Bytecode Format Method_cfg Printf

@@ -1,0 +1,1 @@
+lib/cfg/layout.mli: Block Bytecode Format Method_cfg

@@ -1,0 +1,1 @@
+lib/cfg/method_cfg.ml: Array Block Bytecode Format List Printf String

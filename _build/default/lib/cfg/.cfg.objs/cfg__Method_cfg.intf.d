@@ -1,0 +1,1 @@
+lib/cfg/method_cfg.mli: Block Bytecode Format

@@ -1,0 +1,31 @@
+module Instr = Bytecode.Instr
+module Mthd = Bytecode.Mthd
+module Klass = Bytecode.Klass
+module Program = Bytecode.Program
+
+(* Graphviz export of a method CFG, for debugging and documentation. *)
+
+let method_to_dot (cfg : Method_cfg.t) : string =
+  let buf = Buffer.create 1024 in
+  let name = cfg.Method_cfg.method_.Mthd.name in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" name);
+  Buffer.add_string buf "  node [shape=box, fontname=\"monospace\"];\n";
+  Array.iteri
+    (fun i b ->
+      let code = cfg.Method_cfg.method_.Mthd.code in
+      let lines = ref [] in
+      for pc = Block.end_pc b - 1 downto b.Block.start_pc do
+        lines := Printf.sprintf "%d: %s" pc (Instr.to_string code.(pc)) :: !lines
+      done;
+      Buffer.add_string buf
+        (Printf.sprintf "  b%d [label=\"B%d\\l%s\\l\"];\n" i i
+           (String.concat "\\l" !lines)))
+    cfg.Method_cfg.blocks;
+  Array.iteri
+    (fun i b ->
+      List.iter
+        (fun s -> Buffer.add_string buf (Printf.sprintf "  b%d -> b%d;\n" i s))
+        (Method_cfg.successors cfg b))
+    cfg.Method_cfg.blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

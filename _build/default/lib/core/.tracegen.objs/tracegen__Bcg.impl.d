@@ -1,0 +1,1 @@
+lib/core/bcg.ml: Cfg Config Format Hashtbl List Printf State String

@@ -1,0 +1,1 @@
+lib/core/bcg.mli: Cfg Config Format Hashtbl State

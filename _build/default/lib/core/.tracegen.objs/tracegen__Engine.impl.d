@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Bcg Cfg Config Profiler Stats Trace Trace_builder Trace_cache Unix Vm

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Cfg Config Profiler Stats Trace Trace_cache Vm

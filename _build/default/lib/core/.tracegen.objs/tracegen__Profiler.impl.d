@@ -1,0 +1,1 @@
+lib/core/profiler.ml: Bcg Cfg Config

@@ -1,0 +1,1 @@
+lib/core/profiler.mli: Bcg Cfg Config

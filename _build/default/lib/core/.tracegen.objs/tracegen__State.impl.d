@@ -1,0 +1,1 @@
+lib/core/state.ml: Format

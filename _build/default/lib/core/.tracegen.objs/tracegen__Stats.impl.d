@@ -1,0 +1,1 @@
+lib/core/stats.ml: Format

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array Cfg Format Printf String

@@ -1,0 +1,1 @@
+lib/core/trace_builder.ml: Array Bcg Cfg Config Hashtbl List State Trace_cache

@@ -1,0 +1,1 @@
+lib/core/trace_builder.mli: Bcg Config Trace_cache

@@ -1,0 +1,1 @@
+lib/core/trace_optimizer.ml: Array Bytecode Cfg Hashtbl List Trace

@@ -1,0 +1,1 @@
+lib/core/trace_optimizer.mli: Bytecode Cfg Trace

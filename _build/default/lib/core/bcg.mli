@@ -1,0 +1,110 @@
+(** The branch correlation graph (paper §3.5, §4.1) — effectively a
+    depth-one per-address branch history table.
+
+    There is one node [N_XY] for every pair of basic blocks [(X, Y)]
+    observed executing in sequence, and one edge [E_XYZ] from [N_XY] to
+    [N_YZ] for every observed triple: the edge counter measures how often
+    branch [(Y, Z)] follows branch [(X, Y)].
+
+    Counters are 16-bit and saturating; one observation is worth
+    {!event_weight} counter units, so a single observation survives
+    [log2 event_weight] decay shifts — the paper's 2048-execution history
+    clearing.  Every {!Config.t.decay_period} executions of a node its
+    edge weights are shifted right one bit and dead edges are pruned;
+    during decay the node's state and maximally correlated successor are
+    re-evaluated and changes are signalled to the trace cache. *)
+
+type node = {
+  n_x : Cfg.Layout.gid;
+  n_y : Cfg.Layout.gid;
+  mutable exec_total : int;  (** lifetime executions, for statistics *)
+  mutable delay_left : int;  (** start-state countdown *)
+  mutable since_decay : int;
+  mutable state : State.t;
+  mutable edges : edge list;
+      (** successor correlations; real programs keep this short *)
+  mutable best : edge option;
+      (** inline cache: the successor currently believed most likely *)
+  mutable best_at_recheck : Cfg.Layout.gid;
+      (** snapshot of the maximally correlated successor at the last
+          recheck; the "best changed" signal compares against this, not
+          the live inline cache (-1 = none) *)
+  mutable preds : node list;  (** nodes with an edge into this one *)
+}
+
+and edge = {
+  e_z : Cfg.Layout.gid;  (** the successor block: this edge targets [N_YZ] *)
+  e_target : node;
+  mutable weight : int;
+}
+
+type signal = {
+  s_node : node;
+  s_old_state : State.t;
+  s_new_state : State.t;
+  s_best_changed : bool;
+}
+(** Raised when a branch crossed the followable boundary or a followable
+    branch's maximally correlated successor changed (paper §4.1.1). *)
+
+type t = {
+  config : Config.t;
+  n_blocks : int;
+  nodes : (int, node) Hashtbl.t;
+  on_signal : signal -> unit;
+  mutable node_count : int;
+  mutable edge_count : int;
+  mutable decays : int;
+  mutable signals : int;
+}
+
+val event_weight : int
+(** Counter units per observed branch event (256, so a 16-bit counter
+    holds 256 events and one event takes 8 decay shifts to clear). *)
+
+val create : Config.t -> n_blocks:int -> on_signal:(signal -> unit) -> t
+
+val find_node : t -> x:Cfg.Layout.gid -> y:Cfg.Layout.gid -> node option
+(** Lookup without creation (used to resynchronize after traces). *)
+
+val visit_node : t -> x:Cfg.Layout.gid -> y:Cfg.Layout.gid -> node
+(** Record one execution of branch [(x, y)]: finds or lazily creates the
+    node, counts down the start-state delay (promoting and re-evaluating
+    when it elapses), and runs periodic decay. *)
+
+val record_successor : t -> ctx:node -> target:node -> unit
+(** Record that [target]'s branch followed [ctx]'s branch: bump or create
+    the correlation edge, saturating, and keep [ctx]'s inline cache
+    current. *)
+
+val find_edge : node -> Cfg.Layout.gid -> edge option
+
+val total_weight : node -> int
+(** Sum of outgoing edge weights: the denominator of every correlation. *)
+
+val correlation : node -> edge -> float
+(** The probability of taking the edge's branch given the node's branch
+    was just taken: [weight / total_weight], in [0, 1]. *)
+
+val best_edge : node -> edge option
+(** The heaviest outgoing edge right now. *)
+
+val evaluate_state : t -> node -> State.t * edge option
+(** Classify a hot node from its current edges (does not mutate). *)
+
+val recheck : t -> node -> unit
+(** Re-evaluate state and maximally correlated successor, updating the
+    node and signalling the trace cache if anything it acts on changed.
+    Runs at start-state promotion and during decay. *)
+
+val decay : t -> node -> unit
+(** One periodic exponential decay pass: halve this node's edge weights,
+    prune dead edges, then {!recheck}. *)
+
+val iter_nodes : t -> (node -> unit) -> unit
+
+val n_nodes : t -> int
+
+val n_edges : t -> int
+
+val pp_node : Cfg.Layout.t -> Format.formatter -> node -> unit

@@ -1,0 +1,53 @@
+(* Parameters of the profiling and trace-generation algorithm (paper §5.2).
+
+   The two the paper sweeps are [start_state_delay] (1 / 64 / 4096) and
+   [threshold] (1.00 / 0.99 / 0.98 / 0.97 / 0.95); the rest are the fixed
+   constants the paper states: 256-dispatch decay period and 16-bit
+   counters. *)
+
+type t = {
+  start_state_delay : int;
+      (* executions before a branch node leaves the newly-created state;
+         filters rarely executed code *)
+  threshold : float;
+      (* minimum expected trace completion probability, and the
+         strong/weak correlation boundary *)
+  decay_period : int; (* node executions between exponential decay passes *)
+  counter_max : int; (* saturation value of the 16-bit counters *)
+  max_trace_blocks : int; (* defensive cap on trace length *)
+  min_trace_blocks : int; (* traces shorter than this are not cached *)
+  max_walk : int; (* cap on maximum-likelihood walk length *)
+  max_backtrack : int; (* cap on entry-point backtracking depth *)
+  build_traces : bool; (* false = profile-only run (Table VI) *)
+}
+
+let default =
+  {
+    start_state_delay = 64;
+    threshold = 0.97;
+    decay_period = 256;
+    counter_max = 65535;
+    max_trace_blocks = 64;
+    min_trace_blocks = 2;
+    max_walk = 256;
+    max_backtrack = 128;
+    build_traces = true;
+  }
+
+let validate t =
+  if t.start_state_delay < 1 then invalid_arg "start_state_delay < 1";
+  if t.threshold <= 0.0 || t.threshold > 1.0 then
+    invalid_arg "threshold out of (0, 1]";
+  if t.decay_period < 2 then invalid_arg "decay_period < 2";
+  if t.counter_max < 2 then invalid_arg "counter_max < 2";
+  if t.min_trace_blocks < 2 then invalid_arg "min_trace_blocks < 2";
+  if t.max_trace_blocks < t.min_trace_blocks then
+    invalid_arg "max_trace_blocks < min_trace_blocks"
+
+let with_threshold t threshold = { t with threshold }
+
+let with_delay t start_state_delay = { t with start_state_delay }
+
+let pp ppf t =
+  Format.fprintf ppf "delay=%d threshold=%.2f decay=%d" t.start_state_delay
+    t.threshold t.decay_period

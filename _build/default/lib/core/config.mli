@@ -1,0 +1,46 @@
+(** Parameters of the profiling and trace-generation algorithm (paper
+    §5.2).
+
+    The two parameters the paper sweeps are {!field:start_state_delay}
+    (1 / 64 / 4096) and {!field:threshold} (1.00 … 0.95); the rest are the
+    constants the paper fixes: a 256-dispatch decay period and 16-bit
+    saturating counters. *)
+
+type t = {
+  start_state_delay : int;
+      (** Executions before a branch node leaves the newly-created state;
+          filters rarely executed code.  Paper values: 1, 64, 4096. *)
+  threshold : float;
+      (** Minimum expected trace completion probability, in (0, 1].  Also
+          the strong/weak correlation boundary.  Paper values: 1.00, 0.99,
+          0.98, 0.97 (best), 0.95. *)
+  decay_period : int;
+      (** Node executions between periodic exponential decay passes
+          (paper: 256). *)
+  counter_max : int;
+      (** Saturation value of the correlation counters (paper: 16-bit,
+          65535). *)
+  max_trace_blocks : int;  (** Defensive cap on trace length in blocks. *)
+  min_trace_blocks : int;
+      (** Traces shorter than this are not cached (a 1-block trace is a
+          no-op). *)
+  max_walk : int;  (** Cap on the maximum-likelihood walk length. *)
+  max_backtrack : int;  (** Cap on entry-point backtracking depth. *)
+  build_traces : bool;
+      (** When [false] the engine profiles every dispatch but never builds
+          or dispatches traces — the configuration of the paper's Table VI
+          overhead measurement. *)
+}
+
+val default : t
+(** The paper's preferred operating point: delay 64, threshold 0.97,
+    decay 256, 16-bit counters. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on out-of-range parameters. *)
+
+val with_threshold : t -> float -> t
+
+val with_delay : t -> int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,229 @@
+module Layout = Cfg.Layout
+module Interp = Vm.Interp
+
+(* The complete system: the VM's block-dispatch stream drives the profiler;
+   profiler signals drive trace reconstruction; and the trace cache overlays
+   trace dispatch onto the stream.
+
+   Dispatch accounting mirrors the modified SableVM:
+
+   - a block dispatched outside any trace executes the profiler hook and
+     counts as one block dispatch;
+   - a dispatch that enters a trace executes the hook once and counts as
+     one *trace* dispatch; the blocks the trace then executes internally
+     are inlined — no dispatch, no hook;
+   - when execution diverges from the trace (side exit) or the trace
+     completes, the profiler context is resynchronized to the last two
+     executed blocks and normal dispatching resumes. *)
+
+type t = {
+  config : Config.t;
+  layout : Layout.t;
+  profiler : Profiler.t;
+  cache : Trace_cache.t;
+  (* trace execution state *)
+  mutable active : Trace.t option;
+  mutable active_pos : int; (* index of the next expected block *)
+  mutable matched_blocks : int;
+  mutable matched_instrs : int;
+  (* last two blocks actually executed, traces included *)
+  mutable prev : Layout.gid;
+  mutable prev2 : Layout.gid;
+  (* accounting *)
+  mutable block_dispatches : int;
+  mutable trace_dispatches : int;
+  mutable traces_entered : int;
+  mutable traces_completed : int;
+  mutable completed_blocks : int;
+  mutable partial_blocks : int;
+  mutable completed_instrs : int;
+  mutable partial_instrs : int;
+  mutable traces_constructed : int;
+  mutable builder_reuses : int;
+  mutable chained_entries : int;
+    (* trace entries whose previous dispatch completed another trace:
+       the dispatch-level view of Dynamo-style trace linking *)
+  mutable just_completed : bool;
+}
+
+let create ?(config = Config.default) (layout : Layout.t) : t =
+  let cache = Trace_cache.create layout in
+  (* The profiler's signal callback closes over the engine; tie the knot
+     with a forward reference. *)
+  let engine = ref None in
+  let on_signal signal =
+    match !engine with
+    | None -> ()
+    | Some e ->
+        if e.config.Config.build_traces then begin
+          let outcome =
+            Trace_builder.on_signal e.config e.cache signal
+          in
+          e.traces_constructed <-
+            e.traces_constructed + outcome.Trace_builder.new_traces;
+          e.builder_reuses <-
+            e.builder_reuses + outcome.Trace_builder.reused_traces
+        end
+  in
+  let profiler =
+    Profiler.create config ~n_blocks:layout.Layout.n_blocks ~on_signal
+  in
+  let e =
+    {
+      config;
+      layout;
+      profiler;
+      cache;
+      active = None;
+      active_pos = 0;
+      matched_blocks = 0;
+      matched_instrs = 0;
+      prev = -1;
+      prev2 = -1;
+      block_dispatches = 0;
+      trace_dispatches = 0;
+      traces_entered = 0;
+      traces_completed = 0;
+      completed_blocks = 0;
+      partial_blocks = 0;
+      completed_instrs = 0;
+      partial_instrs = 0;
+      traces_constructed = 0;
+      builder_reuses = 0;
+      chained_entries = 0;
+      just_completed = false;
+    }
+  in
+  engine := Some e;
+  e
+
+let note_executed t g =
+  t.prev2 <- t.prev;
+  t.prev <- g
+
+(* End the active trace after a completion. *)
+let finish_completed t (tr : Trace.t) =
+  t.just_completed <- true;
+  tr.Trace.completed <- tr.Trace.completed + 1;
+  t.traces_completed <- t.traces_completed + 1;
+  t.completed_blocks <- t.completed_blocks + Trace.n_blocks tr;
+  t.completed_instrs <- t.completed_instrs + tr.Trace.total_instrs;
+  t.active <- None;
+  (* the profiler missed the trace interior: reposition its context at the
+     trace's final branch *)
+  Profiler.resync t.profiler ~x:t.prev2 ~y:t.prev
+
+(* End the active trace after a side exit; the mismatching block has not
+   been processed yet. *)
+let finish_partial t (tr : Trace.t) =
+  t.just_completed <- false;
+  tr.Trace.partial_exits <- tr.Trace.partial_exits + 1;
+  tr.Trace.partial_instrs <- tr.Trace.partial_instrs + t.matched_instrs;
+  t.partial_blocks <- t.partial_blocks + t.matched_blocks;
+  t.partial_instrs <- t.partial_instrs + t.matched_instrs;
+  t.active <- None;
+  Profiler.resync t.profiler ~x:t.prev2 ~y:t.prev
+
+(* Process one dispatched block outside any trace: either it enters a
+   trace (trace dispatch) or it is an ordinary block dispatch. *)
+let dispatch_outside t g =
+  match
+    if t.config.Config.build_traces then
+      Trace_cache.lookup t.cache ~prev:t.prev ~cur:g
+    else None
+  with
+  | Some tr ->
+      t.trace_dispatches <- t.trace_dispatches + 1;
+      t.traces_entered <- t.traces_entered + 1;
+      if t.just_completed then t.chained_entries <- t.chained_entries + 1;
+      t.just_completed <- false;
+      tr.Trace.entered <- tr.Trace.entered + 1;
+      (* the single profiling statement of a trace dispatch *)
+      Profiler.dispatch t.profiler g;
+      note_executed t g;
+      t.matched_blocks <- 1;
+      t.matched_instrs <- tr.Trace.instr_len.(0);
+      if Trace.n_blocks tr = 1 then begin
+        (* degenerate single-block trace: completes immediately *)
+        t.active <- None;
+        finish_completed t tr
+      end
+      else begin
+        t.active <- Some tr;
+        t.active_pos <- 1
+      end
+  | None ->
+      t.block_dispatches <- t.block_dispatches + 1;
+      t.just_completed <- false;
+      Profiler.dispatch t.profiler g;
+      note_executed t g
+
+(* The VM observer: called at every basic-block dispatch. *)
+let rec on_block t (g : Layout.gid) =
+  match t.active with
+  | None -> dispatch_outside t g
+  | Some tr ->
+      let expected = tr.Trace.blocks.(t.active_pos) in
+      if g = expected then begin
+        note_executed t g;
+        t.matched_blocks <- t.matched_blocks + 1;
+        t.matched_instrs <- t.matched_instrs + tr.Trace.instr_len.(t.active_pos);
+        if t.active_pos = Trace.n_blocks tr - 1 then finish_completed t tr
+        else t.active_pos <- t.active_pos + 1
+      end
+      else begin
+        (* side exit: leave the trace, then process g normally (it may
+           itself enter another trace) *)
+        finish_partial t tr;
+        on_block t g
+      end
+
+(* Assemble final statistics. *)
+let stats t ~(vm_result : Interp.result) ~wall_seconds : Stats.t =
+  let bcg = Profiler.bcg t.profiler in
+  let static_traces = ref 0 in
+  let static_blocks = ref 0 in
+  Trace_cache.iter_all t.cache (fun tr ->
+      if tr.Trace.completed > 0 then begin
+        incr static_traces;
+        static_blocks := !static_blocks + Trace.n_blocks tr
+      end);
+  {
+    Stats.instructions = vm_result.Interp.instructions;
+    block_dispatches = t.block_dispatches;
+    trace_dispatches = t.trace_dispatches;
+    traces_entered = t.traces_entered;
+    traces_completed = t.traces_completed;
+    completed_blocks = t.completed_blocks;
+    partial_blocks = t.partial_blocks;
+    completed_instrs = t.completed_instrs;
+    partial_instrs = t.partial_instrs;
+    signals = Profiler.signals t.profiler;
+    traces_constructed = t.traces_constructed;
+    traces_replaced = Trace_cache.n_replaced t.cache;
+    traces_live = Trace_cache.n_live t.cache;
+    static_traces = !static_traces;
+    static_blocks = !static_blocks;
+    bcg_nodes = Bcg.n_nodes bcg;
+    bcg_edges = Bcg.n_edges bcg;
+    ic_predictions = Profiler.predictions t.profiler;
+    chained_entries = t.chained_entries;
+    wall_seconds;
+  }
+
+type run_result = {
+  engine : t;
+  vm_result : Interp.result;
+  run_stats : Stats.t;
+}
+
+(* Run a program under the full system. *)
+let run ?(config = Config.default) ?max_instructions (layout : Layout.t) :
+    run_result =
+  let engine = create ~config layout in
+  let t0 = Unix.gettimeofday () in
+  let vm_result =
+    Interp.run ?max_instructions layout ~on_block:(fun g -> on_block engine g)
+  in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  { engine; vm_result; run_stats = stats engine ~vm_result ~wall_seconds }

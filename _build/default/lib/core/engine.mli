@@ -1,0 +1,61 @@
+(** The complete system: VM + profiler + trace cache (paper §4).
+
+    The VM's block-dispatch stream drives the profiler; profiler signals
+    drive trace reconstruction; and the trace cache overlays trace
+    dispatch onto the stream.  Dispatch accounting mirrors the modified
+    SableVM:
+
+    - a block dispatched outside any trace executes the profiler hook and
+      counts as one {e block dispatch};
+    - a dispatch whose transition enters a trace executes the hook once
+      and counts as one {e trace dispatch}; the trace's interior blocks
+      are inlined — no dispatch, no hook;
+    - on a side exit or completion the profiler context is
+      resynchronized to the last two executed blocks and normal
+      dispatching resumes.
+
+    Tracing is a pure overlay: results and instruction counts are
+    identical with and without it. *)
+
+type t = {
+  config : Config.t;
+  layout : Cfg.Layout.t;
+  profiler : Profiler.t;
+  cache : Trace_cache.t;
+  mutable active : Trace.t option;
+  mutable active_pos : int;
+  mutable matched_blocks : int;
+  mutable matched_instrs : int;
+  mutable prev : Cfg.Layout.gid;
+  mutable prev2 : Cfg.Layout.gid;
+  mutable block_dispatches : int;
+  mutable trace_dispatches : int;
+  mutable traces_entered : int;
+  mutable traces_completed : int;
+  mutable completed_blocks : int;
+  mutable partial_blocks : int;
+  mutable completed_instrs : int;
+  mutable partial_instrs : int;
+  mutable traces_constructed : int;
+  mutable builder_reuses : int;
+  mutable chained_entries : int;
+  mutable just_completed : bool;
+}
+
+val create : ?config:Config.t -> Cfg.Layout.t -> t
+
+val on_block : t -> Cfg.Layout.gid -> unit
+(** The VM observer: feed one dispatched block.  Exposed so the engine
+    can be driven by any block stream (the baselines and tests do). *)
+
+val stats : t -> vm_result:Vm.Interp.result -> wall_seconds:float -> Stats.t
+
+type run_result = {
+  engine : t;
+  vm_result : Vm.Interp.result;
+  run_stats : Stats.t;
+}
+
+val run :
+  ?config:Config.t -> ?max_instructions:int -> Cfg.Layout.t -> run_result
+(** Execute the program under the full system and collect statistics. *)

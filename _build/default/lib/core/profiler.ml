@@ -1,0 +1,76 @@
+module Layout = Cfg.Layout
+
+(* The profiling mechanism (paper §4.1.2).
+
+   The interpreter's hook into the profiler is the *branch context*: the
+   BCG node for the last branch taken.  Cached in the context is the
+   address of the block believed most likely to be dispatched next (the
+   inline cache).  On each profiled dispatch of block [z]:
+
+   - if the inline cache predicts [z], only counters move (fast path);
+   - otherwise the context's successor list is searched and, if the branch
+     has never been seen in this context, a new correlation edge is
+     lazily constructed;
+   - the new branch context is then loaded through the correlation's
+     target pointer.
+
+   Trace dispatch executes this hook once per *trace*; the engine calls
+   [resync] after a trace ends so the context reflects the trace's last
+   branch without the interior blocks having been profiled. *)
+
+type t = {
+  bcg : Bcg.t;
+  mutable last : Layout.gid; (* previously dispatched block, -1 at start *)
+  mutable ctx : Bcg.node option; (* node N(last', last) *)
+  mutable dispatches : int; (* profiled dispatches = hook executions *)
+  mutable predictions : int; (* inline-cache hits, for overhead modeling *)
+}
+
+let create (config : Config.t) ~n_blocks ~on_signal =
+  {
+    bcg = Bcg.create config ~n_blocks ~on_signal;
+    last = -1;
+    ctx = None;
+    dispatches = 0;
+    predictions = 0;
+  }
+
+let bcg t = t.bcg
+
+let dispatches t = t.dispatches
+
+let signals t = t.bcg.Bcg.signals
+
+let predictions t = t.predictions
+
+(* One profiled dispatch of block [z]. *)
+let dispatch t (z : Layout.gid) =
+  t.dispatches <- t.dispatches + 1;
+  let y = t.last in
+  if y >= 0 then begin
+    (* the branch (y, z) was just taken: visit its node *)
+    let target = Bcg.visit_node t.bcg ~x:y ~y:z in
+    (match t.ctx with
+    | Some ctx ->
+        (* inline-cache accounting: did the cached best successor predict
+           this block? *)
+        (match ctx.Bcg.best with
+        | Some e when e.Bcg.e_z = z -> t.predictions <- t.predictions + 1
+        | Some _ | None -> ());
+        Bcg.record_successor t.bcg ~ctx ~target
+    | None -> ());
+    t.ctx <- Some target
+  end;
+  t.last <- z
+
+(* Re-establish the branch context after unprofiled (in-trace) execution:
+   the last two dispatched blocks were [x] then [y].  The context node is
+   looked up but not counted — the trace's interior was executed without
+   profiling hooks. *)
+let resync t ~(x : Layout.gid) ~(y : Layout.gid) =
+  t.last <- y;
+  t.ctx <- (if x >= 0 then Bcg.find_node t.bcg ~x ~y else None)
+
+let reset t =
+  t.last <- -1;
+  t.ctx <- None

@@ -1,0 +1,38 @@
+(** The profiling mechanism (paper §4.1.2).
+
+    The interpreter's hook into the profiler is the {e branch context}:
+    the BCG node for the last branch taken, whose cached best successor
+    acts as an inline cache.  One {!dispatch} call is the profiling
+    statement a direct-threaded-inlining interpreter appends to every
+    block's dispatch code; a trace dispatch executes it exactly once. *)
+
+type t
+
+val create :
+  Config.t -> n_blocks:int -> on_signal:(Bcg.signal -> unit) -> t
+
+val dispatch : t -> Cfg.Layout.gid -> unit
+(** One profiled dispatch of a block: updates the branch context's node
+    and correlation edge, counts inline-cache predictions, and advances
+    decay. *)
+
+val resync : t -> x:Cfg.Layout.gid -> y:Cfg.Layout.gid -> unit
+(** Re-establish the branch context after unprofiled (in-trace)
+    execution: the last two dispatched blocks were [x] then [y].  The
+    context node is looked up but not counted — the trace's interior ran
+    without hooks. *)
+
+val reset : t -> unit
+(** Forget the context entirely (start of an independent stream). *)
+
+val bcg : t -> Bcg.t
+
+val dispatches : t -> int
+(** Profiled dispatches, i.e. hook executions. *)
+
+val signals : t -> int
+
+val predictions : t -> int
+(** Inline-cache hits: dispatches whose block was the context's cached
+    best successor.  Used by the overhead model — a predicted dispatch is
+    the paper's two-comparison fast path. *)

@@ -1,0 +1,127 @@
+(* The five dependent values of the evaluation (paper §5.2), plus the raw
+   counts they derive from. *)
+
+type t = {
+  instructions : int; (* bytecodes executed (= Figure-1 dispatch count) *)
+  block_dispatches : int; (* dispatches outside traces (profiled) *)
+  trace_dispatches : int; (* trace entries (one hook each) *)
+  traces_entered : int;
+  traces_completed : int;
+  completed_blocks : int; (* sum over completions of the trace's block count *)
+  partial_blocks : int; (* blocks executed by partially executed traces *)
+  completed_instrs : int; (* instructions executed by completed traces *)
+  partial_instrs : int; (* instructions executed by partially executed traces *)
+  signals : int;
+  traces_constructed : int;
+  traces_replaced : int;
+  traces_live : int;
+  (* static view over distinct traces that completed at least once *)
+  static_traces : int;
+  static_blocks : int;
+  bcg_nodes : int;
+  bcg_edges : int;
+  ic_predictions : int; (* inline-cache hits in the profiler *)
+  chained_entries : int;
+      (* trace entries directly following another trace's completion *)
+  wall_seconds : float;
+}
+
+let zero =
+  {
+    instructions = 0;
+    block_dispatches = 0;
+    trace_dispatches = 0;
+    traces_entered = 0;
+    traces_completed = 0;
+    completed_blocks = 0;
+    partial_blocks = 0;
+    completed_instrs = 0;
+    partial_instrs = 0;
+    signals = 0;
+    traces_constructed = 0;
+    traces_replaced = 0;
+    traces_live = 0;
+    static_traces = 0;
+    static_blocks = 0;
+    bcg_nodes = 0;
+    bcg_edges = 0;
+    ic_predictions = 0;
+    chained_entries = 0;
+    wall_seconds = 0.0;
+  }
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+(* Total dispatches under the trace-dispatch model: blocks executed outside
+   traces plus one dispatch per trace entry. *)
+let total_dispatches t = t.block_dispatches + t.trace_dispatches
+
+(* Average executed trace length in basic blocks (paper: "the sum of the
+   lengths of the traces which execute to completion divided by the number
+   of traces") — one term per distinct trace that ever completed, so a
+   long trace counts as much as a hot short one. *)
+let avg_trace_length t = ratio t.static_blocks t.static_traces
+
+(* Completion-event-weighted average length: what the dispatch stream
+   actually executes.  Dominated by the hottest (often shortest) traces. *)
+let dynamic_trace_length t = ratio t.completed_blocks t.traces_completed
+
+(* Fraction of the instruction stream executed by traces that ran to
+   completion. *)
+let coverage_completed t = ratio t.completed_instrs t.instructions
+
+(* Coverage counting partially executed traces too (the paper's 90.7%
+   vs. 87.1% distinction). *)
+let coverage_total t = ratio (t.completed_instrs + t.partial_instrs) t.instructions
+
+(* Dynamic trace completion rate: completed / entered. *)
+let completion_rate t = ratio t.traces_completed t.traces_entered
+
+(* Dispatches per state-change signal (Table IV reports thousands). *)
+let dispatches_per_signal t = ratio (total_dispatches t) t.signals
+
+(* Trace event interval: instructions per (trace constructed + signal)
+   (Table V reports thousands of dispatches; the paper defines it over the
+   program's executed instructions). *)
+let trace_events t = t.signals + t.traces_constructed
+
+let trace_event_interval t = ratio (total_dispatches t) (trace_events t)
+
+(* Fraction of trace entries that chain directly from another trace's
+   completion — the dispatch-level analogue of Dynamo's trace linking. *)
+let linking_rate t = ratio t.chained_entries t.traces_entered
+
+(* Dispatch reduction factor: how many block-model dispatches each
+   trace-model dispatch replaces.  Blocks executed inside traces would each
+   have been a dispatch in the block model. *)
+let dispatch_reduction t =
+  let block_model = t.block_dispatches + t.completed_blocks + t.partial_blocks in
+  if total_dispatches t = 0 then 1.0
+  else float_of_int block_model /. float_of_int (total_dispatches t)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>instructions        %d@,\
+     block dispatches    %d@,\
+     trace dispatches    %d@,\
+     entered/completed   %d/%d (%.2f%%)@,\
+     avg trace length    %.2f blocks@,\
+     coverage completed  %.1f%%@,\
+     coverage total      %.1f%%@,\
+     signals             %d@,\
+     traces constructed  %d (replaced %d, live %d)@,\
+     kdisp/signal        %.1f@,\
+     kdisp/trace event   %.1f@,\
+     linking rate        %.1f%%@,\
+     bcg                 %d nodes, %d edges@]"
+    t.instructions t.block_dispatches t.trace_dispatches t.traces_entered
+    t.traces_completed
+    (100.0 *. completion_rate t)
+    (avg_trace_length t)
+    (100.0 *. coverage_completed t)
+    (100.0 *. coverage_total t)
+    t.signals t.traces_constructed t.traces_replaced t.traces_live
+    (dispatches_per_signal t /. 1000.0)
+    (trace_event_interval t /. 1000.0)
+    (100.0 *. linking_rate t)
+    t.bcg_nodes t.bcg_edges

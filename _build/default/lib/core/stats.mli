@@ -1,0 +1,75 @@
+(** The dependent values of the paper's evaluation (§5.2), and the raw
+    counts they derive from. *)
+
+type t = {
+  instructions : int;
+      (** bytecodes executed — the Figure-1 per-instruction dispatch
+          count *)
+  block_dispatches : int;  (** dispatches outside traces (profiled) *)
+  trace_dispatches : int;  (** trace entries (one profiler hook each) *)
+  traces_entered : int;
+  traces_completed : int;
+  completed_blocks : int;
+      (** sum over completion events of the trace's block count *)
+  partial_blocks : int;  (** blocks executed by partially executed traces *)
+  completed_instrs : int;
+      (** instructions executed by completed traces *)
+  partial_instrs : int;
+      (** instructions executed by partially executed traces *)
+  signals : int;
+  traces_constructed : int;
+  traces_replaced : int;
+  traces_live : int;
+  static_traces : int;
+      (** distinct traces that completed at least once *)
+  static_blocks : int;  (** their total length in blocks *)
+  bcg_nodes : int;
+  bcg_edges : int;
+  ic_predictions : int;  (** profiler inline-cache hits *)
+  chained_entries : int;
+      (** trace entries directly following another trace's completion *)
+  wall_seconds : float;
+}
+
+val zero : t
+
+val total_dispatches : t -> int
+(** Dispatches under the trace-dispatch model: blocks outside traces plus
+    one per trace entry. *)
+
+val avg_trace_length : t -> float
+(** Average executed trace length in basic blocks, one term per distinct
+    trace that ever completed (Table I). *)
+
+val dynamic_trace_length : t -> float
+(** Completion-event-weighted average length: what the dispatch stream
+    actually executes; dominated by the hottest traces. *)
+
+val coverage_completed : t -> float
+(** Fraction of the instruction stream executed by traces that ran to
+    completion (Table II). *)
+
+val coverage_total : t -> float
+(** Coverage counting partially executed traces too — the paper's 90.7%
+    vs. 87.1% distinction. *)
+
+val completion_rate : t -> float
+(** Dynamic trace completion rate: completed / entered (Table III). *)
+
+val dispatches_per_signal : t -> float
+(** Dispatches per state-change signal (Table IV reports thousands). *)
+
+val trace_events : t -> int
+(** Signals plus traces constructed. *)
+
+val trace_event_interval : t -> float
+(** Dispatches per trace event (Table V reports thousands). *)
+
+val linking_rate : t -> float
+(** Fraction of trace entries chaining directly from a completion — the
+    dispatch-level analogue of Dynamo's trace linking. *)
+
+val dispatch_reduction : t -> float
+(** How many block-model dispatches each trace-model dispatch replaces. *)
+
+val pp : Format.formatter -> t -> unit

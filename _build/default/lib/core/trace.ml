@@ -1,0 +1,68 @@
+module Layout = Cfg.Layout
+
+(* A trace: a sequence of basic blocks expected to execute to completion
+   (paper §3.7).  Entry is keyed by the *transition* (first, blocks.(0)):
+   the trace is dispatched when blocks.(0) is reached with [first] as the
+   previously executed block — "a sequence which enters N_X0X1".  The
+   expected completion probability is the product of the branch
+   correlations along the trace, computed at construction time.
+
+   A loop body trace naturally chains to itself: its last block is the
+   loop's back-edge source, which is exactly the context of its own entry
+   transition. *)
+
+type t = {
+  id : int;
+  first : Layout.gid; (* entry context block X0 *)
+  blocks : Layout.gid array; (* X1 .. Xk: the blocks executed from the trace *)
+  prob : float; (* expected completion probability at construction *)
+  instr_len : int array; (* static instruction count per block *)
+  total_instrs : int;
+  mutable entered : int;
+  mutable completed : int;
+  mutable partial_exits : int;
+  mutable partial_instrs : int; (* instructions executed on early exits *)
+}
+
+let make ~id ~(layout : Layout.t) ~first ~blocks ~prob =
+  if Array.length blocks = 0 then invalid_arg "Trace.make: empty trace";
+  let instr_len = Array.map (fun g -> Layout.block_len layout g) blocks in
+  {
+    id;
+    first;
+    blocks;
+    prob;
+    instr_len;
+    total_instrs = Array.fold_left ( + ) 0 instr_len;
+    entered = 0;
+    completed = 0;
+    partial_exits = 0;
+    partial_instrs = 0;
+  }
+
+let n_blocks t = Array.length t.blocks
+
+let entry_key t = (t.first, t.blocks.(0))
+
+let last_block t = t.blocks.(Array.length t.blocks - 1)
+
+(* Two traces are the same cache entry iff context and block sequence are
+   identical. *)
+let same_sequence a b = a.first = b.first && a.blocks = b.blocks
+
+let completion_rate t =
+  if t.entered = 0 then 0.0
+  else float_of_int t.completed /. float_of_int t.entered
+
+let describe layout t =
+  Printf.sprintf "T%d [%s | %s] p=%.3f entered=%d completed=%d" t.id
+    (Layout.describe layout t.first)
+    (String.concat " -> "
+       (Array.to_list (Array.map (Layout.describe layout) t.blocks)))
+    t.prob t.entered t.completed
+
+let pp ppf t =
+  Format.fprintf ppf "T%d ctx=%d blocks=[%s] p=%.3f" t.id t.first
+    (String.concat ";"
+       (Array.to_list (Array.map string_of_int t.blocks)))
+    t.prob

@@ -1,0 +1,52 @@
+(** A trace: a sequence of basic blocks expected to execute to completion
+    (paper §3.7).
+
+    A trace is entered by {e transition}: it is dispatched when
+    [blocks.(0)] is reached with {!field:first} as the previously executed
+    block — the paper's "a sequence which enters [N_X0X1]".  Its
+    {!field:prob} is the product of the branch correlations along the
+    trace at construction time, the expected completion probability.
+
+    A loop-body trace whose last block equals {!field:first} chains back
+    into itself, covering steady-state loop execution. *)
+
+type t = {
+  id : int;
+  first : Cfg.Layout.gid;  (** entry context block [X0] *)
+  blocks : Cfg.Layout.gid array;
+      (** [X1 .. Xk]: the blocks executed from the trace *)
+  prob : float;  (** expected completion probability at construction *)
+  instr_len : int array;  (** static instruction count per block *)
+  total_instrs : int;
+  mutable entered : int;
+  mutable completed : int;
+  mutable partial_exits : int;
+  mutable partial_instrs : int;
+      (** instructions executed on early exits *)
+}
+
+val make :
+  id:int ->
+  layout:Cfg.Layout.t ->
+  first:Cfg.Layout.gid ->
+  blocks:Cfg.Layout.gid array ->
+  prob:float ->
+  t
+(** @raise Invalid_argument on an empty block sequence. *)
+
+val n_blocks : t -> int
+
+val entry_key : t -> Cfg.Layout.gid * Cfg.Layout.gid
+(** The entering transition [(first, blocks.(0))]. *)
+
+val last_block : t -> Cfg.Layout.gid
+
+val same_sequence : t -> t -> bool
+(** Same entry context and same block sequence: the same cache entry. *)
+
+val completion_rate : t -> float
+
+val describe : Cfg.Layout.t -> t -> string
+(** One-line human-readable rendering with block names and counters. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+(** Trace (re)construction in response to a profiler signal (paper §4.2).
+
+    The three steps of the paper:
+
+    + {e entry points} — backtrack from the signalled node along strongly
+      correlated incoming edges (predecessors whose maximally correlated
+      successor leads here);
+    + {e paths} — from each entry point, follow the path of maximum
+      likelihood while branches stay followable, stopping at a weakly
+      correlated or newly created branch, a node already on the path
+      (a loop, which is processed first and unrolled once), or the walk
+      cap;
+    + {e cutting} — greedily cut each path into traces whose cumulative
+      completion probability stays at or above the threshold, and install
+      them (hash-consed). *)
+
+type outcome = {
+  new_traces : int;  (** traces actually constructed *)
+  reused_traces : int;  (** reconstructions satisfied by hash-consing *)
+  entry_points : int;
+}
+
+val no_outcome : outcome
+
+val find_entry_points : Config.t -> Bcg.node -> Bcg.node list
+(** Step 1 alone, exposed for inspection and tests. *)
+
+val on_signal : Config.t -> Trace_cache.t -> Bcg.signal -> outcome
+(** React to one profiler signal: rebuild every trace the signalled
+    branch can affect. *)

@@ -1,0 +1,91 @@
+module Layout = Cfg.Layout
+
+(* The trace cache (paper §4.2): a hash table of traces, indexed two ways —
+   by entry transition for dispatch, and by full block sequence for
+   hash-consing (an identical reconstructed trace is retrieved and relinked
+   rather than rebuilt).  Replacing the trace installed at an entry key
+   counts as an instability event. *)
+
+type t = {
+  layout : Layout.t;
+  by_entry : (int, Trace.t) Hashtbl.t; (* key = first * n_blocks + head *)
+  by_seq : (string, Trace.t) Hashtbl.t; (* structural key *)
+  mutable next_id : int;
+  mutable constructed : int; (* traces newly built *)
+  mutable replaced : int; (* entry keys whose trace changed *)
+  mutable hash_hits : int; (* reconstructions satisfied by an existing trace *)
+}
+
+let create (layout : Layout.t) =
+  {
+    layout;
+    by_entry = Hashtbl.create 256;
+    by_seq = Hashtbl.create 256;
+    next_id = 0;
+    constructed = 0;
+    replaced = 0;
+    hash_hits = 0;
+  }
+
+let entry_key_int t ~first ~head = (first * t.layout.Layout.n_blocks) + head
+
+let seq_key ~first ~(blocks : Layout.gid array) =
+  let buf = Buffer.create (4 * (Array.length blocks + 1)) in
+  Buffer.add_string buf (string_of_int first);
+  Array.iter
+    (fun g ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int g))
+    blocks;
+  Buffer.contents buf
+
+(* Dispatch lookup: is there a trace entered by the transition
+   (prev, cur)? *)
+let lookup t ~prev ~cur : Trace.t option =
+  if prev < 0 then None
+  else Hashtbl.find_opt t.by_entry (entry_key_int t ~first:prev ~head:cur)
+
+(* Install a candidate trace.  If an identical trace is already cached we
+   keep it (hash-cons hit); otherwise a new trace is constructed and bound
+   to its entry transition, displacing any previous binding. *)
+let install t ~first ~(blocks : Layout.gid array) ~prob : Trace.t =
+  let skey = seq_key ~first ~blocks in
+  match Hashtbl.find_opt t.by_seq skey with
+  | Some existing ->
+      t.hash_hits <- t.hash_hits + 1;
+      (* make sure it is (still) the trace bound to its entry *)
+      let ekey = entry_key_int t ~first ~head:blocks.(0) in
+      (match Hashtbl.find_opt t.by_entry ekey with
+      | Some bound when bound == existing -> ()
+      | Some _ ->
+          t.replaced <- t.replaced + 1;
+          Hashtbl.replace t.by_entry ekey existing
+      | None -> Hashtbl.replace t.by_entry ekey existing);
+      existing
+  | None ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      let tr = Trace.make ~id ~layout:t.layout ~first ~blocks ~prob in
+      t.constructed <- t.constructed + 1;
+      Hashtbl.replace t.by_seq skey tr;
+      let ekey = entry_key_int t ~first ~head:blocks.(0) in
+      (match Hashtbl.find_opt t.by_entry ekey with
+      | Some _ -> t.replaced <- t.replaced + 1
+      | None -> ());
+      Hashtbl.replace t.by_entry ekey tr;
+      tr
+
+let iter t f = Hashtbl.iter (fun _ tr -> f tr) t.by_entry
+
+(* All traces ever constructed (including displaced ones). *)
+let iter_all t f = Hashtbl.iter (fun _ tr -> f tr) t.by_seq
+
+let n_live t = Hashtbl.length t.by_entry
+
+let n_constructed t = t.constructed
+
+let n_replaced t = t.replaced
+
+let flush t =
+  Hashtbl.reset t.by_entry;
+  Hashtbl.reset t.by_seq

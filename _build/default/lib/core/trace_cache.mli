@@ -1,0 +1,40 @@
+(** The trace cache (paper §4.2): traces indexed two ways — by entry
+    transition for dispatch, and by full block sequence for hash-consing,
+    so an identical reconstruction is retrieved and relinked rather than
+    rebuilt.  Rebinding an entry transition to a different trace counts as
+    an instability event ({!n_replaced}). *)
+
+type t
+
+val create : Cfg.Layout.t -> t
+
+val lookup : t -> prev:Cfg.Layout.gid -> cur:Cfg.Layout.gid -> Trace.t option
+(** Dispatch lookup: the trace entered by the transition [(prev, cur)],
+    if any ([prev < 0] never matches). *)
+
+val install :
+  t ->
+  first:Cfg.Layout.gid ->
+  blocks:Cfg.Layout.gid array ->
+  prob:float ->
+  Trace.t
+(** Install a candidate trace.  An identical cached trace is reused
+    (hash-cons hit); otherwise a new trace is constructed and bound to its
+    entry transition, displacing any previous binding. *)
+
+val iter : t -> (Trace.t -> unit) -> unit
+(** Over the traces currently bound to an entry (the live cache). *)
+
+val iter_all : t -> (Trace.t -> unit) -> unit
+(** Over every trace ever constructed, including displaced ones — the
+    population the completion statistics are drawn from. *)
+
+val n_live : t -> int
+
+val n_constructed : t -> int
+
+val n_replaced : t -> int
+
+val flush : t -> unit
+(** Empty the cache (Dynamo's bail-out; never needed by the BCG design,
+    provided for experiments). *)

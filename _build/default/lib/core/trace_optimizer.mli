@@ -1,0 +1,36 @@
+(** Straight-line optimization of traces — the paper's stated next step
+    (§6: "measure what further improvement can be achieved by applying
+    optimizations to the traces").
+
+    A trace has a single entry and is expected to execute to completion,
+    so its concatenated block bodies form one straight-line region.  This
+    pass runs the classic local optimizations that the completion
+    assumption makes speculative-but-profitable (paper §3.7): constant
+    folding and algebraic simplification, store/load forwarding through
+    locals, dead-store elimination (sound under the completion assumption;
+    a real system would compensate on side exits), push/pop cancellation,
+    and removal of intra-trace dispatch glue (gotos, nops).  Calls and
+    returns are optimization barriers. *)
+
+type result = {
+  original : Bytecode.Instr.t array;
+      (** the trace's blocks, concatenated *)
+  optimized : Bytecode.Instr.t array;
+  folded : int;  (** instructions removed by folding/identities/glue *)
+  forwarded : int;  (** loads satisfied from a prior store's value *)
+  dead_stores : int;
+}
+
+val trace_code : Cfg.Layout.t -> Trace.t -> Bytecode.Instr.t array
+(** The trace's instruction sequence. *)
+
+val optimize_code : Bytecode.Instr.t array -> result
+(** Optimize any straight-line sequence (exposed for testing). *)
+
+val optimize : Cfg.Layout.t -> Trace.t -> result
+
+val saved : result -> int
+(** Instructions removed. *)
+
+val savings_ratio : result -> float
+(** Fraction of the trace's instructions removed, in [0, 1]. *)

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Array Buffer Bytecode Cfg Experiment List Option Printf Tracegen Workloads

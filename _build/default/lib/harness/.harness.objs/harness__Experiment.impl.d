@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Bytecode Cfg Hashtbl Printf Tracegen Vm Workloads

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Cfg Tracegen Workloads

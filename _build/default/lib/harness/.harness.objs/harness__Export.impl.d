@@ -1,0 +1,1 @@
+lib/harness/export.ml: Buffer Char Experiment Float List Printf String Tracegen Workloads

@@ -1,0 +1,1 @@
+lib/harness/export.mli: Experiment Tracegen

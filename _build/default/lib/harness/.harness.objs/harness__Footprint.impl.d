@@ -1,0 +1,1 @@
+lib/harness/footprint.ml: Array Buffer Bytecode Cfg Experiment Hashtbl List Printf Tracegen Workloads

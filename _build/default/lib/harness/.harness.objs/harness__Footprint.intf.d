@@ -1,0 +1,1 @@
+lib/harness/footprint.mli: Workloads

@@ -1,0 +1,1 @@
+lib/harness/overhead.ml: Buffer Experiment List Option Printf Tracegen Unix Vm Workloads

@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Array Baselines Buffer Experiment List Option Printf String Tracegen Workloads

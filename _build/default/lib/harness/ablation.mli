@@ -1,0 +1,27 @@
+(** Ablations of the design choices called out in DESIGN.md: the decay
+    mechanism under phase changes, and the trace-optimization headroom of
+    the paper's §6 next step. *)
+
+val phase_program : iters_per_phase:int -> Bytecode.Program.t
+(** Four phases alternating the bias (63/64 vs 1/64) of one branch in a
+    hot loop's interior, with shared code after the merge — the adversary
+    for cache-stability experiments. *)
+
+type decay_row = {
+  label : string;
+  signals : int;
+  traces_replaced : int;
+  completion : float;
+  coverage_total : float;
+  partial_exits : int;
+}
+
+val decay_run : decay_period:int -> iters_per_phase:int -> decay_row
+
+val decay_ablation : ?iters_per_phase:int -> unit -> string
+(** Rendered comparison of decay 256 / 4096 / disabled on
+    {!phase_program}. *)
+
+val optimizer_report : ?scale:float -> unit -> string
+(** Completion-weighted straight-line optimization savings over every
+    workload's trace cache. *)

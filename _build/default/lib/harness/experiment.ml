@@ -1,0 +1,87 @@
+module Layout = Cfg.Layout
+module Config = Tracegen.Config
+module Stats = Tracegen.Stats
+
+(* One experimental run: a workload at a size, under a configuration.
+   Layouts are cached per (workload, size) and runs per full key, because
+   one run feeds several tables. *)
+
+type key = {
+  workload : string;
+  size : int;
+  delay : int;
+  threshold : float;
+  build_traces : bool;
+}
+
+type run = {
+  key : key;
+  stats : Stats.t;
+  result_value : int; (* the program's checksum, for cross-checking *)
+}
+
+let layout_cache : (string * int, Layout.t) Hashtbl.t = Hashtbl.create 16
+
+let layout_for (w : Workloads.Workload.t) ~size =
+  match Hashtbl.find_opt layout_cache (w.Workloads.Workload.name, size) with
+  | Some l -> l
+  | None ->
+      let program = w.Workloads.Workload.build ~size in
+      Bytecode.Verify.verify_program program;
+      let l = Layout.build program in
+      Hashtbl.add layout_cache (w.Workloads.Workload.name, size) l;
+      l
+
+let run_cache : (key, run) Hashtbl.t = Hashtbl.create 64
+
+let int_of_outcome = function
+  | Vm.Interp.Finished (Some (Vm.Value.Vint n)) -> n
+  | Vm.Interp.Finished _ -> 0
+  | Vm.Interp.Trapped (kind, msg) ->
+      failwith
+        (Printf.sprintf "workload trapped: %s (%s)"
+           (Vm.Interp.error_kind_to_string kind)
+           msg)
+
+let execute (key : key) : run =
+  match Hashtbl.find_opt run_cache key with
+  | Some r -> r
+  | None ->
+      let w =
+        match Workloads.Registry.find key.workload with
+        | Some w -> w
+        | None -> invalid_arg ("unknown workload " ^ key.workload)
+      in
+      let layout = layout_for w ~size:key.size in
+      let config =
+        {
+          Config.default with
+          Config.start_state_delay = key.delay;
+          threshold = key.threshold;
+          build_traces = key.build_traces;
+        }
+      in
+      let result = Tracegen.Engine.run ~config layout in
+      let r =
+        {
+          key;
+          stats = result.Tracegen.Engine.run_stats;
+          result_value =
+            int_of_outcome result.Tracegen.Engine.vm_result.Vm.Interp.outcome;
+        }
+      in
+      Hashtbl.add run_cache key r;
+      r
+
+let default_key ~workload ~size =
+  { workload; size; delay = 64; threshold = 0.97; build_traces = true }
+
+(* The paper's parameter grid. *)
+let thresholds = [ 1.00; 0.99; 0.98; 0.97; 0.95 ]
+
+let delays = [ 1; 64; 4096 ]
+
+let bench_workloads () = Workloads.Registry.all
+
+let size_for ?(scale = 1.0) (w : Workloads.Workload.t) =
+  max 1 (int_of_float (float_of_int w.Workloads.Workload.bench_size *. scale))

@@ -1,0 +1,40 @@
+(** One experimental run: a workload at a size under a configuration.
+
+    Layouts are cached per (workload, size) and runs per full key, because
+    one run feeds several tables. *)
+
+type key = {
+  workload : string;
+  size : int;
+  delay : int;
+  threshold : float;
+  build_traces : bool;
+}
+
+type run = {
+  key : key;
+  stats : Tracegen.Stats.t;
+  result_value : int;  (** the program's checksum, for cross-checking *)
+}
+
+val layout_for : Workloads.Workload.t -> size:int -> Cfg.Layout.t
+(** Build (verified) and cache the block layout for a workload size. *)
+
+val execute : key -> run
+(** Run (or fetch the cached run for) one experiment.
+    @raise Invalid_argument on an unknown workload name.
+    @raise Failure if the workload traps. *)
+
+val default_key : workload:string -> size:int -> key
+(** Threshold 0.97, delay 64, traces on. *)
+
+val thresholds : float list
+(** The paper's grid: 1.00, 0.99, 0.98, 0.97, 0.95. *)
+
+val delays : int list
+(** The paper's grid: 1, 64, 4096. *)
+
+val bench_workloads : unit -> Workloads.Workload.t list
+
+val size_for : ?scale:float -> Workloads.Workload.t -> int
+(** The workload's bench size scaled by [scale], at least 1. *)

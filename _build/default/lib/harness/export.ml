@@ -1,0 +1,186 @@
+module Stats = Tracegen.Stats
+
+(* Machine-readable output: JSON for single runs, CSV for sweeps.  No JSON
+   dependency is installed in this environment, so a minimal escaper-and-
+   printer lives here; it only ever emits objects of numbers and strings. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type json =
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_bool of bool
+  | J_obj of (string * json) list
+  | J_list of json list
+
+let rec render_json buf = function
+  | J_int n -> Buffer.add_string buf (string_of_int n)
+  | J_float f ->
+      (* JSON has no NaN/inf; clamp to null-ish zero *)
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf "0"
+  | J_string s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (json_escape s);
+      Buffer.add_char buf '"'
+  | J_bool b -> Buffer.add_string buf (string_of_bool b)
+  | J_obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun k (name, v) ->
+          if k > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (json_escape name);
+          Buffer.add_string buf "\":";
+          render_json buf v)
+        fields;
+      Buffer.add_char buf '}'
+  | J_list items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun k v ->
+          if k > 0 then Buffer.add_char buf ',';
+          render_json buf v)
+        items;
+      Buffer.add_char buf ']'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  render_json buf j;
+  Buffer.contents buf
+
+(* One run's statistics, raw counts plus the paper's derived values. *)
+let stats_json ?(extra = []) (s : Stats.t) : json =
+  J_obj
+    (extra
+    @ [
+        ("instructions", J_int s.Stats.instructions);
+        ("block_dispatches", J_int s.Stats.block_dispatches);
+        ("trace_dispatches", J_int s.Stats.trace_dispatches);
+        ("traces_entered", J_int s.Stats.traces_entered);
+        ("traces_completed", J_int s.Stats.traces_completed);
+        ("signals", J_int s.Stats.signals);
+        ("traces_constructed", J_int s.Stats.traces_constructed);
+        ("traces_replaced", J_int s.Stats.traces_replaced);
+        ("traces_live", J_int s.Stats.traces_live);
+        ("bcg_nodes", J_int s.Stats.bcg_nodes);
+        ("bcg_edges", J_int s.Stats.bcg_edges);
+        ("chained_entries", J_int s.Stats.chained_entries);
+        ("avg_trace_length", J_float (Stats.avg_trace_length s));
+        ("dynamic_trace_length", J_float (Stats.dynamic_trace_length s));
+        ("coverage_completed", J_float (Stats.coverage_completed s));
+        ("coverage_total", J_float (Stats.coverage_total s));
+        ("completion_rate", J_float (Stats.completion_rate s));
+        ("dispatches_per_signal", J_float (Stats.dispatches_per_signal s));
+        ("trace_event_interval", J_float (Stats.trace_event_interval s));
+        ("linking_rate", J_float (Stats.linking_rate s));
+        ("dispatch_reduction", J_float (Stats.dispatch_reduction s));
+        ("wall_seconds", J_float s.Stats.wall_seconds);
+      ])
+
+let run_json (r : Experiment.run) : json =
+  let k = r.Experiment.key in
+  stats_json
+    ~extra:
+      [
+        ("workload", J_string k.Experiment.workload);
+        ("size", J_int k.Experiment.size);
+        ("delay", J_int k.Experiment.delay);
+        ("threshold", J_float k.Experiment.threshold);
+        ("checksum", J_int r.Experiment.result_value);
+      ]
+    r.Experiment.stats
+
+(* The full threshold x delay grid as JSON lines (one run per line). *)
+let sweep_jsonl ?(scale = 1.0) () : string =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun w ->
+      let size = Experiment.size_for ~scale w in
+      List.iter
+        (fun threshold ->
+          let run =
+            Experiment.execute
+              {
+                Experiment.workload = w.Workloads.Workload.name;
+                size;
+                delay = 64;
+                threshold;
+                build_traces = true;
+              }
+          in
+          Buffer.add_string buf (to_string (run_json run));
+          Buffer.add_char buf '\n')
+        Experiment.thresholds;
+      List.iter
+        (fun delay ->
+          let run =
+            Experiment.execute
+              {
+                Experiment.workload = w.Workloads.Workload.name;
+                size;
+                delay;
+                threshold = 0.97;
+                build_traces = true;
+              }
+          in
+          Buffer.add_string buf (to_string (run_json run));
+          Buffer.add_char buf '\n')
+        Experiment.delays)
+    (Experiment.bench_workloads ());
+  Buffer.contents buf
+
+(* CSV of the threshold sweep: one row per (workload, threshold). *)
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let sweep_csv ?(scale = 1.0) () : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "workload,threshold,delay,instructions,avg_trace_length,\
+     coverage_completed,coverage_total,completion_rate,\
+     dispatches_per_signal,trace_event_interval,signals,traces_constructed\n";
+  List.iter
+    (fun w ->
+      let size = Experiment.size_for ~scale w in
+      List.iter
+        (fun threshold ->
+          let r =
+            Experiment.execute
+              {
+                Experiment.workload = w.Workloads.Workload.name;
+                size;
+                delay = 64;
+                threshold;
+                build_traces = true;
+              }
+          in
+          let s = r.Experiment.stats in
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%.2f,%d,%d,%.3f,%.4f,%.4f,%.5f,%.1f,%.1f,%d,%d\n"
+               (csv_escape w.Workloads.Workload.name)
+               threshold 64 s.Stats.instructions (Stats.avg_trace_length s)
+               (Stats.coverage_completed s) (Stats.coverage_total s)
+               (Stats.completion_rate s)
+               (Stats.dispatches_per_signal s)
+               (Stats.trace_event_interval s)
+               s.Stats.signals s.Stats.traces_constructed))
+        Experiment.thresholds)
+    (Experiment.bench_workloads ());
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Machine-readable results: JSON for single runs, JSON-lines and CSV for
+    the parameter sweeps.  (No JSON library ships in this environment, so a
+    minimal printer lives here.) *)
+
+type json =
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_bool of bool
+  | J_obj of (string * json) list
+  | J_list of json list
+
+val to_string : json -> string
+
+val json_escape : string -> string
+
+val stats_json : ?extra:(string * json) list -> Tracegen.Stats.t -> json
+(** Raw counts plus every derived value, as one flat object. *)
+
+val run_json : Experiment.run -> json
+(** {!stats_json} with the run's key (workload, size, parameters) and
+    checksum prepended. *)
+
+val sweep_jsonl : ?scale:float -> unit -> string
+(** The threshold and delay grids, one JSON object per line. *)
+
+val sweep_csv : ?scale:float -> unit -> string
+(** The threshold sweep as CSV with a header row. *)

@@ -1,0 +1,86 @@
+module Stats = Tracegen.Stats
+
+(* Memory footprint of the profiling and trace structures (paper §3.5: "we
+   carefully represent blocks, nodes, and edges to minimize memory
+   overhead", and §3.3's concern that the cache hold as little rarely
+   executed code as possible).
+
+   Sizes are estimated from the representation: a BCG node is two block
+   ids, four small counters, a state tag, an inline-cache pointer and a
+   predecessor list entry; an edge is a target id, a pointer and a 16-bit
+   counter.  Trace cache code size counts one unit per instruction of
+   every live trace, as a direct-threaded code cache would; the
+   duplication factor relates that to the distinct blocks covered. *)
+
+let node_bytes = 56 (* 2 ids + 4 counters + tag + 2 pointers, words *)
+
+let edge_bytes = 24 (* id + pointer + counter *)
+
+let instr_bytes = 8 (* one threaded-code slot per instruction *)
+
+type row = {
+  name : string;
+  bcg_nodes : int;
+  bcg_edges : int;
+  bcg_bytes : int;
+  live_traces : int;
+  trace_instrs : int; (* instructions stored in the live cache *)
+  distinct_block_instrs : int; (* instructions of the distinct blocks *)
+  cache_bytes : int;
+  duplication : float; (* stored instrs / distinct block instrs *)
+  program_instrs : int; (* static program size *)
+}
+
+let measure ?(scale = 1.0) (w : Workloads.Workload.t) : row =
+  let size = Experiment.size_for ~scale w in
+  let layout = Experiment.layout_for w ~size in
+  let r = Tracegen.Engine.run layout in
+  let engine = r.Tracegen.Engine.engine in
+  let s = r.Tracegen.Engine.run_stats in
+  let live_traces = ref 0 in
+  let trace_instrs = ref 0 in
+  let blocks : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  Tracegen.Trace_cache.iter engine.Tracegen.Engine.cache (fun tr ->
+      incr live_traces;
+      trace_instrs := !trace_instrs + tr.Tracegen.Trace.total_instrs;
+      Array.iter
+        (fun g -> Hashtbl.replace blocks g ())
+        tr.Tracegen.Trace.blocks);
+  let distinct_block_instrs =
+    Hashtbl.fold (fun g () acc -> acc + Cfg.Layout.block_len layout g) blocks 0
+  in
+  {
+    name = w.Workloads.Workload.name;
+    bcg_nodes = s.Stats.bcg_nodes;
+    bcg_edges = s.Stats.bcg_edges;
+    bcg_bytes = (s.Stats.bcg_nodes * node_bytes) + (s.Stats.bcg_edges * edge_bytes);
+    live_traces = !live_traces;
+    trace_instrs = !trace_instrs;
+    distinct_block_instrs;
+    cache_bytes = !trace_instrs * instr_bytes;
+    duplication =
+      (if distinct_block_instrs = 0 then 1.0
+       else float_of_int !trace_instrs /. float_of_int distinct_block_instrs);
+    program_instrs = Bytecode.Program.total_instructions layout.Cfg.Layout.program;
+  }
+
+let report ?(scale = 1.0) () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Memory footprint of the profiling and trace structures\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-11s %7s %7s %9s %7s %9s %11s %8s\n" "benchmark"
+       "nodes" "edges" "bcg(KiB)" "traces" "cache-KiB" "duplication"
+       "prog-ins");
+  List.iter
+    (fun w ->
+      let r = measure ~scale w in
+      Buffer.add_string buf
+        (Printf.sprintf "%-11s %7d %7d %9.1f %7d %9.1f %10.2fx %8d\n" r.name
+           r.bcg_nodes r.bcg_edges
+           (float_of_int r.bcg_bytes /. 1024.0)
+           r.live_traces
+           (float_of_int r.cache_bytes /. 1024.0)
+           r.duplication r.program_instrs))
+    (Experiment.bench_workloads ());
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Memory footprint of the profiling and trace structures (paper §3.5's
+    representation-cost concern and §3.3's cache-size concern). *)
+
+type row = {
+  name : string;
+  bcg_nodes : int;
+  bcg_edges : int;
+  bcg_bytes : int;
+  live_traces : int;
+  trace_instrs : int;
+  distinct_block_instrs : int;
+  cache_bytes : int;
+  duplication : float;
+      (** instructions stored in the cache / distinct block instructions
+          covered — tail-duplication cost of trace formation *)
+  program_instrs : int;
+}
+
+val measure : ?scale:float -> Workloads.Workload.t -> row
+
+val report : ?scale:float -> unit -> string

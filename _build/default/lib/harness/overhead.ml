@@ -1,0 +1,108 @@
+module Stats = Tracegen.Stats
+module Config = Tracegen.Config
+
+(* Wall-clock profiler overhead (paper Tables VI and VII).
+
+   Table VI methodology: time the interpreter with no observer at all, then
+   with the profiler hook attached to every block dispatch (trace building
+   disabled), and report the overhead per million dispatches.
+
+   Table VII methodology: under the trace-dispatch model the hook runs once
+   per dispatch (block or trace); multiplying the measured per-dispatch
+   cost by the trace-model dispatch count predicts the profiling overhead
+   of the full system, as the paper does. *)
+
+type row = {
+  name : string;
+  plain_sec : float;
+  dispatches : int; (* block dispatches = hook executions in Table VI *)
+  profiled_sec : float;
+  per_million : float; (* overhead seconds per million dispatches *)
+}
+
+let time_best ~repeats f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then begin
+      best := dt;
+      result := Some r
+    end
+  done;
+  (!best, Option.get !result)
+
+let measure ?(scale = 1.0) ?(repeats = 3) (w : Workloads.Workload.t) : row =
+  let size = Experiment.size_for ~scale w in
+  let layout = Experiment.layout_for w ~size in
+  let plain_sec, plain = time_best ~repeats (fun () -> Vm.Interp.run_plain layout) in
+  let config = { Config.default with Config.build_traces = false } in
+  let profiled_sec, run =
+    time_best ~repeats (fun () -> Tracegen.Engine.run ~config layout)
+  in
+  let dispatches = plain.Vm.Interp.block_dispatches in
+  ignore run;
+  let per_million =
+    if dispatches = 0 then 0.0
+    else (profiled_sec -. plain_sec) /. (float_of_int dispatches /. 1e6)
+  in
+  { name = w.Workloads.Workload.name; plain_sec; dispatches; profiled_sec; per_million }
+
+let table6 ?(scale = 1.0) ?(repeats = 3) () =
+  let rows = List.map (measure ~scale ~repeats) (Experiment.bench_workloads ()) in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Table VI: Profiler overhead per basic-block dispatch\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-11s %12s %14s %12s %18s\n" "benchmark" "no-prof (s)"
+       "dispatches (M)" "profiler (s)" "ovh per 10^6 disp");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-11s %12.3f %14.2f %12.3f %17.4fs\n" r.name
+           r.plain_sec
+           (float_of_int r.dispatches /. 1e6)
+           r.profiled_sec r.per_million))
+    rows;
+  (Buffer.contents buf, rows)
+
+let table7 ?(scale = 1.0) ?(repeats = 3) ?rows () =
+  let rows6 =
+    match rows with
+    | Some rows -> rows
+    | None -> snd (table6 ~scale ~repeats ())
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Table VII: Expected profiler overhead under trace dispatch\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-11s %18s %18s %14s %10s\n" "benchmark"
+       "trace disp (M)" "ovh/10^6 disp (s)" "expected (s)" "% ovh");
+  List.iter
+    (fun r6 ->
+      let key =
+        {
+          Experiment.workload = r6.name;
+          size =
+            Experiment.size_for ~scale
+              (Option.get (Workloads.Registry.find r6.name));
+          delay = 64;
+          threshold = 0.97;
+          build_traces = true;
+        }
+      in
+      let run = Experiment.execute key in
+      let s = run.Experiment.stats in
+      let trace_disp = Stats.total_dispatches s in
+      let expected = float_of_int trace_disp /. 1e6 *. r6.per_million in
+      let pct_ovh =
+        if r6.plain_sec > 0.0 then 100.0 *. expected /. r6.plain_sec else 0.0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-11s %18.2f %18.4f %14.4f %9.1f%%\n" r6.name
+           (float_of_int trace_disp /. 1e6)
+           r6.per_million expected pct_ovh))
+    rows6;
+  Buffer.contents buf

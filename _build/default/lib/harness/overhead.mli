@@ -1,0 +1,28 @@
+(** Wall-clock profiler overhead (paper Tables VI and VII).
+
+    Table VI methodology: time the interpreter with no observer, then
+    with the profiler hook on every block dispatch (trace building
+    disabled), and report overhead per million dispatches.
+
+    Table VII methodology: under trace dispatch the hook runs once per
+    dispatch (block or trace), so multiplying the measured per-dispatch
+    cost by the trace-model dispatch count predicts the full system's
+    profiling overhead, as the paper does. *)
+
+type row = {
+  name : string;
+  plain_sec : float;
+  dispatches : int;  (** hook executions in the profiled configuration *)
+  profiled_sec : float;
+  per_million : float;  (** overhead seconds per million dispatches *)
+}
+
+val measure :
+  ?scale:float -> ?repeats:int -> Workloads.Workload.t -> row
+(** Best-of-[repeats] timing of one workload, both configurations. *)
+
+val table6 : ?scale:float -> ?repeats:int -> unit -> string * row list
+
+val table7 : ?scale:float -> ?repeats:int -> ?rows:row list -> unit -> string
+(** Pass [rows] from a prior {!table6} to avoid re-measuring (and to keep
+    the two tables consistent within one report). *)

@@ -1,0 +1,32 @@
+(** Regeneration of the paper's Tables I-V, the Figure 1/2 dispatch-model
+    comparison, and the section-5.3 baseline comparison.  Each function
+    returns the rendered table; {!Experiment} caches runs so one threshold
+    sweep feeds Tables I-IV.
+
+    [scale] multiplies every workload's bench size (1.0 = paper-scale). *)
+
+val table1 : ?scale:float -> unit -> string
+(** Average executed trace length (blocks) vs. threshold. *)
+
+val table2 : ?scale:float -> unit -> string
+(** Instruction stream coverage by completed traces vs. threshold. *)
+
+val table3 : ?scale:float -> unit -> string
+(** Trace completion rate vs. threshold. *)
+
+val table4 : ?scale:float -> unit -> string
+(** Thousands of dispatches per state-change signal vs. threshold. *)
+
+val table5 : ?scale:float -> unit -> string
+(** Thousands of dispatches per trace event at 97% vs. start state
+    delay. *)
+
+val coverage_totals : ?scale:float -> unit -> string
+(** Coverage including partially executed traces (the 90.7% number). *)
+
+val figure_dispatch : ?scale:float -> unit -> string
+(** Per-instruction vs. per-block vs. per-trace dispatch counts
+    (Figures 1 and 2). *)
+
+val baselines : ?scale:float -> unit -> string
+(** BCG vs. NET (Dynamo) vs. frames (rePLay) on every workload. *)

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Bytecode Cfg Format List Printf Value

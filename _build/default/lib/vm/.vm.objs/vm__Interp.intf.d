@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Cfg Value

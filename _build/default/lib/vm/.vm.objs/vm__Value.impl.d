@@ -1,0 +1,1 @@
+lib/vm/value.ml: Array Bytecode Format Printf

@@ -1,0 +1,1 @@
+lib/vm/value.mli: Bytecode Format

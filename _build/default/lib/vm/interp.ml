@@ -1,0 +1,480 @@
+module Instr = Bytecode.Instr
+module Mthd = Bytecode.Mthd
+module Klass = Bytecode.Klass
+module Program = Bytecode.Program
+module Block = Cfg.Block
+module Method_cfg = Cfg.Method_cfg
+module Layout = Cfg.Layout
+
+(* The interpreter.
+
+   Execution proceeds basic block by basic block, mirroring a
+   direct-threaded-inlining interpreter: entering a block is a *dispatch*,
+   and the [on_block] observer is invoked with the block's global id at
+   every dispatch — this is the hook the paper's profiler attaches to.
+   Calls and returns produce dispatches too (caller block -> callee entry
+   block -> return-continuation block), so traces can cross method
+   boundaries seamlessly, as in the paper.
+
+   Per-instruction "dispatch" counts for the plain-interpreter comparison
+   (Figure 1 vs Figure 2) fall out of the instruction counter. *)
+
+type error_kind =
+  | Null_pointer
+  | Array_bounds
+  | Division_by_zero
+  | No_such_method
+  | Type_confusion
+  | Stack_overflow
+  | Uncaught_exception
+  | Instruction_budget
+
+exception Runtime_error of error_kind * string
+
+let error_kind_to_string = function
+  | Null_pointer -> "null pointer"
+  | Array_bounds -> "array index out of bounds"
+  | Division_by_zero -> "division by zero"
+  | No_such_method -> "no such method"
+  | Type_confusion -> "type confusion"
+  | Stack_overflow -> "call stack overflow"
+  | Uncaught_exception -> "uncaught exception"
+  | Instruction_budget -> "instruction budget exhausted"
+
+let die kind fmt =
+  Format.kasprintf (fun s -> raise (Runtime_error (kind, s))) fmt
+
+(* A call frame.  The operand stack is a preallocated array with a stack
+   pointer; the verifier bounds stack growth statically so [max_stack] is a
+   generous fixed cap checked only on push. *)
+type frame = {
+  meth : Mthd.t;
+  locals : Value.t array;
+  stack : Value.t array;
+  mutable sp : int;
+  mutable pc : int;
+}
+
+let max_stack = 1024
+
+let max_frames = 4096
+
+type outcome =
+  | Finished of Value.t option
+  | Trapped of error_kind * string
+
+type result = {
+  outcome : outcome;
+  instructions : int; (* = per-instruction dispatches, Figure 1 model *)
+  block_dispatches : int; (* = per-block dispatches, Figure 2 model *)
+}
+
+type state = {
+  layout : Layout.t;
+  program : Program.t;
+  mutable frames : frame list;
+  mutable instructions : int;
+  mutable block_dispatches : int;
+  max_instructions : int;
+  on_block : Layout.gid -> unit;
+}
+
+let push fr v =
+  if fr.sp >= max_stack then die Stack_overflow "operand stack overflow";
+  fr.stack.(fr.sp) <- v;
+  fr.sp <- fr.sp + 1
+
+let pop fr =
+  if fr.sp = 0 then die Type_confusion "operand stack underflow";
+  fr.sp <- fr.sp - 1;
+  fr.stack.(fr.sp)
+
+let pop_int fr =
+  match pop fr with
+  | Value.Vint n -> n
+  | v -> die Type_confusion "expected int, got %s" (Value.to_string v)
+
+let pop_float fr =
+  match pop fr with
+  | Value.Vfloat f -> f
+  | v -> die Type_confusion "expected float, got %s" (Value.to_string v)
+
+let pop_obj fr =
+  match pop fr with
+  | Value.Vobj o -> o
+  | Value.Vnull -> die Null_pointer "field access on null"
+  | v -> die Type_confusion "expected object, got %s" (Value.to_string v)
+
+let pop_arr fr =
+  match pop fr with
+  | Value.Varr a -> a
+  | Value.Vnull -> die Null_pointer "array access on null"
+  | v -> die Type_confusion "expected array, got %s" (Value.to_string v)
+
+let check_bounds (a : Value.arr) i =
+  if i < 0 || i >= Array.length a.Value.cells then
+    die Array_bounds "index %d, length %d" i (Array.length a.Value.cells)
+
+let new_frame (m : Mthd.t) : frame =
+  {
+    meth = m;
+    locals = Array.make (max 1 m.Mthd.n_locals) (Value.Vint 0);
+    stack = Array.make max_stack (Value.Vint 0);
+    sp = 0;
+    pc = 0;
+  }
+
+(* Invoke: pop n_args values off the caller's stack into the callee's
+   leading locals (receiver in local 0 for virtual methods). *)
+let setup_call st (caller : frame) (callee_m : Mthd.t) =
+  if List.length st.frames >= max_frames then
+    die Stack_overflow "too many frames";
+  let callee = new_frame callee_m in
+  for i = callee_m.Mthd.n_args - 1 downto 0 do
+    callee.locals.(i) <- pop caller
+  done;
+  st.frames <- callee :: st.frames;
+  callee
+
+let receiver_class st (caller : frame) n_args =
+  (* receiver sits below the arguments *)
+  let idx = caller.sp - n_args in
+  if idx < 0 then die Type_confusion "missing receiver";
+  match caller.stack.(idx) with
+  | Value.Vobj o -> o.Value.cls
+  | Value.Vnull -> die Null_pointer "virtual call on null"
+  | v -> die Type_confusion "virtual call on %s" (Value.to_string v)
+  [@@warning "-27"]
+
+(* Resolve a virtual call: find any class binding the selector to size the
+   argument count.  All bindings share a signature (front-end invariant), so
+   we take the arity from the receiver's own binding after peeking at it. *)
+let resolve_virtual st (caller : frame) slot : Mthd.t =
+  (* We need the arity to find the receiver, and the receiver to find the
+     method.  Scan classes once for any binding to learn the arity. *)
+  let program = st.program in
+  let any_binding =
+    let classes = program.Program.classes in
+    let n = Array.length classes in
+    let rec go i =
+      if i >= n then None
+      else
+        match Klass.method_for_selector classes.(i) ~slot with
+        | Some mid -> Some (Program.method_by_id program mid)
+        | None -> go (i + 1)
+    in
+    go 0
+  in
+  match any_binding with
+  | None -> die No_such_method "selector slot %d bound by no class" slot
+  | Some proto ->
+      let n_args = proto.Mthd.n_args in
+      let cls = receiver_class st caller n_args in
+      let k = Program.class_by_id program cls in
+      (match Klass.method_for_selector k ~slot with
+      | Some mid -> Program.method_by_id program mid
+      | None ->
+          die No_such_method "class %s does not understand %s" k.Klass.name
+            (Program.selector_name program slot))
+
+let step_budget st n =
+  st.instructions <- st.instructions + n;
+  if st.instructions > st.max_instructions then
+    die Instruction_budget "exceeded %d instructions" st.max_instructions
+
+(* Execute from the current frame/pc until the program returns from the
+   entry method. *)
+let run_loop st : Value.t option =
+  let return_value = ref None in
+  let running = ref true in
+  while !running do
+    match st.frames with
+    | [] -> running := false
+    | fr :: outer_frames ->
+        let mid = fr.meth.Mthd.id in
+        let cfg = Layout.cfg_of_method st.layout ~method_id:mid in
+        let b = Method_cfg.block_at_pc cfg fr.pc in
+        (* block dispatch *)
+        st.block_dispatches <- st.block_dispatches + 1;
+        st.on_block (Layout.gid_at_pc st.layout ~method_id:mid ~pc:fr.pc);
+        let end_pc = Block.end_pc b in
+        step_budget st b.Block.len;
+        (* straight-line portion *)
+        let pc = ref fr.pc in
+        let code = fr.meth.Mthd.code in
+        while !pc < end_pc do
+          let ins = code.(!pc) in
+          (match ins with
+          | Instr.Iconst n -> push fr (Value.Vint n)
+          | Instr.Fconst f -> push fr (Value.Vfloat f)
+          | Instr.Aconst_null -> push fr Value.Vnull
+          | Instr.Iload n -> push fr fr.locals.(n)
+          | Instr.Fload n -> push fr fr.locals.(n)
+          | Instr.Aload n -> push fr fr.locals.(n)
+          | Instr.Istore n | Instr.Fstore n | Instr.Astore n ->
+              fr.locals.(n) <- pop fr
+          | Instr.Iinc (n, d) -> (
+              match fr.locals.(n) with
+              | Value.Vint v -> fr.locals.(n) <- Value.Vint (v + d)
+              | v -> die Type_confusion "iinc on %s" (Value.to_string v))
+          | Instr.Dup ->
+              let v = pop fr in
+              push fr v;
+              push fr v
+          | Instr.Pop -> ignore (pop fr)
+          | Instr.Swap ->
+              let a = pop fr in
+              let b = pop fr in
+              push fr a;
+              push fr b
+          | Instr.Iadd ->
+              let b = pop_int fr in
+              push fr (Value.Vint (pop_int fr + b))
+          | Instr.Isub ->
+              let b = pop_int fr in
+              push fr (Value.Vint (pop_int fr - b))
+          | Instr.Imul ->
+              let b = pop_int fr in
+              push fr (Value.Vint (pop_int fr * b))
+          | Instr.Idiv ->
+              let b = pop_int fr in
+              if b = 0 then die Division_by_zero "idiv";
+              push fr (Value.Vint (pop_int fr / b))
+          | Instr.Irem ->
+              let b = pop_int fr in
+              if b = 0 then die Division_by_zero "irem";
+              push fr (Value.Vint (pop_int fr mod b))
+          | Instr.Ineg -> push fr (Value.Vint (-pop_int fr))
+          | Instr.Iand ->
+              let b = pop_int fr in
+              push fr (Value.Vint (pop_int fr land b))
+          | Instr.Ior ->
+              let b = pop_int fr in
+              push fr (Value.Vint (pop_int fr lor b))
+          | Instr.Ixor ->
+              let b = pop_int fr in
+              push fr (Value.Vint (pop_int fr lxor b))
+          | Instr.Ishl ->
+              let b = pop_int fr in
+              push fr (Value.Vint (pop_int fr lsl (b land 63)))
+          | Instr.Ishr ->
+              let b = pop_int fr in
+              push fr (Value.Vint (pop_int fr asr (b land 63)))
+          | Instr.Iushr ->
+              let b = pop_int fr in
+              push fr (Value.Vint (pop_int fr lsr (b land 63)))
+          | Instr.Fadd ->
+              let b = pop_float fr in
+              push fr (Value.Vfloat (pop_float fr +. b))
+          | Instr.Fsub ->
+              let b = pop_float fr in
+              push fr (Value.Vfloat (pop_float fr -. b))
+          | Instr.Fmul ->
+              let b = pop_float fr in
+              push fr (Value.Vfloat (pop_float fr *. b))
+          | Instr.Fdiv ->
+              let b = pop_float fr in
+              push fr (Value.Vfloat (pop_float fr /. b))
+          | Instr.Fneg -> push fr (Value.Vfloat (-.pop_float fr))
+          | Instr.F2i -> push fr (Value.Vint (int_of_float (pop_float fr)))
+          | Instr.I2f -> push fr (Value.Vfloat (float_of_int (pop_int fr)))
+          | Instr.Fcmp ->
+              let b = pop_float fr in
+              let a = pop_float fr in
+              push fr (Value.Vint (compare a b))
+          | Instr.New cid ->
+              let k = Program.class_by_id st.program cid in
+              let fields =
+                Array.map Value.default_of_field_kind k.Klass.field_kinds
+              in
+              push fr (Value.Vobj { Value.cls = cid; fields })
+          | Instr.Getfield (_, slot) ->
+              let o = pop_obj fr in
+              if slot >= Array.length o.Value.fields then
+                die Type_confusion "field slot %d out of range" slot;
+              push fr o.Value.fields.(slot)
+          | Instr.Putfield (_, slot) ->
+              let v = pop fr in
+              let o = pop_obj fr in
+              if slot >= Array.length o.Value.fields then
+                die Type_confusion "field slot %d out of range" slot;
+              o.Value.fields.(slot) <- v
+          | Instr.Instanceof cid -> (
+              match pop fr with
+              | Value.Vobj o ->
+                  let yes =
+                    Klass.is_subclass_of st.program.Program.classes
+                      ~sub:o.Value.cls ~super:cid
+                  in
+                  push fr (Value.Vint (if yes then 1 else 0))
+              | Value.Vnull -> push fr (Value.Vint 0)
+              | v -> die Type_confusion "instanceof on %s" (Value.to_string v))
+          | Instr.Newarray kind ->
+              let n = pop_int fr in
+              if n < 0 then die Array_bounds "negative array length %d" n;
+              push fr
+                (Value.Varr
+                   {
+                     Value.kind;
+                     cells = Array.make n (Value.default_of_array_kind kind);
+                   })
+          | Instr.Iaload | Instr.Faload | Instr.Aaload ->
+              let i = pop_int fr in
+              let a = pop_arr fr in
+              check_bounds a i;
+              push fr a.Value.cells.(i)
+          | Instr.Iastore ->
+              let v = pop_int fr in
+              let i = pop_int fr in
+              let a = pop_arr fr in
+              check_bounds a i;
+              a.Value.cells.(i) <- Value.Vint v
+          | Instr.Fastore ->
+              let v = pop_float fr in
+              let i = pop_int fr in
+              let a = pop_arr fr in
+              check_bounds a i;
+              a.Value.cells.(i) <- Value.Vfloat v
+          | Instr.Aastore ->
+              let v = pop fr in
+              let i = pop_int fr in
+              let a = pop_arr fr in
+              check_bounds a i;
+              a.Value.cells.(i) <- v
+          | Instr.Arraylength ->
+              let a = pop_arr fr in
+              push fr (Value.Vint (Array.length a.Value.cells))
+          | Instr.Nop -> ()
+          (* terminators are handled below; they are always last in a
+             block, so reaching them here just ends the straight-line
+             phase *)
+          | Instr.If_icmp _ | Instr.Ifz _ | Instr.Goto _
+          | Instr.Tableswitch _ | Instr.Invokestatic _
+          | Instr.Invokevirtual _ | Instr.Return | Instr.Ireturn
+          | Instr.Freturn | Instr.Areturn | Instr.Athrow ->
+              ());
+          (match ins with
+          | Instr.If_icmp (c, target) ->
+              let b2 = pop_int fr in
+              let a = pop_int fr in
+              fr.pc <- (if Instr.eval_cond c (compare a b2) then target else !pc + 1);
+              pc := end_pc (* leave straight-line loop *)
+          | Instr.Ifz (c, target) ->
+              let a = pop_int fr in
+              fr.pc <- (if Instr.eval_cond c a then target else !pc + 1);
+              pc := end_pc
+          | Instr.Goto target ->
+              fr.pc <- target;
+              pc := end_pc
+          | Instr.Tableswitch { low; targets; default } ->
+              let v = pop_int fr in
+              let i = v - low in
+              fr.pc <-
+                (if i >= 0 && i < Array.length targets then targets.(i)
+                 else default);
+              pc := end_pc
+          | Instr.Invokestatic mid2 ->
+              fr.pc <- !pc + 1;
+              let callee_m = Program.method_by_id st.program mid2 in
+              ignore (setup_call st fr callee_m);
+              pc := end_pc
+          | Instr.Invokevirtual slot ->
+              fr.pc <- !pc + 1;
+              let callee_m = resolve_virtual st fr slot in
+              ignore (setup_call st fr callee_m);
+              pc := end_pc
+          | Instr.Athrow ->
+              (* unwind: find the innermost covering handler, searching the
+                 current frame at the throw pc and callers at their call
+                 sites *)
+              let exc = pop fr in
+              let cls =
+                match exc with
+                | Value.Vobj o -> o.Value.cls
+                | Value.Vnull -> die Null_pointer "throw of null"
+                | v -> die Type_confusion "throw of %s" (Value.to_string v)
+              in
+              let is_subclass ~sub ~super =
+                Klass.is_subclass_of st.program.Program.classes ~sub ~super
+              in
+              let rec unwind frames throw_pc =
+                match frames with
+                | [] ->
+                    die Uncaught_exception "class %s"
+                      (Program.class_by_id st.program cls).Klass.name
+                | f :: rest -> (
+                    match
+                      Mthd.handler_for f.meth ~pc:throw_pc ~cls ~is_subclass
+                    with
+                    | Some h ->
+                        st.frames <- frames;
+                        f.sp <- 0;
+                        push f exc;
+                        f.pc <- h.Mthd.h_target
+                    | None -> (
+                        (* a caller is searched at its call site: the
+                           instruction before its stored continuation *)
+                        match rest with
+                        | caller :: _ -> unwind rest (max 0 (caller.pc - 1))
+                        | [] ->
+                            die Uncaught_exception "class %s"
+                              (Program.class_by_id st.program cls).Klass.name))
+              in
+              unwind st.frames !pc;
+              pc := end_pc
+          | Instr.Return ->
+              st.frames <- outer_frames;
+              if outer_frames = [] then return_value := None;
+              pc := end_pc
+          | Instr.Ireturn | Instr.Freturn | Instr.Areturn ->
+              let v = pop fr in
+              st.frames <- outer_frames;
+              (match outer_frames with
+              | caller :: _ -> push caller v
+              | [] -> return_value := Some v);
+              pc := end_pc
+          | _ ->
+              (* ordinary instruction: advance; if this was the last
+                 instruction of a fallthrough block, fr.pc must follow *)
+              incr pc;
+              if !pc = end_pc then fr.pc <- end_pc)
+        done
+  done;
+  !return_value
+
+let run ?(max_instructions = max_int) (layout : Layout.t)
+    ~(on_block : Layout.gid -> unit) : result =
+  let program = layout.Layout.program in
+  let st =
+    {
+      layout;
+      program;
+      frames = [ new_frame (Program.entry_method program) ];
+      instructions = 0;
+      block_dispatches = 0;
+      max_instructions;
+      on_block;
+    }
+  in
+  let outcome =
+    try Finished (run_loop st)
+    with Runtime_error (kind, msg) -> Trapped (kind, msg)
+  in
+  {
+    outcome;
+    instructions = st.instructions;
+    block_dispatches = st.block_dispatches;
+  }
+
+(* Convenience: run with no observer. *)
+let run_plain ?max_instructions layout =
+  run ?max_instructions layout ~on_block:(fun _ -> ())
+
+let result_value r =
+  match r.outcome with
+  | Finished v -> v
+  | Trapped (kind, msg) ->
+      invalid_arg
+        (Printf.sprintf "program trapped: %s (%s)"
+           (error_kind_to_string kind)
+           msg)

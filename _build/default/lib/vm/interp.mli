@@ -1,0 +1,57 @@
+(** The interpreter.
+
+    Execution proceeds basic block by basic block, mirroring a
+    direct-threaded-inlining interpreter: entering a block is a
+    {e dispatch}, and the [on_block] observer is invoked with the block's
+    global id at every dispatch — this is the hook the paper's profiler
+    attaches to.  Calls and returns produce dispatches too (caller block,
+    callee entry block, return-continuation block), so traces can cross
+    method boundaries seamlessly.
+
+    Runtime errors (null dereference, bad index, division by zero, …) are
+    reported as {!Trapped} outcomes, never OCaml exceptions escaping
+    {!run}. *)
+
+type error_kind =
+  | Null_pointer
+  | Array_bounds
+  | Division_by_zero
+  | No_such_method
+  | Type_confusion
+  | Stack_overflow
+  | Uncaught_exception
+  | Instruction_budget
+
+exception Runtime_error of error_kind * string
+
+val error_kind_to_string : error_kind -> string
+
+type outcome =
+  | Finished of Value.t option  (** the entry method's return value *)
+  | Trapped of error_kind * string
+
+type result = {
+  outcome : outcome;
+  instructions : int;
+      (** bytecodes executed — the per-instruction dispatch count of an
+          ordinary interpreter (Figure 1) *)
+  block_dispatches : int;
+      (** block entries — the dispatch count of a
+          direct-threaded-inlining interpreter (Figure 2) *)
+}
+
+val run :
+  ?max_instructions:int ->
+  Cfg.Layout.t ->
+  on_block:(Cfg.Layout.gid -> unit) ->
+  result
+(** Execute the program from its entry method, invoking [on_block] at
+    every basic-block dispatch.  [max_instructions] bounds runaway
+    programs via an {!Instruction_budget} trap. *)
+
+val run_plain : ?max_instructions:int -> Cfg.Layout.t -> result
+(** {!run} with no observer: the unmodified interpreter of Table VI. *)
+
+val result_value : result -> Value.t option
+(** The returned value.
+    @raise Invalid_argument if the program trapped. *)

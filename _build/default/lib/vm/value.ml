@@ -1,0 +1,44 @@
+module Instr = Bytecode.Instr
+
+(* Runtime values.  Objects carry their class id and a flat field array laid
+   out per the class's field layout; arrays carry their element kind so the
+   typed array instructions can be checked dynamically. *)
+
+type t =
+  | Vint of int
+  | Vfloat of float
+  | Vnull
+  | Vobj of obj
+  | Varr of arr
+
+and obj = {
+  cls : int;
+  fields : t array;
+}
+
+and arr = {
+  kind : Instr.array_kind;
+  cells : t array;
+}
+
+let default_of_field_kind = function
+  | Bytecode.Klass.Kint -> Vint 0
+  | Bytecode.Klass.Kfloat -> Vfloat 0.0
+  | Bytecode.Klass.Kref -> Vnull
+
+let default_of_array_kind = function
+  | Instr.Int_array -> Vint 0
+  | Instr.Float_array -> Vfloat 0.0
+  | Instr.Ref_array -> Vnull
+
+let rec to_string = function
+  | Vint n -> string_of_int n
+  | Vfloat f -> string_of_float f
+  | Vnull -> "null"
+  | Vobj o -> Printf.sprintf "obj#%d(%d fields)" o.cls (Array.length o.fields)
+  | Varr a ->
+      Printf.sprintf "%s[%d]"
+        (Instr.array_kind_to_string a.kind)
+        (Array.length a.cells)
+
+and pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,32 @@
+(** Runtime values of the VM.
+
+    Objects carry their class id and a flat field array laid out per the
+    class's field layout; arrays carry their element kind so the typed
+    array instructions can be checked dynamically. *)
+
+type t =
+  | Vint of int
+  | Vfloat of float
+  | Vnull
+  | Vobj of obj
+  | Varr of arr
+
+and obj = {
+  cls : int;
+  fields : t array;
+}
+
+and arr = {
+  kind : Bytecode.Instr.array_kind;
+  cells : t array;
+}
+
+val default_of_field_kind : Bytecode.Klass.field_kind -> t
+(** The value a freshly allocated object's field starts with. *)
+
+val default_of_array_kind : Bytecode.Instr.array_kind -> t
+(** The value a freshly allocated array's cells start with. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/dsl.ml: Bytecode

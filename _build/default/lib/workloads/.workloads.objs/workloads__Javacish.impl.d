@@ -1,0 +1,1 @@
+lib/workloads/javacish.ml: Bytecode Dsl Workload

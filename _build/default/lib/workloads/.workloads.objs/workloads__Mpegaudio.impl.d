@@ -1,0 +1,1 @@
+lib/workloads/mpegaudio.ml: Bytecode Dsl Workload

@@ -1,0 +1,1 @@
+lib/workloads/raytrace.ml: Bytecode Dsl Workload

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Compress Javacish List Mpegaudio Raytrace Scimark Sootlike String Workload

@@ -1,0 +1,1 @@
+lib/workloads/scimark.ml: Bytecode Dsl Workload

@@ -1,0 +1,1 @@
+lib/workloads/sootlike.ml: Bytecode Dsl Workload

@@ -1,0 +1,207 @@
+(* Stand-in for SPECjvm98 compress: a 12-bit LZW codec over a run-heavy
+   synthetic input, followed by decompression and verification.  The
+   encoder's inner loop is dominated by a hash-table probe that almost
+   always hits on the first probe, and the input generator repeats symbols
+   with high probability — simple, predictable branch behaviour, like the
+   paper's description of compress. *)
+
+open Dsl
+module S = Bytecode.Structured
+
+let dict_cap = 4096 (* 12-bit codes, as in classic compress *)
+
+let htab_size = 16384 (* power of two, ~4x dict capacity *)
+
+let define (p : S.t) ~size =
+  define_prelude p;
+  (* Runs of repeated symbols: 7/8 repeat, 1/8 fresh. *)
+  S.def_method p ~name:"gen_input"
+    ~args:[ ("state", S.Arr S.I); ("n", S.I) ]
+    ~ret:(S.Arr S.I)
+    ~body:
+      [
+        decl "buf" (S.Arr S.I) (new_arr S.I (v "n"));
+        decl_i "sym" (i 65);
+        for_ "k" (i 0) (v "n")
+          [
+            when_
+              (call "rng_range" [ v "state"; i 8 ] =! i 0)
+              [ set "sym" (call "rng_range" [ v "state"; i 64 ] +! i 32) ];
+            seti (v "buf") (v "k") (v "sym");
+          ];
+        ret (v "buf");
+      ]
+    ();
+  S.def_method p ~name:"hash_find"
+    ~args:[ ("keys", S.Arr S.I); ("vals", S.Arr S.I); ("key", S.I) ]
+    ~ret:S.I
+    ~body:
+      [
+        decl_i "mask" (len (v "keys") -! i 1);
+        decl_i "h" (v "key" *! i 40503 &! v "mask");
+        while_
+          ((v "keys" @. v "h") <>! i (-1))
+          [
+            when_ ((v "keys" @. v "h") =! v "key") [ ret (v "vals" @. v "h") ];
+            set "h" (v "h" +! i 1 &! v "mask");
+          ];
+        ret (i (-1));
+      ]
+    ();
+  S.def_method p ~name:"hash_put"
+    ~args:
+      [ ("keys", S.Arr S.I); ("vals", S.Arr S.I); ("key", S.I); ("value", S.I) ]
+    ~body:
+      [
+        decl_i "mask" (len (v "keys") -! i 1);
+        decl_i "h" (v "key" *! i 40503 &! v "mask");
+        while_
+          ((v "keys" @. v "h") <>! i (-1))
+          [ set "h" (v "h" +! i 1 &! v "mask") ];
+        seti (v "keys") (v "h") (v "key");
+        seti (v "vals") (v "h") (v "value");
+      ]
+    ();
+  (* LZW encode; returns the number of codes written to [out]. *)
+  S.def_method p ~name:"lzw_encode"
+    ~args:[ ("input", S.Arr S.I); ("out", S.Arr S.I) ]
+    ~ret:S.I
+    ~body:
+      [
+        decl_i "n" (len (v "input"));
+        when_ (v "n" =! i 0) [ ret (i 0) ];
+        decl "keys" (S.Arr S.I) (new_arr S.I (i htab_size));
+        decl "vals" (S.Arr S.I) (new_arr S.I (i htab_size));
+        for_ "k" (i 0) (i htab_size) [ seti (v "keys") (v "k") (i (-1)) ];
+        decl_i "next_code" (i 256);
+        decl_i "w" (v "input" @. i 0);
+        decl_i "pos" (i 0);
+        for_ "k" (i 1) (v "n")
+          [
+            decl_i "c" (v "input" @. v "k");
+            decl_i "key" (v "w" *! i 256 +! v "c");
+            decl_i "code" (call "hash_find" [ v "keys"; v "vals"; v "key" ]);
+            if_
+              (v "code" >=! i 0)
+              [ set "w" (v "code") ]
+              [
+                seti (v "out") (v "pos") (v "w");
+                set "pos" (v "pos" +! i 1);
+                when_
+                  (v "next_code" <! i dict_cap)
+                  [
+                    ignore_
+                      (call "hash_put"
+                         [ v "keys"; v "vals"; v "key"; v "next_code" ]);
+                    set "next_code" (v "next_code" +! i 1);
+                  ];
+                set "w" (v "c");
+              ];
+          ];
+        seti (v "out") (v "pos") (v "w");
+        ret (v "pos" +! i 1);
+      ]
+    ();
+  (* LZW decode; returns the number of symbols written to [out]. *)
+  S.def_method p ~name:"lzw_decode"
+    ~args:[ ("codes", S.Arr S.I); ("ncodes", S.I); ("out", S.Arr S.I) ]
+    ~ret:S.I
+    ~body:
+      [
+        when_ (v "ncodes" =! i 0) [ ret (i 0) ];
+        decl "prefix" (S.Arr S.I) (new_arr S.I (i dict_cap));
+        decl "suffix" (S.Arr S.I) (new_arr S.I (i dict_cap));
+        decl "stack" (S.Arr S.I) (new_arr S.I (i dict_cap));
+        decl_i "next_code" (i 256);
+        decl_i "prev" (v "codes" @. i 0);
+        decl_i "pos" (i 0);
+        seti (v "out") (v "pos") (v "prev");
+        set "pos" (v "pos" +! i 1);
+        decl_i "prev_first" (v "prev");
+        for_ "k" (i 1) (v "ncodes")
+          [
+            decl_i "cur" (v "codes" @. v "k");
+            decl_i "sp" (i 0);
+            decl_i "c" (v "cur");
+            (* KwKwK: the code about to be defined *)
+            when_
+              (v "cur" >=! v "next_code")
+              [
+                seti (v "stack") (v "sp") (v "prev_first");
+                set "sp" (v "sp" +! i 1);
+                set "c" (v "prev");
+              ];
+            while_
+              (v "c" >=! i 256)
+              [
+                seti (v "stack") (v "sp") (v "suffix" @. (v "c" -! i 256));
+                set "sp" (v "sp" +! i 1);
+                set "c" (v "prefix" @. (v "c" -! i 256));
+              ];
+            decl_i "first" (v "c");
+            seti (v "stack") (v "sp") (v "c");
+            set "sp" (v "sp" +! i 1);
+            while_
+              (v "sp" >! i 0)
+              [
+                set "sp" (v "sp" -! i 1);
+                seti (v "out") (v "pos") (v "stack" @. v "sp");
+                set "pos" (v "pos" +! i 1);
+              ];
+            when_
+              (v "next_code" <! i dict_cap)
+              [
+                seti (v "prefix") (v "next_code" -! i 256) (v "prev");
+                seti (v "suffix") (v "next_code" -! i 256) (v "first");
+                set "next_code" (v "next_code" +! i 1);
+              ];
+            set "prev" (v "cur");
+            set "prev_first" (v "first");
+          ];
+        ret (v "pos");
+      ]
+    ();
+  S.def_method p ~name:"main" ~args:[] ~ret:S.I
+    ~body:
+      [
+        decl "state" (S.Arr S.I) (new_arr S.I (i 1));
+        seti (v "state") (i 0) (i 987654321);
+        decl_i "n" (i size);
+        decl "input" (S.Arr S.I) (call "gen_input" [ v "state"; v "n" ]);
+        decl "codes" (S.Arr S.I) (new_arr S.I (v "n" +! i 1));
+        decl_i "ncodes" (call "lzw_encode" [ v "input"; v "codes" ]);
+        decl "decoded" (S.Arr S.I) (new_arr S.I (v "n" +! i 8));
+        decl_i "m" (call "lzw_decode" [ v "codes"; v "ncodes"; v "decoded" ]);
+        (* verify round trip *)
+        decl_i "ok" (i 1);
+        when_ (v "m" <>! v "n") [ set "ok" (i 0) ];
+        when_
+          (v "ok" =! i 1)
+          [
+            for_ "k" (i 0) (v "n")
+              [
+                when_
+                  ((v "input" @. v "k") <>! (v "decoded" @. v "k"))
+                  [ set "ok" (i 0); break_ ];
+              ];
+          ];
+        decl_i "chk" (i 0);
+        for_ "k" (i 0) (v "ncodes")
+          [ set "chk" (v "chk" +! (v "codes" @. v "k") &! i 0x3FFFFFFF) ];
+        ret (v "chk" *! i 2 +! v "ok");
+      ]
+    ()
+
+let workload : Workload.t =
+  {
+    Workload.name = "compress";
+    description = "12-bit LZW encode + decode + verify over run-heavy input";
+    paper_counterpart = "SPECjvm98 compress";
+    build =
+      (fun ~size ->
+        let p = S.create () in
+        define p ~size;
+        S.link p ~entry:"main");
+    default_size = 8_000;
+    bench_size = 120_000;
+  }

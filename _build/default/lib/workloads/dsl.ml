@@ -1,0 +1,162 @@
+(* Thin combinator layer over {!Bytecode.Structured} so workload programs
+   read close to the Java they stand in for.  Conventions:
+
+   - integer/float expression operators end in [!]: [a +! b], [a <! b];
+   - [v "x"] reads a local, [i 42] and [f 3.14] are literals;
+   - [a @. k] indexes array [a] at [k]. *)
+
+module S = Bytecode.Structured
+
+type expr = S.expr
+type stmt = S.stmt
+
+let i n = S.Cint n
+let f x = S.Cflt x
+let null = S.Cnull
+let v name = S.Var name
+
+let ( +! ) a b = S.Bin (S.Add, a, b)
+let ( -! ) a b = S.Bin (S.Sub, a, b)
+let ( *! ) a b = S.Bin (S.Mul, a, b)
+let ( /! ) a b = S.Bin (S.Div, a, b)
+let ( %! ) a b = S.Bin (S.Rem, a, b)
+let ( &! ) a b = S.Bin (S.And, a, b)
+let ( |! ) a b = S.Bin (S.Or, a, b)
+let ( ^! ) a b = S.Bin (S.Xor, a, b)
+let ( <<! ) a b = S.Bin (S.Shl, a, b)
+let ( >>! ) a b = S.Bin (S.Shr, a, b)
+let ( >>>! ) a b = S.Bin (S.Ushr, a, b)
+let neg a = S.Neg a
+
+let ( =! ) a b = S.Cmp (S.Ceq, a, b)
+let ( <>! ) a b = S.Cmp (S.Cne, a, b)
+let ( <! ) a b = S.Cmp (S.Clt, a, b)
+let ( <=! ) a b = S.Cmp (S.Cle, a, b)
+let ( >! ) a b = S.Cmp (S.Cgt, a, b)
+let ( >=! ) a b = S.Cmp (S.Cge, a, b)
+let ( &&! ) a b = S.And_also (a, b)
+let ( ||! ) a b = S.Or_else (a, b)
+let not_ a = S.Not a
+
+let i2f e = S.I2f_ e
+let f2i e = S.F2i_ e
+
+let call name args = S.Call (name, args)
+let vcall sel recv args = S.Vcall (sel, recv, args)
+let new_obj cls = S.New_obj cls
+let getf cls fld recv = S.Getf (cls, fld, recv)
+let new_arr ty len = S.New_arr (ty, len)
+let ( @. ) a idx = S.Idx (a, idx)
+let len a = S.Len a
+let is_instance cls e = S.Is_instance (cls, e)
+
+(* statements *)
+let decl name ty e = S.Decl (name, ty, e)
+let decl_i name e = S.Decl (name, S.I, e)
+let decl_f name e = S.Decl (name, S.F, e)
+let set name e = S.Set (name, e)
+let seti arr idx e = S.Set_idx (arr, idx, e)
+let setf cls fld recv e = S.Setf (cls, fld, recv, e)
+let if_ c t e = S.If (c, t, e)
+let when_ c t = S.If (c, t, [])
+let while_ c body = S.While (c, body)
+let do_while body c = S.Do_while (body, c)
+let for_ var lo hi body = S.For (var, lo, hi, body)
+let switch e cases default = S.Switch (e, cases, default)
+let ret e = S.Ret (Some e)
+let ret_void = S.Ret None
+let ignore_ e = S.Ignore e
+let break_ = S.Break
+let continue_ = S.Continue
+let throw e = S.Throw e
+let try_ body ~catch:(cls, var) handler = S.Try (body, cls, var, handler)
+
+let incr_ name = set name (v name +! i 1)
+
+(* Shared runtime helpers every workload program gets: a linear
+   congruential RNG whose state lives in a one-element int array (the VM
+   has no statics), plus small math utilities. *)
+let define_prelude (p : S.t) =
+  (* rng_next(state) -> int in [0, 2^30) *)
+  S.def_method p ~name:"rng_next"
+    ~args:[ ("state", S.Arr S.I) ]
+    ~ret:S.I
+    ~body:
+      [
+        decl_i "s" ((v "state" @. i 0) *! i 1103515245 +! i 12345);
+        set "s" (v "s" &! i 0x3FFFFFFF);
+        seti (v "state") (i 0) (v "s");
+        ret (v "s");
+      ]
+    ();
+  (* rng_range(state, n) -> int in [0, n) *)
+  S.def_method p ~name:"rng_range"
+    ~args:[ ("state", S.Arr S.I); ("n", S.I) ]
+    ~ret:S.I
+    ~body:[ ret (call "rng_next" [ v "state" ] %! v "n") ]
+    ();
+  S.def_method p ~name:"imin"
+    ~args:[ ("a", S.I); ("b", S.I) ]
+    ~ret:S.I
+    ~body:[ if_ (v "a" <! v "b") [ ret (v "a") ] [ ret (v "b") ] ]
+    ();
+  S.def_method p ~name:"imax"
+    ~args:[ ("a", S.I); ("b", S.I) ]
+    ~ret:S.I
+    ~body:[ if_ (v "a" >! v "b") [ ret (v "a") ] [ ret (v "b") ] ]
+    ();
+  S.def_method p ~name:"iabs"
+    ~args:[ ("a", S.I) ]
+    ~ret:S.I
+    ~body:[ if_ (v "a" <! i 0) [ ret (neg (v "a")) ] [ ret (v "a") ] ]
+    ();
+  S.def_method p ~name:"fabs"
+    ~args:[ ("a", S.F) ]
+    ~ret:S.F
+    ~body:[ if_ (v "a" <! f 0.0) [ ret (neg (v "a")) ] [ ret (v "a") ] ]
+    ();
+  (* fsqrt(x): Newton's method, enough precision for the workloads *)
+  S.def_method p ~name:"fsqrt"
+    ~args:[ ("x", S.F) ]
+    ~ret:S.F
+    ~body:
+      [
+        if_ (v "x" <=! f 0.0) [ ret (f 0.0) ] [];
+        decl_f "g" (v "x");
+        when_ (v "g" >! f 1.0) [ set "g" (v "x" /! f 2.0) ];
+        for_ "it" (i 0) (i 20)
+          [ set "g" ((v "g" +! (v "x" /! v "g")) /! f 2.0) ];
+        ret (v "g");
+      ]
+    ();
+  (* fsin via Taylor series after range reduction; coarse but deterministic *)
+  S.def_method p ~name:"fsin"
+    ~args:[ ("x", S.F) ]
+    ~ret:S.F
+    ~body:
+      [
+        decl_f "two_pi" (f 6.283185307179586);
+        decl_f "y" (v "x");
+        while_ (v "y" >! f 3.141592653589793) [ set "y" (v "y" -! v "two_pi") ];
+        while_ (v "y" <! f (-3.141592653589793))
+          [ set "y" (v "y" +! v "two_pi") ];
+        decl_f "y2" (v "y" *! v "y");
+        decl_f "t" (v "y");
+        decl_f "acc" (v "y");
+        (* terms up to y^9/9! *)
+        set "t" (neg (v "t" *! v "y2" /! f 6.0));
+        set "acc" (v "acc" +! v "t");
+        set "t" (neg (v "t" *! v "y2" /! f 20.0));
+        set "acc" (v "acc" +! v "t");
+        set "t" (neg (v "t" *! v "y2" /! f 42.0));
+        set "acc" (v "acc" +! v "t");
+        set "t" (neg (v "t" *! v "y2" /! f 72.0));
+        set "acc" (v "acc" +! v "t");
+        ret (v "acc");
+      ]
+    ();
+  S.def_method p ~name:"fcos"
+    ~args:[ ("x", S.F) ]
+    ~ret:S.F
+    ~body:[ ret (call "fsin" [ v "x" +! f 1.5707963267948966 ]) ]
+    ()

@@ -1,0 +1,357 @@
+(* Stand-in for SPECjvm98 javac: a compiler front end written in the guest
+   bytecode.  It generates random arithmetic-expression token streams, runs
+   a recursive-descent parser building heap-allocated AST nodes, then makes
+   three tree passes through virtual dispatch (evaluate, measure, constant
+   fold).  Branching is irregular — parser switches, rng-shaped trees, and
+   polymorphic call sites — which is what makes javac hard for trace
+   caches. *)
+
+open Dsl
+module S = Bytecode.Structured
+
+(* token encoding *)
+let t_num = 0
+let t_var = 1
+let t_plus = 2
+let t_minus = 3
+let t_star = 4
+let t_lpar = 5
+let t_rpar = 6
+let t_end = 7
+
+let define (p : S.t) ~size =
+  define_prelude p;
+  (* parse errors are real exceptions: thrown by the parser on malformed
+     input (which the generator produces for a small fraction of streams),
+     caught per-expression in main — the rarely-taken handler edges the
+     paper calls out *)
+  S.def_class p ~name:"ParseExn" ~fields:[ ("at", S.I) ] ~methods:[] ();
+  S.def_class p ~name:"Node" ~fields:[] ~methods:[] ();
+  S.def_class p ~name:"Num" ~super:"Node"
+    ~fields:[ ("value", S.I) ]
+    ~methods:[ ("eval", "num_eval"); ("nsize", "num_size"); ("fold", "num_fold") ]
+    ();
+  S.def_class p ~name:"Varn" ~super:"Node"
+    ~fields:[ ("idx", S.I) ]
+    ~methods:[ ("eval", "var_eval"); ("nsize", "var_size"); ("fold", "var_fold") ]
+    ();
+  S.def_class p ~name:"Bin" ~super:"Node"
+    ~fields:[ ("op", S.I); ("left", S.R); ("right", S.R) ]
+    ~methods:[ ("eval", "bin_eval"); ("nsize", "bin_size"); ("fold", "bin_fold") ]
+    ();
+  (* eval *)
+  S.def_method p ~name:"num_eval" ~kind:Bytecode.Mthd.Virtual
+    ~args:[ ("env", S.Arr S.I) ]
+    ~ret:S.I
+    ~body:[ ret (getf "Num" "value" (v "this")) ]
+    ();
+  S.def_method p ~name:"var_eval" ~kind:Bytecode.Mthd.Virtual
+    ~args:[ ("env", S.Arr S.I) ]
+    ~ret:S.I
+    ~body:[ ret (v "env" @. (getf "Varn" "idx" (v "this") &! i 15)) ]
+    ();
+  S.def_method p ~name:"bin_eval" ~kind:Bytecode.Mthd.Virtual
+    ~args:[ ("env", S.Arr S.I) ]
+    ~ret:S.I
+    ~body:
+      [
+        decl_i "l" (vcall "eval" (getf "Bin" "left" (v "this")) [ v "env" ]);
+        decl_i "r" (vcall "eval" (getf "Bin" "right" (v "this")) [ v "env" ]);
+        switch
+          (getf "Bin" "op" (v "this"))
+          [
+            (0, [ ret (v "l" +! v "r") ]);
+            (1, [ ret (v "l" -! v "r") ]);
+            (2, [ ret ((v "l" *! v "r") &! i 0xFFFFFF) ]);
+          ]
+          [ ret (i 0) ];
+      ]
+    ();
+  (* nsize *)
+  S.def_method p ~name:"num_size" ~kind:Bytecode.Mthd.Virtual ~args:[] ~ret:S.I
+    ~body:[ ret (i 1) ] ();
+  S.def_method p ~name:"var_size" ~kind:Bytecode.Mthd.Virtual ~args:[] ~ret:S.I
+    ~body:[ ret (i 1) ] ();
+  S.def_method p ~name:"bin_size" ~kind:Bytecode.Mthd.Virtual ~args:[] ~ret:S.I
+    ~body:
+      [
+        ret
+          (i 1
+          +! vcall "nsize" (getf "Bin" "left" (v "this")) []
+          +! vcall "nsize" (getf "Bin" "right" (v "this")) []);
+      ]
+    ();
+  (* fold: constant folding, rebuilding the tree *)
+  S.def_method p ~name:"num_fold" ~kind:Bytecode.Mthd.Virtual ~args:[] ~ret:S.R
+    ~body:[ ret (v "this") ] ();
+  S.def_method p ~name:"var_fold" ~kind:Bytecode.Mthd.Virtual ~args:[] ~ret:S.R
+    ~body:[ ret (v "this") ] ();
+  S.def_method p ~name:"mk_num" ~args:[ ("value", S.I) ] ~ret:S.R
+    ~body:
+      [
+        decl "n" S.R (new_obj "Num");
+        setf "Num" "value" (v "n") (v "value");
+        ret (v "n");
+      ]
+    ();
+  S.def_method p ~name:"mk_bin"
+    ~args:[ ("op", S.I); ("l", S.R); ("r", S.R) ]
+    ~ret:S.R
+    ~body:
+      [
+        decl "n" S.R (new_obj "Bin");
+        setf "Bin" "op" (v "n") (v "op");
+        setf "Bin" "left" (v "n") (v "l");
+        setf "Bin" "right" (v "n") (v "r");
+        ret (v "n");
+      ]
+    ();
+  S.def_method p ~name:"bin_fold" ~kind:Bytecode.Mthd.Virtual ~args:[] ~ret:S.R
+    ~body:
+      [
+        decl "l" S.R (vcall "fold" (getf "Bin" "left" (v "this")) []);
+        decl "r" S.R (vcall "fold" (getf "Bin" "right" (v "this")) []);
+        if_
+          (is_instance "Num" (v "l") &&! is_instance "Num" (v "r"))
+          [
+            decl_i "lv" (getf "Num" "value" (v "l"));
+            decl_i "rv" (getf "Num" "value" (v "r"));
+            switch
+              (getf "Bin" "op" (v "this"))
+              [
+                (0, [ ret (call "mk_num" [ v "lv" +! v "rv" ]) ]);
+                (1, [ ret (call "mk_num" [ v "lv" -! v "rv" ]) ]);
+                (2, [ ret (call "mk_num" [ (v "lv" *! v "rv") &! i 0xFFFFFF ]) ]);
+              ]
+              [ ret (call "mk_num" [ i 0 ]) ];
+          ]
+          [ ret (call "mk_bin" [ getf "Bin" "op" (v "this"); v "l"; v "r" ]) ];
+      ]
+    ();
+  (* Token generation: a bounded recursive grammar expansion.  [limit]
+     protects the buffer; when close to it the generator forces leaves. *)
+  S.def_method p ~name:"gen_factor"
+    ~args:
+      [ ("state", S.Arr S.I); ("toks", S.Arr S.I); ("pos", S.Arr S.I);
+        ("depth", S.I) ]
+    ~body:
+      [
+        decl_i "pp" (v "pos" @. i 0);
+        decl_i "choice" (call "rng_range" [ v "state"; i 8 ]);
+        if_
+          (v "choice" <! i 4 ||! (v "pp" >! len (v "toks") -! i 16)
+          ||! (v "depth" >! i 4))
+          [
+            (* number literal *)
+            seti (v "toks") (v "pp") (i t_num);
+            seti (v "toks") (v "pp" +! i 1)
+              (call "rng_range" [ v "state"; i 1000 ]);
+            seti (v "pos") (i 0) (v "pp" +! i 2);
+          ]
+          [
+            if_
+              (v "choice" <! i 7)
+              [
+                (* variable *)
+                seti (v "toks") (v "pp") (i t_var);
+                seti (v "toks") (v "pp" +! i 1)
+                  (call "rng_range" [ v "state"; i 16 ]);
+                seti (v "pos") (i 0) (v "pp" +! i 2);
+              ]
+              [
+                (* parenthesised subexpression *)
+                seti (v "toks") (v "pp") (i t_lpar);
+                seti (v "pos") (i 0) (v "pp" +! i 1);
+                ignore_
+                  (call "gen_expr"
+                     [ v "state"; v "toks"; v "pos"; v "depth" +! i 1 ]);
+                decl_i "pe" (v "pos" @. i 0);
+                seti (v "toks") (v "pe") (i t_rpar);
+                seti (v "pos") (i 0) (v "pe" +! i 1);
+              ];
+          ];
+      ]
+    ();
+  S.def_method p ~name:"gen_term"
+    ~args:
+      [ ("state", S.Arr S.I); ("toks", S.Arr S.I); ("pos", S.Arr S.I);
+        ("depth", S.I) ]
+    ~body:
+      [
+        ignore_ (call "gen_factor" [ v "state"; v "toks"; v "pos"; v "depth" ]);
+        while_
+          (call "rng_range" [ v "state"; i 4 ] =! i 0
+          &&! (v "pos" @. i 0 <! len (v "toks") -! i 16))
+          [
+            decl_i "pp" (v "pos" @. i 0);
+            seti (v "toks") (v "pp") (i t_star);
+            seti (v "pos") (i 0) (v "pp" +! i 1);
+            ignore_
+              (call "gen_factor" [ v "state"; v "toks"; v "pos"; v "depth" ]);
+          ];
+      ]
+    ();
+  S.def_method p ~name:"gen_expr"
+    ~args:
+      [ ("state", S.Arr S.I); ("toks", S.Arr S.I); ("pos", S.Arr S.I);
+        ("depth", S.I) ]
+    ~body:
+      [
+        ignore_ (call "gen_term" [ v "state"; v "toks"; v "pos"; v "depth" ]);
+        while_
+          (call "rng_range" [ v "state"; i 3 ] =! i 0
+          &&! (v "pos" @. i 0 <! len (v "toks") -! i 16))
+          [
+            decl_i "pp" (v "pos" @. i 0);
+            if_
+              (call "rng_range" [ v "state"; i 2 ] =! i 0)
+              [ seti (v "toks") (v "pp") (i t_plus) ]
+              [ seti (v "toks") (v "pp") (i t_minus) ];
+            seti (v "pos") (i 0) (v "pp" +! i 1);
+            ignore_
+              (call "gen_term" [ v "state"; v "toks"; v "pos"; v "depth" ]);
+          ];
+      ]
+    ();
+  (* Recursive-descent parser over the token buffer. *)
+  S.def_method p ~name:"parse_factor"
+    ~args:[ ("toks", S.Arr S.I); ("pos", S.Arr S.I) ]
+    ~ret:S.R
+    ~body:
+      [
+        decl_i "pp" (v "pos" @. i 0);
+        decl_i "t" (v "toks" @. v "pp");
+        switch (v "t")
+          [
+            ( t_num,
+              [
+                seti (v "pos") (i 0) (v "pp" +! i 2);
+                ret (call "mk_num" [ v "toks" @. (v "pp" +! i 1) ]);
+              ] );
+            ( t_var,
+              [
+                seti (v "pos") (i 0) (v "pp" +! i 2);
+                decl "n" S.R (new_obj "Varn");
+                setf "Varn" "idx" (v "n") (v "toks" @. (v "pp" +! i 1));
+                ret (v "n");
+              ] );
+            ( t_lpar,
+              [
+                seti (v "pos") (i 0) (v "pp" +! i 1);
+                decl "e" S.R (call "parse_expr" [ v "toks"; v "pos" ]);
+                (* consume ')' *)
+                seti (v "pos") (i 0) ((v "pos" @. i 0) +! i 1);
+                ret (v "e");
+              ] );
+          ]
+          [
+            (* unexpected token: parse error *)
+            decl "err" S.R (new_obj "ParseExn");
+            setf "ParseExn" "at" (v "err") (v "pp");
+            throw (v "err");
+          ];
+      ]
+    ();
+  S.def_method p ~name:"parse_term"
+    ~args:[ ("toks", S.Arr S.I); ("pos", S.Arr S.I) ]
+    ~ret:S.R
+    ~body:
+      [
+        decl "acc" S.R (call "parse_factor" [ v "toks"; v "pos" ]);
+        while_
+          ((v "toks" @. (v "pos" @. i 0)) =! i t_star)
+          [
+            seti (v "pos") (i 0) ((v "pos" @. i 0) +! i 1);
+            decl "rhs" S.R (call "parse_factor" [ v "toks"; v "pos" ]);
+            set "acc" (call "mk_bin" [ i 2; v "acc"; v "rhs" ]);
+          ];
+        ret (v "acc");
+      ]
+    ();
+  S.def_method p ~name:"parse_expr"
+    ~args:[ ("toks", S.Arr S.I); ("pos", S.Arr S.I) ]
+    ~ret:S.R
+    ~body:
+      [
+        decl "acc" S.R (call "parse_term" [ v "toks"; v "pos" ]);
+        decl_i "t" (v "toks" @. (v "pos" @. i 0));
+        while_
+          (v "t" =! i t_plus ||! (v "t" =! i t_minus))
+          [
+            seti (v "pos") (i 0) ((v "pos" @. i 0) +! i 1);
+            decl "rhs" S.R (call "parse_term" [ v "toks"; v "pos" ]);
+            if_
+              (v "t" =! i t_plus)
+              [ set "acc" (call "mk_bin" [ i 0; v "acc"; v "rhs" ]) ]
+              [ set "acc" (call "mk_bin" [ i 1; v "acc"; v "rhs" ]) ];
+            set "t" (v "toks" @. (v "pos" @. i 0));
+          ];
+        ret (v "acc");
+      ]
+    ();
+  S.def_method p ~name:"main" ~args:[] ~ret:S.I
+    ~body:
+      [
+        decl "state" (S.Arr S.I) (new_arr S.I (i 1));
+        seti (v "state") (i 0) (i 24680);
+        decl "toks" (S.Arr S.I) (new_arr S.I (i 4096));
+        decl "pos" (S.Arr S.I) (new_arr S.I (i 1));
+        decl "env" (S.Arr S.I) (new_arr S.I (i 16));
+        for_ "k" (i 0) (i 16)
+          [ seti (v "env") (v "k") (call "rng_range" [ v "state"; i 100 ]) ];
+        decl_i "chk" (i 0);
+        decl_i "errors" (i 0);
+        for_ "e" (i 0) (i size)
+          [
+            (* generate one expression's tokens *)
+            seti (v "pos") (i 0) (i 0);
+            ignore_ (call "gen_expr" [ v "state"; v "toks"; v "pos"; i 0 ]);
+            decl_i "endp" (v "pos" @. i 0);
+            seti (v "toks") (v "endp") (i t_end);
+            (* a few streams are corrupted; the parser throws on them *)
+            when_
+              (call "rng_range" [ v "state"; i 32 ] =! i 0)
+              [ seti (v "toks") (i 0) (i t_rpar) ];
+            try_
+              [
+                (* parse *)
+                seti (v "pos") (i 0) (i 0);
+                decl "ast" S.R (call "parse_expr" [ v "toks"; v "pos" ]);
+                (* evaluate, measure, fold, re-evaluate *)
+                decl_i "x" (vcall "eval" (v "ast") [ v "env" ]);
+                decl_i "sz" (vcall "nsize" (v "ast") []);
+                decl "folded" S.R (vcall "fold" (v "ast") []);
+                decl_i "y" (vcall "eval" (v "folded") [ v "env" ]);
+                decl_i "sz2" (vcall "nsize" (v "folded") []);
+                when_ (v "x" <>! v "y") [ ret (i (-1)) ];
+                set "chk"
+                  ((v "chk" +! v "x" +! (v "sz" *! i 31) +! v "sz2")
+                  &! i 0x3FFFFFFF);
+              ]
+              ~catch:("ParseExn", "perr")
+              [
+                set "errors" (v "errors" +! i 1);
+                set "chk"
+                  ((v "chk" +! getf "ParseExn" "at" (v "perr"))
+                  &! i 0x3FFFFFFF);
+              ];
+          ];
+        ret ((v "chk" *! i 2 +! v "errors") &! i 0x3FFFFFFF);
+      ]
+    ()
+
+let workload : Workload.t =
+  {
+    Workload.name = "javac";
+    description =
+      "expression-language front end: token generation, recursive-descent \
+       parsing into heap ASTs, and three virtual-dispatch tree passes";
+    paper_counterpart = "SPECjvm98 javac";
+    build =
+      (fun ~size ->
+        let p = S.create () in
+        define p ~size;
+        S.link p ~entry:"main");
+    default_size = 400;
+    bench_size = 15_000;
+  }

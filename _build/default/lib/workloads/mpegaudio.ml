@@ -1,0 +1,168 @@
+(* Stand-in for SPECjvm98 mpegaudio: a DSP pipeline.  Samples are
+   synthesized, pushed through a polymorphic chain of filter stages (biquad
+   sections with internal state, gain, and a rarely-triggering soft
+   clipper — a virtual call every few bytecodes, like real audio decoders),
+   then windowed through a 32-tap subband accumulator and quantized.
+   Branches are highly regular except for the clipper. *)
+
+open Dsl
+module S = Bytecode.Structured
+
+let define (p : S.t) ~size =
+  define_prelude p;
+  S.def_class p ~name:"Stage" ~fields:[] ~methods:[] ();
+  S.def_class p ~name:"Biquad" ~super:"Stage"
+    ~fields:
+      [ ("b0", S.F); ("b1", S.F); ("b2", S.F); ("a1", S.F); ("a2", S.F);
+        ("z1", S.F); ("z2", S.F) ]
+    ~methods:[ ("process", "biquad_process") ]
+    ();
+  S.def_class p ~name:"Gain" ~super:"Stage"
+    ~fields:[ ("g", S.F) ]
+    ~methods:[ ("process", "gain_process") ]
+    ();
+  S.def_class p ~name:"Clip" ~super:"Stage"
+    ~fields:[ ("limit", S.F); ("clipped", S.I) ]
+    ~methods:[ ("process", "clip_process") ]
+    ();
+  (* transposed direct form II biquad *)
+  S.def_method p ~name:"biquad_process" ~kind:Bytecode.Mthd.Virtual
+    ~args:[ ("x", S.F) ]
+    ~ret:S.F
+    ~body:
+      [
+        decl_f "y" ((getf "Biquad" "b0" (v "this") *! v "x")
+                    +! getf "Biquad" "z1" (v "this"));
+        setf "Biquad" "z1" (v "this")
+          ((getf "Biquad" "b1" (v "this") *! v "x")
+          -! (getf "Biquad" "a1" (v "this") *! v "y")
+          +! getf "Biquad" "z2" (v "this"));
+        setf "Biquad" "z2" (v "this")
+          ((getf "Biquad" "b2" (v "this") *! v "x")
+          -! (getf "Biquad" "a2" (v "this") *! v "y"));
+        ret (v "y");
+      ]
+    ();
+  S.def_method p ~name:"gain_process" ~kind:Bytecode.Mthd.Virtual
+    ~args:[ ("x", S.F) ]
+    ~ret:S.F
+    ~body:[ ret (getf "Gain" "g" (v "this") *! v "x") ]
+    ();
+  S.def_method p ~name:"clip_process" ~kind:Bytecode.Mthd.Virtual
+    ~args:[ ("x", S.F) ]
+    ~ret:S.F
+    ~body:
+      [
+        decl_f "lim" (getf "Clip" "limit" (v "this"));
+        when_
+          (v "x" >! v "lim")
+          [
+            setf "Clip" "clipped" (v "this")
+              (getf "Clip" "clipped" (v "this") +! i 1);
+            ret (v "lim" +! ((v "x" -! v "lim") *! f 0.1));
+          ];
+        when_
+          (v "x" <! neg (v "lim"))
+          [
+            setf "Clip" "clipped" (v "this")
+              (getf "Clip" "clipped" (v "this") +! i 1);
+            ret (neg (v "lim") +! ((v "x" +! v "lim") *! f 0.1));
+          ];
+        ret (v "x");
+      ]
+    ();
+  S.def_method p ~name:"mk_biquad"
+    ~args:[ ("b0", S.F); ("b1", S.F); ("b2", S.F); ("a1", S.F); ("a2", S.F) ]
+    ~ret:S.R
+    ~body:
+      [
+        decl "s" S.R (new_obj "Biquad");
+        setf "Biquad" "b0" (v "s") (v "b0");
+        setf "Biquad" "b1" (v "s") (v "b1");
+        setf "Biquad" "b2" (v "s") (v "b2");
+        setf "Biquad" "a1" (v "s") (v "a1");
+        setf "Biquad" "a2" (v "s") (v "a2");
+        ret (v "s");
+      ]
+    ();
+  S.def_method p ~name:"main" ~args:[] ~ret:S.I
+    ~body:
+      [
+        (* filter chain: lowpass, peak, gain, highpass-ish, clip, gain *)
+        decl "chain" (S.Arr S.R) (new_arr S.R (i 6));
+        seti (v "chain") (i 0)
+          (call "mk_biquad" [ f 0.2066; f 0.4131; f 0.2066; f (-0.3695); f 0.1958 ]);
+        seti (v "chain") (i 1)
+          (call "mk_biquad" [ f 1.0300; f (-1.9029); f 0.9029; f (-1.9029); f 0.9329 ]);
+        decl "g1" S.R (new_obj "Gain");
+        setf "Gain" "g" (v "g1") (f 0.8);
+        seti (v "chain") (i 2) (v "g1");
+        seti (v "chain") (i 3)
+          (call "mk_biquad" [ f 0.9726; f (-1.9452); f 0.9726; f (-1.9445); f 0.9460 ]);
+        decl "cl" S.R (new_obj "Clip");
+        setf "Clip" "limit" (v "cl") (f 0.95);
+        seti (v "chain") (i 4) (v "cl");
+        decl "g2" S.R (new_obj "Gain");
+        setf "Gain" "g" (v "g2") (f 1.18);
+        seti (v "chain") (i 5) (v "g2");
+        (* 32-tap analysis window *)
+        decl "win" (S.Arr S.F) (new_arr S.F (i 32));
+        for_ "k" (i 0) (i 32)
+          [
+            seti (v "win") (v "k")
+              (call "fsin" [ i2f (v "k" +! i 1) *! f 0.0959931 ] *! f 0.0625);
+          ];
+        decl "ring" (S.Arr S.F) (new_arr S.F (i 32));
+        decl_i "n" (i size);
+        decl_i "chk" (i 0);
+        decl_f "sub" (f 0.0);
+        for_ "t" (i 0) (v "n")
+          [
+            (* synthesize: two partials + a small rng dither *)
+            decl "st" (S.Arr S.I) (new_arr S.I (i 1));
+            seti (v "st") (i 0) (v "t");
+            decl_f "x"
+              (call "fsin" [ i2f (v "t") *! f 0.0501 ]
+              +! (f 0.31 *! call "fsin" [ i2f (v "t") *! f 0.1733 ])
+              +! (i2f (call "rng_range" [ v "st"; i 64 ]) *! f 0.001));
+            (* run the polymorphic chain *)
+            for_ "s" (i 0)
+              (len (v "chain"))
+              [ set "x" (vcall "process" (v "chain" @. v "s") [ v "x" ]) ];
+            seti (v "ring") (v "t" &! i 31) (v "x");
+            (* every 32 samples: windowed subband sum + quantize *)
+            when_
+              ((v "t" &! i 31) =! i 31)
+              [
+                set "sub" (f 0.0);
+                for_ "k" (i 0) (i 32)
+                  [
+                    set "sub"
+                      (v "sub"
+                      +! ((v "ring" @. v "k") *! (v "win" @. v "k")));
+                  ];
+                set "chk"
+                  ((v "chk" +! call "iabs" [ f2i (v "sub" *! f 32767.0) ])
+                  &! i 0x3FFFFFFF);
+              ];
+          ];
+        (* fold in the rare-branch counter *)
+        ret ((v "chk" *! i 4 +! getf "Clip" "clipped" (v "cl")) &! i 0x3FFFFFFF);
+      ]
+    ()
+
+let workload : Workload.t =
+  {
+    Workload.name = "mpegaudio";
+    description =
+      "DSP pipeline: polymorphic biquad/gain/clipper filter chain plus a \
+       32-tap subband window and quantizer";
+    paper_counterpart = "SPECjvm98 mpegaudio";
+    build =
+      (fun ~size ->
+        let p = S.create () in
+        define p ~size;
+        S.link p ~entry:"main");
+    default_size = 1_200;
+    bench_size = 16_000;
+  }

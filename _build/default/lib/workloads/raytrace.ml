@@ -1,0 +1,227 @@
+(* Stand-in for SPECjvm98 raytrace: a small recursive-free ray tracer over
+   a polymorphic scene (spheres and a checkerboard ground plane), with
+   primary rays and shadow rays.  Intersection and shading go through
+   virtual dispatch per shape; float math dominates; branch behaviour is
+   moderately predictable (hit/miss patterns are spatially coherent). *)
+
+open Dsl
+module S = Bytecode.Structured
+
+let define (p : S.t) ~size =
+  define_prelude p;
+  S.def_class p ~name:"Shape" ~fields:[] ~methods:[] ();
+  S.def_class p ~name:"Sphere" ~super:"Shape"
+    ~fields:[ ("cx", S.F); ("cy", S.F); ("cz", S.F); ("r", S.F) ]
+    ~methods:[ ("hit", "sphere_hit"); ("shade", "sphere_shade") ]
+    ();
+  S.def_class p ~name:"PlaneY" ~super:"Shape"
+    ~fields:[ ("y0", S.F) ]
+    ~methods:[ ("hit", "plane_hit"); ("shade", "plane_shade") ]
+    ();
+  (* hit(ox..dz) -> parameter t along the ray, or -1 on miss *)
+  S.def_method p ~name:"sphere_hit" ~kind:Bytecode.Mthd.Virtual
+    ~args:
+      [ ("ox", S.F); ("oy", S.F); ("oz", S.F); ("dx", S.F); ("dy", S.F);
+        ("dz", S.F) ]
+    ~ret:S.F
+    ~body:
+      [
+        decl_f "lx" (v "ox" -! getf "Sphere" "cx" (v "this"));
+        decl_f "ly" (v "oy" -! getf "Sphere" "cy" (v "this"));
+        decl_f "lz" (v "oz" -! getf "Sphere" "cz" (v "this"));
+        decl_f "b" ((v "lx" *! v "dx") +! (v "ly" *! v "dy") +! (v "lz" *! v "dz"));
+        decl_f "rr" (getf "Sphere" "r" (v "this"));
+        decl_f "c2"
+          ((v "lx" *! v "lx") +! (v "ly" *! v "ly") +! (v "lz" *! v "lz")
+          -! (v "rr" *! v "rr"));
+        decl_f "disc" ((v "b" *! v "b") -! v "c2");
+        when_ (v "disc" <! f 0.0) [ ret (f (-1.0)) ];
+        decl_f "sq" (call "fsqrt" [ v "disc" ]);
+        decl_f "t" (neg (v "b") -! v "sq");
+        when_ (v "t" >! f 0.001) [ ret (v "t") ];
+        set "t" (neg (v "b") +! v "sq");
+        when_ (v "t" >! f 0.001) [ ret (v "t") ];
+        ret (f (-1.0));
+      ]
+    ();
+  S.def_method p ~name:"plane_hit" ~kind:Bytecode.Mthd.Virtual
+    ~args:
+      [ ("ox", S.F); ("oy", S.F); ("oz", S.F); ("dx", S.F); ("dy", S.F);
+        ("dz", S.F) ]
+    ~ret:S.F
+    ~body:
+      [
+        decl_f "ady" (call "fabs" [ v "dy" ]);
+        when_ (v "ady" <! f 0.0001) [ ret (f (-1.0)) ];
+        decl_f "t" ((getf "PlaneY" "y0" (v "this") -! v "oy") /! v "dy");
+        when_ (v "t" >! f 0.001) [ ret (v "t") ];
+        ret (f (-1.0));
+      ]
+    ();
+  (* shade(px,py,pz) -> diffuse intensity in [0,1] given the fixed light *)
+  S.def_method p ~name:"sphere_shade" ~kind:Bytecode.Mthd.Virtual
+    ~args:[ ("px", S.F); ("py", S.F); ("pz", S.F) ]
+    ~ret:S.F
+    ~body:
+      [
+        decl_f "nx" ((v "px" -! getf "Sphere" "cx" (v "this"))
+                     /! getf "Sphere" "r" (v "this"));
+        decl_f "ny" ((v "py" -! getf "Sphere" "cy" (v "this"))
+                     /! getf "Sphere" "r" (v "this"));
+        decl_f "nz" ((v "pz" -! getf "Sphere" "cz" (v "this"))
+                     /! getf "Sphere" "r" (v "this"));
+        decl_f "d"
+          ((v "nx" *! f 0.577) +! (v "ny" *! f 0.577) +! (v "nz" *! f (-0.577)));
+        when_ (v "d" <! f 0.0) [ ret (f 0.0) ];
+        ret (v "d");
+      ]
+    ();
+  S.def_method p ~name:"plane_shade" ~kind:Bytecode.Mthd.Virtual
+    ~args:[ ("px", S.F); ("py", S.F); ("pz", S.F) ]
+    ~ret:S.F
+    ~body:
+      [
+        (* checkerboard albedo *)
+        decl_i "cx" (f2i (v "px" +! f 1000.0));
+        decl_i "cz" (f2i (v "pz" +! f 1000.0));
+        if_
+          (((v "cx" +! v "cz") &! i 1) =! i 0)
+          [ ret (f 0.52) ]
+          [ ret (f 0.18) ];
+      ]
+    ();
+  (* closest_hit: scan the scene, returning the shape index (or -1) and
+     leaving the hit distance in out[0] *)
+  S.def_method p ~name:"closest_hit"
+    ~args:
+      [ ("scene", S.Arr S.R); ("ox", S.F); ("oy", S.F); ("oz", S.F);
+        ("dx", S.F); ("dy", S.F); ("dz", S.F); ("out", S.Arr S.F) ]
+    ~ret:S.I
+    ~body:
+      [
+        decl_f "best" (f 1e30);
+        decl_i "who" (i (-1));
+        for_ "k" (i 0)
+          (len (v "scene"))
+          [
+            decl_f "t"
+              (vcall "hit"
+                 (v "scene" @. v "k")
+                 [ v "ox"; v "oy"; v "oz"; v "dx"; v "dy"; v "dz" ]);
+            when_
+              (v "t" >! f 0.0 &&! (v "t" <! v "best"))
+              [ set "best" (v "t"); set "who" (v "k") ];
+          ];
+        seti (v "out") (i 0) (v "best");
+        ret (v "who");
+      ]
+    ();
+  S.def_method p ~name:"mk_sphere"
+    ~args:[ ("cx", S.F); ("cy", S.F); ("cz", S.F); ("r", S.F) ]
+    ~ret:S.R
+    ~body:
+      [
+        decl "s" S.R (new_obj "Sphere");
+        setf "Sphere" "cx" (v "s") (v "cx");
+        setf "Sphere" "cy" (v "s") (v "cy");
+        setf "Sphere" "cz" (v "s") (v "cz");
+        setf "Sphere" "r" (v "s") (v "r");
+        ret (v "s");
+      ]
+    ();
+  S.def_method p ~name:"main" ~args:[] ~ret:S.I
+    ~body:
+      [
+        decl "scene" (S.Arr S.R) (new_arr S.R (i 6));
+        seti (v "scene") (i 0)
+          (call "mk_sphere" [ f 0.0; f 1.0; f 3.0; f 1.0 ]);
+        seti (v "scene") (i 1)
+          (call "mk_sphere" [ f (-1.8); f 0.6; f 2.2; f 0.6 ]);
+        seti (v "scene") (i 2)
+          (call "mk_sphere" [ f 1.7; f 0.5; f 2.4; f 0.5 ]);
+        seti (v "scene") (i 3)
+          (call "mk_sphere" [ f 0.4; f 0.3; f 1.4; f 0.3 ]);
+        seti (v "scene") (i 4)
+          (call "mk_sphere" [ f (-0.7); f 0.25; f 1.2; f 0.25 ]);
+        decl "plane" S.R (new_obj "PlaneY");
+        setf "PlaneY" "y0" (v "plane") (f 0.0);
+        seti (v "scene") (i 5) (v "plane");
+        decl "tout" (S.Arr S.F) (new_arr S.F (i 1));
+        decl_i "w" (i size);
+        decl_i "chk" (i 0);
+        for_ "py" (i 0) (v "w")
+          [
+            for_ "px" (i 0) (v "w")
+              [
+                (* camera at (0, 1, -4) looking towards +z *)
+                decl_f "dx" ((i2f (v "px") /! i2f (v "w")) -! f 0.5);
+                decl_f "dy" (f 0.5 -! (i2f (v "py") /! i2f (v "w")));
+                decl_f "dz" (f 1.0);
+                decl_f "ilen"
+                  (f 1.0
+                  /! call "fsqrt"
+                       [
+                         (v "dx" *! v "dx") +! (v "dy" *! v "dy")
+                         +! (v "dz" *! v "dz");
+                       ]);
+                set "dx" (v "dx" *! v "ilen");
+                set "dy" (v "dy" *! v "ilen");
+                set "dz" (v "dz" *! v "ilen");
+                decl_i "who"
+                  (call "closest_hit"
+                     [
+                       v "scene"; f 0.0; f 1.0; f (-4.0); v "dx"; v "dy";
+                       v "dz"; v "tout";
+                     ]);
+                decl_f "color" (f 0.05);
+                when_
+                  (v "who" >=! i 0)
+                  [
+                    decl_f "t" (v "tout" @. i 0);
+                    decl_f "hx" (v "dx" *! v "t");
+                    decl_f "hy" (f 1.0 +! (v "dy" *! v "t"));
+                    decl_f "hz" (f (-4.0) +! (v "dz" *! v "t"));
+                    set "color"
+                      (vcall "shade"
+                         (v "scene" @. v "who")
+                         [ v "hx"; v "hy"; v "hz" ]);
+                    (* shadow ray towards the light direction *)
+                    decl_i "blocker"
+                      (call "closest_hit"
+                         [
+                           v "scene";
+                           v "hx" +! f 0.01;
+                           v "hy" +! f 0.01;
+                           v "hz" -! f 0.01;
+                           f 0.577;
+                           f 0.577;
+                           f (-0.577);
+                           v "tout";
+                         ]);
+                    when_
+                      (v "blocker" >=! i 0 &&! (v "blocker" <>! v "who"))
+                      [ set "color" (v "color" *! f 0.25) ];
+                  ];
+                set "chk"
+                  ((v "chk" +! f2i (v "color" *! f 255.0)) &! i 0x3FFFFFFF);
+              ];
+          ];
+        ret (v "chk");
+      ]
+    ()
+
+let workload : Workload.t =
+  {
+    Workload.name = "raytrace";
+    description =
+      "ray tracer: primary + shadow rays against a polymorphic scene of \
+       spheres and a checkerboard plane";
+    paper_counterpart = "SPECjvm98 raytrace";
+    build =
+      (fun ~size ->
+        let p = S.create () in
+        define p ~size;
+        S.link p ~entry:"main");
+    default_size = 24;
+    bench_size = 100;
+  }

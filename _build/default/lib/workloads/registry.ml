@@ -1,0 +1,16 @@
+(* All benchmark programs, in the order the paper's tables list them. *)
+
+let all : Workload.t list =
+  [
+    Compress.workload;
+    Javacish.workload;
+    Raytrace.workload;
+    Mpegaudio.workload;
+    Sootlike.workload;
+    Scimark.workload;
+  ]
+
+let find name =
+  List.find_opt (fun w -> String.equal w.Workload.name name) all
+
+let names () = List.map (fun w -> w.Workload.name) all

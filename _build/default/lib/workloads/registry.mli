@@ -1,0 +1,8 @@
+(** All benchmark programs, in the order the paper's tables list them:
+    compress, javac, raytrace, mpegaudio, soot, scimark. *)
+
+val all : Workload.t list
+
+val find : string -> Workload.t option
+
+val names : unit -> string list

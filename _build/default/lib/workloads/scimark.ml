@@ -1,0 +1,254 @@
+(* Stand-in for SciMark: four numeric kernels — iterative radix-2 FFT,
+   successive over-relaxation on a grid, Monte Carlo integration, and LU
+   factorization with partial pivoting — run repeatedly.  Scientific code:
+   long counted loops with extremely biased branches, the easiest case for
+   trace construction (the paper's scimark shows the longest, most stable
+   traces). *)
+
+open Dsl
+module S = Bytecode.Structured
+
+let fft_n = 256 (* complex points, power of two *)
+let sor_n = 96
+let lu_n = 48
+
+let define (p : S.t) ~size =
+  define_prelude p;
+  (* in-place iterative FFT over split re/im arrays *)
+  S.def_method p ~name:"fft"
+    ~args:[ ("re", S.Arr S.F); ("im", S.Arr S.F) ]
+    ~body:
+      [
+        decl_i "n" (len (v "re"));
+        (* bit-reversal permutation *)
+        decl_i "j" (i 0);
+        for_ "k" (i 0)
+          (v "n" -! i 1)
+          [
+            when_
+              (v "k" <! v "j")
+              [
+                decl_f "tr" (v "re" @. v "k");
+                seti (v "re") (v "k") (v "re" @. v "j");
+                seti (v "re") (v "j") (v "tr");
+                decl_f "ti" (v "im" @. v "k");
+                seti (v "im") (v "k") (v "im" @. v "j");
+                seti (v "im") (v "j") (v "ti");
+              ];
+            decl_i "m" (v "n" >>! i 1);
+            while_
+              (v "m" >=! i 1 &&! (v "j" >=! v "m"))
+              [ set "j" (v "j" -! v "m"); set "m" (v "m" >>! i 1) ];
+            set "j" (v "j" +! v "m");
+          ];
+        (* butterflies *)
+        decl_i "span" (i 1);
+        while_
+          (v "span" <! v "n")
+          [
+            decl_f "ang" (f (-3.141592653589793) /! i2f (v "span"));
+            for_ "mgroup" (i 0) (v "span")
+              [
+                decl_f "wr" (call "fcos" [ v "ang" *! i2f (v "mgroup") ]);
+                decl_f "wi" (call "fsin" [ v "ang" *! i2f (v "mgroup") ]);
+                decl_i "kk" (v "mgroup");
+                while_
+                  (v "kk" <! v "n")
+                  [
+                    decl_i "partner" (v "kk" +! v "span");
+                    decl_f "xr"
+                      ((v "wr" *! (v "re" @. v "partner"))
+                      -! (v "wi" *! (v "im" @. v "partner")));
+                    decl_f "xi"
+                      ((v "wr" *! (v "im" @. v "partner"))
+                      +! (v "wi" *! (v "re" @. v "partner")));
+                    seti (v "re") (v "partner") ((v "re" @. v "kk") -! v "xr");
+                    seti (v "im") (v "partner") ((v "im" @. v "kk") -! v "xi");
+                    seti (v "re") (v "kk") ((v "re" @. v "kk") +! v "xr");
+                    seti (v "im") (v "kk") ((v "im" @. v "kk") +! v "xi");
+                    set "kk" (v "kk" +! (v "span" <<! i 1));
+                  ];
+              ];
+            set "span" (v "span" <<! i 1);
+          ];
+      ]
+    ();
+  (* one SOR sweep over an n x n grid (flat array) *)
+  S.def_method p ~name:"sor_sweep"
+    ~args:[ ("g", S.Arr S.F); ("n", S.I); ("omega", S.F) ]
+    ~body:
+      [
+        for_ "r" (i 1)
+          (v "n" -! i 1)
+          [
+            decl_i "row" (v "r" *! v "n");
+            for_ "c" (i 1)
+              (v "n" -! i 1)
+              [
+                decl_i "k" (v "row" +! v "c");
+                decl_f "nbr"
+                  (((v "g" @. (v "k" -! v "n")) +! (v "g" @. (v "k" +! v "n"))
+                   +! (v "g" @. (v "k" -! i 1))
+                   +! (v "g" @. (v "k" +! i 1)))
+                  *! f 0.25);
+                seti (v "g") (v "k")
+                  ((v "omega" *! v "nbr")
+                  +! ((f 1.0 -! v "omega") *! (v "g" @. v "k")));
+              ];
+          ];
+      ]
+    ();
+  (* Monte Carlo estimate of pi *)
+  S.def_method p ~name:"montecarlo"
+    ~args:[ ("state", S.Arr S.I); ("samples", S.I) ]
+    ~ret:S.I
+    ~body:
+      [
+        decl_i "inside" (i 0);
+        for_ "k" (i 0) (v "samples")
+          [
+            decl_f "x"
+              (i2f (call "rng_range" [ v "state"; i 10000 ]) /! f 10000.0);
+            decl_f "y"
+              (i2f (call "rng_range" [ v "state"; i 10000 ]) /! f 10000.0);
+            when_
+              ((v "x" *! v "x") +! (v "y" *! v "y") <=! f 1.0)
+              [ set "inside" (v "inside" +! i 1) ];
+          ];
+        ret (v "inside");
+      ]
+    ();
+  (* LU factorization with partial pivoting on a flat n x n matrix;
+     returns the number of row swaps *)
+  S.def_method p ~name:"lu_factor"
+    ~args:[ ("a", S.Arr S.F); ("n", S.I) ]
+    ~ret:S.I
+    ~body:
+      [
+        decl_i "swaps" (i 0);
+        for_ "col" (i 0) (v "n")
+          [
+            (* find pivot *)
+            decl_i "piv" (v "col");
+            decl_f "best" (call "fabs" [ v "a" @. ((v "col" *! v "n") +! v "col") ]);
+            for_ "r" (v "col" +! i 1) (v "n")
+              [
+                decl_f "cand" (call "fabs" [ v "a" @. ((v "r" *! v "n") +! v "col") ]);
+                when_
+                  (v "cand" >! v "best")
+                  [ set "best" (v "cand"); set "piv" (v "r") ];
+              ];
+            (* swap rows if needed (rare for our matrices) *)
+            when_
+              (v "piv" <>! v "col")
+              [
+                set "swaps" (v "swaps" +! i 1);
+                for_ "c2" (i 0) (v "n")
+                  [
+                    decl_f "tmp" (v "a" @. ((v "col" *! v "n") +! v "c2"));
+                    seti (v "a")
+                      ((v "col" *! v "n") +! v "c2")
+                      (v "a" @. ((v "piv" *! v "n") +! v "c2"));
+                    seti (v "a") ((v "piv" *! v "n") +! v "c2") (v "tmp");
+                  ];
+              ];
+            decl_f "pivval" (v "a" @. ((v "col" *! v "n") +! v "col"));
+            when_ (call "fabs" [ v "pivval" ] <! f 1e-12) [ continue_ ];
+            for_ "r" (v "col" +! i 1) (v "n")
+              [
+                decl_f "factor"
+                  ((v "a" @. ((v "r" *! v "n") +! v "col")) /! v "pivval");
+                seti (v "a") ((v "r" *! v "n") +! v "col") (v "factor");
+                for_ "c2" (v "col" +! i 1) (v "n")
+                  [
+                    seti (v "a")
+                      ((v "r" *! v "n") +! v "c2")
+                      ((v "a" @. ((v "r" *! v "n") +! v "c2"))
+                      -! (v "factor"
+                         *! (v "a" @. ((v "col" *! v "n") +! v "c2"))));
+                  ];
+              ];
+          ];
+        ret (v "swaps");
+      ]
+    ();
+  S.def_method p ~name:"main" ~args:[] ~ret:S.I
+    ~body:
+      [
+        decl "state" (S.Arr S.I) (new_arr S.I (i 1));
+        seti (v "state") (i 0) (i 777);
+        decl "re" (S.Arr S.F) (new_arr S.F (i fft_n));
+        decl "im" (S.Arr S.F) (new_arr S.F (i fft_n));
+        decl "grid" (S.Arr S.F) (new_arr S.F (i (sor_n * sor_n)));
+        decl "mat" (S.Arr S.F) (new_arr S.F (i (lu_n * lu_n)));
+        decl_i "chk" (i 0);
+        for_ "round" (i 0) (i size)
+          [
+            (* FFT of a synthesized signal *)
+            for_ "k" (i 0) (i fft_n)
+              [
+                seti (v "re") (v "k")
+                  (call "fsin" [ i2f (v "k" *! (v "round" +! i 1)) *! f 0.02 ]);
+                seti (v "im") (v "k") (f 0.0);
+              ];
+            ignore_ (call "fft" [ v "re"; v "im" ]);
+            set "chk"
+              ((v "chk" +! call "iabs" [ f2i ((v "re" @. i 3) *! f 100.0) ])
+              &! i 0x3FFFFFFF);
+            (* SOR sweeps *)
+            for_ "k" (i 0)
+              (i (sor_n * sor_n))
+              [
+                seti (v "grid") (v "k")
+                  (i2f (call "rng_range" [ v "state"; i 100 ]) /! f 100.0);
+              ];
+            for_ "s" (i 0) (i 3)
+              [ ignore_ (call "sor_sweep" [ v "grid"; i sor_n; f 1.25 ]) ];
+            set "chk"
+              ((v "chk"
+               +! call "iabs"
+                    [ f2i ((v "grid" @. i ((sor_n * sor_n) / 2)) *! f 1000.0) ])
+              &! i 0x3FFFFFFF);
+            (* Monte Carlo *)
+            decl_i "inside" (call "montecarlo" [ v "state"; i 6000 ]);
+            set "chk" ((v "chk" +! v "inside") &! i 0x3FFFFFFF);
+            (* LU *)
+            for_ "k" (i 0)
+              (i (lu_n * lu_n))
+              [
+                seti (v "mat") (v "k")
+                  (i2f (call "rng_range" [ v "state"; i 2000 ]) /! f 1000.0
+                  -! f 1.0);
+              ];
+            (* diagonal dominance keeps pivoting rare but non-zero *)
+            for_ "k" (i 0) (i lu_n)
+              [
+                seti (v "mat")
+                  ((v "k" *! i lu_n) +! v "k")
+                  ((v "mat" @. ((v "k" *! i lu_n) +! v "k")) +! f 2.5);
+              ];
+            decl_i "swaps" (call "lu_factor" [ v "mat"; i lu_n ]);
+            set "chk"
+              ((v "chk" +! (v "swaps" *! i 17)
+               +! call "iabs" [ f2i ((v "mat" @. i 5) *! f 100.0) ])
+              &! i 0x3FFFFFFF);
+          ];
+        ret (v "chk");
+      ]
+    ()
+
+let workload : Workload.t =
+  {
+    Workload.name = "scimark";
+    description =
+      "numeric kernels: iterative FFT, SOR grid relaxation, Monte Carlo \
+       integration and pivoted LU factorization";
+    paper_counterpart = "scimark";
+    build =
+      (fun ~size ->
+        let p = S.create () in
+        define p ~size;
+        S.link p ~entry:"main");
+    default_size = 2;
+    bench_size = 8;
+  }

@@ -1,0 +1,199 @@
+(* Stand-in for soot: a bytecode-analysis-style workload.  For each of many
+   synthetic "methods" it builds a random control-flow graph with def/use
+   bit sets, computes predecessor lists, and runs a backward liveness
+   fixpoint with a ring-buffer worklist, then popcounts the solution.
+   Irregular, data-dependent branching over pointer-free graph structures —
+   the large-real-application profile of the paper. *)
+
+open Dsl
+module S = Bytecode.Structured
+
+let blocks_per_method = 60
+
+let define (p : S.t) ~size =
+  define_prelude p;
+  (* popcount over the 30-bit masks we use as variable sets *)
+  S.def_method p ~name:"popcount" ~args:[ ("x", S.I) ] ~ret:S.I
+    ~body:
+      [
+        decl_i "n" (i 0);
+        decl_i "y" (v "x");
+        while_
+          (v "y" <>! i 0)
+          [ set "n" (v "n" +! (v "y" &! i 1)); set "y" (v "y" >>>! i 1) ];
+        ret (v "n");
+      ]
+    ();
+  (* One liveness problem: build CFG + sets from the rng, solve, popcount. *)
+  S.def_method p ~name:"analyze_method"
+    ~args:[ ("state", S.Arr S.I) ]
+    ~ret:S.I
+    ~body:
+      [
+        decl_i "nb" (i blocks_per_method);
+        (* successors: up to 2 per block, flat arrays *)
+        decl "succ1" (S.Arr S.I) (new_arr S.I (v "nb"));
+        decl "succ2" (S.Arr S.I) (new_arr S.I (v "nb"));
+        decl "def" (S.Arr S.I) (new_arr S.I (v "nb"));
+        decl "use" (S.Arr S.I) (new_arr S.I (v "nb"));
+        decl "live_in" (S.Arr S.I) (new_arr S.I (v "nb"));
+        decl "live_out" (S.Arr S.I) (new_arr S.I (v "nb"));
+        for_ "b" (i 0) (v "nb")
+          [
+            (* mostly fallthrough, sometimes a jump; a few returns *)
+            decl_i "r" (call "rng_range" [ v "state"; i 10 ]);
+            if_
+              (v "r" <! i 1 ||! (v "b" =! (v "nb" -! i 1)))
+              [ seti (v "succ1") (v "b") (i (-1)) ]
+              [
+                if_
+                  (v "r" <! i 7)
+                  [ seti (v "succ1") (v "b") (v "b" +! i 1) ]
+                  [
+                    seti (v "succ1") (v "b")
+                      (call "rng_range" [ v "state"; v "nb" ]);
+                  ];
+              ];
+            (* conditional second edge *)
+            if_
+              (call "rng_range" [ v "state"; i 3 ] =! i 0
+              &&! ((v "succ1" @. v "b") >=! i 0))
+              [
+                seti (v "succ2") (v "b")
+                  (call "rng_range" [ v "state"; v "nb" ]);
+              ]
+              [ seti (v "succ2") (v "b") (i (-1)) ];
+            (* sparse random def/use masks over 30 variables *)
+            decl_i "d" (i 0);
+            decl_i "u" (i 0);
+            for_ "k" (i 0) (i 3)
+              [
+                set "d"
+                  (v "d" |! (i 1 <<! call "rng_range" [ v "state"; i 30 ]));
+                set "u"
+                  (v "u" |! (i 1 <<! call "rng_range" [ v "state"; i 30 ]));
+              ];
+            seti (v "def") (v "b") (v "d");
+            seti (v "use") (v "b") (v "u");
+            seti (v "live_in") (v "b") (i 0);
+            seti (v "live_out") (v "b") (i 0);
+          ];
+        (* predecessor counts and lists (flat, capacity 2*nb) *)
+        decl "pred_cnt" (S.Arr S.I) (new_arr S.I (v "nb"));
+        decl "pred_dat" (S.Arr S.I) (new_arr S.I (v "nb" *! i 8));
+        for_ "b" (i 0) (v "nb")
+          [
+            decl_i "s1" (v "succ1" @. v "b");
+            when_
+              (v "s1" >=! i 0 &&! ((v "pred_cnt" @. v "s1") <! i 8))
+              [
+                seti (v "pred_dat")
+                  ((v "s1" *! i 8) +! (v "pred_cnt" @. v "s1"))
+                  (v "b");
+                seti (v "pred_cnt") (v "s1") ((v "pred_cnt" @. v "s1") +! i 1);
+              ];
+            decl_i "s2" (v "succ2" @. v "b");
+            when_
+              (v "s2" >=! i 0 &&! ((v "pred_cnt" @. v "s2") <! i 8))
+              [
+                seti (v "pred_dat")
+                  ((v "s2" *! i 8) +! (v "pred_cnt" @. v "s2"))
+                  (v "b");
+                seti (v "pred_cnt") (v "s2") ((v "pred_cnt" @. v "s2") +! i 1);
+              ];
+          ];
+        (* worklist: ring buffer of block ids + membership flags *)
+        decl "wl" (S.Arr S.I) (new_arr S.I (v "nb" *! i 4));
+        decl "inwl" (S.Arr S.I) (new_arr S.I (v "nb"));
+        decl_i "head" (i 0);
+        decl_i "tail" (i 0);
+        decl_i "wcap" (len (v "wl"));
+        for_ "b" (i 0) (v "nb")
+          [
+            seti (v "wl") (v "tail") (v "b");
+            set "tail" ((v "tail" +! i 1) %! v "wcap");
+            seti (v "inwl") (v "b") (i 1);
+          ];
+        decl_i "iterations" (i 0);
+        while_
+          (v "head" <>! v "tail")
+          [
+            decl_i "b" (v "wl" @. v "head");
+            set "head" ((v "head" +! i 1) %! v "wcap");
+            seti (v "inwl") (v "b") (i 0);
+            set "iterations" (v "iterations" +! i 1);
+            (* out[b] = union of in[succ] *)
+            decl_i "out" (i 0);
+            decl_i "s1" (v "succ1" @. v "b");
+            when_
+              (v "s1" >=! i 0)
+              [ set "out" (v "out" |! (v "live_in" @. v "s1")) ];
+            decl_i "s2" (v "succ2" @. v "b");
+            when_
+              (v "s2" >=! i 0)
+              [ set "out" (v "out" |! (v "live_in" @. v "s2")) ];
+            seti (v "live_out") (v "b") (v "out");
+            (* in[b] = use[b] | (out[b] & ~def[b]) *)
+            decl_i "newin"
+              ((v "use" @. v "b")
+              |! (v "out" &! ((v "def" @. v "b") ^! i 0x3FFFFFFF)));
+            when_
+              (v "newin" <>! (v "live_in" @. v "b"))
+              [
+                seti (v "live_in") (v "b") (v "newin");
+                (* push predecessors *)
+                for_ "k" (i 0)
+                  (v "pred_cnt" @. v "b")
+                  [
+                    decl_i "pb" (v "pred_dat" @. ((v "b" *! i 8) +! v "k"));
+                    when_
+                      ((v "inwl" @. v "pb") =! i 0)
+                      [
+                        seti (v "wl") (v "tail") (v "pb");
+                        set "tail" ((v "tail" +! i 1) %! v "wcap");
+                        seti (v "inwl") (v "pb") (i 1);
+                      ];
+                  ];
+              ];
+          ];
+        decl_i "acc" (v "iterations");
+        for_ "b" (i 0) (v "nb")
+          [
+            set "acc"
+              ((v "acc" +! call "popcount" [ v "live_in" @. v "b" ])
+              &! i 0x3FFFFFFF);
+          ];
+        ret (v "acc");
+      ]
+    ();
+  S.def_method p ~name:"main" ~args:[] ~ret:S.I
+    ~body:
+      [
+        decl "state" (S.Arr S.I) (new_arr S.I (i 1));
+        seti (v "state") (i 0) (i 13579);
+        decl_i "chk" (i 0);
+        for_ "m" (i 0) (i size)
+          [
+            set "chk"
+              ((v "chk" +! call "analyze_method" [ v "state" ])
+              &! i 0x3FFFFFFF);
+          ];
+        ret (v "chk");
+      ]
+    ()
+
+let workload : Workload.t =
+  {
+    Workload.name = "soot";
+    description =
+      "dataflow analyzer: random CFGs with def/use bit sets solved by a \
+       worklist liveness fixpoint, many methods in sequence";
+    paper_counterpart = "soot (bytecode analysis framework)";
+    build =
+      (fun ~size ->
+        let p = S.create () in
+        define p ~size;
+        S.link p ~entry:"main");
+    default_size = 40;
+    bench_size = 250;
+  }

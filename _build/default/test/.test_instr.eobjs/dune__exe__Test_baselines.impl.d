@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Bytecode Cfg List Printf Tracegen Vm Workloads

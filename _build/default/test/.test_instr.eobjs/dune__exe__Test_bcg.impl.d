@@ -1,0 +1,1 @@
+test/test_bcg.ml: Alcotest Format List Option QCheck QCheck_alcotest Tracegen

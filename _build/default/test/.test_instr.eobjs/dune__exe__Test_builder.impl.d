@@ -1,0 +1,1 @@
+test/test_builder.ml: Alcotest Array Bytecode Cfg Option Vm

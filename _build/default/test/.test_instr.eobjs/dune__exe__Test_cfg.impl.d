@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Bytecode Cfg List Printf QCheck QCheck_alcotest String Workloads

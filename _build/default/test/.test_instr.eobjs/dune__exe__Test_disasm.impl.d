@@ -1,0 +1,1 @@
+test/test_disasm.ml: Alcotest Array Bytecode Cfg Lazy List Option String Vm Workloads

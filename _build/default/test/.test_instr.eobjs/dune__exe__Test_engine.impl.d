@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Bytecode Cfg Tracegen Vm Workloads

@@ -1,0 +1,1 @@
+test/test_exceptions.ml: Alcotest Array Bytecode Cfg String Tracegen Vm Workloads

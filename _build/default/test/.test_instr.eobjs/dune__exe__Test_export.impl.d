@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Float Harness List Printf String Tracegen

@@ -1,0 +1,1 @@
+test/test_failure.ml: Alcotest Bytecode Cfg Printf Tracegen Vm Workloads

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Bytecode Cfg Harness List Option String Vm Workloads

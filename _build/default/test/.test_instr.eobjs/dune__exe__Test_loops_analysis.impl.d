@@ -1,0 +1,1 @@
+test/test_loops_analysis.ml: Alcotest Array Bytecode Cfg Hashtbl List Workloads

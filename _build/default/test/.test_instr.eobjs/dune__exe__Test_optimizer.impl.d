@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Array Bytecode Cfg Format List QCheck QCheck_alcotest String Tracegen Workloads

@@ -1,0 +1,1 @@
+test/test_profiler.ml: Alcotest List Option Printf Tracegen

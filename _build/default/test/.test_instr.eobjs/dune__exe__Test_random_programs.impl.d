@@ -1,0 +1,1 @@
+test/test_random_programs.ml: Alcotest Baselines Bytecode Cfg QCheck QCheck_alcotest Tracegen Vm Workloads

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Cfg Format String Tracegen Workloads

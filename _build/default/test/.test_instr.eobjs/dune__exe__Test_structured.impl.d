@@ -1,0 +1,1 @@
+test/test_structured.ml: Alcotest Array Bytecode Cfg QCheck QCheck_alcotest Vm Workloads

@@ -1,0 +1,1 @@
+test/test_trace_builder.ml: Alcotest Cfg Lazy List Option Printf Tracegen Workloads

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Bytecode Cfg List QCheck QCheck_alcotest Workloads

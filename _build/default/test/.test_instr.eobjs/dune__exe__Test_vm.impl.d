@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Bytecode Cfg List QCheck QCheck_alcotest Vm Workloads

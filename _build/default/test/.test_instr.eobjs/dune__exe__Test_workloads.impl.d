@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bytecode Cfg List Printf Tracegen Vm Workloads

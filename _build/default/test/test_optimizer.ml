@@ -1,0 +1,301 @@
+(* The trace optimizer: folding, forwarding, dead stores, and — most
+   importantly — semantic equivalence of optimized straight-line code,
+   checked against a reference evaluator on random sequences. *)
+
+module Instr = Bytecode.Instr
+module Opt = Tracegen.Trace_optimizer
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let code_t =
+  Alcotest.testable
+    (fun ppf a ->
+      Format.pp_print_string ppf
+        (String.concat "; " (Array.to_list (Array.map Instr.to_string a))))
+    ( = )
+
+let test_constant_folding () =
+  let r =
+    Opt.optimize_code [| Instr.Iconst 2; Instr.Iconst 3; Instr.Iadd;
+                         Instr.Istore 0 |]
+  in
+  check code_t "2+3 folds" [| Instr.Iconst 5; Instr.Istore 0 |] r.Opt.optimized;
+  check Alcotest.bool "folds counted" true (r.Opt.folded > 0)
+
+let test_folding_cascades () =
+  (* ((2+3)*4) folds all the way down *)
+  let r =
+    Opt.optimize_code
+      [| Instr.Iconst 2; Instr.Iconst 3; Instr.Iadd; Instr.Iconst 4;
+         Instr.Imul; Instr.Istore 0 |]
+  in
+  check code_t "cascade" [| Instr.Iconst 20; Instr.Istore 0 |] r.Opt.optimized
+
+let test_div_by_zero_not_folded () =
+  let r = Opt.optimize_code [| Instr.Iconst 1; Instr.Iconst 0; Instr.Idiv |] in
+  check code_t "1/0 kept"
+    [| Instr.Iconst 1; Instr.Iconst 0; Instr.Idiv |]
+    r.Opt.optimized
+
+let test_store_load_forwarding () =
+  let r =
+    Opt.optimize_code
+      [| Instr.Iconst 7; Instr.Istore 0; Instr.Iload 0; Instr.Iconst 1;
+         Instr.Iadd; Instr.Istore 1 |]
+  in
+  (* the load becomes the constant, which then folds with the add *)
+  check Alcotest.bool "forwarded" true (r.Opt.forwarded > 0);
+  check code_t "result"
+    [| Instr.Iconst 7; Instr.Istore 0; Instr.Iconst 8; Instr.Istore 1 |]
+    r.Opt.optimized
+
+let test_dead_store () =
+  let r =
+    Opt.optimize_code
+      [| Instr.Iconst 1; Instr.Istore 0; Instr.Iconst 2; Instr.Istore 0;
+         Instr.Iload 0; Instr.Istore 1 |]
+  in
+  check Alcotest.int "one dead store" 1 r.Opt.dead_stores;
+  (* istore 0 of the 1 disappears along with... the iconst 1 push must be
+     compensated; our conservative scheme keeps the push and drops only
+     the store?  No: dropping just the store would corrupt the stack.  The
+     optimizer must keep stack balance; verify by reference execution
+     below.  Here we only check the *final* store of 2 survives. *)
+  check Alcotest.bool "final value stored" true
+    (Array.exists (fun i -> i = Instr.Istore 1) r.Opt.optimized)
+
+let test_last_store_never_dead () =
+  let r = Opt.optimize_code [| Instr.Iconst 1; Instr.Istore 0 |] in
+  check Alcotest.int "live-out store kept" 0 r.Opt.dead_stores;
+  check code_t "unchanged" [| Instr.Iconst 1; Instr.Istore 0 |] r.Opt.optimized
+
+let test_push_pop_cancel () =
+  let r = Opt.optimize_code [| Instr.Iconst 9; Instr.Pop; Instr.Iconst 1 |] in
+  check code_t "cancelled" [| Instr.Iconst 1 |] r.Opt.optimized
+
+let test_nop_and_goto_dropped () =
+  let r = Opt.optimize_code [| Instr.Nop; Instr.Iconst 1; Instr.Goto 0 |] in
+  check code_t "glue dropped" [| Instr.Iconst 1 |] r.Opt.optimized
+
+let test_call_barrier () =
+  (* knowledge about locals must not cross a call *)
+  let r =
+    Opt.optimize_code
+      [| Instr.Iconst 7; Instr.Istore 0; Instr.Invokestatic 0; Instr.Iload 0 |]
+  in
+  check Alcotest.bool "load after call not forwarded" true
+    (Array.exists (fun i -> i = Instr.Iload 0) r.Opt.optimized)
+
+let test_float_folding () =
+  let r =
+    Opt.optimize_code [| Instr.Fconst 1.5; Instr.Fconst 2.5; Instr.Fadd |]
+  in
+  check code_t "floats fold" [| Instr.Fconst 4.0 |] r.Opt.optimized
+
+(* ------------------------------------------------------------------ *)
+(* Reference evaluator for straight-line code: stacks and locals only. *)
+(* ------------------------------------------------------------------ *)
+
+type rv = Ri of int | Rf of float
+
+let reference_eval (code : Instr.t array) ~n_locals =
+  let stack = ref [] in
+  let locals = Array.make n_locals (Ri 0) in
+  let push v = stack := v :: !stack in
+  let pop () =
+    match !stack with
+    | v :: rest ->
+        stack := rest;
+        v
+    | [] -> failwith "underflow"
+  in
+  let popi () = match pop () with Ri n -> n | Rf _ -> failwith "type" in
+  let popf () = match pop () with Rf f -> f | Ri _ -> failwith "type" in
+  Array.iter
+    (fun ins ->
+      match ins with
+      | Instr.Iconst n -> push (Ri n)
+      | Instr.Fconst f -> push (Rf f)
+      | Instr.Iload s -> push locals.(s)
+      | Instr.Fload s -> push locals.(s)
+      | Instr.Istore s | Instr.Fstore s -> locals.(s) <- pop ()
+      | Instr.Iinc (s, d) -> (
+          match locals.(s) with
+          | Ri n -> locals.(s) <- Ri (n + d)
+          | Rf _ -> failwith "type")
+      | Instr.Dup ->
+          let v = pop () in
+          push v;
+          push v
+      | Instr.Pop -> ignore (pop ())
+      | Instr.Swap ->
+          let a = pop () in
+          let b = pop () in
+          push a;
+          push b
+      | Instr.Iadd ->
+          let b = popi () in
+          push (Ri (popi () + b))
+      | Instr.Isub ->
+          let b = popi () in
+          push (Ri (popi () - b))
+      | Instr.Imul ->
+          let b = popi () in
+          push (Ri (popi () * b))
+      | Instr.Iand ->
+          let b = popi () in
+          push (Ri (popi () land b))
+      | Instr.Ior ->
+          let b = popi () in
+          push (Ri (popi () lor b))
+      | Instr.Ixor ->
+          let b = popi () in
+          push (Ri (popi () lxor b))
+      | Instr.Ineg -> push (Ri (-popi ()))
+      | Instr.Fadd ->
+          let b = popf () in
+          push (Rf (popf () +. b))
+      | Instr.Fmul ->
+          let b = popf () in
+          push (Rf (popf () *. b))
+      | Instr.Nop -> ()
+      | _ -> failwith "unsupported in reference evaluator")
+    code;
+  (!stack, Array.to_list locals)
+
+(* random straight-line programs over ints, locals 0..3 *)
+let arb_straightline =
+  let open QCheck.Gen in
+  let instr =
+    frequency
+      [
+        (4, map (fun n -> `Push (Instr.Iconst n)) (int_range (-50) 50));
+        (2, map (fun s -> `Push (Instr.Iload s)) (int_range 0 3));
+        (* stores need a value on the stack: generator pairs them with a
+           preceding const to keep sequences well-formed *)
+        (3,
+         map2
+           (fun n s -> `Pair (Instr.Iconst n, Instr.Istore s))
+           (int_range (-50) 50) (int_range 0 3));
+        (2, return (`Op Instr.Iadd));
+        (1, return (`Op Instr.Isub));
+        (1, return (`Op Instr.Imul));
+        (1, return (`Op Instr.Iand));
+        (1, return (`Op Instr.Ixor));
+        (1, return `Dup_unit);
+        (1, return `Pop_unit);
+        (1, map2 (fun s d -> `One (Instr.Iinc (s, d))) (int_range 0 3) (int_range (-3) 3));
+      ]
+  in
+  (* assemble maintaining a conservative stack depth so the sequence never
+     underflows *)
+  let assemble items =
+    let depth = ref 0 in
+    let out = ref [] in
+    List.iter
+      (fun it ->
+        match it with
+        | `Push i ->
+            out := i :: !out;
+            incr depth
+        | `Pair (a, b) -> out := b :: a :: !out
+        | `One i -> out := i :: !out
+        | `Op op ->
+            if !depth >= 2 then begin
+              out := op :: !out;
+              decr depth
+            end
+        | `Dup_unit ->
+            if !depth >= 1 then begin
+              out := Instr.Dup :: !out;
+              incr depth
+            end
+        | `Pop_unit ->
+            if !depth >= 1 then begin
+              out := Instr.Pop :: !out;
+              decr depth
+            end)
+      items;
+    Array.of_list (List.rev !out)
+  in
+  QCheck.make
+    ~print:(fun a ->
+      String.concat "; " (Array.to_list (Array.map Instr.to_string a)))
+    QCheck.Gen.(map assemble (list_size (int_range 0 60) instr))
+
+let prop_equivalence =
+  QCheck.Test.make ~name:"optimized code is observationally equivalent"
+    ~count:300 arb_straightline (fun code ->
+      let r = Opt.optimize_code code in
+      let s1, l1 = reference_eval code ~n_locals:4 in
+      let s2, l2 = reference_eval r.Opt.optimized ~n_locals:4 in
+      (* dead-store elimination may leave *different* dead local values
+         only for slots that are provably overwritten... our scheme only
+         drops stores overwritten before any load with no barrier, so the
+         final locals must agree; the stack must agree exactly *)
+      s1 = s2 && l1 = l2)
+
+let prop_never_longer =
+  QCheck.Test.make ~name:"optimization never grows code" ~count:300
+    arb_straightline (fun code ->
+      let r = Opt.optimize_code code in
+      Array.length r.Opt.optimized <= Array.length code)
+
+let prop_idempotent =
+  QCheck.Test.make ~name:"optimization is idempotent-ish (second pass finds no folds)"
+    ~count:200 arb_straightline (fun code ->
+      let r1 = Opt.optimize_code code in
+      let r2 = Opt.optimize_code r1.Opt.optimized in
+      Array.length r2.Opt.optimized <= Array.length r1.Opt.optimized)
+
+(* generator sanity: random sequences never make the reference evaluator
+   fail *)
+let prop_generator_well_formed =
+  QCheck.Test.make ~name:"generator emits well-formed sequences" ~count:200
+    arb_straightline (fun code ->
+      ignore (reference_eval code ~n_locals:4);
+      true)
+
+let test_on_real_traces () =
+  (* optimize every completed trace of a real run; results must parse and
+     never grow *)
+  let w = Workloads.Compress.workload in
+  let layout = Cfg.Layout.build (w.Workloads.Workload.build ~size:2_000) in
+  let r = Tracegen.Engine.run layout in
+  let checked = ref 0 in
+  Tracegen.Trace_cache.iter_all r.Tracegen.Engine.engine.Tracegen.Engine.cache
+    (fun tr ->
+      let res = Opt.optimize layout tr in
+      incr checked;
+      check Alcotest.bool "never longer" true
+        (Array.length res.Opt.optimized <= Array.length res.Opt.original);
+      check Alcotest.bool "ratio in [0,1]" true
+        (Opt.savings_ratio res >= 0.0 && Opt.savings_ratio res <= 1.0));
+  check Alcotest.bool "traces were optimized" true (!checked > 0)
+
+let () =
+  Alcotest.run "trace_optimizer"
+    [
+      ( "rewrites",
+        [
+          tc "constant folding" `Quick test_constant_folding;
+          tc "folding cascades" `Quick test_folding_cascades;
+          tc "div by zero kept" `Quick test_div_by_zero_not_folded;
+          tc "store/load forwarding" `Quick test_store_load_forwarding;
+          tc "dead store" `Quick test_dead_store;
+          tc "live-out store kept" `Quick test_last_store_never_dead;
+          tc "push/pop cancel" `Quick test_push_pop_cancel;
+          tc "glue dropped" `Quick test_nop_and_goto_dropped;
+          tc "call barrier" `Quick test_call_barrier;
+          tc "float folding" `Quick test_float_folding;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_generator_well_formed;
+          QCheck_alcotest.to_alcotest prop_equivalence;
+          QCheck_alcotest.to_alcotest prop_never_longer;
+          QCheck_alcotest.to_alcotest prop_idempotent;
+        ] );
+      ("integration", [ tc "real traces" `Quick test_on_real_traces ]);
+    ]

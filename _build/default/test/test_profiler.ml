@@ -1,0 +1,119 @@
+(* The profiler: branch-context maintenance over a dispatch stream,
+   inline-cache accounting, and resynchronization after unprofiled
+   stretches. *)
+
+module Profiler = Tracegen.Profiler
+module Bcg = Tracegen.Bcg
+module Config = Tracegen.Config
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let mk ?(delay = 1) () =
+  let config = { Config.default with Config.start_state_delay = delay } in
+  Profiler.create config ~n_blocks:100 ~on_signal:(fun _ -> ())
+
+let test_first_dispatch_creates_nothing () =
+  let p = mk () in
+  Profiler.dispatch p 5;
+  check Alcotest.int "no node from a single dispatch" 0
+    (Bcg.n_nodes (Profiler.bcg p));
+  check Alcotest.int "dispatch counted" 1 (Profiler.dispatches p)
+
+let test_nodes_from_stream () =
+  let p = mk () in
+  List.iter (Profiler.dispatch p) [ 1; 2; 3; 1; 2; 3 ];
+  let bcg = Profiler.bcg p in
+  (* transitions: (1,2) (2,3) (3,1) (1,2) (2,3) *)
+  check Alcotest.bool "node (1,2)" true (Bcg.find_node bcg ~x:1 ~y:2 <> None);
+  check Alcotest.bool "node (2,3)" true (Bcg.find_node bcg ~x:2 ~y:3 <> None);
+  check Alcotest.bool "node (3,1)" true (Bcg.find_node bcg ~x:3 ~y:1 <> None);
+  let n12 = Option.get (Bcg.find_node bcg ~x:1 ~y:2) in
+  check Alcotest.int "node (1,2) executed twice" 2 n12.Bcg.exec_total;
+  (* edge (1,2)->(2,3) recorded twice *)
+  let e = Option.get (Bcg.find_edge n12 3) in
+  check Alcotest.int "edge weight is two events" (2 * Bcg.event_weight)
+    e.Bcg.weight
+
+let test_inline_cache_predictions () =
+  let p = mk () in
+  (* a repeating cycle becomes fully predicted after warm-up *)
+  for _ = 1 to 50 do
+    List.iter (Profiler.dispatch p) [ 1; 2; 3 ]
+  done;
+  let predicted = Profiler.predictions p in
+  let total = Profiler.dispatches p in
+  check Alcotest.bool
+    (Printf.sprintf "most dispatches predicted (%d/%d)" predicted total)
+    true
+    (float_of_int predicted > 0.8 *. float_of_int total)
+
+let test_resync () =
+  let p = mk () in
+  List.iter (Profiler.dispatch p) [ 1; 2; 3; 1; 2; 3; 1; 2 ];
+  let bcg = Profiler.bcg p in
+  let n23 = Option.get (Bcg.find_node bcg ~x:2 ~y:3) in
+  let execs_before = n23.Bcg.exec_total in
+  (* pretend blocks 3 then 1 executed inside a trace, unprofiled *)
+  Profiler.resync p ~x:3 ~y:1;
+  check Alcotest.int "resync does not count executions" execs_before
+    n23.Bcg.exec_total;
+  (* next dispatch records the edge from the resynced context (3,1) *)
+  Profiler.dispatch p 2;
+  let n31 = Option.get (Bcg.find_node bcg ~x:3 ~y:1) in
+  check Alcotest.bool "edge from resynced context" true
+    (Bcg.find_edge n31 2 <> None)
+
+let test_resync_unknown_context () =
+  let p = mk () in
+  List.iter (Profiler.dispatch p) [ 1; 2; 3 ];
+  (* resync to a pair never observed: context must be dropped, and the
+     following dispatch must not invent an edge from it *)
+  Profiler.resync p ~x:50 ~y:60;
+  Profiler.dispatch p 61;
+  let bcg = Profiler.bcg p in
+  check Alcotest.bool "no node fabricated for (50,60)" true
+    (Bcg.find_node bcg ~x:50 ~y:60 = None);
+  (* but the visit of (60,61) is recorded: the transition did happen *)
+  check Alcotest.bool "transition (60,61) recorded" true
+    (Bcg.find_node bcg ~x:60 ~y:61 <> None)
+
+let test_signals_counted () =
+  let signals = ref 0 in
+  let config = { Config.default with Config.start_state_delay = 4 } in
+  let p =
+    Profiler.create config ~n_blocks:100 ~on_signal:(fun _ -> incr signals)
+  in
+  for _ = 1 to 50 do
+    List.iter (Profiler.dispatch p) [ 1; 2; 3 ]
+  done;
+  check Alcotest.int "profiler signal count matches callback count" !signals
+    (Profiler.signals p);
+  check Alcotest.bool "promotions produced signals" true (!signals > 0)
+
+let test_reset () =
+  let p = mk () in
+  List.iter (Profiler.dispatch p) [ 1; 2; 3 ];
+  Profiler.reset p;
+  Profiler.dispatch p 7;
+  let bcg = Profiler.bcg p in
+  check Alcotest.bool "no transition across a reset" true
+    (Bcg.find_node bcg ~x:3 ~y:7 = None)
+
+let () =
+  Alcotest.run "profiler"
+    [
+      ( "stream",
+        [
+          tc "first dispatch" `Quick test_first_dispatch_creates_nothing;
+          tc "nodes from stream" `Quick test_nodes_from_stream;
+          tc "inline cache" `Quick test_inline_cache_predictions;
+          tc "signals counted" `Quick test_signals_counted;
+        ] );
+      ( "resync",
+        [
+          tc "resync context" `Quick test_resync;
+          tc "resync unknown pair" `Quick test_resync_unknown_context;
+          tc "reset" `Quick test_reset;
+        ] );
+    ]

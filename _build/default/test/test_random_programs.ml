@@ -1,0 +1,196 @@
+(* The big hammer: generate random structured programs — loops, branches,
+   calls, arrays, switches, try/catch — and check system-level properties
+   on every one of them:
+
+   - the front end's output verifies;
+   - the engine is transparent (same result and instruction count as the
+     plain interpreter);
+   - statistics stay within their bounds;
+   - NET and rePLay overlays never disturb execution either. *)
+
+open Workloads.Dsl
+module S = Bytecode.Structured
+module Interp = Vm.Interp
+module Stats = Tracegen.Stats
+
+(* --------------------------------------------------------------- *)
+(* program generator                                                 *)
+(* --------------------------------------------------------------- *)
+
+(* Locals: ints x, acc; array a (8 cells).  Helper methods f (int->int,
+   possibly throwing) and g (int->int) are always defined.  All generated
+   loops are bounded. *)
+
+let gen_expr_leaf =
+  QCheck.Gen.oneofl
+    [
+      i 1; i 7; i (-3); v "x"; v "acc"; v "a" @. (v "x" &! i 7);
+      call "g" [ v "x" ];
+    ]
+
+let rec gen_expr depth st =
+  let open QCheck.Gen in
+  if depth = 0 then gen_expr_leaf st
+  else
+    (frequency
+       [
+         (3, gen_expr_leaf);
+         ( 2,
+           map2 (fun a b -> a +! b) (gen_expr (depth - 1)) (gen_expr (depth - 1)) );
+         ( 1,
+           map2 (fun a b -> (a *! b) &! i 0xFFFF) (gen_expr (depth - 1))
+             (gen_expr (depth - 1)) );
+         (1, map (fun a -> a ^! i 0x55) (gen_expr (depth - 1)));
+         (1, map (fun a -> call "f" [ a &! i 0xFF ]) (gen_expr (depth - 1)));
+       ])
+      st
+
+let rec gen_stmts depth st =
+  let open QCheck.Gen in
+  let leaf =
+    frequency
+      [
+        (3, map (fun e -> [ set "acc" ((v "acc" +! e) &! i 0xFFFFF) ]) (gen_expr 2));
+        (2, map (fun e -> [ set "x" (e &! i 0xFFF) ]) (gen_expr 1));
+        (1, map (fun e -> [ seti (v "a") (v "x" &! i 7) (e &! i 0xFFFF) ]) (gen_expr 1));
+      ]
+  in
+  if depth = 0 then leaf st
+  else
+    (frequency
+       [
+         (3, leaf);
+         ( 2,
+           map3
+             (fun c a b -> [ if_ (c &! i 1 =! i 0) a b ])
+             (gen_expr 1) (gen_stmts (depth - 1)) (gen_stmts (depth - 1)) );
+         ( 2,
+           map (fun body -> [ for_ "k" (i 0) (i 40) (body @ [ incr_ "x" ]) ])
+             (gen_stmts (depth - 1)) );
+         ( 1,
+           map
+             (fun body ->
+               [
+                 switch (v "x" &! i 3)
+                   [ (0, body); (2, [ set "x" (v "x" +! i 1) ]) ]
+                   [ set "acc" (v "acc" ^! i 9) ];
+               ])
+             (gen_stmts (depth - 1)) );
+         ( 1,
+           map
+             (fun body ->
+               [
+                 try_
+                   (body @ [ set "x" (call "f" [ v "x" &! i 0xFF ]) ])
+                   ~catch:("Boom", "ex")
+                   [ set "acc" (v "acc" +! getf "Boom" "payload" (v "ex")) ];
+               ])
+             (gen_stmts (depth - 1)) );
+         (1, map2 (fun a b -> a @ b) (gen_stmts (depth - 1)) (gen_stmts (depth - 1)));
+       ])
+      st
+
+let build_program stmts =
+  let p = S.create () in
+  S.def_class p ~name:"Boom" ~fields:[ ("payload", S.I) ] ~methods:[] ();
+  (* f throws for one rare argument value *)
+  S.def_method p ~name:"f" ~args:[ ("n", S.I) ] ~ret:S.I
+    ~body:
+      [
+        when_ (v "n" =! i 137)
+          [
+            decl "b" S.R (new_obj "Boom");
+            setf "Boom" "payload" (v "b") (i 5);
+            throw (v "b");
+          ];
+        ret ((v "n" *! i 17) &! i 0xFFF);
+      ]
+    ();
+  S.def_method p ~name:"g" ~args:[ ("n", S.I) ] ~ret:S.I
+    ~body:[ ret ((v "n" +! i 11) &! i 0xFFF) ]
+    ();
+  S.def_method p ~name:"main" ~args:[] ~ret:S.I
+    ~body:
+      ([
+         decl_i "x" (i 3);
+         decl_i "acc" (i 0);
+         decl "a" (S.Arr S.I) (new_arr S.I (i 8));
+       ]
+      @ stmts
+      @ [ ret (v "acc") ])
+    ();
+  S.link p ~entry:"main"
+
+let arb_program =
+  QCheck.make
+    ~print:(fun _ -> "<random program>")
+    QCheck.Gen.(map build_program (gen_stmts 3))
+
+let run_outcomes layout =
+  let plain = Interp.run ~max_instructions:2_000_000 layout ~on_block:(fun _ -> ()) in
+  let traced = Tracegen.Engine.run ~max_instructions:2_000_000 layout in
+  (plain, traced)
+
+let prop_verifies =
+  QCheck.Test.make ~name:"random programs verify" ~count:60 arb_program
+    (fun program ->
+      Bytecode.Verify.verify_program program;
+      true)
+
+let same_outcome (a : Interp.outcome) (b : Interp.outcome) =
+  match (a, b) with
+  | Interp.Finished x, Interp.Finished y -> x = y
+  | Interp.Trapped (k1, _), Interp.Trapped (k2, _) -> k1 = k2
+  | (Interp.Finished _ | Interp.Trapped _), _ -> false
+
+let prop_engine_transparent =
+  QCheck.Test.make ~name:"engine is transparent on random programs" ~count:60
+    arb_program (fun program ->
+      let layout = Cfg.Layout.build program in
+      let plain, traced = run_outcomes layout in
+      same_outcome plain.Interp.outcome
+        traced.Tracegen.Engine.vm_result.Interp.outcome
+      && plain.Interp.instructions
+         = traced.Tracegen.Engine.vm_result.Interp.instructions)
+
+let prop_stats_bounded =
+  QCheck.Test.make ~name:"stats stay in bounds on random programs" ~count:40
+    arb_program (fun program ->
+      let layout = Cfg.Layout.build program in
+      let _, traced = run_outcomes layout in
+      let s = traced.Tracegen.Engine.run_stats in
+      Stats.coverage_total s >= 0.0
+      && Stats.coverage_total s <= 1.0
+      && Stats.coverage_completed s <= Stats.coverage_total s +. 1e-9
+      && s.Stats.traces_completed <= s.Stats.traces_entered
+      && s.Stats.chained_entries <= s.Stats.traces_entered)
+
+let prop_baselines_transparent =
+  QCheck.Test.make ~name:"baseline overlays do not disturb execution"
+    ~count:30 arb_program (fun program ->
+      let layout = Cfg.Layout.build program in
+      let plain = Interp.run ~max_instructions:2_000_000 layout ~on_block:(fun _ -> ()) in
+      let net = Baselines.Net.create layout in
+      let under_net =
+        Interp.run ~max_instructions:2_000_000 layout
+          ~on_block:(fun g -> Baselines.Net.on_block net g)
+      in
+      let rp = Baselines.Replay_frames.create layout in
+      let under_rp =
+        Interp.run ~max_instructions:2_000_000 layout
+          ~on_block:(fun g -> Baselines.Replay_frames.on_block rp g)
+      in
+      same_outcome plain.Interp.outcome under_net.Interp.outcome
+      && same_outcome plain.Interp.outcome under_rp.Interp.outcome)
+
+let () =
+  Alcotest.run "random_programs"
+    [
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_verifies;
+          QCheck_alcotest.to_alcotest prop_engine_transparent;
+          QCheck_alcotest.to_alcotest prop_stats_bounded;
+          QCheck_alcotest.to_alcotest prop_baselines_transparent;
+        ] );
+    ]

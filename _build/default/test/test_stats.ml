@@ -1,0 +1,96 @@
+(* The derived metrics, pinned with hand-built records. *)
+
+module Stats = Tracegen.Stats
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+let approx = Alcotest.float 1e-9
+
+let sample =
+  {
+    Stats.zero with
+    Stats.instructions = 1000;
+    block_dispatches = 100;
+    trace_dispatches = 50;
+    traces_entered = 50;
+    traces_completed = 40;
+    completed_blocks = 200;
+    partial_blocks = 30;
+    completed_instrs = 600;
+    partial_instrs = 100;
+    signals = 5;
+    traces_constructed = 10;
+    static_traces = 8;
+    static_blocks = 40;
+    chained_entries = 20;
+  }
+
+let test_totals () =
+  check Alcotest.int "total dispatches" 150 (Stats.total_dispatches sample);
+  check Alcotest.int "trace events" 15 (Stats.trace_events sample)
+
+let test_lengths () =
+  check approx "static avg length" 5.0 (Stats.avg_trace_length sample);
+  check approx "dynamic avg length" 5.0 (Stats.dynamic_trace_length sample)
+
+let test_coverage () =
+  check approx "completed coverage" 0.6 (Stats.coverage_completed sample);
+  check approx "total coverage" 0.7 (Stats.coverage_total sample)
+
+let test_rates () =
+  check approx "completion rate" 0.8 (Stats.completion_rate sample);
+  check approx "dispatches per signal" 30.0 (Stats.dispatches_per_signal sample);
+  check approx "trace event interval" 10.0 (Stats.trace_event_interval sample);
+  check approx "linking rate" 0.4 (Stats.linking_rate sample)
+
+let test_dispatch_reduction () =
+  (* block model: 100 outside + 200 completed + 30 partial = 330 over 150 *)
+  check approx "reduction" (330.0 /. 150.0) (Stats.dispatch_reduction sample)
+
+let test_zero_division_safety () =
+  let z = Stats.zero in
+  check approx "length" 0.0 (Stats.avg_trace_length z);
+  check approx "coverage" 0.0 (Stats.coverage_completed z);
+  check approx "completion" 0.0 (Stats.completion_rate z);
+  check approx "per signal" 0.0 (Stats.dispatches_per_signal z);
+  check approx "interval" 0.0 (Stats.trace_event_interval z);
+  check approx "linking" 0.0 (Stats.linking_rate z);
+  check approx "reduction" 1.0 (Stats.dispatch_reduction z)
+
+let test_pp () =
+  let s = Format.asprintf "%a" Stats.pp sample in
+  check Alcotest.bool "pp mentions coverage" true
+    (String.length s > 50)
+
+let test_invariants_from_run () =
+  let w = Workloads.Compress.workload in
+  let layout = Cfg.Layout.build (w.Workloads.Workload.build ~size:2_000) in
+  let s = (Tracegen.Engine.run layout).Tracegen.Engine.run_stats in
+  check Alcotest.bool "entered >= completed" true
+    (s.Stats.traces_entered >= s.Stats.traces_completed);
+  check Alcotest.bool "chained <= entered" true
+    (s.Stats.chained_entries <= s.Stats.traces_entered);
+  check Alcotest.bool "static traces <= constructed" true
+    (s.Stats.static_traces <= s.Stats.traces_constructed);
+  check Alcotest.bool "coverage total <= 1" true (Stats.coverage_total s <= 1.0);
+  check Alcotest.bool "reduction >= 1 on a traced run" true
+    (Stats.dispatch_reduction s >= 1.0);
+  (* chaining must actually occur on a loopy workload *)
+  check Alcotest.bool "linking rate meaningful" true
+    (Stats.linking_rate s > 0.5)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "derived",
+        [
+          tc "totals" `Quick test_totals;
+          tc "lengths" `Quick test_lengths;
+          tc "coverage" `Quick test_coverage;
+          tc "rates" `Quick test_rates;
+          tc "dispatch reduction" `Quick test_dispatch_reduction;
+          tc "zero safety" `Quick test_zero_division_safety;
+          tc "pp" `Quick test_pp;
+        ] );
+      ("integration", [ tc "run invariants" `Quick test_invariants_from_run ]);
+    ]

@@ -1,0 +1,248 @@
+(* The structured front end, exercised by compiling small programs and
+   running them on the VM. *)
+
+open Workloads.Dsl
+module S = Bytecode.Structured
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+(* compile a single int-returning main from statements and run it *)
+let run_main ?(defs = fun (_ : S.t) -> ()) body =
+  let p = S.create () in
+  defs p;
+  S.def_method p ~name:"main" ~args:[] ~ret:S.I ~body ();
+  let program = S.link p ~entry:"main" in
+  Bytecode.Verify.verify_program program;
+  let layout = Cfg.Layout.build program in
+  match Vm.Interp.result_value (Vm.Interp.run_plain layout) with
+  | Some (Vm.Value.Vint n) -> n
+  | _ -> Alcotest.fail "expected an int result"
+
+let expect name expected body = check Alcotest.int name expected (run_main body)
+
+let test_arith () =
+  expect "ints" 17 [ ret (i 3 +! (i 2 *! i 7)) ];
+  expect "division" 3 [ ret (i 10 /! i 3) ];
+  expect "remainder" 1 [ ret (i 10 %! i 3) ];
+  expect "negation" (-5) [ ret (neg (i 5)) ];
+  expect "bit ops" 6 [ ret ((i 12 &! i 6) |! (i 2 ^! i 0)) ];
+  expect "shifts" 24 [ ret ((i 3 <<! i 3) >>! i 0) ];
+  expect "float to int" 7 [ ret (f2i (f 3.5 +! f 4.25)) ];
+  expect "int to float round trip" 9 [ ret (f2i (i2f (i 9))) ]
+
+let test_comparisons_as_values () =
+  expect "true is 1" 1 [ ret (i 3 <! i 5) ];
+  expect "false is 0" 0 [ ret (i 5 <! i 3) ];
+  expect "not" 1 [ ret (not_ (i 5 <! i 3)) ];
+  expect "and" 1 [ ret ((i 1 <! i 2) &&! (i 2 <! i 3)) ];
+  expect "or short circuit" 1 [ ret ((i 1 <! i 2) ||! (i 1 /! i 0 =! i 0)) ];
+  expect "float compare" 1 [ ret (f 1.5 <! f 2.5) ]
+
+let test_control_flow () =
+  expect "if then" 10 [ if_ (i 1 =! i 1) [ ret (i 10) ] [ ret (i 20) ] ];
+  expect "if else" 20 [ if_ (i 1 =! i 2) [ ret (i 10) ] [ ret (i 20) ] ];
+  expect "while sum" 55
+    [
+      decl_i "s" (i 0);
+      decl_i "k" (i 1);
+      while_ (v "k" <=! i 10)
+        [ set "s" (v "s" +! v "k"); incr_ "k" ];
+      ret (v "s");
+    ];
+  expect "for sum" 45
+    [
+      decl_i "s" (i 0);
+      for_ "k" (i 0) (i 10) [ set "s" (v "s" +! v "k") ];
+      ret (v "s");
+    ];
+  expect "do while runs once" 1
+    [
+      decl_i "n" (i 0);
+      do_while [ incr_ "n" ] (i 0 =! i 1);
+      ret (v "n");
+    ];
+  expect "break" 5
+    [
+      decl_i "k" (i 0);
+      while_ (i 1 =! i 1)
+        [ when_ (v "k" =! i 5) [ break_ ]; incr_ "k" ];
+      ret (v "k");
+    ];
+  expect "continue" 25
+    [
+      decl_i "s" (i 0);
+      for_ "k" (i 0) (i 10)
+        [ when_ ((v "k" &! i 1) =! i 0) [ continue_ ]; set "s" (v "s" +! v "k") ];
+      ret (v "s");
+    ];
+  expect "switch" 42
+    [
+      decl_i "x" (i 3);
+      switch (v "x")
+        [ (1, [ ret (i 10) ]); (3, [ ret (i 42) ]); (4, [ ret (i 99) ]) ]
+        [ ret (i 0) ];
+    ];
+  expect "switch default" 7
+    [ switch (i 100) [ (1, [ ret (i 1) ]) ] [ ret (i 7) ] ]
+
+let test_arrays () =
+  expect "alloc and store" 30
+    [
+      decl "a" (S.Arr S.I) (new_arr S.I (i 10));
+      seti (v "a") (i 3) (i 30);
+      ret (v "a" @. i 3);
+    ];
+  expect "length" 10 [ ret (len (new_arr S.I (i 10))) ];
+  expect "float arrays" 9
+    [
+      decl "a" (S.Arr S.F) (new_arr S.F (i 4));
+      seti (v "a") (i 0) (f 4.5);
+      ret (f2i ((v "a" @. i 0) *! f 2.0));
+    ];
+  expect "ref arrays hold null initially" 1
+    [
+      decl "a" (S.Arr S.R) (new_arr S.R (i 2));
+      ret (i 1);
+    ]
+
+let test_calls () =
+  let defs p =
+    S.def_method p ~name:"fact" ~args:[ ("n", S.I) ] ~ret:S.I
+      ~body:
+        [
+          if_ (v "n" <=! i 1) [ ret (i 1) ]
+            [ ret (v "n" *! call "fact" [ v "n" -! i 1 ]) ];
+        ]
+      ();
+    S.def_method p ~name:"tick" ~args:[ ("cell", S.Arr S.I) ]
+      ~body:[ seti (v "cell") (i 0) ((v "cell" @. i 0) +! i 1) ]
+      ()
+  in
+  check Alcotest.int "recursion" 120
+    (run_main ~defs [ ret (call "fact" [ i 5 ]) ]);
+  check Alcotest.int "void call for effect" 3
+    (run_main ~defs
+       [
+         decl "c" (S.Arr S.I) (new_arr S.I (i 1));
+         ignore_ (call "tick" [ v "c" ]);
+         ignore_ (call "tick" [ v "c" ]);
+         ignore_ (call "tick" [ v "c" ]);
+         ret (v "c" @. i 0);
+       ])
+
+let test_objects () =
+  let defs p =
+    S.def_class p ~name:"Animal" ~fields:[ ("legs", S.I) ]
+      ~methods:[ ("noise", "animal_noise") ] ();
+    S.def_class p ~name:"Dog" ~super:"Animal" ~fields:[]
+      ~methods:[ ("noise", "dog_noise") ] ();
+    S.def_method p ~name:"animal_noise" ~kind:Bytecode.Mthd.Virtual ~args:[]
+      ~ret:S.I ~body:[ ret (i 1) ] ();
+    S.def_method p ~name:"dog_noise" ~kind:Bytecode.Mthd.Virtual ~args:[]
+      ~ret:S.I
+      ~body:[ ret (i 2 +! getf "Animal" "legs" (v "this")) ]
+      ()
+  in
+  check Alcotest.int "virtual dispatch + inherited field" 6
+    (run_main ~defs
+       [
+         decl "d" S.R (new_obj "Dog");
+         setf "Animal" "legs" (v "d") (i 4);
+         ret (vcall "noise" (v "d") []);
+       ]);
+  check Alcotest.int "instanceof" 110
+    (run_main ~defs
+       [
+         decl "d" S.R (new_obj "Dog");
+         decl "a" S.R (new_obj "Animal");
+         decl_i "acc" (i 0);
+         when_ (is_instance "Animal" (v "d")) [ set "acc" (v "acc" +! i 100) ];
+         when_ (is_instance "Dog" (v "a")) [ set "acc" (v "acc" +! i 1000) ];
+         when_ (is_instance "Animal" (v "a")) [ set "acc" (v "acc" +! i 10) ];
+         ret (v "acc");
+       ])
+
+let expect_type_error name body =
+  let p = S.create () in
+  S.def_method p ~name:"main" ~args:[] ~ret:S.I ~body ();
+  try
+    ignore (S.link p ~entry:"main");
+    Alcotest.failf "%s: expected a type error" name
+  with S.Type_error _ -> ()
+
+let test_type_errors () =
+  expect_type_error "int + float" [ ret (i 1 +! f 2.0) ];
+  expect_type_error "unbound variable" [ ret (v "nope") ];
+  expect_type_error "wrong decl type" [ decl_f "x" (i 3); ret (i 0) ];
+  expect_type_error "redeclare at other type"
+    [ decl_i "x" (i 1); decl "x" S.F (f 1.0); ret (i 0) ];
+  expect_type_error "indexing non-array" [ decl_i "x" (i 1); ret (v "x" @. i 0) ];
+  expect_type_error "float condition" [ if_ (f 1.0) [ ret (i 1) ] [ ret (i 0) ] ];
+  expect_type_error "break outside loop" [ break_; ret (i 0) ];
+  expect_type_error "call unknown" [ ret (call "ghost" []) ];
+  expect_type_error "float modulo" [ ret (f2i (f 5.0 %! f 2.0)) ];
+  expect_type_error "returning float from int method" [ ret (f 1.0) ]
+
+let test_iinc_peephole () =
+  (* v = v + 3 compiles to a single Iinc *)
+  let p = S.create () in
+  S.def_method p ~name:"main" ~args:[] ~ret:S.I
+    ~body:[ decl_i "x" (i 1); set "x" (v "x" +! i 3); ret (v "x") ]
+    ();
+  let program = S.link p ~entry:"main" in
+  let main = Bytecode.Program.entry_method program in
+  let has_iinc =
+    Array.exists
+      (function Bytecode.Instr.Iinc (_, 3) -> true | _ -> false)
+      main.Bytecode.Mthd.code
+  in
+  check Alcotest.bool "iinc emitted" true has_iinc;
+  check Alcotest.int "and it computes 4" 4
+    (run_main [ decl_i "x" (i 1); set "x" (v "x" +! i 3); ret (v "x") ])
+
+(* qcheck: constant expressions evaluate like OCaml ints *)
+let arb_const_expr =
+  let open QCheck.Gen in
+  let leaf = map (fun n -> (i n, n)) (int_range (-1000) 1000) in
+  let rec gen depth st =
+    if depth = 0 then leaf st
+    else
+      let sub = gen (depth - 1) in
+      (oneof
+         [
+           leaf;
+           map2 (fun (ea, va) (eb, vb) -> (ea +! eb, va + vb)) sub sub;
+           map2 (fun (ea, va) (eb, vb) -> (ea -! eb, va - vb)) sub sub;
+           map2 (fun (ea, va) (eb, vb) -> (ea *! eb, va * vb)) sub sub;
+         ])
+        st
+  in
+  QCheck.make
+    ~print:(fun (_, v) -> string_of_int v)
+    (gen 4)
+
+let prop_const_eval =
+  QCheck.Test.make ~name:"constant expressions evaluate correctly" ~count:60
+    arb_const_expr (fun (expr, value) -> run_main [ ret expr ] = value)
+
+let () =
+  Alcotest.run "structured"
+    [
+      ( "expressions",
+        [
+          tc "arithmetic" `Quick test_arith;
+          tc "comparisons" `Quick test_comparisons_as_values;
+          tc "iinc peephole" `Quick test_iinc_peephole;
+        ] );
+      ( "statements",
+        [
+          tc "control flow" `Quick test_control_flow;
+          tc "arrays" `Quick test_arrays;
+          tc "calls" `Quick test_calls;
+          tc "objects" `Quick test_objects;
+        ] );
+      ("typing", [ tc "type errors rejected" `Quick test_type_errors ]);
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_const_eval ] );
+    ]

@@ -1,0 +1,217 @@
+(* The interpreter: value semantics, runtime errors, and the dispatch
+   accounting the profiler depends on. *)
+
+open Workloads.Dsl
+module S = Bytecode.Structured
+module Interp = Vm.Interp
+module Layout = Cfg.Layout
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let layout_of ?(defs = fun (_ : S.t) -> ()) body =
+  let p = S.create () in
+  defs p;
+  S.def_method p ~name:"main" ~args:[] ~ret:S.I ~body ();
+  let program = S.link p ~entry:"main" in
+  Bytecode.Verify.verify_program program;
+  Layout.build program
+
+let run_int ?defs body =
+  match Interp.result_value (Interp.run_plain (layout_of ?defs body)) with
+  | Some (Vm.Value.Vint n) -> n
+  | _ -> Alcotest.fail "expected int"
+
+let expect_trap kind body =
+  let r = Interp.run_plain (layout_of body) in
+  match r.Interp.outcome with
+  | Interp.Trapped (k, _) when k = kind -> ()
+  | Interp.Trapped (k, msg) ->
+      Alcotest.failf "wrong trap: %s (%s)" (Interp.error_kind_to_string k) msg
+  | Interp.Finished _ -> Alcotest.fail "expected a trap"
+
+let test_int_semantics () =
+  check Alcotest.int "truncating division" (-3) (run_int [ ret (i (-10) /! i 3) ]);
+  check Alcotest.int "remainder sign" (-1) (run_int [ ret (i (-10) %! i 3) ]);
+  check Alcotest.int "xor" 6 (run_int [ ret (i 5 ^! i 3) ]);
+  check Alcotest.int "shift left" 40 (run_int [ ret (i 5 <<! i 3) ]);
+  check Alcotest.int "arithmetic shift right" (-3)
+    (run_int [ ret (i (-20) >>! i 3) ])
+
+let test_float_semantics () =
+  check Alcotest.int "float add" 5 (run_int [ ret (f2i (f 2.25 +! f 2.75)) ]);
+  check Alcotest.int "float compare lt" 1 (run_int [ ret (f 1.0 <! f 2.0) ]);
+  check Alcotest.int "float compare via sub" 0 (run_int [ ret (f 2.0 <! f 1.0) ]);
+  check Alcotest.int "f2i truncates" 3 (run_int [ ret (f2i (f 3.99)) ])
+
+let test_traps () =
+  expect_trap Interp.Division_by_zero [ ret (i 1 /! i 0) ];
+  expect_trap Interp.Division_by_zero [ ret (i 1 %! i 0) ];
+  expect_trap Interp.Array_bounds
+    [ decl "a" (S.Arr S.I) (new_arr S.I (i 3)); ret (v "a" @. i 5) ];
+  expect_trap Interp.Array_bounds
+    [ decl "a" (S.Arr S.I) (new_arr S.I (i 3)); ret (v "a" @. neg (i 1)) ];
+  expect_trap Interp.Array_bounds [ ret (len (new_arr S.I (neg (i 2)))) ];
+  expect_trap Interp.Null_pointer
+    [ decl "a" (S.Arr S.I) S.Cnull; ret (v "a" @. i 0) ]
+
+let test_null_virtual_call () =
+  let defs p =
+    S.def_class p ~name:"C" ~fields:[] ~methods:[ ("m", "c_m") ] ();
+    S.def_method p ~name:"c_m" ~kind:Bytecode.Mthd.Virtual ~args:[] ~ret:S.I
+      ~body:[ ret (i 1) ] ()
+  in
+  let layout =
+    layout_of ~defs [ decl "o" S.R S.Cnull; ret (vcall "m" (v "o") []) ]
+  in
+  match (Interp.run_plain layout).Interp.outcome with
+  | Interp.Trapped (Interp.Null_pointer, _) -> ()
+  | _ -> Alcotest.fail "expected null pointer trap"
+
+let test_instruction_budget () =
+  let layout =
+    layout_of [ while_ (i 1 =! i 1) [ ignore_ (i 0) ]; ret (i 0) ]
+  in
+  match (Interp.run ~max_instructions:10_000 layout ~on_block:(fun _ -> ())).Interp.outcome with
+  | Interp.Trapped (Interp.Instruction_budget, _) -> ()
+  | _ -> Alcotest.fail "expected budget trap"
+
+let test_stack_overflow () =
+  let p = S.create () in
+  S.def_method p ~name:"recur" ~args:[ ("n", S.I) ] ~ret:S.I
+    ~body:[ ret (call "recur" [ v "n" +! i 1 ]) ]
+    ();
+  S.def_method p ~name:"main" ~args:[] ~ret:S.I
+    ~body:[ ret (call "recur" [ i 0 ]) ]
+    ();
+  let program = S.link p ~entry:"main" in
+  let layout = Layout.build program in
+  match (Interp.run_plain layout).Interp.outcome with
+  | Interp.Trapped (Interp.Stack_overflow, _) -> ()
+  | _ -> Alcotest.fail "expected stack overflow"
+
+let test_dispatch_accounting () =
+  (* instructions = sum of executed block lengths; block dispatches = number
+     of observer calls; every observed gid is a block leader *)
+  let layout =
+    layout_of
+      [
+        decl_i "s" (i 0);
+        for_ "k" (i 0) (i 10) [ set "s" (v "s" +! v "k") ];
+        ret (v "s");
+      ]
+  in
+  let observed = ref [] in
+  let r = Interp.run layout ~on_block:(fun g -> observed := g :: !observed) in
+  check Alcotest.int "observer called once per block dispatch"
+    r.Interp.block_dispatches
+    (List.length !observed);
+  let sum_lens =
+    List.fold_left (fun acc g -> acc + Layout.block_len layout g) 0 !observed
+  in
+  check Alcotest.int "instructions = sum of dispatched block lengths"
+    r.Interp.instructions sum_lens;
+  List.iter
+    (fun g ->
+      let b = Layout.block layout g in
+      check Alcotest.bool "gid in range" true (g >= 0 && g < layout.Layout.n_blocks);
+      check Alcotest.bool "block len positive" true (b.Cfg.Block.len > 0))
+    !observed
+
+let test_observer_stream_is_path () =
+  (* consecutive dispatched blocks must be connected: successor within the
+     method, callee entry, or return continuation *)
+  let defs p =
+    S.def_method p ~name:"helper" ~args:[ ("x", S.I) ] ~ret:S.I
+      ~body:[ if_ (v "x" >! i 2) [ ret (v "x" *! i 2) ] [ ret (v "x") ] ]
+      ()
+  in
+  let layout =
+    layout_of ~defs
+      [
+        decl_i "s" (i 0);
+        for_ "k" (i 0) (i 6) [ set "s" (v "s" +! call "helper" [ v "k" ]) ];
+        ret (v "s");
+      ]
+  in
+  let prev = ref (-1) in
+  let ok = ref true in
+  let check_edge gprev g =
+    let pb = Layout.block layout gprev in
+    let cb = Layout.block layout g in
+    let cfg = Layout.cfg_of_method layout ~method_id:pb.Cfg.Block.method_id in
+    let intra =
+      pb.Cfg.Block.method_id = cb.Cfg.Block.method_id
+      && List.mem cb.Cfg.Block.index (Cfg.Method_cfg.successors cfg pb)
+    in
+    let is_call =
+      match pb.Cfg.Block.term with
+      | Cfg.Block.T_call _ -> cb.Cfg.Block.start_pc = 0
+      | _ -> false
+    in
+    let is_return =
+      match pb.Cfg.Block.term with Cfg.Block.T_return -> true | _ -> false
+    in
+    intra || is_call || is_return
+  in
+  let r =
+    Interp.run layout ~on_block:(fun g ->
+        if !prev >= 0 && not (check_edge !prev g) then ok := false;
+        prev := g)
+  in
+  ignore r;
+  check Alcotest.bool "dispatch stream follows CFG edges" true !ok
+
+let test_determinism () =
+  let mk () = run_int
+    [
+      decl_i "s" (i 0);
+      for_ "k" (i 0) (i 100) [ set "s" ((v "s" *! i 31 +! v "k") &! i 0xFFFF) ];
+      ret (v "s");
+    ]
+  in
+  check Alcotest.int "two runs agree" (mk ()) (mk ())
+
+(* qcheck: arithmetic on random pairs matches OCaml semantics *)
+let prop_arith =
+  QCheck.Test.make ~name:"vm int ops match OCaml" ~count:100
+    QCheck.(pair (int_range (-10000) 10000) (int_range (-10000) 10000))
+    (fun (a, b) ->
+      let ops =
+        [
+          ((fun x y -> x +! y), ( + ));
+          ((fun x y -> x -! y), ( - ));
+          ((fun x y -> x *! y), ( * ));
+          ((fun x y -> x &! y), ( land ));
+          ((fun x y -> x |! y), ( lor ));
+          ((fun x y -> x ^! y), ( lxor ));
+        ]
+      in
+      List.for_all
+        (fun (dsl_op, ml_op) ->
+          run_int [ ret (dsl_op (i a) (i b)) ] = ml_op a b)
+        ops)
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "semantics",
+        [
+          tc "int ops" `Quick test_int_semantics;
+          tc "float ops" `Quick test_float_semantics;
+          tc "determinism" `Quick test_determinism;
+        ] );
+      ( "traps",
+        [
+          tc "runtime errors" `Quick test_traps;
+          tc "null virtual call" `Quick test_null_virtual_call;
+          tc "instruction budget" `Quick test_instruction_budget;
+          tc "stack overflow" `Quick test_stack_overflow;
+        ] );
+      ( "dispatch",
+        [
+          tc "accounting" `Quick test_dispatch_accounting;
+          tc "stream follows edges" `Quick test_observer_stream_is_path;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_arith ]);
+    ]

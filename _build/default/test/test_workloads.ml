@@ -1,0 +1,137 @@
+(* The six benchmark programs: they verify, run to completion, return
+   deterministic checksums, and their dispatch streams have the branch
+   character they were designed to have. *)
+
+module Layout = Cfg.Layout
+module Interp = Vm.Interp
+module Stats = Tracegen.Stats
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let small_size (w : Workloads.Workload.t) =
+  max 1 (w.Workloads.Workload.default_size / 4)
+
+let run_checksum (w : Workloads.Workload.t) ~size =
+  let program = w.Workloads.Workload.build ~size in
+  Bytecode.Verify.verify_program program;
+  let layout = Layout.build program in
+  match Interp.result_value (Interp.run_plain layout) with
+  | Some (Vm.Value.Vint n) -> n
+  | _ -> Alcotest.failf "%s: expected int result" w.Workloads.Workload.name
+
+let test_all_run () =
+  List.iter
+    (fun w ->
+      let n = run_checksum w ~size:(small_size w) in
+      check Alcotest.bool
+        (Printf.sprintf "%s returns a checksum" w.Workloads.Workload.name)
+        true
+        (n <> 0))
+    Workloads.Registry.all
+
+let test_deterministic () =
+  List.iter
+    (fun w ->
+      let a = run_checksum w ~size:(small_size w) in
+      let b = run_checksum w ~size:(small_size w) in
+      check Alcotest.int
+        (Printf.sprintf "%s deterministic" w.Workloads.Workload.name)
+        a b)
+    Workloads.Registry.all
+
+let test_size_scales_work () =
+  List.iter
+    (fun w ->
+      let build size =
+        let layout = Layout.build (w.Workloads.Workload.build ~size) in
+        (Interp.run_plain layout).Interp.instructions
+      in
+      let s = small_size w in
+      let small = build s in
+      let large = build (2 * s) in
+      check Alcotest.bool
+        (Printf.sprintf "%s: 2x size -> more instructions"
+           w.Workloads.Workload.name)
+        true (large > small))
+    Workloads.Registry.all
+
+let test_compress_roundtrip_flag () =
+  (* the checksum's low bit is the encode/decode verification flag *)
+  let n = run_checksum Workloads.Compress.workload ~size:3000 in
+  check Alcotest.int "round trip verified" 1 (n land 1)
+
+let test_javac_fold_agrees () =
+  (* javac's main returns -1 when constant folding changes evaluation *)
+  let n = run_checksum Workloads.Javacish.workload ~size:150 in
+  check Alcotest.bool "folding preserved semantics" true (n >= 0)
+
+let test_registry () =
+  check Alcotest.int "six workloads" 6 (List.length Workloads.Registry.all);
+  check (Alcotest.list Alcotest.string) "paper order"
+    [ "compress"; "javac"; "raytrace"; "mpegaudio"; "soot"; "scimark" ]
+    (Workloads.Registry.names ());
+  check Alcotest.bool "find hits" true (Workloads.Registry.find "soot" <> None);
+  check Alcotest.bool "find misses" true
+    (Workloads.Registry.find "nope" = None)
+
+(* branch-character checks: the polymorphism-heavy workloads really do make
+   virtual calls at a high rate, the numeric one does not *)
+let vcall_rate (w : Workloads.Workload.t) =
+  let program = w.Workloads.Workload.build ~size:(small_size w) in
+  let layout = Layout.build program in
+  let vcalls = ref 0 in
+  let r =
+    Interp.run layout ~on_block:(fun g ->
+        let b = Layout.block layout g in
+        match b.Cfg.Block.term with
+        | Cfg.Block.T_call { virtual_ = true; _ } -> incr vcalls
+        | _ -> ())
+  in
+  float_of_int !vcalls /. float_of_int r.Interp.instructions
+
+let test_polymorphism_profile () =
+  let mpeg = vcall_rate Workloads.Mpegaudio.workload in
+  let sci = vcall_rate Workloads.Scimark.workload in
+  check Alcotest.bool
+    (Printf.sprintf "mpegaudio virtual-call dense (%f vs %f)" mpeg sci)
+    true (mpeg > 4.0 *. sci)
+
+let test_trace_profile_shape () =
+  (* scimark must be the friendliest to tracing among the six; javac and
+     soot must be harder than compress *)
+  let run w =
+    let program =
+      w.Workloads.Workload.build ~size:(small_size w)
+    in
+    let layout = Layout.build program in
+    (Tracegen.Engine.run layout).Tracegen.Engine.run_stats
+  in
+  let compress = run Workloads.Compress.workload in
+  let scimark = run Workloads.Scimark.workload in
+  check Alcotest.bool "compress completion is very high" true
+    (Stats.completion_rate compress > 0.97);
+  check Alcotest.bool "scimark coverage is high" true
+    (Stats.coverage_completed scimark > 0.75)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "execution",
+        [
+          tc "all run" `Slow test_all_run;
+          tc "deterministic" `Slow test_deterministic;
+          tc "size scales work" `Slow test_size_scales_work;
+          tc "registry" `Quick test_registry;
+        ] );
+      ( "semantic checks",
+        [
+          tc "compress round trip" `Quick test_compress_roundtrip_flag;
+          tc "javac folding agrees" `Quick test_javac_fold_agrees;
+        ] );
+      ( "branch character",
+        [
+          tc "polymorphism profile" `Slow test_polymorphism_profile;
+          tc "trace profile shape" `Slow test_trace_profile_shape;
+        ] );
+    ]
