@@ -116,9 +116,7 @@ let interp_bench ~with_profiler () =
   let layout = Lazy.force bench_layout in
   Staged.stage (fun () ->
       if with_profiler then begin
-        let config =
-          { Tracegen.Config.default with Tracegen.Config.build_traces = false }
-        in
+        let config = Tracegen.Config.make ~build_traces:false () in
         ignore (Tracegen.Engine.run ~config layout)
       end
       else ignore (Vm.Interp.run_plain layout))
@@ -126,6 +124,62 @@ let interp_bench ~with_profiler () =
 let bench_full_engine () =
   let layout = Lazy.force bench_layout in
   Staged.stage (fun () -> ignore (Tracegen.Engine.run layout))
+
+(* same run with a live subscriber: the priced-in cost of observing *)
+let bench_engine_events () =
+  let layout = Lazy.force bench_layout in
+  Staged.stage (fun () ->
+      let events = Tracegen.Events.create () in
+      let n = ref 0 in
+      let _sub = Tracegen.Events.subscribe events (fun _ -> incr n) in
+      ignore (Tracegen.Engine.run ~events layout))
+
+(* ------------------------------------------------------------------ *)
+(* Observability overhead                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The event stream's contract is "free when nobody subscribes": every
+   emission site is a single predictable branch on the disabled path.
+   Time the full engine with no subscribers against the same run with a
+   subscriber counting every event (plus periodic metric snapshots), and
+   report both sides. *)
+let observability () =
+  section "Observability overhead (events disabled vs enabled)";
+  let layout = Lazy.force bench_layout in
+  let reps = max 1 (int_of_float (10.0 *. scale)) in
+  let time f =
+    f ();
+    (* median of 5 samples of [reps] runs *)
+    let samples =
+      List.init 5 (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            f ()
+          done;
+          Unix.gettimeofday () -. t0)
+    in
+    List.nth (List.sort compare samples) 2
+  in
+  let disabled () = ignore (Tracegen.Engine.run layout) in
+  let counted = ref 0 in
+  let enabled () =
+    let events = Tracegen.Events.create () in
+    let _sub = Tracegen.Events.subscribe events (fun _ -> incr counted) in
+    let config = Tracegen.Config.make ~snapshot_period:10_000 () in
+    ignore (Tracegen.Engine.run ~config ~events layout)
+  in
+  let td = time disabled in
+  let te = time enabled in
+  let runs = (5 * reps) + 1 in
+  Printf.printf
+    "engine, events disabled : %8.2f ms/run (median of 5x%d)\n\
+     engine, events enabled  : %8.2f ms/run (~%d events per run)\n\
+     enabled-path cost       : %+7.2f%%\n"
+    (1000.0 *. td /. float_of_int reps)
+    reps
+    (1000.0 *. te /. float_of_int reps)
+    (!counted / runs)
+    (100.0 *. (te -. td) /. td)
 
 let micro () =
   section "Bechamel microbenchmarks";
@@ -140,6 +194,8 @@ let micro () =
         Test.make ~name:"interp_profiled_small_compress"
           (interp_bench ~with_profiler:true ());
         Test.make ~name:"engine_traced_small_compress" (bench_full_engine ());
+        Test.make ~name:"engine_events_enabled_small_compress"
+          (bench_engine_events ());
       ]
   in
   let benchmark () =
@@ -167,6 +223,7 @@ let micro () =
 
 let () =
   tables ();
+  observability ();
   (match Sys.getenv_opt "BENCH_SKIP_MICRO" with
   | Some "1" -> ()
   | Some _ | None -> micro ());

@@ -12,6 +12,14 @@ let find_workload name =
         (String.concat ", " (Workloads.Registry.names ()));
       exit 2
 
+(* Config.make validates; turn a bad --threshold/--delay/--snapshot-period
+   into a clean CLI error rather than an uncaught exception. *)
+let config_or_die f =
+  try f () with
+  | Invalid_argument msg ->
+      Printf.eprintf "invalid configuration: %s\n" msg;
+      exit 2
+
 let layout_of w ~size =
   let program =
     match size with
@@ -29,11 +37,8 @@ let run_cmd workload size threshold delay dump_traces dump_bcg top =
   let w = find_workload workload in
   let layout = layout_of w ~size in
   let config =
-    {
-      Tracegen.Config.default with
-      Tracegen.Config.threshold;
-      start_state_delay = delay;
-    }
+    config_or_die (fun () ->
+        Tracegen.Config.make ~threshold ~start_state_delay:delay ())
   in
   let result = Tracegen.Engine.run ~config layout in
   let s = result.Tracegen.Engine.run_stats in
@@ -49,7 +54,7 @@ let run_cmd workload size threshold delay dump_traces dump_bcg top =
   if dump_traces then begin
     let engine = result.Tracegen.Engine.engine in
     let traces = ref [] in
-    Tracegen.Trace_cache.iter_all engine.Tracegen.Engine.cache (fun tr ->
+    Tracegen.Trace_cache.iter_all (Tracegen.Engine.cache engine) (fun tr ->
         traces := tr :: !traces);
     let sorted =
       List.sort
@@ -65,7 +70,10 @@ let run_cmd workload size threshold delay dump_traces dump_bcg top =
       sorted
   end;
   if dump_bcg then begin
-    let bcg = Tracegen.Profiler.bcg result.Tracegen.Engine.engine.Tracegen.Engine.profiler in
+    let bcg =
+      Tracegen.Profiler.bcg
+        (Tracegen.Engine.profiler result.Tracegen.Engine.engine)
+    in
     let nodes = ref [] in
     Tracegen.Bcg.iter_nodes bcg (fun n -> nodes := n :: !nodes);
     let sorted =
@@ -81,6 +89,86 @@ let run_cmd workload size threshold delay dump_traces dump_bcg top =
           Format.printf "%a@." (Tracegen.Bcg.pp_node layout) n)
       sorted
   end
+
+(* ------------------------------------------------------------------ *)
+(* events                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay a workload with the event stream enabled and dump the timeline
+   as JSON lines on stdout.  After the run the per-kind event totals are
+   checked against the end-of-run statistics: the stream and the counters
+   are two views of the same execution and must agree exactly. *)
+let events_cmd workload size threshold delay snapshot_period =
+  let module Events = Tracegen.Events in
+  let w = find_workload workload in
+  let layout = layout_of w ~size in
+  let config =
+    config_or_die (fun () ->
+        Tracegen.Config.make ~threshold ~start_state_delay:delay
+          ~snapshot_period ())
+  in
+  let events = Events.create () in
+  let tally = Hashtbl.create 8 in
+  let constructed_new = ref 0 in
+  let _sub =
+    Events.subscribe events (fun e ->
+        let k = Events.kind e.Events.payload in
+        Hashtbl.replace tally k
+          (1 + (try Hashtbl.find tally k with Not_found -> 0));
+        (match e.Events.payload with
+        | Events.Trace_constructed { reused = false; _ } -> incr constructed_new
+        | _ -> ());
+        print_endline (Harness.Export.to_string (Harness.Export.event_json e)))
+  in
+  let result = Tracegen.Engine.run ~config ~events layout in
+  let s = result.Tracegen.Engine.run_stats in
+  let engine = result.Tracegen.Engine.engine in
+  let count k = try Hashtbl.find tally k with Not_found -> 0 in
+  let in_flight =
+    match Tracegen.Engine.active_trace engine with Some _ -> 1 | None -> 0
+  in
+  let checks =
+    [
+      ("signal_raised = signals", count "signal_raised", s.Tracegen.Stats.signals);
+      ( "trace_constructed (new) = traces_constructed",
+        !constructed_new,
+        s.Tracegen.Stats.traces_constructed );
+      ( "trace_constructed (reused) = builder reuses",
+        count "trace_constructed" - !constructed_new,
+        Tracegen.Engine.builder_reuses engine );
+      ( "trace_entered = traces_entered",
+        count "trace_entered",
+        s.Tracegen.Stats.traces_entered );
+      ( "trace_completed = traces_completed",
+        count "trace_completed",
+        s.Tracegen.Stats.traces_completed );
+      ( "side_exit = entered - completed - in-flight",
+        count "side_exit",
+        s.Tracegen.Stats.traces_entered - s.Tracegen.Stats.traces_completed
+        - in_flight );
+      ( "trace_replaced = traces_replaced",
+        count "trace_replaced",
+        s.Tracegen.Stats.traces_replaced );
+    ]
+  in
+  Printf.eprintf "# %d events across %d kinds\n"
+    (Events.emitted events)
+    (Hashtbl.length tally);
+  let ok =
+    List.fold_left
+      (fun ok (name, got, want) ->
+        if got = want then begin
+          Printf.eprintf "# ok: %s (%d)\n" name got;
+          ok
+        end
+        else begin
+          Printf.eprintf "# MISMATCH: %s (timeline %d, stats %d)\n" name got
+            want;
+          false
+        end)
+      true checks
+  in
+  if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* table                                                                *)
@@ -197,6 +285,22 @@ let run_term =
 let run_info =
   Cmd.info "run" ~doc:"Run one workload under the trace-cache engine."
 
+let events_term =
+  let snapshot_period =
+    Arg.(value & opt int 10_000 & info [ "snapshot-period" ] ~docv:"N"
+           ~doc:"Take a metrics snapshot every N dispatches (0 disables).")
+  in
+  Term.(
+    const events_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
+    $ snapshot_period)
+
+let events_info =
+  Cmd.info "events"
+    ~doc:
+      "Replay a workload with the event stream enabled and dump the timeline \
+       as JSON lines (stdout); per-kind totals are cross-checked against the \
+       end-of-run statistics (stderr, non-zero exit on mismatch)."
+
 let table_term =
   let which =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"TABLE")
@@ -247,6 +351,7 @@ let () =
        (Cmd.group ~default info
           [
             Cmd.v run_info run_term;
+            Cmd.v events_info events_term;
             Cmd.v table_info table_term;
             Cmd.v disasm_info disasm_term;
             Cmd.v export_info export_term;

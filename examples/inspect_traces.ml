@@ -33,7 +33,7 @@ let () =
   let engine = r.Tracegen.Engine.engine in
 
   Printf.printf "\n=== hottest branch correlation nodes ===\n";
-  let bcg = Tracegen.Profiler.bcg engine.Tracegen.Engine.profiler in
+  let bcg = Tracegen.Profiler.bcg (Tracegen.Engine.profiler engine) in
   let nodes = ref [] in
   Tracegen.Bcg.iter_nodes bcg (fun n -> nodes := n :: !nodes);
   !nodes
@@ -44,7 +44,7 @@ let () =
 
   Printf.printf "\n=== traces by instructions delivered ===\n";
   let traces = ref [] in
-  Tracegen.Trace_cache.iter_all engine.Tracegen.Engine.cache (fun tr ->
+  Tracegen.Trace_cache.iter_all (Tracegen.Engine.cache engine) (fun tr ->
       traces := tr :: !traces);
   !traces
   |> List.sort (fun a b ->

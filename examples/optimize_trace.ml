@@ -19,7 +19,7 @@ let () =
   let layout = Cfg.Layout.build (Workloads.Workload.build_default w) in
   let r = Tracegen.Engine.run layout in
   let traces = ref [] in
-  Tracegen.Trace_cache.iter_all r.Tracegen.Engine.engine.Tracegen.Engine.cache
+  Tracegen.Trace_cache.iter_all (Tracegen.Engine.cache r.Tracegen.Engine.engine)
     (fun tr -> traces := tr :: !traces);
   let hottest =
     !traces

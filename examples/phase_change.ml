@@ -58,7 +58,7 @@ let () =
     (100.0 *. St.coverage_total s);
   print_endline "hottest traces at exit (phase 2's path dominates):";
   let traces = ref [] in
-  Tracegen.Trace_cache.iter_all r.Tracegen.Engine.engine.Tracegen.Engine.cache
+  Tracegen.Trace_cache.iter_all (Tracegen.Engine.cache r.Tracegen.Engine.engine)
     (fun tr -> traces := tr :: !traces);
   !traces
   |> List.sort (fun a b ->

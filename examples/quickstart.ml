@@ -59,7 +59,7 @@ let () =
   (* 5. The traces themselves. *)
   print_endline "hottest traces:";
   let traces = ref [] in
-  Tracegen.Trace_cache.iter_all result.Tracegen.Engine.engine.Tracegen.Engine.cache
+  Tracegen.Trace_cache.iter_all (Tracegen.Engine.cache result.Tracegen.Engine.engine)
     (fun tr -> traces := tr :: !traces);
   !traces
   |> List.sort (fun a b ->

@@ -23,7 +23,7 @@ let () =
   List.iter
     (fun threshold ->
       let config =
-        { Tracegen.Config.default with Tracegen.Config.threshold }
+        Tracegen.Config.make ~threshold ()
       in
       let r = Tracegen.Engine.run ~config layout in
       let s = r.Tracegen.Engine.run_stats in

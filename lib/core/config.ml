@@ -19,6 +19,9 @@ type t = {
   max_walk : int; (* cap on maximum-likelihood walk length *)
   max_backtrack : int; (* cap on entry-point backtracking depth *)
   build_traces : bool; (* false = profile-only run (Table VI) *)
+  snapshot_period : int;
+      (* dispatches between periodic metrics snapshots; 0 disables the
+         series (the observability layer's quiescent default) *)
 }
 
 let default =
@@ -32,6 +35,7 @@ let default =
     max_walk = 256;
     max_backtrack = 128;
     build_traces = true;
+    snapshot_period = 0;
   }
 
 let validate t =
@@ -42,7 +46,33 @@ let validate t =
   if t.counter_max < 2 then invalid_arg "counter_max < 2";
   if t.min_trace_blocks < 2 then invalid_arg "min_trace_blocks < 2";
   if t.max_trace_blocks < t.min_trace_blocks then
-    invalid_arg "max_trace_blocks < min_trace_blocks"
+    invalid_arg "max_trace_blocks < min_trace_blocks";
+  if t.snapshot_period < 0 then invalid_arg "snapshot_period < 0"
+
+let make ?(start_state_delay = default.start_state_delay)
+    ?(threshold = default.threshold) ?(decay_period = default.decay_period)
+    ?(counter_max = default.counter_max)
+    ?(max_trace_blocks = default.max_trace_blocks)
+    ?(min_trace_blocks = default.min_trace_blocks)
+    ?(max_walk = default.max_walk) ?(max_backtrack = default.max_backtrack)
+    ?(build_traces = default.build_traces)
+    ?(snapshot_period = default.snapshot_period) () =
+  let t =
+    {
+      start_state_delay;
+      threshold;
+      decay_period;
+      counter_max;
+      max_trace_blocks;
+      min_trace_blocks;
+      max_walk;
+      max_backtrack;
+      build_traces;
+      snapshot_period;
+    }
+  in
+  validate t;
+  t
 
 let with_threshold t threshold = { t with threshold }
 

@@ -30,11 +30,32 @@ type t = {
       (** When [false] the engine profiles every dispatch but never builds
           or dispatches traces — the configuration of the paper's Table VI
           overhead measurement. *)
+  snapshot_period : int;
+      (** Dispatches between periodic {!Metrics} snapshots; [0]
+          (default) disables the snapshot series. *)
 }
 
 val default : t
 (** The paper's preferred operating point: delay 64, threshold 0.97,
     decay 256, 16-bit counters. *)
+
+val make :
+  ?start_state_delay:int ->
+  ?threshold:float ->
+  ?decay_period:int ->
+  ?counter_max:int ->
+  ?max_trace_blocks:int ->
+  ?min_trace_blocks:int ->
+  ?max_walk:int ->
+  ?max_backtrack:int ->
+  ?build_traces:bool ->
+  ?snapshot_period:int ->
+  unit ->
+  t
+(** Labelled constructor over {!default}; every omitted parameter keeps
+    its default.  Unlike a record literal, the result is {!validate}d on
+    construction.
+    @raise Invalid_argument on out-of-range parameters. *)
 
 val validate : t -> unit
 (** @raise Invalid_argument on out-of-range parameters. *)

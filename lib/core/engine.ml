@@ -14,13 +14,20 @@ module Interp = Vm.Interp
      are inlined — no dispatch, no hook;
    - when execution diverges from the trace (side exit) or the trace
      completes, the profiler context is resynchronized to the last two
-     executed blocks and normal dispatching resumes. *)
+     executed blocks and normal dispatching resumes.
+
+   Observability: every lifecycle moment is published on a typed event
+   stream and the accounting is exposed through a metrics registry
+   (polled gauges — zero hot-path cost).  The type is abstract; consumers
+   observe the engine through accessors, events, metrics and Stats. *)
 
 type t = {
   config : Config.t;
   layout : Layout.t;
   profiler : Profiler.t;
   cache : Trace_cache.t;
+  events : Events.t;
+  metrics : Metrics.t;
   (* trace execution state *)
   mutable active : Trace.t option;
   mutable active_pos : int; (* index of the next expected block *)
@@ -46,8 +53,31 @@ type t = {
   mutable just_completed : bool;
 }
 
-let create ?(config = Config.default) (layout : Layout.t) : t =
-  let cache = Trace_cache.create layout in
+(* Expose the accounting through the registry as polled gauges: nothing
+   on the dispatch path, evaluated only when a snapshot is taken. *)
+let register_gauges (m : Metrics.t) (e : t) =
+  Metrics.gauge m "block_dispatches" (fun () -> e.block_dispatches);
+  Metrics.gauge m "trace_dispatches" (fun () -> e.trace_dispatches);
+  Metrics.gauge m "traces_entered" (fun () -> e.traces_entered);
+  Metrics.gauge m "traces_completed" (fun () -> e.traces_completed);
+  Metrics.gauge m "completed_blocks" (fun () -> e.completed_blocks);
+  Metrics.gauge m "partial_blocks" (fun () -> e.partial_blocks);
+  Metrics.gauge m "completed_instrs" (fun () -> e.completed_instrs);
+  Metrics.gauge m "partial_instrs" (fun () -> e.partial_instrs);
+  Metrics.gauge m "traces_constructed" (fun () -> e.traces_constructed);
+  Metrics.gauge m "builder_reuses" (fun () -> e.builder_reuses);
+  Metrics.gauge m "chained_entries" (fun () -> e.chained_entries);
+  Metrics.gauge m "signals" (fun () -> Profiler.signals e.profiler);
+  Metrics.gauge m "ic_predictions" (fun () -> Profiler.predictions e.profiler);
+  Metrics.gauge m "bcg_nodes" (fun () -> Bcg.n_nodes (Profiler.bcg e.profiler));
+  Metrics.gauge m "bcg_edges" (fun () -> Bcg.n_edges (Profiler.bcg e.profiler));
+  Metrics.gauge m "traces_live" (fun () -> Trace_cache.n_live e.cache);
+  Metrics.gauge m "traces_replaced" (fun () -> Trace_cache.n_replaced e.cache)
+
+let create ?(config = Config.default) ?(events = Events.create ())
+    (layout : Layout.t) : t =
+  let cache = Trace_cache.create ~events layout in
+  let metrics = Metrics.create ~period:config.Config.snapshot_period () in
   (* The profiler's signal callback closes over the engine; tie the knot
      with a forward reference. *)
   let engine = ref None in
@@ -57,7 +87,7 @@ let create ?(config = Config.default) (layout : Layout.t) : t =
     | Some e ->
         if e.config.Config.build_traces then begin
           let outcome =
-            Trace_builder.on_signal e.config e.cache signal
+            Trace_builder.on_signal ~events e.config e.cache signal
           in
           e.traces_constructed <-
             e.traces_constructed + outcome.Trace_builder.new_traces;
@@ -66,7 +96,7 @@ let create ?(config = Config.default) (layout : Layout.t) : t =
         end
   in
   let profiler =
-    Profiler.create config ~n_blocks:layout.Layout.n_blocks ~on_signal
+    Profiler.create ~events config ~n_blocks:layout.Layout.n_blocks ~on_signal
   in
   let e =
     {
@@ -74,6 +104,8 @@ let create ?(config = Config.default) (layout : Layout.t) : t =
       layout;
       profiler;
       cache;
+      events;
+      metrics;
       active = None;
       active_pos = 0;
       matched_blocks = 0;
@@ -95,7 +127,50 @@ let create ?(config = Config.default) (layout : Layout.t) : t =
     }
   in
   engine := Some e;
+  register_gauges metrics e;
+  Metrics.on_snapshot metrics (fun snapshot ->
+      if Events.enabled events then
+        Events.emit events (Events.Phase_snapshot snapshot));
   e
+
+(* accessors over the abstract engine *)
+let config t = t.config
+
+let layout t = t.layout
+
+let profiler t = t.profiler
+
+let cache t = t.cache
+
+let events t = t.events
+
+let metrics t = t.metrics
+
+let active_trace t = t.active
+
+let block_dispatches t = t.block_dispatches
+
+let trace_dispatches t = t.trace_dispatches
+
+let total_dispatches t = t.block_dispatches + t.trace_dispatches
+
+let traces_entered t = t.traces_entered
+
+let traces_completed t = t.traces_completed
+
+let completed_blocks t = t.completed_blocks
+
+let partial_blocks t = t.partial_blocks
+
+let completed_instrs t = t.completed_instrs
+
+let partial_instrs t = t.partial_instrs
+
+let traces_constructed t = t.traces_constructed
+
+let builder_reuses t = t.builder_reuses
+
+let chained_entries t = t.chained_entries
 
 let note_executed t g =
   t.prev2 <- t.prev;
@@ -109,6 +184,14 @@ let finish_completed t (tr : Trace.t) =
   t.completed_blocks <- t.completed_blocks + Trace.n_blocks tr;
   t.completed_instrs <- t.completed_instrs + tr.Trace.total_instrs;
   t.active <- None;
+  if Events.enabled t.events then
+    Events.emit t.events
+      (Events.Trace_completed
+         {
+           trace_id = tr.Trace.id;
+           n_blocks = Trace.n_blocks tr;
+           n_instrs = tr.Trace.total_instrs;
+         });
   (* the profiler missed the trace interior: reposition its context at the
      trace's final branch *)
   Profiler.resync t.profiler ~x:t.prev2 ~y:t.prev
@@ -122,11 +205,21 @@ let finish_partial t (tr : Trace.t) =
   t.partial_blocks <- t.partial_blocks + t.matched_blocks;
   t.partial_instrs <- t.partial_instrs + t.matched_instrs;
   t.active <- None;
+  if Events.enabled t.events then
+    Events.emit t.events
+      (Events.Side_exit
+         {
+           trace_id = tr.Trace.id;
+           at_block = t.active_pos;
+           matched_blocks = t.matched_blocks;
+           matched_instrs = t.matched_instrs;
+         });
   Profiler.resync t.profiler ~x:t.prev2 ~y:t.prev
 
 (* Process one dispatched block outside any trace: either it enters a
    trace (trace dispatch) or it is an ordinary block dispatch. *)
 let dispatch_outside t g =
+  Metrics.tick t.metrics;
   match
     if t.config.Config.build_traces then
       Trace_cache.lookup t.cache ~prev:t.prev ~cur:g
@@ -135,9 +228,13 @@ let dispatch_outside t g =
   | Some tr ->
       t.trace_dispatches <- t.trace_dispatches + 1;
       t.traces_entered <- t.traces_entered + 1;
-      if t.just_completed then t.chained_entries <- t.chained_entries + 1;
+      let chained = t.just_completed in
+      if chained then t.chained_entries <- t.chained_entries + 1;
       t.just_completed <- false;
       tr.Trace.entered <- tr.Trace.entered + 1;
+      if Events.enabled t.events then
+        Events.emit t.events
+          (Events.Trace_entered { trace_id = tr.Trace.id; chained });
       (* the single profiling statement of a trace dispatch *)
       Profiler.dispatch t.profiler g;
       note_executed t g;
@@ -159,7 +256,7 @@ let dispatch_outside t g =
       note_executed t g
 
 (* The VM observer: called at every basic-block dispatch. *)
-let rec on_block t (g : Layout.gid) =
+let rec on_block_inner t (g : Layout.gid) =
   match t.active with
   | None -> dispatch_outside t g
   | Some tr ->
@@ -175,8 +272,15 @@ let rec on_block t (g : Layout.gid) =
         (* side exit: leave the trace, then process g normally (it may
            itself enter another trace) *)
         finish_partial t tr;
-        on_block t g
+        on_block_inner t g
       end
+
+let on_block t (g : Layout.gid) =
+  (* stamp the stream once per observed block; events emitted during this
+     step carry the current dispatch index *)
+  if Events.enabled t.events then
+    Events.set_now t.events (t.block_dispatches + t.trace_dispatches);
+  on_block_inner t g
 
 (* Assemble final statistics. *)
 let stats t ~(vm_result : Interp.result) ~wall_seconds : Stats.t =
@@ -218,9 +322,9 @@ type run_result = {
 }
 
 (* Run a program under the full system. *)
-let run ?(config = Config.default) ?max_instructions (layout : Layout.t) :
-    run_result =
-  let engine = create ~config layout in
+let run ?(config = Config.default) ?events ?max_instructions
+    (layout : Layout.t) : run_result =
+  let engine = create ~config ?events layout in
   let t0 = Unix.gettimeofday () in
   let vm_result =
     Interp.run ?max_instructions layout ~on_block:(fun g -> on_block engine g)

@@ -15,40 +15,83 @@
       dispatching resumes.
 
     Tracing is a pure overlay: results and instruction counts are
-    identical with and without it. *)
+    identical with and without it.
 
-type t = {
-  config : Config.t;
-  layout : Cfg.Layout.t;
-  profiler : Profiler.t;
-  cache : Trace_cache.t;
-  mutable active : Trace.t option;
-  mutable active_pos : int;
-  mutable matched_blocks : int;
-  mutable matched_instrs : int;
-  mutable prev : Cfg.Layout.gid;
-  mutable prev2 : Cfg.Layout.gid;
-  mutable block_dispatches : int;
-  mutable trace_dispatches : int;
-  mutable traces_entered : int;
-  mutable traces_completed : int;
-  mutable completed_blocks : int;
-  mutable partial_blocks : int;
-  mutable completed_instrs : int;
-  mutable partial_instrs : int;
-  mutable traces_constructed : int;
-  mutable builder_reuses : int;
-  mutable chained_entries : int;
-  mutable just_completed : bool;
-}
+    {2 Observing the engine}
 
-val create : ?config:Config.t -> Cfg.Layout.t -> t
+    The engine type is abstract.  Its accounting is read through the
+    accessor functions below or, end-of-run, through {!stats}; its
+    lifecycle is observable in two richer ways:
+
+    - {!events} — the typed {!Events} stream every component publishes
+      on ([Signal_raised], [Trace_constructed], [Trace_entered],
+      [Side_exit], [Trace_completed], [Trace_replaced], [Decay_pass],
+      [Phase_snapshot]).  Subscribe before driving the engine; a run
+      with no subscribers pays one predictable branch per emission
+      point and allocates nothing.
+    - {!metrics} — a {!Metrics} registry whose gauges poll the engine's
+      counters, snapshotted every {!Config.t.snapshot_period} dispatches
+      into a phase-analysis time series. *)
+
+type t
+
+val create : ?config:Config.t -> ?events:Events.t -> Cfg.Layout.t -> t
+(** [events] is the stream the engine and its components publish on; a
+    fresh (disabled) stream is created when omitted.  Subscribe to the
+    stream {e before} driving the engine to capture the full timeline. *)
 
 val on_block : t -> Cfg.Layout.gid -> unit
 (** The VM observer: feed one dispatched block.  Exposed so the engine
     can be driven by any block stream (the baselines and tests do). *)
 
 val stats : t -> vm_result:Vm.Interp.result -> wall_seconds:float -> Stats.t
+
+(** {2 Accessors} *)
+
+val config : t -> Config.t
+
+val layout : t -> Cfg.Layout.t
+
+val profiler : t -> Profiler.t
+
+val cache : t -> Trace_cache.t
+
+val events : t -> Events.t
+
+val metrics : t -> Metrics.t
+(** The registry created by the engine; its snapshot series is the
+    [Phase_snapshot] event payloads, also readable here after a run. *)
+
+val active_trace : t -> Trace.t option
+(** The trace currently being followed, if any (e.g. when the program
+    trapped mid-trace). *)
+
+val block_dispatches : t -> int
+
+val trace_dispatches : t -> int
+
+val total_dispatches : t -> int
+(** [block_dispatches + trace_dispatches]. *)
+
+val traces_entered : t -> int
+
+val traces_completed : t -> int
+
+val completed_blocks : t -> int
+
+val partial_blocks : t -> int
+
+val completed_instrs : t -> int
+
+val partial_instrs : t -> int
+
+val traces_constructed : t -> int
+
+val builder_reuses : t -> int
+
+val chained_entries : t -> int
+
+(** {2 Running} *)
 
 type run_result = {
   engine : t;
@@ -57,5 +100,9 @@ type run_result = {
 }
 
 val run :
-  ?config:Config.t -> ?max_instructions:int -> Cfg.Layout.t -> run_result
+  ?config:Config.t ->
+  ?events:Events.t ->
+  ?max_instructions:int ->
+  Cfg.Layout.t ->
+  run_result
 (** Execute the program under the full system and collect statistics. *)

@@ -1,0 +1,89 @@
+(* The typed event stream.
+
+   A stream is a list of subscribers kept in subscription order plus a
+   logical clock (the engine's dispatch index).  Emission is synchronous;
+   the disabled stream (no subscribers) is a no-op, and emission sites
+   guard payload construction behind [enabled] so a silent run allocates
+   nothing. *)
+
+type payload =
+  | Signal_raised of {
+      x : Cfg.Layout.gid;
+      y : Cfg.Layout.gid;
+      old_state : State.t;
+      new_state : State.t;
+      best_changed : bool;
+    }
+  | Trace_constructed of {
+      trace_id : int;
+      first : Cfg.Layout.gid;
+      n_blocks : int;
+      n_instrs : int;
+      prob : float;
+      reused : bool;
+    }
+  | Trace_replaced of {
+      first : Cfg.Layout.gid;
+      head : Cfg.Layout.gid;
+      trace_id : int;
+    }
+  | Trace_entered of { trace_id : int; chained : bool }
+  | Side_exit of {
+      trace_id : int;
+      at_block : int;
+      matched_blocks : int;
+      matched_instrs : int;
+    }
+  | Trace_completed of { trace_id : int; n_blocks : int; n_instrs : int }
+  | Decay_pass of { decays : int }
+  | Phase_snapshot of Metrics.snapshot
+
+type event = { time : int; payload : payload }
+
+type subscription = int
+
+type t = {
+  mutable subs : (subscription * (event -> unit)) list;
+      (* in subscription order *)
+  mutable next_sub : subscription;
+  mutable now : int;
+  mutable emitted : int;
+}
+
+let create () = { subs = []; next_sub = 0; now = 0; emitted = 0 }
+
+let enabled t = t.subs <> []
+
+let subscribe t f =
+  let id = t.next_sub in
+  t.next_sub <- id + 1;
+  t.subs <- t.subs @ [ (id, f) ];
+  id
+
+let unsubscribe t id = t.subs <- List.filter (fun (i, _) -> i <> id) t.subs
+
+let n_subscribers t = List.length t.subs
+
+let set_now t n = t.now <- n
+
+let now t = t.now
+
+let emit t payload =
+  match t.subs with
+  | [] -> ()
+  | subs ->
+      t.emitted <- t.emitted + 1;
+      let ev = { time = t.now; payload } in
+      List.iter (fun (_, f) -> f ev) subs
+
+let emitted t = t.emitted
+
+let kind = function
+  | Signal_raised _ -> "signal_raised"
+  | Trace_constructed _ -> "trace_constructed"
+  | Trace_replaced _ -> "trace_replaced"
+  | Trace_entered _ -> "trace_entered"
+  | Side_exit _ -> "side_exit"
+  | Trace_completed _ -> "trace_completed"
+  | Decay_pass _ -> "decay_pass"
+  | Phase_snapshot _ -> "phase_snapshot"

@@ -1,0 +1,111 @@
+(** A typed event stream over the engine's lifecycle.
+
+    Every interesting moment of a run — a profiler signal, a trace being
+    (re)constructed, entered, completed or side-exited, a decay pass, a
+    periodic metrics snapshot — is published here as a typed event,
+    stamped with the dispatch index it happened at.  The stream is the
+    qualitative half of the observability layer ({!Metrics} is the
+    quantitative half): end-of-run totals say {e how many} traces
+    completed, the stream says {e when}.
+
+    {2 Cost discipline}
+
+    The stream is {e disabled} while it has no subscribers, and every
+    emission site guards both the [emit] call and the construction of
+    the event payload behind {!enabled}:
+
+    {[
+      if Events.enabled evs then
+        Events.emit evs (Events.Trace_entered { trace_id; chained })
+    ]}
+
+    so a run without subscribers allocates nothing and pays one
+    predictable branch per emission point.  Subscribers are invoked
+    synchronously, in subscription order. *)
+
+type payload =
+  | Signal_raised of {
+      x : Cfg.Layout.gid;
+      y : Cfg.Layout.gid;  (** the signalled branch node [N_XY] *)
+      old_state : State.t;
+      new_state : State.t;
+      best_changed : bool;
+    }
+      (** A branch crossed the followable boundary or a followable
+          branch's maximally correlated successor changed — the trigger
+          for trace (re)construction. *)
+  | Trace_constructed of {
+      trace_id : int;
+      first : Cfg.Layout.gid;  (** entry context block *)
+      n_blocks : int;
+      n_instrs : int;
+      prob : float;  (** expected completion probability at construction *)
+      reused : bool;
+          (** [true] when the reconstruction was satisfied by an
+              identical cached trace (hash-cons hit) *)
+    }
+  | Trace_replaced of {
+      first : Cfg.Layout.gid;
+      head : Cfg.Layout.gid;  (** the rebound entry transition *)
+      trace_id : int;  (** the trace now installed at that entry *)
+    }
+      (** An entry transition was rebound to a different trace — the
+          cache-instability event counted by
+          {!Trace_cache.n_replaced}. *)
+  | Trace_entered of {
+      trace_id : int;
+      chained : bool;
+          (** the previous dispatch completed another trace
+              (Dynamo-style linking) *)
+    }
+  | Side_exit of {
+      trace_id : int;
+      at_block : int;  (** index in the trace where execution diverged *)
+      matched_blocks : int;
+      matched_instrs : int;
+    }
+  | Trace_completed of { trace_id : int; n_blocks : int; n_instrs : int }
+  | Decay_pass of { decays : int }
+      (** The BCG ran one or more periodic decay passes during this
+          dispatch; [decays] is the cumulative pass count. *)
+  | Phase_snapshot of Metrics.snapshot
+      (** The metrics registry took a periodic snapshot. *)
+
+type event = { time : int; payload : payload }
+(** [time] is the engine's dispatch index (block + trace dispatches) at
+    emission. *)
+
+type t
+(** A stream: an ordered set of subscribers and a logical clock. *)
+
+type subscription
+
+val create : unit -> t
+
+val enabled : t -> bool
+(** [true] iff the stream has at least one subscriber.  Emission sites
+    must guard payload construction behind this. *)
+
+val subscribe : t -> (event -> unit) -> subscription
+(** Subscribers are called synchronously, in subscription order. *)
+
+val unsubscribe : t -> subscription -> unit
+(** Unknown or already-removed subscriptions are ignored. *)
+
+val n_subscribers : t -> int
+
+val set_now : t -> int -> unit
+(** Advance the logical clock; events emitted afterwards carry this
+    time. *)
+
+val now : t -> int
+
+val emit : t -> payload -> unit
+(** Deliver to every subscriber; a no-op when disabled. *)
+
+val emitted : t -> int
+(** Events delivered to subscribers so far. *)
+
+val kind : payload -> string
+(** Stable lowercase tag naming the constructor ("signal_raised",
+    "trace_entered", …) — the ["event"] field of the JSONL schema. *)

@@ -1,0 +1,95 @@
+(* Named counters and gauges with periodic snapshotting.
+
+   Counters are owned mutable cells (hot-path increments touch nothing
+   else); gauges are closures polled only when a snapshot is taken.  The
+   tick clock is the engine's dispatch count, so snapshots form a
+   phase-analysis time series over dispatches. *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+type source = Counter of counter | Gauge of (unit -> int)
+
+type snapshot = { at : int; values : (string * int) array }
+
+type t = {
+  mutable entries : (string * source) list; (* reverse registration order *)
+  mutable period : int;
+  mutable ticks : int;
+  mutable until_snapshot : int;
+  mutable snaps : snapshot list; (* reverse chronological *)
+  mutable callbacks : (snapshot -> unit) list; (* reverse registration *)
+}
+
+let create ?(period = 0) () =
+  if period < 0 then invalid_arg "Metrics.create: negative period";
+  {
+    entries = [];
+    period;
+    ticks = 0;
+    until_snapshot = period;
+    snaps = [];
+    callbacks = [];
+  }
+
+let period t = t.period
+
+let set_period t p =
+  if p < 0 then invalid_arg "Metrics.set_period: negative period";
+  t.period <- p;
+  t.until_snapshot <- p
+
+let find t name = List.assoc_opt name t.entries
+
+let counter t name =
+  match find t name with
+  | Some (Counter c) -> c
+  | Some (Gauge _) ->
+      invalid_arg ("Metrics.counter: " ^ name ^ " is a gauge")
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      t.entries <- (name, Counter c) :: t.entries;
+      c
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+
+let counter_value c = c.c_value
+
+let gauge t name f =
+  match find t name with
+  | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " already registered")
+  | None -> t.entries <- (name, Gauge f) :: t.entries
+
+let read_source = function Counter c -> c.c_value | Gauge f -> f ()
+
+let read t name = Option.map read_source (find t name)
+
+let names t = List.rev_map fst t.entries
+
+let ticks t = t.ticks
+
+let take t =
+  let values =
+    List.rev_map (fun (name, src) -> (name, read_source src)) t.entries
+  in
+  let s = { at = t.ticks; values = Array.of_list values } in
+  t.snaps <- s :: t.snaps;
+  List.iter (fun f -> f s) (List.rev t.callbacks);
+  s
+
+let force_snapshot t = take t
+
+let tick t =
+  t.ticks <- t.ticks + 1;
+  if t.period > 0 then begin
+    t.until_snapshot <- t.until_snapshot - 1;
+    if t.until_snapshot <= 0 then begin
+      t.until_snapshot <- t.period;
+      ignore (take t)
+    end
+  end
+
+let snapshots t = List.rev t.snaps
+
+let on_snapshot t f = t.callbacks <- f :: t.callbacks
+
+let counter_name c = c.c_name

@@ -1,0 +1,71 @@
+(** A registry of named counters and gauges with periodic snapshotting.
+
+    The registry is the numeric half of the observability layer (the
+    {!Events} stream is the other): components register either {e owned
+    counters} (a mutable cell bumped on the hot path) or {e polled
+    gauges} (a closure evaluated only when a snapshot is taken — the
+    engine exposes its dispatch accounting this way, at zero hot-path
+    cost).
+
+    Snapshotting is driven by {!tick}, which the engine calls once per
+    dispatch: every [period] ticks the registry evaluates every metric
+    and appends a {!snapshot} to the series.  With [period = 0]
+    (the default) a tick is one integer increment and one compare —
+    the disabled path stays effectively free. *)
+
+type t
+
+type counter
+(** An owned mutable cell, resolved once at registration. *)
+
+type snapshot = {
+  at : int;  (** the tick count (dispatch index) the snapshot was taken at *)
+  values : (string * int) array;
+      (** every registered metric, in registration order *)
+}
+
+val create : ?period:int -> unit -> t
+(** [period] ticks between snapshots; [0] (default) disables periodic
+    snapshotting.  @raise Invalid_argument on a negative period. *)
+
+val period : t -> int
+
+val set_period : t -> int -> unit
+(** Also restarts the countdown to the next snapshot. *)
+
+val counter : t -> string -> counter
+(** Find or register the named counter.
+    @raise Invalid_argument if the name is registered as a gauge. *)
+
+val incr : ?by:int -> counter -> unit
+
+val counter_value : counter -> int
+
+val counter_name : counter -> string
+
+val gauge : t -> string -> (unit -> int) -> unit
+(** Register a polled gauge; the closure runs only at snapshot time.
+    @raise Invalid_argument if the name is already registered. *)
+
+val read : t -> string -> int option
+(** Current value of any registered metric (polls gauges). *)
+
+val names : t -> string list
+(** Registered metric names, in registration order. *)
+
+val tick : t -> unit
+(** Advance the dispatch clock; takes a snapshot when the period
+    elapses. *)
+
+val ticks : t -> int
+
+val force_snapshot : t -> snapshot
+(** Snapshot now, off the periodic schedule; appended to the series and
+    reported to the {!on_snapshot} callback like a periodic one. *)
+
+val snapshots : t -> snapshot list
+(** The snapshot series so far, in chronological order. *)
+
+val on_snapshot : t -> (snapshot -> unit) -> unit
+(** Called at every snapshot (periodic or forced), after it is appended
+    to the series.  Callbacks run in registration order. *)

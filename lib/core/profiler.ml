@@ -20,20 +20,42 @@ module Layout = Cfg.Layout
 
 type t = {
   bcg : Bcg.t;
+  events : Events.t;
   mutable last : Layout.gid; (* previously dispatched block, -1 at start *)
   mutable ctx : Bcg.node option; (* node N(last', last) *)
   mutable dispatches : int; (* profiled dispatches = hook executions *)
   mutable predictions : int; (* inline-cache hits, for overhead modeling *)
+  mutable seen_decays : int; (* BCG decay passes already published *)
 }
 
-let create (config : Config.t) ~n_blocks ~on_signal =
+let create ?(events = Events.create ()) (config : Config.t) ~n_blocks
+    ~on_signal =
+  (* publish every BCG signal on the stream before the trace machinery
+     reacts to it, so the timeline shows cause before effect *)
+  let on_signal signal =
+    if Events.enabled events then
+      Events.emit events
+        (Events.Signal_raised
+           {
+             x = signal.Bcg.s_node.Bcg.n_x;
+             y = signal.Bcg.s_node.Bcg.n_y;
+             old_state = signal.Bcg.s_old_state;
+             new_state = signal.Bcg.s_new_state;
+             best_changed = signal.Bcg.s_best_changed;
+           });
+    on_signal signal
+  in
   {
     bcg = Bcg.create config ~n_blocks ~on_signal;
+    events;
     last = -1;
     ctx = None;
     dispatches = 0;
     predictions = 0;
+    seen_decays = 0;
   }
+
+let events t = t.events
 
 let bcg t = t.bcg
 
@@ -61,7 +83,16 @@ let dispatch t (z : Layout.gid) =
     | None -> ());
     t.ctx <- Some target
   end;
-  t.last <- z
+  t.last <- z;
+  (* decay runs lazily inside node visits; publish passes that happened
+     during this dispatch *)
+  if Events.enabled t.events then begin
+    let d = t.bcg.Bcg.decays in
+    if d <> t.seen_decays then begin
+      t.seen_decays <- d;
+      Events.emit t.events (Events.Decay_pass { decays = d })
+    end
+  end
 
 (* Re-establish the branch context after unprofiled (in-trace) execution:
    the last two dispatched blocks were [x] then [y].  The context node is

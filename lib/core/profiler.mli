@@ -9,7 +9,16 @@
 type t
 
 val create :
-  Config.t -> n_blocks:int -> on_signal:(Bcg.signal -> unit) -> t
+  ?events:Events.t ->
+  Config.t ->
+  n_blocks:int ->
+  on_signal:(Bcg.signal -> unit) ->
+  t
+(** [events] receives [Signal_raised] (published before [on_signal]
+    reacts, so the timeline shows cause before effect) and [Decay_pass]
+    events; a fresh disabled stream is used when omitted. *)
+
+val events : t -> Events.t
 
 val dispatch : t -> Cfg.Layout.gid -> unit
 (** One profiled dispatch of a block: updates the branch context's node

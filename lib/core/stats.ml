@@ -52,54 +52,80 @@ let zero =
 
 let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
 
-(* Total dispatches under the trace-dispatch model: blocks executed outside
-   traces plus one dispatch per trace entry. *)
-let total_dispatches t = t.block_dispatches + t.trace_dispatches
+(* All derived values of the evaluation, computed in one place so the
+   tables, the pretty-printer and the exporters cannot drift apart.
+   Field names deliberately shadow the projection functions below (value
+   and field namespaces are distinct). *)
+type derived = {
+  total_dispatches : int;
+      (* blocks dispatched outside traces plus one dispatch per trace
+         entry — the trace-dispatch model's count *)
+  trace_events : int; (* signals + traces constructed *)
+  avg_trace_length : float;
+      (* paper: completed static blocks / distinct completed traces *)
+  dynamic_trace_length : float; (* completion-event-weighted length *)
+  coverage_completed : float;
+  coverage_total : float;
+      (* coverage counting partial executions too (the paper's 90.7% vs.
+         87.1% distinction) *)
+  completion_rate : float;
+  dispatches_per_signal : float;
+  trace_event_interval : float;
+  linking_rate : float;
+      (* trace entries chaining directly from another trace's
+         completion: the dispatch-level analogue of Dynamo linking *)
+  dispatch_reduction : float;
+      (* block-model dispatches each trace-model dispatch replaces *)
+}
 
-(* Average executed trace length in basic blocks (paper: "the sum of the
-   lengths of the traces which execute to completion divided by the number
-   of traces") — one term per distinct trace that ever completed, so a
-   long trace counts as much as a hot short one. *)
-let avg_trace_length t = ratio t.static_blocks t.static_traces
+let derived t : derived =
+  let total_dispatches = t.block_dispatches + t.trace_dispatches in
+  let trace_events = t.signals + t.traces_constructed in
+  let block_model =
+    t.block_dispatches + t.completed_blocks + t.partial_blocks
+  in
+  {
+    total_dispatches;
+    trace_events;
+    avg_trace_length = ratio t.static_blocks t.static_traces;
+    dynamic_trace_length = ratio t.completed_blocks t.traces_completed;
+    coverage_completed = ratio t.completed_instrs t.instructions;
+    coverage_total =
+      ratio (t.completed_instrs + t.partial_instrs) t.instructions;
+    completion_rate = ratio t.traces_completed t.traces_entered;
+    dispatches_per_signal = ratio total_dispatches t.signals;
+    trace_event_interval = ratio total_dispatches trace_events;
+    linking_rate = ratio t.chained_entries t.traces_entered;
+    dispatch_reduction =
+      (if total_dispatches = 0 then 1.0
+       else ratio block_model total_dispatches);
+  }
 
-(* Completion-event-weighted average length: what the dispatch stream
-   actually executes.  Dominated by the hottest (often shortest) traces. *)
-let dynamic_trace_length t = ratio t.completed_blocks t.traces_completed
+(* Projections, kept for call sites that want a single value. *)
+let total_dispatches t = (derived t).total_dispatches
 
-(* Fraction of the instruction stream executed by traces that ran to
-   completion. *)
-let coverage_completed t = ratio t.completed_instrs t.instructions
+let trace_events t = (derived t).trace_events
 
-(* Coverage counting partially executed traces too (the paper's 90.7%
-   vs. 87.1% distinction). *)
-let coverage_total t = ratio (t.completed_instrs + t.partial_instrs) t.instructions
+let avg_trace_length t = (derived t).avg_trace_length
 
-(* Dynamic trace completion rate: completed / entered. *)
-let completion_rate t = ratio t.traces_completed t.traces_entered
+let dynamic_trace_length t = (derived t).dynamic_trace_length
 
-(* Dispatches per state-change signal (Table IV reports thousands). *)
-let dispatches_per_signal t = ratio (total_dispatches t) t.signals
+let coverage_completed t = (derived t).coverage_completed
 
-(* Trace event interval: instructions per (trace constructed + signal)
-   (Table V reports thousands of dispatches; the paper defines it over the
-   program's executed instructions). *)
-let trace_events t = t.signals + t.traces_constructed
+let coverage_total t = (derived t).coverage_total
 
-let trace_event_interval t = ratio (total_dispatches t) (trace_events t)
+let completion_rate t = (derived t).completion_rate
 
-(* Fraction of trace entries that chain directly from another trace's
-   completion — the dispatch-level analogue of Dynamo's trace linking. *)
-let linking_rate t = ratio t.chained_entries t.traces_entered
+let dispatches_per_signal t = (derived t).dispatches_per_signal
 
-(* Dispatch reduction factor: how many block-model dispatches each
-   trace-model dispatch replaces.  Blocks executed inside traces would each
-   have been a dispatch in the block model. *)
-let dispatch_reduction t =
-  let block_model = t.block_dispatches + t.completed_blocks + t.partial_blocks in
-  if total_dispatches t = 0 then 1.0
-  else float_of_int block_model /. float_of_int (total_dispatches t)
+let trace_event_interval t = (derived t).trace_event_interval
+
+let linking_rate t = (derived t).linking_rate
+
+let dispatch_reduction t = (derived t).dispatch_reduction
 
 let pp ppf t =
+  let d = derived t in
   Format.fprintf ppf
     "@[<v>instructions        %d@,\
      block dispatches    %d@,\
@@ -116,12 +142,12 @@ let pp ppf t =
      bcg                 %d nodes, %d edges@]"
     t.instructions t.block_dispatches t.trace_dispatches t.traces_entered
     t.traces_completed
-    (100.0 *. completion_rate t)
-    (avg_trace_length t)
-    (100.0 *. coverage_completed t)
-    (100.0 *. coverage_total t)
+    (100.0 *. d.completion_rate)
+    d.avg_trace_length
+    (100.0 *. d.coverage_completed)
+    (100.0 *. d.coverage_total)
     t.signals t.traces_constructed t.traces_replaced t.traces_live
-    (dispatches_per_signal t /. 1000.0)
-    (trace_event_interval t /. 1000.0)
-    (100.0 *. linking_rate t)
+    (d.dispatches_per_signal /. 1000.0)
+    (d.trace_event_interval /. 1000.0)
+    (100.0 *. d.linking_rate)
     t.bcg_nodes t.bcg_edges

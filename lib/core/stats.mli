@@ -33,6 +33,28 @@ type t = {
 
 val zero : t
 
+type derived = {
+  total_dispatches : int;
+      (** dispatches under the trace-dispatch model: blocks outside
+          traces plus one per trace entry *)
+  trace_events : int;  (** signals plus traces constructed *)
+  avg_trace_length : float;  (** Table I *)
+  dynamic_trace_length : float;
+  coverage_completed : float;  (** Table II *)
+  coverage_total : float;
+  completion_rate : float;  (** Table III *)
+  dispatches_per_signal : float;  (** Table IV *)
+  trace_event_interval : float;  (** Table V *)
+  linking_rate : float;
+  dispatch_reduction : float;
+}
+(** Every dependent value of the evaluation, computed together.  The
+    field names shadow the projection functions below: tables, {!pp} and
+    the exporters all read from one {!derived} computation, so they
+    cannot drift apart. *)
+
+val derived : t -> derived
+
 val total_dispatches : t -> int
 (** Dispatches under the trace-dispatch model: blocks outside traces plus
     one per trace entry. *)

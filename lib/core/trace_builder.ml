@@ -126,8 +126,8 @@ let walk_from (config : Config.t) (root : Bcg.node) : walk =
    [lo .. hi] (inclusive).  A trace covering transitions i..j consists of
    blocks [n_i.n_y .. n_j.n_y] with entry context n_i.n_x and completion
    probability prod(corrs.(i) .. corrs.(j-1)). *)
-let cut_segment (config : Config.t) (cache : Trace_cache.t) (w : walk) ~lo ~hi
-    : int * int =
+let cut_segment (config : Config.t) (cache : Trace_cache.t) ~events
+    (w : walk) ~lo ~hi : int * int =
   let new_traces = ref 0 in
   let reused = ref 0 in
   let i = ref lo in
@@ -158,9 +158,20 @@ let cut_segment (config : Config.t) (cache : Trace_cache.t) (w : walk) ~lo ~hi
         Array.init n_transitions (fun k -> w.path.(!i + k).Bcg.n_y)
       in
       let before = Trace_cache.n_constructed cache in
-      ignore (Trace_cache.install cache ~first ~blocks ~prob:!p);
-      if Trace_cache.n_constructed cache > before then incr new_traces
-      else incr reused
+      let tr = Trace_cache.install cache ~first ~blocks ~prob:!p in
+      let is_new = Trace_cache.n_constructed cache > before in
+      if is_new then incr new_traces else incr reused;
+      if Events.enabled events then
+        Events.emit events
+          (Events.Trace_constructed
+             {
+               trace_id = tr.Trace.id;
+               first;
+               n_blocks = Trace.n_blocks tr;
+               n_instrs = tr.Trace.total_instrs;
+               prob = !p;
+               reused = not is_new;
+             })
     end;
     i := !j + 1
   done;
@@ -189,7 +200,7 @@ let unroll_loop (w : walk) ~c ~m : walk =
   { path; corrs; cycle_start = None }
 
 (* Steps 2-4 for one entry point. *)
-let build_from (config : Config.t) (cache : Trace_cache.t)
+let build_from (config : Config.t) (cache : Trace_cache.t) ~events
     (root : Bcg.node) : int * int =
   let w = walk_from config root in
   let m = Array.length w.path - 1 in
@@ -200,24 +211,25 @@ let build_from (config : Config.t) (cache : Trace_cache.t)
         (* the loop is processed first, then the prefix leading into it *)
         let lw = unroll_loop w ~c ~m in
         let ln, lr =
-          cut_segment config cache lw ~lo:0 ~hi:(Array.length lw.path - 1)
+          cut_segment config cache ~events lw ~lo:0
+            ~hi:(Array.length lw.path - 1)
         in
         let pn, pr =
-          if c > 0 then cut_segment config cache w ~lo:0 ~hi:(c - 1)
+          if c > 0 then cut_segment config cache ~events w ~lo:0 ~hi:(c - 1)
           else (0, 0)
         in
         (ln + pn, lr + pr)
-    | Some _ | None -> cut_segment config cache w ~lo:0 ~hi:m
+    | Some _ | None -> cut_segment config cache ~events w ~lo:0 ~hi:m
 
 (* Entry point: react to one profiler signal. *)
-let on_signal (config : Config.t) (cache : Trace_cache.t)
-    (signal : Bcg.signal) : outcome =
+let on_signal ?(events = Events.create ()) (config : Config.t)
+    (cache : Trace_cache.t) (signal : Bcg.signal) : outcome =
   let entries = find_entry_points config signal.Bcg.s_node in
   let new_traces = ref 0 in
   let reused = ref 0 in
   List.iter
     (fun root ->
-      let n, r = build_from config cache root in
+      let n, r = build_from config cache ~events root in
       new_traces := !new_traces + n;
       reused := !reused + r)
     entries;

@@ -25,6 +25,9 @@ val no_outcome : outcome
 val find_entry_points : Config.t -> Bcg.node -> Bcg.node list
 (** Step 1 alone, exposed for inspection and tests. *)
 
-val on_signal : Config.t -> Trace_cache.t -> Bcg.signal -> outcome
+val on_signal :
+  ?events:Events.t -> Config.t -> Trace_cache.t -> Bcg.signal -> outcome
 (** React to one profiler signal: rebuild every trace the signalled
-    branch can affect. *)
+    branch can affect.  [events] receives one [Trace_constructed] per
+    installed trace (with [reused] marking hash-cons hits); a fresh
+    disabled stream is used when omitted. *)

@@ -8,6 +8,7 @@ module Layout = Cfg.Layout
 
 type t = {
   layout : Layout.t;
+  events : Events.t;
   by_entry : (int, Trace.t) Hashtbl.t; (* key = first * n_blocks + head *)
   by_seq : (string, Trace.t) Hashtbl.t; (* structural key *)
   mutable next_id : int;
@@ -16,9 +17,10 @@ type t = {
   mutable hash_hits : int; (* reconstructions satisfied by an existing trace *)
 }
 
-let create (layout : Layout.t) =
+let create ?(events = Events.create ()) (layout : Layout.t) =
   {
     layout;
+    events;
     by_entry = Hashtbl.create 256;
     by_seq = Hashtbl.create 256;
     next_id = 0;
@@ -48,6 +50,12 @@ let lookup t ~prev ~cur : Trace.t option =
 (* Install a candidate trace.  If an identical trace is already cached we
    keep it (hash-cons hit); otherwise a new trace is constructed and bound
    to its entry transition, displacing any previous binding. *)
+let note_replaced t ~first ~head (tr : Trace.t) =
+  t.replaced <- t.replaced + 1;
+  if Events.enabled t.events then
+    Events.emit t.events
+      (Events.Trace_replaced { first; head; trace_id = tr.Trace.id })
+
 let install t ~first ~(blocks : Layout.gid array) ~prob : Trace.t =
   let skey = seq_key ~first ~blocks in
   match Hashtbl.find_opt t.by_seq skey with
@@ -58,7 +66,7 @@ let install t ~first ~(blocks : Layout.gid array) ~prob : Trace.t =
       (match Hashtbl.find_opt t.by_entry ekey with
       | Some bound when bound == existing -> ()
       | Some _ ->
-          t.replaced <- t.replaced + 1;
+          note_replaced t ~first ~head:blocks.(0) existing;
           Hashtbl.replace t.by_entry ekey existing
       | None -> Hashtbl.replace t.by_entry ekey existing);
       existing
@@ -70,7 +78,7 @@ let install t ~first ~(blocks : Layout.gid array) ~prob : Trace.t =
       Hashtbl.replace t.by_seq skey tr;
       let ekey = entry_key_int t ~first ~head:blocks.(0) in
       (match Hashtbl.find_opt t.by_entry ekey with
-      | Some _ -> t.replaced <- t.replaced + 1
+      | Some _ -> note_replaced t ~first ~head:blocks.(0) tr
       | None -> ());
       Hashtbl.replace t.by_entry ekey tr;
       tr

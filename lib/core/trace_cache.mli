@@ -6,7 +6,10 @@
 
 type t
 
-val create : Cfg.Layout.t -> t
+val create : ?events:Events.t -> Cfg.Layout.t -> t
+(** [events] receives [Trace_replaced] whenever an entry transition is
+    rebound to a different trace; a fresh disabled stream is used when
+    omitted. *)
 
 val lookup : t -> prev:Cfg.Layout.gid -> cur:Cfg.Layout.gid -> Trace.t option
 (** Dispatch lookup: the trace entered by the transition [(prev, cur)],

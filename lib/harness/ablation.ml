@@ -67,11 +67,11 @@ type decay_row = {
 
 let decay_run ~decay_period ~iters_per_phase : decay_row =
   let layout = Cfg.Layout.build (phase_program ~iters_per_phase) in
-  let config = { Config.default with Config.decay_period } in
+  let config = Config.make ~decay_period () in
   let r = Tracegen.Engine.run ~config layout in
   let s = r.Tracegen.Engine.run_stats in
   let partial_exits = ref 0 in
-  Tracegen.Trace_cache.iter_all r.Tracegen.Engine.engine.Tracegen.Engine.cache
+  Tracegen.Trace_cache.iter_all (Tracegen.Engine.cache r.Tracegen.Engine.engine)
     (fun tr -> partial_exits := !partial_exits + tr.Tracegen.Trace.partial_exits);
   {
     label =
@@ -141,7 +141,7 @@ let optimizer_report ?(scale = 1.0) () =
       let folded = ref 0 in
       let fwd = ref 0 in
       let dead = ref 0 in
-      Tracegen.Trace_cache.iter_all r.Tracegen.Engine.engine.Tracegen.Engine.cache
+      Tracegen.Trace_cache.iter_all (Tracegen.Engine.cache r.Tracegen.Engine.engine)
         (fun tr ->
           if tr.Tracegen.Trace.completed > 0 then begin
             incr traces;

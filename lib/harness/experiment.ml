@@ -54,12 +54,8 @@ let execute (key : key) : run =
       in
       let layout = layout_for w ~size:key.size in
       let config =
-        {
-          Config.default with
-          Config.start_state_delay = key.delay;
-          threshold = key.threshold;
-          build_traces = key.build_traces;
-        }
+        Config.make ~start_state_delay:key.delay ~threshold:key.threshold
+          ~build_traces:key.build_traces ()
       in
       let result = Tracegen.Engine.run ~config layout in
       let r =

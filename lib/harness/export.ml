@@ -63,8 +63,10 @@ let to_string j =
   render_json buf j;
   Buffer.contents buf
 
-(* One run's statistics, raw counts plus the paper's derived values. *)
+(* One run's statistics, raw counts plus the paper's derived values —
+   the latter computed once through Stats.derived. *)
 let stats_json ?(extra = []) (s : Stats.t) : json =
+  let d = Stats.derived s in
   J_obj
     (extra
     @ [
@@ -80,17 +82,100 @@ let stats_json ?(extra = []) (s : Stats.t) : json =
         ("bcg_nodes", J_int s.Stats.bcg_nodes);
         ("bcg_edges", J_int s.Stats.bcg_edges);
         ("chained_entries", J_int s.Stats.chained_entries);
-        ("avg_trace_length", J_float (Stats.avg_trace_length s));
-        ("dynamic_trace_length", J_float (Stats.dynamic_trace_length s));
-        ("coverage_completed", J_float (Stats.coverage_completed s));
-        ("coverage_total", J_float (Stats.coverage_total s));
-        ("completion_rate", J_float (Stats.completion_rate s));
-        ("dispatches_per_signal", J_float (Stats.dispatches_per_signal s));
-        ("trace_event_interval", J_float (Stats.trace_event_interval s));
-        ("linking_rate", J_float (Stats.linking_rate s));
-        ("dispatch_reduction", J_float (Stats.dispatch_reduction s));
+        ("avg_trace_length", J_float d.Stats.avg_trace_length);
+        ("dynamic_trace_length", J_float d.Stats.dynamic_trace_length);
+        ("coverage_completed", J_float d.Stats.coverage_completed);
+        ("coverage_total", J_float d.Stats.coverage_total);
+        ("completion_rate", J_float d.Stats.completion_rate);
+        ("dispatches_per_signal", J_float d.Stats.dispatches_per_signal);
+        ("trace_event_interval", J_float d.Stats.trace_event_interval);
+        ("linking_rate", J_float d.Stats.linking_rate);
+        ("dispatch_reduction", J_float d.Stats.dispatch_reduction);
         ("wall_seconds", J_float s.Stats.wall_seconds);
       ])
+
+(* ------------------------------------------------------------------ *)
+(* Event timelines and metric snapshots                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Events = Tracegen.Events
+module Metrics = Tracegen.Metrics
+
+(* One metrics snapshot: the logical time it was taken at plus every
+   registered source, flattened into the object. *)
+let snapshot_json (s : Metrics.snapshot) : json =
+  J_obj
+    (("at", J_int s.Metrics.at)
+    :: Array.to_list
+         (Array.map (fun (name, v) -> (name, J_int v)) s.Metrics.values))
+
+let snapshots_jsonl (snaps : Metrics.snapshot list) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (to_string (snapshot_json s));
+      Buffer.add_char buf '\n')
+    snaps;
+  Buffer.contents buf
+
+(* One event as a flat object: {"event": <kind>, "time": <dispatch>, ...}
+   with the payload's fields spliced in.  This is the JSONL schema
+   documented in DESIGN.md — field names are stable. *)
+let event_json (e : Events.event) : json =
+  let payload_fields =
+    match e.Events.payload with
+    | Events.Signal_raised { x; y; old_state; new_state; best_changed } ->
+        [
+          ("x", J_int x);
+          ("y", J_int y);
+          ("old_state", J_string (Tracegen.State.to_string old_state));
+          ("new_state", J_string (Tracegen.State.to_string new_state));
+          ("best_changed", J_bool best_changed);
+        ]
+    | Events.Trace_constructed { trace_id; first; n_blocks; n_instrs; prob; reused }
+      ->
+        [
+          ("trace_id", J_int trace_id);
+          ("first", J_int first);
+          ("n_blocks", J_int n_blocks);
+          ("n_instrs", J_int n_instrs);
+          ("prob", J_float prob);
+          ("reused", J_bool reused);
+        ]
+    | Events.Trace_replaced { first; head; trace_id } ->
+        [ ("first", J_int first); ("head", J_int head); ("trace_id", J_int trace_id) ]
+    | Events.Trace_entered { trace_id; chained } ->
+        [ ("trace_id", J_int trace_id); ("chained", J_bool chained) ]
+    | Events.Side_exit { trace_id; at_block; matched_blocks; matched_instrs } ->
+        [
+          ("trace_id", J_int trace_id);
+          ("at_block", J_int at_block);
+          ("matched_blocks", J_int matched_blocks);
+          ("matched_instrs", J_int matched_instrs);
+        ]
+    | Events.Trace_completed { trace_id; n_blocks; n_instrs } ->
+        [
+          ("trace_id", J_int trace_id);
+          ("n_blocks", J_int n_blocks);
+          ("n_instrs", J_int n_instrs);
+        ]
+    | Events.Decay_pass { decays } -> [ ("decays", J_int decays) ]
+    | Events.Phase_snapshot s ->
+        [ ("snapshot", snapshot_json s) ]
+  in
+  J_obj
+    (("event", J_string (Events.kind e.Events.payload))
+    :: ("time", J_int e.Events.time)
+    :: payload_fields)
+
+let events_jsonl (events : Events.event list) : string =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (to_string (event_json e));
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
 
 let run_json (r : Experiment.run) : json =
   let k = r.Experiment.key in

@@ -17,6 +17,20 @@ val json_escape : string -> string
 val stats_json : ?extra:(string * json) list -> Tracegen.Stats.t -> json
 (** Raw counts plus every derived value, as one flat object. *)
 
+val snapshot_json : Tracegen.Metrics.snapshot -> json
+(** One metrics snapshot as a flat object: [{"at": <dispatch>,
+    "<source>": <value>, …}]. *)
+
+val snapshots_jsonl : Tracegen.Metrics.snapshot list -> string
+(** A snapshot series, one object per line, chronological. *)
+
+val event_json : Tracegen.Events.event -> json
+(** One event as a flat object: [{"event": <kind>, "time": <dispatch>,
+    …payload fields}].  The [event] tag is {!Tracegen.Events.kind}. *)
+
+val events_jsonl : Tracegen.Events.event list -> string
+(** An event timeline, one object per line, in list order. *)
+
 val run_json : Experiment.run -> json
 (** {!stats_json} with the run's key (workload, size, parameters) and
     checksum prepended. *)

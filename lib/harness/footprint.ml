@@ -40,7 +40,7 @@ let measure ?(scale = 1.0) (w : Workloads.Workload.t) : row =
   let live_traces = ref 0 in
   let trace_instrs = ref 0 in
   let blocks : (int, unit) Hashtbl.t = Hashtbl.create 256 in
-  Tracegen.Trace_cache.iter engine.Tracegen.Engine.cache (fun tr ->
+  Tracegen.Trace_cache.iter (Tracegen.Engine.cache engine) (fun tr ->
       incr live_traces;
       trace_instrs := !trace_instrs + tr.Tracegen.Trace.total_instrs;
       Array.iter

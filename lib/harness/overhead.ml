@@ -38,7 +38,7 @@ let measure ?(scale = 1.0) ?(repeats = 3) (w : Workloads.Workload.t) : row =
   let size = Experiment.size_for ~scale w in
   let layout = Experiment.layout_for w ~size in
   let plain_sec, plain = time_best ~repeats (fun () -> Vm.Interp.run_plain layout) in
-  let config = { Config.default with Config.build_traces = false } in
+  let config = Config.make ~build_traces:false () in
   let profiled_sec, run =
     time_best ~repeats (fun () -> Tracegen.Engine.run ~config layout)
   in

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Repo health check: full build, test suite, and (when odoc is
+# available) the documentation build.  Run from anywhere.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc
+else
+  echo "check.sh: odoc not installed; skipping 'dune build @doc'" >&2
+fi
+
+echo "check.sh: all checks passed"

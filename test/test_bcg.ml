@@ -16,12 +16,7 @@ let state_t =
 let mk ?(delay = 2) ?(threshold = 0.97) ?(decay = 256) () =
   let signals = ref [] in
   let config =
-    {
-      Config.default with
-      Config.start_state_delay = delay;
-      threshold;
-      decay_period = decay;
-    }
+    Config.make ~start_state_delay:delay ~threshold ~decay_period:decay ()
   in
   let bcg =
     Bcg.create config ~n_blocks:1000 ~on_signal:(fun s -> signals := s :: !signals)

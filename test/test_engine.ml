@@ -62,7 +62,7 @@ let test_hot_loop_gets_traced () =
 
 let test_profile_only_mode () =
   let layout = layout_of hot_loop_body in
-  let config = { Config.default with Config.build_traces = false } in
+  let config = Config.make ~build_traces:false () in
   let r = Engine.run ~config layout in
   let s = r.Engine.run_stats in
   check Alcotest.int "no traces in profile-only mode" 0
@@ -100,10 +100,10 @@ let test_accounting_identity () =
     s.Stats.traces_entered
     (s.Stats.traces_completed
     + (let p = ref 0 in
-       Tracegen.Trace_cache.iter_all engine.Engine.cache (fun tr ->
+       Tracegen.Trace_cache.iter_all (Engine.cache engine) (fun tr ->
            p := !p + tr.Tracegen.Trace.partial_exits);
        !p)
-    + (match engine.Engine.active with Some _ -> 1 | None -> 0))
+    + (match Engine.active_trace engine with Some _ -> 1 | None -> 0))
 
 let test_phase_change_adapts () =
   (* two phases: the same loop skeleton branches differently in each half;

@@ -1,0 +1,356 @@
+(* The observability layer: the typed event stream and the metrics
+   registry, both in isolation and wired through a full engine run. *)
+
+open Workloads.Dsl
+module S = Bytecode.Structured
+module Engine = Tracegen.Engine
+module Events = Tracegen.Events
+module Metrics = Tracegen.Metrics
+module Config = Tracegen.Config
+module Stats = Tracegen.Stats
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* the stream in isolation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let some_payload = Events.Decay_pass { decays = 1 }
+
+let test_disabled_is_noop () =
+  let t = Events.create () in
+  check Alcotest.bool "fresh stream is disabled" false (Events.enabled t);
+  Events.emit t some_payload;
+  Events.emit t some_payload;
+  check Alcotest.int "nothing delivered" 0 (Events.emitted t);
+  (* subscribing then unsubscribing returns to the disabled state *)
+  let s = Events.subscribe t (fun _ -> ()) in
+  check Alcotest.bool "enabled with a subscriber" true (Events.enabled t);
+  Events.emit t some_payload;
+  Events.unsubscribe t s;
+  check Alcotest.bool "disabled again" false (Events.enabled t);
+  Events.emit t some_payload;
+  check Alcotest.int "still nothing counted after unsubscribe" 1
+    (Events.emitted t)
+
+let test_subscriber_ordering () =
+  let t = Events.create () in
+  let order = ref [] in
+  let _a = Events.subscribe t (fun _ -> order := "a" :: !order) in
+  let _b = Events.subscribe t (fun _ -> order := "b" :: !order) in
+  let _c = Events.subscribe t (fun _ -> order := "c" :: !order) in
+  Events.emit t some_payload;
+  check
+    Alcotest.(list string)
+    "delivered in subscription order" [ "a"; "b"; "c" ] (List.rev !order);
+  Events.emit t some_payload;
+  check Alcotest.int "every subscriber sees every event" 6 (List.length !order)
+
+let test_unsubscribe_middle () =
+  let t = Events.create () in
+  let seen = ref [] in
+  let _a = Events.subscribe t (fun _ -> seen := "a" :: !seen) in
+  let b = Events.subscribe t (fun _ -> seen := "b" :: !seen) in
+  let _c = Events.subscribe t (fun _ -> seen := "c" :: !seen) in
+  Events.unsubscribe t b;
+  (* unknown/duplicate unsubscribes are ignored *)
+  Events.unsubscribe t b;
+  Events.emit t some_payload;
+  check
+    Alcotest.(list string)
+    "remaining subscribers keep their order" [ "a"; "c" ] (List.rev !seen)
+
+let test_time_stamping () =
+  let t = Events.create () in
+  let times = ref [] in
+  let _s = Events.subscribe t (fun e -> times := e.Events.time :: !times) in
+  Events.set_now t 7;
+  Events.emit t some_payload;
+  Events.set_now t 42;
+  Events.emit t some_payload;
+  check Alcotest.(list int) "events carry the clock" [ 7; 42 ] (List.rev !times);
+  check Alcotest.int "now readable" 42 (Events.now t)
+
+let test_kind_tags () =
+  let tags =
+    List.map Events.kind
+      [
+        Events.Signal_raised
+          {
+            x = 0;
+            y = 1;
+            old_state = Tracegen.State.Newly_created;
+            new_state = Tracegen.State.Unique;
+            best_changed = true;
+          };
+        Events.Trace_constructed
+          {
+            trace_id = 0;
+            first = 0;
+            n_blocks = 1;
+            n_instrs = 1;
+            prob = 1.0;
+            reused = false;
+          };
+        Events.Trace_replaced { first = 0; head = 1; trace_id = 0 };
+        Events.Trace_entered { trace_id = 0; chained = false };
+        Events.Side_exit
+          { trace_id = 0; at_block = 0; matched_blocks = 1; matched_instrs = 1 };
+        Events.Trace_completed { trace_id = 0; n_blocks = 1; n_instrs = 1 };
+        Events.Decay_pass { decays = 1 };
+        Events.Phase_snapshot { Metrics.at = 0; values = [||] };
+      ]
+  in
+  check
+    Alcotest.(list string)
+    "stable JSONL tags"
+    [
+      "signal_raised";
+      "trace_constructed";
+      "trace_replaced";
+      "trace_entered";
+      "side_exit";
+      "trace_completed";
+      "decay_pass";
+      "phase_snapshot";
+    ]
+    tags
+
+(* ------------------------------------------------------------------ *)
+(* the registry in isolation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_and_gauges () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "hits" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  check Alcotest.int "counter accumulates" 5 (Metrics.counter_value c);
+  check Alcotest.string "counter keeps its name" "hits" (Metrics.counter_name c);
+  (* find-or-register returns the same cell *)
+  let c' = Metrics.counter m "hits" in
+  Metrics.incr c';
+  check Alcotest.int "same cell" 6 (Metrics.counter_value c);
+  let g = ref 10 in
+  Metrics.gauge m "depth" (fun () -> !g);
+  check Alcotest.(option int) "gauge polls" (Some 10) (Metrics.read m "depth");
+  g := 11;
+  check Alcotest.(option int) "gauge re-polls" (Some 11) (Metrics.read m "depth");
+  check Alcotest.(option int) "counter readable by name" (Some 6)
+    (Metrics.read m "hits");
+  check Alcotest.(option int) "unknown name" None (Metrics.read m "nope");
+  check
+    Alcotest.(list string)
+    "registration order" [ "hits"; "depth" ] (Metrics.names m);
+  (* name clashes are rejected *)
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Metrics.gauge: hits already registered") (fun () ->
+      Metrics.gauge m "hits" (fun () -> 0));
+  Alcotest.check_raises "counter over gauge"
+    (Invalid_argument "Metrics.counter: depth is a gauge") (fun () ->
+      ignore (Metrics.counter m "depth"))
+
+let test_periodic_snapshots () =
+  let m = Metrics.create ~period:3 () in
+  let c = Metrics.counter m "ticks_seen" in
+  let reported = ref 0 in
+  Metrics.on_snapshot m (fun _ -> incr reported);
+  for _ = 1 to 10 do
+    Metrics.incr c;
+    Metrics.tick m
+  done;
+  (* snapshots at ticks 3, 6, 9 *)
+  let snaps = Metrics.snapshots m in
+  check Alcotest.int "three periodic snapshots" 3 (List.length snaps);
+  check Alcotest.(list int) "taken at the period boundaries" [ 3; 6; 9 ]
+    (List.map (fun s -> s.Metrics.at) snaps);
+  check Alcotest.int "callback saw each" 3 !reported;
+  List.iter
+    (fun s ->
+      match s.Metrics.values with
+      | [| ("ticks_seen", v) |] ->
+          check Alcotest.int "value captured at the boundary" s.Metrics.at v
+      | _ -> Alcotest.fail "unexpected snapshot shape")
+    snaps;
+  check Alcotest.int "clock ran to 10" 10 (Metrics.ticks m)
+
+let test_disabled_period_no_snapshots () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "c");
+  for _ = 1 to 1000 do
+    Metrics.tick m
+  done;
+  check Alcotest.int "period 0 never snapshots" 0
+    (List.length (Metrics.snapshots m));
+  let s = Metrics.force_snapshot m in
+  check Alcotest.int "forced snapshot at the current tick" 1000 s.Metrics.at;
+  check Alcotest.int "forced snapshot joins the series" 1
+    (List.length (Metrics.snapshots m))
+
+(* ------------------------------------------------------------------ *)
+(* wired through the engine                                             *)
+(* ------------------------------------------------------------------ *)
+
+let layout_of body =
+  let p = S.create () in
+  S.def_method p ~name:"main" ~args:[] ~ret:S.I ~body ();
+  let program = S.link p ~entry:"main" in
+  Bytecode.Verify.verify_program program;
+  Cfg.Layout.build program
+
+let hot_loop =
+  layout_of
+    [
+      decl_i "s" (i 0);
+      for_ "k" (i 0) (i 20_000)
+        [ set "s" ((v "s" +! v "k") &! i 0xFFFFF) ];
+      ret (v "s");
+    ]
+
+let count_kinds layout config =
+  let events = Events.create () in
+  let tally = Hashtbl.create 8 in
+  let timeline = ref [] in
+  let _s =
+    Events.subscribe events (fun e ->
+        let k = Events.kind e.Events.payload in
+        Hashtbl.replace tally k
+          (1 + (try Hashtbl.find tally k with Not_found -> 0));
+        timeline := e :: !timeline)
+  in
+  let r = Engine.run ~config ~events layout in
+  (r, tally, List.rev !timeline)
+
+let test_timeline_matches_stats () =
+  let r, tally, timeline = count_kinds hot_loop Config.default in
+  let s = r.Engine.run_stats in
+  let count k = try Hashtbl.find tally k with Not_found -> 0 in
+  check Alcotest.bool "events happened" true (timeline <> []);
+  check Alcotest.int "signal events = signals counter" s.Stats.signals
+    (count "signal_raised");
+  check Alcotest.int "entered events = entered counter" s.Stats.traces_entered
+    (count "trace_entered");
+  check Alcotest.int "completed events = completed counter"
+    s.Stats.traces_completed (count "trace_completed");
+  check Alcotest.int "replaced events = replaced counter"
+    s.Stats.traces_replaced (count "trace_replaced");
+  let new_constructions =
+    List.length
+      (List.filter
+         (fun e ->
+           match e.Events.payload with
+           | Events.Trace_constructed { reused = false; _ } -> true
+           | _ -> false)
+         timeline)
+  in
+  check Alcotest.int "new construction events = constructed counter"
+    s.Stats.traces_constructed new_constructions;
+  let in_flight =
+    match Engine.active_trace r.Engine.engine with Some _ -> 1 | None -> 0
+  in
+  check Alcotest.int "side exits account for the rest"
+    (s.Stats.traces_entered - s.Stats.traces_completed - in_flight)
+    (count "side_exit");
+  (* timestamps are monotone in dispatch time *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        a.Events.time <= b.Events.time && monotone rest
+    | _ -> true
+  in
+  check Alcotest.bool "timeline is monotone" true (monotone timeline)
+
+let test_run_without_subscribers_unchanged () =
+  (* an engine run with a never-subscribed stream must behave identically
+     to one with no stream passed at all *)
+  let a = (Engine.run hot_loop).Engine.run_stats in
+  let events = Events.create () in
+  let b = (Engine.run ~events hot_loop).Engine.run_stats in
+  check Alcotest.int "same dispatches" (Stats.total_dispatches a)
+    (Stats.total_dispatches b);
+  check Alcotest.int "same completions" a.Stats.traces_completed
+    b.Stats.traces_completed;
+  check Alcotest.int "no events delivered" 0 (Events.emitted events)
+
+let snapshot_series config =
+  let events = Events.create () in
+  let series = ref [] in
+  let _s =
+    Events.subscribe events (fun e ->
+        match e.Events.payload with
+        | Events.Phase_snapshot s -> series := s :: !series
+        | _ -> ())
+  in
+  let r = Engine.run ~config ~events hot_loop in
+  (r, List.rev !series)
+
+let test_deterministic_snapshot_series () =
+  let config = Config.make ~snapshot_period:5_000 () in
+  let _, a = snapshot_series config in
+  let _, b = snapshot_series config in
+  check Alcotest.bool "snapshots were taken" true (a <> []);
+  check Alcotest.int "same series length" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Metrics.snapshot) (y : Metrics.snapshot) ->
+      check Alcotest.int "same tick" x.Metrics.at y.Metrics.at;
+      check Alcotest.bool "same values" true (x.Metrics.values = y.Metrics.values))
+    a b
+
+let test_snapshot_series_on_engine () =
+  (* the engine registry's own series matches what the stream delivered *)
+  let config = Config.make ~snapshot_period:5_000 () in
+  let r, streamed = snapshot_series config in
+  let own = Metrics.snapshots (Engine.metrics r.Engine.engine) in
+  check Alcotest.int "registry series = streamed series"
+    (List.length own) (List.length streamed);
+  List.iter2
+    (fun (x : Metrics.snapshot) (y : Metrics.snapshot) ->
+      check Alcotest.int "same tick" x.Metrics.at y.Metrics.at)
+    own streamed;
+  (* snapshots poll the final counters consistently: the last snapshot's
+     gauge values never exceed the end-of-run stats *)
+  match List.rev own with
+  | [] -> Alcotest.fail "expected snapshots"
+  | last :: _ ->
+      let final = r.Engine.run_stats in
+      let get name =
+        match
+          Array.find_opt (fun (n, _) -> n = name) last.Metrics.values
+        with
+        | Some (_, v) -> v
+        | None -> Alcotest.failf "missing gauge %s" name
+      in
+      check Alcotest.bool "completed monotone" true
+        (get "traces_completed" <= final.Stats.traces_completed);
+      check Alcotest.bool "dispatch gauges monotone" true
+        (get "block_dispatches" + get "trace_dispatches"
+        <= Stats.total_dispatches final)
+
+let () =
+  Alcotest.run "events"
+    [
+      ( "stream",
+        [
+          tc "disabled stream is a no-op" `Quick test_disabled_is_noop;
+          tc "subscription order" `Quick test_subscriber_ordering;
+          tc "unsubscribe keeps order" `Quick test_unsubscribe_middle;
+          tc "time stamping" `Quick test_time_stamping;
+          tc "kind tags" `Quick test_kind_tags;
+        ] );
+      ( "metrics",
+        [
+          tc "counters and gauges" `Quick test_counters_and_gauges;
+          tc "periodic snapshots" `Quick test_periodic_snapshots;
+          tc "period 0 disables" `Quick test_disabled_period_no_snapshots;
+        ] );
+      ( "engine",
+        [
+          tc "timeline matches stats" `Quick test_timeline_matches_stats;
+          tc "no subscribers, no change" `Quick
+            test_run_without_subscribers_unchanged;
+          tc "deterministic snapshot series" `Quick
+            test_deterministic_snapshot_series;
+          tc "registry series matches stream" `Quick
+            test_snapshot_series_on_engine;
+        ] );
+    ]

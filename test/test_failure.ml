@@ -48,10 +48,10 @@ let test_trap_mid_trace () =
   (* accounting still balances: completed + partial + (possibly one
      in-flight trace) = entered *)
   let partials = ref 0 in
-  Tracegen.Trace_cache.iter_all r.Engine.engine.Engine.cache (fun tr ->
+  Tracegen.Trace_cache.iter_all (Engine.cache r.Engine.engine) (fun tr ->
       partials := !partials + tr.Tracegen.Trace.partial_exits);
   let in_flight =
-    match r.Engine.engine.Engine.active with Some _ -> 1 | None -> 0
+    match Engine.active_trace r.Engine.engine with Some _ -> 1 | None -> 0
   in
   check Alcotest.int "entered = completed + partial + in-flight"
     s.Stats.traces_entered
@@ -114,7 +114,7 @@ let test_no_traces_no_linking () =
         ret (v "s");
       ]
   in
-  let config = { Tracegen.Config.default with Tracegen.Config.build_traces = false } in
+  let config = Tracegen.Config.make ~build_traces:false () in
   let s = (Engine.run ~config layout).Engine.run_stats in
   check Alcotest.int "no chaining without traces" 0 s.Stats.chained_entries
 

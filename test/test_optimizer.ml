@@ -264,7 +264,7 @@ let test_on_real_traces () =
   let layout = Cfg.Layout.build (w.Workloads.Workload.build ~size:2_000) in
   let r = Tracegen.Engine.run layout in
   let checked = ref 0 in
-  Tracegen.Trace_cache.iter_all r.Tracegen.Engine.engine.Tracegen.Engine.cache
+  Tracegen.Trace_cache.iter_all (Tracegen.Engine.cache r.Tracegen.Engine.engine)
     (fun tr ->
       let res = Opt.optimize layout tr in
       incr checked;

@@ -10,7 +10,7 @@ let tc = Alcotest.test_case
 let check = Alcotest.check
 
 let mk ?(delay = 1) () =
-  let config = { Config.default with Config.start_state_delay = delay } in
+  let config = Config.make ~start_state_delay:delay () in
   Profiler.create config ~n_blocks:100 ~on_signal:(fun _ -> ())
 
 let test_first_dispatch_creates_nothing () =
@@ -80,7 +80,7 @@ let test_resync_unknown_context () =
 
 let test_signals_counted () =
   let signals = ref 0 in
-  let config = { Config.default with Config.start_state_delay = 4 } in
+  let config = Config.make ~start_state_delay:4 () in
   let p =
     Profiler.create config ~n_blocks:100 ~on_signal:(fun _ -> incr signals)
   in

@@ -20,12 +20,8 @@ let layout =
      Layout.build (w.Workloads.Workload.build ~size:16))
 
 let mk_config ?(threshold = 0.97) () =
-  {
-    Config.default with
-    Config.start_state_delay = 1;
-    threshold;
-    decay_period = 1_000_000 (* no decay during these tests *);
-  }
+  Config.make ~start_state_delay:1 ~threshold
+    ~decay_period:1_000_000 (* no decay during these tests *) ()
 
 let mk_bcg config =
   Bcg.create config ~n_blocks:(Lazy.force layout).Layout.n_blocks
