@@ -134,6 +134,13 @@ let bench_engine_events () =
       let _sub = Tracegen.Events.subscribe events (fun _ -> incr n) in
       ignore (Tracegen.Engine.run ~events layout))
 
+(* same run with the debug invariant sweeps on: every trace construction
+   and decay boundary re-checks the BCG and the trace cache *)
+let bench_engine_debug_checks () =
+  let layout = Lazy.force bench_layout in
+  let config = Tracegen.Config.make ~debug_checks:true () in
+  Staged.stage (fun () -> ignore (Tracegen.Engine.run ~config layout))
+
 (* ------------------------------------------------------------------ *)
 (* Observability overhead                                               *)
 (* ------------------------------------------------------------------ *)
@@ -181,6 +188,46 @@ let observability () =
     (!counted / runs)
     (100.0 *. (te -. td) /. td)
 
+(* The invariant sweeps' contract is the same shape: one boolean test per
+   block dispatch and per builder outcome when [debug_checks] is off.
+   Time the engine with the sweeps off against the same run with them on
+   (every construction and decay boundary re-checks the BCG + cache). *)
+let debug_checks_overhead () =
+  section "Debug-check overhead (invariant sweeps off vs on)";
+  let layout = Lazy.force bench_layout in
+  let reps = max 1 (int_of_float (10.0 *. scale)) in
+  let time f =
+    f ();
+    let samples =
+      List.init 5 (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            f ()
+          done;
+          Unix.gettimeofday () -. t0)
+    in
+    List.nth (List.sort compare samples) 2
+  in
+  let off () = ignore (Tracegen.Engine.run layout) in
+  let violations = ref 0 in
+  let on () =
+    let config = Tracegen.Config.make ~debug_checks:true () in
+    let r = Tracegen.Engine.run ~config layout in
+    violations :=
+      !violations + Tracegen.Engine.invariant_violations r.Tracegen.Engine.engine
+  in
+  let t_off = time off in
+  let t_on = time on in
+  Printf.printf
+    "engine, debug_checks off: %8.2f ms/run (median of 5x%d)\n\
+     engine, debug_checks on : %8.2f ms/run (%d violations found)\n\
+     checked-path cost       : %+7.2f%%\n"
+    (1000.0 *. t_off /. float_of_int reps)
+    reps
+    (1000.0 *. t_on /. float_of_int reps)
+    !violations
+    (100.0 *. (t_on -. t_off) /. t_off)
+
 let micro () =
   section "Bechamel microbenchmarks";
   let test =
@@ -196,6 +243,8 @@ let micro () =
         Test.make ~name:"engine_traced_small_compress" (bench_full_engine ());
         Test.make ~name:"engine_events_enabled_small_compress"
           (bench_engine_events ());
+        Test.make ~name:"engine_debug_checks_small_compress"
+          (bench_engine_debug_checks ());
       ]
   in
   let benchmark () =
@@ -224,6 +273,7 @@ let micro () =
 let () =
   tables ();
   observability ();
+  debug_checks_overhead ();
   (match Sys.getenv_opt "BENCH_SKIP_MICRO" with
   | Some "1" -> ()
   | Some _ | None -> micro ());

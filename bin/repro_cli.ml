@@ -245,6 +245,65 @@ let list_cmd () =
     Workloads.Registry.all
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Static dataflow lint over the workload's bytecode, then a profiled run
+   with the trace/BCG invariant checks on and a final end-of-run sweep.
+   Exit 1 when any error-severity finding survives. *)
+let lint_cmd workload size threshold delay json static_only =
+  let module Diag = Analysis.Diag in
+  let ws =
+    match workload with
+    | Some name -> [ find_workload name ]
+    | None -> Workloads.Registry.all
+  in
+  let config =
+    config_or_die (fun () ->
+        Tracegen.Config.make ~threshold ~start_state_delay:delay
+          ~debug_checks:true ())
+  in
+  let diags =
+    List.concat_map
+      (fun w ->
+        let name = w.Workloads.Workload.name in
+        let program =
+          match size with
+          | Some s -> w.Workloads.Workload.build ~size:s
+          | None -> Workloads.Workload.build_default w
+        in
+        let static = Analysis.Lint.lint_program ~context:name program in
+        (* A verify-rejected program cannot be laid out, let alone run;
+           its TL001 findings stand alone. *)
+        let rejected =
+          List.exists (fun d -> d.Diag.code = "TL001") static
+        in
+        if static_only || rejected then static
+        else
+          let layout = Cfg.Layout.build program in
+          let r = Tracegen.Engine.run ~config layout in
+          let engine = r.Tracegen.Engine.engine in
+          let dynamic =
+            Tracegen.Invariants.check_all ~context:name config
+              ~bcg:(Tracegen.Profiler.bcg (Tracegen.Engine.profiler engine))
+              ~cache:(Tracegen.Engine.cache engine)
+          in
+          static @ dynamic)
+      ws
+  in
+  let diags = List.stable_sort Diag.compare diags in
+  if json then print_string (Harness.Export.diags_jsonl diags)
+  else begin
+    List.iter (fun d -> print_endline (Diag.to_string d)) diags;
+    Printf.printf "%d error(s), %d warning(s), %d note(s) across %d workload(s)\n"
+      (Diag.count Diag.Error diags)
+      (Diag.count Diag.Warning diags)
+      (Diag.count Diag.Info diags)
+      (List.length ws)
+  end;
+  if Diag.has_errors diags then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -338,6 +397,31 @@ let list_term = Term.(const list_cmd $ const ())
 
 let list_info = Cmd.info "list" ~doc:"List the available workloads."
 
+let lint_term =
+  let workload =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
+           ~doc:"Workload to lint (default: every registered workload).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit diagnostics as JSON lines instead of human-readable text.")
+  in
+  let static_only =
+    Arg.(value & flag & info [ "static-only" ]
+           ~doc:"Skip the profiled run and its trace/BCG invariant sweep.")
+  in
+  Term.(
+    const lint_cmd $ workload $ size_arg $ threshold_arg $ delay_arg $ json
+    $ static_only)
+
+let lint_info =
+  Cmd.info "lint"
+    ~doc:
+      "Lint workload programs with the dataflow analyses (dead stores, \
+       unreachable blocks, always-taken branches, ...), then run each one \
+       under the engine with debug checks on and sweep the trace cache and \
+       BCG for invariant violations.  Exits 1 on any error-severity finding."
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -356,4 +440,5 @@ let () =
             Cmd.v disasm_info disasm_term;
             Cmd.v export_info export_term;
             Cmd.v list_info list_term;
+            Cmd.v lint_info lint_term;
           ]))

@@ -40,9 +40,10 @@ let () =
           (fun ins -> Printf.printf "    %s\n" (Instr.to_string ins))
           res.Opt.original;
         Printf.printf "optimized (%d instructions; %d folded, %d forwarded, \
-                       %d dead stores):\n"
+                       %d dead stores, %d trailing dead):\n"
           (Array.length res.Opt.optimized)
-          res.Opt.folded res.Opt.forwarded res.Opt.dead_stores;
+          res.Opt.folded res.Opt.forwarded res.Opt.dead_stores
+          res.Opt.trailing_dead_stores;
         Array.iter
           (fun ins -> Printf.printf "    %s\n" (Instr.to_string ins))
           res.Opt.optimized;

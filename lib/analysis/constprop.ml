@@ -1,0 +1,418 @@
+module Method_cfg = Cfg.Method_cfg
+module Block = Cfg.Block
+module Mthd = Bytecode.Mthd
+module Instr = Bytecode.Instr
+module Program = Bytecode.Program
+module Klass = Bytecode.Klass
+
+type aval =
+  | Top
+  | Int of { lo : int; hi : int }
+  | Float_const of float
+  | Null
+  | Nonnull
+
+type state =
+  | Unreached
+  | Reached of {
+      locals : aval array;
+      stack : aval list;
+    }
+
+(* ---- interval helpers ------------------------------------------------ *)
+
+let full = Int { lo = min_int; hi = max_int }
+
+let single c = Int { lo = c; hi = c }
+
+let singleton = function
+  | Int { lo; hi } when lo = hi -> Some lo
+  | _ -> None
+
+(* Non-singleton bounds are rounded outward to this set at joins, bounding
+   the interval lattice's height without a widening point. *)
+let thresholds =
+  [ min_int; -65536; -4096; -256; -16; -2; -1; 0; 1; 2; 16; 256; 4096; 65536;
+    max_int ]
+
+let round_down lo =
+  List.fold_left (fun acc t -> if t <= lo && t > acc then t else acc) min_int
+    thresholds
+
+let round_up hi =
+  List.fold_right
+    (fun t acc -> if t >= hi && t < acc then t else acc)
+    thresholds max_int
+
+let sat_add a b =
+  let c = a + b in
+  if a > 0 && b > 0 && c < 0 then max_int
+  else if a < 0 && b < 0 && c >= 0 then min_int
+  else c
+
+let sat_neg a = if a = min_int then max_int else -a
+
+(* exact products stay in range when all bounds fit in 31 bits *)
+let fits31 x = x > -0x4000_0000 && x < 0x4000_0000
+
+let mul_interval x_lo x_hi y_lo y_hi =
+  if fits31 x_lo && fits31 x_hi && fits31 y_lo && fits31 y_hi then begin
+    let ps = [ x_lo * y_lo; x_lo * y_hi; x_hi * y_lo; x_hi * y_hi ] in
+    let lo = List.fold_left min max_int ps
+    and hi = List.fold_left max min_int ps in
+    Int { lo; hi }
+  end
+  else full
+
+let aval_join a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Int x, Int y ->
+      if x.lo = y.lo && x.hi = y.hi then a
+      else
+        let lo = min x.lo y.lo and hi = max x.hi y.hi in
+        Int { lo = round_down lo; hi = round_up hi }
+  | Float_const x, Float_const y ->
+      if Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) then a
+      else Top
+  | Null, Null -> Null
+  | Nonnull, Nonnull -> Nonnull
+  | _ -> Top
+
+(* ---- the frame lattice ----------------------------------------------- *)
+
+let state_join a b =
+  match (a, b) with
+  | Unreached, s | s, Unreached -> s
+  | Reached x, Reached y ->
+      let locals = Array.map2 aval_join x.locals y.locals in
+      (* merging stacks of unequal height only happens on unverifiable
+         programs; align from the top and keep the common part *)
+      let rec zip xs ys =
+        let lx = List.length xs and ly = List.length ys in
+        if lx > ly then zip (List.tl xs) ys
+        else if ly > lx then zip xs (List.tl ys)
+        else List.map2 aval_join xs ys
+      in
+      Reached { locals; stack = zip x.stack y.stack }
+
+let aval_pp ppf = function
+  | Top -> Format.pp_print_string ppf "T"
+  | Int { lo; hi } ->
+      if lo = hi then Format.fprintf ppf "%d" lo
+      else
+        Format.fprintf ppf "[%s,%s]"
+          (if lo = min_int then "-inf" else string_of_int lo)
+          (if hi = max_int then "+inf" else string_of_int hi)
+  | Float_const f -> Format.fprintf ppf "%gf" f
+  | Null -> Format.pp_print_string ppf "null"
+  | Nonnull -> Format.pp_print_string ppf "nonnull"
+
+let state_pp ppf = function
+  | Unreached -> Format.pp_print_string ppf "unreached"
+  | Reached { locals; stack } ->
+      Format.fprintf ppf "locals=[";
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Format.pp_print_string ppf " ";
+          aval_pp ppf v)
+        locals;
+      Format.fprintf ppf "] stack=[";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Format.pp_print_string ppf " ";
+          aval_pp ppf v)
+        stack;
+      Format.fprintf ppf "]"
+
+module L = struct
+  type t = state
+
+  let bottom = Unreached
+
+  (* polymorphic compare treats nan as equal to itself, unlike (=) *)
+  let equal a b = Stdlib.compare a b = 0
+
+  let join = state_join
+
+  let pp = state_pp
+end
+
+module Solver = Dataflow.Make (L)
+
+(* ---- instruction semantics ------------------------------------------- *)
+
+(* Any class binding the selector gives the shared signature (the front
+   end enforces that all bindings agree); mirrors Verify's resolution. *)
+let find_selector_target (program : Program.t) slot =
+  let n = Array.length program.Program.classes in
+  let rec go i =
+    if i >= n then None
+    else
+      match Klass.method_for_selector program.Program.classes.(i) ~slot with
+      | Some mid -> Some (Program.method_by_id program mid)
+      | None -> go (i + 1)
+  in
+  go 0
+
+let return_aval = function
+  | Mthd.Rvoid -> None
+  | Mthd.Rint | Mthd.Rfloat | Mthd.Rref -> Some Top
+
+type event =
+  | Ev_div_by_zero
+  | Ev_branch of bool
+
+(* comparison verdicts over intervals *)
+let eval_cond_interval c (a : aval) (b : aval) =
+  match (a, b) with
+  | Int x, Int y -> (
+      let always_eq = x.lo = x.hi && y.lo = y.hi && x.lo = y.lo in
+      let never_eq = x.hi < y.lo || y.hi < x.lo in
+      match c with
+      | Instr.Eq -> if always_eq then Some true else if never_eq then Some false else None
+      | Instr.Ne -> if always_eq then Some false else if never_eq then Some true else None
+      | Instr.Lt ->
+          if x.hi < y.lo then Some true
+          else if x.lo >= y.hi then Some false
+          else None
+      | Instr.Ge ->
+          if x.lo >= y.hi then Some true
+          else if x.hi < y.lo then Some false
+          else None
+      | Instr.Gt ->
+          if x.lo > y.hi then Some true
+          else if x.hi <= y.lo then Some false
+          else None
+      | Instr.Le ->
+          if x.hi <= y.lo then Some true
+          else if x.lo > y.hi then Some false
+          else None)
+  | _ -> None
+
+(* Execute one block from an entry state; [emit] sees per-pc facts.  The
+   interpreter's exact operations are used for singletons (native-int
+   arithmetic, [land 63] shift masking, [int_of_float], polymorphic
+   [compare] for Fcmp) so singleton claims match observed execution. *)
+let exec_block (program : Program.t) (cfg : Method_cfg.t) ?(emit = fun ~pc:_ _ -> ())
+    b st =
+  match st with
+  | Unreached -> Unreached
+  | Reached { locals; stack } ->
+      let code = cfg.Method_cfg.method_.Mthd.code in
+      let blk = cfg.Method_cfg.blocks.(b) in
+      let locals = Array.copy locals in
+      let stack = ref stack in
+      let push v = stack := v :: !stack in
+      let pop () =
+        match !stack with
+        | v :: rest ->
+            stack := rest;
+            v
+        | [] -> Top
+      in
+      let int_binop exact interval =
+        let b = pop () and a = pop () in
+        match (a, b) with
+        | Int { lo = xl; hi = xh }, Int { lo = yl; hi = yh } ->
+            if xl = xh && yl = yh then push (single (exact xl yl))
+            else push (interval xl xh yl yh)
+        | _ -> push Top
+      in
+      let float_binop exact =
+        let b = pop () and a = pop () in
+        match (a, b) with
+        | Float_const x, Float_const y -> push (Float_const (exact x y))
+        | _ -> push Top
+      in
+      for pc = blk.Block.start_pc to Block.last_pc blk do
+        match code.(pc) with
+        | Instr.Iconst c -> push (single c)
+        | Instr.Fconst f -> push (Float_const f)
+        | Instr.Aconst_null -> push Null
+        | Instr.Iload n | Instr.Fload n | Instr.Aload n -> push locals.(n)
+        | Instr.Istore n | Instr.Fstore n | Instr.Astore n ->
+            locals.(n) <- pop ()
+        | Instr.Iinc (n, d) ->
+            locals.(n) <-
+              (match locals.(n) with
+              | Int { lo; hi } -> Int { lo = sat_add lo d; hi = sat_add hi d }
+              | _ -> Top)
+        | Instr.Dup ->
+            let v = pop () in
+            push v;
+            push v
+        | Instr.Pop -> ignore (pop ())
+        | Instr.Swap ->
+            let b = pop () and a = pop () in
+            push b;
+            push a
+        | Instr.Iadd ->
+            int_binop ( + ) (fun xl xh yl yh ->
+                Int { lo = sat_add xl yl; hi = sat_add xh yh })
+        | Instr.Isub ->
+            int_binop ( - ) (fun xl xh yl yh ->
+                Int
+                  { lo = sat_add xl (sat_neg yh); hi = sat_add xh (sat_neg yl) })
+        | Instr.Imul -> int_binop ( * ) mul_interval
+        | Instr.Idiv | Instr.Irem ->
+            let is_rem = code.(pc) = Instr.Irem in
+            let b = pop () and a = pop () in
+            (match singleton b with
+            | Some 0 -> emit ~pc Ev_div_by_zero
+            | _ -> ());
+            (match (a, b) with
+            | Int x, Int y when x.lo = x.hi && y.lo = y.hi && y.lo <> 0 ->
+                push (single (if is_rem then x.lo mod y.lo else x.lo / y.lo))
+            | Int x, Int y when is_rem && y.lo > 0 ->
+                let m = y.hi - 1 in
+                push (Int { lo = (if x.lo >= 0 then 0 else -m); hi = m })
+            | _ -> push full)
+        | Instr.Ineg -> (
+            match pop () with
+            | Int { lo; hi } -> push (Int { lo = sat_neg hi; hi = sat_neg lo })
+            | _ -> push Top)
+        | Instr.Iand ->
+            int_binop ( land ) (fun xl xh yl yh ->
+                if xl >= 0 && yl >= 0 then Int { lo = 0; hi = min xh yh }
+                else full)
+        | Instr.Ior -> int_binop ( lor ) (fun _ _ _ _ -> full)
+        | Instr.Ixor -> int_binop ( lxor ) (fun _ _ _ _ -> full)
+        | Instr.Ishl ->
+            int_binop (fun a b -> a lsl (b land 63)) (fun _ _ _ _ -> full)
+        | Instr.Ishr ->
+            int_binop (fun a b -> a asr (b land 63)) (fun _ _ _ _ -> full)
+        | Instr.Iushr ->
+            int_binop (fun a b -> a lsr (b land 63)) (fun _ _ _ _ -> full)
+        | Instr.Fadd -> float_binop ( +. )
+        | Instr.Fsub -> float_binop ( -. )
+        | Instr.Fmul -> float_binop ( *. )
+        | Instr.Fdiv -> float_binop ( /. )
+        | Instr.Fneg -> (
+            match pop () with
+            | Float_const f -> push (Float_const (-.f))
+            | _ -> push Top)
+        | Instr.F2i -> (
+            match pop () with
+            | Float_const f -> push (single (int_of_float f))
+            | _ -> push Top)
+        | Instr.I2f -> (
+            match pop () with
+            | Int { lo; hi } when lo = hi -> push (Float_const (float_of_int lo))
+            | _ -> push Top)
+        | Instr.Fcmp -> (
+            let b = pop () and a = pop () in
+            match (a, b) with
+            | Float_const x, Float_const y -> push (single (compare x y))
+            | _ -> push (Int { lo = -1; hi = 1 }))
+        | Instr.If_icmp (c, _) ->
+            let b = pop () and a = pop () in
+            (match eval_cond_interval c a b with
+            | Some taken -> emit ~pc (Ev_branch taken)
+            | None -> ())
+        | Instr.Ifz (c, _) ->
+            let a = pop () in
+            (match eval_cond_interval c a (single 0) with
+            | Some taken -> emit ~pc (Ev_branch taken)
+            | None -> ())
+        | Instr.Goto _ -> ()
+        | Instr.Tableswitch _ -> ignore (pop ())
+        | Instr.Invokestatic mid ->
+            let callee = Program.method_by_id program mid in
+            for _ = 1 to callee.Mthd.n_args do
+              ignore (pop ())
+            done;
+            Option.iter push (return_aval callee.Mthd.returns)
+        | Instr.Invokevirtual slot -> (
+            match find_selector_target program slot with
+            | Some callee ->
+                for _ = 1 to callee.Mthd.n_args do
+                  ignore (pop ())
+                done;
+                Option.iter push (return_aval callee.Mthd.returns)
+            | None -> ())
+        | Instr.Return | Instr.Ireturn | Instr.Freturn | Instr.Areturn ->
+            stack := []
+        | Instr.New _ -> push Nonnull
+        | Instr.Getfield _ ->
+            ignore (pop ());
+            push Top
+        | Instr.Putfield _ ->
+            ignore (pop ());
+            ignore (pop ())
+        | Instr.Instanceof _ ->
+            ignore (pop ());
+            push (Int { lo = 0; hi = 1 })
+        | Instr.Newarray _ ->
+            ignore (pop ());
+            push Nonnull
+        | Instr.Iaload | Instr.Faload | Instr.Aaload ->
+            ignore (pop ());
+            ignore (pop ());
+            push Top
+        | Instr.Iastore | Instr.Fastore | Instr.Aastore ->
+            ignore (pop ());
+            ignore (pop ());
+            ignore (pop ())
+        | Instr.Arraylength ->
+            ignore (pop ());
+            push (Int { lo = 0; hi = max_int })
+        | Instr.Athrow -> ignore (pop ())
+        | Instr.Nop -> ()
+      done;
+      Reached { locals; stack = !stack }
+
+type t = {
+  program : Program.t;
+  cfg : Method_cfg.t;
+  entry : state array;
+  exit : state array;
+  iterations : int;
+}
+
+let compute (program : Program.t) (cfg : Method_cfg.t) =
+  let m = cfg.Method_cfg.method_ in
+  let n_locals = m.Mthd.n_locals in
+  let entry_state =
+    (* arguments are unknown; non-argument locals start zeroed but the
+       builder never reads them before writing, so Top is both sound and
+       cheap *)
+    Reached { locals = Array.make n_locals Top; stack = [] }
+  in
+  let handler_entries =
+    Array.to_list m.Mthd.handlers
+    |> List.map (fun h ->
+           ( Method_cfg.block_index_at_pc cfg h.Mthd.h_target,
+             Reached { locals = Array.make n_locals Top; stack = [ Nonnull ] }
+           ))
+  in
+  let { Solver.input; output; iterations } =
+    Solver.solve_cfg ~direction:Dataflow.Forward cfg
+      ~entries:((0, entry_state) :: handler_entries)
+      ~transfer:(fun b st -> exec_block program cfg b st)
+  in
+  { program; cfg; entry = input; exit = output; iterations }
+
+type finding =
+  | Branch_always of { block : int; pc : int; taken : bool }
+  | Div_by_zero of { block : int; pc : int }
+
+let findings t =
+  let out = ref [] in
+  Array.iteri
+    (fun b st ->
+      ignore
+        (exec_block t.program t.cfg b st ~emit:(fun ~pc ev ->
+             out :=
+               (match ev with
+               | Ev_div_by_zero -> Div_by_zero { block = b; pc }
+               | Ev_branch taken -> Branch_always { block = b; pc; taken })
+               :: !out)))
+    t.entry;
+  List.sort
+    (fun a b ->
+      let pc_of = function
+        | Branch_always { pc; _ } | Div_by_zero { pc; _ } -> pc
+      in
+      Int.compare (pc_of a) (pc_of b))
+    !out

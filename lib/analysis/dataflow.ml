@@ -1,0 +1,143 @@
+module Method_cfg = Cfg.Method_cfg
+module Block = Cfg.Block
+module Mthd = Bytecode.Mthd
+
+(* The generic monotone dataflow framework: a worklist solver over a
+   join-semilattice, direction-agnostic by flipping the edge functions.
+   The graph is abstract (successor/predecessor functions over dense block
+   indices) so tests can run the solver on hand-built shapes; solve_cfg
+   adapts a Method_cfg, optionally with exceptional (handler) edges. *)
+
+type direction =
+  | Forward
+  | Backward
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(* Exceptional edges: a throw anywhere in a covered block transfers to the
+   handler's entry block.  The CFG proper omits these (the VM treats them
+   as dynamic edges); analyses that must be sound across unwinding ask for
+   them explicitly. *)
+let exceptional_successors (cfg : Method_cfg.t) b =
+  let blk = cfg.Method_cfg.blocks.(b) in
+  let b_from = blk.Block.start_pc in
+  let b_to = Block.end_pc blk in
+  let targets =
+    Array.fold_left
+      (fun acc h ->
+        if h.Mthd.h_from < b_to && b_from < h.Mthd.h_to then
+          Method_cfg.block_index_at_pc cfg h.Mthd.h_target :: acc
+        else acc)
+      []
+      cfg.Method_cfg.method_.Mthd.handlers
+  in
+  List.sort_uniq Int.compare targets
+
+let reachable ?(exceptional = true) (cfg : Method_cfg.t) =
+  let n = Method_cfg.n_blocks cfg in
+  let seen = Array.make n false in
+  let stack = ref [ 0 ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | b :: rest ->
+        stack := rest;
+        if not seen.(b) then begin
+          seen.(b) <- true;
+          let succs = Method_cfg.successors cfg cfg.Method_cfg.blocks.(b) in
+          let succs =
+            if exceptional then succs @ exceptional_successors cfg b else succs
+          in
+          List.iter (fun s -> if not seen.(s) then stack := s :: !stack) succs
+        end
+  done;
+  seen
+
+module Make (L : LATTICE) = struct
+  type result = {
+    input : L.t array;
+    output : L.t array;
+    iterations : int;
+  }
+
+  let solve ~direction ~n_blocks ~succs ~preds ~entries ~transfer =
+    (* flip the graph for backward problems; from here on "into" is the
+       side facts are joined on and "out of" the side transfer produces *)
+    let flow_preds, flow_succs =
+      match direction with
+      | Forward -> (preds, succs)
+      | Backward -> (succs, preds)
+    in
+    let input = Array.make n_blocks L.bottom in
+    let output = Array.make n_blocks L.bottom in
+    let seed = Array.make n_blocks L.bottom in
+    List.iter
+      (fun (b, fact) ->
+        if b < 0 || b >= n_blocks then
+          invalid_arg (Printf.sprintf "Dataflow.solve: entry block %d" b);
+        seed.(b) <- L.join seed.(b) fact)
+      entries;
+    let on_list = Array.make n_blocks false in
+    let work = Queue.create () in
+    let push b =
+      if not on_list.(b) then begin
+        on_list.(b) <- true;
+        Queue.add b work
+      end
+    in
+    (* seeded blocks first, then everything: every block is visited at
+       least once so [output] is always [transfer] of [input], even for
+       blocks no propagation reaches (strict transfers keep those at
+       bottom) *)
+    List.iter (fun (b, _) -> push b) entries;
+    for b = 0 to n_blocks - 1 do
+      push b
+    done;
+    let iterations = ref 0 in
+    while not (Queue.is_empty work) do
+      let b = Queue.pop work in
+      on_list.(b) <- false;
+      incr iterations;
+      let in_fact =
+        List.fold_left
+          (fun acc p -> L.join acc output.(p))
+          seed.(b) (flow_preds b)
+      in
+      input.(b) <- in_fact;
+      let out_fact = transfer b in_fact in
+      if not (L.equal out_fact output.(b)) then begin
+        output.(b) <- out_fact;
+        List.iter push (flow_succs b)
+      end
+    done;
+    { input; output; iterations = !iterations }
+
+  let solve_cfg ~direction ?(exceptional = false) (cfg : Method_cfg.t)
+      ~entries ~transfer =
+    let n_blocks = Method_cfg.n_blocks cfg in
+    let succs =
+      Array.init n_blocks (fun b ->
+          let normal = Method_cfg.successors cfg cfg.Method_cfg.blocks.(b) in
+          if exceptional then
+            List.sort_uniq Int.compare (normal @ exceptional_successors cfg b)
+          else normal)
+    in
+    let preds = Array.make n_blocks [] in
+    Array.iteri
+      (fun b ss -> List.iter (fun s -> preds.(s) <- b :: preds.(s)) ss)
+      succs;
+    solve ~direction ~n_blocks
+      ~succs:(fun b -> succs.(b))
+      ~preds:(fun b -> preds.(b))
+      ~entries ~transfer
+end

@@ -1,0 +1,109 @@
+module Method_cfg = Cfg.Method_cfg
+module Block = Cfg.Block
+module Mthd = Bytecode.Mthd
+module Instr = Bytecode.Instr
+module Slot_set = Set.Make (Int)
+
+module L = struct
+  type t = Slot_set.t
+
+  let bottom = Slot_set.empty
+
+  let equal = Slot_set.equal
+
+  let join = Slot_set.union
+
+  let pp ppf s =
+    Format.fprintf ppf "{%s}"
+      (String.concat "," (List.map string_of_int (Slot_set.elements s)))
+end
+
+module Solver = Dataflow.Make (L)
+
+let uses = function
+  | Instr.Iload n | Instr.Fload n | Instr.Aload n | Instr.Iinc (n, _) -> [ n ]
+  | _ -> []
+
+let defs = function
+  | Instr.Istore n | Instr.Fstore n | Instr.Astore n | Instr.Iinc (n, _) ->
+      [ n ]
+  | _ -> []
+
+type t = {
+  cfg : Method_cfg.t;
+  live_in : Slot_set.t array;
+  live_out : Slot_set.t array;
+  covered : bool array;
+  reach : bool array;
+  iterations : int;
+}
+
+let covered_blocks (cfg : Method_cfg.t) =
+  let handlers = cfg.Method_cfg.method_.Mthd.handlers in
+  Array.map
+    (fun blk ->
+      let b_from = blk.Block.start_pc and b_to = Block.end_pc blk in
+      Array.exists
+        (fun h -> h.Mthd.h_from < b_to && b_from < h.Mthd.h_to)
+        handlers)
+    cfg.Method_cfg.blocks
+
+(* Backward in-block scan: live-before = (live-after \ defs) ∪ uses.  In a
+   covered block stores never kill — a throw can hand the handler the value
+   that was live before the store. *)
+let transfer_block (cfg : Method_cfg.t) ~covered b live_out =
+  let code = cfg.Method_cfg.method_.Mthd.code in
+  let blk = cfg.Method_cfg.blocks.(b) in
+  let live = ref live_out in
+  for pc = Block.last_pc blk downto blk.Block.start_pc do
+    let i = code.(pc) in
+    if not covered then
+      List.iter (fun d -> live := Slot_set.remove d !live) (defs i);
+    List.iter (fun u -> live := Slot_set.add u !live) (uses i)
+  done;
+  !live
+
+let compute (cfg : Method_cfg.t) =
+  let covered = covered_blocks cfg in
+  let { Solver.input; output; iterations } =
+    Solver.solve_cfg ~direction:Dataflow.Backward ~exceptional:true cfg
+      ~entries:[]
+      ~transfer:(fun b out -> transfer_block cfg ~covered:covered.(b) b out)
+  in
+  {
+    cfg;
+    live_in = output;
+    live_out = input;
+    covered;
+    reach = Dataflow.reachable ~exceptional:true cfg;
+    iterations;
+  }
+
+type dead_store = {
+  block : int;
+  pc : int;
+  slot : int;
+  instr : Instr.t;
+}
+
+let dead_stores t =
+  let cfg = t.cfg in
+  let code = cfg.Method_cfg.method_.Mthd.code in
+  let found = ref [] in
+  Array.iteri
+    (fun b blk ->
+      if t.reach.(b) && not t.covered.(b) then begin
+        let live = ref t.live_out.(b) in
+        for pc = Block.last_pc blk downto blk.Block.start_pc do
+          let i = code.(pc) in
+          (match i with
+          | Instr.Istore n | Instr.Fstore n | Instr.Astore n ->
+              if not (Slot_set.mem n !live) then
+                found := { block = b; pc; slot = n; instr = i } :: !found
+          | _ -> ());
+          List.iter (fun d -> live := Slot_set.remove d !live) (defs i);
+          List.iter (fun u -> live := Slot_set.add u !live) (uses i)
+        done
+      end)
+    cfg.Method_cfg.blocks;
+  List.sort (fun a b -> Int.compare a.pc b.pc) !found

@@ -1,0 +1,47 @@
+(** Backward liveness of local-variable slots, per basic block.
+
+    A slot is live at a point when some path from that point reads it
+    before overwriting it.  The analysis runs on the {!Dataflow} solver
+    with sets of slot indices as the lattice, following normal CFG edges
+    plus the exceptional edges into handler entries, so a slot read only
+    by a catch block is still live across the covered range.
+
+    Blocks inside a handler-covered pc range use a no-kill transfer
+    (stores do not end liveness there): a throw can occur between any two
+    instructions of a covered block, so a store cannot be proven to hide
+    the previous value from the handler.  For the same reason
+    {!dead_stores} never reports inside covered blocks. *)
+
+module Slot_set : Set.S with type elt = int
+
+type t = {
+  cfg : Cfg.Method_cfg.t;
+  live_in : Slot_set.t array;  (** slots live on entry to each block *)
+  live_out : Slot_set.t array;  (** slots live on exit from each block *)
+  covered : bool array;
+      (** whether the block's pc range intersects a handler-covered range *)
+  reach : bool array;  (** {!Dataflow.reachable}, with handler edges *)
+  iterations : int;  (** worklist pops until the fixpoint — for tests *)
+}
+
+val compute : Cfg.Method_cfg.t -> t
+
+val uses : Bytecode.Instr.t -> int list
+(** Local slots the instruction reads ([Iinc] both reads and writes). *)
+
+val defs : Bytecode.Instr.t -> int list
+(** Local slots the instruction writes. *)
+
+type dead_store = {
+  block : int;
+  pc : int;
+  slot : int;
+  instr : Bytecode.Instr.t;
+}
+
+val dead_stores : t -> dead_store list
+(** Stores to slots that no subsequent path reads before overwriting,
+    in reachable, non-handler-covered blocks only; ordered by pc.  Argument
+    slots count as stores by the caller, so a never-read argument is {e
+    not} reported here (the linter flags those separately with lower
+    severity). *)

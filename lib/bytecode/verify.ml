@@ -57,12 +57,30 @@ let find_selector_target (program : Program.t) slot =
 
 (* The verifier does not track local types flow-sensitively (the builder
    already guarantees consistent slot use); it tracks stack shapes, which is
-   where interpreter crashes would come from. *)
-let verify_method (program : Program.t) (m : Mthd.t) =
+   where interpreter crashes would come from.
+
+   The collecting variant records every violation instead of stopping at
+   the first: each worklist step runs under a guard that catches [Invalid]
+   and keeps draining.  Errors found after the first are best-effort (a
+   broken merge leaves the earlier stack shape in place), but the first
+   recorded error is always the one the raising API reports, because
+   execution up to that point is identical. *)
+let verify_method_all (program : Program.t) (m : Mthd.t) =
+  let errors = ref [] in
+  let seen = Hashtbl.create 8 in
+  let record (e : error) =
+    let key = (e.pc, e.message) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      errors := e :: !errors
+    end
+  in
+  let guard f = try f () with Invalid e -> record e in
   let code = m.Mthd.code in
   let n = Array.length code in
   let mname = m.Mthd.name in
-  if n = 0 then fail mname 0 "empty code array";
+  if n = 0 then [ { method_name = mname; pc = 0; message = "empty code array" } ]
+  else begin
   let stack_at : vty list option array = Array.make n None in
   let worklist = Queue.create () in
   let schedule pc stack =
@@ -248,21 +266,37 @@ let verify_method (program : Program.t) (m : Mthd.t) =
      the exception object on the stack *)
   Array.iter
     (fun h ->
-      if
-        h.Mthd.h_from < 0 || h.Mthd.h_to > n || h.Mthd.h_from >= h.Mthd.h_to
-        || h.Mthd.h_target < 0 || h.Mthd.h_target >= n
-      then fail mname h.Mthd.h_target "malformed handler range";
-      if h.Mthd.h_class < 0 || h.Mthd.h_class >= Array.length program.Program.classes
-      then fail mname h.Mthd.h_target "handler catches unknown class";
-      schedule h.Mthd.h_target [ Vref ])
+      guard (fun () ->
+          if
+            h.Mthd.h_from < 0 || h.Mthd.h_to > n
+            || h.Mthd.h_from >= h.Mthd.h_to
+            || h.Mthd.h_target < 0 || h.Mthd.h_target >= n
+          then fail mname h.Mthd.h_target "malformed handler range";
+          if
+            h.Mthd.h_class < 0
+            || h.Mthd.h_class >= Array.length program.Program.classes
+          then fail mname h.Mthd.h_target "handler catches unknown class";
+          schedule h.Mthd.h_target [ Vref ]))
     m.Mthd.handlers;
-  schedule 0 [];
+  guard (fun () -> schedule 0 []);
   while not (Queue.is_empty worklist) do
     let pc = Queue.pop worklist in
     match stack_at.(pc) with
-    | Some stack -> step pc stack
+    | Some stack -> guard (fun () -> step pc stack)
     | None -> assert false
-  done
+  done;
+  List.rev !errors
+  end
+
+let verify_method (program : Program.t) (m : Mthd.t) =
+  match verify_method_all program m with
+  | [] -> ()
+  | e :: _ -> raise (Invalid e)
+
+let verify_program_all (program : Program.t) =
+  Array.fold_left
+    (fun acc m -> acc @ verify_method_all program m)
+    [] program.Program.methods
 
 let verify_program (program : Program.t) =
   Array.iter (fun m -> verify_method program m) program.Program.methods

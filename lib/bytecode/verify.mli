@@ -26,7 +26,17 @@ val vty_to_string : vty -> string
 val verify_method : Program.t -> Mthd.t -> unit
 (** @raise Invalid on the first violation found. *)
 
+val verify_method_all : Program.t -> Mthd.t -> error list
+(** Collect every violation in the method instead of stopping at the
+    first.  The head of the list is the error {!verify_method} raises;
+    later entries are best-effort (verification continues past a broken
+    state).  [[]] means the method verifies. *)
+
 val verify_program : Program.t -> unit
 (** Verify every method.  @raise Invalid on the first violation. *)
+
+val verify_program_all : Program.t -> error list
+(** {!verify_method_all} over every method, in method order — the linter's
+    entry point. *)
 
 val error_to_string : error -> string

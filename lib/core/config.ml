@@ -22,6 +22,9 @@ type t = {
   snapshot_period : int;
       (* dispatches between periodic metrics snapshots; 0 disables the
          series (the observability layer's quiescent default) *)
+  debug_checks : bool;
+      (* run the trace/BCG invariant checks at trace-construction and
+         decay boundaries, emitting an event per violation *)
 }
 
 let default =
@@ -36,6 +39,7 @@ let default =
     max_backtrack = 128;
     build_traces = true;
     snapshot_period = 0;
+    debug_checks = false;
   }
 
 let validate t =
@@ -56,7 +60,8 @@ let make ?(start_state_delay = default.start_state_delay)
     ?(min_trace_blocks = default.min_trace_blocks)
     ?(max_walk = default.max_walk) ?(max_backtrack = default.max_backtrack)
     ?(build_traces = default.build_traces)
-    ?(snapshot_period = default.snapshot_period) () =
+    ?(snapshot_period = default.snapshot_period)
+    ?(debug_checks = default.debug_checks) () =
   let t =
     {
       start_state_delay;
@@ -69,6 +74,7 @@ let make ?(start_state_delay = default.start_state_delay)
       max_backtrack;
       build_traces;
       snapshot_period;
+      debug_checks;
     }
   in
   validate t;

@@ -33,6 +33,12 @@ type t = {
   snapshot_period : int;
       (** Dispatches between periodic {!Metrics} snapshots; [0]
           (default) disables the snapshot series. *)
+  debug_checks : bool;
+      (** Run the trace/BCG invariant checks ([Invariants]) at
+          trace-construction and decay boundaries, emitting an
+          [Invariant_violation] event per finding.  Off by default: the
+          checks walk every node and trace, which costs real time on hot
+          paths. *)
 }
 
 val default : t
@@ -50,6 +56,7 @@ val make :
   ?max_backtrack:int ->
   ?build_traces:bool ->
   ?snapshot_period:int ->
+  ?debug_checks:bool ->
   unit ->
   t
 (** Labelled constructor over {!default}; every omitted parameter keeps

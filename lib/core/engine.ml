@@ -51,7 +51,32 @@ type t = {
     (* trace entries whose previous dispatch completed another trace:
        the dispatch-level view of Dynamo-style trace linking *)
   mutable just_completed : bool;
+  (* debug_checks bookkeeping *)
+  mutable invariant_violations : int;
+  mutable seen_decays : int; (* decay boundary detector, like Profiler's *)
 }
+
+(* Run the invariant sweep (Config.debug_checks): count every finding and
+   publish it on the stream.  Called at trace-construction and decay
+   boundaries, never on the plain dispatch path. *)
+let run_debug_checks t =
+  let diags =
+    Invariants.check_all t.config
+      ~bcg:(Profiler.bcg t.profiler)
+      ~cache:t.cache
+  in
+  List.iter
+    (fun (d : Analysis.Diag.t) ->
+      t.invariant_violations <- t.invariant_violations + 1;
+      if Events.enabled t.events then
+        Events.emit t.events
+          (Events.Invariant_violation
+             {
+               code = d.Analysis.Diag.code;
+               severity = Analysis.Diag.severity_to_string d.Analysis.Diag.severity;
+               message = Analysis.Diag.to_string d;
+             }))
+    diags
 
 (* Expose the accounting through the registry as polled gauges: nothing
    on the dispatch path, evaluated only when a snapshot is taken. *)
@@ -72,7 +97,8 @@ let register_gauges (m : Metrics.t) (e : t) =
   Metrics.gauge m "bcg_nodes" (fun () -> Bcg.n_nodes (Profiler.bcg e.profiler));
   Metrics.gauge m "bcg_edges" (fun () -> Bcg.n_edges (Profiler.bcg e.profiler));
   Metrics.gauge m "traces_live" (fun () -> Trace_cache.n_live e.cache);
-  Metrics.gauge m "traces_replaced" (fun () -> Trace_cache.n_replaced e.cache)
+  Metrics.gauge m "traces_replaced" (fun () -> Trace_cache.n_replaced e.cache);
+  Metrics.gauge m "invariant_violations" (fun () -> e.invariant_violations)
 
 let create ?(config = Config.default) ?(events = Events.create ())
     (layout : Layout.t) : t =
@@ -92,7 +118,9 @@ let create ?(config = Config.default) ?(events = Events.create ())
           e.traces_constructed <-
             e.traces_constructed + outcome.Trace_builder.new_traces;
           e.builder_reuses <-
-            e.builder_reuses + outcome.Trace_builder.reused_traces
+            e.builder_reuses + outcome.Trace_builder.reused_traces;
+          (* trace-construction boundary *)
+          if e.config.Config.debug_checks then run_debug_checks e
         end
   in
   let profiler =
@@ -124,6 +152,8 @@ let create ?(config = Config.default) ?(events = Events.create ())
       builder_reuses = 0;
       chained_entries = 0;
       just_completed = false;
+      invariant_violations = 0;
+      seen_decays = 0;
     }
   in
   engine := Some e;
@@ -171,6 +201,8 @@ let traces_constructed t = t.traces_constructed
 let builder_reuses t = t.builder_reuses
 
 let chained_entries t = t.chained_entries
+
+let invariant_violations t = t.invariant_violations
 
 let note_executed t g =
   t.prev2 <- t.prev;
@@ -280,7 +312,16 @@ let on_block t (g : Layout.gid) =
      step carry the current dispatch index *)
   if Events.enabled t.events then
     Events.set_now t.events (t.block_dispatches + t.trace_dispatches);
-  on_block_inner t g
+  on_block_inner t g;
+  if t.config.Config.debug_checks then begin
+    (* decay boundary: the BCG ran one or more decay passes during this
+       dispatch *)
+    let d = (Profiler.bcg t.profiler).Bcg.decays in
+    if d <> t.seen_decays then begin
+      t.seen_decays <- d;
+      run_debug_checks t
+    end
+  end
 
 (* Assemble final statistics. *)
 let stats t ~(vm_result : Interp.result) ~wall_seconds : Stats.t =

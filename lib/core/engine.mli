@@ -91,6 +91,11 @@ val builder_reuses : t -> int
 
 val chained_entries : t -> int
 
+val invariant_violations : t -> int
+(** Findings reported by the {!Config.t.debug_checks} sweeps so far;
+    always [0] when the flag is off, and [0] on a healthy run regardless.
+    Each finding is also published as an [Invariant_violation] event. *)
+
 (** {2 Running} *)
 
 type run_result = {

@@ -37,6 +37,11 @@ type payload =
   | Trace_completed of { trace_id : int; n_blocks : int; n_instrs : int }
   | Decay_pass of { decays : int }
   | Phase_snapshot of Metrics.snapshot
+  | Invariant_violation of {
+      code : string;
+      severity : string;
+      message : string;
+    }
 
 type event = { time : int; payload : payload }
 
@@ -87,3 +92,4 @@ let kind = function
   | Trace_completed _ -> "trace_completed"
   | Decay_pass _ -> "decay_pass"
   | Phase_snapshot _ -> "phase_snapshot"
+  | Invariant_violation _ -> "invariant_violation"

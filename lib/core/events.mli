@@ -70,6 +70,14 @@ type payload =
           dispatch; [decays] is the cumulative pass count. *)
   | Phase_snapshot of Metrics.snapshot
       (** The metrics registry took a periodic snapshot. *)
+  | Invariant_violation of {
+      code : string;  (** stable check code, e.g. ["TL204"] *)
+      severity : string;  (** ["error"] / ["warning"] / ["info"] *)
+      message : string;  (** rendered diagnostic, location included *)
+    }
+      (** A {!Config.t.debug_checks} run found a trace/BCG invariant
+          violation.  The payload is pre-rendered strings so the stream
+          does not depend on the analysis library's diagnostic type. *)
 
 type event = { time : int; payload : payload }
 (** [time] is the engine's dispatch index (block + trace dispatches) at

@@ -85,6 +85,12 @@ let install t ~first ~(blocks : Layout.gid array) ~prob : Trace.t =
 
 let iter t f = Hashtbl.iter (fun _ tr -> f tr) t.by_entry
 
+(* Decode the packed entry key so checkers can compare the binding against
+   the trace's own entry transition. *)
+let iter_entries t f =
+  let n = t.layout.Layout.n_blocks in
+  Hashtbl.iter (fun key tr -> f ~first:(key / n) ~head:(key mod n) tr) t.by_entry
+
 (* All traces ever constructed (including displaced ones). *)
 let iter_all t f = Hashtbl.iter (fun _ tr -> f tr) t.by_seq
 

@@ -28,6 +28,14 @@ val install :
 val iter : t -> (Trace.t -> unit) -> unit
 (** Over the traces currently bound to an entry (the live cache). *)
 
+val iter_entries :
+  t ->
+  (first:Cfg.Layout.gid -> head:Cfg.Layout.gid -> Trace.t -> unit) ->
+  unit
+(** Like {!iter} but also decodes the entry transition each trace is bound
+    under, so invariant checkers can compare the binding against the
+    trace's own {!Trace.entry_key}. *)
+
 val iter_all : t -> (Trace.t -> unit) -> unit
 (** Over every trace ever constructed, including displaced ones — the
     population the completion statistics are drawn from. *)

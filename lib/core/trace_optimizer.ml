@@ -40,6 +40,7 @@ type result = {
   folded : int; (* instructions removed by constant folding/identities *)
   forwarded : int; (* loads satisfied by store/load forwarding *)
   dead_stores : int;
+  trailing_dead_stores : int;
 }
 
 (* The code of a trace: its blocks' instructions concatenated, in order.
@@ -61,7 +62,7 @@ let trace_code (layout : Layout.t) (tr : Trace.t) : Instr.t array =
 (* One pass of local optimization over straight-line code.  We simulate
    the operand stack; every emitted instruction is tagged with its index
    so forwarding can mark stores as still-needed. *)
-let optimize_code (code : Instr.t array) : result =
+let optimize_code ?(live_out = fun _ -> true) (code : Instr.t array) : result =
   let n = Array.length code in
   (* emitted instructions, in reverse.  Each carries a mutable cell so a
      later discovery can rewrite it (dead stores become Pop — same stack
@@ -337,6 +338,24 @@ let optimize_code (code : Instr.t array) : result =
         ignore (emit ins)
     | Instr.Nop -> incr folded (* dropped *)
   done;
+  (* Trailing stores: a store never loaded again within the trace survives
+     the loop with its consumed flag still false.  Without outside
+     knowledge the slot may be read after the trace completes, so those
+     stores stay.  A caller holding a liveness result (the method CFG's
+     live-out at the trace's final block) can prove a slot dead there and
+     license the same store->Pop rewrite.  Barriers reset [last_store], so
+     every surviving entry postdates the last call/return — it belongs to
+     the final block's method and the liveness answer applies to it. *)
+  let trailing_dead_stores = ref 0 in
+  Hashtbl.iter
+    (fun slot (cell, consumed) ->
+      if (not !consumed) && not (live_out slot) then
+        match !cell with
+        | Instr.Istore _ | Instr.Fstore _ | Instr.Astore _ ->
+            cell := Instr.Pop;
+            incr trailing_dead_stores
+        | _ -> ())
+    last_store;
   (* !out is in reverse emission order; filter then rev_map restores
      program order *)
   let optimized =
@@ -346,10 +365,26 @@ let optimize_code (code : Instr.t array) : result =
     |> Array.of_list
   in
   { original = code; optimized; folded = !folded; forwarded = !forwarded;
-    dead_stores = !dead_stores }
+    dead_stores = !dead_stores; trailing_dead_stores = !trailing_dead_stores }
 
-let optimize (layout : Layout.t) (tr : Trace.t) : result =
-  optimize_code (trace_code layout tr)
+(* Liveness at the seam where a completed trace hands control back to the
+   interpreter: the live-out set of the trace's final block in its
+   method's CFG.  Exceptional edges are part of the liveness graph, so a
+   slot read only by a reachable handler still counts as live. *)
+let live_out_of (layout : Layout.t) (tr : Trace.t) : int -> bool =
+  let g = Trace.last_block tr in
+  let mid = (Layout.method_of_gid layout g).Bytecode.Mthd.id in
+  let cfg = Layout.cfg_of_method layout ~method_id:mid in
+  let bi = g - layout.Layout.offsets.(mid) in
+  let live = Analysis.Liveness.compute cfg in
+  let set = live.Analysis.Liveness.live_out.(bi) in
+  fun slot -> Analysis.Liveness.Slot_set.mem slot set
+
+let optimize ?live_out (layout : Layout.t) (tr : Trace.t) : result =
+  let live_out =
+    match live_out with Some f -> f | None -> live_out_of layout tr
+  in
+  optimize_code ~live_out (trace_code layout tr)
 
 let saved (r : result) = Array.length r.original - Array.length r.optimized
 

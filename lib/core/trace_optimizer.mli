@@ -19,15 +19,35 @@ type result = {
   folded : int;  (** instructions removed by folding/identities/glue *)
   forwarded : int;  (** loads satisfied from a prior store's value *)
   dead_stores : int;
+      (** stores overwritten before any load, within the trace *)
+  trailing_dead_stores : int;
+      (** stores never loaded again in the trace whose slot [live_out]
+          proved dead past the trace's end *)
 }
 
 val trace_code : Cfg.Layout.t -> Trace.t -> Bytecode.Instr.t array
 (** The trace's instruction sequence. *)
 
-val optimize_code : Bytecode.Instr.t array -> result
-(** Optimize any straight-line sequence (exposed for testing). *)
+val optimize_code : ?live_out:(int -> bool) -> Bytecode.Instr.t array -> result
+(** Optimize any straight-line sequence (exposed for testing).
 
-val optimize : Cfg.Layout.t -> Trace.t -> result
+    [live_out slot] says whether the local slot can still be read after
+    the sequence ends; the default answers [true] for every slot, which
+    keeps every trailing store.  Supplying a liveness answer (see
+    {!live_out_of}) lets the pass also rewrite trailing dead stores —
+    stores with no later load inside the sequence {e and} a provably dead
+    slot after it — to [Pop]. *)
+
+val live_out_of : Cfg.Layout.t -> Trace.t -> int -> bool
+(** The liveness justification for trailing dead-store elimination:
+    computes {!Analysis.Liveness} over the method of the trace's final
+    block and answers membership in that block's live-out set
+    (exceptional edges included, so handler-only reads keep a slot
+    live). *)
+
+val optimize : ?live_out:(int -> bool) -> Cfg.Layout.t -> Trace.t -> result
+(** Optimizes {!trace_code}.  When [live_out] is omitted it defaults to
+    {!live_out_of} for the trace — the analysis-justified behaviour. *)
 
 val saved : result -> int
 (** Instructions removed. *)

@@ -117,7 +117,7 @@ let optimizer_report ?(scale = 1.0) () =
     "Trace optimization headroom (completion-weighted; paper section 6)\n";
   Buffer.add_string buf
     (Printf.sprintf "%-11s %10s %10s %10s %12s %12s\n" "benchmark" "traces"
-       "instrs" "removed" "headroom%" "fold/fwd/dead");
+       "instrs" "removed" "headroom%" "fold/fwd/dead/tail");
   List.iter
     (fun w ->
       let name = w.Workloads.Workload.name in
@@ -141,6 +141,7 @@ let optimizer_report ?(scale = 1.0) () =
       let folded = ref 0 in
       let fwd = ref 0 in
       let dead = ref 0 in
+      let tail = ref 0 in
       Tracegen.Trace_cache.iter_all (Tracegen.Engine.cache r.Tracegen.Engine.engine)
         (fun tr ->
           if tr.Tracegen.Trace.completed > 0 then begin
@@ -153,13 +154,14 @@ let optimizer_report ?(scale = 1.0) () =
               !weighted_saved + (c * Tracegen.Trace_optimizer.saved res);
             folded := !folded + res.Tracegen.Trace_optimizer.folded;
             fwd := !fwd + res.Tracegen.Trace_optimizer.forwarded;
-            dead := !dead + res.Tracegen.Trace_optimizer.dead_stores
+            dead := !dead + res.Tracegen.Trace_optimizer.dead_stores;
+            tail := !tail + res.Tracegen.Trace_optimizer.trailing_dead_stores
           end);
       Buffer.add_string buf
-        (Printf.sprintf "%-11s %10d %10d %10d %11.1f%% %4d/%d/%d\n" name
+        (Printf.sprintf "%-11s %10d %10d %10d %11.1f%% %4d/%d/%d/%d\n" name
            !traces !weighted_orig !weighted_saved
            (if !weighted_orig = 0 then 0.0
             else 100.0 *. float_of_int !weighted_saved /. float_of_int !weighted_orig)
-           !folded !fwd !dead))
+           !folded !fwd !dead !tail))
     (Experiment.bench_workloads ());
   Buffer.contents buf

@@ -162,11 +162,43 @@ let event_json (e : Events.event) : json =
     | Events.Decay_pass { decays } -> [ ("decays", J_int decays) ]
     | Events.Phase_snapshot s ->
         [ ("snapshot", snapshot_json s) ]
+    | Events.Invariant_violation { code; severity; message } ->
+        [
+          ("code", J_string code);
+          ("severity", J_string severity);
+          ("message", J_string message);
+        ]
   in
   J_obj
     (("event", J_string (Events.kind e.Events.payload))
     :: ("time", J_int e.Events.time)
     :: payload_fields)
+
+(* One lint diagnostic as a flat object — the `repro_cli lint --json`
+   line schema. *)
+let diag_json (d : Analysis.Diag.t) : json =
+  let base =
+    [
+      ("code", J_string d.Analysis.Diag.code);
+      ( "severity",
+        J_string (Analysis.Diag.severity_to_string d.Analysis.Diag.severity) );
+      ( "location",
+        J_string (Analysis.Diag.location_to_string d.Analysis.Diag.loc) );
+      ("message", J_string d.Analysis.Diag.message);
+    ]
+  in
+  match d.Analysis.Diag.context with
+  | Some c -> J_obj (("context", J_string c) :: base)
+  | None -> J_obj base
+
+let diags_jsonl (diags : Analysis.Diag.t list) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (to_string (diag_json d));
+      Buffer.add_char buf '\n')
+    diags;
+  Buffer.contents buf
 
 let events_jsonl (events : Events.event list) : string =
   let buf = Buffer.create 4096 in

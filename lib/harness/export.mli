@@ -31,6 +31,15 @@ val event_json : Tracegen.Events.event -> json
 val events_jsonl : Tracegen.Events.event list -> string
 (** An event timeline, one object per line, in list order. *)
 
+val diag_json : Analysis.Diag.t -> json
+(** One lint diagnostic as a flat object: [{"context": …, "code": …,
+    "severity": …, "location": …, "message": …}] (context omitted when
+    absent). *)
+
+val diags_jsonl : Analysis.Diag.t list -> string
+(** A diagnostic list, one object per line, in list order — the
+    [repro_cli lint --json] schema. *)
+
 val run_json : Experiment.run -> json
 (** {!stats_json} with the run's key (workload, size, parameters) and
     checksum prepended. *)

@@ -77,6 +77,7 @@ type state = {
   mutable block_dispatches : int;
   max_instructions : int;
   on_block : Layout.gid -> unit;
+  on_block_state : (Layout.gid -> Value.t array -> unit) option;
 }
 
 let push fr v =
@@ -196,7 +197,11 @@ let run_loop st : Value.t option =
         let b = Method_cfg.block_at_pc cfg fr.pc in
         (* block dispatch *)
         st.block_dispatches <- st.block_dispatches + 1;
-        st.on_block (Layout.gid_at_pc st.layout ~method_id:mid ~pc:fr.pc);
+        let gid = Layout.gid_at_pc st.layout ~method_id:mid ~pc:fr.pc in
+        st.on_block gid;
+        (match st.on_block_state with
+        | Some f -> f gid fr.locals
+        | None -> ());
         let end_pc = Block.end_pc b in
         step_budget st b.Block.len;
         (* straight-line portion *)
@@ -442,7 +447,7 @@ let run_loop st : Value.t option =
   done;
   !return_value
 
-let run ?(max_instructions = max_int) (layout : Layout.t)
+let run ?(max_instructions = max_int) ?on_block_state (layout : Layout.t)
     ~(on_block : Layout.gid -> unit) : result =
   let program = layout.Layout.program in
   let st =
@@ -454,6 +459,7 @@ let run ?(max_instructions = max_int) (layout : Layout.t)
       block_dispatches = 0;
       max_instructions;
       on_block;
+      on_block_state;
     }
   in
   let outcome =

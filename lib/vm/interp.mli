@@ -42,12 +42,20 @@ type result = {
 
 val run :
   ?max_instructions:int ->
+  ?on_block_state:(Cfg.Layout.gid -> Value.t array -> unit) ->
   Cfg.Layout.t ->
   on_block:(Cfg.Layout.gid -> unit) ->
   result
 (** Execute the program from its entry method, invoking [on_block] at
     every basic-block dispatch.  [max_instructions] bounds runaway
-    programs via an {!Instruction_budget} trap. *)
+    programs via an {!Instruction_budget} trap.
+
+    [on_block_state], when given, is invoked after [on_block] at every
+    dispatch with the current frame's local-variable array.  The array is
+    the live frame state: observers may read it to cross-check static
+    analyses against execution, and may even overwrite slots a liveness
+    analysis claims dead (the tests do exactly that).  It costs one
+    option branch per dispatch when absent. *)
 
 val run_plain : ?max_instructions:int -> Cfg.Layout.t -> result
 (** {!run} with no observer: the unmodified interpreter of Table VI. *)

@@ -115,7 +115,6 @@ let define (p : S.t) ~size =
         decl "ring" (S.Arr S.F) (new_arr S.F (i 32));
         decl_i "n" (i size);
         decl_i "chk" (i 0);
-        decl_f "sub" (f 0.0);
         for_ "t" (i 0) (v "n")
           [
             (* synthesize: two partials + a small rng dither *)
@@ -134,7 +133,7 @@ let define (p : S.t) ~size =
             when_
               ((v "t" &! i 31) =! i 31)
               [
-                set "sub" (f 0.0);
+                decl_f "sub" (f 0.0);
                 for_ "k" (i 0) (i 32)
                   [
                     set "sub"

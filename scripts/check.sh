@@ -1,11 +1,29 @@
 #!/bin/sh
-# Repo health check: full build, test suite, and (when odoc is
-# available) the documentation build.  Run from anywhere.
+# Repo health check: full build (warnings fatal), test suite, the linter
+# over every registered workload, and (when odoc is available) the
+# documentation build.  Run from anywhere.
 set -eu
 cd "$(dirname "$0")/.."
 
+# Promote every compiler warning to an error for this build; the dune
+# profile keeps warnings non-fatal for day-to-day iteration.
+dune build --profile release 2>&1 | tee /tmp/check_build.$$ || {
+  rm -f /tmp/check_build.$$
+  exit 1
+}
+if grep -q "Warning" /tmp/check_build.$$; then
+  echo "check.sh: build produced warnings (shown above); failing" >&2
+  rm -f /tmp/check_build.$$
+  exit 1
+fi
+rm -f /tmp/check_build.$$
+
 dune build
 dune runtest
+
+# Static dataflow lint + dynamic invariant sweep over every registered
+# workload; exits non-zero on any error-severity finding.
+dune exec bin/repro_cli.exe -- lint
 
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc

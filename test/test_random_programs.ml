@@ -165,6 +165,92 @@ let prop_stats_bounded =
       && s.Stats.traces_completed <= s.Stats.traces_entered
       && s.Stats.chained_entries <= s.Stats.traces_entered)
 
+(* Liveness cross-validation: at every block dispatch, overwrite every
+   local the analysis claims dead at that block's entry with a sentinel.
+   If the claim is sound, execution cannot observe the difference — same
+   outcome, same instruction count as an undisturbed run. *)
+let prop_liveness_cross_validated =
+  QCheck.Test.make ~name:"liveness claims survive execution scrambling"
+    ~count:40 arb_program (fun program ->
+      let layout = Cfg.Layout.build program in
+      let live = Array.map Analysis.Liveness.compute layout.Cfg.Layout.cfgs in
+      let plain =
+        Interp.run ~max_instructions:2_000_000 layout ~on_block:(fun _ -> ())
+      in
+      let sentinel = Vm.Value.Vint 987654321 in
+      let scramble gid (locals : Vm.Value.t array) =
+        let mid = (Cfg.Layout.method_of_gid layout gid).Bytecode.Mthd.id in
+        let bi = gid - layout.Cfg.Layout.offsets.(mid) in
+        let lv = live.(mid) in
+        for slot = 0 to Array.length locals - 1 do
+          if
+            not
+              (Analysis.Liveness.Slot_set.mem slot
+                 lv.Analysis.Liveness.live_in.(bi))
+          then locals.(slot) <- sentinel
+        done
+      in
+      let scrambled =
+        Interp.run ~max_instructions:2_000_000 layout
+          ~on_block_state:scramble ~on_block:(fun _ -> ())
+      in
+      same_outcome plain.Interp.outcome scrambled.Interp.outcome
+      && plain.Interp.instructions = scrambled.Interp.instructions)
+
+(* Constprop cross-validation: every abstract claim at a block's entry
+   must bound the value actually observed there — a singleton matches
+   exactly, an interval contains the observed int, and a block the
+   analysis calls unreachable is never dispatched. *)
+let prop_constprop_cross_validated =
+  QCheck.Test.make ~name:"constprop claims match observed locals" ~count:40
+    arb_program (fun program ->
+      let layout = Cfg.Layout.build program in
+      let cps =
+        Array.map (Analysis.Constprop.compute program) layout.Cfg.Layout.cfgs
+      in
+      let failure = ref None in
+      let observe gid (locals : Vm.Value.t array) =
+        let mid = (Cfg.Layout.method_of_gid layout gid).Bytecode.Mthd.id in
+        let bi = gid - layout.Cfg.Layout.offsets.(mid) in
+        match cps.(mid).Analysis.Constprop.entry.(bi) with
+        | Analysis.Constprop.Unreached ->
+            failure := Some (Printf.sprintf "dispatched unreached block %d" gid)
+        | Analysis.Constprop.Reached { locals = claims; _ } ->
+            Array.iteri
+              (fun slot claim ->
+                if slot < Array.length locals then
+                  match (claim, locals.(slot)) with
+                  | Analysis.Constprop.Int { lo; hi }, Vm.Value.Vint v ->
+                      if v < lo || v > hi then
+                        failure :=
+                          Some
+                            (Printf.sprintf
+                               "slot %d: claimed [%d,%d], observed %d" slot lo
+                               hi v)
+                  | Analysis.Constprop.Int { lo; hi }, other ->
+                      failure :=
+                        Some
+                          (Printf.sprintf "slot %d: claimed [%d,%d], observed %s"
+                             slot lo hi (Vm.Value.to_string other))
+                  | Analysis.Constprop.Float_const c, Vm.Value.Vfloat f ->
+                      if c <> f then
+                        failure :=
+                          Some
+                            (Printf.sprintf "slot %d: claimed %f, observed %f"
+                               slot c f)
+                  | Analysis.Constprop.Null, v
+                    when v <> Vm.Value.Vnull ->
+                      failure := Some (Printf.sprintf "slot %d: claimed null" slot)
+                  | _ -> ())
+              claims
+      in
+      ignore
+        (Interp.run ~max_instructions:2_000_000 layout ~on_block_state:observe
+           ~on_block:(fun _ -> ()));
+      match !failure with
+      | None -> true
+      | Some msg -> QCheck.Test.fail_report msg)
+
 let prop_baselines_transparent =
   QCheck.Test.make ~name:"baseline overlays do not disturb execution"
     ~count:30 arb_program (fun program ->
@@ -191,6 +277,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_verifies;
           QCheck_alcotest.to_alcotest prop_engine_transparent;
           QCheck_alcotest.to_alcotest prop_stats_bounded;
+          QCheck_alcotest.to_alcotest prop_liveness_cross_validated;
+          QCheck_alcotest.to_alcotest prop_constprop_cross_validated;
           QCheck_alcotest.to_alcotest prop_baselines_transparent;
         ] );
     ]
