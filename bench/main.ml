@@ -228,6 +228,107 @@ let debug_checks_overhead () =
     !violations
     (100.0 *. (t_on -. t_off) /. t_off)
 
+(* Chaos costs two numbers: the steady-state overhead of running with the
+   self-healing machinery armed (dispatch-time validation, quarantine
+   bookkeeping, health accounting) versus the plain engine, and the
+   recovery latency — how many dispatches the engine spends below full
+   tracing after a fault burst before the ladder climbs back. *)
+let chaos_overhead () =
+  section "Chaos overhead / recovery latency";
+  let layout = Lazy.force bench_layout in
+  let reps = max 1 (int_of_float (10.0 *. scale)) in
+  let time f =
+    f ();
+    let samples =
+      List.init 5 (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            f ()
+          done;
+          Unix.gettimeofday () -. t0)
+    in
+    List.nth (List.sort compare samples) 2
+  in
+  let plain () = ignore (Tracegen.Engine.run layout) in
+  (* self-healing armed but no faults scheduled: the pure price of the
+     armour *)
+  let armed () =
+    let config =
+      Tracegen.Config.make ~debug_checks:true ~self_heal:true
+        ~max_cache_traces:48 ()
+    in
+    ignore (Tracegen.Engine.run ~config layout)
+  in
+  (* the chaos operating point: full default fault schedule *)
+  let faults = ref 0 in
+  let quarantined = ref 0 in
+  let under_fire () =
+    let config = Harness.Chaos.config ~seed:42 () in
+    let r = Tracegen.Engine.run ~config layout in
+    let s = r.Tracegen.Engine.run_stats in
+    faults := !faults + s.Stats.faults_injected;
+    quarantined := !quarantined + s.Stats.traces_quarantined
+  in
+  let t_plain = time plain in
+  let t_armed = time armed in
+  let t_fire = time under_fire in
+  Printf.printf
+    "engine, plain           : %8.2f ms/run (median of 5x%d)\n\
+     engine, self-heal armed : %8.2f ms/run (no faults scheduled)\n\
+     engine, under fire      : %8.2f ms/run (default chaos schedule)\n\
+     armed-path cost         : %+7.2f%%\n\
+     under-fire cost         : %+7.2f%%\n"
+    (1000.0 *. t_plain /. float_of_int reps)
+    reps
+    (1000.0 *. t_armed /. float_of_int reps)
+    (1000.0 *. t_fire /. float_of_int reps)
+    (100.0 *. (t_armed -. t_plain) /. t_plain)
+    (100.0 *. (t_fire -. t_plain) /. t_plain);
+  (* Recovery latency: subscribe to Mode_degraded/Mode_recovered and
+     measure, in dispatches, each excursion below full tracing.  A hotter
+     schedule than the gate's, so the ladder actually moves on this small
+     layout. *)
+  let config =
+    Harness.Chaos.config
+      ~spec:
+        "corrupt-trace@0.02,corrupt-instrs@0.02,zero-counter@0.01,budget=60"
+      ~seed:42 ()
+  in
+  let events = Tracegen.Events.create () in
+  let down_at = ref None in
+  let excursions = ref [] in
+  let _sub =
+    Tracegen.Events.subscribe events (fun ev ->
+        match ev.Tracegen.Events.payload with
+        | Tracegen.Events.Mode_degraded _ ->
+            if !down_at = None then down_at := Some ev.Tracegen.Events.time
+        | Tracegen.Events.Mode_recovered
+            { to_level = Tracegen.Health.Full_tracing; _ } -> (
+            match !down_at with
+            | Some d ->
+                excursions := (ev.Tracegen.Events.time - d) :: !excursions;
+                down_at := None
+            | None -> ())
+        | _ -> ())
+  in
+  let r = Tracegen.Engine.run ~config ~events layout in
+  let s = r.Tracegen.Engine.run_stats in
+  let ex = List.rev !excursions in
+  let n = List.length ex in
+  Printf.printf
+    "recovery latency        : %d excursion(s) below full tracing\n" n;
+  if n > 0 then begin
+    let total = List.fold_left ( + ) 0 ex in
+    Printf.printf
+      "                          mean %d dispatches, max %d (of %d total)\n"
+      (total / n)
+      (List.fold_left max 0 ex)
+      (Stats.total_dispatches s)
+  end;
+  Printf.printf
+    "                          (run: faults=%d quarantined=%d healed=%d)\n"
+    s.Stats.faults_injected s.Stats.traces_quarantined s.Stats.healed_nodes
+
 let micro () =
   section "Bechamel microbenchmarks";
   let test =
@@ -274,6 +375,7 @@ let () =
   tables ();
   observability ();
   debug_checks_overhead ();
+  chaos_overhead ();
   (match Sys.getenv_opt "BENCH_SKIP_MICRO" with
   | Some "1" -> ()
   | Some _ | None -> micro ());

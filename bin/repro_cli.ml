@@ -33,12 +33,16 @@ let layout_of w ~size =
 (* run                                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let run_cmd workload size threshold delay dump_traces dump_bcg top =
+let run_cmd workload size threshold delay fault_spec fault_seed self_heal
+    dump_traces dump_bcg top =
   let w = find_workload workload in
   let layout = layout_of w ~size in
   let config =
     config_or_die (fun () ->
-        Tracegen.Config.make ~threshold ~start_state_delay:delay ())
+        (* the engine parses the spec at create; surface a bad one here *)
+        ignore (Tracegen.Faults.create ~seed:fault_seed fault_spec);
+        Tracegen.Config.make ~threshold ~start_state_delay:delay
+          ~fault_spec ~fault_seed ~self_heal ~debug_checks:self_heal ())
   in
   let result = Tracegen.Engine.run ~config layout in
   let s = result.Tracegen.Engine.run_stats in
@@ -98,13 +102,16 @@ let run_cmd workload size threshold delay dump_traces dump_bcg top =
    as JSON lines on stdout.  After the run the per-kind event totals are
    checked against the end-of-run statistics: the stream and the counters
    are two views of the same execution and must agree exactly. *)
-let events_cmd workload size threshold delay snapshot_period =
+let events_cmd workload size threshold delay fault_spec fault_seed self_heal
+    snapshot_period =
   let module Events = Tracegen.Events in
   let w = find_workload workload in
   let layout = layout_of w ~size in
   let config =
     config_or_die (fun () ->
+        ignore (Tracegen.Faults.create ~seed:fault_seed fault_spec);
         Tracegen.Config.make ~threshold ~start_state_delay:delay
+          ~fault_spec ~fault_seed ~self_heal ~debug_checks:self_heal
           ~snapshot_period ())
   in
   let events = Events.create () in
@@ -149,6 +156,21 @@ let events_cmd workload size threshold delay snapshot_period =
       ( "trace_replaced = traces_replaced",
         count "trace_replaced",
         s.Tracegen.Stats.traces_replaced );
+      ( "fault_injected = faults_injected",
+        count "fault_injected",
+        s.Tracegen.Stats.faults_injected );
+      ( "trace_quarantined = traces_quarantined",
+        count "trace_quarantined",
+        s.Tracegen.Stats.traces_quarantined );
+      ( "trace_evicted = traces_evicted",
+        count "trace_evicted",
+        s.Tracegen.Stats.traces_evicted );
+      ( "mode_degraded = health_demotions",
+        count "mode_degraded",
+        s.Tracegen.Stats.health_demotions );
+      ( "mode_recovered = health_promotions",
+        count "mode_recovered",
+        s.Tracegen.Stats.health_promotions );
     ]
   in
   Printf.eprintf "# %d events across %d kinds\n"
@@ -304,6 +326,76 @@ let lint_cmd workload size threshold delay json static_only =
   if Diag.has_errors diags then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Run workloads under seeded fault schedules and hold the engine to the
+   chaos gate's two promises: VM results bit-identical to the no-tracing
+   baseline (FT901) and recovery to full tracing by the end of the run
+   (FT902).  Exit 1 on any violated promise. *)
+let chaos_cmd workload size seed schedules spec quick verbose catalogue =
+  if catalogue then
+    List.iter
+      (fun (code, doc) -> Printf.printf "%s  %s\n" code doc)
+      Tracegen.Faults.catalogue
+  else begin
+    let ws =
+      match workload with
+      | Some name -> [ find_workload name ]
+      | None -> Workloads.Registry.all
+    in
+    let spec = Option.value spec ~default:Harness.Chaos.default_spec in
+    (* validate the schedule before spending any run time on it *)
+    (try ignore (Tracegen.Faults.create ~seed spec) with
+    | Invalid_argument msg ->
+        Printf.eprintf "invalid fault spec: %s\n" msg;
+        exit 2);
+    let max_instructions = if quick then Some 120_000 else None in
+    let failures = ref 0 in
+    let total = ref 0 in
+    List.iter
+      (fun (w : Workloads.Workload.t) ->
+        let size =
+          Option.value size ~default:w.Workloads.Workload.default_size
+        in
+        let faults = ref 0 in
+        let quarantined = ref 0 in
+        let evicted = ref 0 in
+        let healed = ref 0 in
+        let demoted = ref 0 in
+        let ok = ref 0 in
+        for i = 0 to schedules - 1 do
+          let v =
+            Harness.Chaos.run_one ~spec ?max_instructions w ~size
+              ~seed:(seed + (1000 * i))
+          in
+          incr total;
+          let s = v.Harness.Chaos.stats in
+          faults := !faults + s.Tracegen.Stats.faults_injected;
+          quarantined := !quarantined + s.Tracegen.Stats.traces_quarantined;
+          evicted := !evicted + s.Tracegen.Stats.traces_evicted;
+          healed := !healed + s.Tracegen.Stats.healed_nodes;
+          demoted := !demoted + s.Tracegen.Stats.health_demotions;
+          if Harness.Chaos.passed v then incr ok
+          else begin
+            incr failures;
+            Printf.printf "FAIL %s\n" (Harness.Chaos.describe v)
+          end;
+          if verbose && Harness.Chaos.passed v then
+            Printf.printf "ok   %s\n" (Harness.Chaos.describe v)
+        done;
+        Printf.printf
+          "%-10s %d/%d schedules ok; faults=%d quarantined=%d evicted=%d \
+           healed=%d demoted=%d\n"
+          w.Workloads.Workload.name !ok schedules !faults !quarantined
+          !evicted !healed !demoted)
+      ws;
+    Printf.printf "chaos gate: %d/%d runs identical and recovered\n"
+      (!total - !failures) !total;
+    if !failures > 0 then exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -326,6 +418,20 @@ let scale_arg =
   Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S"
          ~doc:"Scale factor on workload bench sizes (1.0 = paper-scale runs).")
 
+let fault_spec_arg =
+  Arg.(value & opt string "" & info [ "fault-spec" ] ~docv:"SPEC"
+         ~doc:"Fault schedule DSL (kind@prob, kind!tick, budget=K; empty = \
+               no injection).  See 'chaos --catalogue' for kinds.")
+
+let fault_seed_arg =
+  Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N"
+         ~doc:"PRNG seed for the fault schedule.")
+
+let self_heal_arg =
+  Arg.(value & flag & info [ "self-heal" ]
+         ~doc:"Enable quarantine, node repair and the degradation ladder \
+               (also turns on the invariant sweeps that drive them).")
+
 let run_term =
   let dump_traces =
     Arg.(value & flag & info [ "traces" ] ~doc:"Dump the trace cache.")
@@ -339,6 +445,7 @@ let run_term =
   in
   Term.(
     const run_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
+    $ fault_spec_arg $ fault_seed_arg $ self_heal_arg
     $ dump_traces $ dump_bcg $ top)
 
 let run_info =
@@ -351,7 +458,7 @@ let events_term =
   in
   Term.(
     const events_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
-    $ snapshot_period)
+    $ fault_spec_arg $ fault_seed_arg $ self_heal_arg $ snapshot_period)
 
 let events_info =
   Cmd.info "events"
@@ -422,6 +529,49 @@ let lint_info =
        under the engine with debug checks on and sweep the trace cache and \
        BCG for invariant violations.  Exits 1 on any error-severity finding."
 
+let chaos_term =
+  let workload =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
+           ~doc:"Workload to chaos-test (default: every registered workload).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Base PRNG seed; schedule i uses seed + 1000*i.")
+  in
+  let schedules =
+    Arg.(value & opt int 50 & info [ "schedules" ] ~docv:"K"
+           ~doc:"Seeded fault schedules per workload.")
+  in
+  let spec =
+    Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"SPEC"
+           ~doc:"Fault schedule DSL (kind@prob, kind!tick, budget=K; \
+                 see --catalogue for kinds).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Bound each run to 120k instructions (the check.sh gate).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ]
+           ~doc:"Print every verdict, not only failures.")
+  in
+  let catalogue =
+    Arg.(value & flag & info [ "catalogue" ]
+           ~doc:"Print the FT fault catalogue and exit.")
+  in
+  Term.(
+    const chaos_cmd $ workload $ size_arg $ seed $ schedules $ spec $ quick
+    $ verbose $ catalogue)
+
+let chaos_info =
+  Cmd.info "chaos"
+    ~doc:
+      "Run workloads under seeded fault schedules (corrupted traces, \
+       flipped BCG counters, failed installations, allocation pressure) \
+       with self-healing on, asserting VM results stay bit-identical to a \
+       no-tracing baseline and the engine recovers to full tracing.  Exits \
+       1 on any divergence or permanently degraded run."
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -441,4 +591,5 @@ let () =
             Cmd.v export_info export_term;
             Cmd.v list_info list_term;
             Cmd.v lint_info lint_term;
+            Cmd.v chaos_info chaos_term;
           ]))

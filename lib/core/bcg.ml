@@ -237,6 +237,39 @@ let record_successor t ~(ctx : node) ~(target : node) =
   | Some b when b.weight >= bumped.weight -> ()
   | Some _ | None -> ctx.best <- Some bumped
 
+(* Self-healing: clamp a node's counters and bookkeeping back into their
+   legal ranges, then recheck so the inline cache and correlation state
+   are recomputed from the (repaired) edges.  Called by the engine on
+   nodes a TL2xx check flagged — a corrupted counter loses its history
+   but the node keeps profiling, which is the graceful outcome: the
+   correlations re-converge within one decay period. *)
+let heal_node t (n : node) : bool =
+  let repaired = ref false in
+  let clamp lo hi v =
+    let v' = max lo (min hi v) in
+    if v' <> v then repaired := true;
+    v'
+  in
+  List.iter
+    (fun e -> e.weight <- clamp 1 t.config.Config.counter_max e.weight)
+    n.edges;
+  n.since_decay <- clamp 0 (t.config.Config.decay_period - 1) n.since_decay;
+  n.delay_left <- clamp 0 t.config.Config.start_state_delay n.delay_left;
+  if n.delay_left > 0 <> (n.state = State.Newly_created) then begin
+    (* trust the state over the countdown: a promoted node stays promoted *)
+    n.delay_left <- (if n.state = State.Newly_created then 1 else 0);
+    repaired := true
+  end;
+  (* recompute state and best from the repaired edges; signals fire as
+     usual, so the trace machinery reacts to any correlation change *)
+  recheck t n;
+  (* recheck may itself promote the node out of its start state; keep the
+     countdown consistent with the recomputed state (not a repair — the
+     mismatch did not pre-exist) so healing converges in one call *)
+  if n.delay_left > 0 <> (n.state = State.Newly_created) then
+    n.delay_left <- (if n.state = State.Newly_created then 1 else 0);
+  !repaired
+
 (* Inspection helpers *)
 
 let iter_nodes t f = Hashtbl.iter (fun _ n -> f n) t.nodes

@@ -101,6 +101,15 @@ val decay : t -> node -> unit
 (** One periodic exponential decay pass: halve this node's edge weights,
     prune dead edges, then {!recheck}. *)
 
+val heal_node : t -> node -> bool
+(** Clamp the node's edge weights, decay and start-state bookkeeping back
+    into their legal ranges, then {!recheck} so the inline cache and
+    correlation state are recomputed from the repaired edges (signalling
+    as usual).  Returns [true] when a field actually changed.  The
+    self-healing engine calls this on nodes an invariant check flagged;
+    the node loses corrupted history but keeps profiling, and its
+    correlations re-converge within one decay period. *)
+
 val iter_nodes : t -> (node -> unit) -> unit
 
 val n_nodes : t -> int

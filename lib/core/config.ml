@@ -25,6 +25,28 @@ type t = {
   debug_checks : bool;
       (* run the trace/BCG invariant checks at trace-construction and
          decay boundaries, emitting an event per violation *)
+  (* fault tolerance *)
+  max_cache_traces : int;
+      (* bound on live traces in the cache; 0 = unbounded.  Exceeding it
+         evicts the least recently dispatched entry. *)
+  max_cache_blocks : int;
+      (* bound on the total block count of live traces; 0 = unbounded *)
+  self_heal : bool;
+      (* validate traces at dispatch, quarantine on any detected fault,
+         heal corrupted BCG nodes, and walk the degradation ladder *)
+  heal_max_rebuilds : int;
+      (* quarantines of one entry transition before it is permanently
+         blacklisted *)
+  heal_backoff : int;
+      (* node executions before a quarantined entry may be rebuilt;
+         doubles per quarantine of the same entry *)
+  heal_demote_after : int; (* detections before dropping a health level *)
+  heal_recover_after : int;
+      (* consecutive clean dispatches before climbing a health level *)
+  fault_spec : string;
+      (* fault-injection schedule DSL (see Faults.parse); "" disables
+         injection.  Parsed by the engine at creation. *)
+  fault_seed : int; (* PRNG seed of the fault injector *)
 }
 
 let default =
@@ -40,6 +62,15 @@ let default =
     build_traces = true;
     snapshot_period = 0;
     debug_checks = false;
+    max_cache_traces = 0;
+    max_cache_blocks = 0;
+    self_heal = false;
+    heal_max_rebuilds = 3;
+    heal_backoff = 512;
+    heal_demote_after = 3;
+    heal_recover_after = 400;
+    fault_spec = "";
+    fault_seed = 1;
   }
 
 let validate t =
@@ -51,7 +82,13 @@ let validate t =
   if t.min_trace_blocks < 2 then invalid_arg "min_trace_blocks < 2";
   if t.max_trace_blocks < t.min_trace_blocks then
     invalid_arg "max_trace_blocks < min_trace_blocks";
-  if t.snapshot_period < 0 then invalid_arg "snapshot_period < 0"
+  if t.snapshot_period < 0 then invalid_arg "snapshot_period < 0";
+  if t.max_cache_traces < 0 then invalid_arg "max_cache_traces < 0";
+  if t.max_cache_blocks < 0 then invalid_arg "max_cache_blocks < 0";
+  if t.heal_max_rebuilds < 1 then invalid_arg "heal_max_rebuilds < 1";
+  if t.heal_backoff < 1 then invalid_arg "heal_backoff < 1";
+  if t.heal_demote_after < 1 then invalid_arg "heal_demote_after < 1";
+  if t.heal_recover_after < 1 then invalid_arg "heal_recover_after < 1"
 
 let make ?(start_state_delay = default.start_state_delay)
     ?(threshold = default.threshold) ?(decay_period = default.decay_period)
@@ -61,7 +98,15 @@ let make ?(start_state_delay = default.start_state_delay)
     ?(max_walk = default.max_walk) ?(max_backtrack = default.max_backtrack)
     ?(build_traces = default.build_traces)
     ?(snapshot_period = default.snapshot_period)
-    ?(debug_checks = default.debug_checks) () =
+    ?(debug_checks = default.debug_checks)
+    ?(max_cache_traces = default.max_cache_traces)
+    ?(max_cache_blocks = default.max_cache_blocks)
+    ?(self_heal = default.self_heal)
+    ?(heal_max_rebuilds = default.heal_max_rebuilds)
+    ?(heal_backoff = default.heal_backoff)
+    ?(heal_demote_after = default.heal_demote_after)
+    ?(heal_recover_after = default.heal_recover_after)
+    ?(fault_spec = default.fault_spec) ?(fault_seed = default.fault_seed) () =
   let t =
     {
       start_state_delay;
@@ -75,6 +120,15 @@ let make ?(start_state_delay = default.start_state_delay)
       build_traces;
       snapshot_period;
       debug_checks;
+      max_cache_traces;
+      max_cache_blocks;
+      self_heal;
+      heal_max_rebuilds;
+      heal_backoff;
+      heal_demote_after;
+      heal_recover_after;
+      fault_spec;
+      fault_seed;
     }
   in
   validate t;

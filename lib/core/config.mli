@@ -39,6 +39,35 @@ type t = {
           [Invariant_violation] event per finding.  Off by default: the
           checks walk every node and trace, which costs real time on hot
           paths. *)
+  max_cache_traces : int;
+      (** Bound on live traces in the cache; [0] (default) = unbounded.
+          Exceeding it evicts the least recently dispatched entry, so
+          memory pressure degrades hit rate instead of crashing. *)
+  max_cache_blocks : int;
+      (** Bound on the total block count of live traces; [0] = unbounded. *)
+  self_heal : bool;
+      (** Validate traces at dispatch, quarantine any trace a TL2xx
+          check or an injected fault touches, heal corrupted BCG nodes,
+          and walk the [Health] degradation ladder
+          (full tracing → profiling-only → pure interpretation) with
+          recovery probes back up.  Off by default. *)
+  heal_max_rebuilds : int;
+      (** Quarantines of one entry transition before it is permanently
+          blacklisted (default 3). *)
+  heal_backoff : int;
+      (** Node executions before a quarantined entry may be rebuilt;
+          doubles on every further quarantine of the same entry
+          (default 512). *)
+  heal_demote_after : int;
+      (** Detections before dropping one health level (default 3). *)
+  heal_recover_after : int;
+      (** Consecutive clean dispatches before climbing one health level
+          back up (default 400). *)
+  fault_spec : string;
+      (** Fault-injection schedule (see [Faults.parse] for the DSL);
+          [""] (default) disables injection.  The engine parses it at
+          creation and raises [Invalid_argument] on a malformed spec. *)
+  fault_seed : int;  (** PRNG seed of the fault injector. *)
 }
 
 val default : t
@@ -57,6 +86,15 @@ val make :
   ?build_traces:bool ->
   ?snapshot_period:int ->
   ?debug_checks:bool ->
+  ?max_cache_traces:int ->
+  ?max_cache_blocks:int ->
+  ?self_heal:bool ->
+  ?heal_max_rebuilds:int ->
+  ?heal_backoff:int ->
+  ?heal_demote_after:int ->
+  ?heal_recover_after:int ->
+  ?fault_spec:string ->
+  ?fault_seed:int ->
   unit ->
   t
 (** Labelled constructor over {!default}; every omitted parameter keeps

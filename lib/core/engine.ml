@@ -19,7 +19,17 @@ module Interp = Vm.Interp
    Observability: every lifecycle moment is published on a typed event
    stream and the accounting is exposed through a metrics registry
    (polled gauges — zero hot-path cost).  The type is abstract; consumers
-   observe the engine through accessors, events, metrics and Stats. *)
+   observe the engine through accessors, events, metrics and Stats.
+
+   Self-healing (Config.self_heal): every trace dispatch is validated
+   against the TL2xx invariants first; a condemned trace is quarantined
+   (removed and blacklisted with exponential backoff), flagged BCG nodes
+   are healed in place, and repeated detections walk the Health
+   degradation ladder down (full tracing -> profiling-only -> pure
+   interpretation) while sustained clean dispatches climb it back up.
+   The Faults injector drives all of this deterministically for chaos
+   testing; because tracing is a pure overlay, the VM's results are
+   bit-identical under any fault schedule. *)
 
 type t = {
   config : Config.t;
@@ -28,6 +38,8 @@ type t = {
   cache : Trace_cache.t;
   events : Events.t;
   metrics : Metrics.t;
+  health : Health.t;
+  faults : Faults.t;
   (* trace execution state *)
   mutable active : Trace.t option;
   mutable active_pos : int; (* index of the next expected block *)
@@ -54,29 +66,91 @@ type t = {
   (* debug_checks bookkeeping *)
   mutable invariant_violations : int;
   mutable seen_decays : int; (* decay boundary detector, like Profiler's *)
+  (* self-heal bookkeeping *)
+  mutable healed_nodes : int; (* BCG nodes repaired in place *)
+  mutable in_debug_sweep : bool;
+    (* re-entrancy guard: healing a node rechecks it, which can signal
+       the builder, whose construction boundary would sweep again *)
 }
+
+(* Walk the health ladder: publish the transition and, when climbing out
+   of interp-only, drop the profiler's stale branch context (the skipped
+   dispatches never updated it). *)
+let apply_health t (transition : Health.transition) =
+  match transition with
+  | Health.Stay -> ()
+  | Health.Changed (from_level, to_level) ->
+      if Events.enabled t.events then
+        if Health.level_rank to_level > Health.level_rank from_level then
+          Events.emit t.events (Events.Mode_degraded { from_level; to_level })
+        else
+          Events.emit t.events (Events.Mode_recovered { from_level; to_level });
+      if from_level = Health.Interp_only then Profiler.reset t.profiler
 
 (* Run the invariant sweep (Config.debug_checks): count every finding and
    publish it on the stream.  Called at trace-construction and decay
-   boundaries, never on the plain dispatch path. *)
+   boundaries, never on the plain dispatch path.
+
+   Under Config.self_heal the sweep also repairs what it found: flagged
+   BCG nodes are healed in place (losing corrupted history, keeping the
+   node profiling), flagged traces are quarantined, and the whole sweep
+   counts as one strike against the health ladder. *)
 let run_debug_checks t =
-  let diags =
-    Invariants.check_all t.config
-      ~bcg:(Profiler.bcg t.profiler)
-      ~cache:t.cache
-  in
-  List.iter
-    (fun (d : Analysis.Diag.t) ->
-      t.invariant_violations <- t.invariant_violations + 1;
-      if Events.enabled t.events then
-        Events.emit t.events
-          (Events.Invariant_violation
-             {
-               code = d.Analysis.Diag.code;
-               severity = Analysis.Diag.severity_to_string d.Analysis.Diag.severity;
-               message = Analysis.Diag.to_string d;
-             }))
-    diags
+  if t.in_debug_sweep then ()
+  else begin
+    t.in_debug_sweep <- true;
+    let bcg = Profiler.bcg t.profiler in
+    let diags =
+      Invariants.check_all ~layout:t.layout t.config ~bcg ~cache:t.cache
+    in
+    List.iter
+      (fun (d : Analysis.Diag.t) ->
+        t.invariant_violations <- t.invariant_violations + 1;
+        if Events.enabled t.events then
+          Events.emit t.events
+            (Events.Invariant_violation
+               {
+                 code = d.Analysis.Diag.code;
+                 severity =
+                   Analysis.Diag.severity_to_string d.Analysis.Diag.severity;
+                 message = Analysis.Diag.to_string d;
+               }))
+      diags;
+    if t.config.Config.self_heal && diags <> [] then begin
+      let healed = Hashtbl.create 8 in
+      let condemned = Hashtbl.create 8 in
+      List.iter
+        (fun (d : Analysis.Diag.t) ->
+          match d.Analysis.Diag.loc with
+          | Analysis.Diag.Node_loc { x; y } ->
+              if not (Hashtbl.mem healed (x, y)) then begin
+                Hashtbl.replace healed (x, y) ();
+                match Bcg.find_node bcg ~x ~y with
+                | Some n ->
+                    if Bcg.heal_node bcg n then
+                      t.healed_nodes <- t.healed_nodes + 1
+                | None -> ()
+              end
+          | Analysis.Diag.Trace_loc { trace_id } ->
+              if not (Hashtbl.mem condemned trace_id) then begin
+                Hashtbl.replace condemned trace_id ();
+                (* quarantine by the trace's live entry binding *)
+                let entry = ref None in
+                Trace_cache.iter_entries t.cache (fun ~first ~head tr ->
+                    if tr.Trace.id = trace_id then entry := Some (first, head));
+                match !entry with
+                | Some (first, head) ->
+                    ignore
+                      (Trace_cache.quarantine t.cache ~first ~head
+                         ~code:d.Analysis.Diag.code)
+                | None -> ()
+              end
+          | Analysis.Diag.Method_loc _ | Analysis.Diag.Program_loc -> ())
+        diags;
+      apply_health t (Health.strike t.health)
+    end;
+    t.in_debug_sweep <- false
+  end
 
 (* Expose the accounting through the registry as polled gauges: nothing
    on the dispatch path, evaluated only when a snapshot is taken. *)
@@ -98,11 +172,44 @@ let register_gauges (m : Metrics.t) (e : t) =
   Metrics.gauge m "bcg_edges" (fun () -> Bcg.n_edges (Profiler.bcg e.profiler));
   Metrics.gauge m "traces_live" (fun () -> Trace_cache.n_live e.cache);
   Metrics.gauge m "traces_replaced" (fun () -> Trace_cache.n_replaced e.cache);
-  Metrics.gauge m "invariant_violations" (fun () -> e.invariant_violations)
+  Metrics.gauge m "invariant_violations" (fun () -> e.invariant_violations);
+  Metrics.gauge m "live_blocks" (fun () -> Trace_cache.live_blocks e.cache);
+  Metrics.gauge m "traces_evicted" (fun () -> Trace_cache.n_evicted e.cache);
+  Metrics.gauge m "traces_quarantined" (fun () ->
+      Trace_cache.n_quarantines e.cache);
+  Metrics.gauge m "quarantine_active" (fun () ->
+      Trace_cache.n_quarantine_active e.cache);
+  Metrics.gauge m "traces_blacklisted" (fun () ->
+      Trace_cache.n_blacklisted e.cache);
+  Metrics.gauge m "failed_installs" (fun () ->
+      Trace_cache.n_failed_installs e.cache);
+  Metrics.gauge m "faults_injected" (fun () -> Faults.injected e.faults);
+  Metrics.gauge m "healed_nodes" (fun () -> e.healed_nodes);
+  Metrics.gauge m "health_level" (fun () ->
+      Health.level_rank (Health.level e.health));
+  Metrics.gauge m "health_demotions" (fun () -> Health.demotions e.health);
+  Metrics.gauge m "health_promotions" (fun () -> Health.promotions e.health);
+  Metrics.gauge m "skipped_dispatches" (fun () -> Profiler.skipped e.profiler)
 
 let create ?(config = Config.default) ?(events = Events.create ())
     (layout : Layout.t) : t =
-  let cache = Trace_cache.create ~events layout in
+  Config.validate config;
+  let cache =
+    Trace_cache.create ~events ~max_traces:config.Config.max_cache_traces
+      ~max_blocks:config.Config.max_cache_blocks
+      ~heal_max_rebuilds:config.Config.heal_max_rebuilds
+      ~heal_backoff:config.Config.heal_backoff layout
+  in
+  (* parse the fault schedule here (not in Config.validate) so Config
+     stays below Faults in the dependency order; a malformed spec still
+     fails fast, at engine creation *)
+  let faults =
+    Faults.create ~seed:config.Config.fault_seed config.Config.fault_spec
+  in
+  let health =
+    Health.create ~demote_after:config.Config.heal_demote_after
+      ~recover_after:config.Config.heal_recover_after
+  in
   let metrics = Metrics.create ~period:config.Config.snapshot_period () in
   (* The profiler's signal callback closes over the engine; tie the knot
      with a forward reference. *)
@@ -134,6 +241,8 @@ let create ?(config = Config.default) ?(events = Events.create ())
       cache;
       events;
       metrics;
+      health;
+      faults;
       active = None;
       active_pos = 0;
       matched_blocks = 0;
@@ -154,6 +263,8 @@ let create ?(config = Config.default) ?(events = Events.create ())
       just_completed = false;
       invariant_violations = 0;
       seen_decays = 0;
+      healed_nodes = 0;
+      in_debug_sweep = false;
     }
   in
   engine := Some e;
@@ -204,6 +315,14 @@ let chained_entries t = t.chained_entries
 
 let invariant_violations t = t.invariant_violations
 
+let health t = t.health
+
+let health_level t = Health.level t.health
+
+let faults_injected t = Faults.injected t.faults
+
+let healed_nodes t = t.healed_nodes
+
 let note_executed t g =
   t.prev2 <- t.prev;
   t.prev <- g
@@ -248,44 +367,101 @@ let finish_partial t (tr : Trace.t) =
          });
   Profiler.resync t.profiler ~x:t.prev2 ~y:t.prev
 
+(* Validate a trace the dispatch lookup produced, before entering it.
+   Returns the code of the first violated invariant, or None when the
+   trace is sound.  The binding key is checked first (a corrupted head
+   block desynchronizes it), then the full TL2xx battery over the trace
+   body — the cost self-healing pays per trace dispatch. *)
+let validate_dispatch t (tr : Trace.t) ~prev ~cur : string option =
+  let f, h = Trace.entry_key tr in
+  if f <> prev || h <> cur then Some "TL202"
+  else
+    match
+      Invariants.check_trace
+        ~bcg:(Profiler.bcg t.profiler)
+        ~layout:t.layout t.config tr
+    with
+    | [] -> None
+    | d :: _ -> Some d.Analysis.Diag.code
+
 (* Process one dispatched block outside any trace: either it enters a
    trace (trace dispatch) or it is an ordinary block dispatch. *)
 let dispatch_outside t g =
   Metrics.tick t.metrics;
-  match
-    if t.config.Config.build_traces then
-      Trace_cache.lookup t.cache ~prev:t.prev ~cur:g
-    else None
-  with
-  | Some tr ->
-      t.trace_dispatches <- t.trace_dispatches + 1;
-      t.traces_entered <- t.traces_entered + 1;
-      let chained = t.just_completed in
-      if chained then t.chained_entries <- t.chained_entries + 1;
-      t.just_completed <- false;
-      tr.Trace.entered <- tr.Trace.entered + 1;
-      if Events.enabled t.events then
-        Events.emit t.events
-          (Events.Trace_entered { trace_id = tr.Trace.id; chained });
-      (* the single profiling statement of a trace dispatch *)
-      Profiler.dispatch t.profiler g;
-      note_executed t g;
-      t.matched_blocks <- 1;
-      t.matched_instrs <- tr.Trace.instr_len.(0);
-      if Trace.n_blocks tr = 1 then begin
-        (* degenerate single-block trace: completes immediately *)
-        t.active <- None;
-        finish_completed t tr
-      end
-      else begin
-        t.active <- Some tr;
-        t.active_pos <- 1
-      end
-  | None ->
-      t.block_dispatches <- t.block_dispatches + 1;
-      t.just_completed <- false;
-      Profiler.dispatch t.profiler g;
-      note_executed t g
+  let self_heal = t.config.Config.self_heal in
+  if self_heal || Faults.is_active t.faults then begin
+    let now = t.block_dispatches + t.trace_dispatches in
+    Trace_cache.set_clock t.cache now;
+    (* injected faults land just before the dispatch decision *)
+    List.iter
+      (fun (code, detail) ->
+        if Events.enabled t.events then
+          Events.emit t.events (Events.Fault_injected { code; detail }))
+      (Faults.tick t.faults ~now
+         ~bcg:(Profiler.bcg t.profiler)
+         ~cache:t.cache ~active:t.active)
+  end;
+  let level = Health.level t.health in
+  if level = Health.Interp_only then begin
+    (* last resort: pure interpretation, not even the profiler hook *)
+    t.block_dispatches <- t.block_dispatches + 1;
+    t.just_completed <- false;
+    Profiler.note_skipped t.profiler;
+    note_executed t g;
+    apply_health t (Health.clean_dispatch t.health)
+  end
+  else begin
+    let candidate =
+      if t.config.Config.build_traces && level = Health.Full_tracing then
+        Trace_cache.lookup t.cache ~prev:t.prev ~cur:g
+      else None
+    in
+    let candidate, detected =
+      match candidate with
+      | Some tr when self_heal -> (
+          match validate_dispatch t tr ~prev:t.prev ~cur:g with
+          | None -> (Some tr, false)
+          | Some code ->
+              (* condemned at dispatch: quarantine the entry and strike
+                 the ladder, then dispatch the block normally *)
+              ignore (Trace_cache.quarantine t.cache ~first:t.prev ~head:g ~code);
+              apply_health t (Health.strike t.health);
+              (None, true))
+      | c -> (c, false)
+    in
+    (match candidate with
+    | Some tr ->
+        t.trace_dispatches <- t.trace_dispatches + 1;
+        t.traces_entered <- t.traces_entered + 1;
+        let chained = t.just_completed in
+        if chained then t.chained_entries <- t.chained_entries + 1;
+        t.just_completed <- false;
+        tr.Trace.entered <- tr.Trace.entered + 1;
+        if Events.enabled t.events then
+          Events.emit t.events
+            (Events.Trace_entered { trace_id = tr.Trace.id; chained });
+        (* the single profiling statement of a trace dispatch *)
+        Profiler.dispatch t.profiler g;
+        note_executed t g;
+        t.matched_blocks <- 1;
+        t.matched_instrs <- tr.Trace.instr_len.(0);
+        if Trace.n_blocks tr = 1 then begin
+          (* degenerate single-block trace: completes immediately *)
+          t.active <- None;
+          finish_completed t tr
+        end
+        else begin
+          t.active <- Some tr;
+          t.active_pos <- 1
+        end
+    | None ->
+        t.block_dispatches <- t.block_dispatches + 1;
+        t.just_completed <- false;
+        Profiler.dispatch t.profiler g;
+        note_executed t g);
+    if self_heal && not detected then
+      apply_health t (Health.clean_dispatch t.health)
+  end
 
 (* The VM observer: called at every basic-block dispatch. *)
 let rec on_block_inner t (g : Layout.gid) =
@@ -353,6 +529,16 @@ let stats t ~(vm_result : Interp.result) ~wall_seconds : Stats.t =
     bcg_edges = Bcg.n_edges bcg;
     ic_predictions = Profiler.predictions t.profiler;
     chained_entries = t.chained_entries;
+    invariant_violations = t.invariant_violations;
+    faults_injected = Faults.injected t.faults;
+    traces_quarantined = Trace_cache.n_quarantines t.cache;
+    traces_evicted = Trace_cache.n_evicted t.cache;
+    traces_blacklisted = Trace_cache.n_blacklisted t.cache;
+    failed_installs = Trace_cache.n_failed_installs t.cache;
+    healed_nodes = t.healed_nodes;
+    health_demotions = Health.demotions t.health;
+    health_promotions = Health.promotions t.health;
+    final_health = Health.level_rank (Health.level t.health);
     wall_seconds;
   }
 

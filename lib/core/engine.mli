@@ -96,6 +96,18 @@ val invariant_violations : t -> int
     always [0] when the flag is off, and [0] on a healthy run regardless.
     Each finding is also published as an [Invariant_violation] event. *)
 
+val health : t -> Health.t
+(** The degradation ladder ({!Config.t.self_heal}); stays at
+    [Full_tracing] when self-healing is off. *)
+
+val health_level : t -> Health.level
+
+val faults_injected : t -> int
+(** Faults the {!Config.t.fault_spec} schedule actually applied so far. *)
+
+val healed_nodes : t -> int
+(** BCG nodes the self-healing sweeps repaired in place. *)
+
 (** {2 Running} *)
 
 type run_result = {

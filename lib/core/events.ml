@@ -42,6 +42,23 @@ type payload =
       severity : string;
       message : string;
     }
+  | Fault_injected of { code : string; detail : string }
+  | Trace_quarantined of {
+      trace_id : int;
+      first : Cfg.Layout.gid;
+      head : Cfg.Layout.gid;
+      code : string;
+      attempts : int;
+      until : int;
+    }
+  | Trace_evicted of {
+      trace_id : int;
+      first : Cfg.Layout.gid;
+      head : Cfg.Layout.gid;
+      n_live : int;
+    }
+  | Mode_degraded of { from_level : Health.level; to_level : Health.level }
+  | Mode_recovered of { from_level : Health.level; to_level : Health.level }
 
 type event = { time : int; payload : payload }
 
@@ -93,3 +110,8 @@ let kind = function
   | Decay_pass _ -> "decay_pass"
   | Phase_snapshot _ -> "phase_snapshot"
   | Invariant_violation _ -> "invariant_violation"
+  | Fault_injected _ -> "fault_injected"
+  | Trace_quarantined _ -> "trace_quarantined"
+  | Trace_evicted _ -> "trace_evicted"
+  | Mode_degraded _ -> "mode_degraded"
+  | Mode_recovered _ -> "mode_recovered"

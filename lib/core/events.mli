@@ -78,6 +78,37 @@ type payload =
       (** A {!Config.t.debug_checks} run found a trace/BCG invariant
           violation.  The payload is pre-rendered strings so the stream
           does not depend on the analysis library's diagnostic type. *)
+  | Fault_injected of {
+      code : string;  (** catalogue code, e.g. ["FT001"] *)
+      detail : string;  (** what was corrupted, human-readable *)
+    }  (** The fault injector ([Faults]) applied one fault. *)
+  | Trace_quarantined of {
+      trace_id : int;
+      first : Cfg.Layout.gid;
+      head : Cfg.Layout.gid;  (** the blacklisted entry transition *)
+      code : string;  (** the TL2xx check that condemned it *)
+      attempts : int;  (** quarantines of this entry so far *)
+      until : int;
+          (** cache clock before a rebuild may be attempted;
+              [max_int] = permanently blacklisted *)
+    }
+      (** A trace failed validation (or a sweep found it corrupted) and
+          was removed from the cache with its entry blacklisted. *)
+  | Trace_evicted of {
+      trace_id : int;
+      first : Cfg.Layout.gid;
+      head : Cfg.Layout.gid;
+      n_live : int;  (** live traces after the eviction *)
+    }
+      (** Capacity pressure ({!Config.t.max_cache_traces} /
+          [max_cache_blocks], or an injected allocation-pressure fault)
+          evicted the least recently dispatched trace. *)
+  | Mode_degraded of { from_level : Health.level; to_level : Health.level }
+      (** Repeated detections dropped the engine one level down the
+          degradation ladder. *)
+  | Mode_recovered of { from_level : Health.level; to_level : Health.level }
+      (** A full window of clean dispatches climbed the engine one level
+          back up. *)
 
 type event = { time : int; payload : payload }
 (** [time] is the engine's dispatch index (block + trace dispatches) at

@@ -1,0 +1,74 @@
+(** Deterministic, seedable fault injection for the self-healing engine.
+
+    A fault {e schedule} is parsed from a small DSL (see {!create}):
+
+    {v kind@prob    fire with probability prob at every dispatch
+kind!tick    fire once, at the first dispatch >= tick
+budget=K     cap the total number of injected faults v}
+
+    separated by commas and/or whitespace, e.g.
+    ["corrupt-trace@0.003,fail-install!500,budget=32"].
+
+    Each fault kind (the FT0xx catalogue, {!catalogue}) targets a
+    structure one of the TL2xx invariant checks guards, so every injected
+    corruption is detectable by the existing linter — the injector
+    measures the {e detection and recovery} machinery, never silently
+    breaks the VM.  All randomness comes from a seeded xorshift64 PRNG:
+    a schedule is a pure function of (spec, seed, dispatch stream), so
+    chaos runs replay bit-identically. *)
+
+type kind =
+  | Corrupt_trace
+      (** FT001: negate one block gid of an installed trace (TL210) *)
+  | Corrupt_instrs
+      (** FT002: skew one per-block instruction count (TL211) *)
+  | Zero_counter  (** FT003: zero one BCG edge weight (TL204) *)
+  | Saturate_counter
+      (** FT004: push one edge weight past saturation (TL204) *)
+  | Drop_best
+      (** FT005: clear a node's cached most-likely successor (TL205) *)
+  | Fail_install  (** FT006: fail the next trace installation *)
+  | Alloc_pressure  (** FT007: evict half of the live trace cache *)
+
+val kind_name : kind -> string
+(** The DSL name: ["corrupt-trace"], ["zero-counter"], … *)
+
+val code : kind -> string
+(** The stable catalogue code: ["FT001"] … ["FT007"]. *)
+
+val kind_of_name : string -> kind option
+
+val catalogue : (string * string) list
+(** Code/description pairs: FT001–FT007 (injectable faults, each naming
+    the TL2xx check that detects it) plus FT901/FT902, the chaos gate's
+    own verdict codes. *)
+
+type t
+
+val create : seed:int -> string -> t
+(** Parse a schedule and seed its PRNG ([seed 0] is remapped to a fixed
+    non-zero constant — xorshift has no zero state).  An empty spec
+    yields an inactive injector.
+    @raise Invalid_argument on a malformed spec. *)
+
+val is_active : t -> bool
+(** [true] while the schedule has arms and budget remaining. *)
+
+val budget_left : t -> int
+
+val injected : t -> int
+(** Faults injected so far. *)
+
+val tick :
+  t ->
+  now:int ->
+  bcg:Bcg.t ->
+  cache:Trace_cache.t ->
+  active:Trace.t option ->
+  (string * string) list
+(** Evaluate every arm of the schedule at dispatch [now], applying the
+    faults that fire; returns a [(code, detail)] pair per fault actually
+    injected.  [active] pins the currently dispatching trace — it is
+    never picked as a corruption victim.  An arm whose fault finds no
+    eligible victim (empty cache, no BCG edges) fires without effect and
+    does not consume budget. *)

@@ -87,10 +87,39 @@ let check_bcg ?context (bcg : Bcg.t) =
   Bcg.iter_nodes bcg (fun n -> diags := check_node ?context bcg n :: !diags);
   List.concat (List.rev !diags)
 
-let check_trace ?context ?bcg (config : Config.t) (tr : Trace.t) =
+let check_trace ?context ?bcg ?layout (config : Config.t) (tr : Trace.t) =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let loc = Diag.Trace_loc { trace_id = tr.Trace.id } in
+  (* TL210 / TL211: the trace's block sequence and per-block instruction
+     counts agree with the program layout — the checks that catch a
+     corrupted (or injected-fault) trace body *)
+  (match layout with
+  | None -> ()
+  | Some (layout : Cfg.Layout.t) ->
+      let n_blocks = layout.Cfg.Layout.n_blocks in
+      if tr.Trace.first < 0 || tr.Trace.first >= n_blocks then
+        add
+          (err ?context ~code:"TL210" ~loc "entry context %d outside [0, %d)"
+             tr.Trace.first n_blocks);
+      Array.iteri
+        (fun i b ->
+          if b < 0 || b >= n_blocks then
+            add
+              (err ?context ~code:"TL210" ~loc
+                 "block %d is gid %d, outside [0, %d)" i b n_blocks)
+          else if
+            i < Array.length tr.Trace.instr_len
+            && tr.Trace.instr_len.(i) <> layout.Cfg.Layout.instr_len.(b)
+          then
+            add
+              (err ?context ~code:"TL211" ~loc
+                 "block %d (gid %d) records %d instructions but the layout \
+                  has %d"
+                 i b
+                 tr.Trace.instr_len.(i)
+                 layout.Cfg.Layout.instr_len.(b)))
+        tr.Trace.blocks);
   (* TL201: the greedy cutter only commits extensions keeping the product
      at or above the threshold, and correlations never exceed 1 *)
   if tr.Trace.prob < config.Config.threshold || tr.Trace.prob > 1.0 then
@@ -158,7 +187,8 @@ let check_trace ?context ?bcg (config : Config.t) (tr : Trace.t) =
   ;
   List.rev !diags
 
-let check_cache ?context ?bcg (config : Config.t) (cache : Trace_cache.t) =
+let check_cache ?context ?bcg ?layout (config : Config.t)
+    (cache : Trace_cache.t) =
   let diags = ref [] in
   (* TL202: the binding key is the trace's own entry transition *)
   Trace_cache.iter_entries cache (fun ~first ~head tr ->
@@ -173,8 +203,8 @@ let check_cache ?context ?bcg (config : Config.t) (cache : Trace_cache.t) =
           ]
           :: !diags);
   Trace_cache.iter cache (fun tr ->
-      diags := check_trace ?context ?bcg config tr :: !diags);
+      diags := check_trace ?context ?bcg ?layout config tr :: !diags);
   List.concat (List.rev !diags)
 
-let check_all ?context (config : Config.t) ~bcg ~cache =
-  check_bcg ?context bcg @ check_cache ?context ~bcg config cache
+let check_all ?context ?layout (config : Config.t) ~bcg ~cache =
+  check_bcg ?context bcg @ check_cache ?context ~bcg ?layout config cache

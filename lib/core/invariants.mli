@@ -28,6 +28,11 @@
       versa)
     - [TL209] {e error} — a cached trace's block count is outside
       [[min_trace_blocks, max_trace_blocks]]
+    - [TL210] {e error} — a trace's entry context or one of its block
+      gids is outside the program layout's [[0, n_blocks)] range: the
+      trace body is corrupted
+    - [TL211] {e error} — a trace's recorded per-block instruction count
+      disagrees with the layout's static count for that block
 
     The checks are read-only and allocation-light but walk every node /
     trace they are given; {!Config.t.debug_checks} runs them at
@@ -41,14 +46,21 @@ val check_bcg : ?context:string -> Bcg.t -> Analysis.Diag.t list
 (** {!check_node} over every node. *)
 
 val check_trace :
-  ?context:string -> ?bcg:Bcg.t -> Config.t -> Trace.t -> Analysis.Diag.t list
+  ?context:string ->
+  ?bcg:Bcg.t ->
+  ?layout:Cfg.Layout.t ->
+  Config.t ->
+  Trace.t ->
+  Analysis.Diag.t list
 (** [TL201] [TL203] [TL209], plus [TL207] when a BCG is supplied (the
     correlation walk skips transitions whose node or edge has decayed
-    away). *)
+    away) and [TL210] [TL211] when a layout is supplied — the two checks
+    that catch a corrupted trace body. *)
 
 val check_cache :
   ?context:string ->
   ?bcg:Bcg.t ->
+  ?layout:Cfg.Layout.t ->
   Config.t ->
   Trace_cache.t ->
   Analysis.Diag.t list
@@ -57,6 +69,7 @@ val check_cache :
 
 val check_all :
   ?context:string ->
+  ?layout:Cfg.Layout.t ->
   Config.t ->
   bcg:Bcg.t ->
   cache:Trace_cache.t ->

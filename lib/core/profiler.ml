@@ -26,6 +26,7 @@ type t = {
   mutable dispatches : int; (* profiled dispatches = hook executions *)
   mutable predictions : int; (* inline-cache hits, for overhead modeling *)
   mutable seen_decays : int; (* BCG decay passes already published *)
+  mutable skipped : int; (* dispatches not profiled (interp-only health) *)
 }
 
 let create ?(events = Events.create ()) (config : Config.t) ~n_blocks
@@ -53,6 +54,7 @@ let create ?(events = Events.create ()) (config : Config.t) ~n_blocks
     dispatches = 0;
     predictions = 0;
     seen_decays = 0;
+    skipped = 0;
   }
 
 let events t = t.events
@@ -64,6 +66,13 @@ let dispatches t = t.dispatches
 let signals t = t.bcg.Bcg.signals
 
 let predictions t = t.predictions
+
+let skipped t = t.skipped
+
+(* One unprofiled dispatch: the engine is in the interp-only health level
+   and bypassed the hook entirely.  The context is stale afterwards, so
+   the engine must [reset] before profiling resumes. *)
+let note_skipped t = t.skipped <- t.skipped + 1
 
 (* One profiled dispatch of block [z]. *)
 let dispatch t (z : Layout.gid) =

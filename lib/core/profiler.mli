@@ -45,3 +45,11 @@ val predictions : t -> int
 (** Inline-cache hits: dispatches whose block was the context's cached
     best successor.  Used by the overhead model — a predicted dispatch is
     the paper's two-comparison fast path. *)
+
+val note_skipped : t -> unit
+(** Record one unprofiled dispatch: the engine's health ladder is at
+    interp-only and bypassed the hook.  The branch context is stale
+    afterwards; the engine must {!reset} before profiling resumes. *)
+
+val skipped : t -> int
+(** Dispatches bypassed while degraded to pure interpretation. *)

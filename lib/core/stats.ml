@@ -23,6 +23,18 @@ type t = {
   ic_predictions : int; (* inline-cache hits in the profiler *)
   chained_entries : int;
       (* trace entries directly following another trace's completion *)
+  (* resilience: the self-healing / chaos counters.  All zero on a
+     healthy run without fault injection. *)
+  invariant_violations : int; (* findings of the debug_checks sweeps *)
+  faults_injected : int; (* faults the injector actually applied *)
+  traces_quarantined : int; (* condemnations (entries may repeat) *)
+  traces_evicted : int; (* capacity / pressure evictions *)
+  traces_blacklisted : int; (* entries quarantined permanently *)
+  failed_installs : int; (* injected installation failures consumed *)
+  healed_nodes : int; (* BCG nodes repaired in place *)
+  health_demotions : int;
+  health_promotions : int;
+  final_health : int; (* Health.level_rank at end of run: 0 = full *)
   wall_seconds : float;
 }
 
@@ -47,6 +59,16 @@ let zero =
     bcg_edges = 0;
     ic_predictions = 0;
     chained_entries = 0;
+    invariant_violations = 0;
+    faults_injected = 0;
+    traces_quarantined = 0;
+    traces_evicted = 0;
+    traces_blacklisted = 0;
+    failed_installs = 0;
+    healed_nodes = 0;
+    health_demotions = 0;
+    health_promotions = 0;
+    final_health = 0;
     wall_seconds = 0.0;
   }
 
@@ -76,6 +98,10 @@ type derived = {
          completion: the dispatch-level analogue of Dynamo linking *)
   dispatch_reduction : float;
       (* block-model dispatches each trace-model dispatch replaces *)
+  quarantine_rate : float;
+      (* condemnations per constructed trace: how much of the built
+         population chaos claimed *)
+  eviction_rate : float; (* capacity evictions per constructed trace *)
 }
 
 let derived t : derived =
@@ -99,6 +125,8 @@ let derived t : derived =
     dispatch_reduction =
       (if total_dispatches = 0 then 1.0
        else ratio block_model total_dispatches);
+    quarantine_rate = ratio t.traces_quarantined t.traces_constructed;
+    eviction_rate = ratio t.traces_evicted t.traces_constructed;
   }
 
 (* Projections, kept for call sites that want a single value. *)
@@ -123,6 +151,10 @@ let trace_event_interval t = (derived t).trace_event_interval
 let linking_rate t = (derived t).linking_rate
 
 let dispatch_reduction t = (derived t).dispatch_reduction
+
+let quarantine_rate t = (derived t).quarantine_rate
+
+let eviction_rate t = (derived t).eviction_rate
 
 let pp ppf t =
   let d = derived t in
@@ -150,4 +182,21 @@ let pp ppf t =
     (d.dispatches_per_signal /. 1000.0)
     (d.trace_event_interval /. 1000.0)
     (100.0 *. d.linking_rate)
-    t.bcg_nodes t.bcg_edges
+    t.bcg_nodes t.bcg_edges;
+  (* the resilience line only appears when something resilience-related
+     happened, so a healthy run's rendering is unchanged *)
+  if
+    t.invariant_violations > 0 || t.faults_injected > 0
+    || t.traces_quarantined > 0 || t.traces_evicted > 0
+    || t.failed_installs > 0 || t.healed_nodes > 0 || t.health_demotions > 0
+    || t.final_health > 0
+  then
+    Format.fprintf ppf
+      "@,\
+       @[<v>violations          %d (faults injected %d)@,\
+       quarantined         %d (blacklisted %d, healed nodes %d)@,\
+       evicted             %d (failed installs %d)@,\
+       health              %d demotions, %d promotions, final level %d@]"
+      t.invariant_violations t.faults_injected t.traces_quarantined
+      t.traces_blacklisted t.healed_nodes t.traces_evicted t.failed_installs
+      t.health_demotions t.health_promotions t.final_health

@@ -28,6 +28,19 @@ type t = {
   ic_predictions : int;  (** profiler inline-cache hits *)
   chained_entries : int;
       (** trace entries directly following another trace's completion *)
+  invariant_violations : int;
+      (** findings of the {!Config.t.debug_checks} sweeps *)
+  faults_injected : int;  (** faults the injector actually applied *)
+  traces_quarantined : int;
+      (** condemnations recorded (an entry condemned twice counts twice) *)
+  traces_evicted : int;  (** capacity / allocation-pressure evictions *)
+  traces_blacklisted : int;  (** entries quarantined permanently *)
+  failed_installs : int;  (** injected installation failures consumed *)
+  healed_nodes : int;  (** BCG nodes repaired in place *)
+  health_demotions : int;
+  health_promotions : int;
+  final_health : int;
+      (** {!Health.level_rank} at end of run: [0] = full tracing *)
   wall_seconds : float;
 }
 
@@ -47,6 +60,10 @@ type derived = {
   trace_event_interval : float;  (** Table V *)
   linking_rate : float;
   dispatch_reduction : float;
+  quarantine_rate : float;
+      (** condemnations per constructed trace — how much of the built
+          population chaos claimed *)
+  eviction_rate : float;  (** capacity evictions per constructed trace *)
 }
 (** Every dependent value of the evaluation, computed together.  The
     field names shadow the projection functions below: tables, {!pp} and
@@ -94,4 +111,12 @@ val linking_rate : t -> float
 val dispatch_reduction : t -> float
 (** How many block-model dispatches each trace-model dispatch replaces. *)
 
+val quarantine_rate : t -> float
+(** Condemnations per constructed trace. *)
+
+val eviction_rate : t -> float
+(** Capacity evictions per constructed trace. *)
+
 val pp : Format.formatter -> t -> unit
+(** The resilience counters are rendered only when at least one of them
+    is non-zero, so a healthy run's output is unchanged. *)

@@ -158,20 +158,24 @@ let cut_segment (config : Config.t) (cache : Trace_cache.t) ~events
         Array.init n_transitions (fun k -> w.path.(!i + k).Bcg.n_y)
       in
       let before = Trace_cache.n_constructed cache in
-      let tr = Trace_cache.install cache ~first ~blocks ~prob:!p in
-      let is_new = Trace_cache.n_constructed cache > before in
-      if is_new then incr new_traces else incr reused;
-      if Events.enabled events then
-        Events.emit events
-          (Events.Trace_constructed
-             {
-               trace_id = tr.Trace.id;
-               first;
-               n_blocks = Trace.n_blocks tr;
-               n_instrs = tr.Trace.total_instrs;
-               prob = !p;
-               reused = not is_new;
-             })
+      (* fallible: a quarantined entry or an injected installation failure
+         drops the candidate — the cache records why *)
+      match Trace_cache.try_install cache ~first ~blocks ~prob:!p with
+      | None -> ()
+      | Some tr ->
+          let is_new = Trace_cache.n_constructed cache > before in
+          if is_new then incr new_traces else incr reused;
+          if Events.enabled events then
+            Events.emit events
+              (Events.Trace_constructed
+                 {
+                   trace_id = tr.Trace.id;
+                   first;
+                   n_blocks = Trace.n_blocks tr;
+                   n_instrs = tr.Trace.total_instrs;
+                   prob = !p;
+                   reused = not is_new;
+                 })
     end;
     i := !j + 1
   done;

@@ -4,29 +4,84 @@ module Layout = Cfg.Layout
    by entry transition for dispatch, and by full block sequence for
    hash-consing (an identical reconstructed trace is retrieved and relinked
    rather than rebuilt).  Replacing the trace installed at an entry key
-   counts as an instability event. *)
+   counts as an instability event.
+
+   On top of the paper's design the cache is bounded and self-healing:
+
+   - capacity caps ([max_traces] / [max_blocks], 0 = unbounded) evict the
+     least recently dispatched entry under pressure instead of growing
+     without bound;
+   - a quarantine table blacklists entry transitions whose trace was
+     condemned (by a TL2xx check or an injected fault), with exponential
+     backoff in cache-clock units and permanent blacklisting after
+     [heal_max_rebuilds] condemnations;
+   - [try_install] is the fallible front door the trace builder uses: it
+     refuses quarantined entries and consumes injected installation
+     failures, so the builder degrades gracefully instead of reinstalling
+     a known-bad trace. *)
+
+type qentry = {
+  mutable attempts : int; (* condemnations of this entry so far *)
+  mutable until : int; (* cache clock before a rebuild may be attempted *)
+}
 
 type t = {
   layout : Layout.t;
   events : Events.t;
   by_entry : (int, Trace.t) Hashtbl.t; (* key = first * n_blocks + head *)
   by_seq : (string, Trace.t) Hashtbl.t; (* structural key *)
+  max_traces : int; (* live-trace cap; 0 = unbounded *)
+  max_blocks : int; (* live-block cap; 0 = unbounded *)
+  heal_max_rebuilds : int;
+  heal_backoff : int;
+  quarantine : (int, qentry) Hashtbl.t; (* entry key -> blacklist record *)
+  last_used : (int, int) Hashtbl.t; (* entry key -> use stamp *)
+  mutable stamp : int; (* monotone use counter for LRU *)
+  mutable clock : int; (* engine dispatch count, drives backoff *)
+  mutable live_blocks : int; (* sum of block counts over by_entry *)
   mutable next_id : int;
   mutable constructed : int; (* traces newly built *)
   mutable replaced : int; (* entry keys whose trace changed *)
   mutable hash_hits : int; (* reconstructions satisfied by an existing trace *)
+  mutable evicted : int; (* capacity evictions *)
+  mutable quarantines : int; (* condemnations recorded *)
+  mutable blacklisted : int; (* entries quarantined permanently *)
+  mutable pending_fail : int; (* injected installation failures to consume *)
+  mutable failed_installs : int; (* injected failures consumed *)
+  mutable quarantine_rejects : int; (* installs refused while quarantined *)
 }
 
-let create ?(events = Events.create ()) (layout : Layout.t) =
+let create ?(events = Events.create ()) ?(max_traces = 0) ?(max_blocks = 0)
+    ?(heal_max_rebuilds = 3) ?(heal_backoff = 512) (layout : Layout.t) =
+  if max_traces < 0 then invalid_arg "Trace_cache.create: max_traces < 0";
+  if max_blocks < 0 then invalid_arg "Trace_cache.create: max_blocks < 0";
+  if heal_max_rebuilds < 1 then
+    invalid_arg "Trace_cache.create: heal_max_rebuilds < 1";
+  if heal_backoff < 1 then invalid_arg "Trace_cache.create: heal_backoff < 1";
   {
     layout;
     events;
     by_entry = Hashtbl.create 256;
     by_seq = Hashtbl.create 256;
+    max_traces;
+    max_blocks;
+    heal_max_rebuilds;
+    heal_backoff;
+    quarantine = Hashtbl.create 16;
+    last_used = Hashtbl.create 256;
+    stamp = 0;
+    clock = 0;
+    live_blocks = 0;
     next_id = 0;
     constructed = 0;
     replaced = 0;
     hash_hits = 0;
+    evicted = 0;
+    quarantines = 0;
+    blacklisted = 0;
+    pending_fail = 0;
+    failed_installs = 0;
+    quarantine_rejects = 0;
   }
 
 let entry_key_int t ~first ~head = (first * t.layout.Layout.n_blocks) + head
@@ -41,11 +96,83 @@ let seq_key ~first ~(blocks : Layout.gid array) =
     blocks;
   Buffer.contents buf
 
+let set_clock t now = t.clock <- now
+
+let touch t ekey =
+  t.stamp <- t.stamp + 1;
+  Hashtbl.replace t.last_used ekey t.stamp
+
 (* Dispatch lookup: is there a trace entered by the transition
    (prev, cur)? *)
 let lookup t ~prev ~cur : Trace.t option =
   if prev < 0 then None
-  else Hashtbl.find_opt t.by_entry (entry_key_int t ~first:prev ~head:cur)
+  else
+    let ekey = entry_key_int t ~first:prev ~head:cur in
+    match Hashtbl.find_opt t.by_entry ekey with
+    | Some tr ->
+        touch t ekey;
+        Some tr
+    | None -> None
+
+(* Purge every by_seq binding of this exact trace.  A corrupted trace's
+   sequence key is stale (the blocks changed under it), so a key lookup
+   cannot be trusted — a physical-equality scan can.  Purging prevents a
+   condemned or evicted trace from being resurrected by hash-consing. *)
+let purge_seq t (tr : Trace.t) =
+  let stale = ref [] in
+  Hashtbl.iter (fun k v -> if v == tr then stale := k :: !stale) t.by_seq;
+  List.iter (Hashtbl.remove t.by_seq) !stale
+
+(* Unbind one live entry: the displaced trace also leaves the hash-cons
+   table, so rebuilding it later constructs (and re-validates) it afresh. *)
+let unbind t ekey (tr : Trace.t) =
+  Hashtbl.remove t.by_entry ekey;
+  Hashtbl.remove t.last_used ekey;
+  t.live_blocks <- t.live_blocks - Array.length tr.Trace.blocks;
+  purge_seq t tr
+
+let n_live t = Hashtbl.length t.by_entry
+
+(* Evict the least recently dispatched live entry (never [keep], the
+   entry just installed).  Returns false when nothing is evictable. *)
+let evict_lru t ~keep =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun ekey tr ->
+      if ekey <> keep then
+        let s =
+          match Hashtbl.find_opt t.last_used ekey with
+          | Some s -> s
+          | None -> min_int
+        in
+        match !victim with
+        | Some (_, _, best) when best <= s -> ()
+        | _ -> victim := Some (ekey, tr, s))
+    t.by_entry;
+  match !victim with
+  | None -> false
+  | Some (ekey, tr, _) ->
+      unbind t ekey tr;
+      t.evicted <- t.evicted + 1;
+      if Events.enabled t.events then begin
+        let n = t.layout.Layout.n_blocks in
+        Events.emit t.events
+          (Events.Trace_evicted
+             {
+               trace_id = tr.Trace.id;
+               first = ekey / n;
+               head = ekey mod n;
+               n_live = n_live t;
+             })
+      end;
+      true
+
+let over_capacity t =
+  (t.max_traces > 0 && n_live t > t.max_traces)
+  || (t.max_blocks > 0 && t.live_blocks > t.max_blocks)
+
+let rec enforce_caps t ~keep =
+  if over_capacity t && evict_lru t ~keep then enforce_caps t ~keep
 
 (* Install a candidate trace.  If an identical trace is already cached we
    keep it (hash-cons hit); otherwise a new trace is constructed and bound
@@ -56,32 +183,137 @@ let note_replaced t ~first ~head (tr : Trace.t) =
     Events.emit t.events
       (Events.Trace_replaced { first; head; trace_id = tr.Trace.id })
 
+let bind t ekey (tr : Trace.t) =
+  (match Hashtbl.find_opt t.by_entry ekey with
+  | Some old when old == tr -> ()
+  | Some old ->
+      t.live_blocks <-
+        t.live_blocks
+        - Array.length old.Trace.blocks
+        + Array.length tr.Trace.blocks;
+      Hashtbl.replace t.by_entry ekey tr
+  | None ->
+      t.live_blocks <- t.live_blocks + Array.length tr.Trace.blocks;
+      Hashtbl.replace t.by_entry ekey tr);
+  touch t ekey
+
 let install t ~first ~(blocks : Layout.gid array) ~prob : Trace.t =
   let skey = seq_key ~first ~blocks in
-  match Hashtbl.find_opt t.by_seq skey with
-  | Some existing ->
-      t.hash_hits <- t.hash_hits + 1;
-      (* make sure it is (still) the trace bound to its entry *)
-      let ekey = entry_key_int t ~first ~head:blocks.(0) in
-      (match Hashtbl.find_opt t.by_entry ekey with
-      | Some bound when bound == existing -> ()
-      | Some _ ->
-          note_replaced t ~first ~head:blocks.(0) existing;
-          Hashtbl.replace t.by_entry ekey existing
-      | None -> Hashtbl.replace t.by_entry ekey existing);
-      existing
-  | None ->
-      let id = t.next_id in
-      t.next_id <- id + 1;
-      let tr = Trace.make ~id ~layout:t.layout ~first ~blocks ~prob in
-      t.constructed <- t.constructed + 1;
-      Hashtbl.replace t.by_seq skey tr;
-      let ekey = entry_key_int t ~first ~head:blocks.(0) in
-      (match Hashtbl.find_opt t.by_entry ekey with
-      | Some _ -> note_replaced t ~first ~head:blocks.(0) tr
-      | None -> ());
-      Hashtbl.replace t.by_entry ekey tr;
-      tr
+  let ekey = entry_key_int t ~first ~head:blocks.(0) in
+  let tr =
+    match Hashtbl.find_opt t.by_seq skey with
+    | Some existing ->
+        t.hash_hits <- t.hash_hits + 1;
+        (* make sure it is (still) the trace bound to its entry *)
+        (match Hashtbl.find_opt t.by_entry ekey with
+        | Some bound when bound == existing -> ()
+        | Some _ -> note_replaced t ~first ~head:blocks.(0) existing
+        | None -> ());
+        existing
+    | None ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let tr = Trace.make ~id ~layout:t.layout ~first ~blocks ~prob in
+        t.constructed <- t.constructed + 1;
+        Hashtbl.replace t.by_seq skey tr;
+        (match Hashtbl.find_opt t.by_entry ekey with
+        | Some _ -> note_replaced t ~first ~head:blocks.(0) tr
+        | None -> ());
+        tr
+  in
+  bind t ekey tr;
+  enforce_caps t ~keep:ekey;
+  tr
+
+(* Quarantine bookkeeping *)
+
+let is_quarantined t ~first ~head =
+  match Hashtbl.find_opt t.quarantine (entry_key_int t ~first ~head) with
+  | Some q -> q.until > t.clock
+  | None -> false
+
+let quarantine_attempts t ~first ~head =
+  match Hashtbl.find_opt t.quarantine (entry_key_int t ~first ~head) with
+  | Some q -> q.attempts
+  | None -> 0
+
+let n_quarantine_active t =
+  Hashtbl.fold (fun _ q acc -> if q.until > t.clock then acc + 1 else acc)
+    t.quarantine 0
+
+let quarantine t ~first ~head ~code : Trace.t option =
+  let ekey = entry_key_int t ~first ~head in
+  let removed =
+    match Hashtbl.find_opt t.by_entry ekey with
+    | Some tr ->
+        unbind t ekey tr;
+        Some tr
+    | None -> None
+  in
+  let q =
+    match Hashtbl.find_opt t.quarantine ekey with
+    | Some q -> q
+    | None ->
+        let q = { attempts = 0; until = 0 } in
+        Hashtbl.replace t.quarantine ekey q;
+        q
+  in
+  q.attempts <- q.attempts + 1;
+  t.quarantines <- t.quarantines + 1;
+  if q.attempts > t.heal_max_rebuilds then begin
+    if q.until <> max_int then t.blacklisted <- t.blacklisted + 1;
+    q.until <- max_int
+  end
+  else
+    (* exponential backoff: backoff * 2^(attempts-1) clock units *)
+    q.until <- t.clock + (t.heal_backoff * (1 lsl min (q.attempts - 1) 20));
+  if Events.enabled t.events then
+    Events.emit t.events
+      (Events.Trace_quarantined
+         {
+           trace_id = (match removed with Some tr -> tr.Trace.id | None -> -1);
+           first;
+           head;
+           code;
+           attempts = q.attempts;
+           until = q.until;
+         });
+  removed
+
+let remove t ~first ~head : Trace.t option =
+  let ekey = entry_key_int t ~first ~head in
+  match Hashtbl.find_opt t.by_entry ekey with
+  | None -> None
+  | Some tr ->
+      unbind t ekey tr;
+      Some tr
+
+let inject_install_failure t = t.pending_fail <- t.pending_fail + 1
+
+let try_install t ~first ~(blocks : Layout.gid array) ~prob : Trace.t option =
+  if Array.length blocks = 0 then None
+  else if is_quarantined t ~first ~head:blocks.(0) then begin
+    t.quarantine_rejects <- t.quarantine_rejects + 1;
+    None
+  end
+  else if t.pending_fail > 0 then begin
+    t.pending_fail <- t.pending_fail - 1;
+    t.failed_installs <- t.failed_installs + 1;
+    None
+  end
+  else Some (install t ~first ~blocks ~prob)
+
+let pressure_evict t ~down_to =
+  let down_to = max 0 down_to in
+  let count = ref 0 in
+  let rec go () =
+    if n_live t > down_to && evict_lru t ~keep:min_int then begin
+      incr count;
+      go ()
+    end
+  in
+  go ();
+  !count
 
 let iter t f = Hashtbl.iter (fun _ tr -> f tr) t.by_entry
 
@@ -94,12 +326,25 @@ let iter_entries t f =
 (* All traces ever constructed (including displaced ones). *)
 let iter_all t f = Hashtbl.iter (fun _ tr -> f tr) t.by_seq
 
-let n_live t = Hashtbl.length t.by_entry
-
 let n_constructed t = t.constructed
 
 let n_replaced t = t.replaced
 
+let live_blocks t = t.live_blocks
+
+let n_evicted t = t.evicted
+
+let n_quarantines t = t.quarantines
+
+let n_blacklisted t = t.blacklisted
+
+let n_failed_installs t = t.failed_installs
+
+let n_quarantine_rejects t = t.quarantine_rejects
+
 let flush t =
   Hashtbl.reset t.by_entry;
-  Hashtbl.reset t.by_seq
+  Hashtbl.reset t.by_seq;
+  Hashtbl.reset t.last_used;
+  Hashtbl.reset t.quarantine;
+  t.live_blocks <- 0

@@ -2,18 +2,48 @@
     transition for dispatch, and by full block sequence for hash-consing,
     so an identical reconstruction is retrieved and relinked rather than
     rebuilt.  Rebinding an entry transition to a different trace counts as
-    an instability event ({!n_replaced}). *)
+    an instability event ({!n_replaced}).
+
+    On top of the paper's design the cache is {e bounded} and
+    {e self-healing}:
+
+    - the capacity caps ([max_traces] live traces / [max_blocks] live
+      blocks; [0] = unbounded) evict the least recently dispatched entry
+      under pressure ({!n_evicted}, [Trace_evicted] events);
+    - {!quarantine} blacklists an entry transition whose trace was
+      condemned by a TL2xx check or an injected fault, with exponential
+      backoff in cache-clock units ({!set_clock}) and permanent
+      blacklisting after [heal_max_rebuilds] condemnations;
+    - {!try_install} is the fallible front door the trace builder uses:
+      it refuses quarantined entries and consumes injected installation
+      failures ({!inject_install_failure}), so the builder degrades
+      gracefully instead of reinstalling a known-bad trace. *)
 
 type t
 
-val create : ?events:Events.t -> Cfg.Layout.t -> t
-(** [events] receives [Trace_replaced] whenever an entry transition is
-    rebound to a different trace; a fresh disabled stream is used when
-    omitted. *)
+val create :
+  ?events:Events.t ->
+  ?max_traces:int ->
+  ?max_blocks:int ->
+  ?heal_max_rebuilds:int ->
+  ?heal_backoff:int ->
+  Cfg.Layout.t ->
+  t
+(** [events] receives [Trace_replaced] / [Trace_evicted] /
+    [Trace_quarantined]; a fresh disabled stream is used when omitted.
+    [max_traces] and [max_blocks] default to [0] (unbounded);
+    [heal_max_rebuilds] defaults to 3 and [heal_backoff] to 512 cache
+    clock units.
+    @raise Invalid_argument on out-of-range parameters. *)
+
+val set_clock : t -> int -> unit
+(** Advance the cache clock (the engine's dispatch count) — the time base
+    of quarantine backoff. *)
 
 val lookup : t -> prev:Cfg.Layout.gid -> cur:Cfg.Layout.gid -> Trace.t option
 (** Dispatch lookup: the trace entered by the transition [(prev, cur)],
-    if any ([prev < 0] never matches). *)
+    if any ([prev < 0] never matches).  A hit refreshes the entry's LRU
+    stamp. *)
 
 val install :
   t ->
@@ -23,7 +53,55 @@ val install :
   Trace.t
 (** Install a candidate trace.  An identical cached trace is reused
     (hash-cons hit); otherwise a new trace is constructed and bound to its
-    entry transition, displacing any previous binding. *)
+    entry transition, displacing any previous binding.  Installation may
+    push the cache over a capacity cap, in which case the least recently
+    dispatched {e other} entries are evicted until the caps hold again
+    (the trace just installed is never its own victim). *)
+
+val try_install :
+  t ->
+  first:Cfg.Layout.gid ->
+  blocks:Cfg.Layout.gid array ->
+  prob:float ->
+  Trace.t option
+(** Like {!install} but fallible: [None] when the entry transition is
+    quarantined ({!n_quarantine_rejects}) or an injected installation
+    failure is pending ({!n_failed_installs}). *)
+
+val remove : t -> first:Cfg.Layout.gid -> head:Cfg.Layout.gid -> Trace.t option
+(** Unbind the entry transition [(first, head)], returning the trace it
+    was bound to.  The removed trace also leaves the hash-cons table, so
+    a later identical reconstruction builds a fresh trace.  {!n_live} and
+    {!live_blocks} stay consistent. *)
+
+val quarantine :
+  t ->
+  first:Cfg.Layout.gid ->
+  head:Cfg.Layout.gid ->
+  code:string ->
+  Trace.t option
+(** Condemn the entry transition [(first, head)] (the [code] names the
+    TL2xx / FT0xx finding): the bound trace, if any, is removed as by
+    {!remove}, and the entry is blacklisted until
+    [clock + heal_backoff * 2^(attempts-1)] — permanently once its
+    condemnation count exceeds [heal_max_rebuilds].  Emits
+    [Trace_quarantined]. *)
+
+val is_quarantined : t -> first:Cfg.Layout.gid -> head:Cfg.Layout.gid -> bool
+(** Whether the entry transition is blacklisted at the current clock. *)
+
+val quarantine_attempts :
+  t -> first:Cfg.Layout.gid -> head:Cfg.Layout.gid -> int
+(** Condemnations of this entry so far (0 = never condemned). *)
+
+val inject_install_failure : t -> unit
+(** Arm one installation failure: the next {!try_install} that passes the
+    quarantine check returns [None] (the fault injector's FT006). *)
+
+val pressure_evict : t -> down_to:int -> int
+(** Evict least-recently-dispatched entries until at most [down_to] live
+    traces remain; returns the number evicted (the fault injector's
+    FT007 allocation-pressure fault). *)
 
 val iter : t -> (Trace.t -> unit) -> unit
 (** Over the traces currently bound to an entry (the live cache). *)
@@ -37,15 +115,38 @@ val iter_entries :
     trace's own {!Trace.entry_key}. *)
 
 val iter_all : t -> (Trace.t -> unit) -> unit
-(** Over every trace ever constructed, including displaced ones — the
-    population the completion statistics are drawn from. *)
+(** Over every trace ever constructed and still reachable for
+    hash-consing, including displaced ones — the population the
+    completion statistics are drawn from. *)
 
 val n_live : t -> int
+
+val live_blocks : t -> int
+(** Total block count of live traces — the quantity [max_blocks] caps. *)
 
 val n_constructed : t -> int
 
 val n_replaced : t -> int
 
+val n_evicted : t -> int
+(** Capacity (and allocation-pressure) evictions. *)
+
+val n_quarantines : t -> int
+(** Condemnations recorded (an entry condemned twice counts twice). *)
+
+val n_quarantine_active : t -> int
+(** Entry transitions blacklisted at the current clock. *)
+
+val n_blacklisted : t -> int
+(** Entry transitions quarantined permanently. *)
+
+val n_failed_installs : t -> int
+(** Injected installation failures consumed by {!try_install}. *)
+
+val n_quarantine_rejects : t -> int
+(** {!try_install} refusals due to an active quarantine. *)
+
 val flush : t -> unit
-(** Empty the cache (Dynamo's bail-out; never needed by the BCG design,
-    provided for experiments). *)
+(** Empty the cache — live traces, hash-cons table and quarantine records
+    (Dynamo's bail-out; never needed by the BCG design, provided for
+    experiments).  Counters survive. *)

@@ -1,0 +1,96 @@
+module Config = Tracegen.Config
+module Engine = Tracegen.Engine
+module Health = Tracegen.Health
+module Stats = Tracegen.Stats
+module Faults = Tracegen.Faults
+module Interp = Vm.Interp
+
+(* Chaos testing: run workloads under randomized fault schedules and hold
+   the engine to two promises.
+
+   1. Transparency (FT901): tracing is a pure observational overlay, so
+      the VM's results must be bit-identical to a no-tracing baseline
+      under ANY fault schedule — corrupted traces may cost performance,
+      never correctness.
+
+   2. Recovery (FT902): the fault budget is sized to exhaust early in
+      the run, after which the self-healing machinery must climb the
+      degradation ladder back to full tracing before the run ends.
+
+   Schedules are deterministic per (spec, seed), so a failing seed is a
+   reproducible bug report. *)
+
+(* Every fault kind armed, probabilities tuned so a default-size workload
+   sees its entire budget in the first few thousand dispatches and then
+   has the rest of the run to recover. *)
+let default_spec =
+  "corrupt-trace@0.004,corrupt-instrs@0.003,zero-counter@0.003,\
+   saturate-counter@0.002,drop-best@0.002,fail-install@0.003,\
+   alloc-pressure@0.001,budget=24"
+
+(* debug_checks is on so sweep-based healing runs; the cache is bounded
+   so eviction paths are exercised too. *)
+let config ?(spec = default_spec) ~seed () =
+  Config.make ~debug_checks:true ~self_heal:true ~max_cache_traces:48
+    ~fault_spec:spec ~fault_seed:seed ()
+
+type verdict = {
+  workload : string;
+  seed : int;
+  identical : bool; (* FT901: VM results match the baseline *)
+  recovered : bool; (* FT902: ended the run at full tracing *)
+  stats : Stats.t;
+}
+
+let passed v = v.identical && v.recovered
+
+(* A comparable fingerprint of a VM result: outcome rendered to a string
+   (structural, covers traps) plus both dispatch-model counts. *)
+let fingerprint (r : Interp.result) : string * int * int =
+  let outcome =
+    match r.Interp.outcome with
+    | Interp.Finished None -> "finished:"
+    | Interp.Finished (Some v) -> "finished:" ^ Vm.Value.to_string v
+    | Interp.Trapped (kind, msg) ->
+        "trapped:" ^ Interp.error_kind_to_string kind ^ ":" ^ msg
+  in
+  (outcome, r.Interp.instructions, r.Interp.block_dispatches)
+
+let run_one ?spec ?max_instructions (w : Workloads.Workload.t) ~size ~seed :
+    verdict =
+  let layout = Experiment.layout_for w ~size in
+  let baseline = Interp.run_plain ?max_instructions layout in
+  let chaos_config = config ?spec ~seed () in
+  let result = Engine.run ~config:chaos_config ?max_instructions layout in
+  let stats = result.Engine.run_stats in
+  {
+    workload = w.Workloads.Workload.name;
+    seed;
+    identical = fingerprint baseline = fingerprint result.Engine.vm_result;
+    recovered = stats.Stats.final_health = 0;
+    stats;
+  }
+
+(* The gate: every registered workload under [schedules] seeded fault
+   schedules.  Returns all verdicts; the caller decides how to render
+   failures (the CLI exits non-zero on any). *)
+let gate ?spec ?max_instructions ?(schedules = 50) ~seed ~size_of () :
+    verdict list =
+  List.concat_map
+    (fun (w : Workloads.Workload.t) ->
+      List.init schedules (fun i ->
+          run_one ?spec ?max_instructions w ~size:(size_of w)
+            ~seed:(seed + (1000 * i))))
+    Workloads.Registry.all
+
+let describe v =
+  Printf.sprintf
+    "%-10s seed=%-6d %s %s faults=%d quarantined=%d evicted=%d healed=%d \
+     demoted=%d promoted=%d violations=%d"
+    v.workload v.seed
+    (if v.identical then "identical" else "DIVERGED(FT901)")
+    (if v.recovered then "recovered" else "DEGRADED(FT902)")
+    v.stats.Stats.faults_injected v.stats.Stats.traces_quarantined
+    v.stats.Stats.traces_evicted v.stats.Stats.healed_nodes
+    v.stats.Stats.health_demotions v.stats.Stats.health_promotions
+    v.stats.Stats.invariant_violations

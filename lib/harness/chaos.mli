@@ -1,0 +1,55 @@
+(** Chaos testing: workloads under randomized (but seeded, deterministic)
+    fault schedules, holding the engine to two promises:
+
+    - {b transparency} (gate code FT901) — tracing is a pure
+      observational overlay, so VM results must be bit-identical to a
+      no-tracing baseline under {e any} fault schedule;
+    - {b recovery} (gate code FT902) — the fault budget exhausts early in
+      the run, after which the self-healing machinery must climb the
+      degradation ladder back to full tracing before the run ends.
+
+    A schedule is a pure function of (spec, seed), so a failing seed is a
+    reproducible bug report. *)
+
+val default_spec : string
+(** Every fault kind armed, with a budget sized so a default-size
+    workload sees all of it early and then recovers. *)
+
+val config : ?spec:string -> seed:int -> unit -> Tracegen.Config.t
+(** The chaos operating point: self-healing and debug checks on, the
+    cache bounded, the given fault schedule armed. *)
+
+type verdict = {
+  workload : string;
+  seed : int;
+  identical : bool;  (** FT901: VM results match the baseline *)
+  recovered : bool;  (** FT902: ended the run at full tracing *)
+  stats : Tracegen.Stats.t;
+}
+
+val passed : verdict -> bool
+
+val run_one :
+  ?spec:string ->
+  ?max_instructions:int ->
+  Workloads.Workload.t ->
+  size:int ->
+  seed:int ->
+  verdict
+(** One workload under one seeded schedule, compared against a fresh
+    no-tracing baseline of the same layout. *)
+
+val gate :
+  ?spec:string ->
+  ?max_instructions:int ->
+  ?schedules:int ->
+  seed:int ->
+  size_of:(Workloads.Workload.t -> int) ->
+  unit ->
+  verdict list
+(** Every registered workload under [schedules] (default 50) seeded
+    schedules; seeds are [seed + 1000*i].  Returns every verdict — the
+    caller renders failures and derives an exit status. *)
+
+val describe : verdict -> string
+(** One line: pass/fail flags plus the resilience counters. *)

@@ -91,6 +91,18 @@ let stats_json ?(extra = []) (s : Stats.t) : json =
         ("trace_event_interval", J_float d.Stats.trace_event_interval);
         ("linking_rate", J_float d.Stats.linking_rate);
         ("dispatch_reduction", J_float d.Stats.dispatch_reduction);
+        ("invariant_violations", J_int s.Stats.invariant_violations);
+        ("faults_injected", J_int s.Stats.faults_injected);
+        ("traces_quarantined", J_int s.Stats.traces_quarantined);
+        ("traces_evicted", J_int s.Stats.traces_evicted);
+        ("traces_blacklisted", J_int s.Stats.traces_blacklisted);
+        ("failed_installs", J_int s.Stats.failed_installs);
+        ("healed_nodes", J_int s.Stats.healed_nodes);
+        ("health_demotions", J_int s.Stats.health_demotions);
+        ("health_promotions", J_int s.Stats.health_promotions);
+        ("final_health", J_int s.Stats.final_health);
+        ("quarantine_rate", J_float d.Stats.quarantine_rate);
+        ("eviction_rate", J_float d.Stats.eviction_rate);
         ("wall_seconds", J_float s.Stats.wall_seconds);
       ])
 
@@ -167,6 +179,36 @@ let event_json (e : Events.event) : json =
           ("code", J_string code);
           ("severity", J_string severity);
           ("message", J_string message);
+        ]
+    | Events.Fault_injected { code; detail } ->
+        [ ("code", J_string code); ("detail", J_string detail) ]
+    | Events.Trace_quarantined { trace_id; first; head; code; attempts; until }
+      ->
+        [
+          ("trace_id", J_int trace_id);
+          ("first", J_int first);
+          ("head", J_int head);
+          ("code", J_string code);
+          ("attempts", J_int attempts);
+          (* max_int = permanently blacklisted; JSON-friendly sentinel *)
+          ("until", J_int (if until = max_int then -1 else until));
+        ]
+    | Events.Trace_evicted { trace_id; first; head; n_live } ->
+        [
+          ("trace_id", J_int trace_id);
+          ("first", J_int first);
+          ("head", J_int head);
+          ("n_live", J_int n_live);
+        ]
+    | Events.Mode_degraded { from_level; to_level } ->
+        [
+          ("from", J_string (Tracegen.Health.level_to_string from_level));
+          ("to", J_string (Tracegen.Health.level_to_string to_level));
+        ]
+    | Events.Mode_recovered { from_level; to_level } ->
+        [
+          ("from", J_string (Tracegen.Health.level_to_string from_level));
+          ("to", J_string (Tracegen.Health.level_to_string to_level));
         ]
   in
   J_obj

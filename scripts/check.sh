@@ -25,6 +25,11 @@ dune runtest
 # workload; exits non-zero on any error-severity finding.
 dune exec bin/repro_cli.exe -- lint
 
+# Chaos gate: every workload under 50 seeded fault schedules must yield
+# VM results identical to the no-tracing baseline and recover to full
+# tracing; exits non-zero on any FT901/FT902 verdict.
+dune exec bin/repro_cli.exe -- chaos --seed 42 --quick
+
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc
 else

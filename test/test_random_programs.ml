@@ -251,6 +251,41 @@ let prop_constprop_cross_validated =
       | None -> true
       | Some msg -> QCheck.Test.fail_report msg)
 
+(* Chaos transparency: under ANY fault schedule — corrupted traces,
+   flipped counters, failed installations, allocation pressure — the
+   self-healing engine must still be a pure observational overlay: same
+   outcome, same instruction count as fault-free pure interpretation. *)
+let chaos_specs =
+  [|
+    Harness.Chaos.default_spec;
+    (* hot: every dispatch is a coin flip, small budget *)
+    "corrupt-trace@0.05,corrupt-instrs@0.05,zero-counter@0.03,budget=40";
+    (* bursty one-shots early in the run *)
+    "corrupt-trace!50,corrupt-trace!60,fail-install!70,alloc-pressure!80,\
+     drop-best!90,saturate-counter!100";
+  |]
+
+let prop_chaos_transparent =
+  QCheck.Test.make ~name:"faulted engine is transparent on random programs"
+    ~count:45
+    QCheck.(
+      pair arb_program (pair (int_bound 1_000_000) (int_bound 2)))
+    (fun (program, (seed, spec_i)) ->
+      let layout = Cfg.Layout.build program in
+      let plain =
+        Interp.run ~max_instructions:2_000_000 layout ~on_block:(fun _ -> ())
+      in
+      let config =
+        Harness.Chaos.config ~spec:chaos_specs.(spec_i) ~seed ()
+      in
+      let chaotic =
+        Tracegen.Engine.run ~config ~max_instructions:2_000_000 layout
+      in
+      same_outcome plain.Interp.outcome
+        chaotic.Tracegen.Engine.vm_result.Interp.outcome
+      && plain.Interp.instructions
+         = chaotic.Tracegen.Engine.vm_result.Interp.instructions)
+
 let prop_baselines_transparent =
   QCheck.Test.make ~name:"baseline overlays do not disturb execution"
     ~count:30 arb_program (fun program ->
@@ -279,6 +314,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_stats_bounded;
           QCheck_alcotest.to_alcotest prop_liveness_cross_validated;
           QCheck_alcotest.to_alcotest prop_constprop_cross_validated;
+          QCheck_alcotest.to_alcotest prop_chaos_transparent;
           QCheck_alcotest.to_alcotest prop_baselines_transparent;
         ] );
     ]

@@ -47,6 +47,42 @@ let test_dispatch_reduction () =
   (* block model: 100 outside + 200 completed + 30 partial = 330 over 150 *)
   check approx "reduction" (330.0 /. 150.0) (Stats.dispatch_reduction sample)
 
+let test_resilience_rates () =
+  let s =
+    {
+      sample with
+      Stats.traces_quarantined = 4;
+      traces_evicted = 2;
+      faults_injected = 6;
+    }
+  in
+  check approx "quarantine rate" 0.4 (Stats.quarantine_rate s);
+  check approx "eviction rate" 0.2 (Stats.eviction_rate s);
+  (* a healthy record rates at zero, and so does one with quarantines but
+     no constructions (no division by zero) *)
+  check approx "healthy quarantine rate" 0.0 (Stats.quarantine_rate sample);
+  check approx "no constructions" 0.0
+    (Stats.quarantine_rate { Stats.zero with Stats.traces_quarantined = 3 })
+
+let test_resilience_pp () =
+  (* healthy record: no resilience block *)
+  let healthy = Format.asprintf "%a" Stats.pp sample in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "healthy pp omits violations" false
+    (contains healthy "violations");
+  let chaotic =
+    Format.asprintf "%a" Stats.pp
+      { sample with Stats.faults_injected = 5; traces_quarantined = 2 }
+  in
+  check Alcotest.bool "chaotic pp shows violations line" true
+    (contains chaotic "violations");
+  check Alcotest.bool "chaotic pp shows quarantine count" true
+    (contains chaotic "quarantined")
+
 let test_zero_division_safety () =
   let z = Stats.zero in
   check approx "length" 0.0 (Stats.avg_trace_length z);
@@ -89,6 +125,8 @@ let () =
           tc "coverage" `Quick test_coverage;
           tc "rates" `Quick test_rates;
           tc "dispatch reduction" `Quick test_dispatch_reduction;
+          tc "resilience rates" `Quick test_resilience_rates;
+          tc "resilience pp" `Quick test_resilience_pp;
           tc "zero safety" `Quick test_zero_division_safety;
           tc "pp" `Quick test_pp;
         ] );
