@@ -329,6 +329,99 @@ let chaos_overhead () =
     "                          (run: faults=%d quarantined=%d healed=%d)\n"
     s.Stats.faults_injected s.Stats.traces_quarantined s.Stats.healed_nodes
 
+(* The engine re-reads the health ladder at every observed block to pick
+   a backend; pinning skips that.  Time pinned-trace against the
+   ladder-following default (both stay at full tracing, so the delta is
+   the pure selection cost), then a fault schedule hot enough to move the
+   ladder, reporting how often the strategy actually changed. *)
+let backend_switch_overhead () =
+  section "Backend switch overhead (ladder-following vs pinned)";
+  let layout = Lazy.force bench_layout in
+  let reps = max 1 (int_of_float (10.0 *. scale)) in
+  let time f =
+    f ();
+    let samples =
+      List.init 5 (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            f ()
+          done;
+          Unix.gettimeofday () -. t0)
+    in
+    List.nth (List.sort compare samples) 2
+  in
+  let pinned () =
+    ignore (Tracegen.Engine.run ~backend:Tracegen.Engine.Trace layout)
+  in
+  let following () = ignore (Tracegen.Engine.run layout) in
+  let switches = ref 0 in
+  let switching () =
+    let config =
+      Harness.Chaos.config
+        ~spec:
+          "corrupt-trace@0.02,corrupt-instrs@0.02,zero-counter@0.01,budget=60"
+        ~seed:42 ()
+    in
+    let r = Tracegen.Engine.run ~config layout in
+    switches :=
+      !switches + Tracegen.Engine.backend_switches r.Tracegen.Engine.engine
+  in
+  let t_pin = time pinned in
+  let t_follow = time following in
+  let t_switch = time switching in
+  let runs = (5 * reps) + 1 in
+  Printf.printf
+    "engine, pinned trace    : %8.2f ms/run (median of 5x%d)\n\
+     engine, ladder-followed : %8.2f ms/run (0 switches on a clean run)\n\
+     selection cost          : %+7.2f%%\n\
+     engine, under chaos     : %8.2f ms/run (~%d backend switches per run)\n"
+    (1000.0 *. t_pin /. float_of_int reps)
+    reps
+    (1000.0 *. t_follow /. float_of_int reps)
+    (100.0 *. (t_follow -. t_pin) /. t_pin)
+    (1000.0 *. t_switch /. float_of_int reps)
+    (!switches / runs)
+
+(* Four members of the same workload, private caches (solo engines) vs
+   one shared cache (a session): the shared side should reconstruct far
+   fewer traces and enter traces built by its siblings. *)
+let shared_cache () =
+  section "Shared vs private trace cache (4 members, compress)";
+  let layout = Lazy.force bench_layout in
+  let members = 4 in
+  let t0 = Unix.gettimeofday () in
+  let private_constructed = ref 0 in
+  for _ = 1 to members do
+    let r = Tracegen.Engine.run layout in
+    private_constructed :=
+      !private_constructed
+      + r.Tracegen.Engine.run_stats.Stats.traces_constructed
+  done;
+  let t_private = Unix.gettimeofday () -. t0 in
+  let session = Tracegen.Session.create () in
+  for u = 1 to members do
+    ignore (Tracegen.Session.add ~name:(Printf.sprintf "compress#%d" u)
+              session layout)
+  done;
+  let t1 = Unix.gettimeofday () in
+  Tracegen.Session.run session;
+  let t_shared = Unix.gettimeofday () -. t1 in
+  let shared_constructed =
+    List.fold_left
+      (fun n m ->
+        n + (Tracegen.Session.stats m).Stats.traces_constructed)
+      0
+      (Tracegen.Session.members session)
+  in
+  Printf.printf
+    "private caches          : %8.2f ms total, %d traces constructed\n\
+     shared cache (session)  : %8.2f ms total, %d traces constructed\n\
+     cross-session reuse     : %d installs saved, %d trace entries\n"
+    (1000.0 *. t_private) !private_constructed (1000.0 *. t_shared)
+    shared_constructed
+    (Tracegen.Session.cross_installs session)
+    (Tracegen.Session.cross_entries session)
+
 let micro () =
   section "Bechamel microbenchmarks";
   let test =
@@ -371,13 +464,28 @@ let micro () =
         tbl)
     results
 
+(* --smoke: the seconds-long subset check.sh runs on every gate — the
+   mechanism sections over the small layout, no paper tables, no
+   Bechamel. *)
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+
 let () =
-  tables ();
-  observability ();
-  debug_checks_overhead ();
-  chaos_overhead ();
-  (match Sys.getenv_opt "BENCH_SKIP_MICRO" with
-  | Some "1" -> ()
-  | Some _ | None -> micro ());
-  print_newline ();
-  print_endline "done."
+  if smoke then begin
+    backend_switch_overhead ();
+    shared_cache ();
+    print_newline ();
+    print_endline "smoke ok."
+  end
+  else begin
+    tables ();
+    observability ();
+    debug_checks_overhead ();
+    chaos_overhead ();
+    backend_switch_overhead ();
+    shared_cache ();
+    (match Sys.getenv_opt "BENCH_SKIP_MICRO" with
+    | Some "1" -> ()
+    | Some _ | None -> micro ());
+    print_newline ();
+    print_endline "done."
+  end

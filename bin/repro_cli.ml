@@ -4,30 +4,13 @@
 
 open Cmdliner
 
-let find_workload name =
-  match Workloads.Registry.find name with
-  | Some w -> w
-  | None ->
-      Printf.eprintf "unknown workload %s (try: %s)\n" name
-        (String.concat ", " (Workloads.Registry.names ()));
-      exit 2
+(* workload lookup, layout building, config validation and the shared
+   argument definitions live in Cli_common *)
+let find_workload = Cli_common.find_workload
 
-(* Config.make validates; turn a bad --threshold/--delay/--snapshot-period
-   into a clean CLI error rather than an uncaught exception. *)
-let config_or_die f =
-  try f () with
-  | Invalid_argument msg ->
-      Printf.eprintf "invalid configuration: %s\n" msg;
-      exit 2
+let config_or_die = Cli_common.config_or_die
 
-let layout_of w ~size =
-  let program =
-    match size with
-    | Some s -> w.Workloads.Workload.build ~size:s
-    | None -> Workloads.Workload.build_default w
-  in
-  Bytecode.Verify.verify_program program;
-  Cfg.Layout.build program
+let layout_of = Cli_common.layout_of
 
 (* ------------------------------------------------------------------ *)
 (* run                                                                  *)
@@ -38,11 +21,8 @@ let run_cmd workload size threshold delay fault_spec fault_seed self_heal
   let w = find_workload workload in
   let layout = layout_of w ~size in
   let config =
-    config_or_die (fun () ->
-        (* the engine parses the spec at create; surface a bad one here *)
-        ignore (Tracegen.Faults.create ~seed:fault_seed fault_spec);
-        Tracegen.Config.make ~threshold ~start_state_delay:delay
-          ~fault_spec ~fault_seed ~self_heal ~debug_checks:self_heal ())
+    Cli_common.engine_config ~threshold ~delay ~fault_spec ~fault_seed
+      ~self_heal ()
   in
   let result = Tracegen.Engine.run ~config layout in
   let s = result.Tracegen.Engine.run_stats in
@@ -108,15 +88,18 @@ let events_cmd workload size threshold delay fault_spec fault_seed self_heal
   let w = find_workload workload in
   let layout = layout_of w ~size in
   let config =
-    config_or_die (fun () ->
-        ignore (Tracegen.Faults.create ~seed:fault_seed fault_spec);
-        Tracegen.Config.make ~threshold ~start_state_delay:delay
-          ~fault_spec ~fault_seed ~self_heal ~debug_checks:self_heal
-          ~snapshot_period ())
+    Cli_common.engine_config ~snapshot_period ~threshold ~delay ~fault_spec
+      ~fault_seed ~self_heal ()
   in
   let events = Events.create () in
   let tally = Hashtbl.create 8 in
   let constructed_new = ref 0 in
+  let evicted_counted = ref 0 in
+  let evicted_quarantine = ref 0 in
+  let version_prefix =
+    Printf.sprintf "{\"schema_version\":%d," Harness.Export.schema_version
+  in
+  let unversioned = ref 0 in
   let _sub =
     Events.subscribe events (fun e ->
         let k = Events.kind e.Events.payload in
@@ -124,8 +107,17 @@ let events_cmd workload size threshold delay fault_spec fault_seed self_heal
           (1 + (try Hashtbl.find tally k with Not_found -> 0));
         (match e.Events.payload with
         | Events.Trace_constructed { reused = false; _ } -> incr constructed_new
+        | Events.Trace_evicted { reason = Events.Evict_quarantine; _ } ->
+            incr evicted_quarantine
+        | Events.Trace_evicted _ -> incr evicted_counted
         | _ -> ());
-        print_endline (Harness.Export.to_string (Harness.Export.event_json e)))
+        let line = Harness.Export.to_string (Harness.Export.event_json e) in
+        (* every record must announce the export schema version *)
+        if not (String.length line >= String.length version_prefix
+                && String.sub line 0 (String.length version_prefix)
+                   = version_prefix)
+        then incr unversioned;
+        print_endline line)
   in
   let result = Tracegen.Engine.run ~config ~events layout in
   let s = result.Tracegen.Engine.run_stats in
@@ -162,9 +154,16 @@ let events_cmd workload size threshold delay fault_spec fault_seed self_heal
       ( "trace_quarantined = traces_quarantined",
         count "trace_quarantined",
         s.Tracegen.Stats.traces_quarantined );
-      ( "trace_evicted = traces_evicted",
-        count "trace_evicted",
+      (* quarantine removals also emit trace_evicted (reason
+         "quarantine") but count under traces_quarantined, not
+         traces_evicted *)
+      ( "trace_evicted (capacity+pressure) = traces_evicted",
+        !evicted_counted,
         s.Tracegen.Stats.traces_evicted );
+      ( "trace_evicted (all reasons) = timeline total",
+        !evicted_counted + !evicted_quarantine,
+        count "trace_evicted" );
+      ("schema_version on every record", !unversioned, 0);
       ( "mode_degraded = health_demotions",
         count "mode_degraded",
         s.Tracegen.Stats.health_demotions );
@@ -396,41 +395,164 @@ let chaos_cmd workload size seed schedules spec quick verbose catalogue =
   end
 
 (* ------------------------------------------------------------------ *)
+(* backends                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Describe the three dispatch backends, then pin each one over every
+   selected workload and hold its VM result to the plain-interpreter
+   fingerprint — the pure-overlay promise, per strategy.  Exit 1 on any
+   divergence. *)
+let backends_cmd workload size threshold delay =
+  let module Engine = Tracegen.Engine in
+  Printf.printf "%-8s %s\n" "backend" "strategy";
+  List.iter
+    (fun k ->
+      let (module B : Tracegen.Backend.S) = Engine.implementation k in
+      Printf.printf "%-8s %s\n" B.name B.describe)
+    Engine.backends;
+  let ws =
+    match workload with
+    | Some name -> [ find_workload name ]
+    | None -> Workloads.Registry.all
+  in
+  let config =
+    config_or_die (fun () ->
+        Tracegen.Config.make ~threshold ~start_state_delay:delay ())
+  in
+  Printf.printf "\n%-10s %-8s %-6s %12s %12s %10s\n" "workload" "backend"
+    "ok" "block-disp" "trace-disp" "signals";
+  let failures = ref 0 in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let layout = layout_of w ~size in
+      let baseline = Vm.Interp.run_plain layout in
+      List.iter
+        (fun k ->
+          let r = Engine.run ~config ~backend:k layout in
+          let s = r.Engine.run_stats in
+          let ok =
+            Harness.Chaos.fingerprint baseline
+            = Harness.Chaos.fingerprint r.Engine.vm_result
+          in
+          if not ok then incr failures;
+          Printf.printf "%-10s %-8s %-6s %12d %12d %10d\n"
+            w.Workloads.Workload.name
+            (Engine.backend_kind_name k)
+            (if ok then "yes" else "NO")
+            s.Tracegen.Stats.block_dispatches
+            s.Tracegen.Stats.trace_dispatches s.Tracegen.Stats.signals)
+        Engine.backends)
+    ws;
+  if !failures > 0 then begin
+    Printf.eprintf "%d backend run(s) diverged from the interpreter\n"
+      !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* session                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Run several workloads interleaved in one session, [users] members per
+   workload, sharing a trace cache per layout; assert every member's VM
+   result is bit-identical to a solo plain-interpreter run and report the
+   cross-session trace reuse.  Exit 1 on any divergence. *)
+let session_cmd workloads users batch size threshold delay fault_spec
+    fault_seed self_heal =
+  let module Engine = Tracegen.Engine in
+  let module Session = Tracegen.Session in
+  let names = String.split_on_char ',' workloads in
+  let names = List.filter (fun n -> String.trim n <> "") names in
+  if names = [] then begin
+    Printf.eprintf "no workloads given (try --workloads compress,raytrace)\n";
+    exit 2
+  end;
+  if users < 1 then begin
+    Printf.eprintf "--users must be >= 1\n";
+    exit 2
+  end;
+  let config =
+    Cli_common.engine_config ~threshold ~delay ~fault_spec ~fault_seed
+      ~self_heal ()
+  in
+  let session =
+    config_or_die (fun () -> Session.create ?batch ())
+  in
+  (* one layout per workload name; members of the same workload run the
+     same layout value and therefore share its trace cache *)
+  let layouts =
+    List.map
+      (fun name ->
+        let w = find_workload (String.trim name) in
+        (w.Workloads.Workload.name, layout_of w ~size))
+      names
+  in
+  List.iter
+    (fun (name, layout) ->
+      for u = 1 to users do
+        ignore
+          (Session.add
+             ~name:(Printf.sprintf "%s#%d" name u)
+             ~config session layout)
+      done)
+    layouts;
+  Session.run session;
+  let baselines =
+    List.map (fun (_, layout) -> (layout, Vm.Interp.run_plain layout)) layouts
+  in
+  Printf.printf "%-14s %-6s %12s %12s %12s %8s\n" "member" "ok" "instrs"
+    "block-disp" "trace-disp" "switches";
+  let failures = ref 0 in
+  List.iter
+    (fun m ->
+      let engine = Session.engine m in
+      let baseline =
+        List.assq (Engine.layout engine) baselines
+      in
+      let r = Session.vm_result m in
+      let ok =
+        Harness.Chaos.fingerprint baseline = Harness.Chaos.fingerprint r
+      in
+      if not ok then incr failures;
+      Printf.printf "%-14s %-6s %12d %12d %12d %8d\n" (Session.member_name m)
+        (if ok then "yes" else "NO")
+        r.Vm.Interp.instructions
+        (Engine.block_dispatches engine)
+        (Engine.trace_dispatches engine)
+        (Engine.backend_switches engine))
+    (Session.members session);
+  Printf.printf
+    "shared caches: %d for %d members; cross-session reuse: %d installs \
+     saved, %d trace entries\n"
+    (List.length (Session.caches session))
+    (List.length (Session.members session))
+    (Session.cross_installs session)
+    (Session.cross_entries session);
+  if !failures > 0 then begin
+    Printf.eprintf "%d member(s) diverged from the solo interpreter\n"
+      !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let workload_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+let workload_arg = Cli_common.workload_arg
 
-let size_arg =
-  Arg.(value & opt (some int) None & info [ "size" ] ~docv:"N"
-         ~doc:"Workload size (default: the workload's test size).")
+let size_arg = Cli_common.size_arg
 
-let threshold_arg =
-  Arg.(value & opt float 0.97 & info [ "threshold" ] ~docv:"P"
-         ~doc:"Trace completion threshold in (0,1].")
+let threshold_arg = Cli_common.threshold_arg
 
-let delay_arg =
-  Arg.(value & opt int 64 & info [ "delay" ] ~docv:"D"
-         ~doc:"Start state delay (paper: 1, 64 or 4096).")
+let delay_arg = Cli_common.delay_arg
 
-let scale_arg =
-  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S"
-         ~doc:"Scale factor on workload bench sizes (1.0 = paper-scale runs).")
+let scale_arg = Cli_common.scale_arg
 
-let fault_spec_arg =
-  Arg.(value & opt string "" & info [ "fault-spec" ] ~docv:"SPEC"
-         ~doc:"Fault schedule DSL (kind@prob, kind!tick, budget=K; empty = \
-               no injection).  See 'chaos --catalogue' for kinds.")
+let fault_spec_arg = Cli_common.fault_spec_arg
 
-let fault_seed_arg =
-  Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N"
-         ~doc:"PRNG seed for the fault schedule.")
+let fault_seed_arg = Cli_common.fault_seed_arg
 
-let self_heal_arg =
-  Arg.(value & flag & info [ "self-heal" ]
-         ~doc:"Enable quarantine, node repair and the degradation ladder \
-               (also turns on the invariant sweeps that drive them).")
+let self_heal_arg = Cli_common.self_heal_arg
 
 let run_term =
   let dump_traces =
@@ -563,6 +685,46 @@ let chaos_term =
     const chaos_cmd $ workload $ size_arg $ seed $ schedules $ spec $ quick
     $ verbose $ catalogue)
 
+let backends_term =
+  let workload =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
+           ~doc:"Workload to check (default: every registered workload).")
+  in
+  Term.(const backends_cmd $ workload $ size_arg $ threshold_arg $ delay_arg)
+
+let backends_info =
+  Cmd.info "backends"
+    ~doc:
+      "List the three dispatch backends (interp, profile, trace), then run \
+       workloads with each one pinned and assert the VM result matches the \
+       plain interpreter — the pure-overlay promise, per strategy."
+
+let session_term =
+  let workloads =
+    Arg.(required & opt (some string) None & info [ "workloads" ] ~docv:"A,B,C"
+           ~doc:"Comma-separated workloads to interleave.")
+  in
+  let users =
+    Arg.(value & opt int 2 & info [ "users" ] ~docv:"K"
+           ~doc:"Members per workload; 2+ makes same-workload members share \
+                 a trace cache and exercise cross-session reuse.")
+  in
+  let batch =
+    Arg.(value & opt (some int) None & info [ "batch" ] ~docv:"N"
+           ~doc:"Basic blocks each member advances per round-robin turn.")
+  in
+  Term.(
+    const session_cmd $ workloads $ users $ batch $ size_arg $ threshold_arg
+    $ delay_arg $ fault_spec_arg $ fault_seed_arg $ self_heal_arg)
+
+let session_info =
+  Cmd.info "session"
+    ~doc:
+      "Run several workloads interleaved in one multi-session engine over \
+       shared per-layout trace caches, assert every member's VM result is \
+       bit-identical to a solo interpreter run, and report cross-session \
+       trace reuse."
+
 let chaos_info =
   Cmd.info "chaos"
     ~doc:
@@ -592,4 +754,6 @@ let () =
             Cmd.v list_info list_term;
             Cmd.v lint_info lint_term;
             Cmd.v chaos_info chaos_term;
+            Cmd.v backends_info backends_term;
+            Cmd.v session_info session_term;
           ]))

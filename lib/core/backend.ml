@@ -1,0 +1,281 @@
+module Layout = Cfg.Layout
+
+(* The dispatch-strategy seam.
+
+   A backend is one way of processing the VM's block-dispatch stream:
+   pure interpretation (Backend_interp), BCG-profiled block dispatch
+   (Backend_profile), or trace-cache dispatch (Backend_trace).  The
+   engine owns one [ctx] — the state every strategy shares — and selects
+   a backend per dispatch from the health ladder, so degradation is a
+   backend *switch* rather than mode flags inside one loop.
+
+   This module holds the shared state record and the helpers every
+   strategy composes: the dispatch prologue (metrics tick, fault
+   injection), active-trace following, trace completion/side-exit
+   bookkeeping, health-ladder transitions and the invariant sweep.  The
+   strategies themselves live in backend_interp.ml / backend_profile.ml /
+   backend_trace.ml. *)
+
+type ctx = {
+  config : Config.t;
+  layout : Layout.t;
+  profiler : Profiler.t;
+  cache : Trace_cache.t;
+  events : Events.t;
+  metrics : Metrics.t;
+  health : Health.t;
+  faults : Faults.t;
+  (* trace execution state *)
+  mutable active : Trace.t option;
+  mutable active_pos : int; (* index of the next expected block *)
+  mutable matched_blocks : int;
+  mutable matched_instrs : int;
+  (* last two blocks actually executed, traces included *)
+  mutable prev : Layout.gid;
+  mutable prev2 : Layout.gid;
+  (* accounting *)
+  mutable block_dispatches : int;
+  mutable trace_dispatches : int;
+  mutable traces_entered : int;
+  mutable traces_completed : int;
+  mutable completed_blocks : int;
+  mutable partial_blocks : int;
+  mutable completed_instrs : int;
+  mutable partial_instrs : int;
+  mutable traces_constructed : int;
+  mutable builder_reuses : int;
+  mutable chained_entries : int;
+    (* trace entries whose previous dispatch completed another trace:
+       the dispatch-level view of Dynamo-style trace linking *)
+  mutable just_completed : bool;
+  (* debug_checks bookkeeping *)
+  mutable invariant_violations : int;
+  mutable seen_decays : int; (* decay boundary detector, like Profiler's *)
+  (* self-heal bookkeeping *)
+  mutable healed_nodes : int; (* BCG nodes repaired in place *)
+  mutable in_debug_sweep : bool;
+    (* re-entrancy guard: healing a node rechecks it, which can signal
+       the builder, whose construction boundary would sweep again *)
+}
+
+(* One dispatch strategy.  [step] decides what to do with a block
+   dispatched outside any trace; [on_block] is the full VM observer
+   (shared following of an active trace, then [step]); [stats_into]
+   overlays the counters this strategy maintains onto a Stats record, so
+   the engine's end-of-run statistics compose from the strategies. *)
+module type S = sig
+  val name : string
+  (* stable one-word identifier: "interp" / "profile" / "trace" *)
+
+  val describe : string
+  (* one-line human-readable description of the strategy *)
+
+  val step : ctx -> Layout.gid -> unit
+  (* process one block dispatched outside any trace *)
+
+  val on_block : ctx -> Layout.gid -> unit
+  (* the VM observer: follow the active trace if any, else [step] *)
+
+  val stats_into : ctx -> Stats.t -> Stats.t
+  (* overlay this strategy's counters onto [s] *)
+end
+
+(* Walk the health ladder: publish the transition and, when climbing out
+   of interp-only, drop the profiler's stale branch context (the skipped
+   dispatches never updated it). *)
+let apply_health ctx (transition : Health.transition) =
+  match transition with
+  | Health.Stay -> ()
+  | Health.Changed (from_level, to_level) ->
+      if Events.enabled ctx.events then
+        if Health.level_rank to_level > Health.level_rank from_level then
+          Events.emit ctx.events (Events.Mode_degraded { from_level; to_level })
+        else
+          Events.emit ctx.events
+            (Events.Mode_recovered { from_level; to_level });
+      if from_level = Health.Interp_only then Profiler.reset ctx.profiler
+
+(* Run the invariant sweep (Config.debug_checks): count every finding and
+   publish it on the stream.  Called at trace-construction and decay
+   boundaries, never on the plain dispatch path.
+
+   Under Config.self_heal the sweep also repairs what it found: flagged
+   BCG nodes are healed in place (losing corrupted history, keeping the
+   node profiling), flagged traces are quarantined, and the whole sweep
+   counts as one strike against the health ladder. *)
+let run_debug_checks ctx =
+  if ctx.in_debug_sweep then ()
+  else begin
+    ctx.in_debug_sweep <- true;
+    let bcg = Profiler.bcg ctx.profiler in
+    let diags =
+      Invariants.check_all ~layout:ctx.layout ctx.config ~bcg ~cache:ctx.cache
+    in
+    List.iter
+      (fun (d : Analysis.Diag.t) ->
+        ctx.invariant_violations <- ctx.invariant_violations + 1;
+        if Events.enabled ctx.events then
+          Events.emit ctx.events
+            (Events.Invariant_violation
+               {
+                 code = d.Analysis.Diag.code;
+                 severity =
+                   Analysis.Diag.severity_to_string d.Analysis.Diag.severity;
+                 message = Analysis.Diag.to_string d;
+               }))
+      diags;
+    if Config.self_heal ctx.config && diags <> [] then begin
+      let healed = Hashtbl.create 8 in
+      let condemned = Hashtbl.create 8 in
+      List.iter
+        (fun (d : Analysis.Diag.t) ->
+          match d.Analysis.Diag.loc with
+          | Analysis.Diag.Node_loc { x; y } ->
+              if not (Hashtbl.mem healed (x, y)) then begin
+                Hashtbl.replace healed (x, y) ();
+                match Bcg.find_node bcg ~x ~y with
+                | Some n ->
+                    if Bcg.heal_node bcg n then
+                      ctx.healed_nodes <- ctx.healed_nodes + 1
+                | None -> ()
+              end
+          | Analysis.Diag.Trace_loc { trace_id } ->
+              if not (Hashtbl.mem condemned trace_id) then begin
+                Hashtbl.replace condemned trace_id ();
+                (* quarantine by the trace's live entry binding *)
+                let entry = ref None in
+                Trace_cache.iter_entries ctx.cache (fun ~first ~head tr ->
+                    if tr.Trace.id = trace_id then entry := Some (first, head));
+                match !entry with
+                | Some (first, head) ->
+                    ignore
+                      (Trace_cache.quarantine ctx.cache ~first ~head
+                         ~code:d.Analysis.Diag.code)
+                | None -> ()
+              end
+          | Analysis.Diag.Method_loc _ | Analysis.Diag.Program_loc -> ())
+        diags;
+      apply_health ctx (Health.strike ctx.health)
+    end;
+    ctx.in_debug_sweep <- false
+  end
+
+let note_executed ctx g =
+  ctx.prev2 <- ctx.prev;
+  ctx.prev <- g
+
+(* The dispatch prologue every strategy runs first: advance the metrics
+   clock and, when the self-healing or fault machinery is armed, the
+   cache clock and the fault injector. *)
+let prologue ctx =
+  Metrics.tick ctx.metrics;
+  if Config.self_heal ctx.config || Faults.is_active ctx.faults then begin
+    let now = ctx.block_dispatches + ctx.trace_dispatches in
+    Trace_cache.set_clock ctx.cache now;
+    (* injected faults land just before the dispatch decision *)
+    List.iter
+      (fun (code, detail) ->
+        if Events.enabled ctx.events then
+          Events.emit ctx.events (Events.Fault_injected { code; detail }))
+      (Faults.tick ctx.faults ~now
+         ~bcg:(Profiler.bcg ctx.profiler)
+         ~cache:ctx.cache ~active:ctx.active)
+  end
+
+(* End the active trace after a completion. *)
+let finish_completed ctx (tr : Trace.t) =
+  ctx.just_completed <- true;
+  tr.Trace.completed <- tr.Trace.completed + 1;
+  ctx.traces_completed <- ctx.traces_completed + 1;
+  ctx.completed_blocks <- ctx.completed_blocks + Trace.n_blocks tr;
+  ctx.completed_instrs <- ctx.completed_instrs + tr.Trace.total_instrs;
+  ctx.active <- None;
+  if Events.enabled ctx.events then
+    Events.emit ctx.events
+      (Events.Trace_completed
+         {
+           trace_id = tr.Trace.id;
+           n_blocks = Trace.n_blocks tr;
+           n_instrs = tr.Trace.total_instrs;
+         });
+  (* the profiler missed the trace interior: reposition its context at the
+     trace's final branch *)
+  Profiler.resync ctx.profiler ~x:ctx.prev2 ~y:ctx.prev
+
+(* End the active trace after a side exit; the mismatching block has not
+   been processed yet. *)
+let finish_partial ctx (tr : Trace.t) =
+  ctx.just_completed <- false;
+  tr.Trace.partial_exits <- tr.Trace.partial_exits + 1;
+  tr.Trace.partial_instrs <- tr.Trace.partial_instrs + ctx.matched_instrs;
+  ctx.partial_blocks <- ctx.partial_blocks + ctx.matched_blocks;
+  ctx.partial_instrs <- ctx.partial_instrs + ctx.matched_instrs;
+  ctx.active <- None;
+  if Events.enabled ctx.events then
+    Events.emit ctx.events
+      (Events.Side_exit
+         {
+           trace_id = tr.Trace.id;
+           at_block = ctx.active_pos;
+           matched_blocks = ctx.matched_blocks;
+           matched_instrs = ctx.matched_instrs;
+         });
+  Profiler.resync ctx.profiler ~x:ctx.prev2 ~y:ctx.prev
+
+(* Validate a trace the dispatch lookup produced, before entering it.
+   Returns the code of the first violated invariant, or None when the
+   trace is sound.  The binding key is checked first (a corrupted head
+   block desynchronizes it), then the full TL2xx battery over the trace
+   body — the cost self-healing pays per trace dispatch. *)
+let validate_dispatch ctx (tr : Trace.t) ~prev ~cur : string option =
+  let f, h = Trace.entry_key tr in
+  if f <> prev || h <> cur then Some "TL202"
+  else
+    match
+      Invariants.check_trace
+        ~bcg:(Profiler.bcg ctx.profiler)
+        ~layout:ctx.layout ctx.config tr
+    with
+    | [] -> None
+    | d :: _ -> Some d.Analysis.Diag.code
+
+(* Follow the active trace, if any; a block outside every trace goes to
+   the strategy's [step].  Shared by every backend: an active trace is
+   followed to its end regardless of health-level changes mid-trace. *)
+let rec follow ~step ctx (g : Layout.gid) =
+  match ctx.active with
+  | None -> step ctx g
+  | Some tr ->
+      let expected = tr.Trace.blocks.(ctx.active_pos) in
+      if g = expected then begin
+        note_executed ctx g;
+        ctx.matched_blocks <- ctx.matched_blocks + 1;
+        ctx.matched_instrs <-
+          ctx.matched_instrs + tr.Trace.instr_len.(ctx.active_pos);
+        if ctx.active_pos = Trace.n_blocks tr - 1 then finish_completed ctx tr
+        else ctx.active_pos <- ctx.active_pos + 1
+      end
+      else begin
+        (* side exit: leave the trace, then process g normally (it may
+           itself enter another trace) *)
+        finish_partial ctx tr;
+        follow ~step ctx g
+      end
+
+(* The full VM observer a backend's [on_block] is built from: stamp the
+   event clock, follow/step, then check for a decay boundary. *)
+let observe ~step ctx (g : Layout.gid) =
+  (* stamp the stream once per observed block; events emitted during this
+     step carry the current dispatch index *)
+  if Events.enabled ctx.events then
+    Events.set_now ctx.events (ctx.block_dispatches + ctx.trace_dispatches);
+  follow ~step ctx g;
+  if Config.debug_checks ctx.config then begin
+    (* decay boundary: the BCG ran one or more decay passes during this
+       dispatch *)
+    let d = (Profiler.bcg ctx.profiler).Bcg.decays in
+    if d <> ctx.seen_decays then begin
+      ctx.seen_decays <- d;
+      run_debug_checks ctx
+    end
+  end

@@ -1,0 +1,128 @@
+(** The dispatch-strategy seam.
+
+    A {e backend} is one way of processing the VM's block-dispatch
+    stream — the paper's ladder of execution modes made explicit:
+
+    - [Backend_interp] — pure interpretation, not even the profiler hook;
+    - [Backend_profile] — block dispatch with BCG profiling;
+    - [Backend_trace] — trace-cache dispatch over the profiled stream.
+
+    The engine owns one {!ctx} (the state every strategy shares) and
+    selects a backend per dispatch from the {!Health} ladder, so
+    degradation is a backend {e switch} rather than mode flags threaded
+    through one loop.  All three strategies observe the same stream and
+    keep the VM's results bit-identical — a backend only changes what
+    bookkeeping rides along.
+
+    This module holds the shared context and the helpers strategies
+    compose ({!prologue}, {!follow}, {!observe}, the trace
+    completion/side-exit bookkeeping, the health-ladder walk and the
+    invariant sweep); the strategy implementations live in their own
+    modules. *)
+
+type ctx = {
+  config : Config.t;
+  layout : Cfg.Layout.t;
+  profiler : Profiler.t;
+  cache : Trace_cache.t;
+  events : Events.t;
+  metrics : Metrics.t;
+  health : Health.t;
+  faults : Faults.t;
+  mutable active : Trace.t option;
+      (** the trace currently being followed *)
+  mutable active_pos : int;  (** index of the next expected block *)
+  mutable matched_blocks : int;
+  mutable matched_instrs : int;
+  mutable prev : Cfg.Layout.gid;
+      (** last block actually executed, traces included *)
+  mutable prev2 : Cfg.Layout.gid;
+  mutable block_dispatches : int;
+  mutable trace_dispatches : int;
+  mutable traces_entered : int;
+  mutable traces_completed : int;
+  mutable completed_blocks : int;
+  mutable partial_blocks : int;
+  mutable completed_instrs : int;
+  mutable partial_instrs : int;
+  mutable traces_constructed : int;
+  mutable builder_reuses : int;
+  mutable chained_entries : int;
+  mutable just_completed : bool;
+  mutable invariant_violations : int;
+  mutable seen_decays : int;
+  mutable healed_nodes : int;
+  mutable in_debug_sweep : bool;
+}
+(** The engine's dispatch state, shared by every strategy.  The record
+    is concrete so strategies (including out-of-tree ones) can be
+    written against it; everyone else should treat it as owned by the
+    engine and read it through [Engine]'s accessors. *)
+
+(** One dispatch strategy. *)
+module type S = sig
+  val name : string
+  (** Stable one-word identifier: ["interp"] / ["profile"] /
+      ["trace"]. *)
+
+  val describe : string
+  (** One-line human-readable description of the strategy. *)
+
+  val step : ctx -> Cfg.Layout.gid -> unit
+  (** Process one block dispatched {e outside} any trace: the dispatch
+      decision that distinguishes the strategies. *)
+
+  val on_block : ctx -> Cfg.Layout.gid -> unit
+  (** The full VM observer: follow the active trace if any, else
+      {!step}; built from {!observe}. *)
+
+  val stats_into : ctx -> Stats.t -> Stats.t
+  (** Overlay the counters this strategy maintains onto a Stats record.
+      The engine composes the end-of-run statistics by piping a base
+      record through every strategy's [stats_into] — counters are
+      cumulative over the whole run, whichever backend was active when
+      they advanced. *)
+end
+
+(** {2 Shared helpers for strategy implementations} *)
+
+val prologue : ctx -> unit
+(** The dispatch prologue every [step] runs first: advance the metrics
+    clock and, when self-healing or fault injection is armed, the cache
+    clock and the fault injector. *)
+
+val note_executed : ctx -> Cfg.Layout.gid -> unit
+(** Record [g] as the most recently executed block (shifting the
+    two-block window the profiler resynchronizes from). *)
+
+val apply_health : ctx -> Health.transition -> unit
+(** Publish a ladder transition ([Mode_degraded] / [Mode_recovered])
+    and reset the profiler when climbing out of interp-only. *)
+
+val run_debug_checks : ctx -> unit
+(** The invariant sweep ({!Config.t.debug_checks}): count and publish
+    every finding; under self-healing also heal flagged BCG nodes,
+    quarantine flagged traces and strike the ladder.  Re-entrancy
+    guarded. *)
+
+val finish_completed : ctx -> Trace.t -> unit
+(** End the active trace after a completion and resync the profiler. *)
+
+val finish_partial : ctx -> Trace.t -> unit
+(** End the active trace after a side exit (the mismatching block has
+    not been processed yet) and resync the profiler. *)
+
+val validate_dispatch :
+  ctx -> Trace.t -> prev:Cfg.Layout.gid -> cur:Cfg.Layout.gid -> string option
+(** Validate a trace produced by the dispatch lookup before entering
+    it; [Some code] names the first violated invariant. *)
+
+val follow : step:(ctx -> Cfg.Layout.gid -> unit) -> ctx -> Cfg.Layout.gid -> unit
+(** Follow the active trace, if any; a block outside every trace goes
+    to [step].  An active trace is followed to its end regardless of
+    health-level changes mid-trace. *)
+
+val observe : step:(ctx -> Cfg.Layout.gid -> unit) -> ctx -> Cfg.Layout.gid -> unit
+(** The full VM observer a backend's [on_block] is built from: stamp
+    the event clock, {!follow}, then run the decay-boundary invariant
+    sweep when armed. *)

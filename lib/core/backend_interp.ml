@@ -1,0 +1,24 @@
+(* Pure interpretation: the ladder's last resort (Health.Interp_only).
+
+   Every block is an ordinary block dispatch and not even the profiler
+   hook runs — the profiler only counts how much of the stream it missed,
+   so its branch context goes stale (the engine resets it on promotion
+   back up).  Clean dispatches still feed the health ladder so the
+   engine can probe its way back to profiling. *)
+
+let name = "interp"
+
+let describe = "pure interpretation: no profiling, no traces"
+
+let step (ctx : Backend.ctx) g =
+  Backend.prologue ctx;
+  ctx.Backend.block_dispatches <- ctx.Backend.block_dispatches + 1;
+  ctx.Backend.just_completed <- false;
+  Profiler.note_skipped ctx.Backend.profiler;
+  Backend.note_executed ctx g;
+  Backend.apply_health ctx (Health.clean_dispatch ctx.Backend.health)
+
+let on_block ctx g = Backend.observe ~step ctx g
+
+let stats_into (ctx : Backend.ctx) (s : Stats.t) =
+  { s with Stats.block_dispatches = ctx.Backend.block_dispatches }

@@ -1,0 +1,5 @@
+(** Pure interpretation — the ladder's last resort
+    ([Health.Interp_only]): every block is an ordinary dispatch and not
+    even the profiler hook runs.  See {!Backend.S}. *)
+
+include Backend.S

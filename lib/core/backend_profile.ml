@@ -1,0 +1,36 @@
+(* BCG-profiled block dispatch (Health.Profiling_only, and full tracing
+   when Config.build_traces is off — the paper's Table VI overhead
+   configuration).
+
+   Every block is an ordinary block dispatch feeding the profiler; the
+   trace cache is never consulted, so no trace is ever entered.  The
+   profiler's signals still fire — trace construction is the signal
+   subscriber's business (the engine gates it on Config.build_traces),
+   not this strategy's. *)
+
+let name = "profile"
+
+let describe = "block dispatch with BCG profiling; traces never entered"
+
+let step (ctx : Backend.ctx) g =
+  Backend.prologue ctx;
+  ctx.Backend.block_dispatches <- ctx.Backend.block_dispatches + 1;
+  ctx.Backend.just_completed <- false;
+  Profiler.dispatch ctx.Backend.profiler g;
+  Backend.note_executed ctx g;
+  if Config.self_heal ctx.Backend.config then
+    Backend.apply_health ctx (Health.clean_dispatch ctx.Backend.health)
+
+let on_block ctx g = Backend.observe ~step ctx g
+
+let stats_into (ctx : Backend.ctx) (s : Stats.t) =
+  let profiler = ctx.Backend.profiler in
+  let bcg = Profiler.bcg profiler in
+  {
+    s with
+    Stats.block_dispatches = ctx.Backend.block_dispatches;
+    signals = Profiler.signals profiler;
+    bcg_nodes = Bcg.n_nodes bcg;
+    bcg_edges = Bcg.n_edges bcg;
+    ic_predictions = Profiler.predictions profiler;
+  }

@@ -1,0 +1,6 @@
+(** BCG-profiled block dispatch ([Health.Profiling_only], and full
+    tracing with [Config.build_traces] off — the paper's Table VI
+    configuration): every block feeds the profiler, the trace cache is
+    never consulted.  See {!Backend.S}. *)
+
+include Backend.S

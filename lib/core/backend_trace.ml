@@ -1,0 +1,99 @@
+(* Trace-cache dispatch (Health.Full_tracing with Config.build_traces):
+   the complete system of the paper.
+
+   A block dispatched outside any trace first consults the cache by its
+   entering transition: a hit is one *trace* dispatch (the hook runs
+   once, the trace's interior blocks are inlined), a miss is an ordinary
+   profiled block dispatch.  Under self-healing every candidate trace is
+   validated before entry; a condemned trace is quarantined and counts
+   as a strike against the ladder, and the block falls back to a normal
+   dispatch. *)
+
+let name = "trace"
+
+let describe = "trace-cache dispatch over the profiled block stream"
+
+let enter (ctx : Backend.ctx) (tr : Trace.t) g =
+  ctx.Backend.trace_dispatches <- ctx.Backend.trace_dispatches + 1;
+  ctx.Backend.traces_entered <- ctx.Backend.traces_entered + 1;
+  let chained = ctx.Backend.just_completed in
+  if chained then ctx.Backend.chained_entries <- ctx.Backend.chained_entries + 1;
+  ctx.Backend.just_completed <- false;
+  tr.Trace.entered <- tr.Trace.entered + 1;
+  if Events.enabled ctx.Backend.events then
+    Events.emit ctx.Backend.events
+      (Events.Trace_entered { trace_id = tr.Trace.id; chained });
+  (* the single profiling statement of a trace dispatch *)
+  Profiler.dispatch ctx.Backend.profiler g;
+  Backend.note_executed ctx g;
+  ctx.Backend.matched_blocks <- 1;
+  ctx.Backend.matched_instrs <- tr.Trace.instr_len.(0);
+  if Trace.n_blocks tr = 1 then begin
+    (* degenerate single-block trace: completes immediately *)
+    ctx.Backend.active <- None;
+    Backend.finish_completed ctx tr
+  end
+  else begin
+    ctx.Backend.active <- Some tr;
+    ctx.Backend.active_pos <- 1
+  end
+
+let step (ctx : Backend.ctx) g =
+  Backend.prologue ctx;
+  let self_heal = Config.self_heal ctx.Backend.config in
+  let candidate =
+    Trace_cache.lookup ctx.Backend.cache ~prev:ctx.Backend.prev ~cur:g
+  in
+  let candidate, detected =
+    match candidate with
+    | Some tr when self_heal -> (
+        match
+          Backend.validate_dispatch ctx tr ~prev:ctx.Backend.prev ~cur:g
+        with
+        | None -> (Some tr, false)
+        | Some code ->
+            (* condemned at dispatch: quarantine the entry and strike
+               the ladder, then dispatch the block normally *)
+            ignore
+              (Trace_cache.quarantine ctx.Backend.cache ~first:ctx.Backend.prev
+                 ~head:g ~code);
+            Backend.apply_health ctx (Health.strike ctx.Backend.health);
+            (None, true))
+    | c -> (c, false)
+  in
+  (match candidate with
+  | Some tr -> enter ctx tr g
+  | None ->
+      ctx.Backend.block_dispatches <- ctx.Backend.block_dispatches + 1;
+      ctx.Backend.just_completed <- false;
+      Profiler.dispatch ctx.Backend.profiler g;
+      Backend.note_executed ctx g);
+  if self_heal && not detected then
+    Backend.apply_health ctx (Health.clean_dispatch ctx.Backend.health)
+
+let on_block ctx g = Backend.observe ~step ctx g
+
+let stats_into (ctx : Backend.ctx) (s : Stats.t) =
+  let static_traces = ref 0 in
+  let static_blocks = ref 0 in
+  Trace_cache.iter_all ctx.Backend.cache (fun tr ->
+      if tr.Trace.completed > 0 then begin
+        incr static_traces;
+        static_blocks := !static_blocks + Trace.n_blocks tr
+      end);
+  {
+    s with
+    Stats.trace_dispatches = ctx.Backend.trace_dispatches;
+    traces_entered = ctx.Backend.traces_entered;
+    traces_completed = ctx.Backend.traces_completed;
+    completed_blocks = ctx.Backend.completed_blocks;
+    partial_blocks = ctx.Backend.partial_blocks;
+    completed_instrs = ctx.Backend.completed_instrs;
+    partial_instrs = ctx.Backend.partial_instrs;
+    traces_constructed = ctx.Backend.traces_constructed;
+    traces_replaced = Trace_cache.n_replaced ctx.Backend.cache;
+    traces_live = Trace_cache.n_live ctx.Backend.cache;
+    static_traces = !static_traces;
+    static_blocks = !static_blocks;
+    chained_entries = ctx.Backend.chained_entries;
+  }

@@ -1,0 +1,7 @@
+(** Trace-cache dispatch ([Health.Full_tracing]): the complete system of
+    the paper — cache hits become trace dispatches with inlined interior
+    blocks, misses are profiled block dispatches, and under self-healing
+    every candidate trace is validated before entry.  See
+    {!Backend.S}. *)
+
+include Backend.S

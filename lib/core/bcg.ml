@@ -101,7 +101,7 @@ let evaluate_state t (n : node) : State.t * edge option =
       | None -> (State.Weakly_correlated, None)
       | Some e ->
           let c = correlation n e in
-          if c >= t.config.Config.threshold then
+          if c >= Config.threshold t.config then
             (State.Strongly_correlated, Some e)
           else (State.Weakly_correlated, Some e))
 
@@ -162,7 +162,7 @@ let make_node t ~x ~y =
       n_x = x;
       n_y = y;
       exec_total = 0;
-      delay_left = t.config.Config.start_state_delay;
+      delay_left = Config.start_state_delay t.config;
       since_decay = 0;
       state = State.Newly_created;
       edges = [];
@@ -191,7 +191,7 @@ let visit_node t ~x ~y : node =
   end
   else begin
     n.since_decay <- n.since_decay + 1;
-    if n.since_decay >= t.config.Config.decay_period then begin
+    if n.since_decay >= Config.decay_period t.config then begin
       n.since_decay <- 0;
       decay t n
     end
@@ -220,7 +220,7 @@ let record_successor t ~(ctx : node) ~(target : node) =
   let bumped =
     match find_edge ctx z with
     | Some e ->
-        e.weight <- min (e.weight + event_weight) t.config.Config.counter_max;
+        e.weight <- min (e.weight + event_weight) (Config.counter_max t.config);
         e
     | None ->
         let e = { e_z = z; e_target = target; weight = event_weight } in
@@ -251,10 +251,10 @@ let heal_node t (n : node) : bool =
     v'
   in
   List.iter
-    (fun e -> e.weight <- clamp 1 t.config.Config.counter_max e.weight)
+    (fun e -> e.weight <- clamp 1 (Config.counter_max t.config) e.weight)
     n.edges;
-  n.since_decay <- clamp 0 (t.config.Config.decay_period - 1) n.since_decay;
-  n.delay_left <- clamp 0 t.config.Config.start_state_delay n.delay_left;
+  n.since_decay <- clamp 0 (Config.decay_period t.config - 1) n.since_decay;
+  n.delay_left <- clamp 0 (Config.start_state_delay t.config) n.delay_left;
   if n.delay_left > 0 <> (n.state = State.Newly_created) then begin
     (* trust the state over the countdown: a promoted node stays promoted *)
     n.delay_left <- (if n.state = State.Newly_created then 1 else 0);

@@ -1,143 +1,246 @@
-(* Parameters of the profiling and trace-generation algorithm (paper §5.2).
+(* Parameters of the profiling and trace-generation algorithm (paper §5.2),
+   grouped into layered sub-records mirroring the subsystems that consume
+   them:
 
-   The two the paper sweeps are [start_state_delay] (1 / 64 / 4096) and
-   [threshold] (1.00 / 0.99 / 0.98 / 0.97 / 0.95); the rest are the fixed
-   constants the paper states: 256-dispatch decay period and 16-bit
-   counters. *)
+   - [Profile]: the BCG profiler and trace builder (paper §5.2 proper —
+     the two swept parameters live here);
+   - [Cache]: trace-cache capacity bounds;
+   - [Heal]: the self-healing machinery and degradation ladder;
+   - [Faults]: the fault-injection schedule.
+
+   [make] keeps the original flat labelled signature, and the per-field
+   accessor functions below keep projection sites one call deep, so
+   consumers never need to spell the nesting. *)
+
+module Profile = struct
+  type t = {
+    start_state_delay : int;
+        (* executions before a branch node leaves the newly-created state;
+           filters rarely executed code *)
+    threshold : float;
+        (* minimum expected trace completion probability, and the
+           strong/weak correlation boundary *)
+    decay_period : int; (* node executions between exponential decay passes *)
+    counter_max : int; (* saturation value of the 16-bit counters *)
+    max_trace_blocks : int; (* defensive cap on trace length *)
+    min_trace_blocks : int; (* traces shorter than this are not cached *)
+    max_walk : int; (* cap on maximum-likelihood walk length *)
+    max_backtrack : int; (* cap on entry-point backtracking depth *)
+    build_traces : bool; (* false = profile-only run (Table VI) *)
+  }
+
+  let default =
+    {
+      start_state_delay = 64;
+      threshold = 0.97;
+      decay_period = 256;
+      counter_max = 65535;
+      max_trace_blocks = 64;
+      min_trace_blocks = 2;
+      max_walk = 256;
+      max_backtrack = 128;
+      build_traces = true;
+    }
+
+  let validate t =
+    if t.start_state_delay < 1 then invalid_arg "start_state_delay < 1";
+    if t.threshold <= 0.0 || t.threshold > 1.0 then
+      invalid_arg "threshold out of (0, 1]";
+    if t.decay_period < 2 then invalid_arg "decay_period < 2";
+    if t.counter_max < 2 then invalid_arg "counter_max < 2";
+    if t.min_trace_blocks < 2 then invalid_arg "min_trace_blocks < 2";
+    if t.max_trace_blocks < t.min_trace_blocks then
+      invalid_arg "max_trace_blocks < min_trace_blocks"
+end
+
+module Cache = struct
+  type t = {
+    max_traces : int;
+        (* bound on live traces in the cache; 0 = unbounded.  Exceeding it
+           evicts the least recently dispatched entry. *)
+    max_blocks : int;
+        (* bound on the total block count of live traces; 0 = unbounded *)
+  }
+
+  let default = { max_traces = 0; max_blocks = 0 }
+
+  let validate t =
+    if t.max_traces < 0 then invalid_arg "max_cache_traces < 0";
+    if t.max_blocks < 0 then invalid_arg "max_cache_blocks < 0"
+end
+
+module Heal = struct
+  type t = {
+    self_heal : bool;
+        (* validate traces at dispatch, quarantine on any detected fault,
+           heal corrupted BCG nodes, and walk the degradation ladder *)
+    max_rebuilds : int;
+        (* quarantines of one entry transition before it is permanently
+           blacklisted *)
+    backoff : int;
+        (* node executions before a quarantined entry may be rebuilt;
+           doubles per quarantine of the same entry *)
+    demote_after : int; (* detections before dropping a health level *)
+    recover_after : int;
+        (* consecutive clean dispatches before climbing a health level *)
+  }
+
+  let default =
+    {
+      self_heal = false;
+      max_rebuilds = 3;
+      backoff = 512;
+      demote_after = 3;
+      recover_after = 400;
+    }
+
+  let validate t =
+    if t.max_rebuilds < 1 then invalid_arg "heal_max_rebuilds < 1";
+    if t.backoff < 1 then invalid_arg "heal_backoff < 1";
+    if t.demote_after < 1 then invalid_arg "heal_demote_after < 1";
+    if t.recover_after < 1 then invalid_arg "heal_recover_after < 1"
+end
+
+module Faults = struct
+  type t = {
+    spec : string;
+        (* fault-injection schedule DSL (see Faults.parse); "" disables
+           injection.  Parsed by the engine at creation. *)
+    seed : int; (* PRNG seed of the fault injector *)
+  }
+
+  let default = { spec = ""; seed = 1 }
+
+  let validate (_ : t) = ()
+end
 
 type t = {
-  start_state_delay : int;
-      (* executions before a branch node leaves the newly-created state;
-         filters rarely executed code *)
-  threshold : float;
-      (* minimum expected trace completion probability, and the
-         strong/weak correlation boundary *)
-  decay_period : int; (* node executions between exponential decay passes *)
-  counter_max : int; (* saturation value of the 16-bit counters *)
-  max_trace_blocks : int; (* defensive cap on trace length *)
-  min_trace_blocks : int; (* traces shorter than this are not cached *)
-  max_walk : int; (* cap on maximum-likelihood walk length *)
-  max_backtrack : int; (* cap on entry-point backtracking depth *)
-  build_traces : bool; (* false = profile-only run (Table VI) *)
+  profile : Profile.t;
+  cache : Cache.t;
+  heal : Heal.t;
+  faults : Faults.t;
   snapshot_period : int;
       (* dispatches between periodic metrics snapshots; 0 disables the
          series (the observability layer's quiescent default) *)
   debug_checks : bool;
       (* run the trace/BCG invariant checks at trace-construction and
          decay boundaries, emitting an event per violation *)
-  (* fault tolerance *)
-  max_cache_traces : int;
-      (* bound on live traces in the cache; 0 = unbounded.  Exceeding it
-         evicts the least recently dispatched entry. *)
-  max_cache_blocks : int;
-      (* bound on the total block count of live traces; 0 = unbounded *)
-  self_heal : bool;
-      (* validate traces at dispatch, quarantine on any detected fault,
-         heal corrupted BCG nodes, and walk the degradation ladder *)
-  heal_max_rebuilds : int;
-      (* quarantines of one entry transition before it is permanently
-         blacklisted *)
-  heal_backoff : int;
-      (* node executions before a quarantined entry may be rebuilt;
-         doubles per quarantine of the same entry *)
-  heal_demote_after : int; (* detections before dropping a health level *)
-  heal_recover_after : int;
-      (* consecutive clean dispatches before climbing a health level *)
-  fault_spec : string;
-      (* fault-injection schedule DSL (see Faults.parse); "" disables
-         injection.  Parsed by the engine at creation. *)
-  fault_seed : int; (* PRNG seed of the fault injector *)
 }
 
 let default =
   {
-    start_state_delay = 64;
-    threshold = 0.97;
-    decay_period = 256;
-    counter_max = 65535;
-    max_trace_blocks = 64;
-    min_trace_blocks = 2;
-    max_walk = 256;
-    max_backtrack = 128;
-    build_traces = true;
+    profile = Profile.default;
+    cache = Cache.default;
+    heal = Heal.default;
+    faults = Faults.default;
     snapshot_period = 0;
     debug_checks = false;
-    max_cache_traces = 0;
-    max_cache_blocks = 0;
-    self_heal = false;
-    heal_max_rebuilds = 3;
-    heal_backoff = 512;
-    heal_demote_after = 3;
-    heal_recover_after = 400;
-    fault_spec = "";
-    fault_seed = 1;
   }
 
-let validate t =
-  if t.start_state_delay < 1 then invalid_arg "start_state_delay < 1";
-  if t.threshold <= 0.0 || t.threshold > 1.0 then
-    invalid_arg "threshold out of (0, 1]";
-  if t.decay_period < 2 then invalid_arg "decay_period < 2";
-  if t.counter_max < 2 then invalid_arg "counter_max < 2";
-  if t.min_trace_blocks < 2 then invalid_arg "min_trace_blocks < 2";
-  if t.max_trace_blocks < t.min_trace_blocks then
-    invalid_arg "max_trace_blocks < min_trace_blocks";
-  if t.snapshot_period < 0 then invalid_arg "snapshot_period < 0";
-  if t.max_cache_traces < 0 then invalid_arg "max_cache_traces < 0";
-  if t.max_cache_blocks < 0 then invalid_arg "max_cache_blocks < 0";
-  if t.heal_max_rebuilds < 1 then invalid_arg "heal_max_rebuilds < 1";
-  if t.heal_backoff < 1 then invalid_arg "heal_backoff < 1";
-  if t.heal_demote_after < 1 then invalid_arg "heal_demote_after < 1";
-  if t.heal_recover_after < 1 then invalid_arg "heal_recover_after < 1"
+(* Leaf accessors: every consumer projects through these, so the nesting
+   is a Config-internal detail. *)
 
-let make ?(start_state_delay = default.start_state_delay)
-    ?(threshold = default.threshold) ?(decay_period = default.decay_period)
-    ?(counter_max = default.counter_max)
-    ?(max_trace_blocks = default.max_trace_blocks)
-    ?(min_trace_blocks = default.min_trace_blocks)
-    ?(max_walk = default.max_walk) ?(max_backtrack = default.max_backtrack)
-    ?(build_traces = default.build_traces)
+let start_state_delay t = t.profile.Profile.start_state_delay
+let threshold t = t.profile.Profile.threshold
+let decay_period t = t.profile.Profile.decay_period
+let counter_max t = t.profile.Profile.counter_max
+let max_trace_blocks t = t.profile.Profile.max_trace_blocks
+let min_trace_blocks t = t.profile.Profile.min_trace_blocks
+let max_walk t = t.profile.Profile.max_walk
+let max_backtrack t = t.profile.Profile.max_backtrack
+let build_traces t = t.profile.Profile.build_traces
+let max_cache_traces t = t.cache.Cache.max_traces
+let max_cache_blocks t = t.cache.Cache.max_blocks
+let self_heal t = t.heal.Heal.self_heal
+let heal_max_rebuilds t = t.heal.Heal.max_rebuilds
+let heal_backoff t = t.heal.Heal.backoff
+let heal_demote_after t = t.heal.Heal.demote_after
+let heal_recover_after t = t.heal.Heal.recover_after
+let fault_spec t = t.faults.Faults.spec
+let fault_seed t = t.faults.Faults.seed
+let snapshot_period t = t.snapshot_period
+let debug_checks t = t.debug_checks
+
+let validate t =
+  Profile.validate t.profile;
+  if t.snapshot_period < 0 then invalid_arg "snapshot_period < 0";
+  Cache.validate t.cache;
+  Heal.validate t.heal;
+  Faults.validate t.faults
+
+let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
+    ?(threshold = Profile.default.Profile.threshold)
+    ?(decay_period = Profile.default.Profile.decay_period)
+    ?(counter_max = Profile.default.Profile.counter_max)
+    ?(max_trace_blocks = Profile.default.Profile.max_trace_blocks)
+    ?(min_trace_blocks = Profile.default.Profile.min_trace_blocks)
+    ?(max_walk = Profile.default.Profile.max_walk)
+    ?(max_backtrack = Profile.default.Profile.max_backtrack)
+    ?(build_traces = Profile.default.Profile.build_traces)
     ?(snapshot_period = default.snapshot_period)
     ?(debug_checks = default.debug_checks)
-    ?(max_cache_traces = default.max_cache_traces)
-    ?(max_cache_blocks = default.max_cache_blocks)
-    ?(self_heal = default.self_heal)
-    ?(heal_max_rebuilds = default.heal_max_rebuilds)
-    ?(heal_backoff = default.heal_backoff)
-    ?(heal_demote_after = default.heal_demote_after)
-    ?(heal_recover_after = default.heal_recover_after)
-    ?(fault_spec = default.fault_spec) ?(fault_seed = default.fault_seed) () =
+    ?(max_cache_traces = Cache.default.Cache.max_traces)
+    ?(max_cache_blocks = Cache.default.Cache.max_blocks)
+    ?(self_heal = Heal.default.Heal.self_heal)
+    ?(heal_max_rebuilds = Heal.default.Heal.max_rebuilds)
+    ?(heal_backoff = Heal.default.Heal.backoff)
+    ?(heal_demote_after = Heal.default.Heal.demote_after)
+    ?(heal_recover_after = Heal.default.Heal.recover_after)
+    ?(fault_spec = Faults.default.Faults.spec)
+    ?(fault_seed = Faults.default.Faults.seed) () =
   let t =
     {
-      start_state_delay;
-      threshold;
-      decay_period;
-      counter_max;
-      max_trace_blocks;
-      min_trace_blocks;
-      max_walk;
-      max_backtrack;
-      build_traces;
+      profile =
+        {
+          Profile.start_state_delay;
+          threshold;
+          decay_period;
+          counter_max;
+          max_trace_blocks;
+          min_trace_blocks;
+          max_walk;
+          max_backtrack;
+          build_traces;
+        };
+      cache = { Cache.max_traces = max_cache_traces; max_blocks = max_cache_blocks };
+      heal =
+        {
+          Heal.self_heal;
+          max_rebuilds = heal_max_rebuilds;
+          backoff = heal_backoff;
+          demote_after = heal_demote_after;
+          recover_after = heal_recover_after;
+        };
+      faults = { Faults.spec = fault_spec; seed = fault_seed };
       snapshot_period;
       debug_checks;
-      max_cache_traces;
-      max_cache_blocks;
-      self_heal;
-      heal_max_rebuilds;
-      heal_backoff;
-      heal_demote_after;
-      heal_recover_after;
-      fault_spec;
-      fault_seed;
     }
   in
   validate t;
   t
 
-let with_threshold t threshold = { t with threshold }
+let with_threshold t threshold =
+  { t with profile = { t.profile with Profile.threshold } }
 
-let with_delay t start_state_delay = { t with start_state_delay }
+let with_delay t start_state_delay =
+  { t with profile = { t.profile with Profile.start_state_delay } }
+
+let with_profile t profile =
+  validate { t with profile };
+  { t with profile }
+
+let with_cache t cache =
+  validate { t with cache };
+  { t with cache }
+
+let with_heal t heal =
+  validate { t with heal };
+  { t with heal }
+
+let with_faults t faults =
+  validate { t with faults };
+  { t with faults }
 
 let pp ppf t =
-  Format.fprintf ppf "delay=%d threshold=%.2f decay=%d" t.start_state_delay
-    t.threshold t.decay_period
+  Format.fprintf ppf "delay=%d threshold=%.2f decay=%d" (start_state_delay t)
+    (threshold t) (decay_period t)

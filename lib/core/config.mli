@@ -1,35 +1,118 @@
 (** Parameters of the profiling and trace-generation algorithm (paper
-    §5.2).
+    §5.2), grouped into layered sub-records mirroring the subsystems
+    that consume them.
 
-    The two parameters the paper sweeps are {!field:start_state_delay}
-    (1 / 64 / 4096) and {!field:threshold} (1.00 … 0.95); the rest are the
-    constants the paper fixes: a 256-dispatch decay period and 16-bit
-    saturating counters. *)
+    The two parameters the paper sweeps are
+    {!field:Profile.start_state_delay} (1 / 64 / 4096) and
+    {!field:Profile.threshold} (1.00 … 0.95); the rest are the constants
+    the paper fixes: a 256-dispatch decay period and 16-bit saturating
+    counters.
+
+    Consumers should project through the per-field accessor functions
+    ([Config.threshold cfg] etc.) rather than spelling the nesting; the
+    flat {!make} constructor is the only way most callers build one. *)
+
+(** Knobs of the BCG profiler and trace builder (paper §5.2 proper). *)
+module Profile : sig
+  type t = {
+    start_state_delay : int;
+        (** Executions before a branch node leaves the newly-created
+            state; filters rarely executed code.  Paper values: 1, 64,
+            4096. *)
+    threshold : float;
+        (** Minimum expected trace completion probability, in (0, 1].
+            Also the strong/weak correlation boundary.  Paper values:
+            1.00, 0.99, 0.98, 0.97 (best), 0.95. *)
+    decay_period : int;
+        (** Node executions between periodic exponential decay passes
+            (paper: 256). *)
+    counter_max : int;
+        (** Saturation value of the correlation counters (paper: 16-bit,
+            65535). *)
+    max_trace_blocks : int;  (** Defensive cap on trace length in blocks. *)
+    min_trace_blocks : int;
+        (** Traces shorter than this are not cached (a 1-block trace is
+            a no-op). *)
+    max_walk : int;  (** Cap on the maximum-likelihood walk length. *)
+    max_backtrack : int;  (** Cap on entry-point backtracking depth. *)
+    build_traces : bool;
+        (** When [false] the engine profiles every dispatch but never
+            enters traces — the configuration of the paper's Table VI
+            overhead measurement. *)
+  }
+
+  val default : t
+
+  val validate : t -> unit
+end
+
+(** Trace-cache capacity bounds. *)
+module Cache : sig
+  type t = {
+    max_traces : int;
+        (** Bound on live traces in the cache; [0] (default) =
+            unbounded.  Exceeding it evicts the least recently
+            dispatched entry, so memory pressure degrades hit rate
+            instead of crashing. *)
+    max_blocks : int;
+        (** Bound on the total block count of live traces;
+            [0] = unbounded. *)
+  }
+
+  val default : t
+
+  val validate : t -> unit
+end
+
+(** Self-healing machinery and the degradation ladder. *)
+module Heal : sig
+  type t = {
+    self_heal : bool;
+        (** Validate traces at dispatch, quarantine any trace a TL2xx
+            check or an injected fault touches, heal corrupted BCG
+            nodes, and walk the [Health] degradation ladder
+            (full tracing → profiling-only → pure interpretation) with
+            recovery probes back up.  Off by default. *)
+    max_rebuilds : int;
+        (** Quarantines of one entry transition before it is permanently
+            blacklisted (default 3). *)
+    backoff : int;
+        (** Node executions before a quarantined entry may be rebuilt;
+            doubles on every further quarantine of the same entry
+            (default 512). *)
+    demote_after : int;
+        (** Detections before dropping one health level (default 3). *)
+    recover_after : int;
+        (** Consecutive clean dispatches before climbing one health
+            level back up (default 400). *)
+  }
+
+  val default : t
+
+  val validate : t -> unit
+end
+
+(** Fault-injection schedule. *)
+module Faults : sig
+  type t = {
+    spec : string;
+        (** Fault-injection schedule (see [Faults.parse] for the DSL);
+            [""] (default) disables injection.  The engine parses it at
+            creation and raises [Invalid_argument] on a malformed
+            spec. *)
+    seed : int;  (** PRNG seed of the fault injector. *)
+  }
+
+  val default : t
+
+  val validate : t -> unit
+end
 
 type t = {
-  start_state_delay : int;
-      (** Executions before a branch node leaves the newly-created state;
-          filters rarely executed code.  Paper values: 1, 64, 4096. *)
-  threshold : float;
-      (** Minimum expected trace completion probability, in (0, 1].  Also
-          the strong/weak correlation boundary.  Paper values: 1.00, 0.99,
-          0.98, 0.97 (best), 0.95. *)
-  decay_period : int;
-      (** Node executions between periodic exponential decay passes
-          (paper: 256). *)
-  counter_max : int;
-      (** Saturation value of the correlation counters (paper: 16-bit,
-          65535). *)
-  max_trace_blocks : int;  (** Defensive cap on trace length in blocks. *)
-  min_trace_blocks : int;
-      (** Traces shorter than this are not cached (a 1-block trace is a
-          no-op). *)
-  max_walk : int;  (** Cap on the maximum-likelihood walk length. *)
-  max_backtrack : int;  (** Cap on entry-point backtracking depth. *)
-  build_traces : bool;
-      (** When [false] the engine profiles every dispatch but never builds
-          or dispatches traces — the configuration of the paper's Table VI
-          overhead measurement. *)
+  profile : Profile.t;
+  cache : Cache.t;
+  heal : Heal.t;
+  faults : Faults.t;
   snapshot_period : int;
       (** Dispatches between periodic {!Metrics} snapshots; [0]
           (default) disables the snapshot series. *)
@@ -39,35 +122,6 @@ type t = {
           [Invariant_violation] event per finding.  Off by default: the
           checks walk every node and trace, which costs real time on hot
           paths. *)
-  max_cache_traces : int;
-      (** Bound on live traces in the cache; [0] (default) = unbounded.
-          Exceeding it evicts the least recently dispatched entry, so
-          memory pressure degrades hit rate instead of crashing. *)
-  max_cache_blocks : int;
-      (** Bound on the total block count of live traces; [0] = unbounded. *)
-  self_heal : bool;
-      (** Validate traces at dispatch, quarantine any trace a TL2xx
-          check or an injected fault touches, heal corrupted BCG nodes,
-          and walk the [Health] degradation ladder
-          (full tracing → profiling-only → pure interpretation) with
-          recovery probes back up.  Off by default. *)
-  heal_max_rebuilds : int;
-      (** Quarantines of one entry transition before it is permanently
-          blacklisted (default 3). *)
-  heal_backoff : int;
-      (** Node executions before a quarantined entry may be rebuilt;
-          doubles on every further quarantine of the same entry
-          (default 512). *)
-  heal_demote_after : int;
-      (** Detections before dropping one health level (default 3). *)
-  heal_recover_after : int;
-      (** Consecutive clean dispatches before climbing one health level
-          back up (default 400). *)
-  fault_spec : string;
-      (** Fault-injection schedule (see [Faults.parse] for the DSL);
-          [""] (default) disables injection.  The engine parses it at
-          creation and raises [Invalid_argument] on a malformed spec. *)
-  fault_seed : int;  (** PRNG seed of the fault injector. *)
 }
 
 val default : t
@@ -97,16 +151,72 @@ val make :
   ?fault_seed:int ->
   unit ->
   t
-(** Labelled constructor over {!default}; every omitted parameter keeps
-    its default.  Unlike a record literal, the result is {!validate}d on
-    construction.
+(** Flat labelled constructor over {!default}; every omitted parameter
+    keeps its default.  Unlike a record literal, the result is
+    {!validate}d on construction.
     @raise Invalid_argument on out-of-range parameters. *)
 
 val validate : t -> unit
 (** @raise Invalid_argument on out-of-range parameters. *)
 
+(** {2 Leaf accessors}
+
+    One per knob; consumers use these instead of nested projections. *)
+
+val start_state_delay : t -> int
+
+val threshold : t -> float
+
+val decay_period : t -> int
+
+val counter_max : t -> int
+
+val max_trace_blocks : t -> int
+
+val min_trace_blocks : t -> int
+
+val max_walk : t -> int
+
+val max_backtrack : t -> int
+
+val build_traces : t -> bool
+
+val max_cache_traces : t -> int
+
+val max_cache_blocks : t -> int
+
+val self_heal : t -> bool
+
+val heal_max_rebuilds : t -> int
+
+val heal_backoff : t -> int
+
+val heal_demote_after : t -> int
+
+val heal_recover_after : t -> int
+
+val fault_spec : t -> string
+
+val fault_seed : t -> int
+
+val snapshot_period : t -> int
+
+val debug_checks : t -> bool
+
+(** {2 Functional updates} *)
+
 val with_threshold : t -> float -> t
 
 val with_delay : t -> int -> t
+
+val with_profile : t -> Profile.t -> t
+(** Replace a whole layer; the result is re-{!validate}d.
+    @raise Invalid_argument if the new layer is out of range. *)
+
+val with_cache : t -> Cache.t -> t
+
+val with_heal : t -> Heal.t -> t
+
+val with_faults : t -> Faults.t -> t
 
 val pp : Format.formatter -> t -> unit

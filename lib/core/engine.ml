@@ -5,6 +5,20 @@ module Interp = Vm.Interp
    profiler signals drive trace reconstruction; and the trace cache overlays
    trace dispatch onto the stream.
 
+   The engine is a thin shell over the Backend layer: it owns one
+   Backend.ctx (the dispatch state every strategy shares) and selects a
+   dispatch backend per observed block from the Health ladder —
+
+     Full_tracing  + build_traces -> Backend_trace
+     Full_tracing  (no traces)    -> Backend_profile
+     Profiling_only               -> Backend_profile
+     Interp_only                  -> Backend_interp
+
+   so walking the degradation ladder IS switching backends.  A backend
+   can also be pinned at creation (tests, the `repro_cli backends`
+   inspection command), in which case the ladder still runs its
+   accounting but never changes the dispatch strategy.
+
    Dispatch accounting mirrors the modified SableVM:
 
    - a block dispatched outside any trace executes the profiler hook and
@@ -16,226 +30,157 @@ module Interp = Vm.Interp
      completes, the profiler context is resynchronized to the last two
      executed blocks and normal dispatching resumes.
 
-   Observability: every lifecycle moment is published on a typed event
-   stream and the accounting is exposed through a metrics registry
-   (polled gauges — zero hot-path cost).  The type is abstract; consumers
-   observe the engine through accessors, events, metrics and Stats.
+   Because every strategy observes the same stream and tracing is a pure
+   overlay, the VM's results are bit-identical under any backend, any
+   ladder schedule and any fault schedule. *)
 
-   Self-healing (Config.self_heal): every trace dispatch is validated
-   against the TL2xx invariants first; a condemned trace is quarantined
-   (removed and blacklisted with exponential backoff), flagged BCG nodes
-   are healed in place, and repeated detections walk the Health
-   degradation ladder down (full tracing -> profiling-only -> pure
-   interpretation) while sustained clean dispatches climb it back up.
-   The Faults injector drives all of this deterministically for chaos
-   testing; because tracing is a pure overlay, the VM's results are
-   bit-identical under any fault schedule. *)
+type backend_kind = Interp | Profile | Trace
+
+let backend_kind_name = function
+  | Interp -> Backend_interp.name
+  | Profile -> Backend_profile.name
+  | Trace -> Backend_trace.name
+
+let backend_kind_of_string = function
+  | "interp" -> Some Interp
+  | "profile" -> Some Profile
+  | "trace" -> Some Trace
+  | _ -> None
+
+let implementation : backend_kind -> (module Backend.S) = function
+  | Interp -> (module Backend_interp)
+  | Profile -> (module Backend_profile)
+  | Trace -> (module Backend_trace)
+
+let backends = [ Interp; Profile; Trace ]
+
+(* The ladder-to-backend mapping.  Note build_traces only matters at the
+   top level: the cache is only ever consulted by Backend_trace. *)
+let select config (level : Health.level) : backend_kind =
+  match level with
+  | Health.Interp_only -> Interp
+  | Health.Profiling_only -> Profile
+  | Health.Full_tracing -> if Config.build_traces config then Trace else Profile
 
 type t = {
-  config : Config.t;
-  layout : Layout.t;
-  profiler : Profiler.t;
-  cache : Trace_cache.t;
-  events : Events.t;
-  metrics : Metrics.t;
-  health : Health.t;
-  faults : Faults.t;
-  (* trace execution state *)
-  mutable active : Trace.t option;
-  mutable active_pos : int; (* index of the next expected block *)
-  mutable matched_blocks : int;
-  mutable matched_instrs : int;
-  (* last two blocks actually executed, traces included *)
-  mutable prev : Layout.gid;
-  mutable prev2 : Layout.gid;
-  (* accounting *)
-  mutable block_dispatches : int;
-  mutable trace_dispatches : int;
-  mutable traces_entered : int;
-  mutable traces_completed : int;
-  mutable completed_blocks : int;
-  mutable partial_blocks : int;
-  mutable completed_instrs : int;
-  mutable partial_instrs : int;
-  mutable traces_constructed : int;
-  mutable builder_reuses : int;
-  mutable chained_entries : int;
-    (* trace entries whose previous dispatch completed another trace:
-       the dispatch-level view of Dynamo-style trace linking *)
-  mutable just_completed : bool;
-  (* debug_checks bookkeeping *)
-  mutable invariant_violations : int;
-  mutable seen_decays : int; (* decay boundary detector, like Profiler's *)
-  (* self-heal bookkeeping *)
-  mutable healed_nodes : int; (* BCG nodes repaired in place *)
-  mutable in_debug_sweep : bool;
-    (* re-entrancy guard: healing a node rechecks it, which can signal
-       the builder, whose construction boundary would sweep again *)
+  ctx : Backend.ctx;
+  pinned : bool; (* backend forced at creation: never re-selected *)
+  mutable kind : backend_kind;
+  mutable kind_level : Health.level; (* level [kind] was selected from *)
+  mutable backend_switches : int; (* strategy changes over the run *)
 }
-
-(* Walk the health ladder: publish the transition and, when climbing out
-   of interp-only, drop the profiler's stale branch context (the skipped
-   dispatches never updated it). *)
-let apply_health t (transition : Health.transition) =
-  match transition with
-  | Health.Stay -> ()
-  | Health.Changed (from_level, to_level) ->
-      if Events.enabled t.events then
-        if Health.level_rank to_level > Health.level_rank from_level then
-          Events.emit t.events (Events.Mode_degraded { from_level; to_level })
-        else
-          Events.emit t.events (Events.Mode_recovered { from_level; to_level });
-      if from_level = Health.Interp_only then Profiler.reset t.profiler
-
-(* Run the invariant sweep (Config.debug_checks): count every finding and
-   publish it on the stream.  Called at trace-construction and decay
-   boundaries, never on the plain dispatch path.
-
-   Under Config.self_heal the sweep also repairs what it found: flagged
-   BCG nodes are healed in place (losing corrupted history, keeping the
-   node profiling), flagged traces are quarantined, and the whole sweep
-   counts as one strike against the health ladder. *)
-let run_debug_checks t =
-  if t.in_debug_sweep then ()
-  else begin
-    t.in_debug_sweep <- true;
-    let bcg = Profiler.bcg t.profiler in
-    let diags =
-      Invariants.check_all ~layout:t.layout t.config ~bcg ~cache:t.cache
-    in
-    List.iter
-      (fun (d : Analysis.Diag.t) ->
-        t.invariant_violations <- t.invariant_violations + 1;
-        if Events.enabled t.events then
-          Events.emit t.events
-            (Events.Invariant_violation
-               {
-                 code = d.Analysis.Diag.code;
-                 severity =
-                   Analysis.Diag.severity_to_string d.Analysis.Diag.severity;
-                 message = Analysis.Diag.to_string d;
-               }))
-      diags;
-    if t.config.Config.self_heal && diags <> [] then begin
-      let healed = Hashtbl.create 8 in
-      let condemned = Hashtbl.create 8 in
-      List.iter
-        (fun (d : Analysis.Diag.t) ->
-          match d.Analysis.Diag.loc with
-          | Analysis.Diag.Node_loc { x; y } ->
-              if not (Hashtbl.mem healed (x, y)) then begin
-                Hashtbl.replace healed (x, y) ();
-                match Bcg.find_node bcg ~x ~y with
-                | Some n ->
-                    if Bcg.heal_node bcg n then
-                      t.healed_nodes <- t.healed_nodes + 1
-                | None -> ()
-              end
-          | Analysis.Diag.Trace_loc { trace_id } ->
-              if not (Hashtbl.mem condemned trace_id) then begin
-                Hashtbl.replace condemned trace_id ();
-                (* quarantine by the trace's live entry binding *)
-                let entry = ref None in
-                Trace_cache.iter_entries t.cache (fun ~first ~head tr ->
-                    if tr.Trace.id = trace_id then entry := Some (first, head));
-                match !entry with
-                | Some (first, head) ->
-                    ignore
-                      (Trace_cache.quarantine t.cache ~first ~head
-                         ~code:d.Analysis.Diag.code)
-                | None -> ()
-              end
-          | Analysis.Diag.Method_loc _ | Analysis.Diag.Program_loc -> ())
-        diags;
-      apply_health t (Health.strike t.health)
-    end;
-    t.in_debug_sweep <- false
-  end
 
 (* Expose the accounting through the registry as polled gauges: nothing
    on the dispatch path, evaluated only when a snapshot is taken. *)
-let register_gauges (m : Metrics.t) (e : t) =
-  Metrics.gauge m "block_dispatches" (fun () -> e.block_dispatches);
-  Metrics.gauge m "trace_dispatches" (fun () -> e.trace_dispatches);
-  Metrics.gauge m "traces_entered" (fun () -> e.traces_entered);
-  Metrics.gauge m "traces_completed" (fun () -> e.traces_completed);
-  Metrics.gauge m "completed_blocks" (fun () -> e.completed_blocks);
-  Metrics.gauge m "partial_blocks" (fun () -> e.partial_blocks);
-  Metrics.gauge m "completed_instrs" (fun () -> e.completed_instrs);
-  Metrics.gauge m "partial_instrs" (fun () -> e.partial_instrs);
-  Metrics.gauge m "traces_constructed" (fun () -> e.traces_constructed);
-  Metrics.gauge m "builder_reuses" (fun () -> e.builder_reuses);
-  Metrics.gauge m "chained_entries" (fun () -> e.chained_entries);
-  Metrics.gauge m "signals" (fun () -> Profiler.signals e.profiler);
-  Metrics.gauge m "ic_predictions" (fun () -> Profiler.predictions e.profiler);
-  Metrics.gauge m "bcg_nodes" (fun () -> Bcg.n_nodes (Profiler.bcg e.profiler));
-  Metrics.gauge m "bcg_edges" (fun () -> Bcg.n_edges (Profiler.bcg e.profiler));
-  Metrics.gauge m "traces_live" (fun () -> Trace_cache.n_live e.cache);
-  Metrics.gauge m "traces_replaced" (fun () -> Trace_cache.n_replaced e.cache);
-  Metrics.gauge m "invariant_violations" (fun () -> e.invariant_violations);
-  Metrics.gauge m "live_blocks" (fun () -> Trace_cache.live_blocks e.cache);
-  Metrics.gauge m "traces_evicted" (fun () -> Trace_cache.n_evicted e.cache);
+let register_gauges (m : Metrics.t) (t : t) =
+  let e = t.ctx in
+  Metrics.gauge m "block_dispatches" (fun () -> e.Backend.block_dispatches);
+  Metrics.gauge m "trace_dispatches" (fun () -> e.Backend.trace_dispatches);
+  Metrics.gauge m "traces_entered" (fun () -> e.Backend.traces_entered);
+  Metrics.gauge m "traces_completed" (fun () -> e.Backend.traces_completed);
+  Metrics.gauge m "completed_blocks" (fun () -> e.Backend.completed_blocks);
+  Metrics.gauge m "partial_blocks" (fun () -> e.Backend.partial_blocks);
+  Metrics.gauge m "completed_instrs" (fun () -> e.Backend.completed_instrs);
+  Metrics.gauge m "partial_instrs" (fun () -> e.Backend.partial_instrs);
+  Metrics.gauge m "traces_constructed" (fun () -> e.Backend.traces_constructed);
+  Metrics.gauge m "builder_reuses" (fun () -> e.Backend.builder_reuses);
+  Metrics.gauge m "chained_entries" (fun () -> e.Backend.chained_entries);
+  Metrics.gauge m "signals" (fun () -> Profiler.signals e.Backend.profiler);
+  Metrics.gauge m "ic_predictions" (fun () ->
+      Profiler.predictions e.Backend.profiler);
+  Metrics.gauge m "bcg_nodes" (fun () ->
+      Bcg.n_nodes (Profiler.bcg e.Backend.profiler));
+  Metrics.gauge m "bcg_edges" (fun () ->
+      Bcg.n_edges (Profiler.bcg e.Backend.profiler));
+  Metrics.gauge m "traces_live" (fun () -> Trace_cache.n_live e.Backend.cache);
+  Metrics.gauge m "traces_replaced" (fun () ->
+      Trace_cache.n_replaced e.Backend.cache);
+  Metrics.gauge m "invariant_violations" (fun () ->
+      e.Backend.invariant_violations);
+  Metrics.gauge m "live_blocks" (fun () ->
+      Trace_cache.live_blocks e.Backend.cache);
+  Metrics.gauge m "traces_evicted" (fun () ->
+      Trace_cache.n_evicted e.Backend.cache);
   Metrics.gauge m "traces_quarantined" (fun () ->
-      Trace_cache.n_quarantines e.cache);
+      Trace_cache.n_quarantines e.Backend.cache);
   Metrics.gauge m "quarantine_active" (fun () ->
-      Trace_cache.n_quarantine_active e.cache);
+      Trace_cache.n_quarantine_active e.Backend.cache);
   Metrics.gauge m "traces_blacklisted" (fun () ->
-      Trace_cache.n_blacklisted e.cache);
+      Trace_cache.n_blacklisted e.Backend.cache);
   Metrics.gauge m "failed_installs" (fun () ->
-      Trace_cache.n_failed_installs e.cache);
-  Metrics.gauge m "faults_injected" (fun () -> Faults.injected e.faults);
-  Metrics.gauge m "healed_nodes" (fun () -> e.healed_nodes);
+      Trace_cache.n_failed_installs e.Backend.cache);
+  Metrics.gauge m "faults_injected" (fun () -> Faults.injected e.Backend.faults);
+  Metrics.gauge m "healed_nodes" (fun () -> e.Backend.healed_nodes);
   Metrics.gauge m "health_level" (fun () ->
-      Health.level_rank (Health.level e.health));
-  Metrics.gauge m "health_demotions" (fun () -> Health.demotions e.health);
-  Metrics.gauge m "health_promotions" (fun () -> Health.promotions e.health);
-  Metrics.gauge m "skipped_dispatches" (fun () -> Profiler.skipped e.profiler)
+      Health.level_rank (Health.level e.Backend.health));
+  Metrics.gauge m "health_demotions" (fun () ->
+      Health.demotions e.Backend.health);
+  Metrics.gauge m "health_promotions" (fun () ->
+      Health.promotions e.Backend.health);
+  Metrics.gauge m "skipped_dispatches" (fun () ->
+      Profiler.skipped e.Backend.profiler);
+  Metrics.gauge m "backend_switches" (fun () -> t.backend_switches);
+  Metrics.gauge m "cross_session_installs" (fun () ->
+      Trace_cache.n_cross_installs e.Backend.cache);
+  Metrics.gauge m "cross_session_entries" (fun () ->
+      Trace_cache.n_cross_entries e.Backend.cache)
 
-let create ?(config = Config.default) ?(events = Events.create ())
-    (layout : Layout.t) : t =
+let create ?(config = Config.default) ?(events = Events.create ()) ?cache
+    ?backend (layout : Layout.t) : t =
   Config.validate config;
   let cache =
-    Trace_cache.create ~events ~max_traces:config.Config.max_cache_traces
-      ~max_blocks:config.Config.max_cache_blocks
-      ~heal_max_rebuilds:config.Config.heal_max_rebuilds
-      ~heal_backoff:config.Config.heal_backoff layout
+    match cache with
+    | Some c ->
+        if Trace_cache.layout c != layout then
+          invalid_arg "Engine.create: cache built over a different layout";
+        c
+    | None ->
+        Trace_cache.create ~events
+          ~max_traces:(Config.max_cache_traces config)
+          ~max_blocks:(Config.max_cache_blocks config)
+          ~heal_max_rebuilds:(Config.heal_max_rebuilds config)
+          ~heal_backoff:(Config.heal_backoff config)
+          layout
   in
   (* parse the fault schedule here (not in Config.validate) so Config
      stays below Faults in the dependency order; a malformed spec still
      fails fast, at engine creation *)
   let faults =
-    Faults.create ~seed:config.Config.fault_seed config.Config.fault_spec
+    Faults.create ~seed:(Config.fault_seed config) (Config.fault_spec config)
   in
   let health =
-    Health.create ~demote_after:config.Config.heal_demote_after
-      ~recover_after:config.Config.heal_recover_after
+    Health.create
+      ~demote_after:(Config.heal_demote_after config)
+      ~recover_after:(Config.heal_recover_after config)
   in
-  let metrics = Metrics.create ~period:config.Config.snapshot_period () in
-  (* The profiler's signal callback closes over the engine; tie the knot
-     with a forward reference. *)
-  let engine = ref None in
+  let metrics = Metrics.create ~period:(Config.snapshot_period config) () in
+  (* The profiler's signal callback closes over the shared dispatch
+     context; tie the knot with a forward reference. *)
+  let context = ref None in
   let on_signal signal =
-    match !engine with
+    match !context with
     | None -> ()
-    | Some e ->
-        if e.config.Config.build_traces then begin
+    | Some (e : Backend.ctx) ->
+        if Config.build_traces e.Backend.config then begin
           let outcome =
-            Trace_builder.on_signal ~events e.config e.cache signal
+            Trace_builder.on_signal ~events e.Backend.config e.Backend.cache
+              signal
           in
-          e.traces_constructed <-
-            e.traces_constructed + outcome.Trace_builder.new_traces;
-          e.builder_reuses <-
-            e.builder_reuses + outcome.Trace_builder.reused_traces;
+          e.Backend.traces_constructed <-
+            e.Backend.traces_constructed + outcome.Trace_builder.new_traces;
+          e.Backend.builder_reuses <-
+            e.Backend.builder_reuses + outcome.Trace_builder.reused_traces;
           (* trace-construction boundary *)
-          if e.config.Config.debug_checks then run_debug_checks e
+          if Config.debug_checks e.Backend.config then
+            Backend.run_debug_checks e
         end
   in
   let profiler =
     Profiler.create ~events config ~n_blocks:layout.Layout.n_blocks ~on_signal
   in
-  let e =
+  let ctx =
     {
-      config;
+      Backend.config;
       layout;
       profiler;
       cache;
@@ -267,280 +212,137 @@ let create ?(config = Config.default) ?(events = Events.create ())
       in_debug_sweep = false;
     }
   in
-  engine := Some e;
-  register_gauges metrics e;
+  context := Some ctx;
+  let kind, pinned =
+    match backend with
+    | Some k -> (k, true)
+    | None -> (select config (Health.level health), false)
+  in
+  let t =
+    {
+      ctx;
+      pinned;
+      kind;
+      kind_level = Health.level health;
+      backend_switches = 0;
+    }
+  in
+  register_gauges metrics t;
   Metrics.on_snapshot metrics (fun snapshot ->
       if Events.enabled events then
         Events.emit events (Events.Phase_snapshot snapshot));
-  e
+  t
 
 (* accessors over the abstract engine *)
-let config t = t.config
+let config t = t.ctx.Backend.config
 
-let layout t = t.layout
+let layout t = t.ctx.Backend.layout
 
-let profiler t = t.profiler
+let profiler t = t.ctx.Backend.profiler
 
-let cache t = t.cache
+let cache t = t.ctx.Backend.cache
 
-let events t = t.events
+let events t = t.ctx.Backend.events
 
-let metrics t = t.metrics
+let metrics t = t.ctx.Backend.metrics
 
-let active_trace t = t.active
+let active_trace t = t.ctx.Backend.active
 
-let block_dispatches t = t.block_dispatches
+let block_dispatches t = t.ctx.Backend.block_dispatches
 
-let trace_dispatches t = t.trace_dispatches
+let trace_dispatches t = t.ctx.Backend.trace_dispatches
 
-let total_dispatches t = t.block_dispatches + t.trace_dispatches
+let total_dispatches t =
+  t.ctx.Backend.block_dispatches + t.ctx.Backend.trace_dispatches
 
-let traces_entered t = t.traces_entered
+let traces_entered t = t.ctx.Backend.traces_entered
 
-let traces_completed t = t.traces_completed
+let traces_completed t = t.ctx.Backend.traces_completed
 
-let completed_blocks t = t.completed_blocks
+let completed_blocks t = t.ctx.Backend.completed_blocks
 
-let partial_blocks t = t.partial_blocks
+let partial_blocks t = t.ctx.Backend.partial_blocks
 
-let completed_instrs t = t.completed_instrs
+let completed_instrs t = t.ctx.Backend.completed_instrs
 
-let partial_instrs t = t.partial_instrs
+let partial_instrs t = t.ctx.Backend.partial_instrs
 
-let traces_constructed t = t.traces_constructed
+let traces_constructed t = t.ctx.Backend.traces_constructed
 
-let builder_reuses t = t.builder_reuses
+let builder_reuses t = t.ctx.Backend.builder_reuses
 
-let chained_entries t = t.chained_entries
+let chained_entries t = t.ctx.Backend.chained_entries
 
-let invariant_violations t = t.invariant_violations
+let invariant_violations t = t.ctx.Backend.invariant_violations
 
-let health t = t.health
+let health t = t.ctx.Backend.health
 
-let health_level t = Health.level t.health
+let health_level t = Health.level t.ctx.Backend.health
 
-let faults_injected t = Faults.injected t.faults
+let faults_injected t = Faults.injected t.ctx.Backend.faults
 
-let healed_nodes t = t.healed_nodes
+let healed_nodes t = t.ctx.Backend.healed_nodes
 
-let note_executed t g =
-  t.prev2 <- t.prev;
-  t.prev <- g
+let backend_kind t = t.kind
 
-(* End the active trace after a completion. *)
-let finish_completed t (tr : Trace.t) =
-  t.just_completed <- true;
-  tr.Trace.completed <- tr.Trace.completed + 1;
-  t.traces_completed <- t.traces_completed + 1;
-  t.completed_blocks <- t.completed_blocks + Trace.n_blocks tr;
-  t.completed_instrs <- t.completed_instrs + tr.Trace.total_instrs;
-  t.active <- None;
-  if Events.enabled t.events then
-    Events.emit t.events
-      (Events.Trace_completed
-         {
-           trace_id = tr.Trace.id;
-           n_blocks = Trace.n_blocks tr;
-           n_instrs = tr.Trace.total_instrs;
-         });
-  (* the profiler missed the trace interior: reposition its context at the
-     trace's final branch *)
-  Profiler.resync t.profiler ~x:t.prev2 ~y:t.prev
+let backend t = implementation t.kind
 
-(* End the active trace after a side exit; the mismatching block has not
-   been processed yet. *)
-let finish_partial t (tr : Trace.t) =
-  t.just_completed <- false;
-  tr.Trace.partial_exits <- tr.Trace.partial_exits + 1;
-  tr.Trace.partial_instrs <- tr.Trace.partial_instrs + t.matched_instrs;
-  t.partial_blocks <- t.partial_blocks + t.matched_blocks;
-  t.partial_instrs <- t.partial_instrs + t.matched_instrs;
-  t.active <- None;
-  if Events.enabled t.events then
-    Events.emit t.events
-      (Events.Side_exit
-         {
-           trace_id = tr.Trace.id;
-           at_block = t.active_pos;
-           matched_blocks = t.matched_blocks;
-           matched_instrs = t.matched_instrs;
-         });
-  Profiler.resync t.profiler ~x:t.prev2 ~y:t.prev
+let backend_name t = backend_kind_name t.kind
 
-(* Validate a trace the dispatch lookup produced, before entering it.
-   Returns the code of the first violated invariant, or None when the
-   trace is sound.  The binding key is checked first (a corrupted head
-   block desynchronizes it), then the full TL2xx battery over the trace
-   body — the cost self-healing pays per trace dispatch. *)
-let validate_dispatch t (tr : Trace.t) ~prev ~cur : string option =
-  let f, h = Trace.entry_key tr in
-  if f <> prev || h <> cur then Some "TL202"
-  else
-    match
-      Invariants.check_trace
-        ~bcg:(Profiler.bcg t.profiler)
-        ~layout:t.layout t.config tr
-    with
-    | [] -> None
-    | d :: _ -> Some d.Analysis.Diag.code
+let backend_pinned t = t.pinned
 
-(* Process one dispatched block outside any trace: either it enters a
-   trace (trace dispatch) or it is an ordinary block dispatch. *)
-let dispatch_outside t g =
-  Metrics.tick t.metrics;
-  let self_heal = t.config.Config.self_heal in
-  if self_heal || Faults.is_active t.faults then begin
-    let now = t.block_dispatches + t.trace_dispatches in
-    Trace_cache.set_clock t.cache now;
-    (* injected faults land just before the dispatch decision *)
-    List.iter
-      (fun (code, detail) ->
-        if Events.enabled t.events then
-          Events.emit t.events (Events.Fault_injected { code; detail }))
-      (Faults.tick t.faults ~now
-         ~bcg:(Profiler.bcg t.profiler)
-         ~cache:t.cache ~active:t.active)
-  end;
-  let level = Health.level t.health in
-  if level = Health.Interp_only then begin
-    (* last resort: pure interpretation, not even the profiler hook *)
-    t.block_dispatches <- t.block_dispatches + 1;
-    t.just_completed <- false;
-    Profiler.note_skipped t.profiler;
-    note_executed t g;
-    apply_health t (Health.clean_dispatch t.health)
-  end
-  else begin
-    let candidate =
-      if t.config.Config.build_traces && level = Health.Full_tracing then
-        Trace_cache.lookup t.cache ~prev:t.prev ~cur:g
-      else None
-    in
-    let candidate, detected =
-      match candidate with
-      | Some tr when self_heal -> (
-          match validate_dispatch t tr ~prev:t.prev ~cur:g with
-          | None -> (Some tr, false)
-          | Some code ->
-              (* condemned at dispatch: quarantine the entry and strike
-                 the ladder, then dispatch the block normally *)
-              ignore (Trace_cache.quarantine t.cache ~first:t.prev ~head:g ~code);
-              apply_health t (Health.strike t.health);
-              (None, true))
-      | c -> (c, false)
-    in
-    (match candidate with
-    | Some tr ->
-        t.trace_dispatches <- t.trace_dispatches + 1;
-        t.traces_entered <- t.traces_entered + 1;
-        let chained = t.just_completed in
-        if chained then t.chained_entries <- t.chained_entries + 1;
-        t.just_completed <- false;
-        tr.Trace.entered <- tr.Trace.entered + 1;
-        if Events.enabled t.events then
-          Events.emit t.events
-            (Events.Trace_entered { trace_id = tr.Trace.id; chained });
-        (* the single profiling statement of a trace dispatch *)
-        Profiler.dispatch t.profiler g;
-        note_executed t g;
-        t.matched_blocks <- 1;
-        t.matched_instrs <- tr.Trace.instr_len.(0);
-        if Trace.n_blocks tr = 1 then begin
-          (* degenerate single-block trace: completes immediately *)
-          t.active <- None;
-          finish_completed t tr
-        end
-        else begin
-          t.active <- Some tr;
-          t.active_pos <- 1
-        end
-    | None ->
-        t.block_dispatches <- t.block_dispatches + 1;
-        t.just_completed <- false;
-        Profiler.dispatch t.profiler g;
-        note_executed t g);
-    if self_heal && not detected then
-      apply_health t (Health.clean_dispatch t.health)
-  end
+let backend_switches t = t.backend_switches
 
-(* The VM observer: called at every basic-block dispatch. *)
-let rec on_block_inner t (g : Layout.gid) =
-  match t.active with
-  | None -> dispatch_outside t g
-  | Some tr ->
-      let expected = tr.Trace.blocks.(t.active_pos) in
-      if g = expected then begin
-        note_executed t g;
-        t.matched_blocks <- t.matched_blocks + 1;
-        t.matched_instrs <- t.matched_instrs + tr.Trace.instr_len.(t.active_pos);
-        if t.active_pos = Trace.n_blocks tr - 1 then finish_completed t tr
-        else t.active_pos <- t.active_pos + 1
-      end
-      else begin
-        (* side exit: leave the trace, then process g normally (it may
-           itself enter another trace) *)
-        finish_partial t tr;
-        on_block_inner t g
-      end
-
+(* The VM observer: re-select the backend if the ladder moved since the
+   last dispatch (a mid-dispatch transition therefore takes effect at
+   the next observed block, exactly like the old mode flags), then hand
+   the block to the current strategy. *)
 let on_block t (g : Layout.gid) =
-  (* stamp the stream once per observed block; events emitted during this
-     step carry the current dispatch index *)
-  if Events.enabled t.events then
-    Events.set_now t.events (t.block_dispatches + t.trace_dispatches);
-  on_block_inner t g;
-  if t.config.Config.debug_checks then begin
-    (* decay boundary: the BCG ran one or more decay passes during this
-       dispatch *)
-    let d = (Profiler.bcg t.profiler).Bcg.decays in
-    if d <> t.seen_decays then begin
-      t.seen_decays <- d;
-      run_debug_checks t
+  let ctx = t.ctx in
+  if not t.pinned then begin
+    let level = Health.level ctx.Backend.health in
+    if level <> t.kind_level then begin
+      t.kind_level <- level;
+      let k = select ctx.Backend.config level in
+      if k <> t.kind then begin
+        t.kind <- k;
+        t.backend_switches <- t.backend_switches + 1
+      end
     end
-  end
+  end;
+  match t.kind with
+  | Interp -> Backend_interp.on_block ctx g
+  | Profile -> Backend_profile.on_block ctx g
+  | Trace -> Backend_trace.on_block ctx g
 
-(* Assemble final statistics. *)
+(* Assemble final statistics: the engine fills the VM / resilience
+   fields, then every strategy overlays the counters it maintains.  All
+   three always contribute — counters are cumulative over the run,
+   whichever backend was active when they advanced. *)
 let stats t ~(vm_result : Interp.result) ~wall_seconds : Stats.t =
-  let bcg = Profiler.bcg t.profiler in
-  let static_traces = ref 0 in
-  let static_blocks = ref 0 in
-  Trace_cache.iter_all t.cache (fun tr ->
-      if tr.Trace.completed > 0 then begin
-        incr static_traces;
-        static_blocks := !static_blocks + Trace.n_blocks tr
-      end);
-  {
-    Stats.instructions = vm_result.Interp.instructions;
-    block_dispatches = t.block_dispatches;
-    trace_dispatches = t.trace_dispatches;
-    traces_entered = t.traces_entered;
-    traces_completed = t.traces_completed;
-    completed_blocks = t.completed_blocks;
-    partial_blocks = t.partial_blocks;
-    completed_instrs = t.completed_instrs;
-    partial_instrs = t.partial_instrs;
-    signals = Profiler.signals t.profiler;
-    traces_constructed = t.traces_constructed;
-    traces_replaced = Trace_cache.n_replaced t.cache;
-    traces_live = Trace_cache.n_live t.cache;
-    static_traces = !static_traces;
-    static_blocks = !static_blocks;
-    bcg_nodes = Bcg.n_nodes bcg;
-    bcg_edges = Bcg.n_edges bcg;
-    ic_predictions = Profiler.predictions t.profiler;
-    chained_entries = t.chained_entries;
-    invariant_violations = t.invariant_violations;
-    faults_injected = Faults.injected t.faults;
-    traces_quarantined = Trace_cache.n_quarantines t.cache;
-    traces_evicted = Trace_cache.n_evicted t.cache;
-    traces_blacklisted = Trace_cache.n_blacklisted t.cache;
-    failed_installs = Trace_cache.n_failed_installs t.cache;
-    healed_nodes = t.healed_nodes;
-    health_demotions = Health.demotions t.health;
-    health_promotions = Health.promotions t.health;
-    final_health = Health.level_rank (Health.level t.health);
-    wall_seconds;
-  }
+  let ctx = t.ctx in
+  let base =
+    {
+      Stats.zero with
+      Stats.instructions = vm_result.Interp.instructions;
+      invariant_violations = ctx.Backend.invariant_violations;
+      faults_injected = Faults.injected ctx.Backend.faults;
+      traces_quarantined = Trace_cache.n_quarantines ctx.Backend.cache;
+      traces_evicted = Trace_cache.n_evicted ctx.Backend.cache;
+      traces_blacklisted = Trace_cache.n_blacklisted ctx.Backend.cache;
+      failed_installs = Trace_cache.n_failed_installs ctx.Backend.cache;
+      healed_nodes = ctx.Backend.healed_nodes;
+      health_demotions = Health.demotions ctx.Backend.health;
+      health_promotions = Health.promotions ctx.Backend.health;
+      final_health = Health.level_rank (Health.level ctx.Backend.health);
+      wall_seconds;
+    }
+  in
+  List.fold_left
+    (fun s k ->
+      let (module B : Backend.S) = implementation k in
+      B.stats_into ctx s)
+    base backends
 
 type run_result = {
   engine : t;
@@ -549,9 +351,9 @@ type run_result = {
 }
 
 (* Run a program under the full system. *)
-let run ?(config = Config.default) ?events ?max_instructions
+let run ?(config = Config.default) ?events ?max_instructions ?backend
     (layout : Layout.t) : run_result =
-  let engine = create ~config ?events layout in
+  let engine = create ~config ?events ?backend layout in
   let t0 = Unix.gettimeofday () in
   let vm_result =
     Interp.run ?max_instructions layout ~on_block:(fun g -> on_block engine g)

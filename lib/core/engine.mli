@@ -2,8 +2,18 @@
 
     The VM's block-dispatch stream drives the profiler; profiler signals
     drive trace reconstruction; and the trace cache overlays trace
-    dispatch onto the stream.  Dispatch accounting mirrors the modified
-    SableVM:
+    dispatch onto the stream.
+
+    The engine is a thin shell over the {!Backend} layer: it owns one
+    [Backend.ctx] (the dispatch state every strategy shares) and selects
+    a dispatch backend per observed block from the {!Health} ladder —
+    [Full_tracing] maps to [Backend_trace] (or [Backend_profile] when
+    {!Config.Profile.build_traces} is off), [Profiling_only] to
+    [Backend_profile], [Interp_only] to [Backend_interp] — so walking
+    the degradation ladder {e is} switching backends
+    ({!backend_switches}).  A backend can also be pinned at {!create}.
+
+    Dispatch accounting mirrors the modified SableVM:
 
     - a block dispatched outside any trace executes the profiler hook and
       counts as one {e block dispatch};
@@ -35,10 +45,39 @@
 
 type t
 
-val create : ?config:Config.t -> ?events:Events.t -> Cfg.Layout.t -> t
+type backend_kind = Interp | Profile | Trace
+(** The three dispatch strategies, in ladder order (bottom up). *)
+
+val backend_kind_name : backend_kind -> string
+(** ["interp"] / ["profile"] / ["trace"]. *)
+
+val backend_kind_of_string : string -> backend_kind option
+
+val implementation : backend_kind -> (module Backend.S)
+
+val backends : backend_kind list
+(** Every registered strategy: [[Interp; Profile; Trace]]. *)
+
+val create :
+  ?config:Config.t ->
+  ?events:Events.t ->
+  ?cache:Trace_cache.t ->
+  ?backend:backend_kind ->
+  Cfg.Layout.t ->
+  t
 (** [events] is the stream the engine and its components publish on; a
     fresh (disabled) stream is created when omitted.  Subscribe to the
-    stream {e before} driving the engine to capture the full timeline. *)
+    stream {e before} driving the engine to capture the full timeline.
+
+    [cache] injects an existing trace cache instead of creating a
+    private one — the [Session] layer uses this to share traces between
+    engines running the same layout.  The injected cache keeps the
+    capacity/healing parameters of its creator.
+    @raise Invalid_argument if the cache was built over another layout.
+
+    [backend] pins the dispatch strategy: the health ladder still runs
+    its accounting but the strategy is never re-selected.  When omitted
+    the backend follows the ladder. *)
 
 val on_block : t -> Cfg.Layout.gid -> unit
 (** The VM observer: feed one dispatched block.  Exposed so the engine
@@ -108,6 +147,23 @@ val faults_injected : t -> int
 val healed_nodes : t -> int
 (** BCG nodes the self-healing sweeps repaired in place. *)
 
+(** {2 Backend selection} *)
+
+val backend_kind : t -> backend_kind
+(** The strategy currently dispatching. *)
+
+val backend : t -> (module Backend.S)
+
+val backend_name : t -> string
+
+val backend_pinned : t -> bool
+(** Whether the backend was pinned at {!create}. *)
+
+val backend_switches : t -> int
+(** Strategy changes over the run so far — how often the health ladder
+    actually moved the engine to a different backend.  Always [0] when
+    pinned. *)
+
 (** {2 Running} *)
 
 type run_result = {
@@ -120,6 +176,8 @@ val run :
   ?config:Config.t ->
   ?events:Events.t ->
   ?max_instructions:int ->
+  ?backend:backend_kind ->
   Cfg.Layout.t ->
   run_result
-(** Execute the program under the full system and collect statistics. *)
+(** Execute the program under the full system and collect statistics.
+    [backend] pins the dispatch strategy as in {!create}. *)

@@ -6,6 +6,13 @@
    guard payload construction behind [enabled] so a silent run allocates
    nothing. *)
 
+type evict_reason = Evict_capacity | Evict_pressure | Evict_quarantine
+
+let evict_reason_to_string = function
+  | Evict_capacity -> "capacity"
+  | Evict_pressure -> "pressure"
+  | Evict_quarantine -> "quarantine"
+
 type payload =
   | Signal_raised of {
       x : Cfg.Layout.gid;
@@ -56,6 +63,7 @@ type payload =
       first : Cfg.Layout.gid;
       head : Cfg.Layout.gid;
       n_live : int;
+      reason : evict_reason;
     }
   | Mode_degraded of { from_level : Health.level; to_level : Health.level }
   | Mode_recovered of { from_level : Health.level; to_level : Health.level }

@@ -23,6 +23,21 @@
     predictable branch per emission point.  Subscribers are invoked
     synchronously, in subscription order. *)
 
+type evict_reason =
+  | Evict_capacity
+      (** the {!Config.Cache} bounds were exceeded and the least recently
+          dispatched trace was dropped *)
+  | Evict_pressure
+      (** an injected allocation-pressure fault ([FT007]) forced an
+          LRU eviction *)
+  | Evict_quarantine
+      (** the trace was removed because its entry transition was
+          quarantined or blacklisted *)
+
+val evict_reason_to_string : evict_reason -> string
+(** Stable lowercase tag: ["capacity"] / ["pressure"] / ["quarantine"]
+    — the ["reason"] field of the JSONL schema. *)
+
 type payload =
   | Signal_raised of {
       x : Cfg.Layout.gid;
@@ -99,10 +114,15 @@ type payload =
       first : Cfg.Layout.gid;
       head : Cfg.Layout.gid;
       n_live : int;  (** live traces after the eviction *)
+      reason : evict_reason;  (** why the trace left the cache *)
     }
-      (** Capacity pressure ({!Config.t.max_cache_traces} /
-          [max_cache_blocks], or an injected allocation-pressure fault)
-          evicted the least recently dispatched trace. *)
+      (** A trace was removed from the cache: capacity pressure
+          ({!Config.Cache}), an injected allocation-pressure fault, or a
+          quarantine/blacklist of its entry transition.  Only
+          [Evict_capacity] and [Evict_pressure] removals count toward
+          {!Trace_cache.n_evicted} — quarantine removals are counted by
+          {!Trace_cache.n_quarantined} and carry their own
+          [Trace_quarantined] event alongside. *)
   | Mode_degraded of { from_level : Health.level; to_level : Health.level }
       (** Repeated detections dropped the engine one level down the
           degradation ladder. *)

@@ -20,11 +20,11 @@ let check_node ?context (bcg : Bcg.t) (n : Bcg.node) =
   (* TL204: 16-bit saturating counters; dead edges are pruned at decay *)
   List.iter
     (fun (e : Bcg.edge) ->
-      if e.Bcg.weight < 1 || e.Bcg.weight > config.Config.counter_max then
+      if e.Bcg.weight < 1 || e.Bcg.weight > Config.counter_max config then
         add
           (err ?context ~code:"TL204" ~loc
              "edge to %d has weight %d outside [1, %d]" e.Bcg.e_z e.Bcg.weight
-             config.Config.counter_max))
+             (Config.counter_max config)))
     n.Bcg.edges;
   (* TL205: the inline cache is a live maximal-weight edge *)
   (match (n.Bcg.best, n.Bcg.edges) with
@@ -47,16 +47,17 @@ let check_node ?context (bcg : Bcg.t) (n : Bcg.node) =
                 edge (weight %d)"
                b.Bcg.e_z b.Bcg.weight max_w));
   (* TL206: decay and start-state bookkeeping *)
-  if n.Bcg.since_decay < 0 || n.Bcg.since_decay >= config.Config.decay_period
+  if n.Bcg.since_decay < 0 || n.Bcg.since_decay >= Config.decay_period config
   then
     add
       (err ?context ~code:"TL206" ~loc "since_decay %d outside [0, %d)"
-         n.Bcg.since_decay config.Config.decay_period);
-  if n.Bcg.delay_left < 0 || n.Bcg.delay_left > config.Config.start_state_delay
+         n.Bcg.since_decay (Config.decay_period config));
+  if n.Bcg.delay_left < 0 || n.Bcg.delay_left > Config.start_state_delay config
   then
     add
       (err ?context ~code:"TL206" ~loc "delay_left %d outside [0, %d]"
-         n.Bcg.delay_left config.Config.start_state_delay);
+         n.Bcg.delay_left
+         (Config.start_state_delay config));
   if n.Bcg.delay_left > 0 <> (n.Bcg.state = State.Newly_created) then
     add
       (err ?context ~code:"TL206" ~loc
@@ -122,18 +123,19 @@ let check_trace ?context ?bcg ?layout (config : Config.t) (tr : Trace.t) =
         tr.Trace.blocks);
   (* TL201: the greedy cutter only commits extensions keeping the product
      at or above the threshold, and correlations never exceed 1 *)
-  if tr.Trace.prob < config.Config.threshold || tr.Trace.prob > 1.0 then
+  if tr.Trace.prob < Config.threshold config || tr.Trace.prob > 1.0 then
     add
       (err ?context ~code:"TL201" ~loc
          "completion probability %.6f outside [%.2f, 1]" tr.Trace.prob
-         config.Config.threshold);
+         (Config.threshold config));
   (* TL209: the cutter respects the configured length bounds *)
   let n = Trace.n_blocks tr in
-  if n < config.Config.min_trace_blocks || n > config.Config.max_trace_blocks
+  if n < Config.min_trace_blocks config || n > Config.max_trace_blocks config
   then
     add
       (err ?context ~code:"TL209" ~loc "%d blocks outside [%d, %d]" n
-         config.Config.min_trace_blocks config.Config.max_trace_blocks);
+         (Config.min_trace_blocks config)
+         (Config.max_trace_blocks config));
   (* TL203: a transition can appear twice (the single loop unrolling) but
      never three times *)
   let transitions = Hashtbl.create 16 in

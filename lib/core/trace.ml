@@ -22,6 +22,11 @@ type t = {
   mutable completed : int;
   mutable partial_exits : int;
   mutable partial_instrs : int; (* instructions executed on early exits *)
+  mutable owner : int;
+      (* id of the session whose profiler built this trace; 0 for a
+         single-engine run.  Stamped by the cache at installation and
+         kept by the first builder on a hash-cons reuse, so the cache can
+         count cross-session reuse. *)
 }
 
 let make ~id ~(layout : Layout.t) ~first ~blocks ~prob =
@@ -38,6 +43,7 @@ let make ~id ~(layout : Layout.t) ~first ~blocks ~prob =
     completed = 0;
     partial_exits = 0;
     partial_instrs = 0;
+    owner = 0;
   }
 
 let n_blocks t = Array.length t.blocks

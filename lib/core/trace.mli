@@ -23,6 +23,11 @@ type t = {
   mutable partial_exits : int;
   mutable partial_instrs : int;
       (** instructions executed on early exits *)
+  mutable owner : int;
+      (** id of the session whose profiler built this trace ([0] for a
+          single-engine run).  Stamped by the cache at installation and
+          kept by the first builder on a hash-cons reuse, so the cache
+          can count cross-session reuse. *)
 }
 
 val make :

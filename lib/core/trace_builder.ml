@@ -54,7 +54,7 @@ let find_entry_points (config : Config.t) (s : Bcg.node) : Bcg.node list =
     else begin
       Hashtbl.replace visited (key n) ();
       let preds = strong_preds n in
-      if preds = [] || depth >= config.Config.max_backtrack then
+      if preds = [] || depth >= Config.max_backtrack config then
         roots := n :: !roots
       else
         List.iter
@@ -97,7 +97,7 @@ let walk_from (config : Config.t) (root : Bcg.node) : walk =
       | None -> stop := true
       | Some e ->
           let c = Bcg.correlation n e in
-          if c < config.Config.threshold then stop := true
+          if c < Config.threshold config then stop := true
           else begin
             let target = e.Bcg.e_target in
             match Hashtbl.find_opt index (key target) with
@@ -108,7 +108,7 @@ let walk_from (config : Config.t) (root : Bcg.node) : walk =
                 corrs := c :: !corrs;
                 stop := true
             | None ->
-                if !len >= config.Config.max_walk then stop := true
+                if !len >= Config.max_walk config then stop := true
                 else begin
                   corrs := c :: !corrs;
                   path := target :: !path;
@@ -138,13 +138,13 @@ let cut_segment (config : Config.t) (cache : Trace_cache.t) ~events
     while !continue_ do
       let next = !j + 1 in
       if next > hi then continue_ := false
-      else if next - !i + 1 > config.Config.max_trace_blocks then
+      else if next - !i + 1 > Config.max_trace_blocks config then
         continue_ := false
       else begin
         (* corrs.(!j) links transition !j to transition next; it is present
            for every !j < Array.length w.corrs *)
         let c = if !j < Array.length w.corrs then w.corrs.(!j) else 0.0 in
-        if !p *. c >= config.Config.threshold then begin
+        if !p *. c >= Config.threshold config then begin
           p := !p *. c;
           j := next
         end
@@ -152,7 +152,7 @@ let cut_segment (config : Config.t) (cache : Trace_cache.t) ~events
       end
     done;
     let n_transitions = !j - !i + 1 in
-    if n_transitions >= config.Config.min_trace_blocks then begin
+    if n_transitions >= Config.min_trace_blocks config then begin
       let first = w.path.(!i).Bcg.n_x in
       let blocks =
         Array.init n_transitions (fun k -> w.path.(!i + k).Bcg.n_y)

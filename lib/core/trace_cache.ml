@@ -38,6 +38,7 @@ type t = {
   last_used : (int, int) Hashtbl.t; (* entry key -> use stamp *)
   mutable stamp : int; (* monotone use counter for LRU *)
   mutable clock : int; (* engine dispatch count, drives backoff *)
+  mutable session : int; (* id of the session currently dispatching; 0 solo *)
   mutable live_blocks : int; (* sum of block counts over by_entry *)
   mutable next_id : int;
   mutable constructed : int; (* traces newly built *)
@@ -49,6 +50,11 @@ type t = {
   mutable pending_fail : int; (* injected installation failures to consume *)
   mutable failed_installs : int; (* injected failures consumed *)
   mutable quarantine_rejects : int; (* installs refused while quarantined *)
+  mutable cross_installs : int;
+      (* hash-cons hits where the cached trace was built by another
+         session — a construction this session never had to pay for *)
+  mutable cross_entries : int;
+      (* dispatch lookups entering a trace built by another session *)
 }
 
 let create ?(events = Events.create ()) ?(max_traces = 0) ?(max_blocks = 0)
@@ -71,6 +77,7 @@ let create ?(events = Events.create ()) ?(max_traces = 0) ?(max_blocks = 0)
     last_used = Hashtbl.create 256;
     stamp = 0;
     clock = 0;
+    session = 0;
     live_blocks = 0;
     next_id = 0;
     constructed = 0;
@@ -82,7 +89,11 @@ let create ?(events = Events.create ()) ?(max_traces = 0) ?(max_blocks = 0)
     pending_fail = 0;
     failed_installs = 0;
     quarantine_rejects = 0;
+    cross_installs = 0;
+    cross_entries = 0;
   }
+
+let layout t = t.layout
 
 let entry_key_int t ~first ~head = (first * t.layout.Layout.n_blocks) + head
 
@@ -98,6 +109,13 @@ let seq_key ~first ~(blocks : Layout.gid array) =
 
 let set_clock t now = t.clock <- now
 
+(* A shared cache serves several sessions in turn; the [Session] layer
+   announces whose dispatches follow so cross-session reuse can be
+   attributed.  Solo engines leave this at 0 and pay nothing. *)
+let set_session t id = t.session <- id
+
+let session t = t.session
+
 let touch t ekey =
   t.stamp <- t.stamp + 1;
   Hashtbl.replace t.last_used ekey t.stamp
@@ -111,6 +129,8 @@ let lookup t ~prev ~cur : Trace.t option =
     match Hashtbl.find_opt t.by_entry ekey with
     | Some tr ->
         touch t ekey;
+        if tr.Trace.owner <> t.session then
+          t.cross_entries <- t.cross_entries + 1;
         Some tr
     | None -> None
 
@@ -133,9 +153,24 @@ let unbind t ekey (tr : Trace.t) =
 
 let n_live t = Hashtbl.length t.by_entry
 
+let emit_evicted t ~ekey ~(tr : Trace.t) ~reason =
+  if Events.enabled t.events then begin
+    let n = t.layout.Layout.n_blocks in
+    Events.emit t.events
+      (Events.Trace_evicted
+         {
+           trace_id = tr.Trace.id;
+           first = ekey / n;
+           head = ekey mod n;
+           n_live = n_live t;
+           reason;
+         })
+  end
+
 (* Evict the least recently dispatched live entry (never [keep], the
-   entry just installed).  Returns false when nothing is evictable. *)
-let evict_lru t ~keep =
+   entry just installed).  [reason] says who asked — capacity caps or an
+   injected pressure fault.  Returns false when nothing is evictable. *)
+let evict_lru t ~keep ~reason =
   let victim = ref None in
   Hashtbl.iter
     (fun ekey tr ->
@@ -154,17 +189,7 @@ let evict_lru t ~keep =
   | Some (ekey, tr, _) ->
       unbind t ekey tr;
       t.evicted <- t.evicted + 1;
-      if Events.enabled t.events then begin
-        let n = t.layout.Layout.n_blocks in
-        Events.emit t.events
-          (Events.Trace_evicted
-             {
-               trace_id = tr.Trace.id;
-               first = ekey / n;
-               head = ekey mod n;
-               n_live = n_live t;
-             })
-      end;
+      emit_evicted t ~ekey ~tr ~reason;
       true
 
 let over_capacity t =
@@ -172,7 +197,8 @@ let over_capacity t =
   || (t.max_blocks > 0 && t.live_blocks > t.max_blocks)
 
 let rec enforce_caps t ~keep =
-  if over_capacity t && evict_lru t ~keep then enforce_caps t ~keep
+  if over_capacity t && evict_lru t ~keep ~reason:Events.Evict_capacity then
+    enforce_caps t ~keep
 
 (* Install a candidate trace.  If an identical trace is already cached we
    keep it (hash-cons hit); otherwise a new trace is constructed and bound
@@ -204,6 +230,8 @@ let install t ~first ~(blocks : Layout.gid array) ~prob : Trace.t =
     match Hashtbl.find_opt t.by_seq skey with
     | Some existing ->
         t.hash_hits <- t.hash_hits + 1;
+        if existing.Trace.owner <> t.session then
+          t.cross_installs <- t.cross_installs + 1;
         (* make sure it is (still) the trace bound to its entry *)
         (match Hashtbl.find_opt t.by_entry ekey with
         | Some bound when bound == existing -> ()
@@ -214,6 +242,7 @@ let install t ~first ~(blocks : Layout.gid array) ~prob : Trace.t =
         let id = t.next_id in
         t.next_id <- id + 1;
         let tr = Trace.make ~id ~layout:t.layout ~first ~blocks ~prob in
+        tr.Trace.owner <- t.session;
         t.constructed <- t.constructed + 1;
         Hashtbl.replace t.by_seq skey tr;
         (match Hashtbl.find_opt t.by_entry ekey with
@@ -247,6 +276,9 @@ let quarantine t ~first ~head ~code : Trace.t option =
     match Hashtbl.find_opt t.by_entry ekey with
     | Some tr ->
         unbind t ekey tr;
+        (* not counted in [evicted] (that is capacity accounting) but
+           visible in the timeline with its own reason *)
+        emit_evicted t ~ekey ~tr ~reason:Events.Evict_quarantine;
         Some tr
     | None -> None
   in
@@ -307,7 +339,10 @@ let pressure_evict t ~down_to =
   let down_to = max 0 down_to in
   let count = ref 0 in
   let rec go () =
-    if n_live t > down_to && evict_lru t ~keep:min_int then begin
+    if
+      n_live t > down_to
+      && evict_lru t ~keep:min_int ~reason:Events.Evict_pressure
+    then begin
       incr count;
       go ()
     end
@@ -341,6 +376,10 @@ let n_blacklisted t = t.blacklisted
 let n_failed_installs t = t.failed_installs
 
 let n_quarantine_rejects t = t.quarantine_rejects
+
+let n_cross_installs t = t.cross_installs
+
+let n_cross_entries t = t.cross_entries
 
 let flush t =
   Hashtbl.reset t.by_entry;

@@ -36,9 +36,24 @@ val create :
     clock units.
     @raise Invalid_argument on out-of-range parameters. *)
 
+val layout : t -> Cfg.Layout.t
+(** The layout the cache was created over — a shared cache may only
+    serve engines running the same layout. *)
+
 val set_clock : t -> int -> unit
 (** Advance the cache clock (the engine's dispatch count) — the time base
     of quarantine backoff. *)
+
+val set_session : t -> int -> unit
+(** Announce which session's dispatches follow.  A cache shared between
+    sessions (the [Session] layer) is told the current session id before
+    each batch, so new traces are stamped with their builder
+    ({!Trace.t.owner}) and reuse across sessions is counted
+    ({!n_cross_installs} / {!n_cross_entries}).  Solo engines leave this
+    at [0]. *)
+
+val session : t -> int
+(** The session id announced by the last {!set_session} ([0] initially). *)
 
 val lookup : t -> prev:Cfg.Layout.gid -> cur:Cfg.Layout.gid -> Trace.t option
 (** Dispatch lookup: the trace entered by the transition [(prev, cur)],
@@ -145,6 +160,15 @@ val n_failed_installs : t -> int
 
 val n_quarantine_rejects : t -> int
 (** {!try_install} refusals due to an active quarantine. *)
+
+val n_cross_installs : t -> int
+(** Hash-cons hits where the cached trace was built by a different
+    session than the one installing — constructions the current session
+    never had to pay for.  Always [0] for a solo engine. *)
+
+val n_cross_entries : t -> int
+(** Dispatch lookups that entered a trace built by a different session.
+    Always [0] for a solo engine. *)
 
 val flush : t -> unit
 (** Empty the cache — live traces, hash-cons table and quarantine records

@@ -29,6 +29,12 @@ type verdict = {
 
 val passed : verdict -> bool
 
+val fingerprint : Vm.Interp.result -> string * int * int
+(** A comparable fingerprint of a VM result: the outcome rendered to a
+    string plus both dispatch-model counts.  Two runs with equal
+    fingerprints are bit-identical for the FT901 gate's purposes — the
+    [backends] and [session] equivalence checks reuse it. *)
+
 val run_one :
   ?spec:string ->
   ?max_instructions:int ->

@@ -63,6 +63,14 @@ let to_string j =
   render_json buf j;
   Buffer.contents buf
 
+(* Every top-level JSONL record (event, snapshot, lint diagnostic, sweep
+   run) leads with this so downstream consumers can detect format
+   drift.  Bump on any breaking change to the field sets below.
+   Version 2: added it, plus the eviction [reason] field. *)
+let schema_version = 2
+
+let versioned fields = ("schema_version", J_int schema_version) :: fields
+
 (* One run's statistics, raw counts plus the paper's derived values —
    the latter computed once through Stats.derived. *)
 let stats_json ?(extra = []) (s : Stats.t) : json =
@@ -115,11 +123,13 @@ module Metrics = Tracegen.Metrics
 
 (* One metrics snapshot: the logical time it was taken at plus every
    registered source, flattened into the object. *)
+let snapshot_fields (s : Metrics.snapshot) =
+  ("at", J_int s.Metrics.at)
+  :: Array.to_list
+       (Array.map (fun (name, v) -> (name, J_int v)) s.Metrics.values)
+
 let snapshot_json (s : Metrics.snapshot) : json =
-  J_obj
-    (("at", J_int s.Metrics.at)
-    :: Array.to_list
-         (Array.map (fun (name, v) -> (name, J_int v)) s.Metrics.values))
+  J_obj (versioned (snapshot_fields s))
 
 let snapshots_jsonl (snaps : Metrics.snapshot list) : string =
   let buf = Buffer.create 1024 in
@@ -173,7 +183,8 @@ let event_json (e : Events.event) : json =
         ]
     | Events.Decay_pass { decays } -> [ ("decays", J_int decays) ]
     | Events.Phase_snapshot s ->
-        [ ("snapshot", snapshot_json s) ]
+        (* nested object: the enclosing event record carries the version *)
+        [ ("snapshot", J_obj (snapshot_fields s)) ]
     | Events.Invariant_violation { code; severity; message } ->
         [
           ("code", J_string code);
@@ -193,12 +204,13 @@ let event_json (e : Events.event) : json =
           (* max_int = permanently blacklisted; JSON-friendly sentinel *)
           ("until", J_int (if until = max_int then -1 else until));
         ]
-    | Events.Trace_evicted { trace_id; first; head; n_live } ->
+    | Events.Trace_evicted { trace_id; first; head; n_live; reason } ->
         [
           ("trace_id", J_int trace_id);
           ("first", J_int first);
           ("head", J_int head);
           ("n_live", J_int n_live);
+          ("reason", J_string (Events.evict_reason_to_string reason));
         ]
     | Events.Mode_degraded { from_level; to_level } ->
         [
@@ -212,9 +224,10 @@ let event_json (e : Events.event) : json =
         ]
   in
   J_obj
-    (("event", J_string (Events.kind e.Events.payload))
-    :: ("time", J_int e.Events.time)
-    :: payload_fields)
+    (versioned
+       (("event", J_string (Events.kind e.Events.payload))
+       :: ("time", J_int e.Events.time)
+       :: payload_fields))
 
 (* One lint diagnostic as a flat object — the `repro_cli lint --json`
    line schema. *)
@@ -230,8 +243,8 @@ let diag_json (d : Analysis.Diag.t) : json =
     ]
   in
   match d.Analysis.Diag.context with
-  | Some c -> J_obj (("context", J_string c) :: base)
-  | None -> J_obj base
+  | Some c -> J_obj (versioned (("context", J_string c) :: base))
+  | None -> J_obj (versioned base)
 
 let diags_jsonl (diags : Analysis.Diag.t list) : string =
   let buf = Buffer.create 1024 in
@@ -256,6 +269,7 @@ let run_json (r : Experiment.run) : json =
   stats_json
     ~extra:
       [
+        ("schema_version", J_int schema_version);
         ("workload", J_string k.Experiment.workload);
         ("size", J_int k.Experiment.size);
         ("delay", J_int k.Experiment.delay);

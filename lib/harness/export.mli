@@ -14,6 +14,12 @@ val to_string : json -> string
 
 val json_escape : string -> string
 
+val schema_version : int
+(** Every top-level JSONL record ({!event_json}, {!snapshot_json},
+    {!diag_json}, {!run_json}) leads with a ["schema_version"] field
+    carrying this value, so downstream consumers can detect format
+    drift.  Bumped on any breaking change to the record field sets. *)
+
 val stats_json : ?extra:(string * json) list -> Tracegen.Stats.t -> json
 (** Raw counts plus every derived value, as one flat object. *)
 

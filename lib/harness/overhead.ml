@@ -38,9 +38,12 @@ let measure ?(scale = 1.0) ?(repeats = 3) (w : Workloads.Workload.t) : row =
   let size = Experiment.size_for ~scale w in
   let layout = Experiment.layout_for w ~size in
   let plain_sec, plain = time_best ~repeats (fun () -> Vm.Interp.run_plain layout) in
+  (* pin the profile backend: the hook runs at every dispatch but traces
+     are neither built (config) nor entered (backend) *)
   let config = Config.make ~build_traces:false () in
   let profiled_sec, run =
-    time_best ~repeats (fun () -> Tracegen.Engine.run ~config layout)
+    time_best ~repeats (fun () ->
+        Tracegen.Engine.run ~config ~backend:Tracegen.Engine.Profile layout)
   in
   let dispatches = plain.Vm.Interp.block_dispatches in
   ignore run;

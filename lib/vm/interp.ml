@@ -73,6 +73,7 @@ type state = {
   layout : Layout.t;
   program : Program.t;
   mutable frames : frame list;
+  mutable returned : Value.t option;
   mutable instructions : int;
   mutable block_dispatches : int;
   max_instructions : int;
@@ -183,15 +184,13 @@ let step_budget st n =
   if st.instructions > st.max_instructions then
     die Instruction_budget "exceeded %d instructions" st.max_instructions
 
-(* Execute from the current frame/pc until the program returns from the
-   entry method. *)
-let run_loop st : Value.t option =
-  let return_value = ref None in
-  let running = ref true in
-  while !running do
-    match st.frames with
-    | [] -> running := false
-    | fr :: outer_frames ->
+(* Execute exactly one basic block from the current frame/pc: one
+   dispatch, the observer hooks, the block's instructions, and its
+   terminator.  A no-op once the entry method has returned. *)
+let exec_block st =
+  match st.frames with
+  | [] -> ()
+  | fr :: outer_frames ->
         let mid = fr.meth.Mthd.id in
         let cfg = Layout.cfg_of_method st.layout ~method_id:mid in
         let b = Method_cfg.block_at_pc cfg fr.pc in
@@ -429,14 +428,14 @@ let run_loop st : Value.t option =
               pc := end_pc
           | Instr.Return ->
               st.frames <- outer_frames;
-              if outer_frames = [] then return_value := None;
+              if outer_frames = [] then st.returned <- None;
               pc := end_pc
           | Instr.Ireturn | Instr.Freturn | Instr.Areturn ->
               let v = pop fr in
               st.frames <- outer_frames;
               (match outer_frames with
               | caller :: _ -> push caller v
-              | [] -> return_value := Some v);
+              | [] -> st.returned <- Some v);
               pc := end_pc
           | _ ->
               (* ordinary instruction: advance; if this was the last
@@ -444,17 +443,21 @@ let run_loop st : Value.t option =
               incr pc;
               if !pc = end_pc then fr.pc <- end_pc)
         done
-  done;
-  !return_value
 
-let run ?(max_instructions = max_int) ?on_block_state (layout : Layout.t)
-    ~(on_block : Layout.gid -> unit) : result =
+(* Resumable execution.  A handle owns the interpreter state and absorbs
+   a [Runtime_error] raised mid-step into a pending [Trapped] outcome, so
+   interleaved drivers (the [Session] layer) never see the exception. *)
+type handle = { h_st : state; mutable h_trap : (error_kind * string) option }
+
+let start ?(max_instructions = max_int) ?on_block_state (layout : Layout.t)
+    ~(on_block : Layout.gid -> unit) : handle =
   let program = layout.Layout.program in
   let st =
     {
       layout;
       program;
       frames = [ new_frame (Program.entry_method program) ];
+      returned = None;
       instructions = 0;
       block_dispatches = 0;
       max_instructions;
@@ -462,15 +465,46 @@ let run ?(max_instructions = max_int) ?on_block_state (layout : Layout.t)
       on_block_state;
     }
   in
+  { h_st = st; h_trap = None }
+
+let running h = h.h_trap = None && h.h_st.frames <> []
+
+let step_blocks h n =
+  let executed = ref 0 in
+  (try
+     while !executed < n && h.h_trap = None && h.h_st.frames <> [] do
+       exec_block h.h_st;
+       incr executed
+     done
+   with Runtime_error (kind, msg) ->
+     (* the trapping block was dispatched before it died *)
+     incr executed;
+     h.h_trap <- Some (kind, msg));
+  !executed
+
+let result_of h =
   let outcome =
-    try Finished (run_loop st)
-    with Runtime_error (kind, msg) -> Trapped (kind, msg)
+    match h.h_trap with
+    | Some (kind, msg) -> Trapped (kind, msg)
+    | None ->
+        if h.h_st.frames = [] then Finished h.h_st.returned
+        else invalid_arg "Interp.result_of: program still running"
   in
   {
     outcome;
-    instructions = st.instructions;
-    block_dispatches = st.block_dispatches;
+    instructions = h.h_st.instructions;
+    block_dispatches = h.h_st.block_dispatches;
   }
+
+let finish h =
+  while running h do
+    ignore (step_blocks h max_int)
+  done;
+  result_of h
+
+let run ?max_instructions ?on_block_state (layout : Layout.t)
+    ~(on_block : Layout.gid -> unit) : result =
+  finish (start ?max_instructions ?on_block_state layout ~on_block)
 
 (* Convenience: run with no observer. *)
 let run_plain ?max_instructions layout =

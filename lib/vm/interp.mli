@@ -60,6 +60,44 @@ val run :
 val run_plain : ?max_instructions:int -> Cfg.Layout.t -> result
 (** {!run} with no observer: the unmodified interpreter of Table VI. *)
 
+(** {2 Resumable execution}
+
+    The stepping API underneath {!run}: a handle holds a paused program
+    between batches of basic blocks, so several programs can be
+    interleaved by one driver (the multi-workload [Session] layer).
+    Executing all blocks through a handle is bit-identical to a single
+    {!run} — same observer calls, same counters, same outcome. *)
+
+type handle
+
+val start :
+  ?max_instructions:int ->
+  ?on_block_state:(Cfg.Layout.gid -> Value.t array -> unit) ->
+  Cfg.Layout.t ->
+  on_block:(Cfg.Layout.gid -> unit) ->
+  handle
+(** Set up the program at its entry method without executing anything.
+    Parameters as in {!run}. *)
+
+val running : handle -> bool
+(** Whether there is more program to execute: [false] once the entry
+    method has returned or a runtime error trapped the program. *)
+
+val step_blocks : handle -> int -> int
+(** [step_blocks h n] executes up to [n] basic blocks (each one dispatch)
+    and returns the number actually dispatched — less than [n] only when
+    the program finished or trapped.  A runtime error raised mid-block is
+    absorbed into the handle's outcome, never re-raised; the trapping
+    block counts as dispatched.  Returns [0] once {!running} is false. *)
+
+val finish : handle -> result
+(** Execute the remaining program (if any) and return the final result.
+    Idempotent once the program has stopped. *)
+
+val result_of : handle -> result
+(** The result of a stopped handle without driving it further.
+    @raise Invalid_argument if the program is still {!running}. *)
+
 val result_value : result -> Value.t option
 (** The returned value.
     @raise Invalid_argument if the program trapped. *)

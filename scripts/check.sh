@@ -30,6 +30,11 @@ dune exec bin/repro_cli.exe -- lint
 # tracing; exits non-zero on any FT901/FT902 verdict.
 dune exec bin/repro_cli.exe -- chaos --seed 42 --quick
 
+# Bench smoke: the seconds-long mechanism sections (backend switching,
+# shared-vs-private trace cache) — catches bench bitrot without the
+# paper-scale tables.
+dune exec bench/main.exe -- --smoke
+
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc
 else

@@ -1,0 +1,371 @@
+(* The pluggable dispatch backends and the multi-workload session layer:
+
+   - each pinned backend (interp / profile / trace) yields a VM result
+     bit-identical to the plain interpreter on every registered workload;
+   - backend selection follows the health ladder, counting only genuine
+     strategy changes, and promotion out of interp-only resets the
+     profiler context;
+   - the resumable interpreter handle replays exactly the same stream as
+     a one-shot run, whatever the batch size;
+   - sessions share a trace cache per layout with observable
+     cross-session reuse, preserving bit-identical results (also under a
+     chaos fault schedule);
+   - the Health edge cases: forgiveness exactly at the clean-window
+     boundary, and strike budgets resetting across a demote + recover
+     cycle. *)
+
+module Config = Tracegen.Config
+module Engine = Tracegen.Engine
+module Session = Tracegen.Session
+module Health = Tracegen.Health
+module Bcg = Tracegen.Bcg
+module Profiler = Tracegen.Profiler
+module Stats = Tracegen.Stats
+module Interp = Vm.Interp
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let fingerprint = Harness.Chaos.fingerprint
+
+let compress_layout =
+  lazy
+    (let w = Workloads.Compress.workload in
+     Cfg.Layout.build (w.Workloads.Workload.build ~size:500))
+
+(* --------------------------------------------------------------- *)
+(* pinned-backend equivalence                                        *)
+(* --------------------------------------------------------------- *)
+
+(* every registered workload, every backend: the overlay promise *)
+let test_pinned_equivalence () =
+  let max_instructions = 120_000 in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let layout =
+        Cfg.Layout.build (Workloads.Workload.build_default w)
+      in
+      let baseline = Interp.run_plain ~max_instructions layout in
+      List.iter
+        (fun k ->
+          let r = Engine.run ~max_instructions ~backend:k layout in
+          check Alcotest.bool
+            (Printf.sprintf "%s/%s identical" w.Workloads.Workload.name
+               (Engine.backend_kind_name k))
+            true
+            (fingerprint baseline = fingerprint r.Engine.vm_result);
+          let s = r.Engine.run_stats in
+          (match k with
+          | Engine.Interp ->
+              check Alcotest.int "interp: no signals" 0 s.Stats.signals;
+              check Alcotest.int "interp: no trace dispatches" 0
+                s.Stats.trace_dispatches;
+              check Alcotest.int "interp: every dispatch is a block dispatch"
+                baseline.Interp.block_dispatches s.Stats.block_dispatches
+          | Engine.Profile ->
+              check Alcotest.int "profile: no trace dispatches" 0
+                s.Stats.trace_dispatches
+          | Engine.Trace -> ());
+          check Alcotest.int "pinned engines never switch" 0
+            (Engine.backend_switches r.Engine.engine))
+        Engine.backends)
+    Workloads.Registry.all
+
+let test_backend_kind_names () =
+  List.iter
+    (fun k ->
+      let name = Engine.backend_kind_name k in
+      check
+        (Alcotest.option Alcotest.bool)
+        ("roundtrip " ^ name) (Some true)
+        (Option.map (fun k' -> k' = k) (Engine.backend_kind_of_string name));
+      let (module B : Tracegen.Backend.S) = Engine.implementation k in
+      check Alcotest.string "module name matches kind" name B.name;
+      check Alcotest.bool "describe is not empty" true
+        (String.length B.describe > 0))
+    Engine.backends;
+  check
+    (Alcotest.option Alcotest.bool)
+    "unknown name rejected" None
+    (Option.map (fun _ -> true) (Engine.backend_kind_of_string "jit"))
+
+(* an unpinned engine starts on the backend the config implies *)
+let test_unpinned_selection () =
+  let layout = Lazy.force compress_layout in
+  let e = Engine.create layout in
+  check Alcotest.string "default: trace backend" "trace"
+    (Engine.backend_name e);
+  check Alcotest.bool "not pinned" false (Engine.backend_pinned e);
+  let e2 =
+    Engine.create ~config:(Config.make ~build_traces:false ()) layout
+  in
+  check Alcotest.string "build_traces off: profile backend" "profile"
+    (Engine.backend_name e2);
+  let e3 = Engine.create ~backend:Engine.Interp layout in
+  check Alcotest.bool "pinned" true (Engine.backend_pinned e3)
+
+(* --------------------------------------------------------------- *)
+(* resumable interpreter                                             *)
+(* --------------------------------------------------------------- *)
+
+let test_stepped_equivalence () =
+  let layout = Lazy.force compress_layout in
+  let stream_once = ref [] in
+  let once =
+    Interp.run layout ~on_block:(fun g -> stream_once := g :: !stream_once)
+  in
+  (* odd batch size, so batches straddle calls and returns *)
+  let stream_stepped = ref [] in
+  let h =
+    Interp.start layout ~on_block:(fun g ->
+        stream_stepped := g :: !stream_stepped)
+  in
+  let batches = ref 0 in
+  while Interp.running h do
+    ignore (Interp.step_blocks h 7);
+    incr batches
+  done;
+  let stepped = Interp.finish h in
+  check Alcotest.bool "many batches" true (!batches > 1);
+  check Alcotest.bool "identical result" true
+    (fingerprint once = fingerprint stepped);
+  check (Alcotest.list Alcotest.int) "identical dispatch stream"
+    !stream_once !stream_stepped;
+  (* finish is idempotent; step_blocks on a stopped handle is a no-op *)
+  check Alcotest.int "no more blocks" 0 (Interp.step_blocks h 10);
+  check Alcotest.bool "finish idempotent" true
+    (fingerprint (Interp.finish h) = fingerprint stepped)
+
+let test_stepped_trap () =
+  (* a division by zero traps mid-step and is absorbed by the handle *)
+  let open Workloads.Dsl in
+  let module S = Bytecode.Structured in
+  let p = S.create () in
+  S.def_method p ~name:"main" ~args:[] ~ret:S.I
+    ~body:[ ret (i 1 /! i 0) ] ();
+  let program = S.link p ~entry:"main" in
+  Bytecode.Verify.verify_program program;
+  let layout = Cfg.Layout.build program in
+  let h = Interp.start layout ~on_block:(fun _ -> ()) in
+  ignore (Interp.step_blocks h max_int);
+  check Alcotest.bool "stopped" false (Interp.running h);
+  match (Interp.result_of h).Interp.outcome with
+  | Interp.Trapped (Interp.Division_by_zero, _) -> ()
+  | _ -> Alcotest.fail "expected a division-by-zero trap"
+
+(* --------------------------------------------------------------- *)
+(* ladder-driven backend switching                                   *)
+(* --------------------------------------------------------------- *)
+
+(* demote to interp-only by striking the ladder directly, recover by
+   clean dispatches, and observe: the switch count, and the profiler
+   context forgotten on promotion out of interp-only *)
+let test_promotion_resets_profiler () =
+  let layout = Lazy.force compress_layout in
+  let config =
+    Config.make ~build_traces:false ~self_heal:true ~heal_demote_after:1
+      ~heal_recover_after:3 ()
+  in
+  let e = Engine.create ~config layout in
+  check Alcotest.string "starts on profile" "profile" (Engine.backend_name e);
+  (* profile a short stream: context is (1,2) afterwards *)
+  List.iter (Engine.on_block e) [ 0; 1; 2 ];
+  let bcg = Profiler.bcg (Engine.profiler e) in
+  check Alcotest.bool "node (1,2) profiled" true
+    (Bcg.find_node bcg ~x:1 ~y:2 <> None);
+  (* two direct strikes with demote_after=1: full -> profiling -> interp *)
+  ignore (Health.strike (Engine.health e));
+  ignore (Health.strike (Engine.health e));
+  check Alcotest.bool "ladder at interp-only" true
+    (Health.level (Engine.health e) = Health.Interp_only);
+  (* three unprofiled dispatches fill the recovery window; the promotion
+     out of interp-only resets the profiler context *)
+  List.iter (Engine.on_block e) [ 3; 4; 5 ];
+  (* the promotion lands mid-dispatch, so block 5 itself still ran on
+     the interp backend; re-selection happens at the NEXT observed
+     block *)
+  check Alcotest.string "still on interp right after promoting" "interp"
+    (Engine.backend_name e);
+  List.iter (Engine.on_block e) [ 6; 7 ];
+  check Alcotest.int "two genuine switches (profile->interp->profile)" 2
+    (Engine.backend_switches e);
+  check Alcotest.bool "stale context not linked across the reset" true
+    (Bcg.find_node bcg ~x:5 ~y:6 = None);
+  check Alcotest.bool "profiling resumed with a fresh context" true
+    (Bcg.find_node bcg ~x:6 ~y:7 <> None);
+  check Alcotest.bool "pre-demotion history kept" true
+    (Bcg.find_node bcg ~x:1 ~y:2 <> None);
+  check Alcotest.int "skipped dispatches counted" 3
+    (Profiler.skipped (Engine.profiler e))
+
+(* --------------------------------------------------------------- *)
+(* health edge cases                                                 *)
+(* --------------------------------------------------------------- *)
+
+let test_forgiveness_boundary () =
+  (* strikes are forgiven at exactly recover_after clean dispatches, not
+     one earlier *)
+  let h = Health.create ~demote_after:3 ~recover_after:5 in
+  ignore (Health.strike h);
+  ignore (Health.strike h);
+  check Alcotest.int "two strikes pending" 2 (Health.strikes h);
+  for _ = 1 to 4 do
+    ignore (Health.clean_dispatch h)
+  done;
+  (* one dispatch short of the window: a third strike still demotes *)
+  check Alcotest.int "still pending at window-1" 2 (Health.strikes h);
+  (match Health.clean_dispatch h with
+  | Health.Stay -> ()
+  | Health.Changed _ -> Alcotest.fail "forgiveness must not change level");
+  check Alcotest.int "forgiven at exactly the window" 0 (Health.strikes h);
+  check Alcotest.bool "still at full tracing" false (Health.is_degraded h);
+  (* the same sequence, one clean dispatch shorter, demotes instead *)
+  let h2 = Health.create ~demote_after:3 ~recover_after:5 in
+  ignore (Health.strike h2);
+  ignore (Health.strike h2);
+  for _ = 1 to 4 do
+    ignore (Health.clean_dispatch h2)
+  done;
+  (match Health.strike h2 with
+  | Health.Changed (Health.Full_tracing, Health.Profiling_only) -> ()
+  | _ -> Alcotest.fail "third strike inside the window must demote")
+
+let test_strikes_across_demote_recover () =
+  (* each demotion and each promotion grants the new level a fresh
+     strike budget *)
+  let h = Health.create ~demote_after:2 ~recover_after:3 in
+  ignore (Health.strike h);
+  (match Health.strike h with
+  | Health.Changed (Health.Full_tracing, Health.Profiling_only) -> ()
+  | _ -> Alcotest.fail "second strike demotes");
+  check Alcotest.int "budget reset after demotion" 0 (Health.strikes h);
+  ignore (Health.strike h);
+  check Alcotest.int "one strike at profiling-only" 1 (Health.strikes h);
+  (* recover: the strike from the degraded level must not survive *)
+  ignore (Health.clean_dispatch h);
+  ignore (Health.clean_dispatch h);
+  (match Health.clean_dispatch h with
+  | Health.Changed (Health.Profiling_only, Health.Full_tracing) -> ()
+  | _ -> Alcotest.fail "third clean dispatch promotes");
+  check Alcotest.int "budget reset after promotion" 0 (Health.strikes h);
+  ignore (Health.strike h);
+  (match Health.strike h with
+  | Health.Changed (Health.Full_tracing, Health.Profiling_only) -> ()
+  | _ -> Alcotest.fail "fresh budget demotes on the second strike again");
+  check Alcotest.int "demotions counted" 2 (Health.demotions h);
+  check Alcotest.int "promotions counted" 1 (Health.promotions h)
+
+(* --------------------------------------------------------------- *)
+(* sessions                                                          *)
+(* --------------------------------------------------------------- *)
+
+let test_session_sharing () =
+  let layout = Lazy.force compress_layout in
+  let baseline = Interp.run_plain layout in
+  let session = Session.create ~batch:512 () in
+  let a = Session.add ~name:"a" session layout in
+  let b = Session.add ~name:"b" session layout in
+  check Alcotest.int "one shared cache" 1
+    (List.length (Session.caches session));
+  Session.run session;
+  check Alcotest.bool "both finished" true
+    (Session.finished a && Session.finished b);
+  List.iter
+    (fun m ->
+      check Alcotest.bool
+        (Session.member_name m ^ " identical to solo interpreter")
+        true
+        (fingerprint baseline = fingerprint (Session.vm_result m)))
+    (Session.members session);
+  check Alcotest.bool "cross-session trace entries observed" true
+    (Session.cross_entries session > 0);
+  (* the members really share: the engines report the same totals *)
+  check Alcotest.bool "engines share the cache" true
+    (Engine.cache (Session.engine a) == Engine.cache (Session.engine b));
+  (* distinct layouts get distinct caches *)
+  let other =
+    Cfg.Layout.build
+      (Workloads.Compress.workload.Workloads.Workload.build ~size:300)
+  in
+  ignore (Session.add ~name:"c" session other);
+  check Alcotest.int "second layout, second cache" 2
+    (List.length (Session.caches session));
+  Session.run session
+
+let test_session_solo_counts_nothing () =
+  (* a single-member session never counts cross reuse *)
+  let layout = Lazy.force compress_layout in
+  let session = Session.create () in
+  let m = Session.add session layout in
+  Session.run session;
+  check Alcotest.bool "finished" true (Session.finished m);
+  check Alcotest.int "no cross installs" 0 (Session.cross_installs session);
+  check Alcotest.int "no cross entries" 0 (Session.cross_entries session)
+
+let test_session_chaos_equivalence () =
+  (* interleaving under an armed fault schedule keeps every member's
+     result identical to the solo interpreter *)
+  let layout = Lazy.force compress_layout in
+  let baseline = Interp.run_plain layout in
+  let config = Harness.Chaos.config ~seed:5 () in
+  let session = Session.create ~batch:256 () in
+  for u = 1 to 2 do
+    ignore (Session.add ~name:(Printf.sprintf "u%d" u) ~config session layout)
+  done;
+  Session.run session;
+  List.iter
+    (fun m ->
+      check Alcotest.bool
+        (Session.member_name m ^ " identical under chaos")
+        true
+        (fingerprint baseline = fingerprint (Session.vm_result m)))
+    (Session.members session)
+
+let test_session_validation () =
+  (match Session.create ~batch:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "batch=0 must be rejected");
+  (* a cache from one layout cannot serve an engine over another *)
+  let layout = Lazy.force compress_layout in
+  let other =
+    Cfg.Layout.build
+      (Workloads.Compress.workload.Workloads.Workload.build ~size:300)
+  in
+  let cache = Tracegen.Trace_cache.create layout in
+  match Engine.create ~cache other with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "foreign-layout cache must be rejected"
+
+let () =
+  Alcotest.run "backends"
+    [
+      ( "equivalence",
+        [
+          tc "pinned backends vs interpreter" `Quick test_pinned_equivalence;
+          tc "kind names and implementations" `Quick test_backend_kind_names;
+          tc "unpinned selection" `Quick test_unpinned_selection;
+        ] );
+      ( "stepping",
+        [
+          tc "batched stepping replays the stream" `Quick
+            test_stepped_equivalence;
+          tc "trap mid-step" `Quick test_stepped_trap;
+        ] );
+      ( "ladder",
+        [
+          tc "promotion resets the profiler" `Quick
+            test_promotion_resets_profiler;
+          tc "forgiveness at the window boundary" `Quick
+            test_forgiveness_boundary;
+          tc "strike budgets across demote+recover" `Quick
+            test_strikes_across_demote_recover;
+        ] );
+      ( "sessions",
+        [
+          tc "shared cache, identical results" `Quick test_session_sharing;
+          tc "solo counts no cross reuse" `Quick
+            test_session_solo_counts_nothing;
+          tc "chaos equivalence" `Quick test_session_chaos_equivalence;
+          tc "validation" `Quick test_session_validation;
+        ] );
+    ]

@@ -113,7 +113,7 @@ let test_corrupt_edge_weight_fires_tl204 () =
   e.Bcg.weight <- -5;
   check Alcotest.bool "negative weight fires TL204" true
     (has_code "TL204" (Invariants.check_bcg bcg));
-  e.Bcg.weight <- Tracegen.Config.default.Config.counter_max + 1;
+  e.Bcg.weight <- Tracegen.(Config.counter_max Config.default) + 1;
   check Alcotest.bool "oversized weight fires TL204" true
     (has_code "TL204" (Invariants.check_bcg bcg));
   e.Bcg.weight <- saved
@@ -131,7 +131,7 @@ let test_corrupt_decay_bookkeeping_fires_tl206 () =
   let _, _, bcg = warm_engine () in
   let n = find_node_with_edge bcg in
   let saved = n.Bcg.since_decay in
-  n.Bcg.since_decay <- Tracegen.Config.default.Config.decay_period + 7;
+  n.Bcg.since_decay <- (Tracegen.Config.decay_period Tracegen.Config.default) + 7;
   check Alcotest.bool "since_decay out of range fires TL206" true
     (has_code "TL206" (Invariants.check_node bcg n));
   n.Bcg.since_decay <- saved
@@ -159,7 +159,7 @@ let test_bad_trace_length_fires_tl209 () =
   let cache = Trace_cache.create layout in
   let too_long =
     Array.init
-      (Tracegen.Config.default.Config.max_trace_blocks + 1)
+      ((Tracegen.Config.max_trace_blocks Tracegen.Config.default) + 1)
       (fun k -> (k + 1) mod layout.Cfg.Layout.n_blocks)
   in
   ignore (Trace_cache.install cache ~first:0 ~blocks:too_long ~prob:1.0);

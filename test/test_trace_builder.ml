@@ -90,7 +90,7 @@ let test_stops_at_weak_branch () =
   | None -> Alcotest.fail "expected trace entered at (1,2)"
 
 let test_newly_created_not_followed () =
-  let config = { (mk_config ()) with Config.start_state_delay = 1000 } in
+  let config = Config.with_delay (mk_config ()) 1000 in
   let bcg = mk_bcg config in
   let cache = Trace_cache.create (Lazy.force layout) in
   feed_path bcg [ 1; 2; 3; 4 ] ~times:20;
@@ -143,7 +143,10 @@ let test_probability_cut () =
         (tr.Trace.prob >= 0.97))
 
 let test_max_length_cap () =
-  let config = { (mk_config ()) with Config.max_trace_blocks = 4 } in
+  let config =
+    Config.make ~start_state_delay:1 ~threshold:0.97 ~decay_period:1_000_000
+      ~max_trace_blocks:4 ()
+  in
   let bcg = mk_bcg config in
   let cache = Trace_cache.create (Lazy.force layout) in
   feed_path bcg [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] ~times:20;
