@@ -188,6 +188,59 @@ let observability () =
     (!counted / runs)
     (100.0 *. (te -. td) /. td)
 
+(* The span recorder and attribution arrays have the same contract as the
+   event stream: with [Config.Obs] off (the default) every site is a
+   single branch — a [None]/empty-array test — so the dispatch loop must
+   not slow down.  Time the disabled path twice to estimate the noise
+   floor, then the same run with spans + attribution on, and report both
+   deltas: the disabled re-run should sit inside the noise, the enabled
+   cost is the priced-in cost of deep observability. *)
+let span_overhead () =
+  section "Span overhead (Config.Obs disabled vs enabled)";
+  let layout = Lazy.force bench_layout in
+  let reps = max 1 (int_of_float (10.0 *. scale)) in
+  let time f =
+    f ();
+    let samples =
+      List.init 5 (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            f ()
+          done;
+          Unix.gettimeofday () -. t0)
+    in
+    List.nth (List.sort compare samples) 2
+  in
+  let disabled () = ignore (Tracegen.Engine.run layout) in
+  let spans_seen = ref 0 in
+  let enabled () =
+    let config =
+      Tracegen.Config.make ~obs_spans:true ~obs_attribution:true ()
+    in
+    let r = Tracegen.Engine.run ~config layout in
+    match Tracegen.Engine.spans r.Tracegen.Engine.engine with
+    | Some s -> spans_seen := Tracegen.Spans.recorded s
+    | None -> ()
+  in
+  let d1 = time disabled in
+  let d2 = time disabled in
+  let te = time enabled in
+  let noise = 100.0 *. abs_float (d2 -. d1) /. d1 in
+  let cost = 100.0 *. (te -. d1) /. d1 in
+  Printf.printf
+    "engine, obs disabled    : %8.2f ms/run (median of 5x%d)\n\
+     engine, obs disabled #2 : %8.2f ms/run (noise floor %.2f%%)\n\
+     engine, spans + attrib  : %8.2f ms/run (%d spans per run)\n\
+     enabled-path cost       : %+7.2f%%\n\
+     disabled path within noise: %s\n"
+    (1000.0 *. d1 /. float_of_int reps)
+    reps
+    (1000.0 *. d2 /. float_of_int reps)
+    noise
+    (1000.0 *. te /. float_of_int reps)
+    !spans_seen cost
+    (if abs_float (d2 -. d1) /. d1 <= 0.15 then "yes" else "NO (rerun)")
+
 (* The invariant sweeps' contract is the same shape: one boolean test per
    block dispatch and per builder outcome when [debug_checks] is off.
    Time the engine with the sweeps off against the same run with them on
@@ -471,6 +524,7 @@ let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 
 let () =
   if smoke then begin
+    span_overhead ();
     backend_switch_overhead ();
     shared_cache ();
     print_newline ();
@@ -479,6 +533,7 @@ let () =
   else begin
     tables ();
     observability ();
+    span_overhead ();
     debug_checks_overhead ();
     chaos_overhead ();
     backend_switch_overhead ();

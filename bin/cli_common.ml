@@ -32,13 +32,14 @@ let layout_of w ~size =
 
 (* The standard engine configuration of the run/events/session commands:
    fault-spec parse errors and out-of-range parameters both die cleanly. *)
-let engine_config ?snapshot_period ~threshold ~delay ~fault_spec ~fault_seed
-    ~self_heal () =
+let engine_config ?snapshot_period ?obs_spans ?obs_attribution ~threshold
+    ~delay ~fault_spec ~fault_seed ~self_heal () =
   config_or_die (fun () ->
       (* the engine parses the spec at create; surface a bad one here *)
       ignore (Tracegen.Faults.create ~seed:fault_seed fault_spec);
       Tracegen.Config.make ~threshold ~start_state_delay:delay ~fault_spec
-        ~fault_seed ~self_heal ~debug_checks:self_heal ?snapshot_period ())
+        ~fault_seed ~self_heal ~debug_checks:self_heal ?snapshot_period
+        ?obs_spans ?obs_attribution ())
 
 (* shared argument definitions *)
 

@@ -83,7 +83,7 @@ let run_cmd workload size threshold delay fault_spec fault_seed self_heal
    checked against the end-of-run statistics: the stream and the counters
    are two views of the same execution and must agree exactly. *)
 let events_cmd workload size threshold delay fault_spec fault_seed self_heal
-    snapshot_period =
+    snapshot_period stats_only =
   let module Events = Tracegen.Events in
   let w = find_workload workload in
   let layout = layout_of w ~size in
@@ -111,13 +111,17 @@ let events_cmd workload size threshold delay fault_spec fault_seed self_heal
             incr evicted_quarantine
         | Events.Trace_evicted _ -> incr evicted_counted
         | _ -> ());
-        let line = Harness.Export.to_string (Harness.Export.event_json e) in
-        (* every record must announce the export schema version *)
-        if not (String.length line >= String.length version_prefix
-                && String.sub line 0 (String.length version_prefix)
-                   = version_prefix)
-        then incr unversioned;
-        print_endline line)
+        (* --stats-only skips the per-event JSON rendering entirely: the
+           tallies above are all the cross-checks need *)
+        if not stats_only then begin
+          let line = Harness.Export.to_string (Harness.Export.event_json e) in
+          (* every record must announce the export schema version *)
+          if not (String.length line >= String.length version_prefix
+                  && String.sub line 0 (String.length version_prefix)
+                     = version_prefix)
+          then incr unversioned;
+          print_endline line
+        end)
   in
   let result = Tracegen.Engine.run ~config ~events layout in
   let s = result.Tracegen.Engine.run_stats in
@@ -535,6 +539,107 @@ let session_cmd workloads users batch size threshold delay fault_spec
   end
 
 (* ------------------------------------------------------------------ *)
+(* top                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Run workloads with per-block attribution on and print the hot-report:
+   ranked traces (self dispatches, completions, attributed instructions)
+   and ranked blocks (self vs inlined executions).  Every column is then
+   reconciled against the end-of-run statistics — the report and Stats
+   are two views of the same dispatch loop and must agree exactly over
+   the unbounded, non-healing cache used here.  Exit 1 on mismatch. *)
+let top_cmd workload size threshold delay top =
+  let ws =
+    match workload with
+    | Some name -> [ find_workload name ]
+    | None -> Workloads.Registry.all
+  in
+  let config =
+    config_or_die (fun () ->
+        Tracegen.Config.make ~threshold ~start_state_delay:delay
+          ~obs_attribution:true ())
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let layout = layout_of w ~size in
+      let r = Tracegen.Engine.run ~config layout in
+      let engine = r.Tracegen.Engine.engine in
+      let s = r.Tracegen.Engine.run_stats in
+      let report = Harness.Report.of_engine engine in
+      Printf.printf "== %s ==\n" w.Workloads.Workload.name;
+      print_string (Harness.Report.render ~top report);
+      print_newline ();
+      List.iter
+        (fun (name, got, want) ->
+          if got = want then Printf.eprintf "# ok: %s (%d)\n" name got
+          else begin
+            incr failures;
+            Printf.eprintf "# MISMATCH: %s (report %d, stats %d)\n" name got
+              want
+          end)
+        (Harness.Report.checks report engine s))
+    ws;
+  if !failures > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* timeline                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay a workload with the span recorder on and export the causal
+   timeline: span JSONL on stdout, or Chrome trace_event JSON with
+   --chrome FILE (loadable in Perfetto / about://tracing).  The Chrome
+   export is self-validating: the file is re-parsed and held to the
+   structural oracle (monotone timestamps, every E closing a B, X events
+   carrying dur).  Exit 1 on any violation. *)
+let timeline_cmd workload size threshold delay fault_spec fault_seed self_heal
+    chrome =
+  let module Spans = Tracegen.Spans in
+  let w = find_workload workload in
+  let layout = layout_of w ~size in
+  let config =
+    Cli_common.engine_config ~obs_spans:true ~threshold ~delay ~fault_spec
+      ~fault_seed ~self_heal ()
+  in
+  let result = Tracegen.Engine.run ~config layout in
+  let engine = result.Tracegen.Engine.engine in
+  let spans =
+    match Tracegen.Engine.spans engine with
+    | Some s -> s
+    | None -> assert false (* obs_spans:true above *)
+  in
+  Spans.end_all spans ~now:(Tracegen.Engine.total_dispatches engine);
+  let list = Spans.to_list spans in
+  Printf.eprintf "# %d span(s) recorded, %d dropped by wraparound\n"
+    (Spans.recorded spans) (Spans.dropped spans);
+  match chrome with
+  | None -> print_string (Harness.Export.spans_jsonl list)
+  | Some path ->
+      let out = Harness.Export.to_string (Harness.Export.chrome_trace list) in
+      (try
+         let oc = open_out path in
+         output_string oc out;
+         output_char oc '\n';
+         close_out oc
+       with Sys_error msg ->
+         Printf.eprintf "cannot write %s: %s\n" path msg;
+         exit 2);
+      (* round-trip oracle: re-parse what was just written *)
+      (match Harness.Export.parse out with
+      | Error msg ->
+          Printf.eprintf "# MISMATCH: chrome trace does not re-parse: %s\n"
+            msg;
+          exit 1
+      | Ok parsed -> (
+          match Harness.Report.check_chrome parsed with
+          | [] -> Printf.eprintf "# ok: chrome trace valid: %s\n" path
+          | violations ->
+              List.iter
+                (fun v -> Printf.eprintf "# MISMATCH: %s\n" v)
+                violations;
+              exit 1))
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -578,9 +683,16 @@ let events_term =
     Arg.(value & opt int 10_000 & info [ "snapshot-period" ] ~docv:"N"
            ~doc:"Take a metrics snapshot every N dispatches (0 disables).")
   in
+  let stats_only =
+    Arg.(value & flag & info [ "stats-only" ]
+           ~doc:"Skip the per-event JSON timeline on stdout; only tally \
+                 kinds and run the stderr cross-checks (much faster on \
+                 large runs).")
+  in
   Term.(
     const events_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
-    $ fault_spec_arg $ fault_seed_arg $ self_heal_arg $ snapshot_period)
+    $ fault_spec_arg $ fault_seed_arg $ self_heal_arg $ snapshot_period
+    $ stats_only)
 
 let events_info =
   Cmd.info "events"
@@ -734,6 +846,44 @@ let chaos_info =
        no-tracing baseline and the engine recovers to full tracing.  Exits \
        1 on any divergence or permanently degraded run."
 
+let top_term =
+  let workload =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
+           ~doc:"Workload to profile (default: every registered workload).")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K"
+           ~doc:"Rows per ranked table.")
+  in
+  Term.(const top_cmd $ workload $ size_arg $ threshold_arg $ delay_arg $ top)
+
+let top_info =
+  Cmd.info "top"
+    ~doc:
+      "Run workloads with per-block attribution on and print the \
+       hot-report: ranked traces and ranked blocks (self vs inlined \
+       executions).  Every column is reconciled against the end-of-run \
+       statistics (stderr, non-zero exit on mismatch)."
+
+let timeline_term =
+  let chrome =
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE"
+           ~doc:"Write the timeline as Chrome trace_event JSON to $(docv) \
+                 (loadable in Perfetto or about://tracing) and \
+                 self-validate it, instead of printing span JSONL.")
+  in
+  Term.(
+    const timeline_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
+    $ fault_spec_arg $ fault_seed_arg $ self_heal_arg $ chrome)
+
+let timeline_info =
+  Cmd.info "timeline"
+    ~doc:
+      "Replay a workload with the causal span recorder on (trace builds, \
+       heal sweeps, quarantine episodes) and export the timeline: span \
+       JSON lines on stdout, or self-validated Chrome trace_event JSON \
+       with --chrome FILE."
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -756,4 +906,6 @@ let () =
             Cmd.v chaos_info chaos_term;
             Cmd.v backends_info backends_term;
             Cmd.v session_info session_term;
+            Cmd.v top_info top_term;
+            Cmd.v timeline_info timeline_term;
           ]))

@@ -25,6 +25,15 @@ type ctx = {
   metrics : Metrics.t;
   health : Health.t;
   faults : Faults.t;
+  (* deep observability (Config.Obs + engine histograms) *)
+  spans : Spans.t option; (* None = span recording off *)
+  attr_self : int array;
+    (* per-gid dispatches outside traces; [||] = attribution off *)
+  attr_inlined : int array; (* per-gid executions inlined inside traces *)
+  h_trace_len : Metrics.histogram; (* blocks per executed (completed) trace *)
+  h_exit_distance : Metrics.histogram; (* blocks matched before a side exit *)
+  h_build_len : Metrics.histogram; (* blocks per installed builder path *)
+  h_backoff : Metrics.histogram; (* finite quarantine backoff durations *)
   (* trace execution state *)
   mutable active : Trace.t option;
   mutable active_pos : int; (* index of the next expected block *)
@@ -80,6 +89,44 @@ module type S = sig
   (* overlay this strategy's counters onto [s] *)
 end
 
+(* The engine's dispatch clock: the timestamp base of spans, the cache
+   clock and the event stream alike. *)
+let clock ctx = ctx.block_dispatches + ctx.trace_dispatches
+
+(* Attribution bumps; the arrays are [||] when Config.Obs.attribution is
+   off, so the disabled path is one length test. *)
+let attr_step ctx g =
+  if Array.length ctx.attr_self > 0 then
+    ctx.attr_self.(g) <- ctx.attr_self.(g) + 1
+
+let attr_inline ctx g =
+  if Array.length ctx.attr_inlined > 0 then
+    ctx.attr_inlined.(g) <- ctx.attr_inlined.(g) + 1
+
+(* Quarantine an entry transition and record the observability side of
+   the episode: the backoff duration histogram (finite backoffs only —
+   a permanent blacklist has no duration) and a closed quarantine span
+   stretching to the backoff expiry. *)
+let condemn ctx ~first ~head ~code =
+  let removed = Trace_cache.quarantine ctx.cache ~first ~head ~code in
+  (match Trace_cache.quarantine_until ctx.cache ~first ~head with
+  | Some until ->
+      let now = clock ctx in
+      if until <> max_int then Metrics.record ctx.h_backoff (until - now);
+      (match ctx.spans with
+      | Some spans ->
+          let permanent = until = max_int in
+          let label =
+            Printf.sprintf "%s entry (%d,%d)%s" code first head
+              (if permanent then " permanent" else "")
+          in
+          ignore
+            (Spans.emit spans ~kind:Spans.Quarantine ~label ~start_time:now
+               ~end_time:(if permanent then now else until))
+      | None -> ())
+  | None -> ());
+  removed
+
 (* Walk the health ladder: publish the transition and, when climbing out
    of interp-only, drop the profiler's stale branch context (the skipped
    dispatches never updated it). *)
@@ -107,6 +154,13 @@ let run_debug_checks ctx =
   if ctx.in_debug_sweep then ()
   else begin
     ctx.in_debug_sweep <- true;
+    let sweep_span =
+      match ctx.spans with
+      | Some spans ->
+          Spans.begin_span spans ~kind:Spans.Heal_sweep ~label:"invariant sweep"
+            ~now:(clock ctx)
+      | None -> -1
+    in
     let bcg = Profiler.bcg ctx.profiler in
     let diags =
       Invariants.check_all ~layout:ctx.layout ctx.config ~bcg ~cache:ctx.cache
@@ -148,15 +202,16 @@ let run_debug_checks ctx =
                     if tr.Trace.id = trace_id then entry := Some (first, head));
                 match !entry with
                 | Some (first, head) ->
-                    ignore
-                      (Trace_cache.quarantine ctx.cache ~first ~head
-                         ~code:d.Analysis.Diag.code)
+                    ignore (condemn ctx ~first ~head ~code:d.Analysis.Diag.code)
                 | None -> ()
               end
           | Analysis.Diag.Method_loc _ | Analysis.Diag.Program_loc -> ())
         diags;
       apply_health ctx (Health.strike ctx.health)
     end;
+    (match ctx.spans with
+    | Some spans -> Spans.end_span spans sweep_span ~now:(clock ctx)
+    | None -> ());
     ctx.in_debug_sweep <- false
   end
 
@@ -186,6 +241,7 @@ let prologue ctx =
 let finish_completed ctx (tr : Trace.t) =
   ctx.just_completed <- true;
   tr.Trace.completed <- tr.Trace.completed + 1;
+  Metrics.record ctx.h_trace_len (Trace.n_blocks tr);
   ctx.traces_completed <- ctx.traces_completed + 1;
   ctx.completed_blocks <- ctx.completed_blocks + Trace.n_blocks tr;
   ctx.completed_instrs <- ctx.completed_instrs + tr.Trace.total_instrs;
@@ -208,6 +264,7 @@ let finish_partial ctx (tr : Trace.t) =
   ctx.just_completed <- false;
   tr.Trace.partial_exits <- tr.Trace.partial_exits + 1;
   tr.Trace.partial_instrs <- tr.Trace.partial_instrs + ctx.matched_instrs;
+  Metrics.record ctx.h_exit_distance ctx.matched_blocks;
   ctx.partial_blocks <- ctx.partial_blocks + ctx.matched_blocks;
   ctx.partial_instrs <- ctx.partial_instrs + ctx.matched_instrs;
   ctx.active <- None;
@@ -249,6 +306,7 @@ let rec follow ~step ctx (g : Layout.gid) =
       let expected = tr.Trace.blocks.(ctx.active_pos) in
       if g = expected then begin
         note_executed ctx g;
+        attr_inline ctx g;
         ctx.matched_blocks <- ctx.matched_blocks + 1;
         ctx.matched_instrs <-
           ctx.matched_instrs + tr.Trace.instr_len.(ctx.active_pos);

@@ -29,6 +29,20 @@ type ctx = {
   metrics : Metrics.t;
   health : Health.t;
   faults : Faults.t;
+  spans : Spans.t option;
+      (** causal span recorder; [None] when [Config.Obs.spans] is off *)
+  attr_self : int array;
+      (** per-gid dispatches outside any trace; [[||]] when
+          [Config.Obs.attribution] is off *)
+  attr_inlined : int array;
+      (** per-gid block executions inlined inside traces *)
+  h_trace_len : Metrics.histogram;
+      (** blocks per executed (completed) trace *)
+  h_exit_distance : Metrics.histogram;
+      (** blocks matched before a side exit *)
+  h_build_len : Metrics.histogram;  (** blocks per installed builder path *)
+  h_backoff : Metrics.histogram;
+      (** finite quarantine backoff durations *)
   mutable active : Trace.t option;
       (** the trace currently being followed *)
   mutable active_pos : int;  (** index of the next expected block *)
@@ -94,6 +108,29 @@ val prologue : ctx -> unit
 val note_executed : ctx -> Cfg.Layout.gid -> unit
 (** Record [g] as the most recently executed block (shifting the
     two-block window the profiler resynchronizes from). *)
+
+val clock : ctx -> int
+(** The engine's dispatch clock ([block_dispatches +
+    trace_dispatches]) — the timestamp base of spans, the cache clock
+    and the event stream alike. *)
+
+val attr_step : ctx -> Cfg.Layout.gid -> unit
+(** Attribute one outside-trace dispatch of [g]; no-op when attribution
+    is off. *)
+
+val attr_inline : ctx -> Cfg.Layout.gid -> unit
+(** Attribute one execution of [g] inlined inside a trace; no-op when
+    attribution is off. *)
+
+val condemn :
+  ctx ->
+  first:Cfg.Layout.gid ->
+  head:Cfg.Layout.gid ->
+  code:string ->
+  Trace.t option
+(** [Trace_cache.quarantine] plus the observability side of the episode:
+    records the finite backoff duration in [h_backoff] and emits a
+    closed quarantine span stretching to the backoff expiry. *)
 
 val apply_health : ctx -> Health.transition -> unit
 (** Publish a ladder transition ([Mode_degraded] / [Mode_recovered])

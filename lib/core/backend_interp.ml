@@ -14,6 +14,7 @@ let step (ctx : Backend.ctx) g =
   Backend.prologue ctx;
   ctx.Backend.block_dispatches <- ctx.Backend.block_dispatches + 1;
   ctx.Backend.just_completed <- false;
+  Backend.attr_step ctx g;
   Profiler.note_skipped ctx.Backend.profiler;
   Backend.note_executed ctx g;
   Backend.apply_health ctx (Health.clean_dispatch ctx.Backend.health)

@@ -16,6 +16,7 @@ let step (ctx : Backend.ctx) g =
   Backend.prologue ctx;
   ctx.Backend.block_dispatches <- ctx.Backend.block_dispatches + 1;
   ctx.Backend.just_completed <- false;
+  Backend.attr_step ctx g;
   Profiler.dispatch ctx.Backend.profiler g;
   Backend.note_executed ctx g;
   if Config.self_heal ctx.Backend.config then

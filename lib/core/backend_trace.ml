@@ -26,6 +26,7 @@ let enter (ctx : Backend.ctx) (tr : Trace.t) g =
   (* the single profiling statement of a trace dispatch *)
   Profiler.dispatch ctx.Backend.profiler g;
   Backend.note_executed ctx g;
+  Backend.attr_inline ctx g;
   ctx.Backend.matched_blocks <- 1;
   ctx.Backend.matched_instrs <- tr.Trace.instr_len.(0);
   if Trace.n_blocks tr = 1 then begin
@@ -54,9 +55,7 @@ let step (ctx : Backend.ctx) g =
         | Some code ->
             (* condemned at dispatch: quarantine the entry and strike
                the ladder, then dispatch the block normally *)
-            ignore
-              (Trace_cache.quarantine ctx.Backend.cache ~first:ctx.Backend.prev
-                 ~head:g ~code);
+            ignore (Backend.condemn ctx ~first:ctx.Backend.prev ~head:g ~code);
             Backend.apply_health ctx (Health.strike ctx.Backend.health);
             (None, true))
     | c -> (c, false)
@@ -66,6 +65,7 @@ let step (ctx : Backend.ctx) g =
   | None ->
       ctx.Backend.block_dispatches <- ctx.Backend.block_dispatches + 1;
       ctx.Backend.just_completed <- false;
+      Backend.attr_step ctx g;
       Profiler.dispatch ctx.Backend.profiler g;
       Backend.note_executed ctx g);
   if self_heal && not detected then

@@ -114,11 +114,33 @@ module Faults = struct
   let validate (_ : t) = ()
 end
 
+module Obs = struct
+  type t = {
+    spans : bool;
+        (* record causal spans (trace builds, heal sweeps, quarantine
+           episodes, member turns) into a bounded ring *)
+    attribution : bool;
+        (* keep per-BCG-block self/inlined dispatch attribution arrays
+           (one word per block) for the hot-report *)
+    span_buffer : int; (* span ring capacity *)
+    hist_buckets : int; (* power-of-two buckets per engine histogram *)
+  }
+
+  let default =
+    { spans = false; attribution = false; span_buffer = 4096; hist_buckets = 16 }
+
+  let validate t =
+    if t.span_buffer < 2 then invalid_arg "span_buffer < 2";
+    if t.hist_buckets < 2 || t.hist_buckets > 62 then
+      invalid_arg "hist_buckets out of [2, 62]"
+end
+
 type t = {
   profile : Profile.t;
   cache : Cache.t;
   heal : Heal.t;
   faults : Faults.t;
+  obs : Obs.t;
   snapshot_period : int;
       (* dispatches between periodic metrics snapshots; 0 disables the
          series (the observability layer's quiescent default) *)
@@ -133,6 +155,7 @@ let default =
     cache = Cache.default;
     heal = Heal.default;
     faults = Faults.default;
+    obs = Obs.default;
     snapshot_period = 0;
     debug_checks = false;
   }
@@ -158,6 +181,10 @@ let heal_demote_after t = t.heal.Heal.demote_after
 let heal_recover_after t = t.heal.Heal.recover_after
 let fault_spec t = t.faults.Faults.spec
 let fault_seed t = t.faults.Faults.seed
+let obs_spans t = t.obs.Obs.spans
+let obs_attribution t = t.obs.Obs.attribution
+let span_buffer t = t.obs.Obs.span_buffer
+let hist_buckets t = t.obs.Obs.hist_buckets
 let snapshot_period t = t.snapshot_period
 let debug_checks t = t.debug_checks
 
@@ -166,7 +193,8 @@ let validate t =
   if t.snapshot_period < 0 then invalid_arg "snapshot_period < 0";
   Cache.validate t.cache;
   Heal.validate t.heal;
-  Faults.validate t.faults
+  Faults.validate t.faults;
+  Obs.validate t.obs
 
 let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
     ?(threshold = Profile.default.Profile.threshold)
@@ -187,7 +215,11 @@ let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
     ?(heal_demote_after = Heal.default.Heal.demote_after)
     ?(heal_recover_after = Heal.default.Heal.recover_after)
     ?(fault_spec = Faults.default.Faults.spec)
-    ?(fault_seed = Faults.default.Faults.seed) () =
+    ?(fault_seed = Faults.default.Faults.seed)
+    ?(obs_spans = Obs.default.Obs.spans)
+    ?(obs_attribution = Obs.default.Obs.attribution)
+    ?(span_buffer = Obs.default.Obs.span_buffer)
+    ?(hist_buckets = Obs.default.Obs.hist_buckets) () =
   let t =
     {
       profile =
@@ -212,6 +244,13 @@ let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
           recover_after = heal_recover_after;
         };
       faults = { Faults.spec = fault_spec; seed = fault_seed };
+      obs =
+        {
+          Obs.spans = obs_spans;
+          attribution = obs_attribution;
+          span_buffer;
+          hist_buckets;
+        };
       snapshot_period;
       debug_checks;
     }
@@ -240,6 +279,10 @@ let with_heal t heal =
 let with_faults t faults =
   validate { t with faults };
   { t with faults }
+
+let with_obs t obs =
+  validate { t with obs };
+  { t with obs }
 
 let pp ppf t =
   Format.fprintf ppf "delay=%d threshold=%.2f decay=%d" (start_state_delay t)

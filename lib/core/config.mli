@@ -108,11 +108,39 @@ module Faults : sig
   val validate : t -> unit
 end
 
+(** Deep-observability knobs: span recording and hot-path attribution.
+    Both are off by default — the quiescent engine pays nothing for
+    them. *)
+module Obs : sig
+  type t = {
+    spans : bool;
+        (** Record causal spans ([Spans]) around trace builds, heal
+            sweeps, quarantine episodes and session member turns.  Off
+            by default. *)
+    attribution : bool;
+        (** Keep per-BCG-block self/inlined dispatch attribution (one
+            word per block per array) feeding the hot-report.  Off by
+            default. *)
+    span_buffer : int;
+        (** Span ring capacity; older spans are overwritten (default
+            4096). *)
+    hist_buckets : int;
+        (** Power-of-two buckets per engine histogram, in [[2, 62]]
+            (default 16, covering observations up to [2^14]).  Engine
+            histograms themselves are always on: recording is O(1). *)
+  }
+
+  val default : t
+
+  val validate : t -> unit
+end
+
 type t = {
   profile : Profile.t;
   cache : Cache.t;
   heal : Heal.t;
   faults : Faults.t;
+  obs : Obs.t;
   snapshot_period : int;
       (** Dispatches between periodic {!Metrics} snapshots; [0]
           (default) disables the snapshot series. *)
@@ -149,6 +177,10 @@ val make :
   ?heal_recover_after:int ->
   ?fault_spec:string ->
   ?fault_seed:int ->
+  ?obs_spans:bool ->
+  ?obs_attribution:bool ->
+  ?span_buffer:int ->
+  ?hist_buckets:int ->
   unit ->
   t
 (** Flat labelled constructor over {!default}; every omitted parameter
@@ -199,6 +231,14 @@ val fault_spec : t -> string
 
 val fault_seed : t -> int
 
+val obs_spans : t -> bool
+
+val obs_attribution : t -> bool
+
+val span_buffer : t -> int
+
+val hist_buckets : t -> int
+
 val snapshot_period : t -> int
 
 val debug_checks : t -> bool
@@ -218,5 +258,7 @@ val with_cache : t -> Cache.t -> t
 val with_heal : t -> Heal.t -> t
 
 val with_faults : t -> Faults.t -> t
+
+val with_obs : t -> Obs.t -> t
 
 val pp : Format.formatter -> t -> unit

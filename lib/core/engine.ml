@@ -123,7 +123,12 @@ let register_gauges (m : Metrics.t) (t : t) =
   Metrics.gauge m "cross_session_installs" (fun () ->
       Trace_cache.n_cross_installs e.Backend.cache);
   Metrics.gauge m "cross_session_entries" (fun () ->
-      Trace_cache.n_cross_entries e.Backend.cache)
+      Trace_cache.n_cross_entries e.Backend.cache);
+  match e.Backend.spans with
+  | Some s ->
+      Metrics.gauge m "spans_recorded" (fun () -> Spans.recorded s);
+      Metrics.gauge m "spans_dropped" (fun () -> Spans.dropped s)
+  | None -> ()
 
 let create ?(config = Config.default) ?(events = Events.create ()) ?cache
     ?backend (layout : Layout.t) : t =
@@ -154,6 +159,18 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
       ~recover_after:(Config.heal_recover_after config)
   in
   let metrics = Metrics.create ~period:(Config.snapshot_period config) () in
+  let spans =
+    if Config.obs_spans config then
+      Some (Spans.create ~capacity:(Config.span_buffer config) ())
+    else None
+  in
+  let buckets = Config.hist_buckets config in
+  let h_trace_len = Metrics.histogram metrics ~buckets "executed_trace_len" in
+  let h_exit_distance =
+    Metrics.histogram metrics ~buckets "completion_distance"
+  in
+  let h_build_len = Metrics.histogram metrics ~buckets "builder_path_len" in
+  let h_backoff = Metrics.histogram metrics ~buckets "quarantine_backoff" in
   (* The profiler's signal callback closes over the shared dispatch
      context; tie the knot with a forward reference. *)
   let context = ref None in
@@ -162,9 +179,20 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
     | None -> ()
     | Some (e : Backend.ctx) ->
         if Config.build_traces e.Backend.config then begin
+          let build_span =
+            match e.Backend.spans with
+            | Some s ->
+                let n = signal.Bcg.s_node in
+                Spans.begin_span s ~kind:Spans.Trace_build
+                  ~label:
+                    (Printf.sprintf "build N_%d,%d" n.Bcg.n_x n.Bcg.n_y)
+                  ~now:(Backend.clock e)
+            | None -> -1
+          in
           let outcome =
-            Trace_builder.on_signal ~events e.Backend.config e.Backend.cache
-              signal
+            Trace_builder.on_signal ~events
+              ~on_path:(fun n -> Metrics.record e.Backend.h_build_len n)
+              e.Backend.config e.Backend.cache signal
           in
           e.Backend.traces_constructed <-
             e.Backend.traces_constructed + outcome.Trace_builder.new_traces;
@@ -172,7 +200,10 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
             e.Backend.builder_reuses + outcome.Trace_builder.reused_traces;
           (* trace-construction boundary *)
           if Config.debug_checks e.Backend.config then
-            Backend.run_debug_checks e
+            Backend.run_debug_checks e;
+          match e.Backend.spans with
+          | Some s -> Spans.end_span s build_span ~now:(Backend.clock e)
+          | None -> ()
         end
   in
   let profiler =
@@ -188,6 +219,19 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
       metrics;
       health;
       faults;
+      spans;
+      attr_self =
+        (if Config.obs_attribution config then
+           Array.make layout.Layout.n_blocks 0
+         else [||]);
+      attr_inlined =
+        (if Config.obs_attribution config then
+           Array.make layout.Layout.n_blocks 0
+         else [||]);
+      h_trace_len;
+      h_exit_distance;
+      h_build_len;
+      h_backoff;
       active = None;
       active_pos = 0;
       matched_blocks = 0;
@@ -282,6 +326,25 @@ let health_level t = Health.level t.ctx.Backend.health
 let faults_injected t = Faults.injected t.ctx.Backend.faults
 
 let healed_nodes t = t.ctx.Backend.healed_nodes
+
+let spans t = t.ctx.Backend.spans
+
+let attr_self t = t.ctx.Backend.attr_self
+
+let attr_inlined t = t.ctx.Backend.attr_inlined
+
+let inflight_matched_blocks t =
+  match t.ctx.Backend.active with
+  | Some _ -> t.ctx.Backend.matched_blocks
+  | None -> 0
+
+let trace_len_hist t = t.ctx.Backend.h_trace_len
+
+let exit_distance_hist t = t.ctx.Backend.h_exit_distance
+
+let build_len_hist t = t.ctx.Backend.h_build_len
+
+let backoff_hist t = t.ctx.Backend.h_backoff
 
 let backend_kind t = t.kind
 

@@ -147,6 +147,38 @@ val faults_injected : t -> int
 val healed_nodes : t -> int
 (** BCG nodes the self-healing sweeps repaired in place. *)
 
+(** {2 Deep observability} *)
+
+val spans : t -> Spans.t option
+(** The causal span recorder; [None] unless [Config.Obs.spans] was on at
+    creation.  Call [Spans.end_all] before exporting a finished run. *)
+
+val attr_self : t -> int array
+(** Per-gid dispatches outside any trace; [[||]] unless
+    [Config.Obs.attribution] was on.  Sums to [block_dispatches]. *)
+
+val attr_inlined : t -> int array
+(** Per-gid block executions inlined inside traces; [[||]] unless
+    attribution was on.  Sums to
+    [completed_blocks + partial_blocks + inflight_matched_blocks]. *)
+
+val inflight_matched_blocks : t -> int
+(** Blocks matched so far by the currently active trace (0 when no trace
+    is active) — the attribution remainder of a run that ends
+    mid-trace. *)
+
+val trace_len_hist : t -> Metrics.histogram
+(** Blocks per executed (completed) trace. *)
+
+val exit_distance_hist : t -> Metrics.histogram
+(** Blocks matched before a side exit (trace completion distance). *)
+
+val build_len_hist : t -> Metrics.histogram
+(** Transitions per maximum-likelihood builder walk. *)
+
+val backoff_hist : t -> Metrics.histogram
+(** Finite quarantine backoff durations, in dispatch ticks. *)
+
 (** {2 Backend selection} *)
 
 val backend_kind : t -> backend_kind

@@ -1,0 +1,137 @@
+(* Causal spans over the engine's dispatch clock, in a bounded ring.
+
+   A span covers an engine activity (a trace build, a heal sweep, a
+   quarantine episode, a session member turn) between two dispatch-tick
+   timestamps.  Parent links come from a stack of currently-open spans,
+   so nesting is causal: the heal sweep that runs inside a trace-build
+   boundary is recorded as that build's child.
+
+   The ring holds the last [capacity] spans by id (slot = id mod
+   capacity); older spans are overwritten and counted in [dropped], so
+   the recorder never allocates past its bound no matter how long the
+   run is.  [find] validates the stored id, so a dangling parent id
+   resolves to [None] rather than to whichever span reused the slot. *)
+
+type kind = Trace_build | Heal_sweep | Quarantine | Member_turn
+
+let kind_to_string = function
+  | Trace_build -> "trace_build"
+  | Heal_sweep -> "heal_sweep"
+  | Quarantine -> "quarantine"
+  | Member_turn -> "member_turn"
+
+type span = {
+  id : int;
+  parent : int; (* parent span id, -1 for a root span *)
+  kind : kind;
+  label : string;
+  start_time : int; (* dispatch tick at begin *)
+  start_seq : int; (* global event order: begins and ends share one clock *)
+  mutable end_time : int; (* -1 while open *)
+  mutable end_seq : int; (* -1 while open *)
+}
+
+type t = {
+  ring : span option array;
+  capacity : int;
+  mutable next_id : int;
+  mutable next_seq : int;
+  mutable dropped : int;
+  mutable open_stack : int list; (* innermost open span first *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 2 then invalid_arg "Spans.create: capacity < 2";
+  {
+    ring = Array.make capacity None;
+    capacity;
+    next_id = 0;
+    next_seq = 0;
+    dropped = 0;
+    open_stack = [];
+  }
+
+let capacity t = t.capacity
+
+let recorded t = t.next_id
+
+let dropped t = t.dropped
+
+let n_open t = List.length t.open_stack
+
+let store t span =
+  let slot = span.id mod t.capacity in
+  (match t.ring.(slot) with
+  | Some _ -> t.dropped <- t.dropped + 1
+  | None -> ());
+  t.ring.(slot) <- Some span
+
+let begin_span t ~kind ~label ~now =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let parent = match t.open_stack with [] -> -1 | p :: _ -> p in
+  store t
+    {
+      id;
+      parent;
+      kind;
+      label;
+      start_time = now;
+      start_seq = seq;
+      end_time = -1;
+      end_seq = -1;
+    };
+  t.open_stack <- id :: t.open_stack;
+  id
+
+let find t id =
+  if id < 0 || id >= t.next_id then None
+  else
+    match t.ring.(id mod t.capacity) with
+    | Some s when s.id = id -> Some s
+    | _ -> None
+
+let end_span t id ~now =
+  (match find t id with
+  | Some s when s.end_time < 0 ->
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      s.end_time <- now;
+      s.end_seq <- seq
+  | _ -> () (* evicted from the ring, or already closed: still unstack *));
+  t.open_stack <- List.filter (fun i -> i <> id) t.open_stack
+
+(* A span whose extent is known up front (a quarantine episode's end is
+   its backoff expiry); recorded closed, never on the open stack, but
+   still parented under the innermost open span. *)
+let emit t ~kind ~label ~start_time ~end_time =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 2;
+  let parent = match t.open_stack with [] -> -1 | p :: _ -> p in
+  store t
+    {
+      id;
+      parent;
+      kind;
+      label;
+      start_time;
+      start_seq = seq;
+      end_time;
+      end_seq = seq + 1;
+    };
+  id
+
+let end_all t ~now =
+  let opens = t.open_stack in
+  List.iter (fun id -> end_span t id ~now) opens
+
+let to_list t =
+  let acc = ref [] in
+  Array.iter (function Some s -> acc := s :: !acc | None -> ()) t.ring;
+  List.sort (fun a b -> compare a.id b.id) !acc
+
+let iter t f = List.iter f (to_list t)

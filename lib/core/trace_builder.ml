@@ -204,9 +204,10 @@ let unroll_loop (w : walk) ~c ~m : walk =
   { path; corrs; cycle_start = None }
 
 (* Steps 2-4 for one entry point. *)
-let build_from (config : Config.t) (cache : Trace_cache.t) ~events
+let build_from (config : Config.t) (cache : Trace_cache.t) ~events ~on_path
     (root : Bcg.node) : int * int =
   let w = walk_from config root in
+  on_path (Array.length w.path);
   let m = Array.length w.path - 1 in
   if m < 0 then (0, 0)
   else
@@ -225,15 +226,19 @@ let build_from (config : Config.t) (cache : Trace_cache.t) ~events
         (ln + pn, lr + pr)
     | Some _ | None -> cut_segment config cache ~events w ~lo:0 ~hi:m
 
-(* Entry point: react to one profiler signal. *)
-let on_signal ?(events = Events.create ()) (config : Config.t)
-    (cache : Trace_cache.t) (signal : Bcg.signal) : outcome =
+(* Entry point: react to one profiler signal.  [on_path] observes the
+   length (in transitions) of each maximum-likelihood walk, before the
+   probability cut — the engine feeds its builder-path histogram with
+   it. *)
+let on_signal ?(events = Events.create ()) ?(on_path = fun (_ : int) -> ())
+    (config : Config.t) (cache : Trace_cache.t) (signal : Bcg.signal) : outcome
+    =
   let entries = find_entry_points config signal.Bcg.s_node in
   let new_traces = ref 0 in
   let reused = ref 0 in
   List.iter
     (fun root ->
-      let n, r = build_from config cache ~events root in
+      let n, r = build_from config cache ~events ~on_path root in
       new_traces := !new_traces + n;
       reused := !reused + r)
     entries;

@@ -26,8 +26,16 @@ val find_entry_points : Config.t -> Bcg.node -> Bcg.node list
 (** Step 1 alone, exposed for inspection and tests. *)
 
 val on_signal :
-  ?events:Events.t -> Config.t -> Trace_cache.t -> Bcg.signal -> outcome
+  ?events:Events.t ->
+  ?on_path:(int -> unit) ->
+  Config.t ->
+  Trace_cache.t ->
+  Bcg.signal ->
+  outcome
 (** React to one profiler signal: rebuild every trace the signalled
     branch can affect.  [events] receives one [Trace_constructed] per
     installed trace (with [reused] marking hash-cons hits); a fresh
-    disabled stream is used when omitted. *)
+    disabled stream is used when omitted.  [on_path] observes the length
+    (in transitions) of each maximum-likelihood walk before the
+    probability cut — the engine's builder-path histogram hangs off
+    it. *)

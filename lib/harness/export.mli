@@ -7,12 +7,19 @@ type json =
   | J_float of float
   | J_string of string
   | J_bool of bool
+  | J_null
   | J_obj of (string * json) list
   | J_list of json list
 
 val to_string : json -> string
 
 val json_escape : string -> string
+
+val parse : string -> (json, string) result
+(** A minimal JSON parser — the inverse of {!to_string}, used by the
+    timeline round-trip oracle.  Integral numbers parse as {!J_int},
+    everything else numeric as {!J_float}; non-ASCII [\u] escapes are
+    replaced (the emitter never produces them). *)
 
 val schema_version : int
 (** Every top-level JSONL record ({!event_json}, {!snapshot_json},
@@ -36,6 +43,29 @@ val event_json : Tracegen.Events.event -> json
 
 val events_jsonl : Tracegen.Events.event list -> string
 (** An event timeline, one object per line, in list order. *)
+
+val hist_json : Tracegen.Metrics.histogram -> json
+(** One histogram: count/sum/mean/min/max, the p50/p90/p99 summary and
+    the non-empty buckets (the overflow bucket's open upper bound
+    renders as [-1]). *)
+
+val span_json : Tracegen.Spans.span -> json
+(** One span as a flat object ([end] is [-1] while open). *)
+
+val spans_jsonl : Tracegen.Spans.span list -> string
+
+val chrome_trace : Tracegen.Spans.span list -> json
+(** The span list as Chrome [trace_event] JSON, loadable in Perfetto or
+    [about://tracing].  Dispatch ticks are reported as microseconds.
+    Stack-disciplined spans (trace builds, heal sweeps, member turns)
+    become [B]/[E] duration events on one thread track; quarantine
+    episodes, which overlap freely, become [ph:"X"] complete events on a
+    second.  Events are emitted in monotone timestamp order and every
+    [E] closes the [B] it follows.  Open spans are skipped — run
+    [Spans.end_all] first. *)
+
+val chrome_trace_events : Tracegen.Spans.span list -> json
+(** Just the sorted [traceEvents] array of {!chrome_trace}. *)
 
 val diag_json : Analysis.Diag.t -> json
 (** One lint diagnostic as a flat object: [{"context": …, "code": …,

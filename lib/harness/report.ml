@@ -1,0 +1,223 @@
+module Tr = Tracegen
+module Layout = Cfg.Layout
+
+(* The hot-report: where did the run's dispatches and instructions go?
+
+   Per-trace rows come from the trace's own counters (Trace.entered /
+   completed / partial_instrs ...), which the dispatch loop maintains
+   anyway; per-block rows come from the engine's attribution arrays
+   (Config.Obs.attribution).  Because both sides are maintained by the
+   same loop that maintains Stats, every column must sum to the matching
+   Stats total — [checks] states those identities and [repro_cli top]
+   enforces them. *)
+
+type trace_row = {
+  trace_id : int;
+  entry : string; (* human-readable entering transition *)
+  n_blocks : int;
+  prob : float; (* expected completion probability at construction *)
+  entered : int; (* self dispatch count: one per trace dispatch *)
+  completed : int;
+  partial_exits : int;
+  instrs : int; (* instructions attributed to the trace body *)
+}
+
+type block_row = {
+  gid : Layout.gid;
+  block : string;
+  self : int; (* dispatches outside any trace *)
+  inlined : int; (* executions inlined inside traces *)
+}
+
+type t = {
+  traces : trace_row list; (* ranked by self dispatch count, descending *)
+  blocks : block_row list; (* ranked by self + inlined, descending *)
+}
+
+let trace_instrs (tr : Tr.Trace.t) =
+  (tr.Tr.Trace.completed * tr.Tr.Trace.total_instrs)
+  + tr.Tr.Trace.partial_instrs
+
+let of_engine (engine : Tr.Engine.t) : t =
+  let layout = Tr.Engine.layout engine in
+  let traces = ref [] in
+  Tr.Trace_cache.iter_all (Tr.Engine.cache engine) (fun tr ->
+      if tr.Tr.Trace.entered > 0 then
+        let first, head = Tr.Trace.entry_key tr in
+        traces :=
+          {
+            trace_id = tr.Tr.Trace.id;
+            entry =
+              Printf.sprintf "%s -> %s" (Layout.describe layout first)
+                (Layout.describe layout head);
+            n_blocks = Tr.Trace.n_blocks tr;
+            prob = tr.Tr.Trace.prob;
+            entered = tr.Tr.Trace.entered;
+            completed = tr.Tr.Trace.completed;
+            partial_exits = tr.Tr.Trace.partial_exits;
+            instrs = trace_instrs tr;
+          }
+          :: !traces);
+  let self = Tr.Engine.attr_self engine in
+  let inlined = Tr.Engine.attr_inlined engine in
+  let blocks = ref [] in
+  Array.iteri
+    (fun gid s ->
+      let i = if gid < Array.length inlined then inlined.(gid) else 0 in
+      if s > 0 || i > 0 then
+        blocks :=
+          { gid; block = Layout.describe layout gid; self = s; inlined = i }
+          :: !blocks)
+    self;
+  {
+    traces =
+      List.sort
+        (fun a b ->
+          compare (b.entered, b.instrs, a.trace_id)
+            (a.entered, a.instrs, b.trace_id))
+        !traces;
+    blocks =
+      List.sort
+        (fun a b ->
+          compare
+            (b.self + b.inlined, a.gid)
+            (a.self + a.inlined, b.gid))
+        !blocks;
+  }
+
+(* The reconciliation identities: every (name, got, want) triple must
+   have got = want.  They hold exactly for a run over an unbounded,
+   non-healing cache (the [repro_cli top] configuration); eviction with
+   hash-cons purging can lose condemned traces' counters. *)
+let checks (r : t) (engine : Tr.Engine.t) (s : Tr.Stats.t) :
+    (string * int * int) list =
+  let sum f = List.fold_left (fun acc row -> acc + f row) 0 r.traces in
+  let sum_blocks f = List.fold_left (fun acc row -> acc + f row) 0 r.blocks in
+  let inflight = Tr.Engine.inflight_matched_blocks engine in
+  [
+    ("trace self dispatches = trace_dispatches", sum (fun x -> x.entered),
+     s.Tr.Stats.trace_dispatches);
+    ("trace self dispatches = traces_entered", sum (fun x -> x.entered),
+     s.Tr.Stats.traces_entered);
+    ("trace completions = traces_completed", sum (fun x -> x.completed),
+     s.Tr.Stats.traces_completed);
+    ("trace partial exits sum", sum (fun x -> x.partial_exits),
+     s.Tr.Stats.traces_entered - s.Tr.Stats.traces_completed
+     - (match Tr.Engine.active_trace engine with Some _ -> 1 | None -> 0));
+    (* in-flight instrs appear on neither side: the per-trace counter and
+       the engine counter are both bumped only at completion/side exit *)
+    ("trace instrs = completed + partial instrs", sum (fun x -> x.instrs),
+     s.Tr.Stats.completed_instrs + s.Tr.Stats.partial_instrs);
+    ("block self dispatches = block_dispatches", sum_blocks (fun x -> x.self),
+     s.Tr.Stats.block_dispatches);
+    ("inlined execs = completed + partial blocks",
+     sum_blocks (fun x -> x.inlined),
+     s.Tr.Stats.completed_blocks + s.Tr.Stats.partial_blocks + inflight);
+  ]
+
+let failed_checks r engine s =
+  List.filter (fun (_, got, want) -> got <> want) (checks r engine s)
+
+(* Rendering *)
+
+let truncate_label width s =
+  if String.length s <= width then s else String.sub s 0 (width - 1) ^ "…"
+
+let render ?(top = 10) (r : t) : string =
+  let buf = Buffer.create 1024 in
+  let take n l =
+    let rec go k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: tl -> x :: go (k - 1) tl
+    in
+    go n l
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-6s %-32s %7s %9s %9s %8s %10s %6s\n" "trace" "entry"
+       "blocks" "entered" "completed" "partial" "instrs" "prob");
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-6d %-32s %7d %9d %9d %8d %10d %6.3f\n" row.trace_id
+           (truncate_label 32 row.entry)
+           row.n_blocks row.entered row.completed row.partial_exits row.instrs
+           row.prob))
+    (take top r.traces);
+  if List.length r.traces > top then
+    Buffer.add_string buf
+      (Printf.sprintf "… %d more traces\n" (List.length r.traces - top));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%-6s %-32s %10s %10s %10s\n" "block" "name" "self"
+       "inlined" "total");
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-6d %-32s %10d %10d %10d\n" row.gid
+           (truncate_label 32 row.block)
+           row.self row.inlined (row.self + row.inlined)))
+    (take top r.blocks);
+  if List.length r.blocks > top then
+    Buffer.add_string buf
+      (Printf.sprintf "… %d more blocks\n" (List.length r.blocks - top));
+  Buffer.contents buf
+
+(* Chrome trace oracle: structural validity of an exported timeline.
+   Returns human-readable violations; [] = valid.  Checks that the value
+   is an object with a traceEvents array, timestamps are monotonically
+   non-decreasing in array order, and on each thread track every E event
+   closes an open B (with none left open at the end). *)
+let check_chrome (j : Export.json) : string list =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  (match j with
+  | Export.J_obj fields -> (
+      match List.assoc_opt "traceEvents" fields with
+      | Some (Export.J_list events) ->
+          let last_ts = ref min_int in
+          let stacks : (int, string list) Hashtbl.t = Hashtbl.create 4 in
+          List.iteri
+            (fun i ev ->
+              match ev with
+              | Export.J_obj f -> (
+                  let field name =
+                    match List.assoc_opt name f with
+                    | Some (Export.J_int v) -> Some v
+                    | _ -> None
+                  in
+                  let str name =
+                    match List.assoc_opt name f with
+                    | Some (Export.J_string v) -> Some v
+                    | _ -> None
+                  in
+                  match (str "ph", field "ts", field "tid") with
+                  | Some ph, Some ts, Some tid ->
+                      if ts < !last_ts then
+                        err "event %d: ts %d < previous %d" i ts !last_ts;
+                      last_ts := ts;
+                      let stack =
+                        Option.value ~default:[] (Hashtbl.find_opt stacks tid)
+                      in
+                      let name = Option.value ~default:"?" (str "name") in
+                      (match ph with
+                      | "B" -> Hashtbl.replace stacks tid (name :: stack)
+                      | "E" -> (
+                          match stack with
+                          | [] -> err "event %d: E with no open B on tid %d" i tid
+                          | _ :: rest -> Hashtbl.replace stacks tid rest)
+                      | "X" ->
+                          if field "dur" = None then
+                            err "event %d: X without dur" i
+                      | other -> err "event %d: unknown ph %S" i other)
+                  | _ -> err "event %d: missing ph/ts/tid" i)
+              | _ -> err "event %d: not an object" i)
+            events;
+          Hashtbl.iter
+            (fun tid stack ->
+              if stack <> [] then
+                err "tid %d: %d B events left open" tid (List.length stack))
+            stacks
+      | _ -> err "no traceEvents array")
+  | _ -> err "top level is not an object");
+  List.rev !errors

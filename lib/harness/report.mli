@@ -1,0 +1,55 @@
+(** The hot-report: where did a run's dispatches and instructions go?
+
+    Per-trace rows come from each trace's own counters; per-block rows
+    come from the engine's attribution arrays
+    ([Config.Obs.attribution]).  Both are maintained by the same
+    dispatch loop that maintains [Stats], so every column sums to the
+    matching [Stats] total — {!checks} states those identities and
+    [repro_cli top] enforces them. *)
+
+type trace_row = {
+  trace_id : int;
+  entry : string;  (** human-readable entering transition *)
+  n_blocks : int;
+  prob : float;
+  entered : int;  (** self dispatch count: one per trace dispatch *)
+  completed : int;
+  partial_exits : int;
+  instrs : int;  (** instructions attributed to the trace body *)
+}
+
+type block_row = {
+  gid : Cfg.Layout.gid;
+  block : string;
+  self : int;  (** dispatches outside any trace *)
+  inlined : int;  (** executions inlined inside traces *)
+}
+
+type t = {
+  traces : trace_row list;  (** ranked by self dispatch count, descending *)
+  blocks : block_row list;  (** ranked by self + inlined, descending *)
+}
+
+val of_engine : Tracegen.Engine.t -> t
+(** Collect the report from a finished engine.  Block rows are empty
+    unless the engine ran with [Config.Obs.attribution]. *)
+
+val checks :
+  t -> Tracegen.Engine.t -> Tracegen.Stats.t -> (string * int * int) list
+(** The reconciliation identities as [(name, got, want)] triples; each
+    must have [got = want].  Exact for a run over an unbounded,
+    non-healing cache (eviction with hash-cons purging can lose
+    condemned traces' counters). *)
+
+val failed_checks :
+  t -> Tracegen.Engine.t -> Tracegen.Stats.t -> (string * int * int) list
+(** The subset of {!checks} that do not reconcile. *)
+
+val render : ?top:int -> t -> string
+(** Human-readable ranked tables ([top] rows each, default 10). *)
+
+val check_chrome : Export.json -> string list
+(** Structural oracle over an exported Chrome trace: an object with a
+    [traceEvents] array, monotonically non-decreasing timestamps, every
+    [E] closing an open [B] on its thread track (none left open), and
+    every [X] carrying [dur].  Returns the violations; [[]] = valid. *)

@@ -30,9 +30,22 @@ dune exec bin/repro_cli.exe -- lint
 # tracing; exits non-zero on any FT901/FT902 verdict.
 dune exec bin/repro_cli.exe -- chaos --seed 42 --quick
 
-# Bench smoke: the seconds-long mechanism sections (backend switching,
-# shared-vs-private trace cache) — catches bench bitrot without the
-# paper-scale tables.
+# Hot-path attribution: the ranked report's every column must reconcile
+# exactly with the end-of-run statistics; exits non-zero on mismatch.
+dune exec bin/repro_cli.exe -- top compress > /dev/null
+
+# Timeline round trip: export a Chrome trace and hold it to the
+# structural oracle (valid JSON, monotone timestamps, every E closing a
+# B); exits non-zero on any violation.
+chrome_out=$(mktemp /tmp/check_chrome.XXXXXX.json)
+dune exec bin/repro_cli.exe -- timeline compress --self-heal \
+  --fault-spec 'corrupt-trace@0.005,budget=20' --chrome "$chrome_out" \
+  > /dev/null || { rm -f "$chrome_out"; exit 1; }
+rm -f "$chrome_out"
+
+# Bench smoke: the seconds-long mechanism sections (span overhead,
+# backend switching, shared-vs-private trace cache) — catches bench
+# bitrot without the paper-scale tables.
 dune exec bench/main.exe -- --smoke
 
 if command -v odoc >/dev/null 2>&1; then

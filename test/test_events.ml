@@ -188,6 +188,117 @@ let test_disabled_period_no_snapshots () =
   check Alcotest.int "forced snapshot joins the series" 1
     (List.length (Metrics.snapshots m))
 
+let test_set_period_midrun () =
+  let m = Metrics.create ~period:10 () in
+  let c = Metrics.counter m "ticks_seen" in
+  for _ = 1 to 7 do
+    Metrics.incr c;
+    Metrics.tick m
+  done;
+  (* 7 ticks accumulated toward the snapshot at 10; changing the period
+     must flush them at the change point rather than drop them *)
+  Metrics.set_period m 5;
+  (match Metrics.snapshots m with
+  | [ s ] -> check Alcotest.int "flushed at the change point" 7 s.Metrics.at
+  | l -> Alcotest.failf "expected one snapshot, got %d" (List.length l));
+  for _ = 1 to 5 do
+    Metrics.incr c;
+    Metrics.tick m
+  done;
+  (* the new period counts from the change point: next boundary at 12 *)
+  check Alcotest.(list int) "new period counts from the change" [ 7; 12 ]
+    (List.map (fun s -> s.Metrics.at) (Metrics.snapshots m));
+  (* immediately after a snapshot nothing has accumulated: no flush *)
+  Metrics.set_period m 3;
+  check Alcotest.int "no pending ticks, no flush" 2
+    (List.length (Metrics.snapshots m))
+
+(* ------------------------------------------------------------------ *)
+(* histograms                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_empty () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  check Alcotest.int "no observations" 0 (Metrics.hist_count h);
+  check Alcotest.int "zero sum" 0 (Metrics.hist_sum h);
+  check (Alcotest.float 1e-9) "zero mean" 0.0 (Metrics.hist_mean h);
+  check Alcotest.int "p0 of empty" 0 (Metrics.percentile h 0.0);
+  check Alcotest.int "p50 of empty" 0 (Metrics.percentile h 50.0);
+  check Alcotest.int "p100 of empty" 0 (Metrics.percentile h 100.0);
+  check Alcotest.(option int) "reads as its count" (Some 0)
+    (Metrics.read m "lat")
+
+let test_histogram_single_value () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  for _ = 1 to 9 do
+    Metrics.record h 7
+  done;
+  check Alcotest.int "count" 9 (Metrics.hist_count h);
+  check Alcotest.int "sum" 63 (Metrics.hist_sum h);
+  check Alcotest.int "min" 7 (Metrics.hist_min h);
+  check Alcotest.int "max" 7 (Metrics.hist_max h);
+  (* a single-valued histogram answers every percentile exactly: the
+     bucket edge is clamped to the observed min/max *)
+  check Alcotest.int "p0 exact" 7 (Metrics.percentile h 0.0);
+  check Alcotest.int "p50 exact" 7 (Metrics.percentile h 50.0);
+  check Alcotest.int "p100 exact" 7 (Metrics.percentile h 100.0)
+
+let test_histogram_buckets_and_overflow () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~buckets:4 "small" in
+  (* 4 buckets: [<=0], [1,1], [2,3] and the overflow [4, inf) *)
+  check Alcotest.int "bucket count fixed at registration" 4
+    (Metrics.n_buckets h);
+  List.iter (Metrics.record h) [ -5; 0; 1; 2; 3; 4; 1000 ];
+  check Alcotest.int "negatives clamp into bucket 0" 2
+    (Metrics.bucket_count h 0);
+  check Alcotest.int "bucket [1,1]" 1 (Metrics.bucket_count h 1);
+  check Alcotest.int "bucket [2,3]" 2 (Metrics.bucket_count h 2);
+  check Alcotest.int "overflow bucket catches the rest" 2
+    (Metrics.bucket_count h 3);
+  check
+    Alcotest.(pair int int)
+    "overflow bounds" (4, max_int)
+    (Metrics.bucket_bounds h 3);
+  check Alcotest.int "min saw the clamp" 0 (Metrics.hist_min h);
+  check Alcotest.int "max tracked through overflow" 1000 (Metrics.hist_max h);
+  check Alcotest.int "p0 = min" 0 (Metrics.percentile h 0.0);
+  (* rank ceil(0.5 * 7) = 4 lands in bucket [2,3]: upper edge 3 *)
+  check Alcotest.int "p50 upper bound" 3 (Metrics.percentile h 50.0);
+  check Alcotest.int "p100 = max, not the bucket edge" 1000
+    (Metrics.percentile h 100.0);
+  (* find-or-register returns the same cell *)
+  let h' = Metrics.histogram m "small" in
+  Metrics.record h' 2;
+  check Alcotest.int "same cell" 8 (Metrics.hist_count h)
+
+let test_histogram_in_snapshot () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "len" in
+  List.iter (Metrics.record h) [ 1; 2; 3; 4; 100 ];
+  let s = Metrics.force_snapshot m in
+  let fields = Array.to_list (Array.map fst s.Metrics.values) in
+  check
+    Alcotest.(list string)
+    "six flattened fields"
+    [ "len.count"; "len.sum"; "len.p50"; "len.p90"; "len.p99"; "len.max" ]
+    fields;
+  let get name =
+    match Array.find_opt (fun (n, _) -> n = name) s.Metrics.values with
+    | Some (_, v) -> v
+    | None -> Alcotest.failf "missing %s" name
+  in
+  check Alcotest.int "count field" 5 (get "len.count");
+  check Alcotest.int "sum field" 110 (get "len.sum");
+  check Alcotest.int "p50 field" 3 (get "len.p50");
+  check Alcotest.int "max field" 100 (get "len.max");
+  (* a histogram cannot be re-registered as a counter *)
+  Alcotest.check_raises "counter over histogram"
+    (Invalid_argument "Metrics.counter: len is a histogram") (fun () ->
+      ignore (Metrics.counter m "len"))
+
 (* ------------------------------------------------------------------ *)
 (* wired through the engine                                             *)
 (* ------------------------------------------------------------------ *)
@@ -342,6 +453,15 @@ let () =
           tc "counters and gauges" `Quick test_counters_and_gauges;
           tc "periodic snapshots" `Quick test_periodic_snapshots;
           tc "period 0 disables" `Quick test_disabled_period_no_snapshots;
+          tc "mid-run period change flushes" `Quick test_set_period_midrun;
+        ] );
+      ( "histograms",
+        [
+          tc "empty histogram" `Quick test_histogram_empty;
+          tc "single value answers exactly" `Quick
+            test_histogram_single_value;
+          tc "buckets and overflow" `Quick test_histogram_buckets_and_overflow;
+          tc "snapshot flattening" `Quick test_histogram_in_snapshot;
         ] );
       ( "engine",
         [
