@@ -54,6 +54,19 @@ let tables () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Warm starts and eviction policy                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Time-to-peak-throughput cold vs warm (the payoff of Persist
+   snapshots), and the LRU vs footprint-aware eviction ablation over a
+   starved cache. *)
+let warmstart () =
+  section "Warm starts / eviction policy";
+  print_string (Harness.Warmstart.cold_vs_warm ~scale:(min scale 0.5) ());
+  print_newline ();
+  print_string (Harness.Warmstart.eviction_ablation ~scale:(min scale 0.5) ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -527,11 +540,13 @@ let () =
     span_overhead ();
     backend_switch_overhead ();
     shared_cache ();
+    warmstart ();
     print_newline ();
     print_endline "smoke ok."
   end
   else begin
     tables ();
+    warmstart ();
     observability ();
     span_overhead ();
     debug_checks_overhead ();

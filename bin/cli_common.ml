@@ -75,3 +75,24 @@ let self_heal_arg =
   Arg.(value & flag & info [ "self-heal" ]
          ~doc:"Enable quarantine, node repair and the degradation ladder \
                (also turns on the invariant sweeps that drive them).")
+
+(* Declarative subcommand table.  Each subcommand registers its name,
+   one-line doc and term in one place; the main entry point builds the
+   cmdliner group from the table.  Adding a subcommand is one [register]
+   call — no edits to the group construction. *)
+module Subcommand = struct
+  type t = { name : string; doc : string; term : unit Term.t }
+
+  let registry : t list ref = ref []
+
+  let register ~name ~doc term =
+    if List.exists (fun s -> s.name = name) !registry then
+      invalid_arg ("duplicate subcommand " ^ name);
+    registry := { name; doc; term } :: !registry
+
+  (* in registration order — the order the file declares them *)
+  let commands () =
+    List.rev_map
+      (fun s -> Cmd.v (Cmd.info s.name ~doc:s.doc) s.term)
+      !registry
+end

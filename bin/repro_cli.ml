@@ -97,7 +97,7 @@ let events_cmd workload size threshold delay fault_spec fault_seed self_heal
   let evicted_counted = ref 0 in
   let evicted_quarantine = ref 0 in
   let version_prefix =
-    Printf.sprintf "{\"schema_version\":%d," Harness.Export.schema_version
+    Printf.sprintf "{\"schema_version\":%d," Harness.Codec.schema_version
   in
   let unversioned = ref 0 in
   let _sub =
@@ -107,14 +107,20 @@ let events_cmd workload size threshold delay fault_spec fault_seed self_heal
           (1 + (try Hashtbl.find tally k with Not_found -> 0));
         (match e.Events.payload with
         | Events.Trace_constructed { reused = false; _ } -> incr constructed_new
-        | Events.Trace_evicted { reason = Events.Evict_quarantine; _ } ->
+        (* exhaustive over the shared eviction-reason variant: quarantine
+           removals count under traces_quarantined; the other three are
+           real evictions and count under traces_evicted *)
+        | Events.Trace_evicted { reason = Events.Quarantine; _ } ->
             incr evicted_quarantine
-        | Events.Trace_evicted _ -> incr evicted_counted
+        | Events.Trace_evicted
+            { reason = Events.Capacity | Events.Pressure | Events.Footprint; _ }
+          ->
+            incr evicted_counted
         | _ -> ());
         (* --stats-only skips the per-event JSON rendering entirely: the
            tallies above are all the cross-checks need *)
         if not stats_only then begin
-          let line = Harness.Export.to_string (Harness.Export.event_json e) in
+          let line = Harness.Codec.to_string (Harness.Codec.event_json e) in
           (* every record must announce the export schema version *)
           if not (String.length line >= String.length version_prefix
                   && String.sub line 0 (String.length version_prefix)
@@ -317,7 +323,7 @@ let lint_cmd workload size threshold delay json static_only =
       ws
   in
   let diags = List.stable_sort Diag.compare diags in
-  if json then print_string (Harness.Export.diags_jsonl diags)
+  if json then print_string (Harness.Codec.diags_jsonl diags)
   else begin
     List.iter (fun d -> print_endline (Diag.to_string d)) diags;
     Printf.printf "%d error(s), %d warning(s), %d note(s) across %d workload(s)\n"
@@ -613,9 +619,9 @@ let timeline_cmd workload size threshold delay fault_spec fault_seed self_heal
   Printf.eprintf "# %d span(s) recorded, %d dropped by wraparound\n"
     (Spans.recorded spans) (Spans.dropped spans);
   match chrome with
-  | None -> print_string (Harness.Export.spans_jsonl list)
+  | None -> print_string (Harness.Codec.spans_jsonl list)
   | Some path ->
-      let out = Harness.Export.to_string (Harness.Export.chrome_trace list) in
+      let out = Harness.Codec.to_string (Harness.Codec.chrome_trace list) in
       (try
          let oc = open_out path in
          output_string oc out;
@@ -625,7 +631,7 @@ let timeline_cmd workload size threshold delay fault_spec fault_seed self_heal
          Printf.eprintf "cannot write %s: %s\n" path msg;
          exit 2);
       (* round-trip oracle: re-parse what was just written *)
-      (match Harness.Export.parse out with
+      (match Harness.Codec.parse out with
       | Error msg ->
           Printf.eprintf "# MISMATCH: chrome trace does not re-parse: %s\n"
             msg;
@@ -638,6 +644,101 @@ let timeline_cmd workload size threshold delay fault_spec fault_seed self_heal
                 (fun v -> Printf.eprintf "# MISMATCH: %s\n" v)
                 violations;
               exit 1))
+
+(* ------------------------------------------------------------------ *)
+(* warm                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Persist and reuse profile state across processes.  --save runs the
+   workload cold and writes the engine's end-of-run snapshot (BCG +
+   trace cache, Persist-encoded); --load validates a snapshot into a
+   fresh engine, drives it warm, and holds the warm VM result to an
+   in-process cold control run — the pure-overlay promise, across
+   process boundaries.  Exit 1 on a rejected snapshot or a diverging
+   result; rejection prints the typed Persist error. *)
+let warm_cmd workload size threshold delay save load =
+  let module Engine = Tracegen.Engine in
+  let w = find_workload workload in
+  let layout = layout_of w ~size in
+  let config =
+    config_or_die (fun () ->
+        Tracegen.Config.make ~threshold ~start_state_delay:delay ())
+  in
+  let summarize tag (r : Engine.run_result) seconds =
+    let s = r.Engine.run_stats in
+    Printf.printf
+      "%-5s %11d instrs %10d block-disp %10d trace-disp %6d constructed \
+       %.3fs\n"
+      tag s.Tracegen.Stats.instructions s.Tracegen.Stats.block_dispatches
+      s.Tracegen.Stats.trace_dispatches s.Tracegen.Stats.traces_constructed
+      seconds
+  in
+  let run_cold () =
+    let t0 = Unix.gettimeofday () in
+    let r = Tracegen.Engine.run ~config layout in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let write_snapshot path (r : Engine.run_result) =
+    let data = Engine.snapshot r.Engine.engine in
+    (try
+       let oc = open_out_bin path in
+       output_string oc data;
+       close_out oc
+     with Sys_error msg ->
+       Printf.eprintf "cannot write %s: %s\n" path msg;
+       exit 2);
+    Printf.printf "snapshot: %d bytes -> %s\n" (String.length data) path
+  in
+  match (save, load) with
+  | None, None ->
+      Printf.eprintf "warm needs --save FILE and/or --load FILE\n";
+      exit 2
+  | Some path, None ->
+      let r, seconds = run_cold () in
+      summarize "cold" r seconds;
+      write_snapshot path r
+  | _, Some path -> (
+      let data =
+        try
+          let ic = open_in_bin path in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+        with Sys_error msg ->
+          Printf.eprintf "cannot read %s: %s\n" path msg;
+          exit 2
+      in
+      let engine = Engine.create ~config layout in
+      match Engine.restore engine data with
+      | Error e ->
+          Printf.eprintf "snapshot rejected: %s\n"
+            (Tracegen.Persist.error_to_string e);
+          exit 1
+      | Ok info ->
+          Printf.printf
+            "restored: %d trace(s) (%d cache blocks), %d BCG node(s), %d \
+             edge(s) from %s\n"
+            info.Engine.restored_traces info.Engine.restored_blocks
+            info.Engine.restored_bcg_nodes info.Engine.restored_bcg_edges
+            path;
+          let t0 = Unix.gettimeofday () in
+          let warm = Engine.drive engine in
+          let warm_seconds = Unix.gettimeofday () -. t0 in
+          let cold, cold_seconds = run_cold () in
+          summarize "warm" warm warm_seconds;
+          summarize "cold" cold cold_seconds;
+          if
+            Harness.Chaos.fingerprint warm.Engine.vm_result
+            = Harness.Chaos.fingerprint cold.Engine.vm_result
+          then
+            print_endline "warm result identical to cold (pure overlay holds)"
+          else begin
+            Printf.eprintf "MISMATCH: warm result diverged from the cold run\n";
+            exit 1
+          end;
+          (* --load --save re-saves the evolved profile *)
+          Option.iter (fun p -> write_snapshot p warm) save)
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                    *)
@@ -675,8 +776,9 @@ let run_term =
     $ fault_spec_arg $ fault_seed_arg $ self_heal_arg
     $ dump_traces $ dump_bcg $ top)
 
-let run_info =
-  Cmd.info "run" ~doc:"Run one workload under the trace-cache engine."
+let () =
+  Cli_common.Subcommand.register ~name:"run"
+    ~doc:"Run one workload under the trace-cache engine." run_term
 
 let events_term =
   let snapshot_period =
@@ -694,12 +796,13 @@ let events_term =
     $ fault_spec_arg $ fault_seed_arg $ self_heal_arg $ snapshot_period
     $ stats_only)
 
-let events_info =
-  Cmd.info "events"
+let () =
+  Cli_common.Subcommand.register ~name:"events"
     ~doc:
       "Replay a workload with the event stream enabled and dump the timeline \
        as JSON lines (stdout); per-kind totals are cross-checked against the \
        end-of-run statistics (stderr, non-zero exit on mismatch)."
+    events_term
 
 let table_term =
   let which =
@@ -707,9 +810,12 @@ let table_term =
   in
   Term.(const table_cmd $ which $ scale_arg)
 
-let table_info =
-  Cmd.info "table"
-    ~doc:"Regenerate one of the paper's tables (1-7, coverage-total, figure, baselines, ablation-decay, optimizer)."
+let () =
+  Cli_common.Subcommand.register ~name:"table"
+    ~doc:
+      "Regenerate one of the paper's tables (1-7, coverage-total, figure, \
+       baselines, ablation-decay, optimizer, footprint)."
+    table_term
 
 let disasm_term =
   let meth =
@@ -718,7 +824,9 @@ let disasm_term =
   in
   Term.(const disasm_cmd $ workload_arg $ size_arg $ meth)
 
-let disasm_info = Cmd.info "disasm" ~doc:"Disassemble a workload program."
+let () =
+  Cli_common.Subcommand.register ~name:"disasm"
+    ~doc:"Disassemble a workload program." disasm_term
 
 let export_term =
   let format =
@@ -731,12 +839,15 @@ let export_term =
   in
   Term.(const export_cmd $ format $ workload $ scale_arg)
 
-let export_info =
-  Cmd.info "export" ~doc:"Emit sweep results as CSV / JSON for external tools."
+let () =
+  Cli_common.Subcommand.register ~name:"export"
+    ~doc:"Emit sweep results as CSV / JSON for external tools." export_term
 
 let list_term = Term.(const list_cmd $ const ())
 
-let list_info = Cmd.info "list" ~doc:"List the available workloads."
+let () =
+  Cli_common.Subcommand.register ~name:"list"
+    ~doc:"List the available workloads." list_term
 
 let lint_term =
   let workload =
@@ -755,13 +866,14 @@ let lint_term =
     const lint_cmd $ workload $ size_arg $ threshold_arg $ delay_arg $ json
     $ static_only)
 
-let lint_info =
-  Cmd.info "lint"
+let () =
+  Cli_common.Subcommand.register ~name:"lint"
     ~doc:
       "Lint workload programs with the dataflow analyses (dead stores, \
        unreachable blocks, always-taken branches, ...), then run each one \
        under the engine with debug checks on and sweep the trace cache and \
        BCG for invariant violations.  Exits 1 on any error-severity finding."
+    lint_term
 
 let chaos_term =
   let workload =
@@ -804,12 +916,13 @@ let backends_term =
   in
   Term.(const backends_cmd $ workload $ size_arg $ threshold_arg $ delay_arg)
 
-let backends_info =
-  Cmd.info "backends"
+let () =
+  Cli_common.Subcommand.register ~name:"backends"
     ~doc:
       "List the three dispatch backends (interp, profile, trace), then run \
        workloads with each one pinned and assert the VM result matches the \
        plain interpreter — the pure-overlay promise, per strategy."
+    backends_term
 
 let session_term =
   let workloads =
@@ -829,22 +942,24 @@ let session_term =
     const session_cmd $ workloads $ users $ batch $ size_arg $ threshold_arg
     $ delay_arg $ fault_spec_arg $ fault_seed_arg $ self_heal_arg)
 
-let session_info =
-  Cmd.info "session"
+let () =
+  Cli_common.Subcommand.register ~name:"session"
     ~doc:
       "Run several workloads interleaved in one multi-session engine over \
        shared per-layout trace caches, assert every member's VM result is \
        bit-identical to a solo interpreter run, and report cross-session \
        trace reuse."
+    session_term
 
-let chaos_info =
-  Cmd.info "chaos"
+let () =
+  Cli_common.Subcommand.register ~name:"chaos"
     ~doc:
       "Run workloads under seeded fault schedules (corrupted traces, \
        flipped BCG counters, failed installations, allocation pressure) \
        with self-healing on, asserting VM results stay bit-identical to a \
        no-tracing baseline and the engine recovers to full tracing.  Exits \
        1 on any divergence or permanently degraded run."
+    chaos_term
 
 let top_term =
   let workload =
@@ -857,13 +972,14 @@ let top_term =
   in
   Term.(const top_cmd $ workload $ size_arg $ threshold_arg $ delay_arg $ top)
 
-let top_info =
-  Cmd.info "top"
+let () =
+  Cli_common.Subcommand.register ~name:"top"
     ~doc:
       "Run workloads with per-block attribution on and print the \
        hot-report: ranked traces and ranked blocks (self vs inlined \
        executions).  Every column is reconciled against the end-of-run \
        statistics (stderr, non-zero exit on mismatch)."
+    top_term
 
 let timeline_term =
   let chrome =
@@ -876,13 +992,40 @@ let timeline_term =
     const timeline_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
     $ fault_spec_arg $ fault_seed_arg $ self_heal_arg $ chrome)
 
-let timeline_info =
-  Cmd.info "timeline"
+let () =
+  Cli_common.Subcommand.register ~name:"timeline"
     ~doc:
       "Replay a workload with the causal span recorder on (trace builds, \
        heal sweeps, quarantine episodes) and export the timeline: span \
        JSON lines on stdout, or self-validated Chrome trace_event JSON \
        with --chrome FILE."
+    timeline_term
+
+let warm_term =
+  let save =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
+           ~doc:"Run the workload cold and write the engine's end-of-run \
+                 profile snapshot (BCG + trace cache) to $(docv).")
+  in
+  let load =
+    Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE"
+           ~doc:"Warm-start from the snapshot in $(docv), then verify the \
+                 warm VM result against an in-process cold run.")
+  in
+  Term.(
+    const warm_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
+    $ save $ load)
+
+let () =
+  Cli_common.Subcommand.register ~name:"warm"
+    ~doc:
+      "Persist profile state across processes: --save writes a versioned, \
+       checksummed snapshot of the BCG and trace cache after a cold run; \
+       --load validates it into a fresh engine, drives the run warm, and \
+       asserts the result is bit-identical to a cold control run.  Exits 1 \
+       on a rejected snapshot (typed error on stderr) or a diverging \
+       result."
+    warm_term
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -892,20 +1035,4 @@ let () =
         "Dynamic profiling and trace cache generation for a bytecode VM \
          (CGO 2003 reproduction)."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group ~default info
-          [
-            Cmd.v run_info run_term;
-            Cmd.v events_info events_term;
-            Cmd.v table_info table_term;
-            Cmd.v disasm_info disasm_term;
-            Cmd.v export_info export_term;
-            Cmd.v list_info list_term;
-            Cmd.v lint_info lint_term;
-            Cmd.v chaos_info chaos_term;
-            Cmd.v backends_info backends_term;
-            Cmd.v session_info session_term;
-            Cmd.v top_info top_term;
-            Cmd.v timeline_info timeline_term;
-          ]))
+  exit (Cmd.eval (Cmd.group ~default info (Cli_common.Subcommand.commands ())))

@@ -270,6 +270,85 @@ let heal_node t (n : node) : bool =
     n.delay_left <- (if n.state = State.Newly_created then 1 else 0);
   !repaired
 
+(* Warm-start snapshots.  A snapshot flattens the graph — nodes with
+   their counters and correlation state, edges as (successor, weight)
+   pairs — in canonical order (nodes by (x, y), edges by z), so snapshot
+   → restore → snapshot is bit-identical.  Restoring rebuilds the edge
+   and predecessor pointers and the inline caches without raising any
+   signal: the graph resumes exactly where it stopped, and the trace
+   cache half of the same snapshot already holds the traces those
+   signals built. *)
+
+type node_snap = {
+  ns_x : Layout.gid;
+  ns_y : Layout.gid;
+  ns_exec_total : int;
+  ns_delay_left : int;
+  ns_since_decay : int;
+  ns_state : State.t;
+  ns_best_at_recheck : Layout.gid;
+  ns_edges : (Layout.gid * int) list; (* (z, weight), sorted by z *)
+}
+
+let snapshot t : node_snap list =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun _ (n : node) ->
+      let edges =
+        List.map (fun e -> (e.e_z, e.weight)) n.edges
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      acc :=
+        {
+          ns_x = n.n_x;
+          ns_y = n.n_y;
+          ns_exec_total = n.exec_total;
+          ns_delay_left = n.delay_left;
+          ns_since_decay = n.since_decay;
+          ns_state = n.state;
+          ns_best_at_recheck = n.best_at_recheck;
+          ns_edges = edges;
+        }
+        :: !acc)
+    t.nodes;
+  List.sort
+    (fun a b -> compare (a.ns_x, a.ns_y) (b.ns_x, b.ns_y))
+    !acc
+
+let restore t (snaps : node_snap list) =
+  if t.node_count > 0 then invalid_arg "Bcg.restore: non-empty graph";
+  (* first pass: materialise every node with its scalar state *)
+  List.iter
+    (fun s ->
+      let n = make_node t ~x:s.ns_x ~y:s.ns_y in
+      n.exec_total <- s.ns_exec_total;
+      n.delay_left <- s.ns_delay_left;
+      n.since_decay <- s.ns_since_decay;
+      n.state <- s.ns_state;
+      n.best_at_recheck <- s.ns_best_at_recheck)
+    snaps;
+  (* second pass: rebuild edges, predecessor lists and inline caches *)
+  List.iter
+    (fun s ->
+      match find_node t ~x:s.ns_x ~y:s.ns_y with
+      | None -> assert false
+      | Some n ->
+          List.iter
+            (fun (z, w) ->
+              match find_node t ~x:s.ns_y ~y:z with
+              | None ->
+                  invalid_arg "Bcg.restore: edge target is not in the snapshot"
+              | Some target ->
+                  let e = { e_z = z; e_target = target; weight = w } in
+                  n.edges <- e :: n.edges;
+                  t.edge_count <- t.edge_count + 1;
+                  if not (List.memq n target.preds) then
+                    target.preds <- n :: target.preds)
+            s.ns_edges;
+          n.edges <- List.rev n.edges;
+          n.best <- best_edge n)
+    snaps
+
 (* Inspection helpers *)
 
 let iter_nodes t f = Hashtbl.iter (fun _ n -> f n) t.nodes

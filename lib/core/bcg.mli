@@ -110,6 +110,34 @@ val heal_node : t -> node -> bool
     the node loses corrupted history but keeps profiling, and its
     correlations re-converge within one decay period. *)
 
+(** {2 Warm-start snapshots} *)
+
+type node_snap = {
+  ns_x : Cfg.Layout.gid;
+  ns_y : Cfg.Layout.gid;
+  ns_exec_total : int;
+  ns_delay_left : int;
+  ns_since_decay : int;
+  ns_state : State.t;
+  ns_best_at_recheck : Cfg.Layout.gid;
+  ns_edges : (Cfg.Layout.gid * int) list;
+      (** (successor block, counter weight), sorted by successor *)
+}
+(** One node flattened for persistence — the value half of the
+    [Persist] binary format. *)
+
+val snapshot : t -> node_snap list
+(** The whole graph in canonical order (nodes by [(x, y)], edges by
+    successor), so snapshot → {!restore} → snapshot is bit-identical. *)
+
+val restore : t -> node_snap list -> unit
+(** Rebuild the graph from a snapshot: nodes with their counters and
+    states, then edges, predecessor lists and inline caches.  No signal
+    is raised — the trace-cache half of the same snapshot already holds
+    the traces those signals built.
+    @raise Invalid_argument if the graph is non-empty or an edge targets
+    a node absent from the snapshot. *)
+
 val iter_nodes : t -> (node -> unit) -> unit
 
 val n_nodes : t -> int

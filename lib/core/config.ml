@@ -54,15 +54,30 @@ module Profile = struct
 end
 
 module Cache = struct
+  type eviction_policy = Lru | Footprint_aware
+
+  let eviction_policy_to_string = function
+    | Lru -> "lru"
+    | Footprint_aware -> "footprint"
+
+  let eviction_policy_of_string = function
+    | "lru" -> Some Lru
+    | "footprint" -> Some Footprint_aware
+    | _ -> None
+
   type t = {
     max_traces : int;
         (* bound on live traces in the cache; 0 = unbounded.  Exceeding it
-           evicts the least recently dispatched entry. *)
+           evicts a victim chosen by [eviction_policy]. *)
     max_blocks : int;
         (* bound on the total block count of live traces; 0 = unbounded *)
+    eviction_policy : eviction_policy;
+        (* Lru condemns the least recently dispatched entry;
+           Footprint_aware condemns the worst estimated-bytes-per-use
+           (footprint/heat) ratio *)
   }
 
-  let default = { max_traces = 0; max_blocks = 0 }
+  let default = { max_traces = 0; max_blocks = 0; eviction_policy = Lru }
 
   let validate t =
     if t.max_traces < 0 then invalid_arg "max_cache_traces < 0";
@@ -174,6 +189,7 @@ let max_backtrack t = t.profile.Profile.max_backtrack
 let build_traces t = t.profile.Profile.build_traces
 let max_cache_traces t = t.cache.Cache.max_traces
 let max_cache_blocks t = t.cache.Cache.max_blocks
+let eviction_policy t = t.cache.Cache.eviction_policy
 let self_heal t = t.heal.Heal.self_heal
 let heal_max_rebuilds t = t.heal.Heal.max_rebuilds
 let heal_backoff t = t.heal.Heal.backoff
@@ -209,6 +225,7 @@ let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
     ?(debug_checks = default.debug_checks)
     ?(max_cache_traces = Cache.default.Cache.max_traces)
     ?(max_cache_blocks = Cache.default.Cache.max_blocks)
+    ?(eviction_policy = Cache.default.Cache.eviction_policy)
     ?(self_heal = Heal.default.Heal.self_heal)
     ?(heal_max_rebuilds = Heal.default.Heal.max_rebuilds)
     ?(heal_backoff = Heal.default.Heal.backoff)
@@ -234,7 +251,12 @@ let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
           max_backtrack;
           build_traces;
         };
-      cache = { Cache.max_traces = max_cache_traces; max_blocks = max_cache_blocks };
+      cache =
+        {
+          Cache.max_traces = max_cache_traces;
+          max_blocks = max_cache_blocks;
+          eviction_policy;
+        };
       heal =
         {
           Heal.self_heal;

@@ -46,17 +46,31 @@ module Profile : sig
   val validate : t -> unit
 end
 
-(** Trace-cache capacity bounds. *)
+(** Trace-cache capacity bounds and eviction policy. *)
 module Cache : sig
+  type eviction_policy =
+    | Lru  (** condemn the least recently dispatched entry (default) *)
+    | Footprint_aware
+        (** condemn the entry with the worst estimated i-cache bytes per
+            use (footprint/heat ratio, ties broken by recency) — keeps
+            hot-but-large traces over cold-but-small ones *)
+
+  val eviction_policy_to_string : eviction_policy -> string
+  (** Stable lowercase tag: ["lru"] / ["footprint"]. *)
+
+  val eviction_policy_of_string : string -> eviction_policy option
+  (** Inverse of {!eviction_policy_to_string}; [None] on unknown tags. *)
+
   type t = {
     max_traces : int;
         (** Bound on live traces in the cache; [0] (default) =
-            unbounded.  Exceeding it evicts the least recently
-            dispatched entry, so memory pressure degrades hit rate
+            unbounded.  Exceeding it evicts a victim chosen by
+            [eviction_policy], so memory pressure degrades hit rate
             instead of crashing. *)
     max_blocks : int;
         (** Bound on the total block count of live traces;
             [0] = unbounded. *)
+    eviction_policy : eviction_policy;
   }
 
   val default : t
@@ -170,6 +184,7 @@ val make :
   ?debug_checks:bool ->
   ?max_cache_traces:int ->
   ?max_cache_blocks:int ->
+  ?eviction_policy:Cache.eviction_policy ->
   ?self_heal:bool ->
   ?heal_max_rebuilds:int ->
   ?heal_backoff:int ->
@@ -216,6 +231,8 @@ val build_traces : t -> bool
 val max_cache_traces : t -> int
 
 val max_cache_blocks : t -> int
+
+val eviction_policy : t -> Cache.eviction_policy
 
 val self_heal : t -> bool
 

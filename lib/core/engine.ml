@@ -68,6 +68,7 @@ type t = {
   mutable kind : backend_kind;
   mutable kind_level : Health.level; (* level [kind] was selected from *)
   mutable backend_switches : int; (* strategy changes over the run *)
+  mutable snapshots_rejected : int; (* warm-start loads refused *)
 }
 
 (* Expose the accounting through the registry as polled gauges: nothing
@@ -124,6 +125,11 @@ let register_gauges (m : Metrics.t) (t : t) =
       Trace_cache.n_cross_installs e.Backend.cache);
   Metrics.gauge m "cross_session_entries" (fun () ->
       Trace_cache.n_cross_entries e.Backend.cache);
+  Metrics.gauge m "traces_restored" (fun () ->
+      Trace_cache.n_restored e.Backend.cache);
+  Metrics.gauge m "snapshots_rejected" (fun () -> t.snapshots_rejected);
+  Metrics.gauge m "cache_footprint_bytes" (fun () ->
+      Trace_cache.footprint_bytes e.Backend.cache);
   match e.Backend.spans with
   | Some s ->
       Metrics.gauge m "spans_recorded" (fun () -> Spans.recorded s);
@@ -143,6 +149,7 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
         Trace_cache.create ~events
           ~max_traces:(Config.max_cache_traces config)
           ~max_blocks:(Config.max_cache_blocks config)
+          ~eviction_policy:(Config.eviction_policy config)
           ~heal_max_rebuilds:(Config.heal_max_rebuilds config)
           ~heal_backoff:(Config.heal_backoff config)
           layout
@@ -269,6 +276,7 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
       kind;
       kind_level = Health.level health;
       backend_switches = 0;
+      snapshots_rejected = 0;
     }
   in
   register_gauges metrics t;
@@ -407,19 +415,80 @@ let stats t ~(vm_result : Interp.result) ~wall_seconds : Stats.t =
       B.stats_into ctx s)
     base backends
 
+(* Warm starts: the engine-level snapshot is the Persist encoding of
+   the profiler's BCG plus the live trace cache, and restoring is the
+   only place the Cache_restored / Snapshot_rejected events are
+   emitted, so every load attempt is visible on the timeline. *)
+
+let snapshot t =
+  let ctx = t.ctx in
+  Persist.encode ~layout:ctx.Backend.layout
+    {
+      Persist.bcg_nodes = Bcg.snapshot (Profiler.bcg ctx.Backend.profiler);
+      cache_entries = Trace_cache.snapshot ctx.Backend.cache;
+    }
+
+type restore_info = {
+  restored_traces : int;
+  restored_blocks : int;
+  restored_bcg_nodes : int;
+  restored_bcg_edges : int;
+}
+
+let snapshots_rejected t = t.snapshots_rejected
+
+let restore t data : (restore_info, Persist.error) result =
+  let ctx = t.ctx in
+  match Persist.decode ~layout:ctx.Backend.layout data with
+  | Error e ->
+      t.snapshots_rejected <- t.snapshots_rejected + 1;
+      if Events.enabled ctx.Backend.events then
+        Events.emit ctx.Backend.events
+          (Events.Snapshot_rejected { reason = Persist.error_to_string e });
+      Error e
+  | Ok snap ->
+      let bcg = Profiler.bcg ctx.Backend.profiler in
+      Bcg.restore bcg snap.Persist.bcg_nodes;
+      let traces =
+        Trace_cache.restore ctx.Backend.cache snap.Persist.cache_entries
+      in
+      let info =
+        {
+          restored_traces = traces;
+          restored_blocks = Trace_cache.live_blocks ctx.Backend.cache;
+          restored_bcg_nodes = Bcg.n_nodes bcg;
+          restored_bcg_edges = Bcg.n_edges bcg;
+        }
+      in
+      if Events.enabled ctx.Backend.events then
+        Events.emit ctx.Backend.events
+          (Events.Cache_restored
+             {
+               traces;
+               cache_blocks = info.restored_blocks;
+               bcg_nodes = info.restored_bcg_nodes;
+               bcg_edges = info.restored_bcg_edges;
+             });
+      Ok info
+
 type run_result = {
   engine : t;
   vm_result : Interp.result;
   run_stats : Stats.t;
 }
 
+(* Drive an already-created engine over its program — the warm-start
+   flow creates, restores, then drives. *)
+let drive ?max_instructions t : run_result =
+  let layout = t.ctx.Backend.layout in
+  let t0 = Unix.gettimeofday () in
+  let vm_result =
+    Interp.run ?max_instructions layout ~on_block:(fun g -> on_block t g)
+  in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  { engine = t; vm_result; run_stats = stats t ~vm_result ~wall_seconds }
+
 (* Run a program under the full system. *)
 let run ?(config = Config.default) ?events ?max_instructions ?backend
     (layout : Layout.t) : run_result =
-  let engine = create ~config ?events ?backend layout in
-  let t0 = Unix.gettimeofday () in
-  let vm_result =
-    Interp.run ?max_instructions layout ~on_block:(fun g -> on_block engine g)
-  in
-  let wall_seconds = Unix.gettimeofday () -. t0 in
-  { engine; vm_result; run_stats = stats engine ~vm_result ~wall_seconds }
+  drive ?max_instructions (create ~config ?events ?backend layout)

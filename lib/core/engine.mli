@@ -196,6 +196,35 @@ val backend_switches : t -> int
     actually moved the engine to a different backend.  Always [0] when
     pinned. *)
 
+(** {2 Warm starts} *)
+
+val snapshot : t -> string
+(** The engine's profile state — the profiler's BCG plus the live trace
+    cache — as one {!Persist}-encoded binary snapshot, stamped for this
+    engine's layout.  Typically taken at end of run and fed to
+    {!restore} in a later process. *)
+
+type restore_info = {
+  restored_traces : int;
+  restored_blocks : int;  (** live cache blocks after the restore *)
+  restored_bcg_nodes : int;
+  restored_bcg_edges : int;
+}
+
+val restore : t -> string -> (restore_info, Persist.error) result
+(** Validate and install a {!snapshot} into a freshly created engine,
+    before it is driven.  On success the BCG and trace cache resume
+    where the snapshot left them and a [Cache_restored] event is
+    emitted; on [Error] nothing was installed, {!snapshots_rejected} is
+    bumped and a [Snapshot_rejected] event is emitted.  Because tracing
+    is a pure overlay, a warm-started run produces results bit-identical
+    to a cold one.
+    @raise Invalid_argument if this engine was already driven (its BCG
+    is non-empty). *)
+
+val snapshots_rejected : t -> int
+(** Warm-start loads this engine refused (also a metrics gauge). *)
+
 (** {2 Running} *)
 
 type run_result = {
@@ -204,6 +233,11 @@ type run_result = {
   run_stats : Stats.t;
 }
 
+val drive : ?max_instructions:int -> t -> run_result
+(** Execute the engine's program through {!on_block} and collect
+    statistics — {!create} (optionally {!restore}) then [drive] is the
+    warm-start flow. *)
+
 val run :
   ?config:Config.t ->
   ?events:Events.t ->
@@ -211,5 +245,6 @@ val run :
   ?backend:backend_kind ->
   Cfg.Layout.t ->
   run_result
-(** Execute the program under the full system and collect statistics.
-    [backend] pins the dispatch strategy as in {!create}. *)
+(** {!create} + {!drive}: execute the program under the full system and
+    collect statistics.  [backend] pins the dispatch strategy as in
+    {!create}. *)

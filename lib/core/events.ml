@@ -6,12 +6,13 @@
    guard payload construction behind [enabled] so a silent run allocates
    nothing. *)
 
-type evict_reason = Evict_capacity | Evict_pressure | Evict_quarantine
+type evict_reason = Capacity | Pressure | Quarantine | Footprint
 
 let evict_reason_to_string = function
-  | Evict_capacity -> "capacity"
-  | Evict_pressure -> "pressure"
-  | Evict_quarantine -> "quarantine"
+  | Capacity -> "capacity"
+  | Pressure -> "pressure"
+  | Quarantine -> "quarantine"
+  | Footprint -> "footprint"
 
 type payload =
   | Signal_raised of {
@@ -67,6 +68,13 @@ type payload =
     }
   | Mode_degraded of { from_level : Health.level; to_level : Health.level }
   | Mode_recovered of { from_level : Health.level; to_level : Health.level }
+  | Cache_restored of {
+      traces : int;
+      cache_blocks : int;
+      bcg_nodes : int;
+      bcg_edges : int;
+    }
+  | Snapshot_rejected of { reason : string }
 
 type event = { time : int; payload : payload }
 
@@ -123,3 +131,5 @@ let kind = function
   | Trace_evicted _ -> "trace_evicted"
   | Mode_degraded _ -> "mode_degraded"
   | Mode_recovered _ -> "mode_recovered"
+  | Cache_restored _ -> "cache_restored"
+  | Snapshot_rejected _ -> "snapshot_rejected"

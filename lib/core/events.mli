@@ -24,19 +24,24 @@
     synchronously, in subscription order. *)
 
 type evict_reason =
-  | Evict_capacity
-      (** the {!Config.Cache} bounds were exceeded and the least recently
-          dispatched trace was dropped *)
-  | Evict_pressure
+  | Capacity
+      (** the {!Config.Cache} bounds were exceeded and a victim chosen by
+          the configured policy was dropped *)
+  | Pressure
       (** an injected allocation-pressure fault ([FT007]) forced an
           LRU eviction *)
-  | Evict_quarantine
+  | Quarantine
       (** the trace was removed because its entry transition was
           quarantined or blacklisted *)
+  | Footprint
+      (** allocation pressure forced an eviction under the
+          footprint-aware policy: the victim had the worst
+          bytes-per-entry (footprint/heat) ratio, not the oldest
+          stamp *)
 
 val evict_reason_to_string : evict_reason -> string
-(** Stable lowercase tag: ["capacity"] / ["pressure"] / ["quarantine"]
-    — the ["reason"] field of the JSONL schema. *)
+(** Stable lowercase tag: ["capacity"] / ["pressure"] / ["quarantine"] /
+    ["footprint"] — the ["reason"] field of the JSONL schema. *)
 
 type payload =
   | Signal_raised of {
@@ -118,10 +123,10 @@ type payload =
     }
       (** A trace was removed from the cache: capacity pressure
           ({!Config.Cache}), an injected allocation-pressure fault, or a
-          quarantine/blacklist of its entry transition.  Only
-          [Evict_capacity] and [Evict_pressure] removals count toward
-          {!Trace_cache.n_evicted} — quarantine removals are counted by
-          {!Trace_cache.n_quarantined} and carry their own
+          quarantine/blacklist of its entry transition.  [Capacity],
+          [Pressure] and [Footprint] removals count toward
+          {!Trace_cache.n_evicted} — [Quarantine] removals are counted
+          by {!Trace_cache.n_quarantined} and carry their own
           [Trace_quarantined] event alongside. *)
   | Mode_degraded of { from_level : Health.level; to_level : Health.level }
       (** Repeated detections dropped the engine one level down the
@@ -129,6 +134,18 @@ type payload =
   | Mode_recovered of { from_level : Health.level; to_level : Health.level }
       (** A full window of clean dispatches climbed the engine one level
           back up. *)
+  | Cache_restored of {
+      traces : int;  (** traces rebound from the snapshot *)
+      cache_blocks : int;  (** block slots they occupy *)
+      bcg_nodes : int;
+      bcg_edges : int;  (** BCG population after the restore *)
+    }
+      (** A warm-start snapshot was accepted and installed
+          ({!Engine.restore}). *)
+  | Snapshot_rejected of { reason : string }
+      (** A warm-start snapshot failed validation and was discarded
+          without touching the cache or BCG; [reason] is the rendered
+          {!Persist.error}. *)
 
 type event = { time : int; payload : payload }
 (** [time] is the engine's dispatch index (block + trace dispatches) at

@@ -1,0 +1,24 @@
+(* The single definition of the byte-cost model shared by the
+   footprint-aware eviction policy (Trace_cache) and the harness
+   footprint report (Harness.Footprint), so the ablation table and the
+   report cannot drift apart.
+
+   Sizes are estimated from the representation (paper §3.5: "we
+   carefully represent blocks, nodes, and edges to minimize memory
+   overhead"): a BCG node is two block ids, four small counters, a
+   state tag, an inline-cache pointer and a predecessor list entry; an
+   edge is a target id, a pointer and a 16-bit counter.  Trace cache
+   code size counts one threaded-code slot per instruction of every
+   live trace, as a direct-threaded code cache would. *)
+
+let node_bytes = 56 (* 2 ids + 4 counters + tag + 2 pointers, words *)
+
+let edge_bytes = 24 (* id + pointer + counter *)
+
+let instr_bytes = 8 (* one threaded-code slot per instruction *)
+
+let trace_bytes (tr : Trace.t) = tr.Trace.total_instrs * instr_bytes
+
+let cache_bytes ~trace_instrs = trace_instrs * instr_bytes
+
+let bcg_bytes ~nodes ~edges = (nodes * node_bytes) + (edges * edge_bytes)

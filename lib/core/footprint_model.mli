@@ -1,0 +1,25 @@
+(** The byte-cost model of the profiling and trace structures — the one
+    definition shared by the footprint-aware eviction policy
+    ({!Trace_cache.pressure_evict}) and the harness footprint report,
+    so the two cannot drift (paper §3.5's representation-cost concern,
+    §3.3's cache-size concern). *)
+
+val node_bytes : int
+(** Estimated bytes per BCG node: two block ids, four counters, a state
+    tag, an inline-cache pointer and a predecessor list entry. *)
+
+val edge_bytes : int
+(** Estimated bytes per BCG edge: target id, pointer, 16-bit counter. *)
+
+val instr_bytes : int
+(** Bytes per cached trace instruction — one direct-threaded code slot. *)
+
+val trace_bytes : Trace.t -> int
+(** Estimated i-cache footprint of one cached trace:
+    [total_instrs * instr_bytes]. *)
+
+val cache_bytes : trace_instrs:int -> int
+(** Footprint of a whole cache holding [trace_instrs] instructions. *)
+
+val bcg_bytes : nodes:int -> edges:int -> int
+(** Footprint of a BCG with the given population. *)

@@ -8,9 +8,13 @@ module Layout = Cfg.Layout
 
    On top of the paper's design the cache is bounded and self-healing:
 
-   - capacity caps ([max_traces] / [max_blocks], 0 = unbounded) evict the
-     least recently dispatched entry under pressure instead of growing
-     without bound;
+   - capacity caps ([max_traces] / [max_blocks], 0 = unbounded) evict a
+     victim under pressure instead of growing without bound — the least
+     recently dispatched entry under the default Lru policy, or the entry
+     with the worst estimated-bytes-per-use ratio under Footprint_aware
+     (paper §3.3: the cache should hold as little rarely executed code as
+     possible, and a large cold trace wastes more i-cache than a small
+     one);
    - a quarantine table blacklists entry transitions whose trace was
      condemned (by a TL2xx check or an injected fault), with exponential
      backoff in cache-clock units and permanent blacklisting after
@@ -32,16 +36,19 @@ type t = {
   by_seq : (string, Trace.t) Hashtbl.t; (* structural key *)
   max_traces : int; (* live-trace cap; 0 = unbounded *)
   max_blocks : int; (* live-block cap; 0 = unbounded *)
+  policy : Config.Cache.eviction_policy; (* victim selection under pressure *)
   heal_max_rebuilds : int;
   heal_backoff : int;
   quarantine : (int, qentry) Hashtbl.t; (* entry key -> blacklist record *)
   last_used : (int, int) Hashtbl.t; (* entry key -> use stamp *)
+  use_count : (int, int) Hashtbl.t; (* entry key -> uses (heat) *)
   mutable stamp : int; (* monotone use counter for LRU *)
   mutable clock : int; (* engine dispatch count, drives backoff *)
   mutable session : int; (* id of the session currently dispatching; 0 solo *)
   mutable live_blocks : int; (* sum of block counts over by_entry *)
   mutable next_id : int;
   mutable constructed : int; (* traces newly built *)
+  mutable restored : int; (* traces rebound from a warm-start snapshot *)
   mutable replaced : int; (* entry keys whose trace changed *)
   mutable hash_hits : int; (* reconstructions satisfied by an existing trace *)
   mutable evicted : int; (* capacity evictions *)
@@ -58,7 +65,8 @@ type t = {
 }
 
 let create ?(events = Events.create ()) ?(max_traces = 0) ?(max_blocks = 0)
-    ?(heal_max_rebuilds = 3) ?(heal_backoff = 512) (layout : Layout.t) =
+    ?(eviction_policy = Config.Cache.Lru) ?(heal_max_rebuilds = 3)
+    ?(heal_backoff = 512) (layout : Layout.t) =
   if max_traces < 0 then invalid_arg "Trace_cache.create: max_traces < 0";
   if max_blocks < 0 then invalid_arg "Trace_cache.create: max_blocks < 0";
   if heal_max_rebuilds < 1 then
@@ -71,16 +79,19 @@ let create ?(events = Events.create ()) ?(max_traces = 0) ?(max_blocks = 0)
     by_seq = Hashtbl.create 256;
     max_traces;
     max_blocks;
+    policy = eviction_policy;
     heal_max_rebuilds;
     heal_backoff;
     quarantine = Hashtbl.create 16;
     last_used = Hashtbl.create 256;
+    use_count = Hashtbl.create 256;
     stamp = 0;
     clock = 0;
     session = 0;
     live_blocks = 0;
     next_id = 0;
     constructed = 0;
+    restored = 0;
     replaced = 0;
     hash_hits = 0;
     evicted = 0;
@@ -118,7 +129,11 @@ let session t = t.session
 
 let touch t ekey =
   t.stamp <- t.stamp + 1;
-  Hashtbl.replace t.last_used ekey t.stamp
+  Hashtbl.replace t.last_used ekey t.stamp;
+  let uses =
+    match Hashtbl.find_opt t.use_count ekey with Some n -> n | None -> 0
+  in
+  Hashtbl.replace t.use_count ekey (uses + 1)
 
 (* Dispatch lookup: is there a trace entered by the transition
    (prev, cur)? *)
@@ -148,6 +163,7 @@ let purge_seq t (tr : Trace.t) =
 let unbind t ekey (tr : Trace.t) =
   Hashtbl.remove t.by_entry ekey;
   Hashtbl.remove t.last_used ekey;
+  Hashtbl.remove t.use_count ekey;
   t.live_blocks <- t.live_blocks - Array.length tr.Trace.blocks;
   purge_seq t tr
 
@@ -167,24 +183,63 @@ let emit_evicted t ~ekey ~(tr : Trace.t) ~reason =
          })
   end
 
-(* Evict the least recently dispatched live entry (never [keep], the
-   entry just installed).  [reason] says who asked — capacity caps or an
-   injected pressure fault.  Returns false when nothing is evictable. *)
-let evict_lru t ~keep ~reason =
+let stamp_of t ekey =
+  match Hashtbl.find_opt t.last_used ekey with Some s -> s | None -> min_int
+
+let uses_of t ekey =
+  match Hashtbl.find_opt t.use_count ekey with Some n -> n | None -> 0
+
+(* Estimated i-cache bytes this entry pays per use — the footprint/heat
+   ratio (shared byte model: [Footprint_model]).  A large rarely-entered
+   trace scores high (bad); a hot trace of any size scores low. *)
+let footprint_score t ekey (tr : Trace.t) =
+  float_of_int (Footprint_model.trace_bytes tr)
+  /. float_of_int (1 + uses_of t ekey)
+
+(* Pick the victim the configured policy condemns (never [keep], the
+   entry just installed): the smallest LRU stamp under [Lru], the worst
+   footprint/heat ratio (ties broken by older stamp) under
+   [Footprint_aware].  Returns [None] when nothing is evictable. *)
+let pick_victim t ~keep =
   let victim = ref None in
-  Hashtbl.iter
-    (fun ekey tr ->
-      if ekey <> keep then
-        let s =
-          match Hashtbl.find_opt t.last_used ekey with
-          | Some s -> s
-          | None -> min_int
-        in
-        match !victim with
-        | Some (_, _, best) when best <= s -> ()
-        | _ -> victim := Some (ekey, tr, s))
-    t.by_entry;
-  match !victim with
+  (match t.policy with
+  | Config.Cache.Lru ->
+      Hashtbl.iter
+        (fun ekey tr ->
+          if ekey <> keep then
+            let s = stamp_of t ekey in
+            match !victim with
+            | Some (_, _, best) when best <= s -> ()
+            | _ -> victim := Some (ekey, tr, s))
+        t.by_entry
+  | Config.Cache.Footprint_aware ->
+      let best_score = ref neg_infinity in
+      Hashtbl.iter
+        (fun ekey tr ->
+          if ekey <> keep then begin
+            let score = footprint_score t ekey tr in
+            let s = stamp_of t ekey in
+            let better =
+              score > !best_score
+              || score = !best_score
+                 &&
+                 match !victim with
+                 | Some (_, _, best) -> s < best
+                 | None -> true
+            in
+            if better then begin
+              best_score := score;
+              victim := Some (ekey, tr, s)
+            end
+          end)
+        t.by_entry);
+  !victim
+
+(* Evict one live entry chosen by the policy.  [reason] says who asked —
+   capacity caps or an injected pressure fault.  Returns false when
+   nothing is evictable. *)
+let evict_one t ~keep ~reason =
+  match pick_victim t ~keep with
   | None -> false
   | Some (ekey, tr, _) ->
       unbind t ekey tr;
@@ -197,7 +252,7 @@ let over_capacity t =
   || (t.max_blocks > 0 && t.live_blocks > t.max_blocks)
 
 let rec enforce_caps t ~keep =
-  if over_capacity t && evict_lru t ~keep ~reason:Events.Evict_capacity then
+  if over_capacity t && evict_one t ~keep ~reason:Events.Capacity then
     enforce_caps t ~keep
 
 (* Install a candidate trace.  If an identical trace is already cached we
@@ -283,7 +338,7 @@ let quarantine t ~first ~head ~code : Trace.t option =
         unbind t ekey tr;
         (* not counted in [evicted] (that is capacity accounting) but
            visible in the timeline with its own reason *)
-        emit_evicted t ~ekey ~tr ~reason:Events.Evict_quarantine;
+        emit_evicted t ~ekey ~tr ~reason:Events.Quarantine;
         Some tr
     | None -> None
   in
@@ -342,18 +397,85 @@ let try_install t ~first ~(blocks : Layout.gid array) ~prob : Trace.t option =
 
 let pressure_evict t ~down_to =
   let down_to = max 0 down_to in
+  (* the reason tag records which policy chose the victim, so the
+     timeline can distinguish an LRU pressure eviction from a
+     footprint-scored one *)
+  let reason =
+    match t.policy with
+    | Config.Cache.Lru -> Events.Pressure
+    | Config.Cache.Footprint_aware -> Events.Footprint
+  in
   let count = ref 0 in
   let rec go () =
-    if
-      n_live t > down_to
-      && evict_lru t ~keep:min_int ~reason:Events.Evict_pressure
-    then begin
+    if n_live t > down_to && evict_one t ~keep:min_int ~reason then begin
       incr count;
       go ()
     end
   in
   go ();
   !count
+
+(* Warm-start snapshots.  A snapshot captures the live cache — entry
+   bindings, completion probabilities and per-entry heat — in canonical
+   (entry-key) order, so snapshotting, restoring and snapshotting again
+   yields the same value bit for bit.  Counters, quarantine records and
+   LRU stamps are runtime state, not cache contents, and are not
+   captured. *)
+
+type entry_snap = {
+  snap_first : Layout.gid;
+  snap_blocks : Layout.gid array;
+  snap_prob : float;
+  snap_heat : int; (* use count, so footprint-aware eviction stays warm *)
+}
+
+let snapshot t : entry_snap list =
+  let entries = ref [] in
+  Hashtbl.iter
+    (fun ekey tr ->
+      entries :=
+        ( ekey,
+          {
+            snap_first = tr.Trace.first;
+            snap_blocks = Array.copy tr.Trace.blocks;
+            snap_prob = tr.Trace.prob;
+            snap_heat = uses_of t ekey;
+          } )
+        :: !entries)
+    t.by_entry;
+  List.sort (fun (a, _) (b, _) -> compare a b) !entries |> List.map snd
+
+let restore t (snaps : entry_snap list) : int =
+  let n = ref 0 in
+  List.iter
+    (fun snap ->
+      if Array.length snap.snap_blocks = 0 then
+        invalid_arg "Trace_cache.restore: empty block sequence";
+      let first = snap.snap_first and blocks = snap.snap_blocks in
+      let skey = seq_key ~first ~blocks in
+      let ekey = entry_key_int t ~first ~head:blocks.(0) in
+      let tr =
+        match Hashtbl.find_opt t.by_seq skey with
+        | Some existing -> existing
+        | None ->
+            let id = t.next_id in
+            t.next_id <- id + 1;
+            let tr =
+              Trace.make ~id ~layout:t.layout ~first ~blocks
+                ~prob:snap.snap_prob
+            in
+            tr.Trace.owner <- t.session;
+            Hashtbl.replace t.by_seq skey tr;
+            tr
+      in
+      bind t ekey tr;
+      (* the snapshot's heat replaces the single use [bind] just stamped *)
+      Hashtbl.replace t.use_count ekey snap.snap_heat;
+      t.restored <- t.restored + 1;
+      incr n;
+      enforce_caps t ~keep:ekey)
+    snaps;
+  !n
 
 let iter t f = Hashtbl.iter (fun _ tr -> f tr) t.by_entry
 
@@ -368,7 +490,16 @@ let iter_all t f = Hashtbl.iter (fun _ tr -> f tr) t.by_seq
 
 let n_constructed t = t.constructed
 
+let n_restored t = t.restored
+
 let n_replaced t = t.replaced
+
+let eviction_policy t = t.policy
+
+let footprint_bytes t =
+  Hashtbl.fold
+    (fun _ tr acc -> acc + Footprint_model.trace_bytes tr)
+    t.by_entry 0
 
 let live_blocks t = t.live_blocks
 
@@ -390,5 +521,6 @@ let flush t =
   Hashtbl.reset t.by_entry;
   Hashtbl.reset t.by_seq;
   Hashtbl.reset t.last_used;
+  Hashtbl.reset t.use_count;
   Hashtbl.reset t.quarantine;
   t.live_blocks <- 0

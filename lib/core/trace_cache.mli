@@ -8,8 +8,14 @@
     {e self-healing}:
 
     - the capacity caps ([max_traces] live traces / [max_blocks] live
-      blocks; [0] = unbounded) evict the least recently dispatched entry
-      under pressure ({!n_evicted}, [Trace_evicted] events);
+      blocks; [0] = unbounded) evict a victim under pressure
+      ({!n_evicted}, [Trace_evicted] events) chosen by the
+      {!Config.Cache.eviction_policy}: the least recently dispatched
+      entry ([Lru], the default), or the entry with the worst estimated
+      i-cache bytes per use ([Footprint_aware], byte model shared with
+      the harness footprint report via [Footprint_model]);
+    - {!snapshot} / {!restore} capture and rebind the live cache for
+      warm starts — the value half of the [Persist] binary format;
     - {!quarantine} blacklists an entry transition whose trace was
       condemned by a TL2xx check or an injected fault, with exponential
       backoff in cache-clock units ({!set_clock}) and permanent
@@ -25,15 +31,16 @@ val create :
   ?events:Events.t ->
   ?max_traces:int ->
   ?max_blocks:int ->
+  ?eviction_policy:Config.Cache.eviction_policy ->
   ?heal_max_rebuilds:int ->
   ?heal_backoff:int ->
   Cfg.Layout.t ->
   t
 (** [events] receives [Trace_replaced] / [Trace_evicted] /
     [Trace_quarantined]; a fresh disabled stream is used when omitted.
-    [max_traces] and [max_blocks] default to [0] (unbounded);
-    [heal_max_rebuilds] defaults to 3 and [heal_backoff] to 512 cache
-    clock units.
+    [max_traces] and [max_blocks] default to [0] (unbounded),
+    [eviction_policy] to [Lru]; [heal_max_rebuilds] defaults to 3 and
+    [heal_backoff] to 512 cache clock units.
     @raise Invalid_argument on out-of-range parameters. *)
 
 val layout : t -> Cfg.Layout.t
@@ -119,9 +126,49 @@ val inject_install_failure : t -> unit
     quarantine check returns [None] (the fault injector's FT006). *)
 
 val pressure_evict : t -> down_to:int -> int
-(** Evict least-recently-dispatched entries until at most [down_to] live
-    traces remain; returns the number evicted (the fault injector's
-    FT007 allocation-pressure fault). *)
+(** Evict entries until at most [down_to] live traces remain; returns
+    the number evicted (the fault injector's FT007 allocation-pressure
+    fault).  Victims are chosen by the configured
+    {!Config.Cache.eviction_policy}; the emitted [Trace_evicted] reason
+    is [Pressure] under [Lru] and [Footprint] under [Footprint_aware]. *)
+
+(** {2 Warm-start snapshots} *)
+
+type entry_snap = {
+  snap_first : Cfg.Layout.gid;  (** entry context block *)
+  snap_blocks : Cfg.Layout.gid array;  (** the trace's block sequence *)
+  snap_prob : float;  (** completion probability at construction *)
+  snap_heat : int;
+      (** the entry's use count, preserved so footprint-aware eviction
+          does not treat every restored trace as cold *)
+}
+(** One live cache entry as captured by {!snapshot} — everything needed
+    to rebind an identical trace in a fresh cache over the same
+    layout. *)
+
+val snapshot : t -> entry_snap list
+(** The live cache in canonical (entry-key) order.  Runtime state —
+    counters, LRU stamps, quarantine records — is not captured, so
+    snapshot → restore → snapshot is bit-identical. *)
+
+val restore : t -> entry_snap list -> int
+(** Rebind every snapshot entry (constructing traces afresh over this
+    cache's layout, hash-cons deduplicated), returning the number
+    restored.  Restored traces count toward {!n_restored}, not
+    {!n_constructed}, and carry the current session as owner.  Capacity
+    caps are enforced as usual, so restoring into a smaller cache keeps
+    the policy's preferred subset.
+    @raise Invalid_argument on an empty block sequence. *)
+
+val n_restored : t -> int
+(** Entries rebound from snapshots by {!restore}. *)
+
+val eviction_policy : t -> Config.Cache.eviction_policy
+
+val footprint_bytes : t -> int
+(** Estimated i-cache footprint of the live cache under the shared byte
+    model ([Footprint_model.trace_bytes] summed over live traces) — the
+    quantity the footprint-aware policy minimises per unit of heat. *)
 
 val iter : t -> (Trace.t -> unit) -> unit
 (** Over the traces currently bound to an entry (the live cache). *)

@@ -1,8 +1,17 @@
-(** Machine-readable results: JSON for single runs, JSON-lines and CSV for
-    the parameter sweeps.  (No JSON library ships in this environment, so a
-    minimal printer lives here.) *)
+(** Machine-readable results: JSON for single runs, JSON-lines and CSV
+    for the parameter sweeps.
 
-type json =
+    The JSON value type, writer/parser pair, version registry and every
+    per-record JSONL/Chrome serializer live in {!Codec} (the single
+    encode/decode module); the aliases below are {e deprecated} — they
+    are kept so callers that predate the split keep compiling, and new
+    code should use [Codec] directly.  What genuinely lives here is the
+    experiment-level export: {!stats_json}, {!run_json} and the sweep
+    writers. *)
+
+(** {2 Deprecated aliases — use {!Codec}} *)
+
+type json = Codec.json =
   | J_int of int
   | J_float of float
   | J_string of string
@@ -10,71 +19,57 @@ type json =
   | J_null
   | J_obj of (string * json) list
   | J_list of json list
+(** Deprecated alias of {!Codec.json}. *)
 
 val to_string : json -> string
+(** Deprecated alias of {!Codec.to_string}. *)
 
 val json_escape : string -> string
+(** Deprecated alias of {!Codec.json_escape}. *)
 
 val parse : string -> (json, string) result
-(** A minimal JSON parser — the inverse of {!to_string}, used by the
-    timeline round-trip oracle.  Integral numbers parse as {!J_int},
-    everything else numeric as {!J_float}; non-ASCII [\u] escapes are
-    replaced (the emitter never produces them). *)
+(** Deprecated alias of {!Codec.parse}. *)
 
 val schema_version : int
-(** Every top-level JSONL record ({!event_json}, {!snapshot_json},
-    {!diag_json}, {!run_json}) leads with a ["schema_version"] field
-    carrying this value, so downstream consumers can detect format
-    drift.  Bumped on any breaking change to the record field sets. *)
+(** Deprecated alias of {!Codec.schema_version}. *)
+
+val snapshot_json : Tracegen.Metrics.snapshot -> json
+(** Deprecated alias of {!Codec.snapshot_json}. *)
+
+val snapshots_jsonl : Tracegen.Metrics.snapshot list -> string
+(** Deprecated alias of {!Codec.snapshots_jsonl}. *)
+
+val event_json : Tracegen.Events.event -> json
+(** Deprecated alias of {!Codec.event_json}. *)
+
+val events_jsonl : Tracegen.Events.event list -> string
+(** Deprecated alias of {!Codec.events_jsonl}. *)
+
+val hist_json : Tracegen.Metrics.histogram -> json
+(** Deprecated alias of {!Codec.hist_json}. *)
+
+val span_json : Tracegen.Spans.span -> json
+(** Deprecated alias of {!Codec.span_json}. *)
+
+val spans_jsonl : Tracegen.Spans.span list -> string
+(** Deprecated alias of {!Codec.spans_jsonl}. *)
+
+val chrome_trace : Tracegen.Spans.span list -> json
+(** Deprecated alias of {!Codec.chrome_trace}. *)
+
+val chrome_trace_events : Tracegen.Spans.span list -> json
+(** Deprecated alias of {!Codec.chrome_trace_events}. *)
+
+val diag_json : Analysis.Diag.t -> json
+(** Deprecated alias of {!Codec.diag_json}. *)
+
+val diags_jsonl : Analysis.Diag.t list -> string
+(** Deprecated alias of {!Codec.diags_jsonl}. *)
+
+(** {2 Experiment export} *)
 
 val stats_json : ?extra:(string * json) list -> Tracegen.Stats.t -> json
 (** Raw counts plus every derived value, as one flat object. *)
-
-val snapshot_json : Tracegen.Metrics.snapshot -> json
-(** One metrics snapshot as a flat object: [{"at": <dispatch>,
-    "<source>": <value>, …}]. *)
-
-val snapshots_jsonl : Tracegen.Metrics.snapshot list -> string
-(** A snapshot series, one object per line, chronological. *)
-
-val event_json : Tracegen.Events.event -> json
-(** One event as a flat object: [{"event": <kind>, "time": <dispatch>,
-    …payload fields}].  The [event] tag is {!Tracegen.Events.kind}. *)
-
-val events_jsonl : Tracegen.Events.event list -> string
-(** An event timeline, one object per line, in list order. *)
-
-val hist_json : Tracegen.Metrics.histogram -> json
-(** One histogram: count/sum/mean/min/max, the p50/p90/p99 summary and
-    the non-empty buckets (the overflow bucket's open upper bound
-    renders as [-1]). *)
-
-val span_json : Tracegen.Spans.span -> json
-(** One span as a flat object ([end] is [-1] while open). *)
-
-val spans_jsonl : Tracegen.Spans.span list -> string
-
-val chrome_trace : Tracegen.Spans.span list -> json
-(** The span list as Chrome [trace_event] JSON, loadable in Perfetto or
-    [about://tracing].  Dispatch ticks are reported as microseconds.
-    Stack-disciplined spans (trace builds, heal sweeps, member turns)
-    become [B]/[E] duration events on one thread track; quarantine
-    episodes, which overlap freely, become [ph:"X"] complete events on a
-    second.  Events are emitted in monotone timestamp order and every
-    [E] closes the [B] it follows.  Open spans are skipped — run
-    [Spans.end_all] first. *)
-
-val chrome_trace_events : Tracegen.Spans.span list -> json
-(** Just the sorted [traceEvents] array of {!chrome_trace}. *)
-
-val diag_json : Analysis.Diag.t -> json
-(** One lint diagnostic as a flat object: [{"context": …, "code": …,
-    "severity": …, "location": …, "message": …}] (context omitted when
-    absent). *)
-
-val diags_jsonl : Analysis.Diag.t list -> string
-(** A diagnostic list, one object per line, in list order — the
-    [repro_cli lint --json] schema. *)
 
 val run_json : Experiment.run -> json
 (** {!stats_json} with the run's key (workload, size, parameters) and

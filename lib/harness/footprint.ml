@@ -5,18 +5,11 @@ module Stats = Tracegen.Stats
    overhead", and §3.3's concern that the cache hold as little rarely
    executed code as possible).
 
-   Sizes are estimated from the representation: a BCG node is two block
-   ids, four small counters, a state tag, an inline-cache pointer and a
-   predecessor list entry; an edge is a target id, a pointer and a 16-bit
-   counter.  Trace cache code size counts one unit per instruction of
-   every live trace, as a direct-threaded code cache would; the
-   duplication factor relates that to the distinct blocks covered. *)
-
-let node_bytes = 56 (* 2 ids + 4 counters + tag + 2 pointers, words *)
-
-let edge_bytes = 24 (* id + pointer + counter *)
-
-let instr_bytes = 8 (* one threaded-code slot per instruction *)
+   The per-structure byte sizes are NOT defined here: they come from
+   [Tracegen.Footprint_model], the same definition the footprint-aware
+   eviction policy scores victims with, so this report and the eviction
+   ablation table cannot drift apart.  The duplication factor relates
+   cache code size to the distinct blocks covered. *)
 
 type row = {
   name : string;
@@ -53,11 +46,13 @@ let measure ?(scale = 1.0) (w : Workloads.Workload.t) : row =
     name = w.Workloads.Workload.name;
     bcg_nodes = s.Stats.bcg_nodes;
     bcg_edges = s.Stats.bcg_edges;
-    bcg_bytes = (s.Stats.bcg_nodes * node_bytes) + (s.Stats.bcg_edges * edge_bytes);
+    bcg_bytes =
+      Tracegen.Footprint_model.bcg_bytes ~nodes:s.Stats.bcg_nodes
+        ~edges:s.Stats.bcg_edges;
     live_traces = !live_traces;
     trace_instrs = !trace_instrs;
     distinct_block_instrs;
-    cache_bytes = !trace_instrs * instr_bytes;
+    cache_bytes = Tracegen.Footprint_model.cache_bytes ~trace_instrs:!trace_instrs;
     duplication =
       (if distinct_block_instrs = 0 then 1.0
        else float_of_int !trace_instrs /. float_of_int distinct_block_instrs);

@@ -1,5 +1,8 @@
 (** Memory footprint of the profiling and trace structures (paper §3.5's
-    representation-cost concern and §3.3's cache-size concern). *)
+    representation-cost concern and §3.3's cache-size concern).  Byte
+    sizes come from [Tracegen.Footprint_model] — the same definition the
+    footprint-aware eviction policy uses, so this report and the
+    eviction ablation cannot drift. *)
 
 type row = {
   name : string;

@@ -168,27 +168,27 @@ let render ?(top = 10) (r : t) : string =
    is an object with a traceEvents array, timestamps are monotonically
    non-decreasing in array order, and on each thread track every E event
    closes an open B (with none left open at the end). *)
-let check_chrome (j : Export.json) : string list =
+let check_chrome (j : Codec.json) : string list =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
   (match j with
-  | Export.J_obj fields -> (
+  | Codec.J_obj fields -> (
       match List.assoc_opt "traceEvents" fields with
-      | Some (Export.J_list events) ->
+      | Some (Codec.J_list events) ->
           let last_ts = ref min_int in
           let stacks : (int, string list) Hashtbl.t = Hashtbl.create 4 in
           List.iteri
             (fun i ev ->
               match ev with
-              | Export.J_obj f -> (
+              | Codec.J_obj f -> (
                   let field name =
                     match List.assoc_opt name f with
-                    | Some (Export.J_int v) -> Some v
+                    | Some (Codec.J_int v) -> Some v
                     | _ -> None
                   in
                   let str name =
                     match List.assoc_opt name f with
-                    | Some (Export.J_string v) -> Some v
+                    | Some (Codec.J_string v) -> Some v
                     | _ -> None
                   in
                   match (str "ph", field "ts", field "tid") with

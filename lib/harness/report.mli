@@ -48,7 +48,7 @@ val failed_checks :
 val render : ?top:int -> t -> string
 (** Human-readable ranked tables ([top] rows each, default 10). *)
 
-val check_chrome : Export.json -> string list
+val check_chrome : Codec.json -> string list
 (** Structural oracle over an exported Chrome trace: an object with a
     [traceEvents] array, monotonically non-decreasing timestamps, every
     [E] closing an open [B] on its thread track (none left open), and

@@ -1,0 +1,193 @@
+module Stats = Tracegen.Stats
+module Engine = Tracegen.Engine
+
+(* Warm-start benchmarks.
+
+   [cold_vs_warm] measures time-to-peak-throughput: how many dispatches
+   a run spends below its best trace-dispatch mix before the cache has
+   learned the program.  A cold engine pays the whole learning curve; a
+   warm one restores the previous run's snapshot and should sit at peak
+   from the first window.  Peak detection is deterministic: the metrics
+   registry snapshots every [window] dispatches, each window's
+   trace-dispatch share is computed by differencing consecutive
+   snapshots, and the run is "at peak" from the first window reaching
+   90% of its steady-state share.  Because some workloads ramp or shift
+   phases intrinsically (so cold and warm cross that line together),
+   the table also reports the warm-up deficit — the area between the
+   throughput curve and steady state, in dispatches — which aggregates
+   the whole learning curve and is what the snapshot actually buys
+   back. *)
+
+(* [eviction_ablation] starves the cache (small [max_cache_traces]) and
+   runs the same workloads under plain LRU and under the footprint-aware
+   policy, comparing completed coverage, trace-dispatch share and the
+   i-cache footprint of what survived. *)
+
+let window = 2_000
+
+let value (s : Tracegen.Metrics.snapshot) name =
+  match Array.find_opt (fun (n, _) -> n = name) s.Tracegen.Metrics.values with
+  | Some (_, v) -> v
+  | None -> 0
+
+type measured = {
+  run : Engine.run_result;
+  wall_seconds : float;
+  peak_share : float;  (* steady-state windowed trace-dispatch share *)
+  to_peak : int;  (* dispatch index of the first window at >= 90% of it *)
+  deficit : int;  (* dispatches below steady state, summed over windows *)
+}
+
+(* Drive a fresh engine (optionally warm-started from [snapshot]) with
+   periodic metrics snapshots and locate its throughput peak. *)
+let measure ?snapshot layout =
+  let config = Tracegen.Config.make ~snapshot_period:window () in
+  let engine = Engine.create ~config layout in
+  (match snapshot with
+  | None -> ()
+  | Some data -> (
+      match Engine.restore engine data with
+      | Ok _ -> ()
+      | Error e -> invalid_arg (Tracegen.Persist.error_to_string e)));
+  let t0 = Unix.gettimeofday () in
+  let run = Engine.drive engine in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let snaps = Tracegen.Metrics.snapshots (Engine.metrics run.Engine.engine) in
+  (* windowed trace-dispatch share between consecutive snapshots *)
+  let shares =
+    let rec windows prev acc = function
+      | [] -> List.rev acc
+      | s :: rest ->
+          let d name = value s name - value prev name in
+          let traces = d "trace_dispatches" in
+          let blocks = d "block_dispatches" in
+          let share =
+            if traces + blocks <= 0 then 0.0
+            else float_of_int traces /. float_of_int (traces + blocks)
+          in
+          windows s ((s.Tracegen.Metrics.at, share) :: acc) rest
+    in
+    match snaps with
+    | [] -> []
+    | first :: rest ->
+        (* the first snapshot's window starts at dispatch 0 *)
+        let zero = { first with Tracegen.Metrics.values = [||] } in
+        windows zero [] (first :: rest)
+  in
+  (* steady state = mean share over the last quarter of windows, robust
+     to a single fully-traced outlier window mid-run *)
+  let peak_share =
+    let n = List.length shares in
+    if n = 0 then 0.0
+    else begin
+      let tail = max 1 (n / 4) in
+      let last = List.filteri (fun i _ -> i >= n - tail) shares in
+      List.fold_left (fun acc (_, s) -> acc +. s) 0.0 last
+      /. float_of_int (List.length last)
+    end
+  in
+  let to_peak =
+    match
+      List.find_opt (fun (_, s) -> s >= 0.9 *. peak_share) shares
+    with
+    | Some (at, _) -> at
+    | None -> (
+        match snaps with [] -> 0 | s :: _ -> s.Tracegen.Metrics.at)
+  in
+  let deficit =
+    int_of_float
+      (List.fold_left
+         (fun acc (_, s) ->
+           acc +. (max 0.0 (peak_share -. s) *. float_of_int window))
+         0.0 shares)
+  in
+  { run; wall_seconds; peak_share; to_peak; deficit }
+
+let workloads () =
+  (* two dissimilar learning curves: a slow-ramping DSP pipeline and a
+     polymorphic ray tracer *)
+  List.filter_map Workloads.Registry.find [ "mpegaudio"; "raytrace" ]
+
+let cold_vs_warm ?(scale = 1.0) () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Warm start: time to peak throughput (cold vs warm)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "(windowed trace-dispatch share, window %d dispatches; \
+                     peak = first window at 90%% of steady state;\n\
+                     deficit = dispatches spent below steady state — the \
+                     area above the throughput curve)\n" window);
+  Buffer.add_string buf
+    (Printf.sprintf "%-10s %6s %11s %11s %10s %10s %8s %8s %9s %9s\n"
+       "workload" "steady" "cold-peak@" "warm-peak@" "deficit(c)"
+       "deficit(w)" "cold-ms" "warm-ms" "built(c)" "built(w)");
+  List.iter
+    (fun w ->
+      let size = Experiment.size_for ~scale w in
+      let layout = Experiment.layout_for w ~size in
+      let cold = measure layout in
+      let snap = Engine.snapshot cold.run.Engine.engine in
+      let warm = measure ~snapshot:snap layout in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%-10s %5.1f%% %11d %11d %10d %10d %8.1f %8.1f %9d %9d\n"
+           w.Workloads.Workload.name
+           (100.0 *. cold.peak_share)
+           cold.to_peak warm.to_peak cold.deficit warm.deficit
+           (1000.0 *. cold.wall_seconds)
+           (1000.0 *. warm.wall_seconds)
+           cold.run.Engine.run_stats.Stats.traces_constructed
+           warm.run.Engine.run_stats.Stats.traces_constructed))
+    (workloads ());
+  Buffer.contents buf
+
+let policy_runs = [ Tracegen.Config.Cache.Lru; Tracegen.Config.Cache.Footprint_aware ]
+
+let eviction_ablation ?(scale = 1.0) () =
+  let max_traces = 12 in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Eviction ablation: LRU vs footprint-aware (max %d traces)\n"
+       max_traces);
+  Buffer.add_string buf
+    (Printf.sprintf "%-10s %-9s %8s %8s %11s %10s %11s\n" "workload" "policy"
+       "evicted" "built" "trace-disp%" "coverage" "cache-KiB");
+  (* compress's hot loop is a few big traces (footprint-aware hurts);
+     raytrace's is many small polymorphic ones (it helps) — both
+     directions of the trade-off belong in the table *)
+  let ablation_workloads =
+    List.filter_map Workloads.Registry.find
+      [ "compress"; "mpegaudio"; "raytrace" ]
+  in
+  List.iter
+    (fun w ->
+      let size = Experiment.size_for ~scale w in
+      let layout = Experiment.layout_for w ~size in
+      List.iter
+        (fun policy ->
+          let config =
+            Tracegen.Config.make ~max_cache_traces:max_traces
+              ~eviction_policy:policy ()
+          in
+          let r = Engine.run ~config layout in
+          let s = r.Engine.run_stats in
+          let share =
+            let total = s.Stats.block_dispatches + s.Stats.trace_dispatches in
+            if total = 0 then 0.0
+            else float_of_int s.Stats.trace_dispatches /. float_of_int total
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%-10s %-9s %8d %8d %10.1f%% %9.4f %11.1f\n"
+               w.Workloads.Workload.name
+               (Tracegen.Config.Cache.eviction_policy_to_string policy)
+               s.Stats.traces_evicted s.Stats.traces_constructed
+               (100.0 *. share)
+               (Stats.coverage_completed s)
+               (float_of_int
+                  (Tracegen.Trace_cache.footprint_bytes
+                     (Engine.cache r.Engine.engine))
+               /. 1024.0)))
+        policy_runs)
+    ablation_workloads;
+  Buffer.contents buf

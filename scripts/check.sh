@@ -43,6 +43,35 @@ dune exec bin/repro_cli.exe -- timeline compress --self-heal \
   > /dev/null || { rm -f "$chrome_out"; exit 1; }
 rm -f "$chrome_out"
 
+# Warm-start gate: save a snapshot, load it back, and require the warm
+# run to report a bit-identical VM result; then corrupt one byte and
+# require the loader to reject the file with a non-zero exit.
+snap_out=$(mktemp /tmp/check_snap.XXXXXX.tcsnap)
+dune exec bin/repro_cli.exe -- warm compress --save "$snap_out" > /dev/null
+warm_report=$(dune exec bin/repro_cli.exe -- warm compress --load "$snap_out") || {
+  echo "check.sh: warm --load failed" >&2
+  rm -f "$snap_out"
+  exit 1
+}
+case "$warm_report" in
+*"identical to cold"*) ;;
+*)
+  echo "check.sh: warm run did not report an identical result" >&2
+  rm -f "$snap_out"
+  exit 1
+  ;;
+esac
+# stomp 4 bytes of the stored MD5 (header offset 36-51), guaranteeing a
+# checksum mismatch
+printf '\377\377\377\377' | dd of="$snap_out" bs=1 seek=40 count=4 conv=notrunc 2> /dev/null
+if dune exec bin/repro_cli.exe -- warm compress --load "$snap_out" \
+  > /dev/null 2>&1; then
+  echo "check.sh: corrupted snapshot was accepted" >&2
+  rm -f "$snap_out"
+  exit 1
+fi
+rm -f "$snap_out"
+
 # Bench smoke: the seconds-long mechanism sections (span overhead,
 # backend switching, shared-vs-private trace cache) — catches bench
 # bitrot without the paper-scale tables.
