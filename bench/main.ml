@@ -488,6 +488,62 @@ let shared_cache () =
     (Tracegen.Session.cross_installs session)
     (Tracegen.Session.cross_entries session)
 
+(* Guard pruning: the payoff of the install-time implication prover.
+   Run compress and scimark with pruning off and on, and report the
+   dynamic guard-comparison rate (checks per 1k executed instructions),
+   the fraction of in-trace positions covered by a static proof, and the
+   run-time delta.  Dispatch counts must be identical — pruning only
+   changes which positions still pay the comparison. *)
+let guard_pruning () =
+  section "Guard pruning (implication prover off vs on)";
+  let time f =
+    ignore (f ());
+    let samples =
+      List.init 5 (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (Unix.gettimeofday () -. t0, r))
+    in
+    match List.sort compare samples with
+    | _ :: _ :: (t, r) :: _ -> (t, r)
+    | (t, r) :: _ -> (t, r)
+    | [] -> assert false
+  in
+  List.iter
+    (fun name ->
+      match Workloads.Registry.find name with
+      | None -> ()
+      | Some w ->
+          let layout =
+            Cfg.Layout.build (Workloads.Workload.build_default w)
+          in
+          let run prune () =
+            let config = Tracegen.Config.make ~prune_guards:prune () in
+            (Tracegen.Engine.run ~config layout).Tracegen.Engine.run_stats
+          in
+          let t_off, s_off = time (run false) in
+          let t_on, s_on = time (run true) in
+          if Stats.total_dispatches s_off <> Stats.total_dispatches s_on then
+            Printf.printf "%-10s DISPATCH MISMATCH (%d vs %d)\n" name
+              (Stats.total_dispatches s_off)
+              (Stats.total_dispatches s_on)
+          else
+            Printf.printf
+              "%-10s off: %6.2f guards/kinstr          %8.2f ms\n\
+               %-10s on : %6.2f guards/kinstr (-%4.1f%%) %8.2f ms (%+.1f%%)\n\
+               %-10s      %d of %d positions proven (%d static verdicts)\n"
+              name
+              (Stats.guards_per_kinstr s_off)
+              (1000.0 *. t_off) ""
+              (Stats.guards_per_kinstr s_on)
+              (100.0 *. Stats.guard_elision_rate s_on)
+              (1000.0 *. t_on)
+              (100.0 *. (t_on -. t_off) /. t_off)
+              "" s_on.Stats.guards_elided
+              (s_on.Stats.guards_checked + s_on.Stats.guards_elided)
+              s_on.Stats.guards_pruned)
+    [ "compress"; "scimark" ]
+
 let micro () =
   section "Bechamel microbenchmarks";
   let test =
@@ -539,6 +595,7 @@ let () =
   if smoke then begin
     span_overhead ();
     backend_switch_overhead ();
+    guard_pruning ();
     shared_cache ();
     warmstart ();
     print_newline ();
@@ -552,6 +609,7 @@ let () =
     debug_checks_overhead ();
     chaos_overhead ();
     backend_switch_overhead ();
+    guard_pruning ();
     shared_cache ();
     (match Sys.getenv_opt "BENCH_SKIP_MICRO" with
     | Some "1" -> ()

@@ -32,14 +32,14 @@ let layout_of w ~size =
 
 (* The standard engine configuration of the run/events/session commands:
    fault-spec parse errors and out-of-range parameters both die cleanly. *)
-let engine_config ?snapshot_period ?obs_spans ?obs_attribution ~threshold
-    ~delay ~fault_spec ~fault_seed ~self_heal () =
+let engine_config ?snapshot_period ?obs_spans ?obs_attribution ?prune_guards
+    ~threshold ~delay ~fault_spec ~fault_seed ~self_heal () =
   config_or_die (fun () ->
       (* the engine parses the spec at create; surface a bad one here *)
       ignore (Tracegen.Faults.create ~seed:fault_seed fault_spec);
       Tracegen.Config.make ~threshold ~start_state_delay:delay ~fault_spec
         ~fault_seed ~self_heal ~debug_checks:self_heal ?snapshot_period
-        ?obs_spans ?obs_attribution ())
+        ?obs_spans ?obs_attribution ?prune_guards ())
 
 (* shared argument definitions *)
 
@@ -70,6 +70,12 @@ let fault_spec_arg =
 let fault_seed_arg =
   Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N"
          ~doc:"PRNG seed for the fault schedule.")
+
+let prune_guards_arg =
+  Arg.(value & flag & info [ "prune-guards" ]
+         ~doc:"Derive guard-implication proofs at trace installation and \
+               elide the proven positions from guard accounting (see \
+               'prove').")
 
 let self_heal_arg =
   Arg.(value & flag & info [ "self-heal" ]

@@ -17,12 +17,12 @@ let layout_of = Cli_common.layout_of
 (* ------------------------------------------------------------------ *)
 
 let run_cmd workload size threshold delay fault_spec fault_seed self_heal
-    dump_traces dump_bcg top =
+    prune_guards dump_traces dump_bcg top =
   let w = find_workload workload in
   let layout = layout_of w ~size in
   let config =
     Cli_common.engine_config ~threshold ~delay ~fault_spec ~fault_seed
-      ~self_heal ()
+      ~self_heal ~prune_guards ()
   in
   let result = Tracegen.Engine.run ~config layout in
   let s = result.Tracegen.Engine.run_stats in
@@ -282,7 +282,7 @@ let list_cmd () =
 (* Static dataflow lint over the workload's bytecode, then a profiled run
    with the trace/BCG invariant checks on and a final end-of-run sweep.
    Exit 1 when any error-severity finding survives. *)
-let lint_cmd workload size threshold delay json static_only =
+let lint_cmd workload size threshold delay json static_only traces =
   let module Diag = Analysis.Diag in
   let ws =
     match workload with
@@ -292,7 +292,7 @@ let lint_cmd workload size threshold delay json static_only =
   let config =
     config_or_die (fun () ->
         Tracegen.Config.make ~threshold ~start_state_delay:delay
-          ~debug_checks:true ())
+          ~debug_checks:true ~prune_guards:traces ())
   in
   let diags =
     List.concat_map
@@ -319,7 +319,16 @@ let lint_cmd workload size threshold delay json static_only =
               ~bcg:(Tracegen.Profiler.bcg (Tracegen.Engine.profiler engine))
               ~cache:(Tracegen.Engine.cache engine)
           in
-          static @ dynamic)
+          (* --traces: translation-validate every installed trace (the
+             run above pruned them, so the TL217 re-derivations are
+             exercised too) *)
+          let proved =
+            if traces then
+              Tracegen.Trace_prover.check_cache ~context:name layout
+                (Tracegen.Engine.cache engine)
+            else []
+          in
+          static @ dynamic @ proved)
       ws
   in
   let diags = List.stable_sort Diag.compare diags in
@@ -333,6 +342,79 @@ let lint_cmd workload size threshold delay json static_only =
       (List.length ws)
   end;
   if Diag.has_errors diags then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* prove                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Translation-validate every trace the engine builds, with guard
+   pruning on: run each workload under prune_guards, symbolically prove
+   every installed trace equivalent to its original block sequence
+   (TL212-TL218) and re-derive every pruning claim (TL217), then re-run
+   with pruning off and hold the two VM results to the same fingerprint
+   — proofs must not change what the program computes.  Exit 1 on any
+   error-severity finding, a diverging fingerprint, or fewer than
+   --min-pruning workloads actually losing guards. *)
+let prove_cmd workload size threshold delay min_pruning =
+  let module Diag = Analysis.Diag in
+  let module Engine = Tracegen.Engine in
+  let ws =
+    match workload with
+    | Some name -> [ find_workload name ]
+    | None -> Workloads.Registry.all
+  in
+  let config_on =
+    config_or_die (fun () ->
+        Tracegen.Config.make ~threshold ~start_state_delay:delay
+          ~prune_guards:true ())
+  in
+  let config_off =
+    config_or_die (fun () ->
+        Tracegen.Config.make ~threshold ~start_state_delay:delay ())
+  in
+  let errors = ref 0 in
+  let diverged = ref 0 in
+  let pruning_workloads = ref 0 in
+  Printf.printf "%-10s %-6s %7s %7s %10s %10s %8s %10s\n" "workload" "ok"
+    "traces" "diags" "g-checked" "g-elided" "pruned" "identical";
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let name = w.Workloads.Workload.name in
+      let layout = layout_of w ~size in
+      let r = Engine.run ~config:config_on layout in
+      let engine = r.Engine.engine in
+      let cache = Engine.cache engine in
+      let n_traces = ref 0 in
+      Tracegen.Trace_cache.iter_all cache (fun _ -> incr n_traces);
+      let diags = Tracegen.Trace_prover.check_cache ~context:name layout cache in
+      List.iter (fun d -> Printf.eprintf "%s\n" (Diag.to_string d)) diags;
+      let n_errors = Diag.count Diag.Error diags in
+      errors := !errors + n_errors;
+      let base = Engine.run ~config:config_off layout in
+      let identical =
+        Harness.Chaos.fingerprint r.Engine.vm_result
+        = Harness.Chaos.fingerprint base.Engine.vm_result
+      in
+      if not identical then incr diverged;
+      let s = r.Engine.run_stats in
+      if s.Tracegen.Stats.guards_elided > 0 then incr pruning_workloads;
+      Printf.printf "%-10s %-6s %7d %7d %10d %10d %8d %10s\n" name
+        (if n_errors = 0 && identical then "yes" else "NO")
+        !n_traces (List.length diags) s.Tracegen.Stats.guards_checked
+        s.Tracegen.Stats.guards_elided s.Tracegen.Stats.guards_pruned
+        (if identical then "yes" else "NO"))
+    ws;
+  Printf.printf
+    "prove gate: %d proof error(s), %d diverging run(s), pruning active on \
+     %d/%d workload(s)\n"
+    !errors !diverged !pruning_workloads (List.length ws);
+  if !errors > 0 || !diverged > 0 then exit 1;
+  if !pruning_workloads < min_pruning then begin
+    Printf.eprintf
+      "pruning removed guards on only %d workload(s) (need %d)\n"
+      !pruning_workloads min_pruning;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                                *)
@@ -554,7 +636,7 @@ let session_cmd workloads users batch size threshold delay fault_spec
    reconciled against the end-of-run statistics — the report and Stats
    are two views of the same dispatch loop and must agree exactly over
    the unbounded, non-healing cache used here.  Exit 1 on mismatch. *)
-let top_cmd workload size threshold delay top =
+let top_cmd workload size threshold delay prune_guards top =
   let ws =
     match workload with
     | Some name -> [ find_workload name ]
@@ -563,7 +645,7 @@ let top_cmd workload size threshold delay top =
   let config =
     config_or_die (fun () ->
         Tracegen.Config.make ~threshold ~start_state_delay:delay
-          ~obs_attribution:true ())
+          ~obs_attribution:true ~prune_guards ())
   in
   let failures = ref 0 in
   List.iter
@@ -774,7 +856,7 @@ let run_term =
   Term.(
     const run_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
     $ fault_spec_arg $ fault_seed_arg $ self_heal_arg
-    $ dump_traces $ dump_bcg $ top)
+    $ Cli_common.prune_guards_arg $ dump_traces $ dump_bcg $ top)
 
 let () =
   Cli_common.Subcommand.register ~name:"run"
@@ -862,9 +944,16 @@ let lint_term =
     Arg.(value & flag & info [ "static-only" ]
            ~doc:"Skip the profiled run and its trace/BCG invariant sweep.")
   in
+  let traces =
+    Arg.(value & flag & info [ "traces" ]
+           ~doc:"Also translation-validate every installed trace \
+                 (symbolic equivalence of the optimized body, TL212-TL218) \
+                 with guard pruning enabled, so pruning claims are \
+                 re-derived too.")
+  in
   Term.(
     const lint_cmd $ workload $ size_arg $ threshold_arg $ delay_arg $ json
-    $ static_only)
+    $ static_only $ traces)
 
 let () =
   Cli_common.Subcommand.register ~name:"lint"
@@ -874,6 +963,31 @@ let () =
        under the engine with debug checks on and sweep the trace cache and \
        BCG for invariant violations.  Exits 1 on any error-severity finding."
     lint_term
+
+let prove_term =
+  let workload =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
+           ~doc:"Workload to prove (default: every registered workload).")
+  in
+  let min_pruning =
+    Arg.(value & opt int 0 & info [ "min-pruning" ] ~docv:"K"
+           ~doc:"Fail unless guard pruning elided at least one guard on \
+                 $(docv) or more workloads.")
+  in
+  Term.(
+    const prove_cmd $ workload $ size_arg $ threshold_arg $ delay_arg
+    $ min_pruning)
+
+let () =
+  Cli_common.Subcommand.register ~name:"prove"
+    ~doc:
+      "Translation-validate every trace the engine builds: run each \
+       workload with guard pruning on, symbolically prove every installed \
+       trace equivalent to its original block sequence and re-derive every \
+       pruning claim, then re-run with pruning off and assert bit-identical \
+       VM results.  Exits 1 on any unprovable trace, diverging result, or \
+       less pruning than --min-pruning demands."
+    prove_term
 
 let chaos_term =
   let workload =
@@ -970,7 +1084,9 @@ let top_term =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"K"
            ~doc:"Rows per ranked table.")
   in
-  Term.(const top_cmd $ workload $ size_arg $ threshold_arg $ delay_arg $ top)
+  Term.(
+    const top_cmd $ workload $ size_arg $ threshold_arg $ delay_arg
+    $ Cli_common.prune_guards_arg $ top)
 
 let () =
   Cli_common.Subcommand.register ~name:"top"

@@ -1,0 +1,130 @@
+module S = Symexec
+
+(* Translation validation for trace optimization: symbolically evaluate
+   the original block sequence and the optimized body, then compare the
+   canonical states component by component.  Each kind of divergence has
+   its own TL code so seeded-miscompilation tests (and users) can tell
+   exactly which promise broke:
+
+     TL216  guard-set weakening: the conditionals or their operands differ
+     TL215  trap weakening: the trap conditions differ
+     TL214  effect reorder: same heap/call effects, different order
+     TL213  store/effect divergence: a write or effect dropped or changed
+     TL212  stack-shape divergence: different residual operand stack
+     TL218  incomparable: epoch structure differs, comparison cut short
+
+   The check is "modulo guards": equality of the recorded guard journals
+   is itself one of the compared components, so an optimized trace is
+   accepted exactly when it preserves the source's guards, traps,
+   effects, final stores and residual stack. *)
+
+let take n l =
+  let rec go n = function
+    | x :: tl when n > 0 -> x :: go (n - 1) tl
+    | _ -> []
+  in
+  go n l
+
+let first_diff to_string la lb =
+  let rec go i la lb =
+    match (la, lb) with
+    | a :: ta, b :: tb ->
+        if compare a b = 0 then go (i + 1) ta tb
+        else
+          Printf.sprintf "position %d: %s vs %s" i (to_string a) (to_string b)
+    | a :: _, [] -> Printf.sprintf "position %d: %s vs (none)" i (to_string a)
+    | [], b :: _ -> Printf.sprintf "position %d: (none) vs %s" i (to_string b)
+    | [], [] -> "(identical)"
+  in
+  go 0 la lb
+
+let check ?context ?(dead_out = fun _ -> false) ~trace_id ~original
+    ~optimized () : Diag.t list =
+  let o = S.run original and p = S.run optimized in
+  let diags = ref [] in
+  let report code severity fmt =
+    Printf.ksprintf
+      (fun msg ->
+        diags :=
+          Diag.make ?context ~code ~severity
+            ~loc:(Diag.Trace_loc { trace_id })
+            msg
+          :: !diags)
+      fmt
+  in
+  (* TL216: guards *)
+  let og = S.guards o and pg = S.guards p in
+  if compare og pg <> 0 then
+    report "TL216" Diag.Error
+      "guard set weakened: original has %d guards, optimized %d (%s)"
+      (List.length og) (List.length pg)
+      (first_diff S.guard_to_string og pg);
+  (* TL215: traps *)
+  let ot = S.traps o and pt = S.traps p in
+  if compare ot pt <> 0 then
+    report "TL215" Diag.Error
+      "trap conditions weakened: original has %d, optimized %d (%s)"
+      (List.length ot) (List.length pt)
+      (first_diff S.trap_to_string ot pt);
+  (* TL213 / TL214: effects *)
+  let oe = S.effects o and pe = S.effects p in
+  if compare oe pe <> 0 then begin
+    let sorted l = List.sort compare l in
+    if compare (sorted oe) (sorted pe) = 0 then
+      report "TL214" Diag.Error
+        "effects reordered: same %d effects in a different order (%s)"
+        (List.length oe)
+        (first_diff S.effect_to_string oe pe)
+    else
+      report "TL213" Diag.Error
+        "effect divergence: original has %d effects, optimized %d (%s)"
+        (List.length oe) (List.length pe)
+        (first_diff S.effect_to_string oe pe)
+  end;
+  if o.S.epoch <> p.S.epoch then
+    (* barrier structure differs; per-epoch store and residual-stack
+       comparison would compare unrelated frames *)
+    report "TL218" Diag.Warning
+      "epoch structure differs (%d vs %d barriers); store and stack \
+       comparison skipped"
+      o.S.epoch p.S.epoch
+  else begin
+    (* TL213: final stores per (epoch, slot).  Slots the optimizer may
+       drop are exactly the final epoch's [dead_out] slots — the
+       liveness license for trailing dead-store elimination. *)
+    let ow = S.final_writes o and pw = S.final_writes p in
+    let last = o.S.epoch in
+    S.Smap.iter
+      (fun (e, slot) v ->
+        match S.Smap.find_opt (e, slot) pw with
+        | Some v' when compare v v' = 0 -> ()
+        | Some v' ->
+            report "TL213" Diag.Error
+              "store divergence at epoch %d slot %d: %s vs %s" e slot
+              (S.sym_to_string v) (S.sym_to_string v')
+        | None ->
+            if not (e = last && dead_out slot) then
+              report "TL213" Diag.Error
+                "store to epoch %d slot %d dropped (wrote %s) without a \
+                 liveness license"
+                e slot (S.sym_to_string v))
+      ow;
+    S.Smap.iter
+      (fun (e, slot) v ->
+        if not (S.Smap.mem (e, slot) ow) then
+          report "TL213" Diag.Error
+            "spurious store at epoch %d slot %d (writes %s)" e slot
+            (S.sym_to_string v))
+      pw;
+    (* TL212: residual stack *)
+    let os, oc = S.normalized_stack o and ps, pc = S.normalized_stack p in
+    if compare (os, oc) (ps, pc) <> 0 then
+      report "TL212" Diag.Error
+        "stack shape diverges: original [%s] consumed %d, optimized [%s] \
+         consumed %d"
+        (String.concat "; " (List.map S.sym_to_string (take 8 os)))
+        oc
+        (String.concat "; " (List.map S.sym_to_string (take 8 ps)))
+        pc
+  end;
+  List.rev !diags

@@ -1,0 +1,32 @@
+(** Translation validation: observational equivalence of an optimized
+    trace body against its source block sequence, modulo guards.
+
+    Both sides are evaluated with {!Symexec} and the canonical states
+    compared.  Divergences come back as {!Diag.t} values on the trace,
+    one stable code per broken promise:
+
+    - [TL212] stack-shape divergence (residual operand stack or
+      consumed-from-below count differs)
+    - [TL213] store/effect divergence (a local write or heap/call effect
+      dropped, added or changed)
+    - [TL214] effect reorder (same effect multiset, different order)
+    - [TL215] trap-condition weakening
+    - [TL216] guard-set weakening
+    - [TL218] incomparable epoch structure (warning; barrier counts
+      differ so finer comparison is skipped)
+
+    [TL217] — a pruned guard whose proof no longer re-derives — is
+    reported by [Tracegen.Trace_prover], which owns the pruning facts. *)
+
+val check :
+  ?context:string ->
+  ?dead_out:(int -> bool) ->
+  trace_id:int ->
+  original:Bytecode.Instr.t array ->
+  optimized:Bytecode.Instr.t array ->
+  unit ->
+  Diag.t list
+(** [check ~dead_out ~trace_id ~original ~optimized ()] returns every
+    detected divergence ([] = proven equivalent).  [dead_out slot] is the
+    liveness license: a final-epoch store to a dead-out slot may be
+    dropped by the optimized side (default: no slot is licensed). *)

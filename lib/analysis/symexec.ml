@@ -1,0 +1,352 @@
+module Instr = Bytecode.Instr
+
+(* Symbolic evaluation of straight-line stack bytecode to a canonical
+   state — the foundation of trace translation validation (Equiv) and
+   guard-implication pruning (Tracegen.Trace_prover).
+
+   The evaluator mirrors Vm.Interp's concrete semantics instruction by
+   instruction, but over symbolic terms.  Everything the optimizer is
+   allowed to restructure (the operand stack, local reads/writes, pure
+   arithmetic) is kept in normal form; everything it must preserve
+   verbatim (heap reads/writes, allocations, calls, trap conditions,
+   guards) is recorded as an ordered journal.
+
+   Epochs.  A trace's instruction stream crosses call and return
+   boundaries, where the meaning of "local slot 3" changes frames.  Every
+   call/return/throw instruction is a {e barrier}: it ends the current
+   epoch — recording a barrier effect that snapshots the residual operand
+   stack — and starts a fresh one with an empty symbolic stack and
+   unknown locals.  [Slocal (e, s)] therefore denotes "the value local
+   [s] held when epoch [e] began", an immutable denotation that makes
+   term-keyed fact tables sound.  This matches Trace_optimizer, whose
+   [barrier_stack]/[barrier_locals] forget everything at the same
+   instructions. *)
+
+type sym =
+  | Sint of int
+  | Sfloat of float
+  | Snull
+  | Slocal of int * int  (* (epoch, slot): the slot's value at epoch start *)
+  | Sstack of int * int
+      (* (epoch, k): the k-th value popped from below the epoch's initial
+         stack top (k = 0 is the value on top when the epoch began) *)
+  | Sunop of string * sym
+  | Sbinop of string * sym * sym
+  | Seffect of int * string  (* result of journal entry [i] (op tag) *)
+
+type effect_ = {
+  eff_op : string;  (* rendered instruction, e.g. "putfield #2.3" *)
+  eff_args : sym list;
+  eff_stack : sym list;
+      (* barriers only: the normalized residual stack at the barrier *)
+  eff_consumed : int;  (* barriers only: stack values consumed from below *)
+}
+
+type trap = { trap_kind : string; trap_args : sym list }
+type guard = { guard_op : string; guard_args : sym list }
+
+module Key = struct
+  type t = int * int
+
+  let compare = compare
+end
+
+module Smap = Map.Make (Key)
+
+type state = {
+  stack : sym list;  (* top first *)
+  consumed : int;  (* values popped from below the current epoch's stack *)
+  epoch : int;
+  locals : sym Smap.t;  (* (epoch, slot) -> current value, reads included *)
+  writes : sym Smap.t;  (* (epoch, slot) -> last value actually stored *)
+  effects : effect_ list;  (* reverse program order *)
+  n_effects : int;
+  traps : trap list;  (* reverse program order *)
+  guards : guard list;  (* reverse program order *)
+}
+
+let initial =
+  {
+    stack = [];
+    consumed = 0;
+    epoch = 0;
+    locals = Smap.empty;
+    writes = Smap.empty;
+    effects = [];
+    n_effects = 0;
+    traps = [];
+    guards = [];
+  }
+
+(* Constant folding, mirroring Vm.Interp exactly: native int ops, masked
+   shifts, [compare] for fcmp, [int_of_float]/[float_of_int] for the
+   conversions.  Division folds only when the divisor is provably
+   non-zero.  Deterministic, so both sides of an equivalence check fold
+   identical inputs to identical terms. *)
+let fold_unop op a =
+  match (op, a) with
+  | "ineg", Sint x -> Sint (-x)
+  | "fneg", Sfloat x -> Sfloat (-.x)
+  | "f2i", Sfloat x -> Sint (int_of_float x)
+  | "i2f", Sint x -> Sfloat (float_of_int x)
+  | _ -> Sunop (op, a)
+
+let fold_binop op a b =
+  match (op, a, b) with
+  | "iadd", Sint x, Sint y -> Sint (x + y)
+  | "isub", Sint x, Sint y -> Sint (x - y)
+  | "imul", Sint x, Sint y -> Sint (x * y)
+  | "idiv", Sint x, Sint y when y <> 0 -> Sint (x / y)
+  | "irem", Sint x, Sint y when y <> 0 -> Sint (x mod y)
+  | "iand", Sint x, Sint y -> Sint (x land y)
+  | "ior", Sint x, Sint y -> Sint (x lor y)
+  | "ixor", Sint x, Sint y -> Sint (x lxor y)
+  | "ishl", Sint x, Sint y -> Sint (x lsl (y land 63))
+  | "ishr", Sint x, Sint y -> Sint (x asr (y land 63))
+  | "iushr", Sint x, Sint y -> Sint (x lsr (y land 63))
+  | "fadd", Sfloat x, Sfloat y -> Sfloat (x +. y)
+  | "fsub", Sfloat x, Sfloat y -> Sfloat (x -. y)
+  | "fmul", Sfloat x, Sfloat y -> Sfloat (x *. y)
+  | "fdiv", Sfloat x, Sfloat y -> Sfloat (x /. y)
+  | "fcmp", Sfloat x, Sfloat y -> Sint (compare x y)
+  | _ -> Sbinop (op, a, b)
+
+let push st v = { st with stack = v :: st.stack }
+
+let pop st =
+  match st.stack with
+  | v :: rest -> (v, { st with stack = rest })
+  | [] ->
+      ( Sstack (st.epoch, st.consumed),
+        { st with consumed = st.consumed + 1 } )
+
+let local st slot =
+  match Smap.find_opt (st.epoch, slot) st.locals with
+  | Some v -> v
+  | None -> Slocal (st.epoch, slot)
+
+let store st slot v =
+  let k = (st.epoch, slot) in
+  { st with locals = Smap.add k v st.locals; writes = Smap.add k v st.writes }
+
+let assume_local st ~slot v =
+  { st with locals = Smap.add (st.epoch, slot) v st.locals }
+
+let tracks_local st ~slot = Smap.mem (st.epoch, slot) st.locals
+
+let add_trap st kind args =
+  { st with traps = { trap_kind = kind; trap_args = args } :: st.traps }
+
+let add_guard st op args =
+  { st with guards = { guard_op = op; guard_args = args } :: st.guards }
+
+(* "new #3" and "newarray int" results are the only terms known non-null
+   by construction. *)
+let definitely_nonnull = function
+  | Seffect (_, op) -> String.length op >= 3 && String.sub op 0 3 = "new"
+  | _ -> false
+
+let null_check st o =
+  if definitely_nonnull o then st else add_trap st "null" [ o ]
+
+let add_effect st op args =
+  let i = st.n_effects in
+  let e = { eff_op = op; eff_args = args; eff_stack = []; eff_consumed = 0 } in
+  ({ st with effects = e :: st.effects; n_effects = i + 1 }, Seffect (i, op))
+
+(* Strip the untouched identity suffix from the bottom of the stack: a
+   value that was materialized by popping below the epoch's entry stack
+   and sits back in its original position is no net change.  This makes
+   pop/push round trips (e.g. a cancelled Dup;Pop) compare equal. *)
+let normalized_stack st =
+  let rec strip rev consumed =
+    match rev with
+    | v :: rest
+      when consumed > 0 && compare v (Sstack (st.epoch, consumed - 1)) = 0 ->
+        strip rest (consumed - 1)
+    | _ -> (rev, consumed)
+  in
+  let rev, consumed = strip (List.rev st.stack) st.consumed in
+  (List.rev rev, consumed)
+
+let barrier st op args =
+  let stack, consumed = normalized_stack st in
+  let e = { eff_op = op; eff_args = args; eff_stack = stack; eff_consumed = consumed } in
+  {
+    st with
+    effects = e :: st.effects;
+    n_effects = st.n_effects + 1;
+    stack = [];
+    consumed = 0;
+    epoch = st.epoch + 1;
+  }
+
+let exec st (ins : Instr.t) =
+  let name () = Instr.to_string ins in
+  match ins with
+  | Instr.Iconst n -> push st (Sint n)
+  | Instr.Fconst f -> push st (Sfloat f)
+  | Instr.Aconst_null -> push st Snull
+  | Instr.Iload s | Instr.Fload s | Instr.Aload s -> push st (local st s)
+  | Instr.Istore s | Instr.Fstore s | Instr.Astore s ->
+      let v, st = pop st in
+      store st s v
+  | Instr.Iinc (s, d) -> store st s (fold_binop "iadd" (local st s) (Sint d))
+  | Instr.Dup ->
+      let v, st = pop st in
+      push (push st v) v
+  | Instr.Pop ->
+      let _, st = pop st in
+      st
+  | Instr.Swap ->
+      (* like the interpreter: pop a, pop b, push a, push b *)
+      let a, st = pop st in
+      let b, st = pop st in
+      push (push st a) b
+  | Instr.Iadd | Instr.Isub | Instr.Imul | Instr.Iand | Instr.Ior
+  | Instr.Ixor | Instr.Ishl | Instr.Ishr | Instr.Iushr | Instr.Fadd
+  | Instr.Fsub | Instr.Fmul | Instr.Fdiv | Instr.Fcmp ->
+      let b, st = pop st in
+      let a, st = pop st in
+      push st (fold_binop (name ()) a b)
+  | Instr.Idiv | Instr.Irem ->
+      let b, st = pop st in
+      let a, st = pop st in
+      let st =
+        match b with
+        | Sint k when k <> 0 -> st
+        | _ -> add_trap st "div_zero" [ b ]
+      in
+      push st (fold_binop (name ()) a b)
+  | Instr.Ineg | Instr.Fneg | Instr.F2i | Instr.I2f ->
+      let a, st = pop st in
+      push st (fold_unop (name ()) a)
+  | Instr.Instanceof _ ->
+      let a, st = pop st in
+      push st (match a with Snull -> Sint 0 | _ -> Sunop (name (), a))
+  | Instr.New _ ->
+      let st, r = add_effect st (name ()) [] in
+      push st r
+  | Instr.Getfield _ ->
+      (* a heap read: order-sensitive against writes, hence journaled *)
+      let o, st = pop st in
+      let st = null_check st o in
+      let st, r = add_effect st (name ()) [ o ] in
+      push st r
+  | Instr.Putfield _ ->
+      let v, st = pop st in
+      let o, st = pop st in
+      let st = null_check st o in
+      let st, _ = add_effect st (name ()) [ o; v ] in
+      st
+  | Instr.Newarray _ ->
+      let n, st = pop st in
+      let st =
+        match n with
+        | Sint k when k >= 0 -> st
+        | _ -> add_trap st "negsize" [ n ]
+      in
+      let st, r = add_effect st (name ()) [ n ] in
+      push st r
+  | Instr.Iaload | Instr.Faload | Instr.Aaload ->
+      let i, st = pop st in
+      let a, st = pop st in
+      let st = null_check st a in
+      let st = add_trap st "bounds" [ a; i ] in
+      let st, r = add_effect st (name ()) [ a; i ] in
+      push st r
+  | Instr.Iastore | Instr.Fastore | Instr.Aastore ->
+      let v, st = pop st in
+      let i, st = pop st in
+      let a, st = pop st in
+      let st = null_check st a in
+      let st = add_trap st "bounds" [ a; i ] in
+      let st, _ = add_effect st (name ()) [ a; i; v ] in
+      st
+  | Instr.Arraylength ->
+      let a, st = pop st in
+      let st = null_check st a in
+      push st (Sunop ("arraylength", a))
+  | Instr.If_icmp (_, _) ->
+      let b, st = pop st in
+      let a, st = pop st in
+      add_guard st (name ()) [ a; b ]
+  | Instr.Ifz (_, _) ->
+      let a, st = pop st in
+      add_guard st (name ()) [ a ]
+  | Instr.Tableswitch _ ->
+      let v, st = pop st in
+      add_guard st (name ()) [ v ]
+  | Instr.Goto _ | Instr.Nop -> st
+  | Instr.Invokestatic _ | Instr.Invokevirtual _ -> barrier st (name ()) []
+  | Instr.Return -> barrier st (name ()) []
+  | Instr.Ireturn | Instr.Freturn | Instr.Areturn ->
+      let v, st = pop st in
+      barrier st (name ()) [ v ]
+  | Instr.Athrow ->
+      let e, st = pop st in
+      let st = null_check st e in
+      barrier st (name ()) [ e ]
+
+let run ?(from = initial) code = Array.fold_left exec from code
+
+(* Journal accessors, in program order. *)
+let effects st = List.rev st.effects
+let traps st = List.rev st.traps
+let guards st = List.rev st.guards
+
+(* The store abstraction: the last value written to each (epoch, slot),
+   minus identity writes — storing back the value a slot already held at
+   epoch start (e.g. a forwarded [Iload n; Istore n]) is no write at
+   all.  Intermediate overwritten values are deliberately not modeled;
+   within one epoch they are unobservable on the normal path (the
+   documented dead-store license). *)
+let final_writes st =
+  Smap.filter (fun (e, s) v -> compare v (Slocal (e, s)) <> 0) st.writes
+
+(* Pretty-printing for diagnostics. *)
+let rec sym_to_string = function
+  | Sint n -> string_of_int n
+  | Sfloat f -> Printf.sprintf "%h" f
+  | Snull -> "null"
+  | Slocal (e, s) -> Printf.sprintf "l%d.%d" e s
+  | Sstack (e, k) -> Printf.sprintf "s%d.%d" e k
+  | Sunop (op, a) -> Printf.sprintf "(%s %s)" op (sym_to_string a)
+  | Sbinop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" op (sym_to_string a) (sym_to_string b)
+  | Seffect (i, op) -> Printf.sprintf "e%d<%s>" i op
+
+let args_to_string args = String.concat " " (List.map sym_to_string args)
+
+let effect_to_string e =
+  if e.eff_stack = [] && e.eff_consumed = 0 then
+    Printf.sprintf "[%s %s]" e.eff_op (args_to_string e.eff_args)
+  else
+    Printf.sprintf "[%s %s | stack %s consumed %d]" e.eff_op
+      (args_to_string e.eff_args)
+      (args_to_string e.eff_stack)
+      e.eff_consumed
+
+let trap_to_string t =
+  Printf.sprintf "%s(%s)" t.trap_kind (args_to_string t.trap_args)
+
+let guard_to_string g =
+  Printf.sprintf "%s(%s)" g.guard_op (args_to_string g.guard_args)
+
+(* Concrete re-evaluation: substitute epoch-0 locals and refold.  [local]
+   answers a concrete [sym] for a slot (or [None] for slots it cannot
+   name, e.g. references).  Returns the folded term; callers check
+   whether it reached a ground constant. *)
+let rec concretize ~local s =
+  match s with
+  | Sint _ | Sfloat _ | Snull -> Some s
+  | Slocal (0, slot) -> local slot
+  | Slocal _ | Sstack _ | Seffect _ -> None
+  | Sunop (op, a) -> (
+      match concretize ~local a with
+      | Some a' -> Some (fold_unop op a')
+      | None -> None)
+  | Sbinop (op, a, b) -> (
+      match (concretize ~local a, concretize ~local b) with
+      | Some a', Some b' -> Some (fold_binop op a' b')
+      | _ -> None)

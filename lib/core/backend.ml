@@ -56,6 +56,14 @@ type ctx = {
   mutable chained_entries : int;
     (* trace entries whose previous dispatch completed another trace:
        the dispatch-level view of Dynamo-style trace linking *)
+  mutable guards_checked : int;
+    (* in-trace guard positions compared against the executed block *)
+  mutable guards_elided : int;
+    (* in-trace guard positions skipped on a Trace_prover proof
+       (Trace.pruned); the comparison still runs — traces are a pure
+       observational overlay — but is accounted as elided *)
+  mutable guards_pruned : int;
+    (* static pruning verdicts derived at install time (builder-side) *)
   mutable just_completed : bool;
   (* debug_checks bookkeeping *)
   mutable invariant_violations : int;
@@ -165,6 +173,12 @@ let run_debug_checks ctx =
     let diags =
       Invariants.check_all ~layout:ctx.layout ctx.config ~bcg ~cache:ctx.cache
     in
+    (* translation-validate traces the sweep has not seen yet: the
+       optimized body must be provably equivalent to the original block
+       sequence, and every pruning claim must re-derive.  Findings join
+       the invariant diagnostics and flow through the same event /
+       self-heal processing below. *)
+    let diags = diags @ Trace_prover.validate_new ctx.layout ctx.cache in
     List.iter
       (fun (d : Analysis.Diag.t) ->
         ctx.invariant_violations <- ctx.invariant_violations + 1;
@@ -304,6 +318,14 @@ let rec follow ~step ctx (g : Layout.gid) =
   | None -> step ctx g
   | Some tr ->
       let expected = tr.Trace.blocks.(ctx.active_pos) in
+      (* guard accounting: a pruned position's comparison still runs
+         (traces are a pure overlay — results stay bit-identical) but is
+         counted as elided, the cost a compiled backend would not pay *)
+      let elided =
+        Array.length tr.Trace.pruned > 0 && tr.Trace.pruned.(ctx.active_pos)
+      in
+      if elided then ctx.guards_elided <- ctx.guards_elided + 1
+      else ctx.guards_checked <- ctx.guards_checked + 1;
       if g = expected then begin
         note_executed ctx g;
         attr_inline ctx g;
@@ -314,6 +336,25 @@ let rec follow ~step ctx (g : Layout.gid) =
         else ctx.active_pos <- ctx.active_pos + 1
       end
       else begin
+        (* a mismatch on a *pruned* position disproves the pruning
+           proof: the prover claimed this transition forced.  Surface it
+           as a TL217 violation when the checks are armed, then take the
+           normal side exit — the overlay stays observationally pure. *)
+        if elided && Config.debug_checks ctx.config then begin
+          ctx.invariant_violations <- ctx.invariant_violations + 1;
+          if Events.enabled ctx.events then
+            Events.emit ctx.events
+              (Events.Invariant_violation
+                 {
+                   code = "TL217";
+                   severity = "error";
+                   message =
+                     Printf.sprintf
+                       "trace %d: pruned guard at position %d disproved at \
+                        dispatch (expected block %d, executed %d)"
+                       tr.Trace.id ctx.active_pos expected g;
+                 })
+        end;
         (* side exit: leave the trace, then process g normally (it may
            itself enter another trace) *)
         finish_partial ctx tr;

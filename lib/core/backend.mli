@@ -62,6 +62,14 @@ type ctx = {
   mutable traces_constructed : int;
   mutable builder_reuses : int;
   mutable chained_entries : int;
+  mutable guards_checked : int;
+      (** in-trace guard positions compared against the executed block *)
+  mutable guards_elided : int;
+      (** in-trace guard positions skipped on a [Trace_prover] proof
+          ([Trace.pruned]); the comparison still runs — traces are a
+          pure observational overlay — but is accounted as elided *)
+  mutable guards_pruned : int;
+      (** static pruning verdicts derived at install time *)
   mutable just_completed : bool;
   mutable invariant_violations : int;
   mutable seen_decays : int;
@@ -138,9 +146,10 @@ val apply_health : ctx -> Health.transition -> unit
 
 val run_debug_checks : ctx -> unit
 (** The invariant sweep ({!Config.t.debug_checks}): count and publish
-    every finding; under self-healing also heal flagged BCG nodes,
-    quarantine flagged traces and strike the ladder.  Re-entrancy
-    guarded. *)
+    every finding; also translation-validates traces the sweep has not
+    seen yet ([Trace_prover.validate_new] — TL212–TL218).  Under
+    self-healing the sweep heals flagged BCG nodes, quarantines flagged
+    traces and strikes the ladder.  Re-entrancy guarded. *)
 
 val finish_completed : ctx -> Trace.t -> unit
 (** End the active trace after a completion and resync the profiler. *)
@@ -157,7 +166,11 @@ val validate_dispatch :
 val follow : step:(ctx -> Cfg.Layout.gid -> unit) -> ctx -> Cfg.Layout.gid -> unit
 (** Follow the active trace, if any; a block outside every trace goes
     to [step].  An active trace is followed to its end regardless of
-    health-level changes mid-trace. *)
+    health-level changes mid-trace.  Each followed position counts as
+    one guard — [guards_elided] when [Trace.pruned] covers it,
+    [guards_checked] otherwise — and a mismatch on a pruned position is
+    reported as a TL217 disproof under [debug_checks] before the normal
+    side exit. *)
 
 val observe : step:(ctx -> Cfg.Layout.gid -> unit) -> ctx -> Cfg.Layout.gid -> unit
 (** The full VM observer a backend's [on_block] is built from: stamp

@@ -96,4 +96,7 @@ let stats_into (ctx : Backend.ctx) (s : Stats.t) =
     static_traces = !static_traces;
     static_blocks = !static_blocks;
     chained_entries = ctx.Backend.chained_entries;
+    guards_checked = ctx.Backend.guards_checked;
+    guards_elided = ctx.Backend.guards_elided;
+    guards_pruned = ctx.Backend.guards_pruned;
   }

@@ -162,6 +162,10 @@ type t = {
   debug_checks : bool;
       (* run the trace/BCG invariant checks at trace-construction and
          decay boundaries, emitting an event per violation *)
+  prune_guards : bool;
+      (* run guard-implication pruning on every newly installed trace:
+         guards proved implied by entry facts and earlier guards are
+         elided (accounted, not checked) by the dispatch loop *)
 }
 
 let default =
@@ -173,6 +177,7 @@ let default =
     obs = Obs.default;
     snapshot_period = 0;
     debug_checks = false;
+    prune_guards = false;
   }
 
 (* Leaf accessors: every consumer projects through these, so the nesting
@@ -203,6 +208,7 @@ let span_buffer t = t.obs.Obs.span_buffer
 let hist_buckets t = t.obs.Obs.hist_buckets
 let snapshot_period t = t.snapshot_period
 let debug_checks t = t.debug_checks
+let prune_guards t = t.prune_guards
 
 let validate t =
   Profile.validate t.profile;
@@ -223,6 +229,7 @@ let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
     ?(build_traces = Profile.default.Profile.build_traces)
     ?(snapshot_period = default.snapshot_period)
     ?(debug_checks = default.debug_checks)
+    ?(prune_guards = default.prune_guards)
     ?(max_cache_traces = Cache.default.Cache.max_traces)
     ?(max_cache_blocks = Cache.default.Cache.max_blocks)
     ?(eviction_policy = Cache.default.Cache.eviction_policy)
@@ -275,6 +282,7 @@ let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
         };
       snapshot_period;
       debug_checks;
+      prune_guards;
     }
   in
   validate t;

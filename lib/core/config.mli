@@ -164,6 +164,13 @@ type t = {
           [Invariant_violation] event per finding.  Off by default: the
           checks walk every node and trace, which costs real time on hot
           paths. *)
+  prune_guards : bool;
+      (** Run guard-implication pruning ([Trace_prover]) on every newly
+          installed trace: a forward fact environment (constant/interval
+          facts plus earlier guard outcomes) proves some guards implied,
+          and the dispatch loop elides them — they are counted as
+          [guards_elided] instead of [guards_checked].  Off by
+          default. *)
 }
 
 val default : t
@@ -182,6 +189,7 @@ val make :
   ?build_traces:bool ->
   ?snapshot_period:int ->
   ?debug_checks:bool ->
+  ?prune_guards:bool ->
   ?max_cache_traces:int ->
   ?max_cache_blocks:int ->
   ?eviction_policy:Cache.eviction_policy ->
@@ -259,6 +267,8 @@ val hist_buckets : t -> int
 val snapshot_period : t -> int
 
 val debug_checks : t -> bool
+
+val prune_guards : t -> bool
 
 (** {2 Functional updates} *)
 

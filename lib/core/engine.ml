@@ -86,6 +86,9 @@ let register_gauges (m : Metrics.t) (t : t) =
   Metrics.gauge m "traces_constructed" (fun () -> e.Backend.traces_constructed);
   Metrics.gauge m "builder_reuses" (fun () -> e.Backend.builder_reuses);
   Metrics.gauge m "chained_entries" (fun () -> e.Backend.chained_entries);
+  Metrics.gauge m "guards_checked" (fun () -> e.Backend.guards_checked);
+  Metrics.gauge m "guards_elided" (fun () -> e.Backend.guards_elided);
+  Metrics.gauge m "guards_pruned" (fun () -> e.Backend.guards_pruned);
   Metrics.gauge m "signals" (fun () -> Profiler.signals e.Backend.profiler);
   Metrics.gauge m "ic_predictions" (fun () ->
       Profiler.predictions e.Backend.profiler);
@@ -205,6 +208,8 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
             e.Backend.traces_constructed + outcome.Trace_builder.new_traces;
           e.Backend.builder_reuses <-
             e.Backend.builder_reuses + outcome.Trace_builder.reused_traces;
+          e.Backend.guards_pruned <-
+            e.Backend.guards_pruned + outcome.Trace_builder.pruned_guards;
           (* trace-construction boundary *)
           if Config.debug_checks e.Backend.config then
             Backend.run_debug_checks e;
@@ -256,6 +261,9 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
       traces_constructed = 0;
       builder_reuses = 0;
       chained_entries = 0;
+      guards_checked = 0;
+      guards_elided = 0;
+      guards_pruned = 0;
       just_completed = false;
       invariant_violations = 0;
       seen_decays = 0;
@@ -324,6 +332,12 @@ let traces_constructed t = t.ctx.Backend.traces_constructed
 let builder_reuses t = t.ctx.Backend.builder_reuses
 
 let chained_entries t = t.ctx.Backend.chained_entries
+
+let guards_checked t = t.ctx.Backend.guards_checked
+
+let guards_elided t = t.ctx.Backend.guards_elided
+
+let guards_pruned t = t.ctx.Backend.guards_pruned
 
 let invariant_violations t = t.ctx.Backend.invariant_violations
 

@@ -130,6 +130,18 @@ val builder_reuses : t -> int
 
 val chained_entries : t -> int
 
+val guards_checked : t -> int
+(** In-trace guard positions actually compared against the executed
+    block so far. *)
+
+val guards_elided : t -> int
+(** Guard positions skipped on a [Trace_prover] proof ([Trace.pruned]
+    verdicts) while following traces. *)
+
+val guards_pruned : t -> int
+(** Static pruning verdicts derived at trace installation
+    ({!Config.t.prune_guards}); [0] when pruning is off. *)
+
 val invariant_violations : t -> int
 (** Findings reported by the {!Config.t.debug_checks} sweeps so far;
     always [0] when the flag is off, and [0] on a healthy run regardless.

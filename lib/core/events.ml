@@ -75,6 +75,7 @@ type payload =
       bcg_edges : int;
     }
   | Snapshot_rejected of { reason : string }
+  | Guards_pruned of { trace_id : int; pruned : int; guards : int }
 
 type event = { time : int; payload : payload }
 
@@ -133,3 +134,4 @@ let kind = function
   | Mode_recovered _ -> "mode_recovered"
   | Cache_restored _ -> "cache_restored"
   | Snapshot_rejected _ -> "snapshot_rejected"
+  | Guards_pruned _ -> "guards_pruned"

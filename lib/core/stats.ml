@@ -23,6 +23,15 @@ type t = {
   ic_predictions : int; (* inline-cache hits in the profiler *)
   chained_entries : int;
       (* trace entries directly following another trace's completion *)
+  guards_checked : int;
+      (* trace-position guards actually compared against the executed
+         block during dispatch *)
+  guards_elided : int;
+      (* guard positions skipped because Trace_prover proved them
+         implied (Trace.pruned verdicts) *)
+  guards_pruned : int;
+      (* static pruning verdicts derived at install time, summed over
+         constructed traces *)
   (* resilience: the self-healing / chaos counters.  All zero on a
      healthy run without fault injection. *)
   invariant_violations : int; (* findings of the debug_checks sweeps *)
@@ -59,6 +68,9 @@ let zero =
     bcg_edges = 0;
     ic_predictions = 0;
     chained_entries = 0;
+    guards_checked = 0;
+    guards_elided = 0;
+    guards_pruned = 0;
     invariant_violations = 0;
     faults_injected = 0;
     traces_quarantined = 0;
@@ -102,6 +114,12 @@ type derived = {
       (* condemnations per constructed trace: how much of the built
          population chaos claimed *)
   eviction_rate : float; (* capacity evictions per constructed trace *)
+  guard_elision_rate : float;
+      (* fraction of in-trace guard positions elided by proof:
+         elided / (checked + elided) *)
+  guards_per_kinstr : float;
+      (* guards actually checked per 1000 executed instructions — the
+         dynamic cost pruning attacks *)
 }
 
 let derived t : derived =
@@ -127,6 +145,8 @@ let derived t : derived =
        else ratio block_model total_dispatches);
     quarantine_rate = ratio t.traces_quarantined t.traces_constructed;
     eviction_rate = ratio t.traces_evicted t.traces_constructed;
+    guard_elision_rate = ratio t.guards_elided (t.guards_checked + t.guards_elided);
+    guards_per_kinstr = 1000.0 *. ratio t.guards_checked t.instructions;
   }
 
 (* Projections, kept for call sites that want a single value. *)
@@ -156,6 +176,10 @@ let quarantine_rate t = (derived t).quarantine_rate
 
 let eviction_rate t = (derived t).eviction_rate
 
+let guard_elision_rate t = (derived t).guard_elision_rate
+
+let guards_per_kinstr t = (derived t).guards_per_kinstr
+
 let pp ppf t =
   let d = derived t in
   Format.fprintf ppf
@@ -183,6 +207,16 @@ let pp ppf t =
     (d.trace_event_interval /. 1000.0)
     (100.0 *. d.linking_rate)
     t.bcg_nodes t.bcg_edges;
+  (* guard accounting appears only once traces actually dispatched with
+     guard counting on, so older renderings are unchanged *)
+  if t.guards_checked + t.guards_elided > 0 then
+    Format.fprintf ppf
+      "@,\
+       @[<v>guards checked      %d (%.2f/kinstr)@,\
+       guards elided       %d (%.1f%% of positions, %d pruned statically)@]"
+      t.guards_checked d.guards_per_kinstr t.guards_elided
+      (100.0 *. d.guard_elision_rate)
+      t.guards_pruned;
   (* the resilience line only appears when something resilience-related
      happened, so a healthy run's rendering is unchanged *)
   if

@@ -28,6 +28,15 @@ type t = {
   ic_predictions : int;  (** profiler inline-cache hits *)
   chained_entries : int;
       (** trace entries directly following another trace's completion *)
+  guards_checked : int;
+      (** trace-position guards actually compared against the executed
+          block during dispatch *)
+  guards_elided : int;
+      (** guard positions skipped because [Trace_prover] proved them
+          implied ([Trace.pruned] verdicts) *)
+  guards_pruned : int;
+      (** static pruning verdicts derived at install time, summed over
+          constructed traces *)
   invariant_violations : int;
       (** findings of the {!Config.t.debug_checks} sweeps *)
   faults_injected : int;  (** faults the injector actually applied *)
@@ -64,6 +73,12 @@ type derived = {
       (** condemnations per constructed trace — how much of the built
           population chaos claimed *)
   eviction_rate : float;  (** capacity evictions per constructed trace *)
+  guard_elision_rate : float;
+      (** fraction of in-trace guard positions elided by proof:
+          elided / (checked + elided) *)
+  guards_per_kinstr : float;
+      (** guards actually checked per 1000 executed instructions — the
+          dynamic cost pruning attacks *)
 }
 (** Every dependent value of the evaluation, computed together.  The
     field names shadow the projection functions below: tables, {!pp} and
@@ -116,6 +131,12 @@ val quarantine_rate : t -> float
 
 val eviction_rate : t -> float
 (** Capacity evictions per constructed trace. *)
+
+val guard_elision_rate : t -> float
+(** Fraction of in-trace guard positions elided by proof. *)
+
+val guards_per_kinstr : t -> float
+(** Guards actually checked per 1000 executed instructions. *)
 
 val pp : Format.formatter -> t -> unit
 (** The resilience counters are rendered only when at least one of them

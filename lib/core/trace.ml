@@ -27,6 +27,15 @@ type t = {
          single-engine run.  Stamped by the cache at installation and
          kept by the first builder on a hash-cons reuse, so the cache can
          count cross-session reuse. *)
+  mutable pruned : bool array;
+      (* guard-implication pruning verdicts: pruned.(i) means the guard
+         at position i is implied by the entry facts and the guards
+         before it, so its check can be elided.  [||] = no pruning.
+         Derived state: recomputable from the body by Trace_prover, not
+         persisted in snapshots — restored traces start unpruned. *)
+  mutable validated : bool;
+      (* whether the debug_checks sweep has already run translation
+         validation on this trace; derived state, not persisted *)
 }
 
 let make ~id ~(layout : Layout.t) ~first ~blocks ~prob =
@@ -44,6 +53,8 @@ let make ~id ~(layout : Layout.t) ~first ~blocks ~prob =
     partial_exits = 0;
     partial_instrs = 0;
     owner = 0;
+    pruned = [||];
+    validated = false;
   }
 
 let n_blocks t = Array.length t.blocks

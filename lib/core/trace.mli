@@ -28,6 +28,17 @@ type t = {
           single-engine run).  Stamped by the cache at installation and
           kept by the first builder on a hash-cons reuse, so the cache
           can count cross-session reuse. *)
+  mutable pruned : bool array;
+      (** guard-implication pruning verdicts from
+          [Tracegen.Trace_prover]: [pruned.(i)] means the guard at
+          position [i] is implied by the trace's entry facts plus the
+          guards before it, so the dispatch loop elides (accounts rather
+          than checks) it.  [[||]] means no pruning.  Derived state:
+          recomputable from the body, never persisted in snapshots;
+          restored traces start unpruned. *)
+  mutable validated : bool;
+      (** whether the [debug_checks] sweep already ran translation
+          validation on this trace; derived state, never persisted. *)
 }
 
 val make :

@@ -28,9 +28,13 @@ type outcome = {
   new_traces : int; (* traces actually constructed *)
   reused_traces : int; (* reconstructions satisfied by hash-consing *)
   entry_points : int;
+  pruned_guards : int;
+      (* guard positions proved implied across the newly installed
+         traces (Config.prune_guards) *)
 }
 
-let no_outcome = { new_traces = 0; reused_traces = 0; entry_points = 0 }
+let no_outcome =
+  { new_traces = 0; reused_traces = 0; entry_points = 0; pruned_guards = 0 }
 
 (* A predecessor [p] leads into [n] strongly if p's best successor edge
    targets n and p is followable. *)
@@ -127,9 +131,10 @@ let walk_from (config : Config.t) (root : Bcg.node) : walk =
    blocks [n_i.n_y .. n_j.n_y] with entry context n_i.n_x and completion
    probability prod(corrs.(i) .. corrs.(j-1)). *)
 let cut_segment (config : Config.t) (cache : Trace_cache.t) ~events
-    (w : walk) ~lo ~hi : int * int =
+    (w : walk) ~lo ~hi : int * int * int =
   let new_traces = ref 0 in
   let reused = ref 0 in
+  let pruned_guards = ref 0 in
   let i = ref lo in
   while !i <= hi do
     let j = ref !i in
@@ -165,6 +170,23 @@ let cut_segment (config : Config.t) (cache : Trace_cache.t) ~events
       | Some tr ->
           let is_new = Trace_cache.n_constructed cache > before in
           if is_new then incr new_traces else incr reused;
+          (* guard-implication pruning runs once, at installation: the
+             verdicts are a property of the trace body alone, so a
+             hash-cons reuse keeps the first derivation *)
+          if is_new && Config.prune_guards config then begin
+            let n = Trace_prover.prune (Trace_cache.layout cache) tr in
+            if n > 0 then begin
+              pruned_guards := !pruned_guards + n;
+              if Events.enabled events then
+                Events.emit events
+                  (Events.Guards_pruned
+                     {
+                       trace_id = tr.Trace.id;
+                       pruned = n;
+                       guards = Trace.n_blocks tr;
+                     })
+            end
+          end;
           if Events.enabled events then
             Events.emit events
               (Events.Trace_constructed
@@ -179,7 +201,7 @@ let cut_segment (config : Config.t) (cache : Trace_cache.t) ~events
     end;
     i := !j + 1
   done;
-  (!new_traces, !reused)
+  (!new_traces, !reused, !pruned_guards)
 
 (* Step 3: a walk that closed a loop gets its loop segment unrolled once
    (paper §4.2): the candidate transition sequence is two copies of the
@@ -205,25 +227,25 @@ let unroll_loop (w : walk) ~c ~m : walk =
 
 (* Steps 2-4 for one entry point. *)
 let build_from (config : Config.t) (cache : Trace_cache.t) ~events ~on_path
-    (root : Bcg.node) : int * int =
+    (root : Bcg.node) : int * int * int =
   let w = walk_from config root in
   on_path (Array.length w.path);
   let m = Array.length w.path - 1 in
-  if m < 0 then (0, 0)
+  if m < 0 then (0, 0, 0)
   else
     match w.cycle_start with
     | Some c when c <= m ->
         (* the loop is processed first, then the prefix leading into it *)
         let lw = unroll_loop w ~c ~m in
-        let ln, lr =
+        let ln, lr, lp =
           cut_segment config cache ~events lw ~lo:0
             ~hi:(Array.length lw.path - 1)
         in
-        let pn, pr =
+        let pn, pr, pp =
           if c > 0 then cut_segment config cache ~events w ~lo:0 ~hi:(c - 1)
-          else (0, 0)
+          else (0, 0, 0)
         in
-        (ln + pn, lr + pr)
+        (ln + pn, lr + pr, lp + pp)
     | Some _ | None -> cut_segment config cache ~events w ~lo:0 ~hi:m
 
 (* Entry point: react to one profiler signal.  [on_path] observes the
@@ -236,14 +258,17 @@ let on_signal ?(events = Events.create ()) ?(on_path = fun (_ : int) -> ())
   let entries = find_entry_points config signal.Bcg.s_node in
   let new_traces = ref 0 in
   let reused = ref 0 in
+  let pruned = ref 0 in
   List.iter
     (fun root ->
-      let n, r = build_from config cache ~events ~on_path root in
+      let n, r, p = build_from config cache ~events ~on_path root in
       new_traces := !new_traces + n;
-      reused := !reused + r)
+      reused := !reused + r;
+      pruned := !pruned + p)
     entries;
   {
     new_traces = !new_traces;
     reused_traces = !reused;
     entry_points = List.length entries;
+    pruned_guards = !pruned;
   }

@@ -62,7 +62,8 @@ let trace_code (layout : Layout.t) (tr : Trace.t) : Instr.t array =
 (* One pass of local optimization over straight-line code.  We simulate
    the operand stack; every emitted instruction is tagged with its index
    so forwarding can mark stores as still-needed. *)
-let optimize_code ?(live_out = fun _ -> true) (code : Instr.t array) : result =
+let optimize_code ?(live_out = fun _ -> true) ?(covered_from = fun _ -> false)
+    (code : Instr.t array) : result =
   let n = Array.length code in
   (* emitted instructions, in reverse.  Each carries a mutable cell so a
      later discovery can rewrite it (dead stores become Pop — same stack
@@ -96,20 +97,20 @@ let optimize_code ?(live_out = fun _ -> true) (code : Instr.t array) : result =
   (* local state: value if known, plus the last store instruction's kept
      flag and whether any load has consumed it *)
   let known : (int, aval) Hashtbl.t = Hashtbl.create 16 in
-  let last_store : (int, Instr.t ref * bool ref) Hashtbl.t =
+  let last_store : (int, Instr.t ref * bool ref * int) Hashtbl.t =
     Hashtbl.create 16 in
-  (* (instruction cell of the store, consumed?) *)
+  (* (instruction cell of the store, consumed?, original code index) *)
   let barrier_locals () =
     Hashtbl.reset known;
     Hashtbl.reset last_store
   in
   let barrier_stack () = stack := [] in
-  let note_store slot v cell =
+  let note_store slot v cell idx =
     (* previous store to this slot never observed? rewrite it to a Pop:
        the pushed operand still leaves the stack, the dead local write
        disappears *)
     (match Hashtbl.find_opt last_store slot with
-    | Some (prev_cell, consumed) when not !consumed ->
+    | Some (prev_cell, consumed, _) when not !consumed ->
         (match !prev_cell with
         | Instr.Istore _ | Instr.Fstore _ | Instr.Astore _ ->
             prev_cell := Instr.Pop;
@@ -117,11 +118,11 @@ let optimize_code ?(live_out = fun _ -> true) (code : Instr.t array) : result =
         | _ -> ())
     | Some _ | None -> ());
     Hashtbl.replace known slot v;
-    Hashtbl.replace last_store slot (cell, ref false)
+    Hashtbl.replace last_store slot (cell, ref false, idx)
   in
   let consume_local slot =
     match Hashtbl.find_opt last_store slot with
-    | Some (_, consumed) -> consumed := true
+    | Some (_, consumed, _) -> consumed := true
     | None -> ()
   in
   let emit_push_const ins v =
@@ -206,7 +207,7 @@ let optimize_code ?(live_out = fun _ -> true) (code : Instr.t array) : result =
     | Instr.Istore slot | Instr.Fstore slot | Instr.Astore slot ->
         let v = pop () in
         let cell = emit ins in
-        note_store slot v cell
+        note_store slot v cell idx
     | Instr.Iinc (slot, d) ->
         (match Hashtbl.find_opt known slot with
         | Some (Const_int v) -> Hashtbl.replace known slot (Const_int (v + d))
@@ -345,11 +346,20 @@ let optimize_code ?(live_out = fun _ -> true) (code : Instr.t array) : result =
      live-out at the trace's final block) can prove a slot dead there and
      license the same store->Pop rewrite.  Barriers reset [last_store], so
      every surviving entry postdates the last call/return — it belongs to
-     the final block's method and the liveness answer applies to it. *)
+     the final block's method and the liveness answer applies to it.
+
+     The final block's live-out only covers the normal exit.  A store
+     whose suffix runs through a handler-covered region can still be
+     observed on the exceptional edge: a later trapping instruction in a
+     covered block hands the frame — store included — to a same-frame
+     handler that the final block's liveness never sees.  [covered_from]
+     answers whether any code index at or after the store lies in a
+     covered block; such stores are never rewritten. *)
   let trailing_dead_stores = ref 0 in
   Hashtbl.iter
-    (fun slot (cell, consumed) ->
-      if (not !consumed) && not (live_out slot) then
+    (fun slot (cell, consumed, sidx) ->
+      if (not !consumed) && (not (live_out slot)) && not (covered_from sidx)
+      then
         match !cell with
         | Instr.Istore _ | Instr.Fstore _ | Instr.Astore _ ->
             cell := Instr.Pop;
@@ -380,11 +390,50 @@ let live_out_of (layout : Layout.t) (tr : Trace.t) : int -> bool =
   let set = live.Analysis.Liveness.live_out.(bi) in
   fun slot -> Analysis.Liveness.Slot_set.mem slot set
 
-let optimize ?live_out (layout : Layout.t) (tr : Trace.t) : result =
+(* Exceptional observability of the trace's code positions: for each
+   index into [trace_code], whether that index or any later one lies in a
+   handler-covered block.  A trailing store at such an index may be read
+   by a same-frame handler if a later covered instruction traps, so the
+   normal-path liveness license does not apply. *)
+let covered_suffix_of (layout : Layout.t) (tr : Trace.t) : int -> bool =
+  let live_cache : (int, Analysis.Liveness.t) Hashtbl.t = Hashtbl.create 4 in
+  let covered_of g =
+    let mid = (Layout.method_of_gid layout g).Bytecode.Mthd.id in
+    let live =
+      match Hashtbl.find_opt live_cache mid with
+      | Some l -> l
+      | None ->
+          let l =
+            Analysis.Liveness.compute
+              (Layout.cfg_of_method layout ~method_id:mid)
+          in
+          Hashtbl.add live_cache mid l;
+          l
+    in
+    let bi = g - layout.Layout.offsets.(mid) in
+    live.Analysis.Liveness.covered.(bi)
+  in
+  let flags =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun g -> Array.make (Layout.block_len layout g) (covered_of g))
+            tr.Trace.blocks))
+  in
+  for i = Array.length flags - 2 downto 0 do
+    flags.(i) <- flags.(i) || flags.(i + 1)
+  done;
+  fun idx -> idx >= 0 && idx < Array.length flags && flags.(idx)
+
+let optimize ?live_out ?covered_from (layout : Layout.t) (tr : Trace.t) :
+    result =
   let live_out =
     match live_out with Some f -> f | None -> live_out_of layout tr
   in
-  optimize_code ~live_out (trace_code layout tr)
+  let covered_from =
+    match covered_from with Some f -> f | None -> covered_suffix_of layout tr
+  in
+  optimize_code ~live_out ~covered_from (trace_code layout tr)
 
 let saved (r : result) = Array.length r.original - Array.length r.optimized
 

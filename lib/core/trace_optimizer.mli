@@ -28,7 +28,11 @@ type result = {
 val trace_code : Cfg.Layout.t -> Trace.t -> Bytecode.Instr.t array
 (** The trace's instruction sequence. *)
 
-val optimize_code : ?live_out:(int -> bool) -> Bytecode.Instr.t array -> result
+val optimize_code :
+  ?live_out:(int -> bool) ->
+  ?covered_from:(int -> bool) ->
+  Bytecode.Instr.t array ->
+  result
 (** Optimize any straight-line sequence (exposed for testing).
 
     [live_out slot] says whether the local slot can still be read after
@@ -36,7 +40,15 @@ val optimize_code : ?live_out:(int -> bool) -> Bytecode.Instr.t array -> result
     keeps every trailing store.  Supplying a liveness answer (see
     {!live_out_of}) lets the pass also rewrite trailing dead stores —
     stores with no later load inside the sequence {e and} a provably dead
-    slot after it — to [Pop]. *)
+    slot after it — to [Pop].
+
+    [covered_from idx] says whether code index [idx] or any later index
+    lies in a handler-covered block; a trailing store there stays even
+    when [live_out] proves its slot dead, because a later trap can hand
+    the frame to a same-frame handler on the exceptional edge — a path
+    the final block's normal-exit liveness never sees.  The default
+    answers [false] (no handlers in sight); {!optimize} supplies
+    {!covered_suffix_of}. *)
 
 val live_out_of : Cfg.Layout.t -> Trace.t -> int -> bool
 (** The liveness justification for trailing dead-store elimination:
@@ -45,9 +57,20 @@ val live_out_of : Cfg.Layout.t -> Trace.t -> int -> bool
     (exceptional edges included, so handler-only reads keep a slot
     live). *)
 
-val optimize : ?live_out:(int -> bool) -> Cfg.Layout.t -> Trace.t -> result
-(** Optimizes {!trace_code}.  When [live_out] is omitted it defaults to
-    {!live_out_of} for the trace — the analysis-justified behaviour. *)
+val covered_suffix_of : Cfg.Layout.t -> Trace.t -> int -> bool
+(** The exceptional-edge guard for trailing dead-store elimination: for
+    each index into {!trace_code}, whether that index or any later one
+    belongs to a handler-covered block. *)
+
+val optimize :
+  ?live_out:(int -> bool) ->
+  ?covered_from:(int -> bool) ->
+  Cfg.Layout.t ->
+  Trace.t ->
+  result
+(** Optimizes {!trace_code}.  When [live_out] or [covered_from] is
+    omitted it defaults to {!live_out_of} / {!covered_suffix_of} for the
+    trace — the analysis-justified behaviour. *)
 
 val saved : result -> int
 (** Instructions removed. *)

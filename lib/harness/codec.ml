@@ -89,8 +89,9 @@ let to_string j =
    [name.max]); span records added.
    Version 4: [cache_restored] / [snapshot_rejected] event kinds and the
    ["footprint"] eviction reason (warm-start snapshots, footprint-aware
-   eviction). *)
-let schema_version = 4
+   eviction).
+   Version 5: [guards_pruned] event kind (guard-implication pruning). *)
+let schema_version = 5
 
 type format = Jsonl | Chrome_trace | Binary_snapshot
 
@@ -224,6 +225,12 @@ let event_json (e : Events.event) : json =
           ("bcg_edges", J_int bcg_edges);
         ]
     | Events.Snapshot_rejected { reason } -> [ ("reason", J_string reason) ]
+    | Events.Guards_pruned { trace_id; pruned; guards } ->
+        [
+          ("trace_id", J_int trace_id);
+          ("pruned", J_int pruned);
+          ("guards", J_int guards);
+        ]
   in
   J_obj
     (versioned

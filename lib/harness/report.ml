@@ -11,6 +11,9 @@ module Layout = Cfg.Layout
    Stats total — [checks] states those identities and [repro_cli top]
    enforces them. *)
 
+let count_pruned (tr : Tr.Trace.t) =
+  Array.fold_left (fun n p -> if p then n + 1 else n) 0 tr.Tr.Trace.pruned
+
 type trace_row = {
   trace_id : int;
   entry : string; (* human-readable entering transition *)
@@ -20,6 +23,7 @@ type trace_row = {
   completed : int;
   partial_exits : int;
   instrs : int; (* instructions attributed to the trace body *)
+  pruned : int; (* guard positions proven redundant (Trace_prover) *)
 }
 
 type block_row = {
@@ -56,6 +60,7 @@ let of_engine (engine : Tr.Engine.t) : t =
             completed = tr.Tr.Trace.completed;
             partial_exits = tr.Tr.Trace.partial_exits;
             instrs = trace_instrs tr;
+            pruned = count_pruned tr;
           }
           :: !traces);
   let self = Tr.Engine.attr_self engine in
@@ -134,15 +139,17 @@ let render ?(top = 10) (r : t) : string =
     go n l
   in
   Buffer.add_string buf
-    (Printf.sprintf "%-6s %-32s %7s %9s %9s %8s %10s %6s\n" "trace" "entry"
-       "blocks" "entered" "completed" "partial" "instrs" "prob");
+    (Printf.sprintf "%-6s %-32s %7s %9s %9s %8s %10s %6s %6s\n" "trace"
+       "entry" "blocks" "entered" "completed" "partial" "instrs" "prob"
+       "pruned");
   List.iter
     (fun row ->
       Buffer.add_string buf
-        (Printf.sprintf "%-6d %-32s %7d %9d %9d %8d %10d %6.3f\n" row.trace_id
+        (Printf.sprintf "%-6d %-32s %7d %9d %9d %8d %10d %6.3f %6d\n"
+           row.trace_id
            (truncate_label 32 row.entry)
            row.n_blocks row.entered row.completed row.partial_exits row.instrs
-           row.prob))
+           row.prob row.pruned))
     (take top r.traces);
   if List.length r.traces > top then
     Buffer.add_string buf

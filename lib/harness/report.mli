@@ -16,6 +16,9 @@ type trace_row = {
   completed : int;
   partial_exits : int;
   instrs : int;  (** instructions attributed to the trace body *)
+  pruned : int;
+      (** guard positions proven redundant by [Tracegen.Trace_prover]
+          (0 unless the run had [Config.prune_guards] on) *)
 }
 
 type block_row = {

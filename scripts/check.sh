@@ -22,8 +22,17 @@ dune build
 dune runtest
 
 # Static dataflow lint + dynamic invariant sweep over every registered
-# workload; exits non-zero on any error-severity finding.
-dune exec bin/repro_cli.exe -- lint
+# workload, plus the symbolic trace validator over every trace the
+# sweep's engine installed; exits non-zero on any error-severity finding.
+dune exec bin/repro_cli.exe -- lint --traces
+
+# Translation-validation gate: every trace installed on every workload
+# must prove observationally equivalent to its source blocks (TL21x
+# clean), guard pruning must engage on at least two workloads, and the
+# pruned run's VM result must stay bit-identical to the unpruned run —
+# the pruning on/off ablation in one sweep.  Non-zero exit on any
+# unprovable trace, divergence, or insufficient pruning.
+dune exec bin/repro_cli.exe -- prove --min-pruning 2
 
 # Chaos gate: every workload under 50 seeded fault schedules must yield
 # VM results identical to the no-tracing baseline and recover to full

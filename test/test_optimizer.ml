@@ -93,6 +93,27 @@ let test_float_folding () =
   in
   check code_t "floats fold" [| Instr.Fconst 4.0 |] r.Opt.optimized
 
+let test_covered_suffix_blocks_trailing_dse () =
+  (* regression: a trailing store followed by a potentially trapping
+     instruction inside a handler-covered region is observable on the
+     exceptional edge (the same-frame handler sees the slot), so the
+     dead-at-normal-exit license alone must not rewrite it *)
+  let code =
+    [| Instr.Iconst 1; Instr.Istore 0; Instr.Iload 1; Instr.Iload 2;
+       Instr.Idiv; Instr.Istore 1 |]
+  in
+  let dead _ = false in
+  let r_plain = Opt.optimize_code ~live_out:dead code in
+  check Alcotest.int "uncovered suffix: stores rewritten" 2
+    r_plain.Opt.trailing_dead_stores;
+  let r_cov =
+    Opt.optimize_code ~live_out:dead ~covered_from:(fun _ -> true) code
+  in
+  check Alcotest.int "covered suffix: stores kept" 0
+    r_cov.Opt.trailing_dead_stores;
+  check Alcotest.bool "store 0 survives" true
+    (Array.exists (fun i -> i = Instr.Istore 0) r_cov.Opt.optimized)
+
 (* ------------------------------------------------------------------ *)
 (* Reference evaluator for straight-line code: stacks and locals only. *)
 (* ------------------------------------------------------------------ *)
@@ -236,6 +257,15 @@ let prop_equivalence =
          final locals must agree; the stack must agree exactly *)
       s1 = s2 && l1 = l2)
 
+let prop_symbolic_equiv =
+  QCheck.Test.make
+    ~name:"optimizer output passes the symbolic translation validator"
+    ~count:300 arb_straightline (fun code ->
+      let r = Opt.optimize_code code in
+      Analysis.Equiv.check ~trace_id:0 ~original:code
+        ~optimized:r.Opt.optimized ()
+      = [])
+
 let prop_never_longer =
   QCheck.Test.make ~name:"optimization never grows code" ~count:300
     arb_straightline (fun code ->
@@ -289,11 +319,14 @@ let () =
           tc "glue dropped" `Quick test_nop_and_goto_dropped;
           tc "call barrier" `Quick test_call_barrier;
           tc "float folding" `Quick test_float_folding;
+          tc "covered suffix blocks trailing DSE" `Quick
+            test_covered_suffix_blocks_trailing_dse;
         ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_generator_well_formed;
           QCheck_alcotest.to_alcotest prop_equivalence;
+          QCheck_alcotest.to_alcotest prop_symbolic_equiv;
           QCheck_alcotest.to_alcotest prop_never_longer;
           QCheck_alcotest.to_alcotest prop_idempotent;
         ] );

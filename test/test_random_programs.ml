@@ -12,6 +12,7 @@ open Workloads.Dsl
 module S = Bytecode.Structured
 module Interp = Vm.Interp
 module Stats = Tracegen.Stats
+module Sx = Analysis.Symexec
 
 (* --------------------------------------------------------------- *)
 (* program generator                                                 *)
@@ -251,6 +252,93 @@ let prop_constprop_cross_validated =
       | None -> true
       | Some msg -> QCheck.Test.fail_report msg)
 
+(* Symexec cross-validation: symbolically evaluate every dispatched
+   block's body; wherever the resulting state makes a fully concrete
+   claim — epoch 0, no heap effects, no recorded trap conditions — its
+   final writes (and its frame of untouched slots) must match the
+   locals the interpreter actually presents at the next dispatch.  The
+   trap direction is checked too: a run trapping on a modeled condition
+   must end in a block whose state recorded such a condition. *)
+let sym_of_value = function
+  | Vm.Value.Vint v -> Some (Sx.Sint v)
+  | Vm.Value.Vfloat f -> Some (Sx.Sfloat f)
+  | Vm.Value.Vnull -> Some Sx.Snull
+  | Vm.Value.Vobj _ | Vm.Value.Varr _ -> None
+
+let value_matches_sym sym value =
+  match sym with
+  | Sx.Sint c -> value = Vm.Value.Vint c
+  | Sx.Sfloat c -> (
+      match value with Vm.Value.Vfloat f -> c = f | _ -> false)
+  | Sx.Snull -> value = Vm.Value.Vnull
+  | _ -> true (* non-literal residue makes no claim *)
+
+let prop_symexec_cross_validated =
+  QCheck.Test.make ~name:"symexec agrees with the interpreter block-by-block"
+    ~count:40 arb_program (fun program ->
+      let layout = Cfg.Layout.build program in
+      let failure = ref None in
+      let fail fmt =
+        Printf.ksprintf
+          (fun m -> if !failure = None then failure := Some m)
+          fmt
+      in
+      let last_traps = ref [] in
+      let prev = ref None in
+      let observe gid (locals : Vm.Value.t array) =
+        (match !prev with
+        | Some (pgid, (entry : Vm.Value.t array), st)
+          when st.Sx.epoch = 0 && st.Sx.effects = [] && st.Sx.traps = [] ->
+            (* the previous block stayed in its frame and completed, so
+               its symbolic state fully determines these locals *)
+            let writes = Sx.final_writes st in
+            let lookup slot =
+              if slot < Array.length entry then sym_of_value entry.(slot)
+              else None
+            in
+            Array.iteri
+              (fun slot value ->
+                match Sx.Smap.find_opt (0, slot) writes with
+                | Some sym -> (
+                    match Sx.concretize ~local:lookup sym with
+                    | Some lit when not (value_matches_sym lit value) ->
+                        fail "block %d slot %d: symexec %s, interpreter %s"
+                          pgid slot (Sx.sym_to_string lit)
+                          (Vm.Value.to_string value)
+                    | _ -> ())
+                | None ->
+                    if slot < Array.length entry then
+                      match sym_of_value entry.(slot) with
+                      | Some lit when not (value_matches_sym lit value) ->
+                          fail
+                            "block %d slot %d: untouched slot changed %s -> %s"
+                            pgid slot
+                            (Vm.Value.to_string entry.(slot))
+                            (Vm.Value.to_string value)
+                      | _ -> ())
+              locals
+        | _ -> ());
+        let b = Cfg.Layout.block layout gid in
+        let code = (Cfg.Layout.method_of_gid layout gid).Bytecode.Mthd.code in
+        let st = Sx.run (Array.sub code b.Cfg.Block.start_pc b.Cfg.Block.len) in
+        last_traps := Sx.traps st;
+        prev := Some (gid, Array.copy locals, st)
+      in
+      let r =
+        Interp.run ~max_instructions:2_000_000 layout ~on_block_state:observe
+          ~on_block:(fun _ -> ())
+      in
+      (match r.Interp.outcome with
+      | Interp.Trapped
+          ( (Interp.Null_pointer | Interp.Array_bounds | Interp.Division_by_zero),
+            _ )
+        when !last_traps = [] ->
+          fail "trapped on a modeled condition the last block never recorded"
+      | _ -> ());
+      match !failure with
+      | None -> true
+      | Some msg -> QCheck.Test.fail_report msg)
+
 (* Chaos transparency: under ANY fault schedule — corrupted traces,
    flipped counters, failed installations, allocation pressure — the
    self-healing engine must still be a pure observational overlay: same
@@ -314,6 +402,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_stats_bounded;
           QCheck_alcotest.to_alcotest prop_liveness_cross_validated;
           QCheck_alcotest.to_alcotest prop_constprop_cross_validated;
+          QCheck_alcotest.to_alcotest prop_symexec_cross_validated;
           QCheck_alcotest.to_alcotest prop_chaos_transparent;
           QCheck_alcotest.to_alcotest prop_baselines_transparent;
         ] );
