@@ -395,6 +395,81 @@ let chaos_overhead () =
     "                          (run: faults=%d quarantined=%d healed=%d)\n"
     s.Stats.faults_injected s.Stats.traces_quarantined s.Stats.healed_nodes
 
+(* On-stack replacement: the standing price of arming the machinery
+   (hot-loop polling, entry pinning, promotion walks) with no faults
+   scheduled, then a guard-flip schedule that forces mid-trace
+   deoptimization — the wall-time delta over the armed baseline divided
+   by the deopt count approximates the per-deopt latency. *)
+let osr_overhead () =
+  section "OSR overhead / deopt latency";
+  let layout = Lazy.force bench_layout in
+  let reps = max 1 (int_of_float (10.0 *. scale)) in
+  let time f =
+    f ();
+    let samples =
+      List.init 5 (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            f ()
+          done;
+          Unix.gettimeofday () -. t0)
+    in
+    List.nth (List.sort compare samples) 2
+  in
+  let off () =
+    let config =
+      Tracegen.Config.make ~debug_checks:true ~self_heal:true
+        ~max_cache_traces:48 ()
+    in
+    ignore (Tracegen.Engine.run ~config layout)
+  in
+  let armed () =
+    let config =
+      Tracegen.Config.make ~debug_checks:true ~self_heal:true
+        ~max_cache_traces:48 ~osr:true ~osr_promote_after:64 ()
+    in
+    ignore (Tracegen.Engine.run ~config layout)
+  in
+  let deopts = ref 0 in
+  let promotions = ref 0 in
+  let entries = ref 0 in
+  let runs = ref 0 in
+  let flipped () =
+    let config =
+      Harness.Chaos.config ~spec:"guard-flip@0.05,budget=200" ~osr:true
+        ~seed:42 ()
+    in
+    let r = Tracegen.Engine.run ~config layout in
+    let e = r.Tracegen.Engine.engine in
+    deopts := !deopts + Tracegen.Engine.deopts e;
+    promotions := !promotions + Tracegen.Engine.osr_promotions e;
+    entries := !entries + Tracegen.Engine.osr_entries e;
+    incr runs
+  in
+  let t_off = time off in
+  let t_armed = time armed in
+  let t_flip = time flipped in
+  let per_run c = float_of_int c /. float_of_int (max 1 !runs) in
+  Printf.printf
+    "engine, OSR off         : %8.2f ms/run (median of 5x%d)\n\
+     engine, OSR armed       : %8.2f ms/run (polling + pinning, no faults)\n\
+     arming cost             : %+7.2f%%\n\
+     engine, guard flips     : %8.2f ms/run (guard-flip@0.05, budget=200)\n\
+     per run                 : %.1f deopts, %.1f promotions, %.1f OSR \
+     entries\n"
+    (1000.0 *. t_off /. float_of_int reps)
+    reps
+    (1000.0 *. t_armed /. float_of_int reps)
+    (100.0 *. (t_armed -. t_off) /. t_off)
+    (1000.0 *. t_flip /. float_of_int reps)
+    (per_run !deopts) (per_run !promotions) (per_run !entries);
+  if per_run !deopts > 0.0 then
+    Printf.printf "deopt latency           : %8.2f us/deopt ((flips - \
+                   armed) / deopts)\n"
+      (1_000_000.0
+      *. (t_flip -. t_armed)
+      /. float_of_int reps /. per_run !deopts)
+
 (* The engine re-reads the health ladder at every observed block to pick
    a backend; pinning skips that.  Time pinned-trace against the
    ladder-following default (both stay at full tracing, so the delta is
@@ -595,6 +670,7 @@ let () =
   if smoke then begin
     span_overhead ();
     backend_switch_overhead ();
+    osr_overhead ();
     guard_pruning ();
     shared_cache ();
     warmstart ();
@@ -609,6 +685,7 @@ let () =
     debug_checks_overhead ();
     chaos_overhead ();
     backend_switch_overhead ();
+    osr_overhead ();
     guard_pruning ();
     shared_cache ();
     (match Sys.getenv_opt "BENCH_SKIP_MICRO" with

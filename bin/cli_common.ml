@@ -33,12 +33,12 @@ let layout_of w ~size =
 (* The standard engine configuration of the run/events/session commands:
    fault-spec parse errors and out-of-range parameters both die cleanly. *)
 let engine_config ?snapshot_period ?obs_spans ?obs_attribution ?prune_guards
-    ~threshold ~delay ~fault_spec ~fault_seed ~self_heal () =
+    ?(osr = false) ~threshold ~delay ~fault_spec ~fault_seed ~self_heal () =
   config_or_die (fun () ->
       (* the engine parses the spec at create; surface a bad one here *)
       ignore (Tracegen.Faults.create ~seed:fault_seed fault_spec);
       Tracegen.Config.make ~threshold ~start_state_delay:delay ~fault_spec
-        ~fault_seed ~self_heal ~debug_checks:self_heal ?snapshot_period
+        ~fault_seed ~self_heal ~debug_checks:self_heal ~osr ?snapshot_period
         ?obs_spans ?obs_attribution ?prune_guards ())
 
 (* shared argument definitions *)
@@ -81,6 +81,12 @@ let self_heal_arg =
   Arg.(value & flag & info [ "self-heal" ]
          ~doc:"Enable quarantine, node repair and the degradation ladder \
                (also turns on the invariant sweeps that drive them).")
+
+let osr_arg =
+  Arg.(value & flag & info [ "osr" ]
+         ~doc:"Arm on-stack replacement: guard failures deoptimize \
+               mid-trace back to block dispatch, and hot loops are \
+               promoted into self-chaining traces mid-iteration.")
 
 (* Declarative subcommand table.  Each subcommand registers its name,
    one-line doc and term in one place; the main entry point builds the

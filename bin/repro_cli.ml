@@ -17,12 +17,12 @@ let layout_of = Cli_common.layout_of
 (* ------------------------------------------------------------------ *)
 
 let run_cmd workload size threshold delay fault_spec fault_seed self_heal
-    prune_guards dump_traces dump_bcg top =
+    osr prune_guards dump_traces dump_bcg top =
   let w = find_workload workload in
   let layout = layout_of w ~size in
   let config =
     Cli_common.engine_config ~threshold ~delay ~fault_spec ~fault_seed
-      ~self_heal ~prune_guards ()
+      ~self_heal ~osr ~prune_guards ()
   in
   let result = Tracegen.Engine.run ~config layout in
   let s = result.Tracegen.Engine.run_stats in
@@ -83,13 +83,13 @@ let run_cmd workload size threshold delay fault_spec fault_seed self_heal
    checked against the end-of-run statistics: the stream and the counters
    are two views of the same execution and must agree exactly. *)
 let events_cmd workload size threshold delay fault_spec fault_seed self_heal
-    snapshot_period stats_only =
+    osr snapshot_period stats_only =
   let module Events = Tracegen.Events in
   let w = find_workload workload in
   let layout = layout_of w ~size in
   let config =
     Cli_common.engine_config ~snapshot_period ~threshold ~delay ~fault_spec
-      ~fault_seed ~self_heal ()
+      ~fault_seed ~self_heal ~osr ()
   in
   let events = Events.create () in
   let tally = Hashtbl.create 8 in
@@ -180,6 +180,12 @@ let events_cmd workload size threshold delay fault_spec fault_seed self_heal
       ( "mode_recovered = health_promotions",
         count "mode_recovered",
         s.Tracegen.Stats.health_promotions );
+      ( "deopt_entered = deopts",
+        count "deopt_entered",
+        s.Tracegen.Stats.deopts );
+      ( "osr_promoted = osr_promotions",
+        count "osr_promoted",
+        s.Tracegen.Stats.osr_promotions );
     ]
   in
   Printf.eprintf "# %d events across %d kinds\n"
@@ -424,7 +430,7 @@ let prove_cmd workload size threshold delay min_pruning =
    chaos gate's two promises: VM results bit-identical to the no-tracing
    baseline (FT901) and recovery to full tracing by the end of the run
    (FT902).  Exit 1 on any violated promise. *)
-let chaos_cmd workload size seed schedules spec quick verbose catalogue =
+let chaos_cmd workload size seed schedules spec osr quick verbose catalogue =
   if catalogue then
     List.iter
       (fun (code, doc) -> Printf.printf "%s  %s\n" code doc)
@@ -457,7 +463,7 @@ let chaos_cmd workload size seed schedules spec quick verbose catalogue =
         let ok = ref 0 in
         for i = 0 to schedules - 1 do
           let v =
-            Harness.Chaos.run_one ~spec ?max_instructions w ~size
+            Harness.Chaos.run_one ~spec ~osr ?max_instructions w ~size
               ~seed:(seed + (1000 * i))
           in
           incr total;
@@ -855,7 +861,7 @@ let run_term =
   in
   Term.(
     const run_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
-    $ fault_spec_arg $ fault_seed_arg $ self_heal_arg
+    $ fault_spec_arg $ fault_seed_arg $ self_heal_arg $ Cli_common.osr_arg
     $ Cli_common.prune_guards_arg $ dump_traces $ dump_bcg $ top)
 
 let () =
@@ -875,8 +881,8 @@ let events_term =
   in
   Term.(
     const events_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
-    $ fault_spec_arg $ fault_seed_arg $ self_heal_arg $ snapshot_period
-    $ stats_only)
+    $ fault_spec_arg $ fault_seed_arg $ self_heal_arg $ Cli_common.osr_arg
+    $ snapshot_period $ stats_only)
 
 let () =
   Cli_common.Subcommand.register ~name:"events"
@@ -1007,6 +1013,12 @@ let chaos_term =
            ~doc:"Fault schedule DSL (kind@prob, kind!tick, budget=K; \
                  see --catalogue for kinds).")
   in
+  let osr =
+    Arg.(value & flag & info [ "osr" ]
+           ~doc:"Arm on-stack replacement (mid-trace deoptimization and \
+                 mid-loop promotion) so guard-flip schedules exercise the \
+                 deopt paths under the transparency gate.")
+  in
   let quick =
     Arg.(value & flag & info [ "quick" ]
            ~doc:"Bound each run to 120k instructions (the check.sh gate).")
@@ -1020,8 +1032,8 @@ let chaos_term =
            ~doc:"Print the FT fault catalogue and exit.")
   in
   Term.(
-    const chaos_cmd $ workload $ size_arg $ seed $ schedules $ spec $ quick
-    $ verbose $ catalogue)
+    const chaos_cmd $ workload $ size_arg $ seed $ schedules $ spec $ osr
+    $ quick $ verbose $ catalogue)
 
 let backends_term =
   let workload =

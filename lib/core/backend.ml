@@ -25,6 +25,7 @@ type ctx = {
   metrics : Metrics.t;
   health : Health.t;
   faults : Faults.t;
+  osr : Osr.t option; (* None = on-stack replacement off (Config.Osr) *)
   (* deep observability (Config.Obs + engine histograms) *)
   spans : Spans.t option; (* None = span recording off *)
   attr_self : int array;
@@ -34,6 +35,8 @@ type ctx = {
   h_exit_distance : Metrics.histogram; (* blocks matched before a side exit *)
   h_build_len : Metrics.histogram; (* blocks per installed builder path *)
   h_backoff : Metrics.histogram; (* finite quarantine backoff durations *)
+  h_deopt_residue : Metrics.histogram;
+    (* trace positions abandoned past each deopt point (OSR) *)
   (* trace execution state *)
   mutable active : Trace.t option;
   mutable active_pos : int; (* index of the next expected block *)
@@ -93,6 +96,18 @@ module type S = sig
   val on_block : ctx -> Layout.gid -> unit
   (* the VM observer: follow the active trace if any, else [step] *)
 
+  val poll_osr : ctx -> Layout.gid -> unit
+  (* OSR entry point: feed one outside-trace dispatch to hot-loop
+     detection.  The interp strategy ignores it, the profile strategy
+     counts header heat, and the trace strategy acts on a threshold
+     crossing by promoting the loop mid-iteration. *)
+
+  val deopt_resume : ctx -> Layout.gid -> unit
+  (* OSR exit point: process the block dispatch execution resumes at
+     after a deoptimization — a plain dispatch that never consults the
+     trace cache (the engine just abandoned a trace; re-entering one at
+     the deopt transition would defeat the resume). *)
+
   val stats_into : ctx -> Stats.t -> Stats.t
   (* overlay this strategy's counters onto [s] *)
 end
@@ -149,6 +164,121 @@ let apply_health ctx (transition : Health.transition) =
           Events.emit ctx.events
             (Events.Mode_recovered { from_level; to_level });
       if from_level = Health.Interp_only then Profiler.reset ctx.profiler
+
+(* End the active trace after a completion. *)
+let finish_completed ctx (tr : Trace.t) =
+  ctx.just_completed <- true;
+  tr.Trace.completed <- tr.Trace.completed + 1;
+  Metrics.record ctx.h_trace_len (Trace.n_blocks tr);
+  ctx.traces_completed <- ctx.traces_completed + 1;
+  ctx.completed_blocks <- ctx.completed_blocks + Trace.n_blocks tr;
+  ctx.completed_instrs <- ctx.completed_instrs + tr.Trace.total_instrs;
+  ctx.active <- None;
+  Trace_cache.unpin ctx.cache tr;
+  if Events.enabled ctx.events then
+    Events.emit ctx.events
+      (Events.Trace_completed
+         {
+           trace_id = tr.Trace.id;
+           n_blocks = Trace.n_blocks tr;
+           n_instrs = tr.Trace.total_instrs;
+         });
+  (* the profiler missed the trace interior: reposition its context at the
+     trace's final branch *)
+  Profiler.resync ctx.profiler ~x:ctx.prev2 ~y:ctx.prev
+
+(* End the active trace after a side exit; the mismatching block has not
+   been processed yet. *)
+let finish_partial ctx (tr : Trace.t) =
+  ctx.just_completed <- false;
+  tr.Trace.partial_exits <- tr.Trace.partial_exits + 1;
+  tr.Trace.partial_instrs <- tr.Trace.partial_instrs + ctx.matched_instrs;
+  Metrics.record ctx.h_exit_distance ctx.matched_blocks;
+  ctx.partial_blocks <- ctx.partial_blocks + ctx.matched_blocks;
+  ctx.partial_instrs <- ctx.partial_instrs + ctx.matched_instrs;
+  ctx.active <- None;
+  Trace_cache.unpin ctx.cache tr;
+  if Events.enabled ctx.events then
+    Events.emit ctx.events
+      (Events.Side_exit
+         {
+           trace_id = tr.Trace.id;
+           at_block = ctx.active_pos;
+           matched_blocks = ctx.matched_blocks;
+           matched_instrs = ctx.matched_instrs;
+         });
+  Profiler.resync ctx.profiler ~x:ctx.prev2 ~y:ctx.prev
+
+(* OSR deoptimization: abandon the active trace at the current position
+   and resume block dispatch at [resume].  A deopt *is* a side exit plus
+   a state-equivalence proof: [finish_partial] does the exit bookkeeping
+   (side-exit event, profiler resync, unpin), and the proof obligation —
+   the materialized interpreter continuation already sits at the block
+   dispatch resumes at, because the overlay never moved it — is checked
+   against the live handle (TL219 on mismatch). *)
+let deopt ctx (osr : Osr.t) (tr : Trace.t) ~resume ~(reason : Osr.reason) =
+  let at = ctx.active_pos in
+  let residue = Trace.n_blocks tr - at in
+  (match Osr.materialized osr with
+  | Some m ->
+      Osr.note_state_check osr;
+      let ok =
+        match m.Vm.Interp.m_block with
+        | Some b -> b = resume
+        | None -> resume < 0
+      in
+      if not ok then begin
+        Osr.note_state_mismatch osr;
+        if Config.debug_checks ctx.config then begin
+          ctx.invariant_violations <- ctx.invariant_violations + 1;
+          if Events.enabled ctx.events then
+            Events.emit ctx.events
+              (Events.Invariant_violation
+                 {
+                   code = "TL219";
+                   severity = "error";
+                   message =
+                     Printf.sprintf
+                       "trace %d: deopt at position %d resumes at block %d \
+                        but the interpreter materialized at %s"
+                       tr.Trace.id at resume
+                       (match m.Vm.Interp.m_block with
+                       | Some b -> string_of_int b
+                       | None -> "<stopped>");
+                 })
+        end
+      end
+  | None -> ());
+  finish_partial ctx tr;
+  Metrics.record ctx.h_deopt_residue residue;
+  Osr.note_deopt osr ~residue;
+  if Events.enabled ctx.events then
+    Events.emit ctx.events
+      (Events.Deopt_entered
+         {
+           trace_id = tr.Trace.id;
+           at_block = at;
+           resume_block = resume;
+           residue_blocks = residue;
+           reason = Osr.reason_to_string reason;
+         })
+
+(* Mid-flight cut-over: deoptimize the currently executing trace (a
+   sweep is condemning it).  Between dispatches there is no mismatching
+   block to resume at; the resume point is wherever the interpreter
+   materializes (-1 when no handle is attached), and the next observed
+   block goes through the normal dispatch path. *)
+let deopt_active ctx ~reason =
+  match (ctx.active, ctx.osr) with
+  | Some tr, Some osr ->
+      let resume =
+        match Osr.materialized osr with
+        | Some m -> (
+            match m.Vm.Interp.m_block with Some b -> b | None -> -1)
+        | None -> -1
+      in
+      deopt ctx osr tr ~resume ~reason
+  | _ -> ()
 
 (* Run the invariant sweep (Config.debug_checks): count every finding and
    publish it on the stream.  Called at trace-construction and decay
@@ -210,6 +340,17 @@ let run_debug_checks ctx =
           | Analysis.Diag.Trace_loc { trace_id } ->
               if not (Hashtbl.mem condemned trace_id) then begin
                 Hashtbl.replace condemned trace_id ();
+                (* OSR mid-flight cut-over: when the flagged trace is
+                   the one being executed right now, deoptimize first —
+                   block dispatch resumes at the materialized state, the
+                   execution pin drops, and the quarantine below is not
+                   refused.  Without OSR the pin refuses the quarantine
+                   and a later sweep (or dispatch validation) condemns
+                   the trace once it has exited. *)
+                (match ctx.active with
+                | Some a when a.Trace.id = trace_id ->
+                    deopt_active ctx ~reason:Osr.Condemned
+                | _ -> ());
                 (* quarantine by the trace's live entry binding *)
                 let entry = ref None in
                 Trace_cache.iter_entries ctx.cache (fun ~first ~head tr ->
@@ -251,48 +392,6 @@ let prologue ctx =
          ~cache:ctx.cache ~active:ctx.active)
   end
 
-(* End the active trace after a completion. *)
-let finish_completed ctx (tr : Trace.t) =
-  ctx.just_completed <- true;
-  tr.Trace.completed <- tr.Trace.completed + 1;
-  Metrics.record ctx.h_trace_len (Trace.n_blocks tr);
-  ctx.traces_completed <- ctx.traces_completed + 1;
-  ctx.completed_blocks <- ctx.completed_blocks + Trace.n_blocks tr;
-  ctx.completed_instrs <- ctx.completed_instrs + tr.Trace.total_instrs;
-  ctx.active <- None;
-  if Events.enabled ctx.events then
-    Events.emit ctx.events
-      (Events.Trace_completed
-         {
-           trace_id = tr.Trace.id;
-           n_blocks = Trace.n_blocks tr;
-           n_instrs = tr.Trace.total_instrs;
-         });
-  (* the profiler missed the trace interior: reposition its context at the
-     trace's final branch *)
-  Profiler.resync ctx.profiler ~x:ctx.prev2 ~y:ctx.prev
-
-(* End the active trace after a side exit; the mismatching block has not
-   been processed yet. *)
-let finish_partial ctx (tr : Trace.t) =
-  ctx.just_completed <- false;
-  tr.Trace.partial_exits <- tr.Trace.partial_exits + 1;
-  tr.Trace.partial_instrs <- tr.Trace.partial_instrs + ctx.matched_instrs;
-  Metrics.record ctx.h_exit_distance ctx.matched_blocks;
-  ctx.partial_blocks <- ctx.partial_blocks + ctx.matched_blocks;
-  ctx.partial_instrs <- ctx.partial_instrs + ctx.matched_instrs;
-  ctx.active <- None;
-  if Events.enabled ctx.events then
-    Events.emit ctx.events
-      (Events.Side_exit
-         {
-           trace_id = tr.Trace.id;
-           at_block = ctx.active_pos;
-           matched_blocks = ctx.matched_blocks;
-           matched_instrs = ctx.matched_instrs;
-         });
-  Profiler.resync ctx.profiler ~x:ctx.prev2 ~y:ctx.prev
-
 (* Validate a trace the dispatch lookup produced, before entering it.
    Returns the code of the first violated invariant, or None when the
    trace is sound.  The binding key is checked first (a corrupted head
@@ -312,8 +411,16 @@ let validate_dispatch ctx (tr : Trace.t) ~prev ~cur : string option =
 
 (* Follow the active trace, if any; a block outside every trace goes to
    the strategy's [step].  Shared by every backend: an active trace is
-   followed to its end regardless of health-level changes mid-trace. *)
-let rec follow ~step ctx (g : Layout.gid) =
+   followed to its end regardless of health-level changes mid-trace.
+
+   A guard can fail two ways: organically ([g <> expected]) or because
+   an armed FT008 guard flip forces this position to fail.  Without OSR
+   both take the classic side exit — leave the trace, reprocess [g]
+   through the full dispatch path (it may enter another trace).  With
+   OSR both *deoptimize*: the engine proves the interpreter already sits
+   at [g] and resumes plain block dispatch there through the strategy's
+   [deopt_resume], which never consults the trace cache. *)
+let rec follow ~step ~deopt_resume ctx (g : Layout.gid) =
   match ctx.active with
   | None -> step ctx g
   | Some tr ->
@@ -326,7 +433,11 @@ let rec follow ~step ctx (g : Layout.gid) =
       in
       if elided then ctx.guards_elided <- ctx.guards_elided + 1
       else ctx.guards_checked <- ctx.guards_checked + 1;
-      if g = expected then begin
+      let forced =
+        Faults.flip_now ctx.faults ~pos:ctx.active_pos
+          ~n_blocks:(Trace.n_blocks tr)
+      in
+      if g = expected && not forced then begin
         note_executed ctx g;
         attr_inline ctx g;
         ctx.matched_blocks <- ctx.matched_blocks + 1;
@@ -336,11 +447,11 @@ let rec follow ~step ctx (g : Layout.gid) =
         else ctx.active_pos <- ctx.active_pos + 1
       end
       else begin
-        (* a mismatch on a *pruned* position disproves the pruning
-           proof: the prover claimed this transition forced.  Surface it
-           as a TL217 violation when the checks are armed, then take the
-           normal side exit — the overlay stays observationally pure. *)
-        if elided && Config.debug_checks ctx.config then begin
+        (* an *organic* mismatch on a pruned position disproves the
+           pruning proof: the prover claimed this transition forced.
+           Surface it as a TL217 violation when the checks are armed (a
+           forced flip on a matching block proves nothing). *)
+        if elided && g <> expected && Config.debug_checks ctx.config then begin
           ctx.invariant_violations <- ctx.invariant_violations + 1;
           if Events.enabled ctx.events then
             Events.emit ctx.events
@@ -355,20 +466,28 @@ let rec follow ~step ctx (g : Layout.gid) =
                        tr.Trace.id ctx.active_pos expected g;
                  })
         end;
-        (* side exit: leave the trace, then process g normally (it may
-           itself enter another trace) *)
-        finish_partial ctx tr;
-        follow ~step ctx g
+        match ctx.osr with
+        | Some osr ->
+            (* deoptimize: abandon the residue, resume block dispatch at
+               the failing block *)
+            deopt ctx osr tr ~resume:g
+              ~reason:(if forced then Osr.Guard_flip else Osr.Guard_failure);
+            deopt_resume ctx g
+        | None ->
+            (* side exit: leave the trace, then process g normally (it
+               may itself enter another trace) *)
+            finish_partial ctx tr;
+            follow ~step ~deopt_resume ctx g
       end
 
 (* The full VM observer a backend's [on_block] is built from: stamp the
    event clock, follow/step, then check for a decay boundary. *)
-let observe ~step ctx (g : Layout.gid) =
+let observe ~step ~deopt_resume ctx (g : Layout.gid) =
   (* stamp the stream once per observed block; events emitted during this
      step carry the current dispatch index *)
   if Events.enabled ctx.events then
     Events.set_now ctx.events (ctx.block_dispatches + ctx.trace_dispatches);
-  follow ~step ctx g;
+  follow ~step ~deopt_resume ctx g;
   if Config.debug_checks ctx.config then begin
     (* decay boundary: the BCG ran one or more decay passes during this
        dispatch *)

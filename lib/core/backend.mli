@@ -29,6 +29,8 @@ type ctx = {
   metrics : Metrics.t;
   health : Health.t;
   faults : Faults.t;
+  osr : Osr.t option;
+      (** on-stack replacement state; [None] when [Config.Osr] is off *)
   spans : Spans.t option;
       (** causal span recorder; [None] when [Config.Obs.spans] is off *)
   attr_self : int array;
@@ -43,6 +45,8 @@ type ctx = {
   h_build_len : Metrics.histogram;  (** blocks per installed builder path *)
   h_backoff : Metrics.histogram;
       (** finite quarantine backoff durations *)
+  h_deopt_residue : Metrics.histogram;
+      (** trace positions abandoned past each OSR deopt point *)
   mutable active : Trace.t option;
       (** the trace currently being followed *)
   mutable active_pos : int;  (** index of the next expected block *)
@@ -97,6 +101,20 @@ module type S = sig
   val on_block : ctx -> Cfg.Layout.gid -> unit
   (** The full VM observer: follow the active trace if any, else
       {!step}; built from {!observe}. *)
+
+  val poll_osr : ctx -> Cfg.Layout.gid -> unit
+  (** OSR {e entry} point: feed one outside-trace dispatch to hot-loop
+      detection ({!Osr.observe_header}).  The interp strategy ignores
+      it, the profile strategy counts header heat without acting, and
+      the trace strategy promotes the loop mid-iteration on a threshold
+      crossing.  No-op when OSR is off. *)
+
+  val deopt_resume : ctx -> Cfg.Layout.gid -> unit
+  (** OSR {e exit} point: process the block dispatch execution resumes
+      at after a deoptimization.  A plain dispatch that never consults
+      the trace cache — the engine just abandoned a trace, and
+      re-entering one at the deopt transition would defeat the
+      resume. *)
 
   val stats_into : ctx -> Stats.t -> Stats.t
   (** Overlay the counters this strategy maintains onto a Stats record.
@@ -158,21 +176,48 @@ val finish_partial : ctx -> Trace.t -> unit
 (** End the active trace after a side exit (the mismatching block has
     not been processed yet) and resync the profiler. *)
 
+val deopt : ctx -> Osr.t -> Trace.t -> resume:Cfg.Layout.gid -> reason:Osr.reason -> unit
+(** OSR deoptimization: abandon the active trace at the current position
+    and resume block dispatch at [resume].  Performs the side-exit
+    bookkeeping ({!finish_partial}: event, profiler resync, unpin),
+    records the abandoned residue, checks the materialized interpreter
+    continuation against [resume] (TL219 on mismatch) and emits
+    [Deopt_entered]. *)
+
+val deopt_active : ctx -> reason:Osr.reason -> unit
+(** Mid-flight cut-over: deoptimize the currently executing trace (a
+    sweep is condemning it) at whatever block the interpreter
+    materializes.  No-op when no trace is active or OSR is off. *)
+
 val validate_dispatch :
   ctx -> Trace.t -> prev:Cfg.Layout.gid -> cur:Cfg.Layout.gid -> string option
 (** Validate a trace produced by the dispatch lookup before entering
     it; [Some code] names the first violated invariant. *)
 
-val follow : step:(ctx -> Cfg.Layout.gid -> unit) -> ctx -> Cfg.Layout.gid -> unit
+val follow :
+  step:(ctx -> Cfg.Layout.gid -> unit) ->
+  deopt_resume:(ctx -> Cfg.Layout.gid -> unit) ->
+  ctx ->
+  Cfg.Layout.gid ->
+  unit
 (** Follow the active trace, if any; a block outside every trace goes
     to [step].  An active trace is followed to its end regardless of
     health-level changes mid-trace.  Each followed position counts as
     one guard — [guards_elided] when [Trace.pruned] covers it,
-    [guards_checked] otherwise — and a mismatch on a pruned position is
-    reported as a TL217 disproof under [debug_checks] before the normal
-    side exit. *)
+    [guards_checked] otherwise — and an organic mismatch on a pruned
+    position is reported as a TL217 disproof under [debug_checks].
 
-val observe : step:(ctx -> Cfg.Layout.gid -> unit) -> ctx -> Cfg.Layout.gid -> unit
+    A guard fails organically (mismatching block) or by an armed FT008
+    flip ({!Faults.flip_now}).  Without OSR both take the classic side
+    exit and reprocess the block through the full dispatch path; with
+    OSR both {!deopt} and resume through [deopt_resume]. *)
+
+val observe :
+  step:(ctx -> Cfg.Layout.gid -> unit) ->
+  deopt_resume:(ctx -> Cfg.Layout.gid -> unit) ->
+  ctx ->
+  Cfg.Layout.gid ->
+  unit
 (** The full VM observer a backend's [on_block] is built from: stamp
     the event clock, {!follow}, then run the decay-boundary invariant
     sweep when armed. *)

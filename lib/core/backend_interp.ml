@@ -19,7 +19,15 @@ let step (ctx : Backend.ctx) g =
   Backend.note_executed ctx g;
   Backend.apply_health ctx (Health.clean_dispatch ctx.Backend.health)
 
-let on_block ctx g = Backend.observe ~step ctx g
+(* OSR detection needs the profiler's view of the stream; interp-only is
+   the level where even that is off, so header heat does not accrue. *)
+let poll_osr (_ : Backend.ctx) (_ : Cfg.Layout.gid) = ()
+
+(* A deopt resume is an ordinary interp dispatch — [step] never consults
+   the cache anyway. *)
+let deopt_resume = step
+
+let on_block ctx g = Backend.observe ~step ~deopt_resume ctx g
 
 let stats_into (ctx : Backend.ctx) (s : Stats.t) =
   { s with Stats.block_dispatches = ctx.Backend.block_dispatches }

@@ -12,6 +12,18 @@ let name = "profile"
 
 let describe = "block dispatch with BCG profiling; traces never entered"
 
+(* Hot-loop detection lives with the profiling strategy: one
+   outside-trace dispatch of [g] feeds the OSR header counters.  With
+   [promote = false] the heat saturates at the threshold instead of
+   firing, so it survives until a trace-building backend can act on the
+   crossing ([Backend_trace] calls this with [promote = true]). *)
+let hot_loop (ctx : Backend.ctx) g ~promote =
+  match ctx.Backend.osr with
+  | Some osr -> Osr.observe_header osr g ~promote
+  | None -> None
+
+let poll_osr (ctx : Backend.ctx) g = ignore (hot_loop ctx g ~promote:false)
+
 let step (ctx : Backend.ctx) g =
   Backend.prologue ctx;
   ctx.Backend.block_dispatches <- ctx.Backend.block_dispatches + 1;
@@ -19,10 +31,15 @@ let step (ctx : Backend.ctx) g =
   Backend.attr_step ctx g;
   Profiler.dispatch ctx.Backend.profiler g;
   Backend.note_executed ctx g;
+  poll_osr ctx g;
   if Config.self_heal ctx.Backend.config then
     Backend.apply_health ctx (Health.clean_dispatch ctx.Backend.health)
 
-let on_block ctx g = Backend.observe ~step ctx g
+(* A deopt resume is an ordinary profiled dispatch — [step] never
+   consults the cache. *)
+let deopt_resume = step
+
+let on_block ctx g = Backend.observe ~step ~deopt_resume ctx g
 
 let stats_into (ctx : Backend.ctx) (s : Stats.t) =
   let profiler = ctx.Backend.profiler in

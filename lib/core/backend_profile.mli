@@ -4,3 +4,9 @@
     never consulted.  See {!Backend.S}. *)
 
 include Backend.S
+
+val hot_loop : Backend.ctx -> Cfg.Layout.gid -> promote:bool -> int option
+(** Feed one outside-trace dispatch of [g] to OSR hot-loop detection
+    ({!Osr.observe_header}); [None] when OSR is off.  Shared with
+    [Backend_trace], which passes [promote = true] and acts on the
+    returned hotness. *)

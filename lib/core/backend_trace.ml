@@ -14,8 +14,14 @@ let name = "trace"
 let describe = "trace-cache dispatch over the profiled block stream"
 
 let enter (ctx : Backend.ctx) (tr : Trace.t) g =
+  (* executing traces are pinned against eviction and quarantine for the
+     duration of the dispatch; finish_completed/finish_partial unpin *)
+  Trace_cache.pin ctx.Backend.cache tr;
   ctx.Backend.trace_dispatches <- ctx.Backend.trace_dispatches + 1;
   ctx.Backend.traces_entered <- ctx.Backend.traces_entered + 1;
+  (match ctx.Backend.osr with
+  | Some osr -> Osr.note_entry osr ~trace_id:tr.Trace.id
+  | None -> ());
   let chained = ctx.Backend.just_completed in
   if chained then ctx.Backend.chained_entries <- ctx.Backend.chained_entries + 1;
   ctx.Backend.just_completed <- false;
@@ -39,11 +45,88 @@ let enter (ctx : Backend.ctx) (tr : Trace.t) g =
     ctx.Backend.active_pos <- 1
   end
 
+(* OSR mid-loop promotion: a hot header crossed its threshold while we
+   were dispatching blocks — build its loop trace immediately, so the
+   very next latch->header transition enters it.  Mirrors the engine's
+   signal glue (span, counter folding, construction-boundary sweep), but
+   fires from the dispatch loop rather than a profiler signal. *)
+let promote_loop (ctx : Backend.ctx) (osr : Osr.t) header ~hotness =
+  let span =
+    match ctx.Backend.spans with
+    | Some s ->
+        Spans.begin_span s ~kind:Spans.Trace_build
+          ~label:(Printf.sprintf "osr promote header %d" header)
+          ~now:(Backend.clock ctx)
+    | None -> -1
+  in
+  let outcome, installed =
+    Trace_builder.promote ~events:ctx.Backend.events
+      ~on_path:(fun n -> Metrics.record ctx.Backend.h_build_len n)
+      ctx.Backend.config ctx.Backend.cache
+      (Profiler.bcg ctx.Backend.profiler)
+      ~header
+  in
+  ctx.Backend.traces_constructed <-
+    ctx.Backend.traces_constructed + outcome.Trace_builder.new_traces;
+  ctx.Backend.builder_reuses <-
+    ctx.Backend.builder_reuses + outcome.Trace_builder.reused_traces;
+  ctx.Backend.guards_pruned <-
+    ctx.Backend.guards_pruned + outcome.Trace_builder.pruned_guards;
+  (match installed with
+  | Some tr ->
+      Osr.note_promotion osr ~trace_id:tr.Trace.id;
+      if Events.enabled ctx.Backend.events then
+        Events.emit ctx.Backend.events
+          (Events.Osr_promoted
+             {
+               trace_id = tr.Trace.id;
+               header;
+               latch = tr.Trace.first;
+               hotness;
+             })
+  | None -> ());
+  (* trace-construction boundary *)
+  if
+    outcome.Trace_builder.new_traces > 0
+    && Config.debug_checks ctx.Backend.config
+  then Backend.run_debug_checks ctx;
+  (match ctx.Backend.spans with
+  | Some s -> Spans.end_span s span ~now:(Backend.clock ctx)
+  | None -> ());
+  installed <> None
+
+(* Returns whether a promotion installed a trace, so [step] knows to
+   retry its cache lookup. *)
+let poll_promote (ctx : Backend.ctx) g =
+  match ctx.Backend.osr with
+  | None -> false
+  | Some osr -> (
+      let promote = Config.build_traces ctx.Backend.config in
+      match Backend_profile.hot_loop ctx g ~promote with
+      | Some hotness -> promote_loop ctx osr g ~hotness
+      | None -> false)
+
+let poll_osr (ctx : Backend.ctx) g = ignore (poll_promote ctx g)
+
 let step (ctx : Backend.ctx) g =
   Backend.prologue ctx;
   let self_heal = Config.self_heal ctx.Backend.config in
   let candidate =
     Trace_cache.lookup ctx.Backend.cache ~prev:ctx.Backend.prev ~cur:g
+  in
+  (* hot-loop heat accumulates only on uncovered dispatches: a loop
+     already running under trace dispatch has nothing to promote, and a
+     loop that loses coverage (eviction, quarantine) starts re-heating
+     the moment its header misses again.  When the miss that crossed the
+     threshold is itself the latch->header transition, the freshly
+     promoted trace is entered by this very dispatch. *)
+  let candidate =
+    match candidate with
+    | Some _ -> candidate
+    | None ->
+        if poll_promote ctx g then
+          Trace_cache.lookup ctx.Backend.cache ~prev:ctx.Backend.prev ~cur:g
+        else None
   in
   let candidate, detected =
     match candidate with
@@ -71,7 +154,20 @@ let step (ctx : Backend.ctx) g =
   if self_heal && not detected then
     Backend.apply_health ctx (Health.clean_dispatch ctx.Backend.health)
 
-let on_block ctx g = Backend.observe ~step ctx g
+(* A deopt resume is a profiled block dispatch that never consults the
+   cache: the engine just abandoned a trace at this block, and
+   re-entering one at the deopt transition would defeat the resume. *)
+let deopt_resume (ctx : Backend.ctx) g =
+  Backend.prologue ctx;
+  ctx.Backend.block_dispatches <- ctx.Backend.block_dispatches + 1;
+  ctx.Backend.just_completed <- false;
+  Backend.attr_step ctx g;
+  Profiler.dispatch ctx.Backend.profiler g;
+  Backend.note_executed ctx g;
+  if Config.self_heal ctx.Backend.config then
+    Backend.apply_health ctx (Health.clean_dispatch ctx.Backend.health)
+
+let on_block ctx g = Backend.observe ~step ~deopt_resume ctx g
 
 let stats_into (ctx : Backend.ctx) (s : Stats.t) =
   let static_traces = ref 0 in
@@ -81,9 +177,22 @@ let stats_into (ctx : Backend.ctx) (s : Stats.t) =
         incr static_traces;
         static_blocks := !static_blocks + Trace.n_blocks tr
       end);
+  let deopts, deopt_residue_blocks, osr_promotions, osr_entries =
+    match ctx.Backend.osr with
+    | Some osr ->
+        ( Osr.deopts osr,
+          Osr.residue_blocks osr,
+          Osr.promotions osr,
+          Osr.entries osr )
+    | None -> (0, 0, 0, 0)
+  in
   {
     s with
     Stats.trace_dispatches = ctx.Backend.trace_dispatches;
+    deopts;
+    deopt_residue_blocks;
+    osr_promotions;
+    osr_entries;
     traces_entered = ctx.Backend.traces_entered;
     traces_completed = ctx.Backend.traces_completed;
     completed_blocks = ctx.Backend.completed_blocks;

@@ -129,6 +129,24 @@ module Faults = struct
   let validate (_ : t) = ()
 end
 
+module Osr = struct
+  type t = {
+    enabled : bool;
+        (* on-stack replacement: guard failures deoptimize to exact
+           interpreter state at the failing block (instead of abandoning
+           the residue and restarting dispatch from the trace head), and
+           hot loop headers are promoted into traces mid-iteration *)
+    promote_after : int;
+        (* outside-trace dispatches of one loop header before the
+           mid-loop promotion fires *)
+  }
+
+  let default = { enabled = false; promote_after = 96 }
+
+  let validate t =
+    if t.promote_after < 1 then invalid_arg "osr_promote_after < 1"
+end
+
 module Obs = struct
   type t = {
     spans : bool;
@@ -156,6 +174,7 @@ type t = {
   heal : Heal.t;
   faults : Faults.t;
   obs : Obs.t;
+  osr : Osr.t;
   snapshot_period : int;
       (* dispatches between periodic metrics snapshots; 0 disables the
          series (the observability layer's quiescent default) *)
@@ -175,6 +194,7 @@ let default =
     heal = Heal.default;
     faults = Faults.default;
     obs = Obs.default;
+    osr = Osr.default;
     snapshot_period = 0;
     debug_checks = false;
     prune_guards = false;
@@ -202,6 +222,8 @@ let heal_demote_after t = t.heal.Heal.demote_after
 let heal_recover_after t = t.heal.Heal.recover_after
 let fault_spec t = t.faults.Faults.spec
 let fault_seed t = t.faults.Faults.seed
+let osr_enabled t = t.osr.Osr.enabled
+let osr_promote_after t = t.osr.Osr.promote_after
 let obs_spans t = t.obs.Obs.spans
 let obs_attribution t = t.obs.Obs.attribution
 let span_buffer t = t.obs.Obs.span_buffer
@@ -216,7 +238,8 @@ let validate t =
   Cache.validate t.cache;
   Heal.validate t.heal;
   Faults.validate t.faults;
-  Obs.validate t.obs
+  Obs.validate t.obs;
+  Osr.validate t.osr
 
 let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
     ?(threshold = Profile.default.Profile.threshold)
@@ -240,6 +263,8 @@ let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
     ?(heal_recover_after = Heal.default.Heal.recover_after)
     ?(fault_spec = Faults.default.Faults.spec)
     ?(fault_seed = Faults.default.Faults.seed)
+    ?(osr = Osr.default.Osr.enabled)
+    ?(osr_promote_after = Osr.default.Osr.promote_after)
     ?(obs_spans = Obs.default.Obs.spans)
     ?(obs_attribution = Obs.default.Obs.attribution)
     ?(span_buffer = Obs.default.Obs.span_buffer)
@@ -280,6 +305,7 @@ let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
           span_buffer;
           hist_buckets;
         };
+      osr = { Osr.enabled = osr; promote_after = osr_promote_after };
       snapshot_period;
       debug_checks;
       prune_guards;
@@ -313,6 +339,10 @@ let with_faults t faults =
 let with_obs t obs =
   validate { t with obs };
   { t with obs }
+
+let with_osr t osr =
+  validate { t with osr };
+  { t with osr }
 
 let pp ppf t =
   Format.fprintf ppf "delay=%d threshold=%.2f decay=%d" (start_state_delay t)

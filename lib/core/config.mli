@@ -122,6 +122,32 @@ module Faults : sig
   val validate : t -> unit
 end
 
+(** On-stack replacement (OSR): mid-trace deoptimization and mid-loop
+    promotion.  Off by default — the engine then behaves exactly as
+    before: a guard failure abandons the trace residue and restarts
+    block dispatch from the trace head transition. *)
+module Osr : sig
+  type t = {
+    enabled : bool;
+        (** When on, a guard failure (or a mid-flight condemnation of
+            the executing trace) {e deoptimizes}: the interpreter state
+            is materialized at the failing block and block dispatch
+            resumes there; and hot loop headers detected by the
+            profiling strategy are {e promoted} into freshly built
+            traces mid-iteration, entered on the very next back-edge.
+            Off by default. *)
+    promote_after : int;
+        (** Outside-trace dispatches of one loop header before the
+            mid-loop promotion fires (default 96 — past the profiler's
+            default [start_state_delay], so the loop's BCG nodes are
+            followable by the time the builder runs). *)
+  }
+
+  val default : t
+
+  val validate : t -> unit
+end
+
 (** Deep-observability knobs: span recording and hot-path attribution.
     Both are off by default — the quiescent engine pays nothing for
     them. *)
@@ -155,6 +181,7 @@ type t = {
   heal : Heal.t;
   faults : Faults.t;
   obs : Obs.t;
+  osr : Osr.t;
   snapshot_period : int;
       (** Dispatches between periodic {!Metrics} snapshots; [0]
           (default) disables the snapshot series. *)
@@ -200,6 +227,8 @@ val make :
   ?heal_recover_after:int ->
   ?fault_spec:string ->
   ?fault_seed:int ->
+  ?osr:bool ->
+  ?osr_promote_after:int ->
   ?obs_spans:bool ->
   ?obs_attribution:bool ->
   ?span_buffer:int ->
@@ -256,6 +285,10 @@ val fault_spec : t -> string
 
 val fault_seed : t -> int
 
+val osr_enabled : t -> bool
+
+val osr_promote_after : t -> int
+
 val obs_spans : t -> bool
 
 val obs_attribution : t -> bool
@@ -287,5 +320,7 @@ val with_heal : t -> Heal.t -> t
 val with_faults : t -> Faults.t -> t
 
 val with_obs : t -> Obs.t -> t
+
+val with_osr : t -> Osr.t -> t
 
 val pp : Format.formatter -> t -> unit

@@ -133,6 +133,16 @@ let register_gauges (m : Metrics.t) (t : t) =
   Metrics.gauge m "snapshots_rejected" (fun () -> t.snapshots_rejected);
   Metrics.gauge m "cache_footprint_bytes" (fun () ->
       Trace_cache.footprint_bytes e.Backend.cache);
+  Metrics.gauge m "pin_refusals" (fun () ->
+      Trace_cache.n_pin_refusals e.Backend.cache);
+  (match e.Backend.osr with
+  | Some osr ->
+      Metrics.gauge m "deopts" (fun () -> Osr.deopts osr);
+      Metrics.gauge m "deopt_residue_blocks" (fun () ->
+          Osr.residue_blocks osr);
+      Metrics.gauge m "osr_promotions" (fun () -> Osr.promotions osr);
+      Metrics.gauge m "osr_entries" (fun () -> Osr.entries osr)
+  | None -> ());
   match e.Backend.spans with
   | Some s ->
       Metrics.gauge m "spans_recorded" (fun () -> Spans.recorded s);
@@ -181,6 +191,12 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
   in
   let h_build_len = Metrics.histogram metrics ~buckets "builder_path_len" in
   let h_backoff = Metrics.histogram metrics ~buckets "quarantine_backoff" in
+  let h_deopt_residue = Metrics.histogram metrics ~buckets "deopt_residue" in
+  let osr =
+    if Config.osr_enabled config then
+      Some (Osr.create ~promote_after:(Config.osr_promote_after config) layout)
+    else None
+  in
   (* The profiler's signal callback closes over the shared dispatch
      context; tie the knot with a forward reference. *)
   let context = ref None in
@@ -231,6 +247,7 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
       metrics;
       health;
       faults;
+      osr;
       spans;
       attr_self =
         (if Config.obs_attribution config then
@@ -244,6 +261,7 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
       h_exit_distance;
       h_build_len;
       h_backoff;
+      h_deopt_residue;
       active = None;
       active_pos = 0;
       matched_blocks = 0;
@@ -368,6 +386,39 @@ let build_len_hist t = t.ctx.Backend.h_build_len
 
 let backoff_hist t = t.ctx.Backend.h_backoff
 
+let deopt_residue_hist t = t.ctx.Backend.h_deopt_residue
+
+(* OSR accounting; all zero when Config.Osr is off. *)
+let deopts t =
+  match t.ctx.Backend.osr with Some o -> Osr.deopts o | None -> 0
+
+let deopt_residue_blocks t =
+  match t.ctx.Backend.osr with Some o -> Osr.residue_blocks o | None -> 0
+
+let osr_promotions t =
+  match t.ctx.Backend.osr with Some o -> Osr.promotions o | None -> 0
+
+let osr_entries t =
+  match t.ctx.Backend.osr with Some o -> Osr.entries o | None -> 0
+
+let osr_state_checks t =
+  match t.ctx.Backend.osr with Some o -> Osr.state_checks o | None -> 0
+
+let osr_state_mismatches t =
+  match t.ctx.Backend.osr with Some o -> Osr.state_mismatches o | None -> 0
+
+let pin_refusals t = Trace_cache.n_pin_refusals t.ctx.Backend.cache
+
+let arm_guard_flip t ~pos = Faults.arm_flip t.ctx.Backend.faults ~pos
+
+let debug_sweep t = Backend.run_debug_checks t.ctx
+
+let attach t (handle : Interp.handle) =
+  match t.ctx.Backend.osr with
+  | Some osr ->
+      Osr.set_materialize osr (fun () -> Some (Interp.materialize handle))
+  | None -> ()
+
 let backend_kind t = t.kind
 
 let backend t = implementation t.kind
@@ -464,7 +515,9 @@ let restore t data : (restore_info, Persist.error) result =
       let bcg = Profiler.bcg ctx.Backend.profiler in
       Bcg.restore bcg snap.Persist.bcg_nodes;
       let traces =
-        Trace_cache.restore ctx.Backend.cache snap.Persist.cache_entries
+        Trace_cache.restore
+          ~promoted_below:(Config.threshold t.ctx.Backend.config)
+          ctx.Backend.cache snap.Persist.cache_entries
       in
       let info =
         {
@@ -496,9 +549,13 @@ type run_result = {
 let drive ?max_instructions t : run_result =
   let layout = t.ctx.Backend.layout in
   let t0 = Unix.gettimeofday () in
-  let vm_result =
-    Interp.run ?max_instructions layout ~on_block:(fun g -> on_block t g)
+  (* drive through a handle (not Interp.run) so the OSR deopt checks can
+     materialize the live continuation; bit-identical either way *)
+  let handle =
+    Interp.start ?max_instructions layout ~on_block:(fun g -> on_block t g)
   in
+  attach t handle;
+  let vm_result = Interp.finish handle in
   let wall_seconds = Unix.gettimeofday () -. t0 in
   { engine = t; vm_result; run_stats = stats t ~vm_result ~wall_seconds }
 

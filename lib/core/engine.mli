@@ -191,6 +191,56 @@ val build_len_hist : t -> Metrics.histogram
 val backoff_hist : t -> Metrics.histogram
 (** Finite quarantine backoff durations, in dispatch ticks. *)
 
+val deopt_residue_hist : t -> Metrics.histogram
+(** Trace positions abandoned past each OSR deopt point. *)
+
+(** {2 On-stack replacement}
+
+    All zero / no-ops when {!Config.Osr} is off. *)
+
+val deopts : t -> int
+(** OSR deoptimizations taken so far (organic guard failures, FT008
+    flips and mid-flight condemnation cut-overs). *)
+
+val deopt_residue_blocks : t -> int
+(** Trace positions abandoned past the deopt points, summed. *)
+
+val osr_promotions : t -> int
+(** Hot loops promoted into traces mid-iteration. *)
+
+val osr_entries : t -> int
+(** Promoted traces entered on their armed back-edge. *)
+
+val osr_state_checks : t -> int
+(** Deopts that could materialize interpreter state (the engine was
+    driven through {!drive} or {!attach}ed to a handle). *)
+
+val osr_state_mismatches : t -> int
+(** TL219 findings: materialized interpreter state disagreed with the
+    deopt resume block.  Always [0] on a healthy engine. *)
+
+val pin_refusals : t -> int
+(** Quarantine attempts refused because the target trace was executing
+    (pinned) at that moment ({!Trace_cache.n_pin_refusals}). *)
+
+val arm_guard_flip : t -> pos:int -> unit
+(** Arm one FT008 guard flip at trace position [pos] directly
+    ({!Faults.arm_flip}), bypassing the probabilistic schedule — the
+    deopt-at-every-position tests drive this.
+    @raise Invalid_argument if [pos < 1]. *)
+
+val debug_sweep : t -> unit
+(** Run one invariant sweep ({!Backend.run_debug_checks}) on demand,
+    outside the scheduled decay/construction boundaries — exposed so
+    tests can condemn a corrupted trace {e while it is executing} and
+    observe the mid-flight cut-over. *)
+
+val attach : t -> Vm.Interp.handle -> unit
+(** Point the OSR state-materialization hook at the live interpreter
+    handle; {!drive} does this automatically, external drivers
+    ([Session], tests stepping a handle themselves) call it once after
+    [Vm.Interp.start].  No-op when OSR is off. *)
+
 (** {2 Backend selection} *)
 
 val backend_kind : t -> backend_kind

@@ -76,6 +76,19 @@ type payload =
     }
   | Snapshot_rejected of { reason : string }
   | Guards_pruned of { trace_id : int; pruned : int; guards : int }
+  | Deopt_entered of {
+      trace_id : int;
+      at_block : int; (* trace position of the failed/abandoned guard *)
+      resume_block : int; (* gid block dispatch resumes at; -1 unknown *)
+      residue_blocks : int; (* trace positions abandoned past at_block *)
+      reason : string; (* "guard-failure" | "guard-flip" | "condemned" *)
+    }
+  | Osr_promoted of {
+      trace_id : int;
+      header : Cfg.Layout.gid;
+      latch : Cfg.Layout.gid;
+      hotness : int;
+    }
 
 type event = { time : int; payload : payload }
 
@@ -135,3 +148,5 @@ let kind = function
   | Cache_restored _ -> "cache_restored"
   | Snapshot_rejected _ -> "snapshot_rejected"
   | Guards_pruned _ -> "guards_pruned"
+  | Deopt_entered _ -> "deopt_entered"
+  | Osr_promoted _ -> "osr_promoted"

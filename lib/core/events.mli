@@ -153,6 +153,34 @@ type payload =
     }
       (** [Trace_prover] derived a non-empty guard-implication pruning
           for a newly installed trace ({!Config.t.prune_guards}). *)
+  | Deopt_entered of {
+      trace_id : int;
+      at_block : int;
+          (** trace position of the failed or abandoned guard *)
+      resume_block : int;
+          (** gid block dispatch resumes at ([-1] when unknown — e.g. a
+              mid-flight condemnation with no interpreter handle
+              attached) *)
+      residue_blocks : int;
+          (** trace positions abandoned past [at_block] — the work a
+              non-OSR side exit would have thrown away *)
+      reason : string;
+          (** ["guard-failure"] (organic mismatch), ["guard-flip"]
+              (FT008), or ["condemned"] (mid-flight cut-over) *)
+    }
+      (** OSR deoptimization: the engine abandoned the active trace and
+          resumed block dispatch at the materialized interpreter state
+          ({!Config.Osr.t.enabled}). *)
+  | Osr_promoted of {
+      trace_id : int;
+      header : Cfg.Layout.gid;  (** the promoted loop's header block *)
+      latch : Cfg.Layout.gid;
+          (** the back-edge source the trace is entered from *)
+      hotness : int;  (** header dispatches that triggered the promotion *)
+    }
+      (** OSR promotion: a hot loop was promoted into a freshly built
+          trace mid-iteration; the trace is entered at [header] on the
+          very next back-edge. *)
 
 type event = { time : int; payload : payload }
 (** [time] is the engine's dispatch index (block + trace dispatches) at

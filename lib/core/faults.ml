@@ -24,6 +24,9 @@ type kind =
   | Drop_best (* FT005: clear a node's cached most-likely successor *)
   | Fail_install (* FT006: fail the next trace installation *)
   | Alloc_pressure (* FT007: evict half of the live trace cache *)
+  | Guard_flip
+    (* FT008: force a guard failure at a chosen position of the next
+       followed trace, exercising the side-exit/deoptimization path *)
 
 let all_kinds =
   [
@@ -34,6 +37,7 @@ let all_kinds =
     Drop_best;
     Fail_install;
     Alloc_pressure;
+    Guard_flip;
   ]
 
 let kind_name = function
@@ -44,6 +48,7 @@ let kind_name = function
   | Drop_best -> "drop-best"
   | Fail_install -> "fail-install"
   | Alloc_pressure -> "alloc-pressure"
+  | Guard_flip -> "guard-flip"
 
 let code = function
   | Corrupt_trace -> "FT001"
@@ -53,8 +58,12 @@ let code = function
   | Drop_best -> "FT005"
   | Fail_install -> "FT006"
   | Alloc_pressure -> "FT007"
+  | Guard_flip -> "FT008"
 
-let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
+(* Specs written with underscores (guard_flip@0.05) are accepted too. *)
+let kind_of_name s =
+  let s = String.map (fun c -> if c = '_' then '-' else c) s in
+  List.find_opt (fun k -> kind_name k = s) all_kinds
 
 (* The FT catalogue mirrors Analysis.Diag's TL code table: FT0xx are
    injectable faults (with the TL check that detects them), FT9xx are the
@@ -80,6 +89,11 @@ let catalogue =
     ( "FT007",
       "alloc-pressure: evict half of the live trace cache (surfaces as \
        capacity evictions)" );
+    ( "FT008",
+      "guard-flip: force a guard failure at a chosen position of the next \
+       followed trace (exercises the side-exit / OSR deoptimization path; \
+       transparent by construction, so the chaos gate must stay \
+       bit-identical)" );
     ("FT901", "chaos gate: VM result diverged from the no-tracing baseline");
     ( "FT902",
       "chaos gate: the engine did not recover to full tracing by the end of \
@@ -95,6 +109,9 @@ type t = {
   mutable budget : int; (* remaining injections; max_int = unbounded *)
   mutable injected : int;
   mutable state : int64; (* xorshift64 *)
+  mutable pending_flip : int option;
+      (* armed FT008: requested guard position of the next followed
+         trace (clamped to its length at consumption) *)
 }
 
 (* DSL parsing *)
@@ -158,7 +175,7 @@ let create ~seed spec =
     let s = Int64.of_int seed in
     if Int64.equal s 0L then 0x2545F4914F6CDD1DL else s
   in
-  { arms; budget; injected = 0; state }
+  { arms; budget; injected = 0; state; pending_flip = None }
 
 let is_active t = t.arms <> [] && t.budget > 0
 
@@ -183,16 +200,20 @@ let pick t bound =
   else Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1)
                        (Int64.of_int bound))
 
-(* Victim selection.  The currently dispatching trace is never a victim:
+(* Victim selection.  A currently dispatching trace is never a victim:
    corrupting it mid-flight would make the fault indistinguishable from an
-   interpreter bug, and the real-world analogue (a trace being executed is
-   pinned) is the defensible behaviour. *)
+   interpreter bug.  Both this engine's [active] trace and any trace the
+   shared cache has pinned (another session member may be executing it)
+   are excluded. *)
 
 let live_victims cache ~active =
   let acc = ref [] in
   Trace_cache.iter cache (fun tr ->
-      let pinned = match active with Some a -> a == tr | None -> false in
-      if not pinned then acc := tr :: !acc);
+      let executing =
+        (match active with Some a -> a == tr | None -> false)
+        || Trace_cache.is_pinned cache tr
+      in
+      if not executing then acc := tr :: !acc);
   !acc
 
 let node_victims bcg ~need_best =
@@ -272,6 +293,40 @@ let apply t kind ~(bcg : Bcg.t) ~(cache : Trace_cache.t)
         else Some (Printf.sprintf "pressure-evicted %d of %d traces" evicted
                      live)
       end
+  | Guard_flip ->
+      (* Arm at most one flip at a time: re-arming before consumption
+         would silently waste budget without changing behaviour. *)
+      if t.pending_flip <> None then None
+      else begin
+        let pos = 1 + pick t 8 in
+        t.pending_flip <- Some pos;
+        Some
+          (Printf.sprintf
+             "next followed trace: guard at position %d (clamped) will flip"
+             pos)
+      end
+
+(* FT008 consumption.  [tick] runs in the dispatch prologue, outside any
+   trace, so the flip cannot fire there; it is armed as [pending_flip]
+   and consumed by the dispatch loop's guard comparison ([flip_now]) at
+   the first followed trace reaching the armed position. *)
+
+let arm_flip t ~pos =
+  if pos < 1 then invalid_arg "Faults.arm_flip: pos < 1";
+  t.pending_flip <- Some pos
+
+let flip_armed t = t.pending_flip <> None
+
+let flip_now t ~pos ~n_blocks =
+  match t.pending_flip with
+  | None -> false
+  | Some p ->
+      let target = max 1 (min p (n_blocks - 1)) in
+      if pos = target then begin
+        t.pending_flip <- None;
+        true
+      end
+      else false
 
 let tick t ~now ~bcg ~cache ~active : (string * string) list =
   if t.budget <= 0 || t.arms = [] then []

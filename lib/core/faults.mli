@@ -29,17 +29,24 @@ type kind =
       (** FT005: clear a node's cached most-likely successor (TL205) *)
   | Fail_install  (** FT006: fail the next trace installation *)
   | Alloc_pressure  (** FT007: evict half of the live trace cache *)
+  | Guard_flip
+      (** FT008: force a guard failure at a chosen position of the next
+          followed trace, exercising the side-exit / OSR deoptimization
+          path.  Transparent by construction: tracing is an overlay, so
+          a flipped guard must never change VM results. *)
 
 val kind_name : kind -> string
 (** The DSL name: ["corrupt-trace"], ["zero-counter"], … *)
 
 val code : kind -> string
-(** The stable catalogue code: ["FT001"] … ["FT007"]. *)
+(** The stable catalogue code: ["FT001"] … ["FT008"]. *)
 
 val kind_of_name : string -> kind option
+(** Accepts both hyphenated and underscored spellings ([guard-flip] and
+    [guard_flip]). *)
 
 val catalogue : (string * string) list
-(** Code/description pairs: FT001–FT007 (injectable faults, each naming
+(** Code/description pairs: FT001–FT008 (injectable faults, each naming
     the TL2xx check that detects it) plus FT901/FT902, the chaos gate's
     own verdict codes. *)
 
@@ -71,4 +78,30 @@ val tick :
     injected.  [active] pins the currently dispatching trace — it is
     never picked as a corruption victim.  An arm whose fault finds no
     eligible victim (empty cache, no BCG edges) fires without effect and
-    does not consume budget. *)
+    does not consume budget.
+
+    A [Guard_flip] arm does not corrupt anything at tick time: it {e
+    arms} a pending flip, consumed later by the dispatch loop's guard
+    comparison ({!flip_now}) inside the next followed trace. *)
+
+(** {2 FT008 guard flips}
+
+    [tick] runs in the dispatch prologue — outside any trace — so a
+    guard flip cannot fire there.  Instead it is armed as a pending
+    position and consumed by the trace-following loop. *)
+
+val arm_flip : t -> pos:int -> unit
+(** Directly arm a guard flip at trace position [pos >= 1] (tests and
+    the deopt-at-every-position sweep use this; chaos schedules arm via
+    the DSL).  The position is clamped to the followed trace's length at
+    consumption time.
+    @raise Invalid_argument if [pos < 1]. *)
+
+val flip_armed : t -> bool
+(** Whether a flip is armed and not yet consumed. *)
+
+val flip_now : t -> pos:int -> n_blocks:int -> bool
+(** Called by the dispatch loop at guard position [pos] of a followed
+    trace of [n_blocks] blocks: [true] exactly once, when the armed
+    (clamped) position is reached — the caller must then treat the guard
+    as failed.  [false] when nothing is armed. *)

@@ -122,8 +122,13 @@ let check_trace ?context ?bcg ?layout (config : Config.t) (tr : Trace.t) =
                  layout.Cfg.Layout.instr_len.(b)))
         tr.Trace.blocks);
   (* TL201: the greedy cutter only commits extensions keeping the product
-     at or above the threshold, and correlations never exceed 1 *)
-  if tr.Trace.prob < Config.threshold config || tr.Trace.prob > 1.0 then
+     at or above the threshold, and correlations never exceed 1.  OSR
+     promotion deliberately installs ahead of correlation maturity, so a
+     promoted trace only answers for the upper bound. *)
+  if
+    (tr.Trace.prob < Config.threshold config && not tr.Trace.promoted)
+    || tr.Trace.prob > 1.0
+  then
     add
       (err ?context ~code:"TL201" ~loc
          "completion probability %.6f outside [%.2f, 1]" tr.Trace.prob

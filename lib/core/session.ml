@@ -72,6 +72,8 @@ let add ?name ?config ?events ?max_instructions t (layout : Layout.t) =
     Interp.start ?max_instructions layout ~on_block:(fun g ->
         Engine.on_block engine g)
   in
+  (* OSR deopt checks materialize state through the member's own handle *)
+  Engine.attach engine handle;
   let m = { id; name; engine; handle; wall = 0.0; finished = None } in
   t.rev_members <- m :: t.rev_members;
   m

@@ -44,6 +44,12 @@ type t = {
   health_demotions : int;
   health_promotions : int;
   final_health : int; (* Health.level_rank at end of run: 0 = full *)
+  (* on-stack replacement (Config.Osr).  All zero with OSR off. *)
+  deopts : int; (* mid-trace deoptimizations taken *)
+  deopt_residue_blocks : int;
+      (* trace positions abandoned past the deopt points, summed *)
+  osr_promotions : int; (* hot loops promoted mid-iteration *)
+  osr_entries : int; (* promoted traces entered on their armed back-edge *)
   wall_seconds : float;
 }
 
@@ -81,6 +87,10 @@ let zero =
     health_demotions = 0;
     health_promotions = 0;
     final_health = 0;
+    deopts = 0;
+    deopt_residue_blocks = 0;
+    osr_promotions = 0;
+    osr_entries = 0;
     wall_seconds = 0.0;
   }
 
@@ -120,6 +130,13 @@ type derived = {
   guards_per_kinstr : float;
       (* guards actually checked per 1000 executed instructions — the
          dynamic cost pruning attacks *)
+  deopt_rate : float;
+      (* OSR deoptimizations per trace entry: how often a followed trace
+         was abandoned mid-flight instead of completing or side-exiting
+         at its natural end *)
+  deopt_residue : float;
+      (* average trace positions abandoned past the deopt point — the
+         work a non-OSR side exit would have re-dispatched *)
 }
 
 let derived t : derived =
@@ -147,6 +164,8 @@ let derived t : derived =
     eviction_rate = ratio t.traces_evicted t.traces_constructed;
     guard_elision_rate = ratio t.guards_elided (t.guards_checked + t.guards_elided);
     guards_per_kinstr = 1000.0 *. ratio t.guards_checked t.instructions;
+    deopt_rate = ratio t.deopts t.traces_entered;
+    deopt_residue = ratio t.deopt_residue_blocks t.deopts;
   }
 
 (* Projections, kept for call sites that want a single value. *)
@@ -179,6 +198,10 @@ let eviction_rate t = (derived t).eviction_rate
 let guard_elision_rate t = (derived t).guard_elision_rate
 
 let guards_per_kinstr t = (derived t).guards_per_kinstr
+
+let deopt_rate t = (derived t).deopt_rate
+
+let deopt_residue t = (derived t).deopt_residue
 
 let pp ppf t =
   let d = derived t in
@@ -217,6 +240,16 @@ let pp ppf t =
       t.guards_checked d.guards_per_kinstr t.guards_elided
       (100.0 *. d.guard_elision_rate)
       t.guards_pruned;
+  (* OSR accounting appears only when on-stack replacement actually
+     fired, so a run with OSR off renders unchanged *)
+  if t.deopts > 0 || t.osr_promotions > 0 then
+    Format.fprintf ppf
+      "@,\
+       @[<v>deopts              %d (%.2f%% of entries, avg residue %.1f blocks)@,\
+       osr promotions      %d (%d armed entries taken)@]"
+      t.deopts
+      (100.0 *. d.deopt_rate)
+      d.deopt_residue t.osr_promotions t.osr_entries;
   (* the resilience line only appears when something resilience-related
      happened, so a healthy run's rendering is unchanged *)
   if

@@ -50,6 +50,14 @@ type t = {
   health_promotions : int;
   final_health : int;
       (** {!Health.level_rank} at end of run: [0] = full tracing *)
+  deopts : int;
+      (** OSR mid-trace deoptimizations taken ({!Config.Osr}); [0] with
+          OSR off *)
+  deopt_residue_blocks : int;
+      (** trace positions abandoned past the deopt points, summed *)
+  osr_promotions : int;  (** hot loops promoted mid-iteration *)
+  osr_entries : int;
+      (** promoted traces entered on their armed back-edge *)
   wall_seconds : float;
 }
 
@@ -79,6 +87,11 @@ type derived = {
   guards_per_kinstr : float;
       (** guards actually checked per 1000 executed instructions — the
           dynamic cost pruning attacks *)
+  deopt_rate : float;
+      (** OSR deoptimizations per trace entry — how often a followed
+          trace was abandoned mid-flight *)
+  deopt_residue : float;
+      (** average trace positions abandoned past the deopt point *)
 }
 (** Every dependent value of the evaluation, computed together.  The
     field names shadow the projection functions below: tables, {!pp} and
@@ -137,6 +150,12 @@ val guard_elision_rate : t -> float
 
 val guards_per_kinstr : t -> float
 (** Guards actually checked per 1000 executed instructions. *)
+
+val deopt_rate : t -> float
+(** OSR deoptimizations per trace entry. *)
+
+val deopt_residue : t -> float
+(** Average trace positions abandoned past the deopt point. *)
 
 val pp : Format.formatter -> t -> unit
 (** The resilience counters are rendered only when at least one of them

@@ -36,6 +36,13 @@ type t = {
   mutable validated : bool;
       (* whether the debug_checks sweep has already run translation
          validation on this trace; derived state, not persisted *)
+  mutable promoted : bool;
+      (* built by OSR mid-loop promotion rather than the greedy cutter:
+         the completion probability is the product of possibly immature
+         correlations and may sit below the cutter's threshold (TL201 is
+         relaxed accordingly).  Not persisted directly: a sub-threshold
+         probability identifies a promoted trace on restore, because the
+         cutter never commits one. *)
 }
 
 let make ~id ~(layout : Layout.t) ~first ~blocks ~prob =
@@ -55,6 +62,7 @@ let make ~id ~(layout : Layout.t) ~first ~blocks ~prob =
     owner = 0;
     pruned = [||];
     validated = false;
+    promoted = false;
   }
 
 let n_blocks t = Array.length t.blocks

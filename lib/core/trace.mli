@@ -39,6 +39,13 @@ type t = {
   mutable validated : bool;
       (** whether the [debug_checks] sweep already ran translation
           validation on this trace; derived state, never persisted. *)
+  mutable promoted : bool;
+      (** built by OSR mid-loop promotion rather than the greedy cutter:
+          the completion probability is a product of possibly immature
+          correlations and may sit below the cutter's threshold — the
+          TL201 invariant is relaxed for such traces.  Not persisted
+          directly: a sub-threshold probability identifies a promoted
+          trace on restore, because the cutter never commits one. *)
 }
 
 val make :

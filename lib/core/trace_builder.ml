@@ -126,6 +126,50 @@ let walk_from (config : Config.t) (root : Bcg.node) : walk =
   let corrs = Array.of_list (List.rev !corrs) in
   { path; corrs; cycle_start = !cycle }
 
+(* Install one candidate and do the per-install bookkeeping the cutter
+   and OSR promotion share: hash-cons accounting, one-time
+   guard-implication pruning, the construction event.  Returns
+   ((new, reused, pruned), installed trace). *)
+let install_candidate (config : Config.t) (cache : Trace_cache.t) ~events
+    ~first ~blocks ~prob : (int * int * int) * Trace.t option =
+  let before = Trace_cache.n_constructed cache in
+  (* fallible: a quarantined entry or an injected installation failure
+     drops the candidate — the cache records why *)
+  match Trace_cache.try_install cache ~first ~blocks ~prob with
+  | None -> ((0, 0, 0), None)
+  | Some tr ->
+      let is_new = Trace_cache.n_constructed cache > before in
+      let pruned = ref 0 in
+      (* guard-implication pruning runs once, at installation: the
+         verdicts are a property of the trace body alone, so a hash-cons
+         reuse keeps the first derivation *)
+      if is_new && Config.prune_guards config then begin
+        let n = Trace_prover.prune (Trace_cache.layout cache) tr in
+        if n > 0 then begin
+          pruned := n;
+          if Events.enabled events then
+            Events.emit events
+              (Events.Guards_pruned
+                 {
+                   trace_id = tr.Trace.id;
+                   pruned = n;
+                   guards = Trace.n_blocks tr;
+                 })
+        end
+      end;
+      if Events.enabled events then
+        Events.emit events
+          (Events.Trace_constructed
+             {
+               trace_id = tr.Trace.id;
+               first;
+               n_blocks = Trace.n_blocks tr;
+               n_instrs = tr.Trace.total_instrs;
+               prob;
+               reused = not is_new;
+             });
+      (((if is_new then 1 else 0), (if is_new then 0 else 1), !pruned), Some tr)
+
 (* Step 4: greedy probability cut of one segment of transitions
    [lo .. hi] (inclusive).  A trace covering transitions i..j consists of
    blocks [n_i.n_y .. n_j.n_y] with entry context n_i.n_x and completion
@@ -162,42 +206,12 @@ let cut_segment (config : Config.t) (cache : Trace_cache.t) ~events
       let blocks =
         Array.init n_transitions (fun k -> w.path.(!i + k).Bcg.n_y)
       in
-      let before = Trace_cache.n_constructed cache in
-      (* fallible: a quarantined entry or an injected installation failure
-         drops the candidate — the cache records why *)
-      match Trace_cache.try_install cache ~first ~blocks ~prob:!p with
-      | None -> ()
-      | Some tr ->
-          let is_new = Trace_cache.n_constructed cache > before in
-          if is_new then incr new_traces else incr reused;
-          (* guard-implication pruning runs once, at installation: the
-             verdicts are a property of the trace body alone, so a
-             hash-cons reuse keeps the first derivation *)
-          if is_new && Config.prune_guards config then begin
-            let n = Trace_prover.prune (Trace_cache.layout cache) tr in
-            if n > 0 then begin
-              pruned_guards := !pruned_guards + n;
-              if Events.enabled events then
-                Events.emit events
-                  (Events.Guards_pruned
-                     {
-                       trace_id = tr.Trace.id;
-                       pruned = n;
-                       guards = Trace.n_blocks tr;
-                     })
-            end
-          end;
-          if Events.enabled events then
-            Events.emit events
-              (Events.Trace_constructed
-                 {
-                   trace_id = tr.Trace.id;
-                   first;
-                   n_blocks = Trace.n_blocks tr;
-                   n_instrs = tr.Trace.total_instrs;
-                   prob = !p;
-                   reused = not is_new;
-                 })
+      let (n, r, p), _ =
+        install_candidate config cache ~events ~first ~blocks ~prob:!p
+      in
+      new_traces := !new_traces + n;
+      reused := !reused + r;
+      pruned_guards := !pruned_guards + p
     end;
     i := !j + 1
   done;
@@ -272,3 +286,79 @@ let on_signal ?(events = Events.create ()) ?(on_path = fun (_ : int) -> ())
     entry_points = List.length entries;
     pruned_guards = !pruned;
   }
+
+(* OSR mid-loop promotion (ROADMAP item 4): build the hot loop's
+   back-edge trace *now*, without waiting for a profiler signal.
+
+   This walk is deliberately not the signal path's maximum-likelihood
+   walk: that one refuses immature (newly created / weakly correlated)
+   nodes, and a loop hot enough to promote mid-iteration has usually not
+   had time to mature its correlations — waiting for maturity is exactly
+   what promotion exists to avoid.  Instead, starting from the hottest
+   transition entering [header] in any state, best successors are
+   followed until the walk returns to the header (the back edge closes)
+   or gives out.  A mispredicted pick costs at worst a deopt when the
+   trace's guard fails — never correctness — so immaturity only bounds
+   the trace's useful lifetime, not its safety.
+
+   The closed walk [header .. latch] installs with the latch as its
+   entry context, so the trace is bound at the latch->header transition
+   and its last block is that same latch: it chains back into itself,
+   and the loop runs under trace dispatch from the very next back edge.
+   Returns the installed trace so the caller can arm it for its first
+   OSR entry. *)
+let promote ?(events = Events.create ()) ?(on_path = fun (_ : int) -> ())
+    (config : Config.t) (cache : Trace_cache.t) (bcg : Bcg.t)
+    ~(header : Layout.gid) : outcome * Trace.t option =
+  let root = ref None in
+  Bcg.iter_nodes bcg (fun (n : Bcg.node) ->
+      if n.Bcg.n_y = header then
+        match !root with
+        | Some (r : Bcg.node) when r.Bcg.exec_total >= n.Bcg.exec_total -> ()
+        | _ -> root := Some n);
+  match !root with
+  | None -> (no_outcome, None)
+  | Some root ->
+      let rev_blocks = ref [ header ] in
+      let len = ref 1 in
+      let prob = ref 1.0 in
+      let cur = ref root in
+      let closed = ref false in
+      let stalled = ref false in
+      (* the closed walk installs as ONE trace, so it answers to the
+         cutter's length bound (TL209) as well as the walk cap *)
+      let cap = min (Config.max_walk config) (Config.max_trace_blocks config) in
+      while (not !closed) && (not !stalled) && !len < cap do
+        match (!cur).Bcg.best with
+        | None -> stalled := true
+        | Some e ->
+            prob := !prob *. Bcg.correlation !cur e;
+            let target = e.Bcg.e_target in
+            if target.Bcg.n_y = header then closed := true
+            else begin
+              rev_blocks := target.Bcg.n_y :: !rev_blocks;
+              incr len;
+              cur := target
+            end
+      done;
+      on_path !len;
+      if (not !closed) || !len < Config.min_trace_blocks config then
+        ({ no_outcome with entry_points = 1 }, None)
+      else begin
+        let blocks = Array.of_list (List.rev !rev_blocks) in
+        (* the latch: last block of the body, and the entry context *)
+        let first = blocks.(Array.length blocks - 1) in
+        let (n, r, p), installed =
+          install_candidate config cache ~events ~first ~blocks ~prob:!prob
+        in
+        (match installed with
+        | Some tr -> tr.Trace.promoted <- true
+        | None -> ());
+        ( {
+            new_traces = n;
+            reused_traces = r;
+            entry_points = 1;
+            pruned_guards = p;
+          },
+          installed )
+      end

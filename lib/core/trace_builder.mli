@@ -45,3 +45,19 @@ val on_signal :
     it.  Under {!Config.t.prune_guards} every newly installed trace is
     guard-implication pruned, with a [Guards_pruned] event per trace
     that lost at least one guard. *)
+
+val promote :
+  ?events:Events.t ->
+  ?on_path:(int -> unit) ->
+  Config.t ->
+  Trace_cache.t ->
+  Bcg.t ->
+  header:Cfg.Layout.gid ->
+  outcome * Trace.t option
+(** OSR mid-loop promotion: build the hot loop owning [header] into a
+    trace {e now}, rooted at the hottest followable BCG transition
+    entering the header, without waiting for a profiler signal.  The
+    second component is the installed self-chaining back-edge trace
+    (entered at the header on the very next latch→header transition)
+    when one exists — [None] when the BCG has no followable transition
+    into the header or the probability cut rejected every candidate. *)

@@ -40,6 +40,11 @@ type t = {
   heal_max_rebuilds : int;
   heal_backoff : int;
   quarantine : (int, qentry) Hashtbl.t; (* entry key -> blacklist record *)
+  pinned : (int, int) Hashtbl.t;
+      (* trace id -> execution refcount.  A pinned trace is currently
+         being followed by some engine (refcounted because the Session
+         layer shares one cache between members) and must never be
+         condemned: eviction skips it and quarantine refuses it. *)
   last_used : (int, int) Hashtbl.t; (* entry key -> use stamp *)
   use_count : (int, int) Hashtbl.t; (* entry key -> uses (heat) *)
   mutable stamp : int; (* monotone use counter for LRU *)
@@ -57,6 +62,8 @@ type t = {
   mutable pending_fail : int; (* injected installation failures to consume *)
   mutable failed_installs : int; (* injected failures consumed *)
   mutable quarantine_rejects : int; (* installs refused while quarantined *)
+  mutable pin_refusals : int;
+      (* quarantine attempts refused because the bound trace was pinned *)
   mutable cross_installs : int;
       (* hash-cons hits where the cached trace was built by another
          session — a construction this session never had to pay for *)
@@ -83,6 +90,7 @@ let create ?(events = Events.create ()) ?(max_traces = 0) ?(max_blocks = 0)
     heal_max_rebuilds;
     heal_backoff;
     quarantine = Hashtbl.create 16;
+    pinned = Hashtbl.create 8;
     last_used = Hashtbl.create 256;
     use_count = Hashtbl.create 256;
     stamp = 0;
@@ -100,6 +108,7 @@ let create ?(events = Events.create ()) ?(max_traces = 0) ?(max_blocks = 0)
     pending_fail = 0;
     failed_installs = 0;
     quarantine_rejects = 0;
+    pin_refusals = 0;
     cross_installs = 0;
     cross_entries = 0;
   }
@@ -135,6 +144,30 @@ let touch t ekey =
   in
   Hashtbl.replace t.use_count ekey (uses + 1)
 
+(* Execution pins.  The dispatch loop pins a trace for as long as it is
+   being followed; eviction ([pick_victim]) and condemnation
+   ([quarantine]) must never pull a trace out from under a running
+   dispatch — before pinning existed nothing guarded this, and OSR makes
+   the window live (a deopt needs the trace it is abandoning intact). *)
+
+let pin t (tr : Trace.t) =
+  let id = tr.Trace.id in
+  let n = match Hashtbl.find_opt t.pinned id with Some n -> n | None -> 0 in
+  Hashtbl.replace t.pinned id (n + 1)
+
+let unpin t (tr : Trace.t) =
+  let id = tr.Trace.id in
+  match Hashtbl.find_opt t.pinned id with
+  | Some n when n > 1 -> Hashtbl.replace t.pinned id (n - 1)
+  | Some _ -> Hashtbl.remove t.pinned id
+  | None -> () (* tolerate a flush between pin and unpin *)
+
+let is_pinned t (tr : Trace.t) = Hashtbl.mem t.pinned tr.Trace.id
+
+let n_pinned t = Hashtbl.length t.pinned
+
+let n_pin_refusals t = t.pin_refusals
+
 (* Dispatch lookup: is there a trace entered by the transition
    (prev, cur)? *)
 let lookup t ~prev ~cur : Trace.t option =
@@ -148,6 +181,13 @@ let lookup t ~prev ~cur : Trace.t option =
           t.cross_entries <- t.cross_entries + 1;
         Some tr
     | None -> None
+
+(* Non-dispatch lookup: same binding, but no LRU touch and no
+   cross-session accounting — observers (the OSR promotion glue, tests)
+   use this to inspect a binding without heating it. *)
+let peek t ~first ~head : Trace.t option =
+  if first < 0 then None
+  else Hashtbl.find_opt t.by_entry (entry_key_int t ~first ~head)
 
 (* Purge every by_seq binding of this exact trace.  A corrupted trace's
    sequence key is stale (the blocks changed under it), so a key lookup
@@ -197,16 +237,17 @@ let footprint_score t ekey (tr : Trace.t) =
   /. float_of_int (1 + uses_of t ekey)
 
 (* Pick the victim the configured policy condemns (never [keep], the
-   entry just installed): the smallest LRU stamp under [Lru], the worst
-   footprint/heat ratio (ties broken by older stamp) under
-   [Footprint_aware].  Returns [None] when nothing is evictable. *)
+   entry just installed, and never a pinned trace): the smallest LRU
+   stamp under [Lru], the worst footprint/heat ratio (ties broken by
+   older stamp) under [Footprint_aware].  Returns [None] when nothing is
+   evictable. *)
 let pick_victim t ~keep =
   let victim = ref None in
   (match t.policy with
   | Config.Cache.Lru ->
       Hashtbl.iter
         (fun ekey tr ->
-          if ekey <> keep then
+          if ekey <> keep && not (is_pinned t tr) then
             let s = stamp_of t ekey in
             match !victim with
             | Some (_, _, best) when best <= s -> ()
@@ -216,7 +257,7 @@ let pick_victim t ~keep =
       let best_score = ref neg_infinity in
       Hashtbl.iter
         (fun ekey tr ->
-          if ekey <> keep then begin
+          if ekey <> keep && not (is_pinned t tr) then begin
             let score = footprint_score t ekey tr in
             let s = stamp_of t ekey in
             let better =
@@ -332,8 +373,18 @@ let n_quarantine_active t =
 
 let quarantine t ~first ~head ~code : Trace.t option =
   let ekey = entry_key_int t ~first ~head in
+  match Hashtbl.find_opt t.by_entry ekey with
+  | Some tr when is_pinned t tr ->
+      (* Refuse wholly: no unbind, no blacklist record — the trace is
+         being executed right now.  Under OSR the caller deopts (and
+         unpins) first and retries; without OSR a later sweep or
+         dispatch validation re-detects the fault once the trace has
+         exited.  The refusal is counted, not silently dropped. *)
+      t.pin_refusals <- t.pin_refusals + 1;
+      None
+  | bound ->
   let removed =
-    match Hashtbl.find_opt t.by_entry ekey with
+    match bound with
     | Some tr ->
         unbind t ekey tr;
         (* not counted in [evicted] (that is capacity accounting) but
@@ -445,7 +496,7 @@ let snapshot t : entry_snap list =
     t.by_entry;
   List.sort (fun (a, _) (b, _) -> compare a b) !entries |> List.map snd
 
-let restore t (snaps : entry_snap list) : int =
+let restore ?promoted_below t (snaps : entry_snap list) : int =
   let n = ref 0 in
   List.iter
     (fun snap ->
@@ -465,6 +516,12 @@ let restore t (snaps : entry_snap list) : int =
                 ~prob:snap.snap_prob
             in
             tr.Trace.owner <- t.session;
+            (* the cutter never commits below the threshold, so a
+               sub-threshold snapshot can only be a promoted loop trace *)
+            (match promoted_below with
+            | Some threshold when snap.snap_prob < threshold ->
+                tr.Trace.promoted <- true
+            | _ -> ());
             Hashtbl.replace t.by_seq skey tr;
             tr
       in
@@ -523,4 +580,5 @@ let flush t =
   Hashtbl.reset t.last_used;
   Hashtbl.reset t.use_count;
   Hashtbl.reset t.quarantine;
+  Hashtbl.reset t.pinned;
   t.live_blocks <- 0

@@ -67,6 +67,12 @@ val lookup : t -> prev:Cfg.Layout.gid -> cur:Cfg.Layout.gid -> Trace.t option
     if any ([prev < 0] never matches).  A hit refreshes the entry's LRU
     stamp. *)
 
+val peek : t -> first:Cfg.Layout.gid -> head:Cfg.Layout.gid -> Trace.t option
+(** The trace bound to the entry transition [(first, head)], if any,
+    {e without} refreshing its LRU stamp or counting a dispatch — for
+    observers (the OSR promotion glue, tests) that must not heat the
+    entry. *)
+
 val install :
   t ->
   first:Cfg.Layout.gid ->
@@ -107,7 +113,36 @@ val quarantine :
     {!remove}, and the entry is blacklisted until
     [clock + heal_backoff * 2^(attempts-1)] — permanently once its
     condemnation count exceeds [heal_max_rebuilds].  Emits
-    [Trace_quarantined]. *)
+    [Trace_quarantined].
+
+    If the bound trace is currently {!pin}ned (being executed), the
+    condemnation is {e refused} wholly — no unbind, no blacklist record,
+    [None] returned, {!n_pin_refusals} bumped.  Callers that must
+    condemn an executing trace (the OSR mid-flight cut-over) deopt and
+    unpin first. *)
+
+(** {2 Execution pins}
+
+    The dispatch loop pins a trace for as long as it is being followed:
+    a pinned trace is never an eviction victim and {!quarantine} refuses
+    to condemn it.  Pins are refcounted because the [Session] layer
+    shares one cache between members. *)
+
+val pin : t -> Trace.t -> unit
+(** Increment the trace's execution refcount. *)
+
+val unpin : t -> Trace.t -> unit
+(** Decrement the refcount ([0] removes the pin).  Unpinning a trace
+    that is not pinned is a no-op ({!flush} may have dropped it). *)
+
+val is_pinned : t -> Trace.t -> bool
+
+val n_pinned : t -> int
+(** Distinct traces currently pinned. *)
+
+val n_pin_refusals : t -> int
+(** {!quarantine} condemnations refused because the bound trace was
+    pinned. *)
 
 val is_quarantined : t -> first:Cfg.Layout.gid -> head:Cfg.Layout.gid -> bool
 (** Whether the entry transition is blacklisted at the current clock. *)
@@ -130,7 +165,9 @@ val pressure_evict : t -> down_to:int -> int
     the number evicted (the fault injector's FT007 allocation-pressure
     fault).  Victims are chosen by the configured
     {!Config.Cache.eviction_policy}; the emitted [Trace_evicted] reason
-    is [Pressure] under [Lru] and [Footprint] under [Footprint_aware]. *)
+    is [Pressure] under [Lru] and [Footprint] under [Footprint_aware].
+    {!pin}ned traces are never victims, so the eviction may stop above
+    [down_to]. *)
 
 (** {2 Warm-start snapshots} *)
 
@@ -151,13 +188,16 @@ val snapshot : t -> entry_snap list
     counters, LRU stamps, quarantine records — is not captured, so
     snapshot → restore → snapshot is bit-identical. *)
 
-val restore : t -> entry_snap list -> int
+val restore : ?promoted_below:float -> t -> entry_snap list -> int
 (** Rebind every snapshot entry (constructing traces afresh over this
     cache's layout, hash-cons deduplicated), returning the number
     restored.  Restored traces count toward {!n_restored}, not
     {!n_constructed}, and carry the current session as owner.  Capacity
     caps are enforced as usual, so restoring into a smaller cache keeps
-    the policy's preferred subset.
+    the policy's preferred subset.  [promoted_below] (normally the
+    config's correlation threshold) re-marks sub-threshold snapshots as
+    OSR-promoted loop traces — the greedy cutter never commits below the
+    threshold, so the probability alone identifies them.
     @raise Invalid_argument on an empty block sequence. *)
 
 val n_restored : t -> int

@@ -29,10 +29,13 @@ let default_spec =
    alloc-pressure@0.001,budget=24"
 
 (* debug_checks is on so sweep-based healing runs; the cache is bounded
-   so eviction paths are exercised too. *)
-let config ?(spec = default_spec) ~seed () =
+   so eviction paths are exercised too.  [osr] arms on-stack replacement
+   (mid-trace deopt + mid-loop promotion): the transparency promise must
+   hold with the deopt paths live, which is what the check.sh
+   deopt-transparency gate drives with a guard-flip schedule. *)
+let config ?(spec = default_spec) ?(osr = false) ~seed () =
   Config.make ~debug_checks:true ~self_heal:true ~max_cache_traces:48
-    ~fault_spec:spec ~fault_seed:seed ()
+    ~fault_spec:spec ~fault_seed:seed ~osr ()
 
 type verdict = {
   workload : string;
@@ -56,11 +59,11 @@ let fingerprint (r : Interp.result) : string * int * int =
   in
   (outcome, r.Interp.instructions, r.Interp.block_dispatches)
 
-let run_one ?spec ?max_instructions (w : Workloads.Workload.t) ~size ~seed :
-    verdict =
+let run_one ?spec ?osr ?max_instructions (w : Workloads.Workload.t) ~size ~seed
+    : verdict =
   let layout = Experiment.layout_for w ~size in
   let baseline = Interp.run_plain ?max_instructions layout in
-  let chaos_config = config ?spec ~seed () in
+  let chaos_config = config ?spec ?osr ~seed () in
   let result = Engine.run ~config:chaos_config ?max_instructions layout in
   let stats = result.Engine.run_stats in
   {
@@ -74,12 +77,12 @@ let run_one ?spec ?max_instructions (w : Workloads.Workload.t) ~size ~seed :
 (* The gate: every registered workload under [schedules] seeded fault
    schedules.  Returns all verdicts; the caller decides how to render
    failures (the CLI exits non-zero on any). *)
-let gate ?spec ?max_instructions ?(schedules = 50) ~seed ~size_of () :
+let gate ?spec ?osr ?max_instructions ?(schedules = 50) ~seed ~size_of () :
     verdict list =
   List.concat_map
     (fun (w : Workloads.Workload.t) ->
       List.init schedules (fun i ->
-          run_one ?spec ?max_instructions w ~size:(size_of w)
+          run_one ?spec ?osr ?max_instructions w ~size:(size_of w)
             ~seed:(seed + (1000 * i))))
     Workloads.Registry.all
 

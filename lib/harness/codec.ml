@@ -90,8 +90,10 @@ let to_string j =
    Version 4: [cache_restored] / [snapshot_rejected] event kinds and the
    ["footprint"] eviction reason (warm-start snapshots, footprint-aware
    eviction).
-   Version 5: [guards_pruned] event kind (guard-implication pruning). *)
-let schema_version = 5
+   Version 5: [guards_pruned] event kind (guard-implication pruning).
+   Version 6: [deopt_entered] / [osr_promoted] event kinds (on-stack
+   replacement). *)
+let schema_version = 6
 
 type format = Jsonl | Chrome_trace | Binary_snapshot
 
@@ -230,6 +232,22 @@ let event_json (e : Events.event) : json =
           ("trace_id", J_int trace_id);
           ("pruned", J_int pruned);
           ("guards", J_int guards);
+        ]
+    | Events.Deopt_entered
+        { trace_id; at_block; resume_block; residue_blocks; reason } ->
+        [
+          ("trace_id", J_int trace_id);
+          ("at_block", J_int at_block);
+          ("resume_block", J_int resume_block);
+          ("residue_blocks", J_int residue_blocks);
+          ("reason", J_string reason);
+        ]
+    | Events.Osr_promoted { trace_id; header; latch; hotness } ->
+        [
+          ("trace_id", J_int trace_id);
+          ("header", J_int header);
+          ("latch", J_int latch);
+          ("hotness", J_int hotness);
         ]
   in
   J_obj

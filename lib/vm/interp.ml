@@ -502,6 +502,84 @@ let finish h =
   done;
   result_of h
 
+(* State materialization (OSR).  A deoptimizing engine must show that
+   abandoning a trace mid-flight leaves the interpreter exactly where
+   pure block dispatch would be.  [materialize] captures the live
+   continuation — every frame's method, pc, locals and operand stack —
+   at a block boundary; the dispatch overlay never mutates interpreter
+   state, so a mismatch here is a hard invariant violation (TL219). *)
+
+type frame_snapshot = {
+  fs_method : int;
+  fs_pc : int;
+  fs_sp : int;
+  fs_locals : Value.t array;
+  fs_stack : Value.t array; (* live prefix only: stack.(0 .. sp-1) *)
+}
+
+type materialized = {
+  m_frames : frame_snapshot list; (* innermost first *)
+  m_instructions : int;
+  m_block : Layout.gid option;
+      (* the block the innermost frame's pc resolves to; None once the
+         program has stopped (or pc is not a block boundary) *)
+}
+
+let snapshot_frame (fr : frame) : frame_snapshot =
+  {
+    fs_method = fr.meth.Mthd.id;
+    fs_pc = fr.pc;
+    fs_sp = fr.sp;
+    fs_locals = Array.copy fr.locals;
+    fs_stack = Array.sub fr.stack 0 fr.sp;
+  }
+
+let materialize (h : handle) : materialized =
+  let st = h.h_st in
+  let m_block =
+    match st.frames with
+    | [] -> None
+    | fr :: _ -> (
+        try
+          Some
+            (Layout.gid_at_pc st.layout ~method_id:fr.meth.Mthd.id ~pc:fr.pc)
+        with _ -> None)
+  in
+  {
+    m_frames = List.map snapshot_frame st.frames;
+    m_instructions = st.instructions;
+    m_block;
+  }
+
+(* Cross-run value equality: scalars structurally ([compare] so NaN
+   equals itself), references by shape only — two independent runs never
+   share heap objects, so identity cannot be compared and deep
+   structural comparison could chase cycles. *)
+let value_equal (a : Value.t) (b : Value.t) =
+  match (a, b) with
+  | Value.Vobj x, Value.Vobj y ->
+      x.Value.cls = y.Value.cls
+      && Array.length x.Value.fields = Array.length y.Value.fields
+  | Value.Varr x, Value.Varr y ->
+      x.Value.kind = y.Value.kind
+      && Array.length x.Value.cells = Array.length y.Value.cells
+  | (Value.Vobj _ | Value.Varr _), _ | _, (Value.Vobj _ | Value.Varr _) ->
+      false
+  | _ -> compare a b = 0
+
+let frame_snapshot_equal (a : frame_snapshot) (b : frame_snapshot) =
+  a.fs_method = b.fs_method && a.fs_pc = b.fs_pc && a.fs_sp = b.fs_sp
+  && Array.length a.fs_locals = Array.length b.fs_locals
+  && Array.for_all2 value_equal a.fs_locals b.fs_locals
+  && Array.length a.fs_stack = Array.length b.fs_stack
+  && Array.for_all2 value_equal a.fs_stack b.fs_stack
+
+let materialized_equal (a : materialized) (b : materialized) =
+  a.m_instructions = b.m_instructions
+  && a.m_block = b.m_block
+  && List.length a.m_frames = List.length b.m_frames
+  && List.for_all2 frame_snapshot_equal a.m_frames b.m_frames
+
 let run ?max_instructions ?on_block_state (layout : Layout.t)
     ~(on_block : Layout.gid -> unit) : result =
   finish (start ?max_instructions ?on_block_state layout ~on_block)

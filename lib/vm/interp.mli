@@ -98,6 +98,45 @@ val result_of : handle -> result
 (** The result of a stopped handle without driving it further.
     @raise Invalid_argument if the program is still {!running}. *)
 
+(** {2 State materialization (OSR)}
+
+    A deoptimizing engine must show that abandoning a trace mid-flight
+    leaves the interpreter exactly where pure block dispatch would be.
+    {!materialize} captures the live continuation at a block boundary;
+    because trace dispatch is a pure observational overlay, the
+    materialized state of an engine-driven run is equal
+    ({!materialized_equal}) to that of a plain run stepped the same
+    number of blocks — the OSR machinery checks this at every deopt
+    (invariant TL219). *)
+
+type frame_snapshot = {
+  fs_method : int;  (** method id *)
+  fs_pc : int;
+  fs_sp : int;
+  fs_locals : Value.t array;  (** copied *)
+  fs_stack : Value.t array;  (** live prefix only: [stack.(0 .. sp-1)] *)
+}
+
+type materialized = {
+  m_frames : frame_snapshot list;  (** innermost first *)
+  m_instructions : int;
+  m_block : Cfg.Layout.gid option;
+      (** the block the innermost frame's pc resolves to; [None] once
+          the program has stopped *)
+}
+
+val materialize : handle -> materialized
+(** Snapshot the interpreter continuation.  Meaningful at block
+    boundaries — between {!step_blocks} batches, or from inside an
+    [on_block] observer (the observer runs before the block executes, so
+    [m_block] is the block just dispatched). *)
+
+val materialized_equal : materialized -> materialized -> bool
+(** Control-state equality plus shallow value equality: scalars compare
+    structurally, object/array references by shape (class and field
+    count / element kind and length) — two independent runs never share
+    heap, so reference identity cannot be compared across them. *)
+
 val result_value : result -> Value.t option
 (** The returned value.
     @raise Invalid_argument if the program trapped. *)

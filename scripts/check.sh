@@ -39,6 +39,13 @@ dune exec bin/repro_cli.exe -- prove --min-pruning 2
 # tracing; exits non-zero on any FT901/FT902 verdict.
 dune exec bin/repro_cli.exe -- chaos --seed 42 --quick
 
+# Deopt-transparency gate: with on-stack replacement armed, guard-flip
+# schedules (FT008) force mid-trace deoptimization at pseudo-random
+# positions on every workload — results must stay bit-identical and the
+# ladder must still end the run at full tracing.
+dune exec bin/repro_cli.exe -- chaos --spec 'guard_flip@0.05,budget=24' \
+  --schedules 25 --seed 42 --quick --osr
+
 # Hot-path attribution: the ranked report's every column must reconcile
 # exactly with the end-of-run statistics; exits non-zero on mismatch.
 dune exec bin/repro_cli.exe -- top compress > /dev/null

@@ -56,7 +56,7 @@ let test_catalogue () =
     (fun c ->
       check Alcotest.bool (c ^ " catalogued") true (List.mem c codes))
     [ "FT001"; "FT002"; "FT003"; "FT004"; "FT005"; "FT006"; "FT007";
-      "FT901"; "FT902" ];
+      "FT008"; "FT901"; "FT902" ];
   (* kind_name / kind_of_name round-trip, and codes line up *)
   List.iter
     (fun name ->
@@ -67,7 +67,7 @@ let test_catalogue () =
             (List.mem (Faults.code k) codes)
       | None -> Alcotest.failf "kind %S unknown" name)
     [ "corrupt-trace"; "corrupt-instrs"; "zero-counter"; "saturate-counter";
-      "drop-best"; "fail-install"; "alloc-pressure" ];
+      "drop-best"; "fail-install"; "alloc-pressure"; "guard-flip" ];
   check Alcotest.(option reject) "unknown kind" None
     (Faults.kind_of_name "bogus")
 

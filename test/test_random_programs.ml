@@ -374,6 +374,32 @@ let prop_chaos_transparent =
       && plain.Interp.instructions
          = chaotic.Tracegen.Engine.vm_result.Interp.instructions)
 
+(* On-stack replacement under random guard-flip schedules: every deopt
+   must resume at the failing block with no observable effect, and every
+   materialized-state check (TL219) must agree. *)
+let prop_osr_transparent =
+  QCheck.Test.make
+    ~name:"OSR deopt/promotion is transparent on random programs" ~count:40
+    QCheck.(pair arb_program (int_bound 1_000_000))
+    (fun (program, seed) ->
+      let layout = Cfg.Layout.build program in
+      let plain =
+        Interp.run ~max_instructions:2_000_000 layout ~on_block:(fun _ -> ())
+      in
+      let config =
+        Tracegen.Config.make ~debug_checks:true ~self_heal:true
+          ~fault_spec:"guard-flip@0.02,budget=64" ~fault_seed:seed ~osr:true
+          ~osr_promote_after:32 ()
+      in
+      let r =
+        Tracegen.Engine.run ~config ~max_instructions:2_000_000 layout
+      in
+      same_outcome plain.Interp.outcome
+        r.Tracegen.Engine.vm_result.Interp.outcome
+      && plain.Interp.instructions
+         = r.Tracegen.Engine.vm_result.Interp.instructions
+      && Tracegen.Engine.osr_state_mismatches r.Tracegen.Engine.engine = 0)
+
 let prop_baselines_transparent =
   QCheck.Test.make ~name:"baseline overlays do not disturb execution"
     ~count:30 arb_program (fun program ->
@@ -404,6 +430,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_constprop_cross_validated;
           QCheck_alcotest.to_alcotest prop_symexec_cross_validated;
           QCheck_alcotest.to_alcotest prop_chaos_transparent;
+          QCheck_alcotest.to_alcotest prop_osr_transparent;
           QCheck_alcotest.to_alcotest prop_baselines_transparent;
         ] );
     ]
