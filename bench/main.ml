@@ -619,6 +619,70 @@ let guard_pruning () =
               s_on.Stats.guards_pruned)
     [ "compress"; "scimark" ]
 
+(* Micro-IR dispatch: the payoff of the compiled tier.  Run compress and
+   scimark with the tier off and on, and report how many traces reached
+   the compiled tier, the per-position dispatch cost (micro-ops executed
+   per position vs the source instructions those positions replaced —
+   folding, dead-store elision and superinstruction fusion are exactly
+   the gap), and the run-time delta.  Dispatch counts must be identical —
+   the tier only changes the cost of a position, never the dispatch
+   stream. *)
+let microir_dispatch () =
+  section "Micro-IR dispatch (compiled tier off vs on)";
+  let time f =
+    ignore (f ());
+    let samples =
+      List.init 5 (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (Unix.gettimeofday () -. t0, r))
+    in
+    match List.sort compare samples with
+    | _ :: _ :: (t, r) :: _ -> (t, r)
+    | (t, r) :: _ -> (t, r)
+    | [] -> assert false
+  in
+  List.iter
+    (fun name ->
+      match Workloads.Registry.find name with
+      | None -> ()
+      | Some w ->
+          let layout =
+            Cfg.Layout.build (Workloads.Workload.build_default w)
+          in
+          let run tier () =
+            let config = Tracegen.Config.make ~tier () in
+            (Tracegen.Engine.run ~config layout).Tracegen.Engine.run_stats
+          in
+          let t_off, s_off = time (run false) in
+          let t_on, s_on = time (run true) in
+          if Stats.total_dispatches s_off <> Stats.total_dispatches s_on then
+            Printf.printf "%-10s DISPATCH MISMATCH (%d vs %d)\n" name
+              (Stats.total_dispatches s_off)
+              (Stats.total_dispatches s_on)
+          else begin
+            let per denom n =
+              float_of_int n /. float_of_int (max 1 denom)
+            in
+            let ops_pp = per s_on.Stats.mi_positions s_on.Stats.mi_ops in
+            let src_pp =
+              per s_on.Stats.mi_positions s_on.Stats.mi_src_instrs
+            in
+            Printf.printf
+              "%-10s off: %6.2f instrs/position           %8.2f ms\n\
+               %-10s on : %6.2f micro-ops/position (-%4.1f%%) %8.2f ms \
+               (%+.1f%%)\n\
+               %-10s      %d traces compiled, %d compiled entries, %d fused \
+               ops\n"
+              name src_pp (1000.0 *. t_off) "" ops_pp
+              (100.0 *. (1.0 -. (ops_pp /. src_pp)))
+              (1000.0 *. t_on)
+              (100.0 *. (t_on -. t_off) /. t_off)
+              "" s_on.Stats.traces_compiled s_on.Stats.compiled_entries
+              s_on.Stats.mi_fused
+          end)
+    [ "compress"; "scimark" ]
+
 let micro () =
   section "Bechamel microbenchmarks";
   let test =
@@ -672,6 +736,7 @@ let () =
     backend_switch_overhead ();
     osr_overhead ();
     guard_pruning ();
+    microir_dispatch ();
     shared_cache ();
     warmstart ();
     print_newline ();
@@ -687,6 +752,7 @@ let () =
     backend_switch_overhead ();
     osr_overhead ();
     guard_pruning ();
+    microir_dispatch ();
     shared_cache ();
     (match Sys.getenv_opt "BENCH_SKIP_MICRO" with
     | Some "1" -> ()

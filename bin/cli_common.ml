@@ -33,13 +33,14 @@ let layout_of w ~size =
 (* The standard engine configuration of the run/events/session commands:
    fault-spec parse errors and out-of-range parameters both die cleanly. *)
 let engine_config ?snapshot_period ?obs_spans ?obs_attribution ?prune_guards
-    ?(osr = false) ~threshold ~delay ~fault_spec ~fault_seed ~self_heal () =
+    ?(osr = false) ?(tier = false) ~threshold ~delay ~fault_spec ~fault_seed
+    ~self_heal () =
   config_or_die (fun () ->
       (* the engine parses the spec at create; surface a bad one here *)
       ignore (Tracegen.Faults.create ~seed:fault_seed fault_spec);
       Tracegen.Config.make ~threshold ~start_state_delay:delay ~fault_spec
-        ~fault_seed ~self_heal ~debug_checks:self_heal ~osr ?snapshot_period
-        ?obs_spans ?obs_attribution ?prune_guards ())
+        ~fault_seed ~self_heal ~debug_checks:self_heal ~osr ~tier
+        ?snapshot_period ?obs_spans ?obs_attribution ?prune_guards ())
 
 (* shared argument definitions *)
 
@@ -87,6 +88,13 @@ let osr_arg =
          ~doc:"Arm on-stack replacement: guard failures deoptimize \
                mid-trace back to block dispatch, and hot loops are \
                promoted into self-chaining traces mid-iteration.")
+
+let tier_arg =
+  Arg.(value & flag & info [ "tier" ]
+         ~doc:"Arm the compiled micro-IR tier: hot traces are lowered to \
+               a register micro-IR with fused superinstructions and \
+               dispatched from the compiled tier (results stay \
+               bit-identical; see 'backends --tier').")
 
 (* Declarative subcommand table.  Each subcommand registers its name,
    one-line doc and term in one place; the main entry point builds the

@@ -17,12 +17,12 @@ let layout_of = Cli_common.layout_of
 (* ------------------------------------------------------------------ *)
 
 let run_cmd workload size threshold delay fault_spec fault_seed self_heal
-    osr prune_guards dump_traces dump_bcg top =
+    osr tier prune_guards dump_traces dump_bcg top =
   let w = find_workload workload in
   let layout = layout_of w ~size in
   let config =
     Cli_common.engine_config ~threshold ~delay ~fault_spec ~fault_seed
-      ~self_heal ~osr ~prune_guards ()
+      ~self_heal ~osr ~tier ~prune_guards ()
   in
   let result = Tracegen.Engine.run ~config layout in
   let s = result.Tracegen.Engine.run_stats in
@@ -49,8 +49,17 @@ let run_cmd workload size threshold delay fault_spec fault_seed self_heal
       (List.length sorted) top;
     List.iteri
       (fun k tr ->
-        if k < top then
-          print_endline (Tracegen.Trace.describe layout tr))
+        if k < top then begin
+          print_endline (Tracegen.Trace.describe layout tr);
+          match tr.Tracegen.Trace.lowered with
+          | Some body ->
+              Printf.printf
+                "       tier: compiled (%d micro-ops, %d fused, from %d \
+                 instrs)\n"
+                (Tracegen.Microir.n_ops body)
+                body.Tracegen.Microir.fused body.Tracegen.Microir.src_instrs
+          | None -> if tier then print_endline "       tier: interp"
+        end)
       sorted
   end;
   if dump_bcg then begin
@@ -83,13 +92,13 @@ let run_cmd workload size threshold delay fault_spec fault_seed self_heal
    checked against the end-of-run statistics: the stream and the counters
    are two views of the same execution and must agree exactly. *)
 let events_cmd workload size threshold delay fault_spec fault_seed self_heal
-    osr snapshot_period stats_only =
+    osr tier snapshot_period stats_only =
   let module Events = Tracegen.Events in
   let w = find_workload workload in
   let layout = layout_of w ~size in
   let config =
     Cli_common.engine_config ~snapshot_period ~threshold ~delay ~fault_spec
-      ~fault_seed ~self_heal ~osr ()
+      ~fault_seed ~self_heal ~osr ~tier ()
   in
   let events = Events.create () in
   let tally = Hashtbl.create 8 in
@@ -186,6 +195,12 @@ let events_cmd workload size threshold delay fault_spec fault_seed self_heal
       ( "osr_promoted = osr_promotions",
         count "osr_promoted",
         s.Tracegen.Stats.osr_promotions );
+      ( "trace_compiled = traces_compiled",
+        count "trace_compiled",
+        s.Tracegen.Stats.traces_compiled );
+      ( "tier_demoted = tier_demotions",
+        count "tier_demoted",
+        s.Tracegen.Stats.tier_demotions );
     ]
   in
   Printf.eprintf "# %d events across %d kinds\n"
@@ -430,7 +445,8 @@ let prove_cmd workload size threshold delay min_pruning =
    chaos gate's two promises: VM results bit-identical to the no-tracing
    baseline (FT901) and recovery to full tracing by the end of the run
    (FT902).  Exit 1 on any violated promise. *)
-let chaos_cmd workload size seed schedules spec osr quick verbose catalogue =
+let chaos_cmd workload size seed schedules spec osr tier quick verbose
+    catalogue =
   if catalogue then
     List.iter
       (fun (code, doc) -> Printf.printf "%s  %s\n" code doc)
@@ -463,7 +479,7 @@ let chaos_cmd workload size seed schedules spec osr quick verbose catalogue =
         let ok = ref 0 in
         for i = 0 to schedules - 1 do
           let v =
-            Harness.Chaos.run_one ~spec ~osr ?max_instructions w ~size
+            Harness.Chaos.run_one ~spec ~osr ~tier ?max_instructions w ~size
               ~seed:(seed + (1000 * i))
           in
           incr total;
@@ -496,11 +512,14 @@ let chaos_cmd workload size seed schedules spec osr quick verbose catalogue =
 (* backends                                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Describe the three dispatch backends, then pin each one over every
-   selected workload and hold its VM result to the plain-interpreter
-   fingerprint — the pure-overlay promise, per strategy.  Exit 1 on any
-   divergence. *)
-let backends_cmd workload size threshold delay =
+(* Describe the dispatch backends, then pin each one over every selected
+   workload and hold its VM result to the plain-interpreter fingerprint —
+   the pure-overlay promise, per strategy.  With --tier the microir
+   backend runs with the compiled tier armed, and the gate additionally
+   requires that at least one workload actually compiled a trace: a
+   transparency pass over an idle tier proves nothing.  Exit 1 on any
+   divergence (or, under --tier, an idle tier). *)
+let backends_cmd workload size threshold delay tier =
   let module Engine = Tracegen.Engine in
   Printf.printf "%-8s %s\n" "backend" "strategy";
   List.iter
@@ -515,11 +534,12 @@ let backends_cmd workload size threshold delay =
   in
   let config =
     config_or_die (fun () ->
-        Tracegen.Config.make ~threshold ~start_state_delay:delay ())
+        Tracegen.Config.make ~threshold ~start_state_delay:delay ~tier ())
   in
-  Printf.printf "\n%-10s %-8s %-6s %12s %12s %10s\n" "workload" "backend"
-    "ok" "block-disp" "trace-disp" "signals";
+  Printf.printf "\n%-10s %-8s %-6s %12s %12s %10s %9s\n" "workload" "backend"
+    "ok" "block-disp" "trace-disp" "signals" "compiled";
   let failures = ref 0 in
+  let compiled_total = ref 0 in
   List.iter
     (fun (w : Workloads.Workload.t) ->
       let layout = layout_of w ~size in
@@ -533,17 +553,24 @@ let backends_cmd workload size threshold delay =
             = Harness.Chaos.fingerprint r.Engine.vm_result
           in
           if not ok then incr failures;
-          Printf.printf "%-10s %-8s %-6s %12d %12d %10d\n"
+          compiled_total := !compiled_total + s.Tracegen.Stats.traces_compiled;
+          Printf.printf "%-10s %-8s %-6s %12d %12d %10d %9d\n"
             w.Workloads.Workload.name
             (Engine.backend_kind_name k)
             (if ok then "yes" else "NO")
             s.Tracegen.Stats.block_dispatches
-            s.Tracegen.Stats.trace_dispatches s.Tracegen.Stats.signals)
+            s.Tracegen.Stats.trace_dispatches s.Tracegen.Stats.signals
+            s.Tracegen.Stats.traces_compiled)
         Engine.backends)
     ws;
   if !failures > 0 then begin
     Printf.eprintf "%d backend run(s) diverged from the interpreter\n"
       !failures;
+    exit 1
+  end;
+  if tier && !compiled_total = 0 then begin
+    Printf.eprintf
+      "--tier: no trace reached the compiled tier on any workload\n";
     exit 1
   end
 
@@ -642,7 +669,7 @@ let session_cmd workloads users batch size threshold delay fault_spec
    reconciled against the end-of-run statistics — the report and Stats
    are two views of the same dispatch loop and must agree exactly over
    the unbounded, non-healing cache used here.  Exit 1 on mismatch. *)
-let top_cmd workload size threshold delay prune_guards top =
+let top_cmd workload size threshold delay prune_guards tier top =
   let ws =
     match workload with
     | Some name -> [ find_workload name ]
@@ -651,7 +678,7 @@ let top_cmd workload size threshold delay prune_guards top =
   let config =
     config_or_die (fun () ->
         Tracegen.Config.make ~threshold ~start_state_delay:delay
-          ~obs_attribution:true ~prune_guards ())
+          ~obs_attribution:true ~prune_guards ~tier ())
   in
   let failures = ref 0 in
   List.iter
@@ -862,7 +889,8 @@ let run_term =
   Term.(
     const run_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
     $ fault_spec_arg $ fault_seed_arg $ self_heal_arg $ Cli_common.osr_arg
-    $ Cli_common.prune_guards_arg $ dump_traces $ dump_bcg $ top)
+    $ Cli_common.tier_arg $ Cli_common.prune_guards_arg $ dump_traces
+    $ dump_bcg $ top)
 
 let () =
   Cli_common.Subcommand.register ~name:"run"
@@ -882,7 +910,7 @@ let events_term =
   Term.(
     const events_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
     $ fault_spec_arg $ fault_seed_arg $ self_heal_arg $ Cli_common.osr_arg
-    $ snapshot_period $ stats_only)
+    $ Cli_common.tier_arg $ snapshot_period $ stats_only)
 
 let () =
   Cli_common.Subcommand.register ~name:"events"
@@ -1033,21 +1061,25 @@ let chaos_term =
   in
   Term.(
     const chaos_cmd $ workload $ size_arg $ seed $ schedules $ spec $ osr
-    $ quick $ verbose $ catalogue)
+    $ Cli_common.tier_arg $ quick $ verbose $ catalogue)
 
 let backends_term =
   let workload =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
            ~doc:"Workload to check (default: every registered workload).")
   in
-  Term.(const backends_cmd $ workload $ size_arg $ threshold_arg $ delay_arg)
+  Term.(
+    const backends_cmd $ workload $ size_arg $ threshold_arg $ delay_arg
+    $ Cli_common.tier_arg)
 
 let () =
   Cli_common.Subcommand.register ~name:"backends"
     ~doc:
-      "List the three dispatch backends (interp, profile, trace), then run \
-       workloads with each one pinned and assert the VM result matches the \
-       plain interpreter — the pure-overlay promise, per strategy."
+      "List the dispatch backends (interp, profile, trace, microir), then \
+       run workloads with each one pinned and assert the VM result matches \
+       the plain interpreter — the pure-overlay promise, per strategy.  \
+       With --tier the microir backend compiles hot traces to the micro-IR \
+       tier and the gate also requires at least one compiled trace."
     backends_term
 
 let session_term =
@@ -1098,7 +1130,7 @@ let top_term =
   in
   Term.(
     const top_cmd $ workload $ size_arg $ threshold_arg $ delay_arg
-    $ Cli_common.prune_guards_arg $ top)
+    $ Cli_common.prune_guards_arg $ Cli_common.tier_arg $ top)
 
 let () =
   Cli_common.Subcommand.register ~name:"top"

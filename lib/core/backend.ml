@@ -39,6 +39,11 @@ type ctx = {
     (* trace positions abandoned past each deopt point (OSR) *)
   (* trace execution state *)
   mutable active : Trace.t option;
+  mutable active_lowered : Microir.body option;
+    (* the active trace's compiled body when it was entered on the
+       compiled tier (Config.Tier); positions followed while this is set
+       are accounted as micro-op dispatches instead of source
+       instructions.  Cleared with [active]. *)
   mutable active_pos : int; (* index of the next expected block *)
   mutable matched_blocks : int;
   mutable matched_instrs : int;
@@ -67,6 +72,19 @@ type ctx = {
        observational overlay — but is accounted as elided *)
   mutable guards_pruned : int;
     (* static pruning verdicts derived at install time (builder-side) *)
+  (* compiled-tier accounting (Config.Tier; all zero with the tier off).
+     The tier is a pure overlay like everything else: the VM executes
+     the same bytecode either way, and these counters price what a
+     micro-IR dispatch loop would have done instead. *)
+  mutable traces_compiled : int;
+  mutable tier_demotions : int;
+  mutable compiled_entries : int; (* trace entries on the compiled tier *)
+  mutable mi_positions : int; (* positions followed on the compiled tier *)
+  mutable mi_ops : int; (* micro-ops those positions dispatched *)
+  mutable mi_fused : int; (* superinstructions among them *)
+  mutable mi_src_instrs : int;
+    (* source instructions the same positions dispatch under
+       Backend_trace — the baseline of the reduction *)
   mutable just_completed : bool;
   (* debug_checks bookkeeping *)
   mutable invariant_violations : int;
@@ -126,6 +144,19 @@ let attr_inline ctx g =
   if Array.length ctx.attr_inlined > 0 then
     ctx.attr_inlined.(g) <- ctx.attr_inlined.(g) + 1
 
+(* Compiled-tier accounting for one followed trace position: what the
+   micro-IR dispatch loop would have dispatched there versus the source
+   instructions Backend_trace dispatches.  One length test when the
+   active trace is on the interpreted tier. *)
+let account_lowered ctx pos =
+  match ctx.active_lowered with
+  | None -> ()
+  | Some b ->
+      ctx.mi_positions <- ctx.mi_positions + 1;
+      ctx.mi_ops <- ctx.mi_ops + b.Microir.pos_ops.(pos);
+      ctx.mi_fused <- ctx.mi_fused + b.Microir.pos_fused.(pos);
+      ctx.mi_src_instrs <- ctx.mi_src_instrs + b.Microir.pos_src.(pos)
+
 (* Quarantine an entry transition and record the observability side of
    the episode: the backoff duration histogram (finite backoffs only —
    a permanent blacklist has no duration) and a closed quarantine span
@@ -174,6 +205,7 @@ let finish_completed ctx (tr : Trace.t) =
   ctx.completed_blocks <- ctx.completed_blocks + Trace.n_blocks tr;
   ctx.completed_instrs <- ctx.completed_instrs + tr.Trace.total_instrs;
   ctx.active <- None;
+  ctx.active_lowered <- None;
   Trace_cache.unpin ctx.cache tr;
   if Events.enabled ctx.events then
     Events.emit ctx.events
@@ -197,6 +229,7 @@ let finish_partial ctx (tr : Trace.t) =
   ctx.partial_blocks <- ctx.partial_blocks + ctx.matched_blocks;
   ctx.partial_instrs <- ctx.partial_instrs + ctx.matched_instrs;
   ctx.active <- None;
+  ctx.active_lowered <- None;
   Trace_cache.unpin ctx.cache tr;
   if Events.enabled ctx.events then
     Events.emit ctx.events
@@ -440,6 +473,7 @@ let rec follow ~step ~deopt_resume ctx (g : Layout.gid) =
       if g = expected && not forced then begin
         note_executed ctx g;
         attr_inline ctx g;
+        account_lowered ctx ctx.active_pos;
         ctx.matched_blocks <- ctx.matched_blocks + 1;
         ctx.matched_instrs <-
           ctx.matched_instrs + tr.Trace.instr_len.(ctx.active_pos);

@@ -49,6 +49,11 @@ type ctx = {
       (** trace positions abandoned past each OSR deopt point *)
   mutable active : Trace.t option;
       (** the trace currently being followed *)
+  mutable active_lowered : Microir.body option;
+      (** the active trace's compiled body when it was entered on the
+          compiled tier ({!Config.Tier}); positions followed while this
+          is set are accounted as micro-op dispatches.  Cleared with
+          [active]. *)
   mutable active_pos : int;  (** index of the next expected block *)
   mutable matched_blocks : int;
   mutable matched_instrs : int;
@@ -74,6 +79,19 @@ type ctx = {
           pure observational overlay — but is accounted as elided *)
   mutable guards_pruned : int;
       (** static pruning verdicts derived at install time *)
+  mutable traces_compiled : int;
+      (** promotions to the compiled micro-IR tier *)
+  mutable tier_demotions : int;
+      (** compiled slots lost under [compile_budget] *)
+  mutable compiled_entries : int;
+      (** trace entries that ran on the compiled tier *)
+  mutable mi_positions : int;
+      (** trace positions followed on the compiled tier *)
+  mutable mi_ops : int;  (** micro-ops those positions dispatched *)
+  mutable mi_fused : int;  (** superinstructions among them *)
+  mutable mi_src_instrs : int;
+      (** source instructions the same positions dispatch under
+          [Backend_trace] — the baseline of the reduction *)
   mutable just_completed : bool;
   mutable invariant_violations : int;
   mutable seen_decays : int;
@@ -147,6 +165,12 @@ val attr_step : ctx -> Cfg.Layout.gid -> unit
 val attr_inline : ctx -> Cfg.Layout.gid -> unit
 (** Attribute one execution of [g] inlined inside a trace; no-op when
     attribution is off. *)
+
+val account_lowered : ctx -> int -> unit
+(** Compiled-tier accounting for one followed trace position ([pos]):
+    micro-ops, fused ops and baseline source instructions from the
+    active lowered body.  No-op when the active trace is on the
+    interpreted tier ([active_lowered = None]). *)
 
 val condemn :
   ctx ->

@@ -108,7 +108,11 @@ let poll_promote (ctx : Backend.ctx) g =
 
 let poll_osr (ctx : Backend.ctx) g = ignore (poll_promote ctx g)
 
-let step (ctx : Backend.ctx) g =
+(* The dispatch decision, parameterized over the entry action so
+   Backend_microir can reuse the whole skeleton (lookup, mid-loop
+   promotion retry, dispatch validation, ladder accounting) and change
+   only what happens on a hit. *)
+let step_with ~enter (ctx : Backend.ctx) g =
   Backend.prologue ctx;
   let self_heal = Config.self_heal ctx.Backend.config in
   let candidate =
@@ -153,6 +157,8 @@ let step (ctx : Backend.ctx) g =
       Backend.note_executed ctx g);
   if self_heal && not detected then
     Backend.apply_health ctx (Health.clean_dispatch ctx.Backend.health)
+
+let step (ctx : Backend.ctx) g = step_with ~enter ctx g
 
 (* A deopt resume is a profiled block dispatch that never consults the
    cache: the engine just abandoned a trace at this block, and

@@ -5,3 +5,23 @@
     {!Backend.S}. *)
 
 include Backend.S
+
+(** {2 The reusable dispatch skeleton}
+
+    [Backend_microir] is this strategy with a different entry action;
+    these expose the pieces it composes. *)
+
+val enter : Backend.ctx -> Trace.t -> Cfg.Layout.gid -> unit
+(** Enter a trace the dispatch lookup produced: pin it, count the trace
+    dispatch, emit [Trace_entered], run the single profiler hook and
+    start following (a single-block trace completes immediately). *)
+
+val step_with :
+  enter:(Backend.ctx -> Trace.t -> Cfg.Layout.gid -> unit) ->
+  Backend.ctx ->
+  Cfg.Layout.gid ->
+  unit
+(** The full outside-trace dispatch decision — cache lookup, OSR
+    mid-loop promotion retry, dispatch validation under self-healing,
+    ladder accounting — with the cache-hit action supplied by the
+    caller.  [step] is [step_with ~enter]. *)

@@ -147,6 +147,28 @@ module Osr = struct
     if t.promote_after < 1 then invalid_arg "osr_promote_after < 1"
 end
 
+module Tier = struct
+  type t = {
+    enabled : bool;
+        (* the compiled tier: hot traces are lowered to register
+           micro-IR (Microir) and dispatched by Backend_microir's
+           specialized loop *)
+    compile_after : int;
+        (* cache uses of one trace before the cost model compiles it —
+           the attribution hot-report proxy: a trace entered this often
+           dominates dispatch cost *)
+    compile_budget : int;
+        (* bound on simultaneously compiled traces; exceeding it demotes
+           the coldest compiled trace (pinned traces are exempt) *)
+  }
+
+  let default = { enabled = false; compile_after = 32; compile_budget = 64 }
+
+  let validate t =
+    if t.compile_after < 1 then invalid_arg "tier_compile_after < 1";
+    if t.compile_budget < 1 then invalid_arg "tier_compile_budget < 1"
+end
+
 module Obs = struct
   type t = {
     spans : bool;
@@ -175,6 +197,7 @@ type t = {
   faults : Faults.t;
   obs : Obs.t;
   osr : Osr.t;
+  tier : Tier.t;
   snapshot_period : int;
       (* dispatches between periodic metrics snapshots; 0 disables the
          series (the observability layer's quiescent default) *)
@@ -195,6 +218,7 @@ let default =
     faults = Faults.default;
     obs = Obs.default;
     osr = Osr.default;
+    tier = Tier.default;
     snapshot_period = 0;
     debug_checks = false;
     prune_guards = false;
@@ -224,6 +248,9 @@ let fault_spec t = t.faults.Faults.spec
 let fault_seed t = t.faults.Faults.seed
 let osr_enabled t = t.osr.Osr.enabled
 let osr_promote_after t = t.osr.Osr.promote_after
+let tier_enabled t = t.tier.Tier.enabled
+let tier_compile_after t = t.tier.Tier.compile_after
+let tier_compile_budget t = t.tier.Tier.compile_budget
 let obs_spans t = t.obs.Obs.spans
 let obs_attribution t = t.obs.Obs.attribution
 let span_buffer t = t.obs.Obs.span_buffer
@@ -239,7 +266,8 @@ let validate t =
   Heal.validate t.heal;
   Faults.validate t.faults;
   Obs.validate t.obs;
-  Osr.validate t.osr
+  Osr.validate t.osr;
+  Tier.validate t.tier
 
 let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
     ?(threshold = Profile.default.Profile.threshold)
@@ -265,6 +293,9 @@ let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
     ?(fault_seed = Faults.default.Faults.seed)
     ?(osr = Osr.default.Osr.enabled)
     ?(osr_promote_after = Osr.default.Osr.promote_after)
+    ?(tier = Tier.default.Tier.enabled)
+    ?(tier_compile_after = Tier.default.Tier.compile_after)
+    ?(tier_compile_budget = Tier.default.Tier.compile_budget)
     ?(obs_spans = Obs.default.Obs.spans)
     ?(obs_attribution = Obs.default.Obs.attribution)
     ?(span_buffer = Obs.default.Obs.span_buffer)
@@ -306,6 +337,12 @@ let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
           hist_buckets;
         };
       osr = { Osr.enabled = osr; promote_after = osr_promote_after };
+      tier =
+        {
+          Tier.enabled = tier;
+          compile_after = tier_compile_after;
+          compile_budget = tier_compile_budget;
+        };
       snapshot_period;
       debug_checks;
       prune_guards;
@@ -343,6 +380,10 @@ let with_obs t obs =
 let with_osr t osr =
   validate { t with osr };
   { t with osr }
+
+let with_tier t tier =
+  validate { t with tier };
+  { t with tier }
 
 let pp ppf t =
   Format.fprintf ppf "delay=%d threshold=%.2f decay=%d" (start_state_delay t)

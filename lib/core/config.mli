@@ -148,6 +148,33 @@ module Osr : sig
   val validate : t -> unit
 end
 
+(** The compiled tier: register micro-IR lowering of hot traces.  Off by
+    default — the engine then never lowers anything and the [Trace]
+    backend's behaviour is unchanged. *)
+module Tier : sig
+  type t = {
+    enabled : bool;
+        (** When on, traces whose cache heat crosses [compile_after] are
+            lowered to register micro-IR ([Microir]) and dispatched by
+            [Backend_microir]'s specialized loop.  Results are
+            bit-identical either way: the lowered body only changes what
+            dispatch {e accounts}, never what executes.  Off by
+            default. *)
+    compile_after : int;
+        (** Cache uses of one trace before the cost model compiles it —
+            the attribution hot-report proxy: a trace entered this often
+            dominates dispatch cost (default 32). *)
+    compile_budget : int;
+        (** Bound on simultaneously compiled traces; exceeding it
+            demotes the coldest compiled trace, except pinned
+            (currently executing) ones (default 64). *)
+  }
+
+  val default : t
+
+  val validate : t -> unit
+end
+
 (** Deep-observability knobs: span recording and hot-path attribution.
     Both are off by default — the quiescent engine pays nothing for
     them. *)
@@ -182,6 +209,7 @@ type t = {
   faults : Faults.t;
   obs : Obs.t;
   osr : Osr.t;
+  tier : Tier.t;
   snapshot_period : int;
       (** Dispatches between periodic {!Metrics} snapshots; [0]
           (default) disables the snapshot series. *)
@@ -229,6 +257,9 @@ val make :
   ?fault_seed:int ->
   ?osr:bool ->
   ?osr_promote_after:int ->
+  ?tier:bool ->
+  ?tier_compile_after:int ->
+  ?tier_compile_budget:int ->
   ?obs_spans:bool ->
   ?obs_attribution:bool ->
   ?span_buffer:int ->
@@ -289,6 +320,12 @@ val osr_enabled : t -> bool
 
 val osr_promote_after : t -> int
 
+val tier_enabled : t -> bool
+
+val tier_compile_after : t -> int
+
+val tier_compile_budget : t -> int
+
 val obs_spans : t -> bool
 
 val obs_attribution : t -> bool
@@ -322,5 +359,7 @@ val with_faults : t -> Faults.t -> t
 val with_obs : t -> Obs.t -> t
 
 val with_osr : t -> Osr.t -> t
+
+val with_tier : t -> Tier.t -> t
 
 val pp : Format.formatter -> t -> unit

@@ -34,33 +34,41 @@ module Interp = Vm.Interp
    overlay, the VM's results are bit-identical under any backend, any
    ladder schedule and any fault schedule. *)
 
-type backend_kind = Interp | Profile | Trace
+type backend_kind = Interp | Profile | Trace | Microir
 
 let backend_kind_name = function
   | Interp -> Backend_interp.name
   | Profile -> Backend_profile.name
   | Trace -> Backend_trace.name
+  | Microir -> Backend_microir.name
 
 let backend_kind_of_string = function
   | "interp" -> Some Interp
   | "profile" -> Some Profile
   | "trace" -> Some Trace
+  | "microir" -> Some Microir
   | _ -> None
 
 let implementation : backend_kind -> (module Backend.S) = function
   | Interp -> (module Backend_interp)
   | Profile -> (module Backend_profile)
   | Trace -> (module Backend_trace)
+  | Microir -> (module Backend_microir)
 
-let backends = [ Interp; Profile; Trace ]
+let backends = [ Interp; Profile; Trace; Microir ]
 
 (* The ladder-to-backend mapping.  Note build_traces only matters at the
-   top level: the cache is only ever consulted by Backend_trace. *)
+   top level: the cache is only ever consulted by Backend_trace /
+   Backend_microir.  The compiled tier rides the top rung only — any
+   degradation drops it with the rest of trace dispatch. *)
 let select config (level : Health.level) : backend_kind =
   match level with
   | Health.Interp_only -> Interp
   | Health.Profiling_only -> Profile
-  | Health.Full_tracing -> if Config.build_traces config then Trace else Profile
+  | Health.Full_tracing ->
+      if not (Config.build_traces config) then Profile
+      else if Config.tier_enabled config then Microir
+      else Trace
 
 type t = {
   ctx : Backend.ctx;
@@ -135,6 +143,17 @@ let register_gauges (m : Metrics.t) (t : t) =
       Trace_cache.footprint_bytes e.Backend.cache);
   Metrics.gauge m "pin_refusals" (fun () ->
       Trace_cache.n_pin_refusals e.Backend.cache);
+  if Config.tier_enabled e.Backend.config then begin
+    Metrics.gauge m "traces_compiled" (fun () -> e.Backend.traces_compiled);
+    Metrics.gauge m "tier_demotions" (fun () -> e.Backend.tier_demotions);
+    Metrics.gauge m "compiled_entries" (fun () -> e.Backend.compiled_entries);
+    Metrics.gauge m "compiled_live" (fun () ->
+        Trace_cache.n_compiled e.Backend.cache);
+    Metrics.gauge m "demote_refusals" (fun () ->
+        Trace_cache.n_demote_refusals e.Backend.cache);
+    Metrics.gauge m "mi_ops" (fun () -> e.Backend.mi_ops);
+    Metrics.gauge m "mi_src_instrs" (fun () -> e.Backend.mi_src_instrs)
+  end;
   (match e.Backend.osr with
   | Some osr ->
       Metrics.gauge m "deopts" (fun () -> Osr.deopts osr);
@@ -263,6 +282,7 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
       h_backoff;
       h_deopt_residue;
       active = None;
+      active_lowered = None;
       active_pos = 0;
       matched_blocks = 0;
       matched_instrs = 0;
@@ -282,6 +302,13 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
       guards_checked = 0;
       guards_elided = 0;
       guards_pruned = 0;
+      traces_compiled = 0;
+      tier_demotions = 0;
+      compiled_entries = 0;
+      mi_positions = 0;
+      mi_ops = 0;
+      mi_fused = 0;
+      mi_src_instrs = 0;
       just_completed = false;
       invariant_violations = 0;
       seen_decays = 0;
@@ -409,6 +436,23 @@ let osr_state_mismatches t =
 
 let pin_refusals t = Trace_cache.n_pin_refusals t.ctx.Backend.cache
 
+(* compiled-tier accounting; all zero when Config.Tier is off *)
+let traces_compiled t = t.ctx.Backend.traces_compiled
+
+let tier_demotions t = t.ctx.Backend.tier_demotions
+
+let compiled_entries t = t.ctx.Backend.compiled_entries
+
+let mi_positions t = t.ctx.Backend.mi_positions
+
+let mi_ops t = t.ctx.Backend.mi_ops
+
+let mi_fused t = t.ctx.Backend.mi_fused
+
+let mi_src_instrs t = t.ctx.Backend.mi_src_instrs
+
+let demote_refusals t = Trace_cache.n_demote_refusals t.ctx.Backend.cache
+
 let arm_guard_flip t ~pos = Faults.arm_flip t.ctx.Backend.faults ~pos
 
 let debug_sweep t = Backend.run_debug_checks t.ctx
@@ -450,6 +494,7 @@ let on_block t (g : Layout.gid) =
   | Interp -> Backend_interp.on_block ctx g
   | Profile -> Backend_profile.on_block ctx g
   | Trace -> Backend_trace.on_block ctx g
+  | Microir -> Backend_microir.on_block ctx g
 
 (* Assemble final statistics: the engine fills the VM / resilience
    fields, then every strategy overlays the counters it maintains.  All
@@ -498,6 +543,7 @@ type restore_info = {
   restored_blocks : int;
   restored_bcg_nodes : int;
   restored_bcg_edges : int;
+  recompiled_traces : int;
 }
 
 let snapshots_rejected t = t.snapshots_rejected
@@ -519,12 +565,22 @@ let restore t data : (restore_info, Persist.error) result =
           ~promoted_below:(Config.threshold t.ctx.Backend.config)
           ctx.Backend.cache snap.Persist.cache_entries
       in
+      (* the compiled tier is derived state: snapshots persist heat, not
+         lowered bodies, so re-derive the compiled set from the restored
+         use counts (Tier.recompile_restored is a no-op with the tier
+         off) *)
+      let recompiled =
+        Tier.recompile_restored ctx.Backend.config ctx.Backend.layout
+          ctx.Backend.cache ~events:ctx.Backend.events
+      in
+      ctx.Backend.traces_compiled <- ctx.Backend.traces_compiled + recompiled;
       let info =
         {
           restored_traces = traces;
           restored_blocks = Trace_cache.live_blocks ctx.Backend.cache;
           restored_bcg_nodes = Bcg.n_nodes bcg;
           restored_bcg_edges = Bcg.n_edges bcg;
+          recompiled_traces = recompiled;
         }
       in
       if Events.enabled ctx.Backend.events then

@@ -45,18 +45,20 @@
 
 type t
 
-type backend_kind = Interp | Profile | Trace
-(** The three dispatch strategies, in ladder order (bottom up). *)
+type backend_kind = Interp | Profile | Trace | Microir
+(** The dispatch strategies, in ladder order (bottom up).  [Microir] is
+    [Trace] with the compiled micro-IR tier ({!Config.Tier}); the
+    ladder's top rung selects it when the tier is enabled. *)
 
 val backend_kind_name : backend_kind -> string
-(** ["interp"] / ["profile"] / ["trace"]. *)
+(** ["interp"] / ["profile"] / ["trace"] / ["microir"]. *)
 
 val backend_kind_of_string : string -> backend_kind option
 
 val implementation : backend_kind -> (module Backend.S)
 
 val backends : backend_kind list
-(** Every registered strategy: [[Interp; Profile; Trace]]. *)
+(** Every registered strategy: [[Interp; Profile; Trace; Microir]]. *)
 
 val create :
   ?config:Config.t ->
@@ -223,6 +225,37 @@ val pin_refusals : t -> int
 (** Quarantine attempts refused because the target trace was executing
     (pinned) at that moment ({!Trace_cache.n_pin_refusals}). *)
 
+(** {2 The compiled tier}
+
+    All zero when {!Config.Tier} is off. *)
+
+val traces_compiled : t -> int
+(** Promotions to the compiled micro-IR tier (runtime and
+    restore-time). *)
+
+val tier_demotions : t -> int
+(** Compiled slots lost under [compile_budget]. *)
+
+val compiled_entries : t -> int
+(** Trace entries that ran on the compiled tier. *)
+
+val mi_positions : t -> int
+(** Trace positions followed on the compiled tier. *)
+
+val mi_ops : t -> int
+(** Micro-ops those positions dispatched. *)
+
+val mi_fused : t -> int
+(** Superinstructions among the dispatched micro-ops. *)
+
+val mi_src_instrs : t -> int
+(** Source instructions the same positions dispatch under
+    [Backend_trace] — the reduction baseline. *)
+
+val demote_refusals : t -> int
+(** Budget demotions refused because the compiled trace was executing
+    ({!Trace_cache.n_demote_refusals}). *)
+
 val arm_guard_flip : t -> pos:int -> unit
 (** Arm one FT008 guard flip at trace position [pos] directly
     ({!Faults.arm_flip}), bypassing the probabilistic schedule — the
@@ -271,6 +304,9 @@ type restore_info = {
   restored_blocks : int;  (** live cache blocks after the restore *)
   restored_bcg_nodes : int;
   restored_bcg_edges : int;
+  recompiled_traces : int;
+      (** traces re-lowered onto the compiled tier from the restored
+          heat ([Tier.recompile_restored]); [0] with the tier off *)
 }
 
 val restore : t -> string -> (restore_info, Persist.error) result

@@ -89,6 +89,16 @@ type payload =
       latch : Cfg.Layout.gid;
       hotness : int;
     }
+  | Trace_compiled of {
+      trace_id : int;
+      ops : int; (* micro-ops in the lowered body *)
+      fused : int; (* superinstructions formed *)
+      src_instrs : int; (* source bytecode instructions lowered *)
+    }
+  | Tier_demoted of {
+      trace_id : int;
+      uses : int; (* cache heat at demotion — the losing bid *)
+    }
 
 type event = { time : int; payload : payload }
 
@@ -150,3 +160,5 @@ let kind = function
   | Guards_pruned _ -> "guards_pruned"
   | Deopt_entered _ -> "deopt_entered"
   | Osr_promoted _ -> "osr_promoted"
+  | Trace_compiled _ -> "trace_compiled"
+  | Tier_demoted _ -> "tier_demoted"

@@ -181,6 +181,22 @@ type payload =
       (** OSR promotion: a hot loop was promoted into a freshly built
           trace mid-iteration; the trace is entered at [header] on the
           very next back-edge. *)
+  | Trace_compiled of {
+      trace_id : int;
+      ops : int;  (** micro-ops in the lowered body *)
+      fused : int;  (** superinstructions formed *)
+      src_instrs : int;  (** source bytecode instructions lowered *)
+    }
+      (** The tier cost model promoted a hot trace to the compiled tier:
+          its blocks were lowered to register micro-IR
+          ({!Config.Tier}). *)
+  | Tier_demoted of {
+      trace_id : int;
+      uses : int;  (** cache heat at demotion — the losing bid *)
+    }
+      (** A compiled trace lost its compiled-tier slot to a hotter
+          candidate under [compile_budget]; its lowered body was
+          dropped (the source view stays cached). *)
 
 type event = { time : int; payload : payload }
 (** [time] is the engine's dispatch index (block + trace dispatches) at

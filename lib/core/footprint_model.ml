@@ -17,7 +17,15 @@ let edge_bytes = 24 (* id + pointer + counter *)
 
 let instr_bytes = 8 (* one threaded-code slot per instruction *)
 
-let trace_bytes (tr : Trace.t) = tr.Trace.total_instrs * instr_bytes
+let microp_bytes = 16 (* one decoded micro-op: opcode + registers/immediate *)
+
+(* A compiled trace keeps its threaded source view (deopt re-enters it)
+   and adds the lowered register body, so its footprint is the sum. *)
+let trace_bytes (tr : Trace.t) =
+  (tr.Trace.total_instrs * instr_bytes)
+  + match tr.Trace.lowered with
+    | Some b -> Microir.n_ops b * microp_bytes
+    | None -> 0
 
 let cache_bytes ~trace_instrs = trace_instrs * instr_bytes
 

@@ -14,9 +14,16 @@ val edge_bytes : int
 val instr_bytes : int
 (** Bytes per cached trace instruction — one direct-threaded code slot. *)
 
+val microp_bytes : int
+(** Bytes per decoded micro-op of a compiled (lowered) trace body:
+    opcode plus registers/immediate. *)
+
 val trace_bytes : Trace.t -> int
 (** Estimated i-cache footprint of one cached trace:
-    [total_instrs * instr_bytes]. *)
+    [total_instrs * instr_bytes], plus [n_ops * microp_bytes] for the
+    lowered body when the trace holds a compiled-tier slot — so
+    footprint-aware eviction and the cache-pressure path price compiled
+    traces honestly. *)
 
 val cache_bytes : trace_instrs:int -> int
 (** Footprint of a whole cache holding [trace_instrs] instructions. *)

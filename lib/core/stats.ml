@@ -50,6 +50,17 @@ type t = {
       (* trace positions abandoned past the deopt points, summed *)
   osr_promotions : int; (* hot loops promoted mid-iteration *)
   osr_entries : int; (* promoted traces entered on their armed back-edge *)
+  (* the compiled micro-IR tier (Config.Tier).  All zero with tier off. *)
+  traces_compiled : int; (* promotions to the compiled tier *)
+  tier_demotions : int; (* compiled slots lost under compile_budget *)
+  compiled_entries : int; (* trace entries that ran on the compiled tier *)
+  mi_positions : int; (* trace positions followed on the compiled tier *)
+  mi_ops : int; (* micro-ops those positions dispatched *)
+  mi_fused : int; (* superinstructions among them *)
+  mi_src_instrs : int;
+      (* source bytecode instructions the same positions would have
+         dispatched under Backend_trace — the baseline of the
+         dispatch-cost reduction *)
   wall_seconds : float;
 }
 
@@ -91,6 +102,13 @@ let zero =
     deopt_residue_blocks = 0;
     osr_promotions = 0;
     osr_entries = 0;
+    traces_compiled = 0;
+    tier_demotions = 0;
+    compiled_entries = 0;
+    mi_positions = 0;
+    mi_ops = 0;
+    mi_fused = 0;
+    mi_src_instrs = 0;
     wall_seconds = 0.0;
   }
 
@@ -137,6 +155,17 @@ type derived = {
   deopt_residue : float;
       (* average trace positions abandoned past the deopt point — the
          work a non-OSR side exit would have re-dispatched *)
+  mi_ops_per_position : float;
+      (* micro-ops dispatched per followed trace position on the
+         compiled tier *)
+  mi_src_per_position : float;
+      (* source instructions per position — what Backend_trace would
+         have dispatched for the same positions *)
+  mi_dispatch_reduction : float;
+      (* 1 - mi_ops/mi_src_instrs: the fraction of per-position dispatch
+         work the lowered body removes (folding, DCE, fusion) *)
+  mi_fused_share : float;
+      (* fraction of dispatched micro-ops that are superinstructions *)
 }
 
 let derived t : derived =
@@ -166,6 +195,12 @@ let derived t : derived =
     guards_per_kinstr = 1000.0 *. ratio t.guards_checked t.instructions;
     deopt_rate = ratio t.deopts t.traces_entered;
     deopt_residue = ratio t.deopt_residue_blocks t.deopts;
+    mi_ops_per_position = ratio t.mi_ops t.mi_positions;
+    mi_src_per_position = ratio t.mi_src_instrs t.mi_positions;
+    mi_dispatch_reduction =
+      (if t.mi_src_instrs = 0 then 0.0
+       else 1.0 -. ratio t.mi_ops t.mi_src_instrs);
+    mi_fused_share = ratio t.mi_fused t.mi_ops;
   }
 
 (* Projections, kept for call sites that want a single value. *)
@@ -202,6 +237,14 @@ let guards_per_kinstr t = (derived t).guards_per_kinstr
 let deopt_rate t = (derived t).deopt_rate
 
 let deopt_residue t = (derived t).deopt_residue
+
+let mi_ops_per_position t = (derived t).mi_ops_per_position
+
+let mi_src_per_position t = (derived t).mi_src_per_position
+
+let mi_dispatch_reduction t = (derived t).mi_dispatch_reduction
+
+let mi_fused_share t = (derived t).mi_fused_share
 
 let pp ppf t =
   let d = derived t in
@@ -250,6 +293,18 @@ let pp ppf t =
       t.deopts
       (100.0 *. d.deopt_rate)
       d.deopt_residue t.osr_promotions t.osr_entries;
+  (* compiled-tier accounting appears only when the tier actually
+     dispatched something, so a tier-off run renders unchanged *)
+  if t.mi_positions > 0 || t.traces_compiled > 0 then
+    Format.fprintf ppf
+      "@,\
+       @[<v>traces compiled     %d (%d demoted, %d compiled entries)@,\
+       micro-IR dispatch   %.2f ops/position vs %.2f instrs \
+       (%.1f%% reduction, %.1f%% fused)@]"
+      t.traces_compiled t.tier_demotions t.compiled_entries
+      d.mi_ops_per_position d.mi_src_per_position
+      (100.0 *. d.mi_dispatch_reduction)
+      (100.0 *. d.mi_fused_share);
   (* the resilience line only appears when something resilience-related
      happened, so a healthy run's rendering is unchanged *)
   if

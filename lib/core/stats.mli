@@ -58,6 +58,21 @@ type t = {
   osr_promotions : int;  (** hot loops promoted mid-iteration *)
   osr_entries : int;
       (** promoted traces entered on their armed back-edge *)
+  traces_compiled : int;
+      (** promotions to the compiled micro-IR tier ({!Config.Tier});
+          [0] with the tier off *)
+  tier_demotions : int;
+      (** compiled slots lost under [compile_budget] *)
+  compiled_entries : int;
+      (** trace entries that ran on the compiled tier *)
+  mi_positions : int;
+      (** trace positions followed on the compiled tier *)
+  mi_ops : int;  (** micro-ops those positions dispatched *)
+  mi_fused : int;  (** superinstructions among them *)
+  mi_src_instrs : int;
+      (** source bytecode instructions the same positions would have
+          dispatched under [Backend_trace] — the baseline of the
+          dispatch-cost reduction *)
   wall_seconds : float;
 }
 
@@ -92,6 +107,17 @@ type derived = {
           trace was abandoned mid-flight *)
   deopt_residue : float;
       (** average trace positions abandoned past the deopt point *)
+  mi_ops_per_position : float;
+      (** micro-ops dispatched per followed trace position on the
+          compiled tier *)
+  mi_src_per_position : float;
+      (** source instructions per position — the [Backend_trace]
+          baseline for the same positions *)
+  mi_dispatch_reduction : float;
+      (** [1 - mi_ops/mi_src_instrs]: the fraction of per-position
+          dispatch work the lowered body removes *)
+  mi_fused_share : float;
+      (** fraction of dispatched micro-ops that are superinstructions *)
 }
 (** Every dependent value of the evaluation, computed together.  The
     field names shadow the projection functions below: tables, {!pp} and
@@ -156,6 +182,18 @@ val deopt_rate : t -> float
 
 val deopt_residue : t -> float
 (** Average trace positions abandoned past the deopt point. *)
+
+val mi_ops_per_position : t -> float
+(** Micro-ops dispatched per followed position on the compiled tier. *)
+
+val mi_src_per_position : t -> float
+(** Source instructions per position for the same positions. *)
+
+val mi_dispatch_reduction : t -> float
+(** Fraction of per-position dispatch work the lowered body removes. *)
+
+val mi_fused_share : t -> float
+(** Fraction of dispatched micro-ops that are superinstructions. *)
 
 val pp : Format.formatter -> t -> unit
 (** The resilience counters are rendered only when at least one of them

@@ -43,6 +43,12 @@ type t = {
          relaxed accordingly).  Not persisted directly: a sub-threshold
          probability identifies a promoted trace on restore, because the
          cutter never commits one. *)
+  mutable lowered : Microir.body option;
+      (* the compiled tier: the trace's blocks lowered to register
+         micro-IR (see Microir), present only while the trace holds a
+         compiled-tier slot.  Derived state, never persisted — a
+         restored cache re-lowers whatever the tier cost model picks,
+         exactly like pruned/validated re-derive. *)
 }
 
 let make ~id ~(layout : Layout.t) ~first ~blocks ~prob =
@@ -63,6 +69,7 @@ let make ~id ~(layout : Layout.t) ~first ~blocks ~prob =
     pruned = [||];
     validated = false;
     promoted = false;
+    lowered = None;
   }
 
 let n_blocks t = Array.length t.blocks

@@ -46,6 +46,13 @@ type t = {
           TL201 invariant is relaxed for such traces.  Not persisted
           directly: a sub-threshold probability identifies a promoted
           trace on restore, because the cutter never commits one. *)
+  mutable lowered : Microir.body option;
+      (** the compiled tier: the trace's blocks lowered to register
+          micro-IR ({!Microir}), present only while the trace holds a
+          compiled-tier slot under [Config.Tier]'s budget.  Derived
+          state, never persisted — a restored cache re-lowers whatever
+          the tier cost model picks, exactly like [pruned]/[validated]
+          re-derive. *)
 }
 
 val make :

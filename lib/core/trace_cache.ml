@@ -64,6 +64,8 @@ type t = {
   mutable quarantine_rejects : int; (* installs refused while quarantined *)
   mutable pin_refusals : int;
       (* quarantine attempts refused because the bound trace was pinned *)
+  mutable demote_refusals : int;
+      (* tier demotions refused because the compiled trace was pinned *)
   mutable cross_installs : int;
       (* hash-cons hits where the cached trace was built by another
          session — a construction this session never had to pay for *)
@@ -109,6 +111,7 @@ let create ?(events = Events.create ()) ?(max_traces = 0) ?(max_blocks = 0)
     failed_installs = 0;
     quarantine_rejects = 0;
     pin_refusals = 0;
+    demote_refusals = 0;
     cross_installs = 0;
     cross_entries = 0;
   }
@@ -168,6 +171,54 @@ let n_pinned t = Hashtbl.length t.pinned
 
 let n_pin_refusals t = t.pin_refusals
 
+let n_demote_refusals t = t.demote_refusals
+
+(* The compiled tier's view of the live cache.  A pin also protects the
+   lowered body: demoting a trace out from under the dispatch loop that
+   is following its micro-IR would leave the loop's accounting pointing
+   at freed state, so [demote_lowered] refuses exactly like
+   [quarantine] does. *)
+
+let trace_uses t (tr : Trace.t) =
+  match Hashtbl.find_opt t.use_count
+          (entry_key_int t ~first:tr.Trace.first ~head:tr.Trace.blocks.(0))
+  with
+  | Some n -> n
+  | None -> 0
+
+let n_compiled t =
+  Hashtbl.fold
+    (fun _ tr acc -> if tr.Trace.lowered <> None then acc + 1 else acc)
+    t.by_entry 0
+
+let demote_lowered t (tr : Trace.t) =
+  if tr.Trace.lowered = None then false
+  else if is_pinned t tr then begin
+    t.demote_refusals <- t.demote_refusals + 1;
+    false
+  end
+  else begin
+    tr.Trace.lowered <- None;
+    true
+  end
+
+let coldest_compiled t ~(excluding : Trace.t option) : Trace.t option =
+  let best = ref None in
+  Hashtbl.iter
+    (fun _ tr ->
+      if
+        tr.Trace.lowered <> None
+        && (not (is_pinned t tr))
+        && not
+             (match excluding with Some e -> e == tr | None -> false)
+      then
+        let uses = trace_uses t tr in
+        match !best with
+        | Some (_, b) when b <= uses -> ()
+        | _ -> best := Some (tr, uses))
+    t.by_entry;
+  match !best with Some (tr, _) -> Some tr | None -> None
+
 (* Dispatch lookup: is there a trace entered by the transition
    (prev, cur)? *)
 let lookup t ~prev ~cur : Trace.t option =
@@ -205,6 +256,9 @@ let unbind t ekey (tr : Trace.t) =
   Hashtbl.remove t.last_used ekey;
   Hashtbl.remove t.use_count ekey;
   t.live_blocks <- t.live_blocks - Array.length tr.Trace.blocks;
+  (* leaving the cache frees the compiled-tier slot too (no Tier_demoted
+     event: the eviction/quarantine event already covers the removal) *)
+  tr.Trace.lowered <- None;
   purge_seq t tr
 
 let n_live t = Hashtbl.length t.by_entry

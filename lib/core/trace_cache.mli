@@ -124,9 +124,10 @@ val quarantine :
 (** {2 Execution pins}
 
     The dispatch loop pins a trace for as long as it is being followed:
-    a pinned trace is never an eviction victim and {!quarantine} refuses
-    to condemn it.  Pins are refcounted because the [Session] layer
-    shares one cache between members. *)
+    a pinned trace is never an eviction victim, {!quarantine} refuses to
+    condemn it, and {!demote_lowered} refuses to drop its compiled-tier
+    body.  Pins are refcounted because the [Session] layer shares one
+    cache between members. *)
 
 val pin : t -> Trace.t -> unit
 (** Increment the trace's execution refcount. *)
@@ -143,6 +144,34 @@ val n_pinned : t -> int
 val n_pin_refusals : t -> int
 (** {!quarantine} condemnations refused because the bound trace was
     pinned. *)
+
+val n_demote_refusals : t -> int
+(** {!demote_lowered} demotions refused because the compiled trace was
+    pinned (being executed on the compiled tier). *)
+
+(** {2 The compiled tier's cache view}
+
+    The tier cost model ([Tier]) reads heat and the compiled population
+    through these; the lowered bodies themselves live on the traces
+    ([Trace.t.lowered]) as derived, never-persisted state. *)
+
+val trace_uses : t -> Trace.t -> int
+(** The use count (heat) of the trace's own entry binding — the signal
+    the tier cost model promotes and demotes on. *)
+
+val n_compiled : t -> int
+(** Live traces currently holding a lowered body. *)
+
+val demote_lowered : t -> Trace.t -> bool
+(** Drop the trace's lowered body, freeing its compiled-tier slot.
+    Returns [false] without touching the trace when it has no lowered
+    body, or when it is {!pin}ned — a dispatch loop is following its
+    micro-IR right now ({!n_demote_refusals} bumped); callers retry
+    after the trace exits. *)
+
+val coldest_compiled : t -> excluding:Trace.t option -> Trace.t option
+(** The live compiled trace with the fewest uses, skipping pinned traces
+    and [excluding] — the budget demotion's victim. *)
 
 val is_quarantined : t -> first:Cfg.Layout.gid -> head:Cfg.Layout.gid -> bool
 (** Whether the entry transition is blacklisted at the current clock. *)

@@ -402,6 +402,7 @@ let validate ?context (layout : Layout.t) (tr : Trace.t) : Diag.t list =
       ~original:r.Trace_optimizer.original ~optimized:r.Trace_optimizer.optimized
       ()
     @ check_pruned ?context layout tr
+    @ Tier.check_lowered ?context layout tr
   end
 
 let check_cache ?context (layout : Layout.t) (cache : Trace_cache.t) :

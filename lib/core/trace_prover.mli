@@ -29,7 +29,9 @@ val validate :
 (** Translation-validate one trace (and re-check its pruning claims).
     [[]] = proven equivalent.  Structurally unsound bodies (corrupted
     gids — Invariants' TL210/TL211 territory) get a single TL218
-    warning instead of a crash. *)
+    warning instead of a crash.  Traces holding a compiled-tier body
+    additionally get {!Tier.check_lowered}'s TL220 re-derivation
+    check. *)
 
 val check_cache :
   ?context:string -> Cfg.Layout.t -> Trace_cache.t -> Analysis.Diag.t list

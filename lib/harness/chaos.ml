@@ -32,10 +32,12 @@ let default_spec =
    so eviction paths are exercised too.  [osr] arms on-stack replacement
    (mid-trace deopt + mid-loop promotion): the transparency promise must
    hold with the deopt paths live, which is what the check.sh
-   deopt-transparency gate drives with a guard-flip schedule. *)
-let config ?(spec = default_spec) ?(osr = false) ~seed () =
+   deopt-transparency gate drives with a guard-flip schedule.  [tier]
+   arms the compiled micro-IR tier, putting compiled-trace dispatch (and
+   deopt from the compiled tier, with [osr]) under the same gate. *)
+let config ?(spec = default_spec) ?(osr = false) ?(tier = false) ~seed () =
   Config.make ~debug_checks:true ~self_heal:true ~max_cache_traces:48
-    ~fault_spec:spec ~fault_seed:seed ~osr ()
+    ~fault_spec:spec ~fault_seed:seed ~osr ~tier ()
 
 type verdict = {
   workload : string;
@@ -59,11 +61,11 @@ let fingerprint (r : Interp.result) : string * int * int =
   in
   (outcome, r.Interp.instructions, r.Interp.block_dispatches)
 
-let run_one ?spec ?osr ?max_instructions (w : Workloads.Workload.t) ~size ~seed
-    : verdict =
+let run_one ?spec ?osr ?tier ?max_instructions (w : Workloads.Workload.t) ~size
+    ~seed : verdict =
   let layout = Experiment.layout_for w ~size in
   let baseline = Interp.run_plain ?max_instructions layout in
-  let chaos_config = config ?spec ?osr ~seed () in
+  let chaos_config = config ?spec ?osr ?tier ~seed () in
   let result = Engine.run ~config:chaos_config ?max_instructions layout in
   let stats = result.Engine.run_stats in
   {
@@ -77,12 +79,12 @@ let run_one ?spec ?osr ?max_instructions (w : Workloads.Workload.t) ~size ~seed
 (* The gate: every registered workload under [schedules] seeded fault
    schedules.  Returns all verdicts; the caller decides how to render
    failures (the CLI exits non-zero on any). *)
-let gate ?spec ?osr ?max_instructions ?(schedules = 50) ~seed ~size_of () :
-    verdict list =
+let gate ?spec ?osr ?tier ?max_instructions ?(schedules = 50) ~seed ~size_of ()
+    : verdict list =
   List.concat_map
     (fun (w : Workloads.Workload.t) ->
       List.init schedules (fun i ->
-          run_one ?spec ?osr ?max_instructions w ~size:(size_of w)
+          run_one ?spec ?osr ?tier ?max_instructions w ~size:(size_of w)
             ~seed:(seed + (1000 * i))))
     Workloads.Registry.all
 

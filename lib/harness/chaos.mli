@@ -15,12 +15,16 @@ val default_spec : string
 (** Every fault kind armed, with a budget sized so a default-size
     workload sees all of it early and then recovers. *)
 
-val config : ?spec:string -> ?osr:bool -> seed:int -> unit -> Tracegen.Config.t
+val config :
+  ?spec:string -> ?osr:bool -> ?tier:bool -> seed:int -> unit -> Tracegen.Config.t
 (** The chaos operating point: self-healing and debug checks on, the
     cache bounded, the given fault schedule armed.  [osr] (default
     [false]) additionally arms on-stack replacement, putting the
     mid-trace deoptimization paths under the transparency gate — pair it
-    with a [guard-flip] spec to actually exercise them. *)
+    with a [guard-flip] spec to actually exercise them.  [tier] (default
+    [false]) arms the compiled micro-IR tier, so compiled-trace dispatch
+    (and, with [osr], deopt from the compiled tier) runs under the same
+    gate. *)
 
 type verdict = {
   workload : string;
@@ -41,6 +45,7 @@ val fingerprint : Vm.Interp.result -> string * int * int
 val run_one :
   ?spec:string ->
   ?osr:bool ->
+  ?tier:bool ->
   ?max_instructions:int ->
   Workloads.Workload.t ->
   size:int ->
@@ -52,6 +57,7 @@ val run_one :
 val gate :
   ?spec:string ->
   ?osr:bool ->
+  ?tier:bool ->
   ?max_instructions:int ->
   ?schedules:int ->
   seed:int ->

@@ -92,8 +92,10 @@ let to_string j =
    eviction).
    Version 5: [guards_pruned] event kind (guard-implication pruning).
    Version 6: [deopt_entered] / [osr_promoted] event kinds (on-stack
-   replacement). *)
-let schema_version = 6
+   replacement).
+   Version 7: [trace_compiled] / [tier_demoted] event kinds (the
+   compiled micro-IR tier). *)
+let schema_version = 7
 
 type format = Jsonl | Chrome_trace | Binary_snapshot
 
@@ -249,6 +251,15 @@ let event_json (e : Events.event) : json =
           ("latch", J_int latch);
           ("hotness", J_int hotness);
         ]
+    | Events.Trace_compiled { trace_id; ops; fused; src_instrs } ->
+        [
+          ("trace_id", J_int trace_id);
+          ("ops", J_int ops);
+          ("fused", J_int fused);
+          ("src_instrs", J_int src_instrs);
+        ]
+    | Events.Tier_demoted { trace_id; uses } ->
+        [ ("trace_id", J_int trace_id); ("uses", J_int uses) ]
   in
   J_obj
     (versioned

@@ -24,6 +24,7 @@ type trace_row = {
   partial_exits : int;
   instrs : int; (* instructions attributed to the trace body *)
   pruned : int; (* guard positions proven redundant (Trace_prover) *)
+  tier : string; (* "compiled" when holding a micro-IR body, else "interp" *)
 }
 
 type block_row = {
@@ -61,6 +62,10 @@ let of_engine (engine : Tr.Engine.t) : t =
             partial_exits = tr.Tr.Trace.partial_exits;
             instrs = trace_instrs tr;
             pruned = count_pruned tr;
+            tier =
+              (match tr.Tr.Trace.lowered with
+              | Some _ -> "compiled"
+              | None -> "interp");
           }
           :: !traces);
   let self = Tr.Engine.attr_self engine in
@@ -139,17 +144,17 @@ let render ?(top = 10) (r : t) : string =
     go n l
   in
   Buffer.add_string buf
-    (Printf.sprintf "%-6s %-32s %7s %9s %9s %8s %10s %6s %6s\n" "trace"
+    (Printf.sprintf "%-6s %-32s %7s %9s %9s %8s %10s %6s %6s %-8s\n" "trace"
        "entry" "blocks" "entered" "completed" "partial" "instrs" "prob"
-       "pruned");
+       "pruned" "tier");
   List.iter
     (fun row ->
       Buffer.add_string buf
-        (Printf.sprintf "%-6d %-32s %7d %9d %9d %8d %10d %6.3f %6d\n"
+        (Printf.sprintf "%-6d %-32s %7d %9d %9d %8d %10d %6.3f %6d %-8s\n"
            row.trace_id
            (truncate_label 32 row.entry)
            row.n_blocks row.entered row.completed row.partial_exits row.instrs
-           row.prob row.pruned))
+           row.prob row.pruned row.tier))
     (take top r.traces);
   if List.length r.traces > top then
     Buffer.add_string buf

@@ -19,6 +19,9 @@ type trace_row = {
   pruned : int;
       (** guard positions proven redundant by [Tracegen.Trace_prover]
           (0 unless the run had [Config.prune_guards] on) *)
+  tier : string;
+      (** ["compiled"] when the trace holds a micro-IR body
+          ([Config.Tier]), ["interp"] otherwise *)
 }
 
 type block_row = {

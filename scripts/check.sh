@@ -46,6 +46,18 @@ dune exec bin/repro_cli.exe -- chaos --seed 42 --quick
 dune exec bin/repro_cli.exe -- chaos --spec 'guard_flip@0.05,budget=24' \
   --schedules 25 --seed 42 --quick --osr
 
+# Tier-transparency gate: with the compiled micro-IR tier armed, every
+# workload pinned to every backend must stay bit-identical to the plain
+# interpreter, and at least one trace must actually reach the compiled
+# tier — a transparency pass over an idle tier proves nothing.
+dune exec bin/repro_cli.exe -- backends --tier > /dev/null
+
+# Compiled-tier chaos: guard-flip schedules force mid-trace deopt while
+# traces are dispatched from the micro-IR tier (--tier --osr), putting
+# the deopt-from-compiled-tier path under the FT901/FT902 gate.
+dune exec bin/repro_cli.exe -- chaos --spec 'guard_flip@0.05,budget=24' \
+  --schedules 25 --seed 42 --quick --osr --tier
+
 # Hot-path attribution: the ranked report's every column must reconcile
 # exactly with the end-of-run statistics; exits non-zero on mismatch.
 dune exec bin/repro_cli.exe -- top compress > /dev/null

@@ -65,7 +65,7 @@ let test_pinned_equivalence () =
           | Engine.Profile ->
               check Alcotest.int "profile: no trace dispatches" 0
                 s.Stats.trace_dispatches
-          | Engine.Trace -> ());
+          | Engine.Trace | Engine.Microir -> ());
           check Alcotest.int "pinned engines never switch" 0
             (Engine.backend_switches r.Engine.engine))
         Engine.backends)

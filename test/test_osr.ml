@@ -253,6 +253,34 @@ let test_pinned_trace_protected () =
   check Alcotest.bool "quarantine succeeds once unpinned" true
     (Trace_cache.quarantine cache ~first:0 ~head:1 ~code:"TL210" <> None)
 
+(* The PR-9 extension of the same promise: a pin also protects the
+   trace's compiled-tier body.  Demoting a lowered body out from under
+   the dispatch loop following it would leave the loop's micro-IR
+   accounting pointing at freed state, so demote_lowered refuses exactly
+   like quarantine does — and succeeds once the trace exits. *)
+let test_pinned_trace_keeps_compiled_body () =
+  let layout = layout_for ~size:200 compress in
+  let cache = Trace_cache.create layout in
+  let tr = Trace_cache.install cache ~first:0 ~blocks:[| 1; 2 |] ~prob:1.0 in
+  tr.Trace.lowered <- Some (Tracegen.Tier.lower_trace layout tr);
+  check Alcotest.int "one compiled trace" 1 (Trace_cache.n_compiled cache);
+  Trace_cache.pin cache tr;
+  check Alcotest.bool "demotion refused while executing" false
+    (Trace_cache.demote_lowered cache tr);
+  check Alcotest.bool "lowered body retained" true (tr.Trace.lowered <> None);
+  check Alcotest.int "refusal counted" 1
+    (Trace_cache.n_demote_refusals cache);
+  (* refcounted like every pin: one of two unpins still protects *)
+  Trace_cache.pin cache tr;
+  Trace_cache.unpin cache tr;
+  check Alcotest.bool "still protected after one of two unpins" false
+    (Trace_cache.demote_lowered cache tr);
+  Trace_cache.unpin cache tr;
+  check Alcotest.bool "demotion succeeds once unpinned" true
+    (Trace_cache.demote_lowered cache tr);
+  check Alcotest.bool "body dropped" true (tr.Trace.lowered = None);
+  check Alcotest.int "no compiled traces left" 0 (Trace_cache.n_compiled cache)
+
 (* --------------------------------------------------------------- *)
 (* mid-flight condemnation                                           *)
 (* --------------------------------------------------------------- *)
@@ -356,6 +384,8 @@ let () =
         [
           tc "eviction and quarantine respect pins" `Quick
             test_pinned_trace_protected;
+          tc "tier demotion respects pins" `Quick
+            test_pinned_trace_keeps_compiled_body;
         ] );
       ( "cut-over",
         [

@@ -301,6 +301,58 @@ let test_restored_heat_counts () =
   check (Alcotest.list Alcotest.int) "hot trace survives after restore" [ 0 ]
     (survivors fresh)
 
+(* The compiled tier is derived state: snapshots never store a lowered
+   body, yet a restored cache must converge on the same compiled set —
+   promotion keys on the persisted heat (snap_heat), so restore-time
+   recompilation re-derives exactly the traces the original run held
+   compiled. *)
+let test_restored_tier_rederived () =
+  let layout = Lazy.force compress_layout in
+  let config =
+    Tracegen.Config.make ~tier:true ~tier_compile_after:4 ()
+  in
+  let r = Engine.run ~config layout in
+  let engine = r.Engine.engine in
+  let compiled_set eng =
+    let acc = ref [] in
+    Trace_cache.iter (Engine.cache eng) (fun tr ->
+        if tr.Tracegen.Trace.lowered <> None then
+          acc := Tracegen.Trace.entry_key tr :: !acc);
+    List.sort compare !acc
+  in
+  let original = compiled_set engine in
+  check Alcotest.bool "the tiered run compiled some traces" true
+    (original <> []);
+  let data = Engine.snapshot engine in
+  let fresh = Engine.create ~config layout in
+  (match Engine.restore fresh data with
+  | Error e -> Alcotest.failf "restore failed: %s" (Persist.error_to_string e)
+  | Ok info ->
+      check Alcotest.int "every compiled trace was re-derived"
+        (List.length original) info.Engine.recompiled_traces);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "restored cache re-compiles the same tier set" original
+    (compiled_set fresh);
+  (* and the bodies are the same lowered code: TL220 holds over the
+     restored cache *)
+  Trace_cache.iter (Engine.cache fresh) (fun tr ->
+      match Tracegen.Tier.check_lowered layout tr with
+      | [] -> ()
+      | d :: _ ->
+          Alcotest.failf "restored trace %d failed TL220: %s"
+            tr.Tracegen.Trace.id
+            (Analysis.Diag.to_string d));
+  (* a tier-off restore of the same snapshot stays fully interpreted *)
+  let cold = Engine.create layout in
+  (match Engine.restore cold data with
+  | Error e -> Alcotest.failf "restore failed: %s" (Persist.error_to_string e)
+  | Ok info ->
+      check Alcotest.int "tier off: nothing recompiled" 0
+        info.Engine.recompiled_traces);
+  check Alcotest.int "tier off: cache fully interpreted" 0
+    (Trace_cache.n_compiled (Engine.cache cold))
+
 let () =
   Alcotest.run "persist"
     [
@@ -319,6 +371,11 @@ let () =
           tc "events" `Quick test_restore_events;
         ] );
       ("warm-start", [ tc "warm = cold" `Quick test_warm_equals_cold ]);
+      ( "tier",
+        [
+          tc "restored cache re-derives the compiled set" `Quick
+            test_restored_tier_rederived;
+        ] );
       ( "eviction",
         [
           tc "footprint keeps hot-but-large" `Quick

@@ -400,6 +400,36 @@ let prop_osr_transparent =
          = r.Tracegen.Engine.vm_result.Interp.instructions
       && Tracegen.Engine.osr_state_mismatches r.Tracegen.Engine.engine = 0)
 
+(* The compiled micro-IR tier is a pure overlay: with a low promotion
+   bar (so random programs actually reach the compiled tier) and OSR
+   armed on top, outcome and instruction counts must match pure
+   interpretation, and every lowered body must survive TL220
+   re-derivation. *)
+let prop_microir_transparent =
+  QCheck.Test.make
+    ~name:"compiled tier is transparent on random programs" ~count:40
+    arb_program (fun program ->
+      let layout = Cfg.Layout.build program in
+      let plain =
+        Interp.run ~max_instructions:2_000_000 layout ~on_block:(fun _ -> ())
+      in
+      let config =
+        Tracegen.Config.make ~debug_checks:true ~tier:true
+          ~tier_compile_after:4 ~osr:true ~osr_promote_after:32 ()
+      in
+      let r =
+        Tracegen.Engine.run ~config ~max_instructions:2_000_000 layout
+      in
+      let engine = r.Tracegen.Engine.engine in
+      let tl220 = ref 0 in
+      Tracegen.Trace_cache.iter (Tracegen.Engine.cache engine) (fun tr ->
+          if Tracegen.Tier.check_lowered layout tr <> [] then incr tl220);
+      same_outcome plain.Interp.outcome
+        r.Tracegen.Engine.vm_result.Interp.outcome
+      && plain.Interp.instructions
+         = r.Tracegen.Engine.vm_result.Interp.instructions
+      && !tl220 = 0)
+
 let prop_baselines_transparent =
   QCheck.Test.make ~name:"baseline overlays do not disturb execution"
     ~count:30 arb_program (fun program ->
@@ -431,6 +461,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_symexec_cross_validated;
           QCheck_alcotest.to_alcotest prop_chaos_transparent;
           QCheck_alcotest.to_alcotest prop_osr_transparent;
+          QCheck_alcotest.to_alcotest prop_microir_transparent;
           QCheck_alcotest.to_alcotest prop_baselines_transparent;
         ] );
     ]
