@@ -21,6 +21,41 @@ let scale =
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
+(* --json: besides the printed tables, accumulate every section's headline
+   numbers as [Harness.Perf] metrics and write them out as a single
+   machine-readable baseline (BENCH_<label>.json) at exit —
+   [repro_cli bench-diff] compares two such files. *)
+let json_mode = Array.exists (fun a -> a = "--json") Sys.argv
+let perf_sections : Harness.Perf.section list ref = ref []
+
+let perf label metrics =
+  if json_mode then
+    perf_sections := { Harness.Perf.label; metrics } :: !perf_sections
+
+let m name value unit_ better =
+  Harness.Perf.metric ~name ~value ~unit_ ~better
+
+let mhigher = Harness.Perf.Higher
+let mlower = Harness.Perf.Lower
+
+let write_perf ~label =
+  if json_mode then begin
+    let run =
+      {
+        Harness.Perf.bench = label;
+        env = Harness.Perf.env_stamp ~scale;
+        sections = List.rev !perf_sections;
+      }
+    in
+    let path = Printf.sprintf "BENCH_%s.json" label in
+    let oc = open_out path in
+    output_string oc (Harness.Perf.to_string run);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nperf baseline written to %s (%d sections)\n" path
+      (List.length run.Harness.Perf.sections)
+  end
+
 let tables () =
   section "Paper tables";
   Printf.printf "(workload scale %.2f; see EXPERIMENTS.md for analysis)\n\n"
@@ -199,7 +234,117 @@ let observability () =
     reps
     (1000.0 *. te /. float_of_int reps)
     (!counted / runs)
-    (100.0 *. (te -. td) /. td)
+    (100.0 *. (te -. td) /. td);
+  perf "observability"
+    [
+      m "events_disabled_ms" (1000.0 *. td /. float_of_int reps) "ms/run"
+        mlower;
+      m "events_enabled_ms" (1000.0 *. te /. float_of_int reps) "ms/run"
+        mlower;
+      m "enabled_cost_pct" (100.0 *. (te -. td) /. td) "pct" mlower;
+      m "events_per_run" (float_of_int (!counted / runs)) "count" mhigher;
+    ]
+
+(* The black box and the decision ledger are on by default; their
+   contract is O(1) per record with bounded retention (the ring) and
+   per-consequential-action cost (the ledger), so the priced-in overhead
+   on an events-enabled run must stay small — the acceptance line is 3%.
+   Time the events-enabled engine with both disarmed
+   ([flightrec_capacity:0], [ledger:false]) against the same run with the
+   defaults, and report the delta plus the recorder's window accounting.
+   The enabled run's trace-length distribution feeds the perf baseline as
+   p50/p90/p99 ({!Tracegen.Metrics.percentile}). *)
+let flightrec_ledger_overhead () =
+  section "Flight recorder / ledger overhead (events-enabled config)";
+  let layout = Lazy.force bench_layout in
+  (* paired interleaved samples: the 3% acceptance line is finer than
+     the drift between two separately-timed blocks on a busy machine, so
+     time (off, on) back to back and take the median of the per-pair
+     relative deltas; the reps floor keeps each sample long enough to
+     ride over scheduler noise even at smoke scale *)
+  let reps = max 5 (int_of_float (10.0 *. scale)) in
+  let sample f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  (* "events-enabled" means what it means everywhere else in this repo:
+     the reconciliation oracle's tally is subscribed, as the chaos gate
+     and the events subcommand both do — both sides of the comparison
+     carry it, so the delta is exactly the ring + the ledger *)
+  let run_with config =
+    let events = Tracegen.Events.create () in
+    let _tally = Harness.Oracle.attach events in
+    Tracegen.Engine.run ~config ~events layout
+  in
+  let off () =
+    ignore
+      (run_with (Tracegen.Config.make ~flightrec_capacity:0 ~ledger:false ()))
+  in
+  let recorded = ref 0 in
+  let dropped = ref 0 in
+  let decisions = ref 0 in
+  let pcts = ref None in
+  let on () =
+    let r = run_with (Tracegen.Config.make ()) in
+    let e = r.Tracegen.Engine.engine in
+    (match Tracegen.Engine.flightrec e with
+    | Some fr ->
+        recorded := Tracegen.Flightrec.recorded fr;
+        dropped := Tracegen.Flightrec.dropped fr
+    | None -> ());
+    (match Tracegen.Engine.ledger e with
+    | Some l -> decisions := Tracegen.Ledger.length l
+    | None -> ());
+    (* keep only the three ints, not the engine: retaining the previous
+       run's heap across timed runs would tax the GC we are measuring *)
+    let h = Tracegen.Engine.trace_len_hist e in
+    let p q = Tracegen.Metrics.percentile h q in
+    pcts := Some (p 50.0, p 90.0, p 99.0)
+  in
+  off ();
+  on ();
+  Gc.compact ();
+  let pairs = List.init 9 (fun _ -> (sample off, sample on)) in
+  (* the minimum of each side is the run without scheduler interference —
+     medians still wander by several percent on a contended machine *)
+  let t_off = List.fold_left min infinity (List.map fst pairs) in
+  let t_on = List.fold_left min infinity (List.map snd pairs) in
+  let cost = 100.0 *. (t_on -. t_off) /. t_off in
+  Printf.printf
+    "engine, both disarmed   : %8.2f ms/run (median of 5x%d)\n\
+     engine, ring + ledger   : %8.2f ms/run (%d recorded, %d dropped, %d \
+     ledger records)\n\
+     enabled-path cost       : %+7.2f%% (budget 3%%: %s)\n"
+    (1000.0 *. t_off /. float_of_int reps)
+    reps
+    (1000.0 *. t_on /. float_of_int reps)
+    !recorded !dropped !decisions cost
+    (if cost <= 3.0 then "within" else "OVER");
+  let percentiles =
+    match !pcts with
+    | None -> []
+    | Some (p50, p90, p99) ->
+        Printf.printf
+          "trace length            : p50<=%d p90<=%d p99<=%d blocks\n" p50 p90
+          p99;
+        [
+          m "trace_len_p50" (float_of_int p50) "blocks" mhigher;
+          m "trace_len_p90" (float_of_int p90) "blocks" mhigher;
+          m "trace_len_p99" (float_of_int p99) "blocks" mhigher;
+        ]
+  in
+  perf "flightrec_ledger"
+    ([
+       m "disarmed_ms" (1000.0 *. t_off /. float_of_int reps) "ms/run" mlower;
+       m "armed_ms" (1000.0 *. t_on /. float_of_int reps) "ms/run" mlower;
+       m "overhead_pct" cost "pct" mlower;
+       m "flightrec_recorded" (float_of_int !recorded) "count" mhigher;
+       m "ledger_records" (float_of_int !decisions) "count" mhigher;
+     ]
+    @ percentiles)
 
 (* The span recorder and attribution arrays have the same contract as the
    event stream: with [Config.Obs] off (the default) every site is a
@@ -252,7 +397,14 @@ let span_overhead () =
     noise
     (1000.0 *. te /. float_of_int reps)
     !spans_seen cost
-    (if abs_float (d2 -. d1) /. d1 <= 0.15 then "yes" else "NO (rerun)")
+    (if abs_float (d2 -. d1) /. d1 <= 0.15 then "yes" else "NO (rerun)");
+  perf "span_overhead"
+    [
+      m "obs_disabled_ms" (1000.0 *. d1 /. float_of_int reps) "ms/run" mlower;
+      m "obs_enabled_ms" (1000.0 *. te /. float_of_int reps) "ms/run" mlower;
+      m "enabled_cost_pct" cost "pct" mlower;
+      m "spans_per_run" (float_of_int !spans_seen) "count" mhigher;
+    ]
 
 (* The invariant sweeps' contract is the same shape: one boolean test per
    block dispatch and per builder outcome when [debug_checks] is off.
@@ -292,7 +444,14 @@ let debug_checks_overhead () =
     reps
     (1000.0 *. t_on /. float_of_int reps)
     !violations
-    (100.0 *. (t_on -. t_off) /. t_off)
+    (100.0 *. (t_on -. t_off) /. t_off);
+  perf "debug_checks"
+    [
+      m "checks_off_ms" (1000.0 *. t_off /. float_of_int reps) "ms/run"
+        mlower;
+      m "checks_on_ms" (1000.0 *. t_on /. float_of_int reps) "ms/run" mlower;
+      m "checked_cost_pct" (100.0 *. (t_on -. t_off) /. t_off) "pct" mlower;
+    ]
 
 (* Chaos costs two numbers: the steady-state overhead of running with the
    self-healing machinery armed (dispatch-time validation, quarantine
@@ -350,6 +509,14 @@ let chaos_overhead () =
     (1000.0 *. t_fire /. float_of_int reps)
     (100.0 *. (t_armed -. t_plain) /. t_plain)
     (100.0 *. (t_fire -. t_plain) /. t_plain);
+  perf "chaos"
+    [
+      m "plain_ms" (1000.0 *. t_plain /. float_of_int reps) "ms/run" mlower;
+      m "armed_cost_pct" (100.0 *. (t_armed -. t_plain) /. t_plain) "pct"
+        mlower;
+      m "under_fire_cost_pct" (100.0 *. (t_fire -. t_plain) /. t_plain) "pct"
+        mlower;
+    ];
   (* Recovery latency: subscribe to Mode_degraded/Mode_recovered and
      measure, in dispatches, each excursion below full tracing.  A hotter
      schedule than the gate's, so the ladder actually moves on this small
@@ -468,7 +635,24 @@ let osr_overhead () =
                    armed) / deopts)\n"
       (1_000_000.0
       *. (t_flip -. t_armed)
-      /. float_of_int reps /. per_run !deopts)
+      /. float_of_int reps /. per_run !deopts);
+  perf "osr"
+    ([
+       m "arming_cost_pct" (100.0 *. (t_armed -. t_off) /. t_off) "pct"
+         mlower;
+       m "deopts_per_run" (per_run !deopts) "count" mlower;
+       m "promotions_per_run" (per_run !promotions) "count" mhigher;
+     ]
+    @
+    if per_run !deopts > 0.0 then
+      [
+        m "deopt_latency_us"
+          (1_000_000.0
+          *. (t_flip -. t_armed)
+          /. float_of_int reps /. per_run !deopts)
+          "us/deopt" mlower;
+      ]
+    else [])
 
 (* The engine re-reads the health ladder at every observed block to pick
    a backend; pinning skips that.  Time pinned-trace against the
@@ -521,7 +705,14 @@ let backend_switch_overhead () =
     (1000.0 *. t_follow /. float_of_int reps)
     (100.0 *. (t_follow -. t_pin) /. t_pin)
     (1000.0 *. t_switch /. float_of_int reps)
-    (!switches / runs)
+    (!switches / runs);
+  perf "backend_switch"
+    [
+      m "pinned_ms" (1000.0 *. t_pin /. float_of_int reps) "ms/run" mlower;
+      m "selection_cost_pct" (100.0 *. (t_follow -. t_pin) /. t_pin) "pct"
+        mlower;
+      m "chaos_ms" (1000.0 *. t_switch /. float_of_int reps) "ms/run" mlower;
+    ]
 
 (* Four members of the same workload, private caches (solo engines) vs
    one shared cache (a session): the shared side should reconstruct far
@@ -561,7 +752,17 @@ let shared_cache () =
     (1000.0 *. t_private) !private_constructed (1000.0 *. t_shared)
     shared_constructed
     (Tracegen.Session.cross_installs session)
-    (Tracegen.Session.cross_entries session)
+    (Tracegen.Session.cross_entries session);
+  perf "shared_cache"
+    [
+      m "private_ms" (1000.0 *. t_private) "ms" mlower;
+      m "shared_ms" (1000.0 *. t_shared) "ms" mlower;
+      m "shared_traces_constructed" (float_of_int shared_constructed) "count"
+        mlower;
+      m "cross_installs_saved"
+        (float_of_int (Tracegen.Session.cross_installs session))
+        "count" mhigher;
+    ]
 
 (* Guard pruning: the payoff of the install-time implication prover.
    Run compress and scimark with pruning off and on, and report the
@@ -602,7 +803,7 @@ let guard_pruning () =
             Printf.printf "%-10s DISPATCH MISMATCH (%d vs %d)\n" name
               (Stats.total_dispatches s_off)
               (Stats.total_dispatches s_on)
-          else
+          else begin
             Printf.printf
               "%-10s off: %6.2f guards/kinstr          %8.2f ms\n\
                %-10s on : %6.2f guards/kinstr (-%4.1f%%) %8.2f ms (%+.1f%%)\n\
@@ -616,7 +817,20 @@ let guard_pruning () =
               (100.0 *. (t_on -. t_off) /. t_off)
               "" s_on.Stats.guards_elided
               (s_on.Stats.guards_checked + s_on.Stats.guards_elided)
-              s_on.Stats.guards_pruned)
+              s_on.Stats.guards_pruned;
+            perf ("guard_pruning." ^ name)
+              [
+                m "guards_per_kinstr"
+                  (Stats.guards_per_kinstr s_on)
+                  "guards/kinstr" mlower;
+                m "elision_pct"
+                  (100.0 *. Stats.guard_elision_rate s_on)
+                  "pct" mhigher;
+                m "guards_pruned"
+                  (float_of_int s_on.Stats.guards_pruned)
+                  "count" mhigher;
+              ]
+          end)
     [ "compress"; "scimark" ]
 
 (* Micro-IR dispatch: the payoff of the compiled tier.  Run compress and
@@ -679,7 +893,20 @@ let microir_dispatch () =
               (1000.0 *. t_on)
               (100.0 *. (t_on -. t_off) /. t_off)
               "" s_on.Stats.traces_compiled s_on.Stats.compiled_entries
-              s_on.Stats.mi_fused
+              s_on.Stats.mi_fused;
+            perf ("microir." ^ name)
+              [
+                m "micro_ops_per_position" ops_pp "ops/position" mlower;
+                m "fold_pct"
+                  (100.0 *. (1.0 -. (ops_pp /. src_pp)))
+                  "pct" mhigher;
+                m "traces_compiled"
+                  (float_of_int s_on.Stats.traces_compiled)
+                  "count" mhigher;
+                m "fused_ops"
+                  (float_of_int s_on.Stats.mi_fused)
+                  "count" mhigher;
+              ]
           end)
     [ "compress"; "scimark" ]
 
@@ -733,12 +960,14 @@ let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 let () =
   if smoke then begin
     span_overhead ();
+    flightrec_ledger_overhead ();
     backend_switch_overhead ();
     osr_overhead ();
     guard_pruning ();
     microir_dispatch ();
     shared_cache ();
     warmstart ();
+    write_perf ~label:"smoke";
     print_newline ();
     print_endline "smoke ok."
   end
@@ -747,6 +976,7 @@ let () =
     warmstart ();
     observability ();
     span_overhead ();
+    flightrec_ledger_overhead ();
     debug_checks_overhead ();
     chaos_overhead ();
     backend_switch_overhead ();
@@ -757,6 +987,7 @@ let () =
     (match Sys.getenv_opt "BENCH_SKIP_MICRO" with
     | Some "1" -> ()
     | Some _ | None -> micro ());
+    write_perf ~label:"full";
     print_newline ();
     print_endline "done."
   end

@@ -17,7 +17,7 @@ let layout_of = Cli_common.layout_of
 (* ------------------------------------------------------------------ *)
 
 let run_cmd workload size threshold delay fault_spec fault_seed self_heal
-    osr tier prune_guards dump_traces dump_bcg top =
+    osr tier prune_guards dump_traces dump_bcg top dump_flightrec =
   let w = find_workload workload in
   let layout = layout_of w ~size in
   let config =
@@ -26,6 +26,25 @@ let run_cmd workload size threshold delay fault_spec fault_seed self_heal
   in
   let result = Tracegen.Engine.run ~config layout in
   let s = result.Tracegen.Engine.run_stats in
+  (* --dump-flightrec: force a Manual post-mortem dump of the black-box
+     ring — what an invariant/divergence trigger would have written *)
+  (match dump_flightrec with
+  | None -> ()
+  | Some path -> (
+      match Tracegen.Engine.flightrec result.Tracegen.Engine.engine with
+      | Some fr ->
+          Harness.Postmortem.write ~reason:Tracegen.Flightrec.Manual ~path fr;
+          Printf.eprintf "# flightrec: %d of %d recorded entrie(s) -> %s\n"
+            (min
+               (Tracegen.Flightrec.recorded fr)
+               (Tracegen.Flightrec.capacity fr))
+            (Tracegen.Flightrec.recorded fr)
+            path
+      | None ->
+          Printf.eprintf
+            "--dump-flightrec: flight recorder disabled \
+             (flightrec_capacity 0)\n";
+          exit 2));
   (match result.Tracegen.Engine.vm_result.Vm.Interp.outcome with
   | Vm.Interp.Finished (Some value) ->
       Printf.printf "result: %s\n" (Vm.Value.to_string value)
@@ -88,12 +107,14 @@ let run_cmd workload size threshold delay fault_spec fault_seed self_heal
 (* ------------------------------------------------------------------ *)
 
 (* Replay a workload with the event stream enabled and dump the timeline
-   as JSON lines on stdout.  After the run the per-kind event totals are
-   checked against the end-of-run statistics: the stream and the counters
-   are two views of the same execution and must agree exactly. *)
+   as JSON lines on stdout.  After the run the per-kind event totals and
+   the decision-ledger aggregates are checked against the end-of-run
+   statistics (Harness.Oracle): the stream, the ledger and the counters
+   are three views of the same execution and must agree exactly. *)
 let events_cmd workload size threshold delay fault_spec fault_seed self_heal
     osr tier snapshot_period stats_only =
   let module Events = Tracegen.Events in
+  let module Oracle = Harness.Oracle in
   let w = find_workload workload in
   let layout = layout_of w ~size in
   let config =
@@ -101,121 +122,70 @@ let events_cmd workload size threshold delay fault_spec fault_seed self_heal
       ~fault_seed ~self_heal ~osr ~tier ()
   in
   let events = Events.create () in
-  let tally = Hashtbl.create 8 in
-  let constructed_new = ref 0 in
-  let evicted_counted = ref 0 in
-  let evicted_quarantine = ref 0 in
+  let tally = Oracle.attach events in
   let version_prefix =
     Printf.sprintf "{\"schema_version\":%d," Harness.Codec.schema_version
   in
   let unversioned = ref 0 in
+  (* --stats-only skips the per-event JSON rendering entirely: the
+     oracle's tally is all the cross-checks need *)
   let _sub =
-    Events.subscribe events (fun e ->
-        let k = Events.kind e.Events.payload in
-        Hashtbl.replace tally k
-          (1 + (try Hashtbl.find tally k with Not_found -> 0));
-        (match e.Events.payload with
-        | Events.Trace_constructed { reused = false; _ } -> incr constructed_new
-        (* exhaustive over the shared eviction-reason variant: quarantine
-           removals count under traces_quarantined; the other three are
-           real evictions and count under traces_evicted *)
-        | Events.Trace_evicted { reason = Events.Quarantine; _ } ->
-            incr evicted_quarantine
-        | Events.Trace_evicted
-            { reason = Events.Capacity | Events.Pressure | Events.Footprint; _ }
-          ->
-            incr evicted_counted
-        | _ -> ());
-        (* --stats-only skips the per-event JSON rendering entirely: the
-           tallies above are all the cross-checks need *)
-        if not stats_only then begin
-          let line = Harness.Codec.to_string (Harness.Codec.event_json e) in
-          (* every record must announce the export schema version *)
-          if not (String.length line >= String.length version_prefix
-                  && String.sub line 0 (String.length version_prefix)
-                     = version_prefix)
-          then incr unversioned;
-          print_endline line
-        end)
+    if stats_only then None
+    else
+      Some
+        (Events.subscribe events (fun e ->
+             let line =
+               Harness.Codec.to_string (Harness.Codec.event_json e)
+             in
+             (* every record must announce the export schema version *)
+             if
+               not
+                 (String.length line >= String.length version_prefix
+                 && String.sub line 0 (String.length version_prefix)
+                    = version_prefix)
+             then incr unversioned;
+             print_endline line))
   in
   let result = Tracegen.Engine.run ~config ~events layout in
   let s = result.Tracegen.Engine.run_stats in
   let engine = result.Tracegen.Engine.engine in
-  let count k = try Hashtbl.find tally k with Not_found -> 0 in
-  let in_flight =
-    match Tracegen.Engine.active_trace engine with Some _ -> 1 | None -> 0
-  in
   let checks =
-    [
-      ("signal_raised = signals", count "signal_raised", s.Tracegen.Stats.signals);
-      ( "trace_constructed (new) = traces_constructed",
-        !constructed_new,
-        s.Tracegen.Stats.traces_constructed );
-      ( "trace_constructed (reused) = builder reuses",
-        count "trace_constructed" - !constructed_new,
-        Tracegen.Engine.builder_reuses engine );
-      ( "trace_entered = traces_entered",
-        count "trace_entered",
-        s.Tracegen.Stats.traces_entered );
-      ( "trace_completed = traces_completed",
-        count "trace_completed",
-        s.Tracegen.Stats.traces_completed );
-      ( "side_exit = entered - completed - in-flight",
-        count "side_exit",
-        s.Tracegen.Stats.traces_entered - s.Tracegen.Stats.traces_completed
-        - in_flight );
-      ( "trace_replaced = traces_replaced",
-        count "trace_replaced",
-        s.Tracegen.Stats.traces_replaced );
-      ( "fault_injected = faults_injected",
-        count "fault_injected",
-        s.Tracegen.Stats.faults_injected );
-      ( "trace_quarantined = traces_quarantined",
-        count "trace_quarantined",
-        s.Tracegen.Stats.traces_quarantined );
-      (* quarantine removals also emit trace_evicted (reason
-         "quarantine") but count under traces_quarantined, not
-         traces_evicted *)
-      ( "trace_evicted (capacity+pressure) = traces_evicted",
-        !evicted_counted,
-        s.Tracegen.Stats.traces_evicted );
-      ( "trace_evicted (all reasons) = timeline total",
-        !evicted_counted + !evicted_quarantine,
-        count "trace_evicted" );
-      ("schema_version on every record", !unversioned, 0);
-      ( "mode_degraded = health_demotions",
-        count "mode_degraded",
-        s.Tracegen.Stats.health_demotions );
-      ( "mode_recovered = health_promotions",
-        count "mode_recovered",
-        s.Tracegen.Stats.health_promotions );
-      ( "deopt_entered = deopts",
-        count "deopt_entered",
-        s.Tracegen.Stats.deopts );
-      ( "osr_promoted = osr_promotions",
-        count "osr_promoted",
-        s.Tracegen.Stats.osr_promotions );
-      ( "trace_compiled = traces_compiled",
-        count "trace_compiled",
-        s.Tracegen.Stats.traces_compiled );
-      ( "tier_demoted = tier_demotions",
-        count "tier_demoted",
-        s.Tracegen.Stats.tier_demotions );
-    ]
+    Oracle.run_checks tally ~engine s
+    @ [
+        {
+          Oracle.name = "schema_version on every record";
+          got = !unversioned;
+          want = 0;
+        };
+      ]
   in
   Printf.eprintf "# %d events across %d kinds\n"
     (Events.emitted events)
-    (Hashtbl.length tally);
+    (Oracle.n_kinds tally);
+  if stats_only then begin
+    (* the run's distributions with their percentile summaries, since
+       the per-event timeline was suppressed *)
+    let hists =
+      [
+        Tracegen.Engine.trace_len_hist engine;
+        Tracegen.Engine.exit_distance_hist engine;
+        Tracegen.Engine.build_len_hist engine;
+        Tracegen.Engine.backoff_hist engine;
+        Tracegen.Engine.deopt_residue_hist engine;
+      ]
+    in
+    prerr_string (Harness.Report.hist_summary hists)
+  end;
   let ok =
     List.fold_left
-      (fun ok (name, got, want) ->
-        if got = want then begin
-          Printf.eprintf "# ok: %s (%d)\n" name got;
+      (fun ok (c : Oracle.check) ->
+        if Oracle.check_ok c then begin
+          Printf.eprintf "# ok: %s (%d)\n" c.Oracle.name c.Oracle.got;
           ok
         end
         else begin
-          Printf.eprintf "# MISMATCH: %s (timeline %d, stats %d)\n" name got
-            want;
+          Printf.eprintf "# MISMATCH: %s (timeline %d, stats %d)\n"
+            c.Oracle.name c.Oracle.got c.Oracle.want;
           false
         end)
       true checks
@@ -446,7 +416,7 @@ let prove_cmd workload size threshold delay min_pruning =
    baseline (FT901) and recovery to full tracing by the end of the run
    (FT902).  Exit 1 on any violated promise. *)
 let chaos_cmd workload size seed schedules spec osr tier quick verbose
-    catalogue =
+    catalogue dump_dir =
   if catalogue then
     List.iter
       (fun (code, doc) -> Printf.printf "%s  %s\n" code doc)
@@ -479,8 +449,8 @@ let chaos_cmd workload size seed schedules spec osr tier quick verbose
         let ok = ref 0 in
         for i = 0 to schedules - 1 do
           let v =
-            Harness.Chaos.run_one ~spec ~osr ~tier ?max_instructions w ~size
-              ~seed:(seed + (1000 * i))
+            Harness.Chaos.run_one ~spec ~osr ~tier ?max_instructions
+              ?dump_dir w ~size ~seed:(seed + (1000 * i))
           in
           incr total;
           let s = v.Harness.Chaos.stats in
@@ -669,7 +639,7 @@ let session_cmd workloads users batch size threshold delay fault_spec
    reconciled against the end-of-run statistics — the report and Stats
    are two views of the same dispatch loop and must agree exactly over
    the unbounded, non-healing cache used here.  Exit 1 on mismatch. *)
-let top_cmd workload size threshold delay prune_guards tier top =
+let top_cmd workload size threshold delay prune_guards tier top json =
   let ws =
     match workload with
     | Some name -> [ find_workload name ]
@@ -688,9 +658,32 @@ let top_cmd workload size threshold delay prune_guards tier top =
       let engine = r.Tracegen.Engine.engine in
       let s = r.Tracegen.Engine.run_stats in
       let report = Harness.Report.of_engine engine in
-      Printf.printf "== %s ==\n" w.Workloads.Workload.name;
-      print_string (Harness.Report.render ~top report);
-      print_newline ();
+      if json then
+        (* one schema-versioned object per workload, JSONL *)
+        print_endline
+          (Harness.Codec.to_string
+             (match Harness.Report.json report with
+             | Harness.Codec.J_obj (sv :: fields) ->
+                 (* keep schema_version leading, as on every record *)
+                 Harness.Codec.J_obj
+                   (sv
+                   :: ( "workload",
+                        Harness.Codec.J_string w.Workloads.Workload.name )
+                   :: fields)
+             | other -> other))
+      else begin
+        Printf.printf "== %s ==\n" w.Workloads.Workload.name;
+        print_string (Harness.Report.render ~top report);
+        print_newline ();
+        print_string
+          (Harness.Report.hist_summary
+             [
+               Tracegen.Engine.trace_len_hist engine;
+               Tracegen.Engine.exit_distance_hist engine;
+               Tracegen.Engine.build_len_hist engine;
+             ]);
+        print_newline ()
+      end;
       List.iter
         (fun (name, got, want) ->
           if got = want then Printf.eprintf "# ok: %s (%d)\n" name got
@@ -714,7 +707,7 @@ let top_cmd workload size threshold delay prune_guards tier top =
    structural oracle (monotone timestamps, every E closing a B, X events
    carrying dur).  Exit 1 on any violation. *)
 let timeline_cmd workload size threshold delay fault_spec fault_seed self_heal
-    chrome =
+    chrome folded =
   let module Spans = Tracegen.Spans in
   let w = find_workload workload in
   let layout = layout_of w ~size in
@@ -733,8 +726,25 @@ let timeline_cmd workload size threshold delay fault_spec fault_seed self_heal
   let list = Spans.to_list spans in
   Printf.eprintf "# %d span(s) recorded, %d dropped by wraparound\n"
     (Spans.recorded spans) (Spans.dropped spans);
+  (* --folded: the span tree as folded stacks (frame;frame;frame weight),
+     weighted by self time in dispatch ticks — flamegraph.pl input *)
+  (match folded with
+  | None -> ()
+  | Some path -> (
+      let out = Harness.Report.folded list in
+      try
+        let oc = open_out path in
+        output_string oc out;
+        close_out oc;
+        Printf.eprintf "# ok: %d folded stack(s): %s\n"
+          (List.length
+             (String.split_on_char '\n' out |> List.filter (( <> ) "")))
+          path
+      with Sys_error msg ->
+        Printf.eprintf "cannot write %s: %s\n" path msg;
+        exit 2));
   match chrome with
-  | None -> print_string (Harness.Codec.spans_jsonl list)
+  | None -> if folded = None then print_string (Harness.Codec.spans_jsonl list)
   | Some path ->
       let out = Harness.Codec.to_string (Harness.Codec.chrome_trace list) in
       (try
@@ -856,6 +866,190 @@ let warm_cmd workload size threshold delay save load =
           Option.iter (fun p -> write_snapshot p warm) save)
 
 (* ------------------------------------------------------------------ *)
+(* postmortem                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Pretty-print a flight-recorder dump (flightrec_<reason>.jsonl, as
+   written by a trigger or --dump-flightrec).  Every line is re-parsed
+   through the Codec JSON parser, so this command doubles as the dump
+   format's round-trip oracle.  Exit 1 on any unparseable line. *)
+let postmortem_cmd file =
+  let contents =
+    try
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Printf.eprintf "cannot read %s: %s\n" file msg;
+      exit 2
+  in
+  match Harness.Postmortem.describe_dump contents with
+  | Ok lines -> List.iter print_endline lines
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let describe_ledger_action (a : Tracegen.Ledger.action) : string =
+  let module L = Tracegen.Ledger in
+  match a with
+  | L.Build { new_traces; reused; pruned } ->
+      Printf.sprintf "builder: %d new trace(s), %d reused, %d guard(s) pruned"
+        new_traces reused pruned
+  | L.Install { replaced; n_blocks } ->
+      Printf.sprintf "installed (%d block(s)%s)" n_blocks
+        (if replaced then ", replacing a predecessor" else "")
+  | L.Guard_prune { pruned } ->
+      Printf.sprintf "implication proofs elided %d guard(s)" pruned
+  | L.Quarantine { code; attempts; until; permanent } ->
+      Printf.sprintf "quarantined (%s, attempt %d, %s)" code attempts
+        (if permanent then "blacklisted"
+         else Printf.sprintf "until tick %d" until)
+  | L.Evict { reason; footprint; heat; stamp } ->
+      Printf.sprintf
+        "evicted (%s; footprint %d bytes, heat %d, last used tick %d)"
+        reason footprint heat stamp
+  | L.Compile { heat; compile_after; budget; n_compiled } ->
+      Printf.sprintf
+        "compiled to micro-IR (heat %d >= threshold %d, budget slot %d/%d)"
+        heat compile_after n_compiled budget
+  | L.Demote { heat; winner_heat } ->
+      Printf.sprintf
+        "demoted from the compiled tier (heat %d, displaced by heat %d)"
+        heat winner_heat
+  | L.Osr_promote { header; latch; hotness } ->
+      Printf.sprintf "OSR-promoted loop header %d (latch %d, hotness %d)"
+        header latch hotness
+  | L.Deopt { at_pos; resume; residue; reason } ->
+      Printf.sprintf
+        "deopt at trace position %d (%s), resumed at block %d with %d \
+         residue block(s)"
+        at_pos reason resume residue
+
+(* Replay a workload and narrate the decision ledger: why a trace (or an
+   entry-key block) was built, installed, compiled, evicted, quarantined
+   — each record linked to its span id and dispatch tick.  The ledger
+   aggregates are then reconciled against the end-of-run statistics
+   (Harness.Oracle); exit 1 on any drift. *)
+let explain_cmd workload size threshold delay fault_spec fault_seed self_heal
+    osr tier trace_id block =
+  let module L = Tracegen.Ledger in
+  let module Oracle = Harness.Oracle in
+  let w = find_workload workload in
+  let layout = layout_of w ~size in
+  let config =
+    Cli_common.engine_config ~threshold ~delay ~fault_spec ~fault_seed
+      ~self_heal ~osr ~tier ()
+  in
+  let result = Tracegen.Engine.run ~config layout in
+  let engine = result.Tracegen.Engine.engine in
+  let s = result.Tracegen.Engine.run_stats in
+  let ledger =
+    match Tracegen.Engine.ledger engine with
+    | Some l -> l
+    | None ->
+        Printf.eprintf "explain: the decision ledger is disabled\n";
+        exit 2
+  in
+  let records, what =
+    match (trace_id, block) with
+    | Some id, _ -> (L.for_trace ledger id, Printf.sprintf "trace %d" id)
+    | None, Some b -> (L.for_block ledger b, Printf.sprintf "block %d" b)
+    | None, None -> (L.to_list ledger, "the whole run")
+  in
+  Printf.printf "%d of %d ledger record(s) concern %s:\n" (List.length records)
+    (L.length ledger) what;
+  List.iter
+    (fun (r : L.record) ->
+      Printf.printf "  seq=%-5d tick=%-8d span=%-4d trace=%-4d %s\n" r.L.seq
+        r.L.tick r.L.span r.L.trace_id
+        (describe_ledger_action r.L.action))
+    records;
+  Printf.printf "\naction totals:";
+  List.iter
+    (fun (kind, n) -> Printf.printf " %s=%d" kind n)
+    (L.totals ledger);
+  print_newline ();
+  (* the ledger must reconcile with Stats no matter what was asked *)
+  let ok =
+    List.fold_left
+      (fun ok (c : Oracle.check) ->
+        if Oracle.check_ok c then begin
+          Printf.eprintf "# ok: %s (%d)\n" c.Oracle.name c.Oracle.got;
+          ok
+        end
+        else begin
+          Printf.eprintf "# MISMATCH: %s (ledger %d, stats %d)\n"
+            c.Oracle.name c.Oracle.got c.Oracle.want;
+          false
+        end)
+      true
+      (Oracle.ledger_checks ledger ~engine s)
+  in
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* bench-diff                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Compare two bench baseline documents (BENCH_<label>.json) direction-
+   aware and gate on regressions: exit 1 when any metric moved more than
+   --max-regress percent in its worse direction, or when a baseline
+   metric vanished from the candidate. *)
+let bench_diff_cmd old_path new_path max_regress =
+  let read path =
+    let contents =
+      try
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with Sys_error msg ->
+        Printf.eprintf "cannot read %s: %s\n" path msg;
+        exit 2
+    in
+    match Harness.Perf.of_string contents with
+    | Ok run -> run
+    | Error msg ->
+        Printf.eprintf "%s: not a bench baseline: %s\n" path msg;
+        exit 2
+  in
+  let baseline = read old_path in
+  let candidate = read new_path in
+  let d = Harness.Perf.diff ~baseline ~candidate in
+  Printf.printf "%-18s %-26s %12s %12s %9s  %s\n" "section" "metric" "old"
+    "new" "change" "verdict";
+  List.iter
+    (fun (dl : Harness.Perf.delta) ->
+      Printf.printf "%-18s %-26s %12.4g %12.4g %8.2f%%  %s\n" dl.d_section
+        dl.d_name dl.d_old dl.d_new dl.d_regress_pct
+        (if dl.Harness.Perf.d_regress_pct > max_regress then "REGRESSED"
+         else if dl.Harness.Perf.d_regress_pct < 0.0 then "improved"
+         else "ok"))
+    d.Harness.Perf.deltas;
+  List.iter
+    (fun (sec, name) ->
+      Printf.printf "%-18s %-26s %35s  MISSING in %s\n" sec name "" new_path)
+    d.Harness.Perf.missing;
+  List.iter
+    (fun (sec, name) -> Printf.eprintf "# note: new metric %s/%s\n" sec name)
+    d.Harness.Perf.added;
+  let regressions = Harness.Perf.regressions ~max_regress d in
+  Printf.printf
+    "bench-diff: %d metric(s) compared, %d regression(s) beyond %.2f%%, %d \
+     missing\n"
+    (List.length d.Harness.Perf.deltas)
+    (List.length regressions) max_regress
+    (List.length d.Harness.Perf.missing);
+  if not (Harness.Perf.ok ~max_regress d) then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -886,11 +1080,18 @@ let run_term =
     Arg.(value & opt int 20 & info [ "top" ] ~docv:"K"
            ~doc:"How many traces/nodes to dump.")
   in
+  let dump_flightrec =
+    Arg.(value & opt (some string) None & info [ "dump-flightrec" ]
+           ~docv:"FILE"
+           ~doc:"Force a post-mortem dump of the flight-recorder ring to \
+                 $(docv) after the run (reason \"manual\") — the same \
+                 JSONL an invariant or divergence trigger writes.")
+  in
   Term.(
     const run_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
     $ fault_spec_arg $ fault_seed_arg $ self_heal_arg $ Cli_common.osr_arg
     $ Cli_common.tier_arg $ Cli_common.prune_guards_arg $ dump_traces
-    $ dump_bcg $ top)
+    $ dump_bcg $ top $ dump_flightrec)
 
 let () =
   Cli_common.Subcommand.register ~name:"run"
@@ -1059,9 +1260,16 @@ let chaos_term =
     Arg.(value & flag & info [ "catalogue" ]
            ~doc:"Print the FT fault catalogue and exit.")
   in
+  let dump_dir =
+    Arg.(value & opt (some string) None & info [ "dump-dir" ] ~docv:"DIR"
+           ~doc:"Arm the flight recorder's post-mortem file sink: dumps \
+                 triggered during chaos runs (invariant violations, \
+                 divergences, rejections, degradations) land in $(docv) \
+                 as flightrec_<reason>.jsonl, latest dump per reason.")
+  in
   Term.(
     const chaos_cmd $ workload $ size_arg $ seed $ schedules $ spec $ osr
-    $ Cli_common.tier_arg $ quick $ verbose $ catalogue)
+    $ Cli_common.tier_arg $ quick $ verbose $ catalogue $ dump_dir)
 
 let backends_term =
   let workload =
@@ -1128,9 +1336,15 @@ let top_term =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"K"
            ~doc:"Rows per ranked table.")
   in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the full report as one schema-versioned JSON object \
+                 per workload instead of the ranked tables (the \
+                 reconciliation still runs on stderr).")
+  in
   Term.(
     const top_cmd $ workload $ size_arg $ threshold_arg $ delay_arg
-    $ Cli_common.prune_guards_arg $ Cli_common.tier_arg $ top)
+    $ Cli_common.prune_guards_arg $ Cli_common.tier_arg $ top $ json)
 
 let () =
   Cli_common.Subcommand.register ~name:"top"
@@ -1148,9 +1362,16 @@ let timeline_term =
                  (loadable in Perfetto or about://tracing) and \
                  self-validate it, instead of printing span JSONL.")
   in
+  let folded =
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE"
+           ~doc:"Also write the span tree as folded stacks \
+                 (frame;frame;frame weight, weighted by self dispatch \
+                 ticks) to $(docv) — direct flamegraph.pl / speedscope \
+                 input.")
+  in
   Term.(
     const timeline_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
-    $ fault_spec_arg $ fault_seed_arg $ self_heal_arg $ chrome)
+    $ fault_spec_arg $ fault_seed_arg $ self_heal_arg $ chrome $ folded)
 
 let () =
   Cli_common.Subcommand.register ~name:"timeline"
@@ -1186,6 +1407,74 @@ let () =
        on a rejected snapshot (typed error on stderr) or a diverging \
        result."
     warm_term
+
+let postmortem_term =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"A flight-recorder dump (flightrec_<reason>.jsonl).")
+  in
+  Term.(const postmortem_cmd $ file)
+
+let () =
+  Cli_common.Subcommand.register ~name:"postmortem"
+    ~doc:
+      "Pretty-print a flight-recorder post-mortem dump: the dump header \
+       (trigger reason, ring occupancy) followed by the surviving window \
+       of events, span closures and metric deltas, oldest first.  Every \
+       line is re-parsed through the Codec JSON parser; exits 1 on any \
+       malformed record."
+    postmortem_term
+
+let explain_term =
+  let trace_id =
+    Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"ID"
+           ~doc:"Only the records concerning trace $(docv).")
+  in
+  let block =
+    Arg.(value & opt (some int) None & info [ "block" ] ~docv:"GID"
+           ~doc:"Only the records whose entry key involves block $(docv).")
+  in
+  Term.(
+    const explain_cmd $ workload_arg $ size_arg $ threshold_arg $ delay_arg
+    $ fault_spec_arg $ fault_seed_arg $ self_heal_arg $ Cli_common.osr_arg
+    $ Cli_common.tier_arg $ trace_id $ block)
+
+let () =
+  Cli_common.Subcommand.register ~name:"explain"
+    ~doc:
+      "Replay a workload and narrate its decision ledger: why each trace \
+       was built, installed, compiled, demoted, evicted or quarantined, \
+       with the victim-scoring and budget inputs that justified the \
+       decision, each record linked to its causal span and dispatch tick.  \
+       The ledger's aggregates are reconciled against the end-of-run \
+       statistics (stderr, non-zero exit on drift)."
+    explain_term
+
+let bench_diff_term =
+  let old_path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD"
+           ~doc:"Baseline BENCH_<label>.json.")
+  in
+  let new_path =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW"
+           ~doc:"Candidate BENCH_<label>.json.")
+  in
+  let max_regress =
+    Arg.(value & opt float 0.0 & info [ "max-regress" ] ~docv:"PCT"
+           ~doc:"Tolerated regression per metric, in percent of the \
+                 baseline value (direction-aware; default 0).")
+  in
+  Term.(const bench_diff_cmd $ old_path $ new_path $ max_regress)
+
+let () =
+  Cli_common.Subcommand.register ~name:"bench-diff"
+    ~doc:
+      "Compare two machine-readable bench baselines (BENCH_<label>.json, \
+       from bench --json) direction-aware: each metric knows whether \
+       higher or lower is better.  Exits 1 when any metric regressed \
+       beyond --max-regress percent or a baseline metric is missing from \
+       the candidate."
+    bench_diff_term
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

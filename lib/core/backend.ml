@@ -28,6 +28,11 @@ type ctx = {
   osr : Osr.t option; (* None = on-stack replacement off (Config.Osr) *)
   (* deep observability (Config.Obs + engine histograms) *)
   spans : Spans.t option; (* None = span recording off *)
+  flightrec : Flightrec.t option;
+    (* the always-on black box (None only when
+       Config.Obs.flightrec_capacity = 0); dump triggers fire here and
+       in the engine, the intake is wired through the event tap *)
+  ledger : Ledger.t option; (* None = decision ledger off *)
   attr_self : int array;
     (* per-gid dispatches outside traces; [||] = attribution off *)
   attr_inlined : int array; (* per-gid executions inlined inside traces *)
@@ -134,6 +139,16 @@ end
    clock and the event stream alike. *)
 let clock ctx = ctx.block_dispatches + ctx.trace_dispatches
 
+let fr_trigger ctx reason =
+  match ctx.flightrec with
+  | Some fr -> Flightrec.trigger fr reason
+  | None -> ()
+
+let ledger_record ctx ?trace_id ?first ?head action =
+  match ctx.ledger with
+  | Some l -> Ledger.record l ?trace_id ?first ?head action
+  | None -> ()
+
 (* Attribution bumps; the arrays are [||] when Config.Obs.attribution is
    off, so the disabled path is one length test. *)
 let attr_step ctx g =
@@ -194,6 +209,12 @@ let apply_health ctx (transition : Health.transition) =
         else
           Events.emit ctx.events
             (Events.Mode_recovered { from_level; to_level });
+      (* hitting the bottom of the ladder is a postmortem moment: tracing
+         is fully disabled, so capture how the engine got here *)
+      if
+        Health.level_rank to_level > Health.level_rank from_level
+        && to_level = Health.Interp_only
+      then fr_trigger ctx Flightrec.Degraded;
       if from_level = Health.Interp_only then Profiler.reset ctx.profiler
 
 (* End the active trace after a completion. *)
@@ -278,7 +299,8 @@ let deopt ctx (osr : Osr.t) (tr : Trace.t) ~resume ~(reason : Osr.reason) =
                        (match m.Vm.Interp.m_block with
                        | Some b -> string_of_int b
                        | None -> "<stopped>");
-                 })
+                 });
+          fr_trigger ctx Flightrec.Invariant
         end
       end
   | None -> ());
@@ -294,7 +316,17 @@ let deopt ctx (osr : Osr.t) (tr : Trace.t) ~resume ~(reason : Osr.reason) =
            resume_block = resume;
            residue_blocks = residue;
            reason = Osr.reason_to_string reason;
-         })
+         });
+  ledger_record ctx ~trace_id:tr.Trace.id
+    ~first:(fst (Trace.entry_key tr))
+    ~head:(snd (Trace.entry_key tr))
+    (Ledger.Deopt
+       {
+         at_pos = at;
+         resume;
+         residue;
+         reason = Osr.reason_to_string reason;
+       })
 
 (* Mid-flight cut-over: deoptimize the currently executing trace (a
    sweep is condemning it).  Between dispatches there is no mismatching
@@ -355,6 +387,7 @@ let run_debug_checks ctx =
                  message = Analysis.Diag.to_string d;
                }))
       diags;
+    if diags <> [] then fr_trigger ctx Flightrec.Invariant;
     if Config.self_heal ctx.config && diags <> [] then begin
       let healed = Hashtbl.create 8 in
       let condemned = Hashtbl.create 8 in
@@ -498,7 +531,8 @@ let rec follow ~step ~deopt_resume ctx (g : Layout.gid) =
                        "trace %d: pruned guard at position %d disproved at \
                         dispatch (expected block %d, executed %d)"
                        tr.Trace.id ctx.active_pos expected g;
-                 })
+                 });
+          fr_trigger ctx Flightrec.Invariant
         end;
         match ctx.osr with
         | Some osr ->

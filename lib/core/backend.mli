@@ -33,6 +33,15 @@ type ctx = {
       (** on-stack replacement state; [None] when [Config.Osr] is off *)
   spans : Spans.t option;
       (** causal span recorder; [None] when [Config.Obs.spans] is off *)
+  flightrec : Flightrec.t option;
+      (** the always-on black box; [None] only when
+          [Config.Obs.flightrec_capacity = 0].  Dump triggers fire from
+          the invariant sweep, the ladder bottom and snapshot
+          rejection; the intake rides the event tap and the span
+          close hook. *)
+  ledger : Ledger.t option;
+      (** decision-attribution ledger; [None] when [Config.Obs.ledger]
+          is off *)
   attr_self : int array;
       (** per-gid dispatches outside any trace; [[||]] when
           [Config.Obs.attribution] is off *)
@@ -157,6 +166,19 @@ val clock : ctx -> int
 (** The engine's dispatch clock ([block_dispatches +
     trace_dispatches]) — the timestamp base of spans, the cache clock
     and the event stream alike. *)
+
+val fr_trigger : ctx -> Flightrec.dump_reason -> unit
+(** Fire a flight-recorder dump trigger; no-op when the recorder is
+    disarmed. *)
+
+val ledger_record :
+  ctx ->
+  ?trace_id:int ->
+  ?first:int ->
+  ?head:int ->
+  Ledger.action ->
+  unit
+(** Append a decision record; no-op when the ledger is off. *)
 
 val attr_step : ctx -> Cfg.Layout.gid -> unit
 (** Attribute one outside-trace dispatch of [g]; no-op when attribution

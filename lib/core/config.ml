@@ -179,15 +179,32 @@ module Obs = struct
            (one word per block) for the hot-report *)
     span_buffer : int; (* span ring capacity *)
     hist_buckets : int; (* power-of-two buckets per engine histogram *)
+    flightrec_capacity : int;
+        (* flight-recorder ring capacity (entries); 0 disarms the
+           recorder entirely *)
+    ledger : bool;
+        (* append a decision-attribution record on every consequential
+           engine action (builds, installs, quarantines, evictions,
+           tier moves, deopts) — cost proportional to those rare
+           actions, not to dispatch *)
   }
 
   let default =
-    { spans = false; attribution = false; span_buffer = 4096; hist_buckets = 16 }
+    {
+      spans = false;
+      attribution = false;
+      span_buffer = 4096;
+      hist_buckets = 16;
+      flightrec_capacity = 512;
+      ledger = true;
+    }
 
   let validate t =
     if t.span_buffer < 2 then invalid_arg "span_buffer < 2";
     if t.hist_buckets < 2 || t.hist_buckets > 62 then
-      invalid_arg "hist_buckets out of [2, 62]"
+      invalid_arg "hist_buckets out of [2, 62]";
+    if t.flightrec_capacity <> 0 && t.flightrec_capacity < 2 then
+      invalid_arg "flightrec_capacity must be 0 (off) or >= 2"
 end
 
 type t = {
@@ -255,6 +272,8 @@ let obs_spans t = t.obs.Obs.spans
 let obs_attribution t = t.obs.Obs.attribution
 let span_buffer t = t.obs.Obs.span_buffer
 let hist_buckets t = t.obs.Obs.hist_buckets
+let flightrec_capacity t = t.obs.Obs.flightrec_capacity
+let ledger_enabled t = t.obs.Obs.ledger
 let snapshot_period t = t.snapshot_period
 let debug_checks t = t.debug_checks
 let prune_guards t = t.prune_guards
@@ -299,7 +318,9 @@ let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
     ?(obs_spans = Obs.default.Obs.spans)
     ?(obs_attribution = Obs.default.Obs.attribution)
     ?(span_buffer = Obs.default.Obs.span_buffer)
-    ?(hist_buckets = Obs.default.Obs.hist_buckets) () =
+    ?(hist_buckets = Obs.default.Obs.hist_buckets)
+    ?(flightrec_capacity = Obs.default.Obs.flightrec_capacity)
+    ?(ledger = Obs.default.Obs.ledger) () =
   let t =
     {
       profile =
@@ -335,6 +356,8 @@ let make ?(start_state_delay = Profile.default.Profile.start_state_delay)
           attribution = obs_attribution;
           span_buffer;
           hist_buckets;
+          flightrec_capacity;
+          ledger;
         };
       osr = { Osr.enabled = osr; promote_after = osr_promote_after };
       tier =

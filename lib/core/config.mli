@@ -195,6 +195,16 @@ module Obs : sig
         (** Power-of-two buckets per engine histogram, in [[2, 62]]
             (default 16, covering observations up to [2^14]).  Engine
             histograms themselves are always on: recording is O(1). *)
+    flightrec_capacity : int;
+        (** Flight-recorder ring capacity in entries (default 512).
+            The recorder is always on — O(1) per record, bounded
+            retention — and dumps its window on invariant violations,
+            chaos divergence, snapshot rejection or degradation to
+            interp-only.  0 disarms it entirely. *)
+    ledger : bool;
+        (** Append a decision-attribution record ({!Ledger}) on every
+            consequential engine action.  On by default; the cost is
+            proportional to those rare actions, not to dispatch. *)
   }
 
   val default : t
@@ -264,6 +274,8 @@ val make :
   ?obs_attribution:bool ->
   ?span_buffer:int ->
   ?hist_buckets:int ->
+  ?flightrec_capacity:int ->
+  ?ledger:bool ->
   unit ->
   t
 (** Flat labelled constructor over {!default}; every omitted parameter
@@ -333,6 +345,10 @@ val obs_attribution : t -> bool
 val span_buffer : t -> int
 
 val hist_buckets : t -> int
+
+val flightrec_capacity : t -> int
+
+val ledger_enabled : t -> bool
 
 val snapshot_period : t -> int
 

@@ -162,10 +162,18 @@ let register_gauges (m : Metrics.t) (t : t) =
       Metrics.gauge m "osr_promotions" (fun () -> Osr.promotions osr);
       Metrics.gauge m "osr_entries" (fun () -> Osr.entries osr)
   | None -> ());
-  match e.Backend.spans with
+  (match e.Backend.spans with
   | Some s ->
       Metrics.gauge m "spans_recorded" (fun () -> Spans.recorded s);
       Metrics.gauge m "spans_dropped" (fun () -> Spans.dropped s)
+  | None -> ());
+  (match e.Backend.flightrec with
+  | Some fr ->
+      Metrics.gauge m "flightrec_recorded" (fun () -> Flightrec.recorded fr);
+      Metrics.gauge m "flightrec_dumps" (fun () -> Flightrec.dumps fr)
+  | None -> ());
+  match e.Backend.ledger with
+  | Some l -> Metrics.gauge m "ledger_records" (fun () -> Ledger.length l)
   | None -> ()
 
 let create ?(config = Config.default) ?(events = Events.create ()) ?cache
@@ -216,6 +224,29 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
       Some (Osr.create ~promote_after:(Config.osr_promote_after config) layout)
     else None
   in
+  (* The black box and the decision ledger.  The recorder's intake taps
+     the event stream out of band (it is not a subscriber: a run with an
+     armed recorder still reports its stream quiet to user code) and
+     rides the span close hook when spans are on. *)
+  let flightrec =
+    let cap = Config.flightrec_capacity config in
+    if cap > 0 then Some (Flightrec.create ~capacity:cap) else None
+  in
+  let ledger =
+    if Config.ledger_enabled config then Some (Ledger.create ()) else None
+  in
+  (match flightrec with
+  | Some fr ->
+      Events.set_tap events (Flightrec.record_event fr);
+      (match spans with
+      | Some s ->
+          Spans.set_on_close s (fun (sp : Spans.span) ->
+              Flightrec.record_span_closed fr ~time:sp.Spans.end_time
+                ~id:sp.Spans.id ~parent:sp.Spans.parent
+                ~kind:(Spans.kind_to_string sp.Spans.kind)
+                ~label:sp.Spans.label ~start_time:sp.Spans.start_time)
+      | None -> ())
+  | None -> ());
   (* The profiler's signal callback closes over the shared dispatch
      context; tie the knot with a forward reference. *)
   let context = ref None in
@@ -245,6 +276,33 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
             e.Backend.builder_reuses + outcome.Trace_builder.reused_traces;
           e.Backend.guards_pruned <-
             e.Backend.guards_pruned + outcome.Trace_builder.pruned_guards;
+          (* attribute the builder outcome (skip all-quiet signals: a
+             signal that built, reused or pruned nothing decided
+             nothing) *)
+          if
+            outcome.Trace_builder.new_traces > 0
+            || outcome.Trace_builder.reused_traces > 0
+            || outcome.Trace_builder.pruned_guards > 0
+          then begin
+            let n = signal.Bcg.s_node in
+            let first = n.Bcg.n_x and head = n.Bcg.n_y in
+            let trace_id =
+              match Trace_cache.peek e.Backend.cache ~first ~head with
+              | Some tr -> tr.Trace.id
+              | None -> -1
+            in
+            Backend.ledger_record e ~trace_id ~first ~head
+              (Ledger.Build
+                 {
+                   new_traces = outcome.Trace_builder.new_traces;
+                   reused = outcome.Trace_builder.reused_traces;
+                   pruned = outcome.Trace_builder.pruned_guards;
+                 });
+            if outcome.Trace_builder.pruned_guards > 0 then
+              Backend.ledger_record e ~trace_id ~first ~head
+                (Ledger.Guard_prune
+                   { pruned = outcome.Trace_builder.pruned_guards })
+          end;
           (* trace-construction boundary *)
           if Config.debug_checks e.Backend.config then
             Backend.run_debug_checks e;
@@ -268,6 +326,8 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
       faults;
       osr;
       spans;
+      flightrec;
+      ledger;
       attr_self =
         (if Config.obs_attribution config then
            Array.make layout.Layout.n_blocks 0
@@ -317,6 +377,18 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
     }
   in
   context := Some ctx;
+  (* the ledger stamps each record with the dispatch tick and the
+     innermost open span at record time *)
+  (match ledger with
+  | Some l ->
+      Ledger.set_sources l
+        ~tick:(fun () -> Backend.clock ctx)
+        ~span:(fun () ->
+          match ctx.Backend.spans with
+          | Some s -> Spans.current s
+          | None -> -1);
+      Trace_cache.set_ledger cache l
+  | None -> ());
   let kind, pinned =
     match backend with
     | Some k -> (k, true)
@@ -333,9 +405,27 @@ let create ?(config = Config.default) ?(events = Events.create ()) ?cache
     }
   in
   register_gauges metrics t;
+  let prev_values : (string, int) Hashtbl.t = Hashtbl.create 64 in
   Metrics.on_snapshot metrics (fun snapshot ->
       if Events.enabled events then
-        Events.emit events (Events.Phase_snapshot snapshot));
+        Events.emit events (Events.Phase_snapshot snapshot);
+      (* the recorder keeps metric *deltas* between consecutive
+         snapshots — what moved, not the whole registry *)
+      match flightrec with
+      | Some fr ->
+          Array.iter
+            (fun (name, value) ->
+              let old =
+                match Hashtbl.find_opt prev_values name with
+                | Some v -> v
+                | None -> 0
+              in
+              if value <> old then
+                Flightrec.record_metric_delta fr ~time:snapshot.Metrics.at
+                  ~name ~delta:(value - old) ~total:value;
+              Hashtbl.replace prev_values name value)
+            snapshot.Metrics.values
+      | None -> ());
   t
 
 (* accessors over the abstract engine *)
@@ -395,6 +485,10 @@ let faults_injected t = Faults.injected t.ctx.Backend.faults
 let healed_nodes t = t.ctx.Backend.healed_nodes
 
 let spans t = t.ctx.Backend.spans
+
+let flightrec t = t.ctx.Backend.flightrec
+
+let ledger t = t.ctx.Backend.ledger
 
 let attr_self t = t.ctx.Backend.attr_self
 
@@ -556,6 +650,7 @@ let restore t data : (restore_info, Persist.error) result =
       if Events.enabled ctx.Backend.events then
         Events.emit ctx.Backend.events
           (Events.Snapshot_rejected { reason = Persist.error_to_string e });
+      Backend.fr_trigger ctx Flightrec.Snapshot_rejected;
       Error e
   | Ok snap ->
       let bcg = Profiler.bcg ctx.Backend.profiler in

@@ -167,6 +167,17 @@ val spans : t -> Spans.t option
 (** The causal span recorder; [None] unless [Config.Obs.spans] was on at
     creation.  Call [Spans.end_all] before exporting a finished run. *)
 
+val flightrec : t -> Flightrec.t option
+(** The flight recorder (black box); [None] only when
+    [Config.Obs.flightrec_capacity] was 0 at creation.  Its intake taps
+    the event stream out of band, so an armed recorder does not count
+    as an event subscriber.  Install a dump sink with
+    [Flightrec.set_on_dump] to capture postmortems. *)
+
+val ledger : t -> Ledger.t option
+(** The decision ledger; [None] when [Config.Obs.ledger] was off at
+    creation. *)
+
 val attr_self : t -> int array
 (** Per-gid dispatches outside any trace; [[||]] unless
     [Config.Obs.attribution] was on.  Sums to [block_dispatches]. *)

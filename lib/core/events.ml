@@ -110,11 +110,16 @@ type t = {
   mutable next_sub : subscription;
   mutable now : int;
   mutable emitted : int;
+  mutable tap : (event -> unit) option;
+      (* out-of-band observer (the flight recorder): sees every event
+         but does not count as a subscriber — [emitted] and
+         [n_subscribers] are unaffected, so a tapped-but-unsubscribed
+         stream still reports itself quiet to user code *)
 }
 
-let create () = { subs = []; next_sub = 0; now = 0; emitted = 0 }
+let create () = { subs = []; next_sub = 0; now = 0; emitted = 0; tap = None }
 
-let enabled t = t.subs <> []
+let enabled t = t.subs <> [] || t.tap <> None
 
 let subscribe t f =
   let id = t.next_sub in
@@ -126,17 +131,25 @@ let unsubscribe t id = t.subs <- List.filter (fun (i, _) -> i <> id) t.subs
 
 let n_subscribers t = List.length t.subs
 
+let set_tap t f = t.tap <- Some f
+
+let clear_tap t = t.tap <- None
+
 let set_now t n = t.now <- n
 
 let now t = t.now
 
 let emit t payload =
-  match t.subs with
-  | [] -> ()
-  | subs ->
-      t.emitted <- t.emitted + 1;
+  match (t.subs, t.tap) with
+  | [], None -> ()
+  | subs, tap ->
       let ev = { time = t.now; payload } in
-      List.iter (fun (_, f) -> f ev) subs
+      (match tap with Some f -> f ev | None -> ());
+      (match subs with
+      | [] -> ()
+      | subs ->
+          t.emitted <- t.emitted + 1;
+          List.iter (fun (_, f) -> f ev) subs)
 
 let emitted t = t.emitted
 

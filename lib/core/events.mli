@@ -210,8 +210,8 @@ type subscription
 val create : unit -> t
 
 val enabled : t -> bool
-(** [true] iff the stream has at least one subscriber.  Emission sites
-    must guard payload construction behind this. *)
+(** [true] iff the stream has at least one subscriber or a tap.
+    Emission sites must guard payload construction behind this. *)
 
 val subscribe : t -> (event -> unit) -> subscription
 (** Subscribers are called synchronously, in subscription order. *)
@@ -220,6 +220,17 @@ val unsubscribe : t -> subscription -> unit
 (** Unknown or already-removed subscriptions are ignored. *)
 
 val n_subscribers : t -> int
+(** Taps are not subscribers; see {!set_tap}. *)
+
+val set_tap : t -> (event -> unit) -> unit
+(** Install the out-of-band observer (the flight recorder's intake).
+    The tap sees every event before the subscribers do, enables the
+    stream like a subscriber would, but is invisible to
+    {!n_subscribers} and {!emitted} — user-facing "is anyone
+    listening?" semantics are unchanged by an armed recorder.  At most
+    one tap; installing again replaces it. *)
+
+val clear_tap : t -> unit
 
 val set_now : t -> int -> unit
 (** Advance the logical clock; events emitted afterwards carry this

@@ -1,0 +1,263 @@
+(* Flight recorder: an always-on bounded ring buffer of the most recent
+   events, span closures and metric deltas — the engine's black box.
+   Recording is O(1) and retention is bounded by the ring capacity, so
+   the recorder can stay armed on every run.  It never writes anything
+   itself: when a trigger condition fires (invariant violation, chaos
+   divergence, snapshot rejection, degradation to interp-only) it calls
+   the [on_dump] hook installed by the harness, which serializes the
+   ring through the codec into a postmortem artifact. *)
+
+type entry =
+  | Event of { seq : int; time : int; payload : Events.payload }
+  | Span_closed of {
+      seq : int;
+      time : int;
+      id : int;
+      parent : int;
+      kind : string;
+      label : string;
+      start_time : int;
+    }
+  | Metric_delta of {
+      seq : int;
+      time : int;
+      name : string;
+      delta : int;
+      total : int;
+    }
+
+type dump_reason =
+  | Invariant
+  | Divergence
+  | Snapshot_rejected
+  | Degraded
+  | Manual
+
+let reason_to_string = function
+  | Invariant -> "invariant_violation"
+  | Divergence -> "chaos_divergence"
+  | Snapshot_rejected -> "snapshot_rejected"
+  | Degraded -> "degraded_interp_only"
+  | Manual -> "manual"
+
+let reason_of_string = function
+  | "invariant_violation" -> Some Invariant
+  | "chaos_divergence" -> Some Divergence
+  | "snapshot_rejected" -> Some Snapshot_rejected
+  | "degraded_interp_only" -> Some Degraded
+  | "manual" -> Some Manual
+  | _ -> None
+
+(* Slot storage is split across parallel arrays and tuned so the hot
+   path — one event per engine emission, tens of thousands per run —
+   costs a single pointer store plus the cursor bump: the event pointer
+   the stream already allocated is stored as-is, nothing is boxed, and
+   no per-event tag or sequence number is written.  Discrimination
+   works without a tag because writes are strictly sequential: a
+   span/metric record stamps its own sequence number into [box_seqs] at
+   its slot, so a slot whose [box_seqs] entry does not match the
+   sequence number the window walk expects there must hold an event.
+   Span closures and metric deltas are rare (trace lifecycle and
+   snapshot boundaries), so those box their fields. *)
+type box =
+  | B_span of {
+      id : int;
+      parent : int;
+      kind : string;
+      label : string;
+      start_time : int;
+    }
+  | B_metric of { name : string; delta : int; total : int }
+
+(* The high-frequency event kinds — trace entry/exit/completion and
+   decay ticks, the per-dispatch chatter that dominates the stream —
+   carry nothing but small integers.  Those are copied field-by-field
+   into [scalars], a flat unboxed int array: no write barrier, and the
+   recorder holds no pointer into the young generation, so the minor GC
+   never promotes them.  (Retaining the event pointer instead promotes
+   nearly every emitted event to the major heap — the ring outlives each
+   minor collection — which costs far more than the stores themselves.)
+   Rare, richly-typed events keep the pointer path. *)
+let scalar_width = 6 (* kind tag; time; up to 4 payload fields *)
+
+let k_pointer = 0 (* scalar slot disarmed; the event lives in [evs] *)
+let k_entered = 1
+let k_side_exit = 2
+let k_completed = 3
+let k_decay = 4
+
+type t = {
+  cap : int;
+  mutable evs : Events.event array;
+      (* [[||]] until the first pointer-path event: [Events.event] has
+         no nullary value to fill with, so the first recorded event
+         seeds the array *)
+  scalars : int array;  (* [scalar_width] ints per slot *)
+  boxes : box option array;  (* span/metric slots only *)
+  box_seqs : int array;  (* seq stamped when the slot got a box *)
+  times : int array;  (* span/metric slots only; events carry their own *)
+  mutable pos : int;  (* next write index; invariant pos = next_seq mod cap *)
+  mutable next_seq : int;
+  mutable dumps : int;
+  mutable on_dump : (dump_reason -> unit) option;
+}
+
+let create ~capacity =
+  let cap = max 2 capacity in
+  {
+    cap;
+    evs = [||];
+    scalars = Array.make (cap * scalar_width) 0;
+    boxes = Array.make cap None;
+    box_seqs = Array.make cap (-1);
+    times = Array.make cap 0;
+    pos = 0;
+    next_seq = 0;
+    dumps = 0;
+    on_dump = None;
+  }
+
+let capacity t = t.cap
+let recorded t = t.next_seq
+let dropped t = max 0 (t.next_seq - t.cap)
+let dumps t = t.dumps
+let set_on_dump t f = t.on_dump <- Some f
+
+(* Advance the cursor; branch instead of [mod] keeps an integer
+   division off the per-event path. *)
+let advance t i =
+  t.next_seq <- t.next_seq + 1;
+  t.pos <- (let p = i + 1 in if p = t.cap then 0 else p)
+
+let record_event t (ev : Events.event) =
+  let i = t.pos in
+  let s = i * scalar_width in
+  (match ev.Events.payload with
+  | Events.Trace_entered { trace_id; chained } ->
+      t.scalars.(s) <- k_entered;
+      t.scalars.(s + 1) <- ev.Events.time;
+      t.scalars.(s + 2) <- trace_id;
+      t.scalars.(s + 3) <- (if chained then 1 else 0)
+  | Events.Side_exit { trace_id; at_block; matched_blocks; matched_instrs }
+    ->
+      t.scalars.(s) <- k_side_exit;
+      t.scalars.(s + 1) <- ev.Events.time;
+      t.scalars.(s + 2) <- trace_id;
+      t.scalars.(s + 3) <- at_block;
+      t.scalars.(s + 4) <- matched_blocks;
+      t.scalars.(s + 5) <- matched_instrs
+  | Events.Trace_completed { trace_id; n_blocks; n_instrs } ->
+      t.scalars.(s) <- k_completed;
+      t.scalars.(s + 1) <- ev.Events.time;
+      t.scalars.(s + 2) <- trace_id;
+      t.scalars.(s + 3) <- n_blocks;
+      t.scalars.(s + 4) <- n_instrs
+  | Events.Decay_pass { decays } ->
+      t.scalars.(s) <- k_decay;
+      t.scalars.(s + 1) <- ev.Events.time;
+      t.scalars.(s + 2) <- decays
+  | _ ->
+      if Array.length t.evs = 0 then t.evs <- Array.make t.cap ev;
+      t.scalars.(s) <- k_pointer;
+      t.evs.(i) <- ev);
+  advance t i
+
+let record_span_closed t ~time ~id ~parent ~kind ~label ~start_time =
+  let i = t.pos in
+  t.boxes.(i) <- Some (B_span { id; parent; kind; label; start_time });
+  t.box_seqs.(i) <- t.next_seq;
+  t.times.(i) <- time;
+  advance t i
+
+let record_metric_delta t ~time ~name ~delta ~total =
+  let i = t.pos in
+  t.boxes.(i) <- Some (B_metric { name; delta; total });
+  t.box_seqs.(i) <- t.next_seq;
+  t.times.(i) <- time;
+  advance t i
+
+let seq_of = function
+  | Event e -> e.seq
+  | Span_closed s -> s.seq
+  | Metric_delta m -> m.seq
+
+let time_of = function
+  | Event e -> e.time
+  | Span_closed s -> s.time
+  | Metric_delta m -> m.time
+
+(* Rebuild one boxed entry from a slot (dump path only).  The sequence
+   number is implicit in the walk: writes are strictly sequential, so
+   the slot for [seq] is [seq mod cap], and it holds a span/metric
+   exactly when that write stamped [box_seqs]. *)
+let entry_at t ~seq i : entry option =
+  if t.box_seqs.(i) = seq then
+    let time = t.times.(i) in
+    match t.boxes.(i) with
+    | Some (B_span s) ->
+        Some
+          (Span_closed
+             {
+               seq;
+               time;
+               id = s.id;
+               parent = s.parent;
+               kind = s.kind;
+               label = s.label;
+               start_time = s.start_time;
+             })
+    | Some (B_metric m) ->
+        Some
+          (Metric_delta
+             { seq; time; name = m.name; delta = m.delta; total = m.total })
+    | None -> None
+  else
+    let s = i * scalar_width in
+    let k = t.scalars.(s) in
+    if k = k_pointer then
+      if Array.length t.evs = 0 then None
+      else
+        let ev = t.evs.(i) in
+        Some
+          (Event { seq; time = ev.Events.time; payload = ev.Events.payload })
+    else
+      let time = t.scalars.(s + 1) in
+      let payload =
+        if k = k_entered then
+          Events.Trace_entered
+            {
+              trace_id = t.scalars.(s + 2);
+              chained = t.scalars.(s + 3) = 1;
+            }
+        else if k = k_side_exit then
+          Events.Side_exit
+            {
+              trace_id = t.scalars.(s + 2);
+              at_block = t.scalars.(s + 3);
+              matched_blocks = t.scalars.(s + 4);
+              matched_instrs = t.scalars.(s + 5);
+            }
+        else if k = k_completed then
+          Events.Trace_completed
+            {
+              trace_id = t.scalars.(s + 2);
+              n_blocks = t.scalars.(s + 3);
+              n_instrs = t.scalars.(s + 4);
+            }
+        else Events.Decay_pass { decays = t.scalars.(s + 2) }
+      in
+      Some (Event { seq; time; payload })
+
+(* Oldest-first reconstruction of the surviving window. *)
+let to_list t =
+  let first = max 0 (t.next_seq - t.cap) in
+  let acc = ref [] in
+  for seq = t.next_seq - 1 downto first do
+    let i = seq mod t.cap in
+    match entry_at t ~seq i with Some e -> acc := e :: !acc | None -> ()
+  done;
+  !acc
+
+let trigger t reason =
+  t.dumps <- t.dumps + 1;
+  match t.on_dump with Some f -> f reason | None -> ()

@@ -1,0 +1,84 @@
+(** Flight recorder: an always-on bounded ring buffer ("black box") of
+    the most recent events, span closures and metric deltas.  Recording
+    is O(1) per entry with retention bounded by the ring capacity; on a
+    trigger condition the harness-installed [on_dump] hook serializes
+    the surviving window into a postmortem artifact. *)
+
+type entry =
+  | Event of { seq : int; time : int; payload : Events.payload }
+      (** A delivered engine event, as tapped off the event stream. *)
+  | Span_closed of {
+      seq : int;
+      time : int;
+      id : int;
+      parent : int;
+      kind : string;
+      label : string;
+      start_time : int;
+    }  (** A span that just closed ([time] is its end time). *)
+  | Metric_delta of {
+      seq : int;
+      time : int;
+      name : string;
+      delta : int;
+      total : int;
+    }
+      (** A metric that moved between two consecutive snapshots. *)
+
+(** Why a dump fired.  [Manual] is a forced dump (CLI / tests). *)
+type dump_reason =
+  | Invariant
+  | Divergence
+  | Snapshot_rejected
+  | Degraded
+  | Manual
+
+val reason_to_string : dump_reason -> string
+(** Stable wire tag for the reason, used in postmortem headers. *)
+
+val reason_of_string : string -> dump_reason option
+
+type t
+
+val create : capacity:int -> t
+(** Ring of [capacity] slots (clamped to at least 2). *)
+
+val capacity : t -> int
+
+val recorded : t -> int
+(** Total entries ever recorded (>= capacity means the ring wrapped). *)
+
+val dropped : t -> int
+(** Entries pushed out of the ring by wrap-around. *)
+
+val dumps : t -> int
+(** Number of times a dump trigger fired. *)
+
+val set_on_dump : t -> (dump_reason -> unit) -> unit
+(** Install the dump hook.  The recorder itself performs no I/O. *)
+
+val record_event : t -> Events.event -> unit
+(** Record a tapped event.  The already-allocated event is stored by
+    pointer, so this path — by far the hottest — allocates nothing. *)
+
+val record_span_closed :
+  t ->
+  time:int ->
+  id:int ->
+  parent:int ->
+  kind:string ->
+  label:string ->
+  start_time:int ->
+  unit
+
+val record_metric_delta :
+  t -> time:int -> name:string -> delta:int -> total:int -> unit
+
+val seq_of : entry -> int
+val time_of : entry -> int
+
+val to_list : t -> entry list
+(** The surviving window, oldest first. *)
+
+val trigger : t -> dump_reason -> unit
+(** Fire the dump hook (and count the dump even when no hook is set). *)

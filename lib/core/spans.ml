@@ -38,6 +38,9 @@ type t = {
   mutable next_seq : int;
   mutable dropped : int;
   mutable open_stack : int list; (* innermost open span first *)
+  mutable on_close : (span -> unit) option;
+      (* fired once per span closure (end_span on an open span, or a
+         pre-closed emit) — the flight recorder's span intake *)
 }
 
 let create ?(capacity = 4096) () =
@@ -49,6 +52,7 @@ let create ?(capacity = 4096) () =
     next_seq = 0;
     dropped = 0;
     open_stack = [];
+    on_close = None;
   }
 
 let capacity t = t.capacity
@@ -58,6 +62,10 @@ let recorded t = t.next_id
 let dropped t = t.dropped
 
 let n_open t = List.length t.open_stack
+
+let current t = match t.open_stack with [] -> -1 | id :: _ -> id
+
+let set_on_close t f = t.on_close <- Some f
 
 let store t span =
   let slot = span.id mod t.capacity in
@@ -99,7 +107,8 @@ let end_span t id ~now =
       let seq = t.next_seq in
       t.next_seq <- seq + 1;
       s.end_time <- now;
-      s.end_seq <- seq
+      s.end_seq <- seq;
+      (match t.on_close with Some f -> f s | None -> ())
   | _ -> () (* evicted from the ring, or already closed: still unstack *));
   t.open_stack <- List.filter (fun i -> i <> id) t.open_stack
 
@@ -112,7 +121,7 @@ let emit t ~kind ~label ~start_time ~end_time =
   let seq = t.next_seq in
   t.next_seq <- seq + 2;
   let parent = match t.open_stack with [] -> -1 | p :: _ -> p in
-  store t
+  let span =
     {
       id;
       parent;
@@ -122,7 +131,10 @@ let emit t ~kind ~label ~start_time ~end_time =
       start_seq = seq;
       end_time;
       end_seq = seq + 1;
-    };
+    }
+  in
+  store t span;
+  (match t.on_close with Some f -> f span | None -> ());
   id
 
 let end_all t ~now =

@@ -72,3 +72,12 @@ val dropped : t -> int
 (** Spans overwritten by wraparound. *)
 
 val n_open : t -> int
+
+val current : t -> int
+(** Id of the innermost open span, or [-1] when none is open — the
+    span the decision ledger attributes an action to. *)
+
+val set_on_close : t -> (span -> unit) -> unit
+(** Install a hook fired once per span closure ({!end_span} on an open
+    span, or a pre-closed {!emit}) — the flight recorder's span
+    intake.  At most one hook; installing again replaces it. *)

@@ -175,6 +175,11 @@ let maybe_compile (config : Config.t) (layout : Layout.t)
     if uses < Config.tier_compile_after config then (0, 0)
     else begin
       let budget = Config.tier_compile_budget config in
+      let ledger_record ?trace_id action =
+        match Trace_cache.ledger cache with
+        | Some l -> Ledger.record l ?trace_id action
+        | None -> ()
+      in
       let demoted =
         if Trace_cache.n_compiled cache >= budget then
           match Trace_cache.coldest_compiled cache ~excluding:(Some tr) with
@@ -183,6 +188,8 @@ let maybe_compile (config : Config.t) (layout : Layout.t)
               if vuses < uses && Trace_cache.demote_lowered cache victim
               then begin
                 emit_demoted events victim ~uses:vuses;
+                ledger_record ~trace_id:victim.Trace.id
+                  (Ledger.Demote { heat = vuses; winner_heat = uses });
                 1
               end
               else 0
@@ -192,6 +199,14 @@ let maybe_compile (config : Config.t) (layout : Layout.t)
       if Trace_cache.n_compiled cache >= budget then (0, demoted)
       else begin
         ignore (compile layout ~events tr);
+        ledger_record ~trace_id:tr.Trace.id
+          (Ledger.Compile
+             {
+               heat = uses;
+               compile_after = Config.tier_compile_after config;
+               budget;
+               n_compiled = Trace_cache.n_compiled cache;
+             });
         (1, demoted)
       end
     end
@@ -224,9 +239,20 @@ let recompile_restored (config : Config.t) (layout : Layout.t)
     let room = Config.tier_compile_budget config - Trace_cache.n_compiled cache in
     let n = ref 0 in
     List.iteri
-      (fun i (tr, _) ->
+      (fun i (tr, uses) ->
         if i < room then begin
           ignore (compile layout ~events tr);
+          (match Trace_cache.ledger cache with
+          | Some l ->
+              Ledger.record l ~trace_id:tr.Trace.id
+                (Ledger.Compile
+                   {
+                     heat = uses;
+                     compile_after = Config.tier_compile_after config;
+                     budget = Config.tier_compile_budget config;
+                     n_compiled = Trace_cache.n_compiled cache;
+                   })
+          | None -> ());
           incr n
         end)
       sorted;

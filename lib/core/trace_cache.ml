@@ -71,6 +71,10 @@ type t = {
          session — a construction this session never had to pay for *)
   mutable cross_entries : int;
       (* dispatch lookups entering a trace built by another session *)
+  mutable ledger : Ledger.t option;
+      (* decision ledger (engine-owned); installs, evictions and
+         quarantines are recorded here, at the site that knows the
+         victim-scoring inputs *)
 }
 
 let create ?(events = Events.create ()) ?(max_traces = 0) ?(max_blocks = 0)
@@ -114,7 +118,17 @@ let create ?(events = Events.create ()) ?(max_traces = 0) ?(max_blocks = 0)
     demote_refusals = 0;
     cross_installs = 0;
     cross_entries = 0;
+    ledger = None;
   }
+
+let set_ledger t l = t.ledger <- Some l
+
+let ledger t = t.ledger
+
+let ledger_record t ?trace_id ?first ?head action =
+  match t.ledger with
+  | Some l -> Ledger.record l ?trace_id ?first ?head action
+  | None -> ()
 
 let layout t = t.layout
 
@@ -336,10 +350,23 @@ let pick_victim t ~keep =
 let evict_one t ~keep ~reason =
   match pick_victim t ~keep with
   | None -> false
-  | Some (ekey, tr, _) ->
+  | Some (ekey, tr, stamp) ->
+      (* capture the victim-scoring inputs before unbind clears them *)
+      let footprint = Footprint_model.trace_bytes tr in
+      let heat = uses_of t ekey in
       unbind t ekey tr;
       t.evicted <- t.evicted + 1;
       emit_evicted t ~ekey ~tr ~reason;
+      let n = t.layout.Layout.n_blocks in
+      ledger_record t ~trace_id:tr.Trace.id ~first:(ekey / n)
+        ~head:(ekey mod n)
+        (Ledger.Evict
+           {
+             reason = Events.evict_reason_to_string reason;
+             footprint;
+             heat;
+             stamp;
+           });
       true
 
 let over_capacity t =
@@ -376,6 +403,7 @@ let bind t ekey (tr : Trace.t) =
 let install t ~first ~(blocks : Layout.gid array) ~prob : Trace.t =
   let skey = seq_key ~first ~blocks in
   let ekey = entry_key_int t ~first ~head:blocks.(0) in
+  let displaced = ref false in
   let tr =
     match Hashtbl.find_opt t.by_seq skey with
     | Some existing ->
@@ -385,7 +413,9 @@ let install t ~first ~(blocks : Layout.gid array) ~prob : Trace.t =
         (* make sure it is (still) the trace bound to its entry *)
         (match Hashtbl.find_opt t.by_entry ekey with
         | Some bound when bound == existing -> ()
-        | Some _ -> note_replaced t ~first ~head:blocks.(0) existing
+        | Some _ ->
+            displaced := true;
+            note_replaced t ~first ~head:blocks.(0) existing
         | None -> ());
         existing
     | None ->
@@ -396,11 +426,15 @@ let install t ~first ~(blocks : Layout.gid array) ~prob : Trace.t =
         t.constructed <- t.constructed + 1;
         Hashtbl.replace t.by_seq skey tr;
         (match Hashtbl.find_opt t.by_entry ekey with
-        | Some _ -> note_replaced t ~first ~head:blocks.(0) tr
+        | Some _ ->
+            displaced := true;
+            note_replaced t ~first ~head:blocks.(0) tr
         | None -> ());
         tr
   in
   bind t ekey tr;
+  ledger_record t ~trace_id:tr.Trace.id ~first ~head:blocks.(0)
+    (Ledger.Install { replaced = !displaced; n_blocks = Array.length blocks });
   enforce_caps t ~keep:ekey;
   tr
 
@@ -475,6 +509,16 @@ let quarantine t ~first ~head ~code : Trace.t option =
            attempts = q.attempts;
            until = q.until;
          });
+  ledger_record t
+    ~trace_id:(match removed with Some tr -> tr.Trace.id | None -> -1)
+    ~first ~head
+    (Ledger.Quarantine
+       {
+         code;
+         attempts = q.attempts;
+         until = q.until;
+         permanent = q.until = max_int;
+       });
   removed
 
 let remove t ~first ~head : Trace.t option =

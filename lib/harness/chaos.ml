@@ -44,10 +44,11 @@ type verdict = {
   seed : int;
   identical : bool; (* FT901: VM results match the baseline *)
   recovered : bool; (* FT902: ended the run at full tracing *)
+  reconciled : bool; (* FT903: events/ledger/stats agree (Oracle) *)
   stats : Stats.t;
 }
 
-let passed v = v.identical && v.recovered
+let passed v = v.identical && v.recovered && v.reconciled
 
 (* A comparable fingerprint of a VM result: outcome rendered to a string
    (structural, covers traps) plus both dispatch-model counts. *)
@@ -61,40 +62,60 @@ let fingerprint (r : Interp.result) : string * int * int =
   in
   (outcome, r.Interp.instructions, r.Interp.block_dispatches)
 
-let run_one ?spec ?osr ?tier ?max_instructions (w : Workloads.Workload.t) ~size
-    ~seed : verdict =
+let run_one ?spec ?osr ?tier ?max_instructions ?dump_dir
+    (w : Workloads.Workload.t) ~size ~seed : verdict =
   let layout = Experiment.layout_for w ~size in
   let baseline = Interp.run_plain ?max_instructions layout in
   let chaos_config = config ?spec ?osr ?tier ~seed () in
-  let result = Engine.run ~config:chaos_config ?max_instructions layout in
+  (* the event stream feeds both the reconciliation oracle and — via the
+     engine's tap — the flight recorder's post-mortem window *)
+  let events = Tracegen.Events.create () in
+  let tally = Oracle.attach events in
+  let engine = Engine.create ~config:chaos_config ~events layout in
+  (match dump_dir with
+  | Some dir -> Postmortem.arm ~dir engine
+  | None -> ());
+  let result = Engine.drive ?max_instructions engine in
   let stats = result.Engine.run_stats in
+  let identical =
+    fingerprint baseline = fingerprint result.Engine.vm_result
+  in
+  (* a transparency breach is exactly what the black box is for: dump
+     the surviving window (a file only when a dump sink is armed) *)
+  (if not identical then
+     match Engine.flightrec engine with
+     | Some fr ->
+         Tracegen.Flightrec.trigger fr Tracegen.Flightrec.Divergence
+     | None -> ());
   {
     workload = w.Workloads.Workload.name;
     seed;
-    identical = fingerprint baseline = fingerprint result.Engine.vm_result;
+    identical;
     recovered = stats.Stats.final_health = 0;
+    reconciled = Oracle.all_ok (Oracle.run_checks tally ~engine stats);
     stats;
   }
 
 (* The gate: every registered workload under [schedules] seeded fault
    schedules.  Returns all verdicts; the caller decides how to render
    failures (the CLI exits non-zero on any). *)
-let gate ?spec ?osr ?tier ?max_instructions ?(schedules = 50) ~seed ~size_of ()
-    : verdict list =
+let gate ?spec ?osr ?tier ?max_instructions ?dump_dir ?(schedules = 50) ~seed
+    ~size_of () : verdict list =
   List.concat_map
     (fun (w : Workloads.Workload.t) ->
       List.init schedules (fun i ->
-          run_one ?spec ?osr ?tier ?max_instructions w ~size:(size_of w)
-            ~seed:(seed + (1000 * i))))
+          run_one ?spec ?osr ?tier ?max_instructions ?dump_dir w
+            ~size:(size_of w) ~seed:(seed + (1000 * i))))
     Workloads.Registry.all
 
 let describe v =
   Printf.sprintf
-    "%-10s seed=%-6d %s %s faults=%d quarantined=%d evicted=%d healed=%d \
+    "%-10s seed=%-6d %s %s %s faults=%d quarantined=%d evicted=%d healed=%d \
      demoted=%d promoted=%d violations=%d"
     v.workload v.seed
     (if v.identical then "identical" else "DIVERGED(FT901)")
     (if v.recovered then "recovered" else "DEGRADED(FT902)")
+    (if v.reconciled then "reconciled" else "DRIFTED(FT903)")
     v.stats.Stats.faults_injected v.stats.Stats.traces_quarantined
     v.stats.Stats.traces_evicted v.stats.Stats.healed_nodes
     v.stats.Stats.health_demotions v.stats.Stats.health_promotions

@@ -31,6 +31,9 @@ type verdict = {
   seed : int;
   identical : bool;  (** FT901: VM results match the baseline *)
   recovered : bool;  (** FT902: ended the run at full tracing *)
+  reconciled : bool;
+      (** FT903: the event timeline and decision ledger reconcile with
+          the end-of-run statistics ({!Oracle.run_checks}). *)
   stats : Tracegen.Stats.t;
 }
 
@@ -47,18 +50,24 @@ val run_one :
   ?osr:bool ->
   ?tier:bool ->
   ?max_instructions:int ->
+  ?dump_dir:string ->
   Workloads.Workload.t ->
   size:int ->
   seed:int ->
   verdict
 (** One workload under one seeded schedule, compared against a fresh
-    no-tracing baseline of the same layout. *)
+    no-tracing baseline of the same layout.  The run's event stream
+    feeds the reconciliation oracle (the [reconciled] verdict);
+    [dump_dir], when given, arms the flight recorder's post-mortem file
+    sink there — a divergence triggers a dump, as do the engine's own
+    invariant/degradation triggers. *)
 
 val gate :
   ?spec:string ->
   ?osr:bool ->
   ?tier:bool ->
   ?max_instructions:int ->
+  ?dump_dir:string ->
   ?schedules:int ->
   seed:int ->
   size_of:(Workloads.Workload.t -> int) ->

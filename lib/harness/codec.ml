@@ -9,6 +9,8 @@
 module Events = Tracegen.Events
 module Metrics = Tracegen.Metrics
 module Spans = Tracegen.Spans
+module Flightrec = Tracegen.Flightrec
+module Ledger = Tracegen.Ledger
 
 (* The binary snapshot codec is Tracegen.Persist (the engine must be
    able to decode without the harness); re-exported so Codec is the
@@ -94,8 +96,12 @@ let to_string j =
    Version 6: [deopt_entered] / [osr_promoted] event kinds (on-stack
    replacement).
    Version 7: [trace_compiled] / [tier_demoted] event kinds (the
-   compiled micro-IR tier). *)
-let schema_version = 7
+   compiled micro-IR tier).
+   Version 8: flight-recorder postmortem records ([rec] = "postmortem"
+   header / "event" / "span" / "metric"), decision-ledger records
+   ([action] + attribution fields), and the bench baseline JSON
+   ([Perf]). *)
+let schema_version = 8
 
 type format = Jsonl | Chrome_trace | Binary_snapshot
 
@@ -142,9 +148,8 @@ let snapshots_jsonl (snaps : Metrics.snapshot list) : string =
 (* One event as a flat object: {"event": <kind>, "time": <dispatch>, ...}
    with the payload's fields spliced in.  This is the JSONL schema
    documented in DESIGN.md — field names are stable. *)
-let event_json (e : Events.event) : json =
-  let payload_fields =
-    match e.Events.payload with
+let event_payload_fields (payload : Events.payload) : (string * json) list =
+  match payload with
     | Events.Signal_raised { x; y; old_state; new_state; best_changed } ->
         [
           ("x", J_int x);
@@ -260,12 +265,13 @@ let event_json (e : Events.event) : json =
         ]
     | Events.Tier_demoted { trace_id; uses } ->
         [ ("trace_id", J_int trace_id); ("uses", J_int uses) ]
-  in
+
+let event_json (e : Events.event) : json =
   J_obj
     (versioned
        (("event", J_string (Events.kind e.Events.payload))
        :: ("time", J_int e.Events.time)
-       :: payload_fields))
+       :: event_payload_fields e.Events.payload))
 
 let events_jsonl (events : Events.event list) : string =
   let buf = Buffer.create 4096 in
@@ -360,6 +366,146 @@ let spans_jsonl (spans : Spans.span list) : string =
       Buffer.add_string buf (to_string (span_json s));
       Buffer.add_char buf '\n')
     spans;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder (post-mortem) and decision ledger                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One flight-recorder ring entry as a flat object.  The [rec] field
+   discriminates the three entry shapes; [Event] entries reuse the
+   live-stream payload schema verbatim, so a post-mortem line for an
+   event is the events_jsonl line plus [rec]/[seq]. *)
+let flightrec_entry_json (e : Flightrec.entry) : json =
+  match e with
+  | Flightrec.Event { seq; time; payload } ->
+      J_obj
+        (versioned
+           (("rec", J_string "event")
+           :: ("seq", J_int seq)
+           :: ("event", J_string (Events.kind payload))
+           :: ("time", J_int time)
+           :: event_payload_fields payload))
+  | Flightrec.Span_closed { seq; time; id; parent; kind; label; start_time } ->
+      J_obj
+        (versioned
+           [
+             ("rec", J_string "span");
+             ("seq", J_int seq);
+             ("time", J_int time);
+             ("span", J_int id);
+             ("parent", J_int parent);
+             ("kind", J_string kind);
+             ("label", J_string label);
+             ("start", J_int start_time);
+           ])
+  | Flightrec.Metric_delta { seq; time; name; delta; total } ->
+      J_obj
+        (versioned
+           [
+             ("rec", J_string "metric");
+             ("seq", J_int seq);
+             ("time", J_int time);
+             ("name", J_string name);
+             ("delta", J_int delta);
+             ("total", J_int total);
+           ])
+
+(* The post-mortem dump header — first line of a flightrec JSONL file. *)
+let postmortem_header_json ~(reason : string) (fr : Flightrec.t) : json =
+  J_obj
+    (versioned
+       [
+         ("rec", J_string "postmortem");
+         ("reason", J_string reason);
+         ("capacity", J_int (Flightrec.capacity fr));
+         ("recorded", J_int (Flightrec.recorded fr));
+         ("dropped", J_int (Flightrec.dropped fr));
+       ])
+
+(* The whole dump: header line, then the surviving window oldest-first. *)
+let postmortem_jsonl ~(reason : string) (fr : Flightrec.t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (to_string (postmortem_header_json ~reason fr));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (to_string (flightrec_entry_json e));
+      Buffer.add_char buf '\n')
+    (Flightrec.to_list fr);
+  Buffer.contents buf
+
+(* One decision-ledger record as a flat object.  The [action] field is
+   the stable kind tag; the attribution triple ([tick]/[span]/[seq]) and
+   trace linkage ([trace_id]/[first]/[head]) render -1 when absent. *)
+let ledger_record_json (r : Ledger.record) : json =
+  let action_fields =
+    match r.Ledger.action with
+    | Ledger.Build { new_traces; reused; pruned } ->
+        [
+          ("new_traces", J_int new_traces);
+          ("reused", J_int reused);
+          ("pruned", J_int pruned);
+        ]
+    | Ledger.Install { replaced; n_blocks } ->
+        [ ("replaced", J_bool replaced); ("n_blocks", J_int n_blocks) ]
+    | Ledger.Guard_prune { pruned } -> [ ("pruned", J_int pruned) ]
+    | Ledger.Quarantine { code; attempts; until; permanent } ->
+        [
+          ("code", J_string code);
+          ("attempts", J_int attempts);
+          (* permanent quarantine renders until as -1, like the event *)
+          ("until", J_int (if until = max_int then -1 else until));
+          ("permanent", J_bool permanent);
+        ]
+    | Ledger.Evict { reason; footprint; heat; stamp } ->
+        [
+          ("reason", J_string reason);
+          ("footprint", J_int footprint);
+          ("heat", J_int heat);
+          ("stamp", J_int stamp);
+        ]
+    | Ledger.Compile { heat; compile_after; budget; n_compiled } ->
+        [
+          ("heat", J_int heat);
+          ("compile_after", J_int compile_after);
+          ("budget", J_int budget);
+          ("n_compiled", J_int n_compiled);
+        ]
+    | Ledger.Demote { heat; winner_heat } ->
+        [ ("heat", J_int heat); ("winner_heat", J_int winner_heat) ]
+    | Ledger.Osr_promote { header; latch; hotness } ->
+        [
+          ("header", J_int header);
+          ("latch", J_int latch);
+          ("hotness", J_int hotness);
+        ]
+    | Ledger.Deopt { at_pos; resume; residue; reason } ->
+        [
+          ("at_pos", J_int at_pos);
+          ("resume", J_int resume);
+          ("residue", J_int residue);
+          ("reason", J_string reason);
+        ]
+  in
+  J_obj
+    (versioned
+       (("action", J_string (Ledger.action_kind r.Ledger.action))
+       :: ("seq", J_int r.Ledger.seq)
+       :: ("tick", J_int r.Ledger.tick)
+       :: ("span", J_int r.Ledger.span)
+       :: ("trace_id", J_int r.Ledger.trace_id)
+       :: ("first", J_int r.Ledger.first)
+       :: ("head", J_int r.Ledger.head)
+       :: action_fields))
+
+let ledger_jsonl (l : Ledger.t) : string =
+  let buf = Buffer.create 4096 in
+  Ledger.iter
+    (fun r ->
+      Buffer.add_string buf (to_string (ledger_record_json r));
+      Buffer.add_char buf '\n')
+    l;
   Buffer.contents buf
 
 (* Chrome trace_event JSON (the Perfetto / about://tracing format):

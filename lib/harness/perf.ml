@@ -1,0 +1,233 @@
+(* Machine-readable perf baselines.
+
+   The bench harness emits one [run] per bench invocation as a single
+   JSON document (BENCH_<label>.json): an environment stamp plus the
+   per-section metrics, each carrying its unit and direction-of-better.
+   [diff] compares two such documents direction-aware, so
+   `repro_cli bench-diff OLD NEW --max-regress PCT` can gate CI without
+   a human reading the tables.  All serialization goes through [Codec]
+   (schema_version discipline, round-trip-able by [Codec.parse]). *)
+
+type direction = Higher | Lower
+
+let direction_to_string = function Higher -> "higher" | Lower -> "lower"
+
+let direction_of_string = function
+  | "higher" -> Some Higher
+  | "lower" -> Some Lower
+  | _ -> None
+
+type metric = {
+  name : string;
+  value : float;
+  unit_ : string;
+  better : direction;
+}
+
+type section = { label : string; metrics : metric list }
+
+type run = { bench : string; env : (string * string) list; sections : section list }
+
+let metric ~name ~value ~unit_ ~better = { name; value; unit_; better }
+
+(* The environment stamp: enough to tell two baselines were produced by
+   comparable builds without recording anything machine-unique beyond
+   the toolchain. *)
+let env_stamp ~scale =
+  [
+    ("ocaml", Sys.ocaml_version);
+    ("word_size", string_of_int Sys.word_size);
+    ("os", Sys.os_type);
+    ("scale", Printf.sprintf "%g" scale);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let metric_json (m : metric) : Codec.json =
+  Codec.J_obj
+    [
+      ("name", Codec.J_string m.name);
+      ("value", Codec.J_float m.value);
+      ("unit", Codec.J_string m.unit_);
+      ("better", Codec.J_string (direction_to_string m.better));
+    ]
+
+let section_json (s : section) : Codec.json =
+  Codec.J_obj
+    [
+      ("section", Codec.J_string s.label);
+      ("metrics", Codec.J_list (List.map metric_json s.metrics));
+    ]
+
+let run_json (r : run) : Codec.json =
+  Codec.J_obj
+    (Codec.versioned
+       [
+         ("bench", Codec.J_string r.bench);
+         ( "env",
+           Codec.J_obj (List.map (fun (k, v) -> (k, Codec.J_string v)) r.env)
+         );
+         ("sections", Codec.J_list (List.map section_json r.sections));
+       ])
+
+let to_string (r : run) : string = Codec.to_string (run_json r)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (the inverse, over Codec.parse output)                      *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field obj name =
+  match obj with
+  | Codec.J_obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing field %S" name))
+  | _ -> Error "expected an object"
+
+let as_string = function
+  | Codec.J_string s -> Ok s
+  | _ -> Error "expected a string"
+
+let as_number = function
+  | Codec.J_float f -> Ok f
+  | Codec.J_int i -> Ok (float_of_int i)
+  | _ -> Error "expected a number"
+
+let as_list = function
+  | Codec.J_list l -> Ok l
+  | _ -> Error "expected a list"
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let metric_of_json j =
+  let* name = field j "name" in
+  let* name = as_string name in
+  let* value = field j "value" in
+  let* value = as_number value in
+  let* unit_ = field j "unit" in
+  let* unit_ = as_string unit_ in
+  let* better = field j "better" in
+  let* better = as_string better in
+  match direction_of_string better with
+  | Some better -> Ok { name; value; unit_; better }
+  | None -> Error (Printf.sprintf "metric %S: bad direction %S" name better)
+
+let section_of_json j =
+  let* label = field j "section" in
+  let* label = as_string label in
+  let* metrics = field j "metrics" in
+  let* metrics = as_list metrics in
+  let* metrics = map_result metric_of_json metrics in
+  Ok { label; metrics }
+
+let run_of_json (j : Codec.json) : (run, string) result =
+  let* bench = field j "bench" in
+  let* bench = as_string bench in
+  let* env = field j "env" in
+  let* env =
+    match env with
+    | Codec.J_obj kvs ->
+        map_result
+          (fun (k, v) ->
+            let* v = as_string v in
+            Ok (k, v))
+          kvs
+    | _ -> Error "expected env to be an object"
+  in
+  let* sections = field j "sections" in
+  let* sections = as_list sections in
+  let* sections = map_result section_of_json sections in
+  Ok { bench; env; sections }
+
+let of_string (s : string) : (run, string) result =
+  let* j = Codec.parse s in
+  run_of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Direction-aware diff                                                *)
+(* ------------------------------------------------------------------ *)
+
+type delta = {
+  d_section : string;
+  d_name : string;
+  d_unit : string;
+  d_better : direction;
+  d_old : float;
+  d_new : float;
+  d_regress_pct : float;
+      (* percent change in the *worse* direction; <= 0 means no worse *)
+}
+
+type diff = {
+  deltas : delta list;
+  missing : (string * string) list;
+      (* (section, metric) present in OLD but absent in NEW *)
+  added : (string * string) list;  (* present in NEW only — informational *)
+}
+
+(* Positive = regressed by that percentage; negative = improved. *)
+let regress_pct ~better ~old_v ~new_v =
+  let worse =
+    match better with Lower -> new_v -. old_v | Higher -> old_v -. new_v
+  in
+  if worse = 0.0 then 0.0
+  else if old_v = 0.0 then if worse > 0.0 then 100.0 else -100.0
+  else 100.0 *. worse /. Float.abs old_v
+
+let diff ~(baseline : run) ~(candidate : run) : diff =
+  let index r =
+    List.concat_map
+      (fun s -> List.map (fun m -> ((s.label, m.name), m)) s.metrics)
+      r.sections
+  in
+  let old_idx = index baseline and new_idx = index candidate in
+  let deltas =
+    List.filter_map
+      (fun ((sec, name), (om : metric)) ->
+        match List.assoc_opt (sec, name) new_idx with
+        | None -> None
+        | Some nm ->
+            Some
+              {
+                d_section = sec;
+                d_name = name;
+                d_unit = om.unit_;
+                d_better = om.better;
+                d_old = om.value;
+                d_new = nm.value;
+                d_regress_pct =
+                  regress_pct ~better:om.better ~old_v:om.value
+                    ~new_v:nm.value;
+              })
+      old_idx
+  in
+  let missing =
+    List.filter_map
+      (fun (key, _) ->
+        if List.mem_assoc key new_idx then None else Some key)
+      old_idx
+  in
+  let added =
+    List.filter_map
+      (fun (key, _) ->
+        if List.mem_assoc key old_idx then None else Some key)
+      new_idx
+  in
+  { deltas; missing; added }
+
+let regressions ~(max_regress : float) (d : diff) : delta list =
+  List.filter (fun dl -> dl.d_regress_pct > max_regress) d.deltas
+
+(* A diff gates clean when nothing regressed past the tolerance and no
+   baseline metric vanished (a deleted metric can hide a regression). *)
+let ok ~max_regress (d : diff) =
+  regressions ~max_regress d = [] && d.missing = []

@@ -175,6 +175,119 @@ let render ?(top = 10) (r : t) : string =
       (Printf.sprintf "… %d more blocks\n" (List.length r.blocks - top));
   Buffer.contents buf
 
+(* Machine-readable form: the whole report as one schema-versioned
+   object — `repro_cli top --json`.  Rows carry the same columns as the
+   rendered tables. *)
+let json (r : t) : Codec.json =
+  let trace_row (row : trace_row) =
+    Codec.J_obj
+      [
+        ("trace_id", Codec.J_int row.trace_id);
+        ("entry", Codec.J_string row.entry);
+        ("blocks", Codec.J_int row.n_blocks);
+        ("prob", Codec.J_float row.prob);
+        ("entered", Codec.J_int row.entered);
+        ("completed", Codec.J_int row.completed);
+        ("partial_exits", Codec.J_int row.partial_exits);
+        ("instrs", Codec.J_int row.instrs);
+        ("pruned", Codec.J_int row.pruned);
+        ("tier", Codec.J_string row.tier);
+      ]
+  in
+  let block_row (row : block_row) =
+    Codec.J_obj
+      [
+        ("gid", Codec.J_int row.gid);
+        ("block", Codec.J_string row.block);
+        ("self", Codec.J_int row.self);
+        ("inlined", Codec.J_int row.inlined);
+      ]
+  in
+  Codec.J_obj
+    (Codec.versioned
+       [
+         ("traces", Codec.J_list (List.map trace_row r.traces));
+         ("blocks", Codec.J_list (List.map block_row r.blocks));
+       ])
+
+(* Histogram percentile summary, one line per distribution — shared by
+   `repro_cli top` and `repro_cli events --stats-only`. *)
+let hist_summary (hists : Tr.Metrics.histogram list) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %8s %8s %6s %6s %6s %6s\n" "hist" "count" "mean"
+       "p50" "p90" "p99" "max");
+  List.iter
+    (fun h ->
+      if Tr.Metrics.hist_count h > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%-24s %8d %8.2f %6d %6d %6d %6d\n"
+             (Tr.Metrics.hist_name h) (Tr.Metrics.hist_count h)
+             (Tr.Metrics.hist_mean h)
+             (Tr.Metrics.percentile h 50.0)
+             (Tr.Metrics.percentile h 90.0)
+             (Tr.Metrics.percentile h 99.0)
+             (Tr.Metrics.hist_max h)))
+    hists;
+  Buffer.contents buf
+
+(* Folded-stack flamegraph export over the span tree: one line per
+   distinct root-to-span path, `frame;frame;frame weight`, where the
+   weight is the span's self time in dispatch ticks (duration minus the
+   children's durations).  The output loads directly into
+   flamegraph.pl / speedscope / inferno.  Open spans are skipped — run
+   [Spans.end_all] first. *)
+let folded (spans : Tr.Spans.span list) : string =
+  let closed =
+    List.filter (fun s -> s.Tr.Spans.end_time >= 0) spans
+  in
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Tr.Spans.id s) closed;
+  let duration s = s.Tr.Spans.end_time - s.Tr.Spans.start_time in
+  (* children's time nested under each parent, to subtract for self *)
+  let child_time = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let p = s.Tr.Spans.parent in
+      if p >= 0 && Hashtbl.mem by_id p then
+        Hashtbl.replace child_time p
+          (duration s
+          + Option.value ~default:0 (Hashtbl.find_opt child_time p)))
+    closed;
+  (* frames must not contain the stack separator *)
+  let frame s =
+    let label =
+      String.map
+        (fun c -> if c = ';' || c = '\n' then '_' else c)
+        s.Tr.Spans.label
+    in
+    Printf.sprintf "%s(%s)" (Tr.Spans.kind_to_string s.Tr.Spans.kind) label
+  in
+  let rec path s =
+    let f = frame s in
+    match Hashtbl.find_opt by_id s.Tr.Spans.parent with
+    | Some p when s.Tr.Spans.parent <> s.Tr.Spans.id -> path p ^ ";" ^ f
+    | _ -> f
+  in
+  let weights = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let self =
+        duration s
+        - Option.value ~default:0 (Hashtbl.find_opt child_time s.Tr.Spans.id)
+      in
+      if self > 0 then begin
+        let p = path s in
+        Hashtbl.replace weights p
+          (self + Option.value ~default:0 (Hashtbl.find_opt weights p))
+      end)
+    closed;
+  let lines =
+    Hashtbl.fold (fun p w acc -> Printf.sprintf "%s %d" p w :: acc) weights []
+  in
+  String.concat "\n" (List.sort compare lines)
+  ^ if lines = [] then "" else "\n"
+
 (* Chrome trace oracle: structural validity of an exported timeline.
    Returns human-readable violations; [] = valid.  Checks that the value
    is an object with a traceEvents array, timestamps are monotonically

@@ -54,6 +54,23 @@ val failed_checks :
 val render : ?top:int -> t -> string
 (** Human-readable ranked tables ([top] rows each, default 10). *)
 
+val json : t -> Codec.json
+(** The whole report as one schema-versioned object ([repro_cli top
+    --json]): the ranked trace and block rows with the same columns as
+    the rendered tables. *)
+
+val hist_summary : Tracegen.Metrics.histogram list -> string
+(** One line per non-empty distribution: count, mean and the
+    p50/p90/p99/max percentile summary ({!Tracegen.Metrics.percentile}).
+    Shared by [repro_cli top] and [repro_cli events --stats-only]. *)
+
+val folded : Tracegen.Spans.span list -> string
+(** Folded-stack flamegraph export over the span tree: one line per
+    distinct root-to-span path ([frame;frame;frame weight]), weighted
+    by self time in dispatch ticks (duration minus nested children).
+    Loads directly into flamegraph.pl / speedscope.  Open spans are
+    skipped — run [Spans.end_all] first. *)
+
 val check_chrome : Codec.json -> string list
 (** Structural oracle over an exported Chrome trace: an object with a
     [traceEvents] array, monotonically non-decreasing timestamps, every

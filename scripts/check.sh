@@ -102,8 +102,45 @@ rm -f "$snap_out"
 
 # Bench smoke: the seconds-long mechanism sections (span overhead,
 # backend switching, shared-vs-private trace cache) — catches bench
-# bitrot without the paper-scale tables.
-dune exec bench/main.exe -- --smoke
+# bitrot without the paper-scale tables.  --json additionally writes
+# the machine-readable BENCH_smoke.json baseline, which the next three
+# gates exercise.
+dune build bench/main.exe
+bench_dir=$(mktemp -d /tmp/check_bench.XXXXXX)
+repo=$PWD
+(cd "$bench_dir" && "$repo/_build/default/bench/main.exe" --smoke --json)
+if ! test -s "$bench_dir/BENCH_smoke.json"; then
+  echo "check.sh: bench --json wrote no BENCH_smoke.json" >&2
+  rm -rf "$bench_dir"
+  exit 1
+fi
+
+# A baseline diffed against itself is a clean zero-regression pass even
+# at zero tolerance...
+dune exec bin/repro_cli.exe -- bench-diff \
+  "$bench_dir/BENCH_smoke.json" "$bench_dir/BENCH_smoke.json" \
+  --max-regress 0 > /dev/null
+
+# ...and a stomped metric must make bench-diff exit nonzero.
+sed 's/"value":[0-9.eE+-]*/"value":99999999/' \
+  "$bench_dir/BENCH_smoke.json" > "$bench_dir/BENCH_stomped.json"
+if dune exec bin/repro_cli.exe -- bench-diff \
+  "$bench_dir/BENCH_smoke.json" "$bench_dir/BENCH_stomped.json" \
+  > /dev/null 2>&1; then
+  echo "check.sh: bench-diff accepted a stomped baseline" >&2
+  rm -rf "$bench_dir"
+  exit 1
+fi
+rm -rf "$bench_dir"
+
+# Flight-recorder round trip: a faulted self-healing run forced to dump
+# its ring must produce a JSONL artifact the postmortem reader accepts.
+fr_out=$(mktemp /tmp/check_flightrec.XXXXXX.jsonl)
+dune exec bin/repro_cli.exe -- run compress --self-heal \
+  --fault-spec 'corrupt-trace@0.01,budget=12' \
+  --dump-flightrec "$fr_out" > /dev/null
+dune exec bin/repro_cli.exe -- postmortem "$fr_out" > /dev/null
+rm -f "$fr_out"
 
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc

@@ -1,0 +1,233 @@
+(* The flight recorder: ring wrap-around at capacity, dump triggers, the
+   postmortem JSONL round trip through the codec, and the ledger/event
+   reconciliation oracle over a live engine run. *)
+
+open Workloads.Dsl
+module S = Bytecode.Structured
+module Engine = Tracegen.Engine
+module Events = Tracegen.Events
+module Flightrec = Tracegen.Flightrec
+module Ledger = Tracegen.Ledger
+module Config = Tracegen.Config
+module Codec = Harness.Codec
+module Oracle = Harness.Oracle
+module Postmortem = Harness.Postmortem
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let ev time n = { Events.time; payload = Events.Decay_pass { decays = n } }
+
+(* ------------------------------------------------------------------ *)
+(* the ring in isolation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_wraparound () =
+  let fr = Flightrec.create ~capacity:4 in
+  check Alcotest.int "capacity as asked" 4 (Flightrec.capacity fr);
+  for i = 0 to 9 do
+    Flightrec.record_event fr (ev (100 + i) i)
+  done;
+  check Alcotest.int "every record counted" 10 (Flightrec.recorded fr);
+  check Alcotest.int "overflow counted as dropped" 6 (Flightrec.dropped fr);
+  let window = Flightrec.to_list fr in
+  check Alcotest.int "window bounded by capacity" 4 (List.length window);
+  check Alcotest.(list int) "newest survive, oldest first" [ 6; 7; 8; 9 ]
+    (List.map Flightrec.seq_of window);
+  check Alcotest.(list int) "times ride along" [ 106; 107; 108; 109 ]
+    (List.map Flightrec.time_of window)
+
+let test_capacity_clamped () =
+  let fr = Flightrec.create ~capacity:0 in
+  check Alcotest.int "capacity clamps to 2" 2 (Flightrec.capacity fr);
+  Flightrec.record_event fr (ev 1 1);
+  check Alcotest.int "no drops below capacity" 0 (Flightrec.dropped fr)
+
+let test_mixed_entries_survive_wrap () =
+  let fr = Flightrec.create ~capacity:3 in
+  for i = 0 to 7 do
+    Flightrec.record_event fr (ev i i)
+  done;
+  Flightrec.record_span_closed fr ~time:50 ~id:7 ~parent:(-1)
+    ~kind:"trace_build" ~label:"b" ~start_time:40;
+  Flightrec.record_metric_delta fr ~time:60 ~name:"traces_constructed"
+    ~delta:2 ~total:5;
+  let window = Flightrec.to_list fr in
+  check Alcotest.int "window still bounded" 3 (List.length window);
+  (match window with
+  | [ Flightrec.Event e; Flightrec.Span_closed s; Flightrec.Metric_delta m ]
+    ->
+      check Alcotest.int "event seq" 7 e.seq;
+      check Alcotest.int "span id" 7 s.id;
+      check Alcotest.string "span kind" "trace_build" s.kind;
+      check Alcotest.int "span start" 40 s.start_time;
+      check Alcotest.string "metric name" "traces_constructed" m.name;
+      check Alcotest.int "metric delta" 2 m.delta;
+      check Alcotest.int "metric total" 5 m.total
+  | _ -> Alcotest.fail "expected [event; span; metric] oldest first");
+  check Alcotest.(list int) "seqs stay dense across kinds" [ 7; 8; 9 ]
+    (List.map Flightrec.seq_of window)
+
+let test_triggers () =
+  let fr = Flightrec.create ~capacity:4 in
+  (* a trigger with no hook installed still counts the dump *)
+  Flightrec.trigger fr Flightrec.Invariant;
+  check Alcotest.int "hookless trigger counted" 1 (Flightrec.dumps fr);
+  let seen = ref [] in
+  Flightrec.set_on_dump fr (fun r -> seen := r :: !seen);
+  Flightrec.trigger fr Flightrec.Divergence;
+  Flightrec.trigger fr Flightrec.Degraded;
+  check Alcotest.int "hooked triggers counted" 3 (Flightrec.dumps fr);
+  check Alcotest.(list string) "hook saw each reason, in order"
+    [ "chaos_divergence"; "degraded_interp_only" ]
+    (List.rev_map Flightrec.reason_to_string !seen);
+  (* reasons round-trip through their wire tags *)
+  List.iter
+    (fun r ->
+      check Alcotest.bool "reason tag round trips" true
+        (Flightrec.reason_of_string (Flightrec.reason_to_string r) = Some r))
+    [
+      Flightrec.Invariant;
+      Flightrec.Divergence;
+      Flightrec.Snapshot_rejected;
+      Flightrec.Degraded;
+      Flightrec.Manual;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* postmortem round trip through the codec                              *)
+(* ------------------------------------------------------------------ *)
+
+let field name = function
+  | Codec.J_obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let test_postmortem_round_trip () =
+  let fr = Flightrec.create ~capacity:8 in
+  for i = 0 to 11 do
+    Flightrec.record_event fr (ev i i)
+  done;
+  Flightrec.record_span_closed fr ~time:90 ~id:3 ~parent:1 ~kind:"quarantine"
+    ~label:"q \"esc\"" ~start_time:80;
+  Flightrec.record_metric_delta fr ~time:95 ~name:"deopts" ~delta:1 ~total:4;
+  let lines =
+    String.split_on_char '\n'
+      (String.trim
+         (Codec.postmortem_jsonl
+            ~reason:(Flightrec.reason_to_string Flightrec.Manual)
+            fr))
+  in
+  check Alcotest.int "header + one line per surviving entry" 9
+    (List.length lines);
+  List.iteri
+    (fun i line ->
+      match Codec.parse line with
+      | Error e -> Alcotest.failf "line %d unparseable: %s" i e
+      | Ok json -> (
+          check Alcotest.bool "every record schema-versioned" true
+            (field "schema_version" json = Some (Codec.J_int Codec.schema_version));
+          match field "rec" json with
+          | Some (Codec.J_string kind) ->
+              if i = 0 then begin
+                check Alcotest.string "header first" "postmortem" kind;
+                check Alcotest.bool "header carries the reason" true
+                  (field "reason" json = Some (Codec.J_string "manual"));
+                check Alcotest.bool "header counts the overflow" true
+                  (field "dropped" json = Some (Codec.J_int 6))
+              end
+              else
+                check Alcotest.bool "body records tagged" true
+                  (List.mem kind [ "event"; "span"; "metric" ])
+          | _ -> Alcotest.failf "line %d has no rec tag" i))
+    lines;
+  (* the harness-side pretty printer accepts the same artifact *)
+  let path = Filename.temp_file "flightrec" ".jsonl" in
+  Postmortem.write ~reason:Flightrec.Manual ~path fr;
+  let contents =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  (match Postmortem.describe_dump contents with
+  | Error e -> Alcotest.failf "describe_dump rejected its own dump: %s" e
+  | Ok described ->
+      check Alcotest.int "one description per line" 9 (List.length described));
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* wired through the engine                                             *)
+(* ------------------------------------------------------------------ *)
+
+let layout_of body =
+  let p = S.create () in
+  S.def_method p ~name:"main" ~args:[] ~ret:S.I ~body ();
+  let program = S.link p ~entry:"main" in
+  Bytecode.Verify.verify_program program;
+  Cfg.Layout.build program
+
+let hot_loop =
+  layout_of
+    [
+      decl_i "s" (i 0);
+      for_ "k" (i 0) (i 20_000)
+        [ set "s" ((v "s" +! v "k") &! i 0xFFFFF) ];
+      ret (v "s");
+    ]
+
+let test_engine_arms_recorder_by_default () =
+  let r = Engine.run hot_loop in
+  (match Engine.flightrec r.Engine.engine with
+  | None -> Alcotest.fail "default config must arm the black box"
+  | Some fr ->
+      check Alcotest.bool "the quiet run still recorded events" true
+        (Flightrec.recorded fr > 0);
+      check Alcotest.bool "retention stays bounded" true
+        (List.length (Flightrec.to_list fr) <= Flightrec.capacity fr));
+  let off = Config.make ~flightrec_capacity:0 () in
+  let r2 = Engine.run ~config:off hot_loop in
+  check Alcotest.bool "capacity 0 disarms it" true
+    (Engine.flightrec r2.Engine.engine = None)
+
+let test_engine_run_reconciles () =
+  let events = Events.create () in
+  let tally = Oracle.attach events in
+  let engine = Engine.create ~events hot_loop in
+  let result = Engine.drive engine in
+  let checks =
+    Oracle.run_checks tally ~engine result.Engine.run_stats
+  in
+  List.iter
+    (fun (c : Oracle.check) ->
+      check Alcotest.int
+        (Printf.sprintf "oracle: %s" c.Oracle.name)
+        c.Oracle.want c.Oracle.got)
+    checks;
+  match Engine.ledger engine with
+  | None -> Alcotest.fail "default config must keep the ledger"
+  | Some l ->
+      check Alcotest.bool "ledger recorded the run's decisions" true
+        (Ledger.length l > 0)
+
+let () =
+  Alcotest.run "flightrec"
+    [
+      ( "ring",
+        [
+          tc "wrap-around at capacity" `Quick test_wraparound;
+          tc "capacity clamped" `Quick test_capacity_clamped;
+          tc "mixed entries survive wrap" `Quick
+            test_mixed_entries_survive_wrap;
+          tc "dump triggers" `Quick test_triggers;
+        ] );
+      ( "postmortem",
+        [ tc "codec round trip" `Quick test_postmortem_round_trip ] );
+      ( "engine",
+        [
+          tc "recorder armed by default" `Quick
+            test_engine_arms_recorder_by_default;
+          tc "events + ledger reconcile with stats" `Quick
+            test_engine_run_reconciles;
+        ] );
+    ]

@@ -36,9 +36,21 @@ let layout_for ?(size = 300) w = Harness.Experiment.layout_for w ~size
 
 (* a tiered engine run with a low promotion bar, so small test layouts
    still reach the compiled tier *)
-let run_tiered ?(compile_after = 4) layout =
+let run_tiered ?(compile_after = 4) ?events layout =
   let config = Config.make ~tier:true ~tier_compile_after:compile_after () in
-  Engine.run ~config layout
+  Engine.run ~config ?events layout
+
+(* events, stats and the decision ledger must agree even when dispatch
+   ran through the compiled tier — the tier is where attribution is
+   easiest to lose *)
+let assert_reconciled tally (r : Engine.run_result) =
+  List.iter
+    (fun (c : Harness.Oracle.check) ->
+      check Alcotest.int
+        (Printf.sprintf "oracle: %s" c.Harness.Oracle.name)
+        c.Harness.Oracle.want c.Harness.Oracle.got)
+    (Harness.Oracle.run_checks tally ~engine:r.Engine.engine
+       r.Engine.run_stats)
 
 let compiled_traces engine =
   let acc = ref [] in
@@ -208,7 +220,9 @@ let test_deopt_from_compiled_tier () =
       ~tier_compile_after:4 ~osr:true ~fault_spec:"guard-flip@0.5,budget=400"
       ~fault_seed:7 ()
   in
-  let r = Engine.run ~config layout in
+  let events = Events.create () in
+  let tally = Harness.Oracle.attach events in
+  let r = Engine.run ~config ~events layout in
   check fp "bit-identical under flips from the compiled tier"
     (fingerprint baseline)
     (fingerprint r.Engine.vm_result);
@@ -217,14 +231,18 @@ let test_deopt_from_compiled_tier () =
     (s.Stats.compiled_entries > 0);
   check Alcotest.bool "the schedule actually deopted" true (s.Stats.deopts > 0);
   check Alcotest.int "every deopt materialized state (no TL219)" 0
-    (Engine.osr_state_mismatches r.Engine.engine)
+    (Engine.osr_state_mismatches r.Engine.engine);
+  (* the fault schedule must not desynchronize the three views *)
+  assert_reconciled tally r
 
 (* tier off vs on: same dispatch stream, and the stats overlay accounts
    micro-ops strictly below the source instructions they replaced *)
 let test_tier_is_pure_overlay () =
   let layout = layout_for ~size:400 compress in
   let off = Engine.run layout in
-  let on = run_tiered layout in
+  let events = Events.create () in
+  let tally = Harness.Oracle.attach events in
+  let on = run_tiered ~events layout in
   check fp "tier on/off fingerprints equal"
     (fingerprint off.Engine.vm_result)
     (fingerprint on.Engine.vm_result);
@@ -237,7 +255,8 @@ let test_tier_is_pure_overlay () =
   check Alcotest.bool "micro-ops below replaced source instrs" true
     (s_on.Stats.mi_ops < s_on.Stats.mi_src_instrs);
   check Alcotest.bool "fusion accounted" true (s_on.Stats.mi_fused > 0);
-  check Alcotest.int "tier off never compiles" 0 s_off.Stats.traces_compiled
+  check Alcotest.int "tier off never compiles" 0 s_off.Stats.traces_compiled;
+  assert_reconciled tally on
 
 (* --------------------------------------------------------------- *)
 (* cost model                                                        *)
